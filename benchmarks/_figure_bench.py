@@ -1,0 +1,34 @@
+"""Shared machinery for the eight figure benchmarks.
+
+Every paper figure is the same artifact shape — per-entity panels of
+browse/bid series for one resource — so each ``bench_figN_*`` file
+delegates here.  The bench regenerates the figure from the (cached)
+runs, prints the text rendering, and attaches the per-panel means the
+paper's axes encode.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure, render_figure
+
+
+def run_figure_bench(benchmark, number, browse_result, bid_result):
+    """Regenerate figure ``number`` and record its per-panel summary."""
+
+    def regenerate():
+        data = figure(
+            number, {"browse": browse_result, "bid": bid_result}
+        )
+        return data, render_figure(data)
+
+    data, text = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print()
+    print(text)
+    for panel in data.panels:
+        for workload, series in panel.series.items():
+            key = f"{panel.entity}.{workload}.mean"
+            benchmark.extra_info[key] = round(float(series.values.mean()), 2)
+            benchmark.extra_info[
+                f"{panel.entity}.{workload}.max"
+            ] = round(float(series.values.max()), 2)
+    return data

@@ -1,0 +1,65 @@
+"""A3 — Ablation: think-time sweep (closed-loop operating point).
+
+The paper fixes the think time at 7 s.  The closed-loop law X = N/(Z+R)
+predicts throughput and hence resource demand; this sweep confirms the
+testbed sits in the linear (light-load) regime the figures display —
+halving Z roughly doubles every demand series.
+"""
+
+import pytest
+
+from repro.analysis.ratios import demand_vector
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import Scenario
+from repro.rubis.workload import WorkloadMix
+
+DURATION_S = 120.0
+THINK_TIMES = (14.0, 7.0, 3.5)
+
+
+def run_with_think(think_s: float):
+    mix = WorkloadMix(
+        "browsing", browse_fraction=1.0, think_time_s=think_s, clients=1000
+    )
+    result = run_scenario(
+        Scenario(
+            name=f"think-{think_s}",
+            environment="virtualized",
+            mix=mix,
+            duration_s=DURATION_S,
+        )
+    )
+    vector = demand_vector(result.traces, "web", warmup_s=20.0)
+    return {
+        "think_s": think_s,
+        "throughput_rps": result.throughput_rps,
+        "web_cpu": vector.cpu_cycles,
+        "web_net_kb": vector.net_kb,
+    }
+
+
+def test_think_time_sweep(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [run_with_think(z) for z in THINK_TIMES],
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(f"{'think (s)':>10s} {'X (rps)':>9s} {'web cpu/2s':>12s} "
+          f"{'web net KB/2s':>14s}")
+    for row in rows:
+        print(
+            f"{row['think_s']:>10.1f} {row['throughput_rps']:>9.1f} "
+            f"{row['web_cpu']:>12.3g} {row['web_net_kb']:>14.1f}"
+        )
+        benchmark.extra_info[f"think_{row['think_s']}.rps"] = round(
+            row["throughput_rps"], 1
+        )
+    # Closed-loop law: X ~ N/Z in the light-load regime.
+    x14, x7, x35 = (row["throughput_rps"] for row in rows)
+    assert x7 / x14 == pytest.approx(2.0, rel=0.15)
+    assert x35 / x7 == pytest.approx(2.0, rel=0.15)
+    # Demand follows throughput linearly.
+    c14, c7, c35 = (row["web_cpu"] for row in rows)
+    assert c7 / c14 == pytest.approx(2.0, rel=0.20)
+    assert c35 / c7 == pytest.approx(2.0, rel=0.20)

@@ -1,0 +1,57 @@
+"""X5 — Section 4.1 setup: the five request compositions.
+
+The paper "tested five types of request compositions: browsing only,
+bidding only, 30% browsing and 70% bidding, 50%/50%, and 70%/30%" but
+published only the first two.  This bench runs the full matrix on the
+virtualized testbed and reports the per-composition demand vectors —
+the rows the paper omitted "due to the space limitation".  Demand
+should interpolate monotonically between the two pure mixes.
+"""
+
+from repro.analysis.ratios import demand_vector
+from repro.experiments.runner import run_scenario_cached
+from repro.experiments.scenarios import scenario
+
+#: Shorter runs for the three blends (five virtualized runs total).
+SWEEP_DURATION_S = 120.0
+
+COMPOSITIONS = (
+    ("bidding", 0.0),
+    ("blend_30_70", 0.30),
+    ("blend_50_50", 0.50),
+    ("blend_70_30", 0.70),
+    ("browsing", 1.0),
+)
+
+
+def test_composition_sweep(benchmark):
+    def sweep():
+        rows = []
+        for name, browse_fraction in COMPOSITIONS:
+            result = run_scenario_cached(
+                scenario("virtualized", name, duration_s=SWEEP_DURATION_S)
+            )
+            vector = demand_vector(result.traces, "web", warmup_s=20.0)
+            rows.append((name, browse_fraction, vector))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(f"{'composition':<14s} {'browse%':>8s} {'web cpu/2s':>12s} "
+          f"{'web net KB/2s':>14s}")
+    for name, fraction, vector in rows:
+        print(
+            f"{name:<14s} {fraction * 100:>7.0f}% "
+            f"{vector.cpu_cycles:>12.3g} {vector.net_kb:>14.1f}"
+        )
+        benchmark.extra_info[f"{name}.web_cpu"] = round(vector.cpu_cycles, 0)
+        benchmark.extra_info[f"{name}.web_net_kb"] = round(vector.net_kb, 1)
+    # Web CPU and network demand grow with the browsing share (browsing
+    # hits the heavy search pages; Figures 1 and 4 ordering).
+    cpu = [vector.cpu_cycles for _, _, vector in rows]
+    net = [vector.net_kb for _, _, vector in rows]
+    assert cpu[-1] > cpu[0]
+    assert net[-1] > net[0]
+    # Blends fall between the pure mixes.
+    for i in (1, 2, 3):
+        assert min(cpu[0], cpu[-1]) * 0.95 <= cpu[i] <= max(cpu[0], cpu[-1]) * 1.05

@@ -1,0 +1,73 @@
+"""EXT — MapReduce characterization (paper Section 5 future work).
+
+Runs the two canonical job shapes on the simulated cluster through the
+standard monitoring pipeline and checks the phase-structured resource
+profile: the sort job is shuffle-dominated, the grep job scan-dominated.
+"""
+
+from repro.mapreduce.engine import MapReduceCluster
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.workload import grep_like_job, sort_like_job
+from repro.monitoring.probes import ContextProbe
+from repro.monitoring.sampler import TraceRecorder
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+
+
+def run_job(spec):
+    sim = Simulator()
+    cluster = MapReduceCluster(sim, RandomStreams(7), nodes=4)
+    probes = [
+        ContextProbe(name, context)
+        for name, context in cluster.contexts().items()
+    ]
+    recorder = TraceRecorder(
+        sim, probes, environment="bare-metal", workload=spec.name
+    )
+    job = MapReduceJob(spec)
+    cluster.submit(job)
+    sim.run_until(600.0)
+    recorder.stop()
+    cluster.shutdown()
+    total_net = sum(
+        recorder.traces.get(e, "net_kb").total()
+        for e in recorder.traces.entities()
+    )
+    total_disk = sum(
+        recorder.traces.get(e, "disk_kb").total()
+        for e in recorder.traces.entities()
+    )
+    return job, total_net, total_disk
+
+
+def test_mapreduce_job_shapes(benchmark):
+    def run_both():
+        return {
+            "sort": run_job(sort_like_job(512, 16)),
+            "grep": run_job(grep_like_job(512, 16)),
+        }
+
+    out = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print()
+    for name, (job, net_kb, disk_kb) in out.items():
+        print(
+            f"{name:<5s} makespan={job.stats.makespan_s:7.1f}s "
+            f"shuffle={job.stats.shuffle_bytes_moved / 1e6:7.0f}MB "
+            f"net={net_kb / 1024:7.1f}MB disk={disk_kb / 1024:7.1f}MB"
+        )
+        benchmark.extra_info[f"{name}.makespan_s"] = round(
+            job.stats.makespan_s, 1
+        )
+        benchmark.extra_info[f"{name}.shuffle_mb"] = round(
+            job.stats.shuffle_bytes_moved / 1e6
+        )
+    sort_job, sort_net, _ = out["sort"]
+    grep_job, grep_net, _ = out["grep"]
+    # Sort is shuffle-heavy; grep barely shuffles.
+    assert sort_job.stats.shuffle_bytes_moved > 20 * (
+        grep_job.stats.shuffle_bytes_moved
+    )
+    assert sort_net > 10 * grep_net
+    # Both jobs complete.
+    assert sort_job.stats.finished_at is not None
+    assert grep_job.stats.finished_at is not None

@@ -1,0 +1,19 @@
+"""F1 — Figure 1: CPU cycle demands in the virtualized environment.
+
+Panels: Web+App VM, MySQL VM, dom0; browse vs bid; cycles per 2 s.
+Shape targets: web >> db (R1 CPU = 6.11), VM aggregate >> dom0
+(R2 CPU = 16.84), and bid costing dom0 slightly *more* than browse (Q5).
+"""
+
+from benchmarks._figure_bench import run_figure_bench
+
+
+def test_figure1_cpu_virtualized(benchmark, virt_browse, virt_bid):
+    data = run_figure_bench(benchmark, 1, virt_browse, virt_bid)
+    web = data.panels[0].series
+    db = data.panels[1].series
+    dom0 = data.panels[2].series
+    # Shape assertions, not absolute numbers.
+    assert web["browse"].mean() > 4 * db["browse"].mean()
+    assert web["browse"].mean() > 10 * dom0["browse"].mean()
+    assert dom0["bid"].mean() > dom0["browse"].mean()  # Q5

@@ -1,0 +1,23 @@
+"""F2 — Figure 2: RAM demands in the virtualized environment.
+
+Panels: Web+App VM, MySQL VM, dom0; used memory in MB.  Shape targets:
+browsing shows step jumps while bidding stays smooth (Q2), dom0 holds
+more memory than both VMs combined (R2 RAM = 0.58).
+"""
+
+from benchmarks._figure_bench import run_figure_bench
+from repro.analysis.changepoint import count_upward_jumps
+
+
+def test_figure2_ram_virtualized(benchmark, virt_browse, virt_bid):
+    data = run_figure_bench(benchmark, 2, virt_browse, virt_bid)
+    web = data.panels[0].series
+    dom0 = data.panels[2].series
+    browse_jumps = count_upward_jumps(web["browse"], min_shift=50.0, window=8)
+    bid_jumps = count_upward_jumps(web["bid"], min_shift=50.0, window=8)
+    benchmark.extra_info["web.browse.jumps"] = browse_jumps
+    benchmark.extra_info["web.bid.jumps"] = bid_jumps
+    assert browse_jumps >= 1  # Q2: browsing jumps
+    assert bid_jumps == 0  # Q2: bidding smooth
+    vm_total = web["browse"].mean() + data.panels[1].series["browse"].mean()
+    assert dom0["browse"].mean() > vm_total  # R2 RAM < 1

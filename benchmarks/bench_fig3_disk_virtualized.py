@@ -1,0 +1,21 @@
+"""F3 — Figure 3: disk read+write in the virtualized environment.
+
+Panels: Web+App VM, MySQL VM, dom0; KB per 2 s.  Shape targets: web
+tier ~5.7x the db tier (R1), dom0 roughly double the VM aggregate
+(R2 disk = 0.47 — journaling/metadata amplification in the backend),
+disk spikes co-located with the browse RAM jumps.
+"""
+
+from benchmarks._figure_bench import run_figure_bench
+
+
+def test_figure3_disk_virtualized(benchmark, virt_browse, virt_bid):
+    data = run_figure_bench(benchmark, 3, virt_browse, virt_bid)
+    web = data.panels[0].series["browse"]
+    db = data.panels[1].series["browse"]
+    dom0 = data.panels[2].series["browse"]
+    assert web.mean() > 3 * db.mean()
+    vm_aggregate = web.mean() + db.mean()
+    assert 1.5 * vm_aggregate < dom0.mean() < 3.0 * vm_aggregate
+    # Spikes exist: max well above the mean (the paper's Figure 3 shape).
+    assert web.max() > 1.5 * web.mean()

@@ -1,0 +1,23 @@
+"""F4 — Figure 4: network RX+TX in the virtualized environment.
+
+Panels: Web+App VM, MySQL VM, dom0; KB per 2 s.  Shape targets: the
+web tier dominates by ~55x (R1 net = 55.56; the db link carries only
+queries and row data), dom0 tracks the VM aggregate almost 1:1
+(R2 net = 0.98 — every guest byte is proxied once).
+"""
+
+from benchmarks._figure_bench import run_figure_bench
+
+
+def test_figure4_network_virtualized(benchmark, virt_browse, virt_bid):
+    data = run_figure_bench(benchmark, 4, virt_browse, virt_bid)
+    web = data.panels[0].series["browse"]
+    db = data.panels[1].series["browse"]
+    dom0 = data.panels[2].series["browse"]
+    assert web.mean() > 30 * db.mean()
+    vm_aggregate = web.mean() + db.mean()
+    assert dom0.mean() == vm_aggregate * 1.02 or (
+        0.95 < dom0.mean() / vm_aggregate < 1.10
+    )
+    # Browsing moves at least as much guest network data as bidding.
+    assert web.mean() >= data.panels[0].series["bid"].mean()

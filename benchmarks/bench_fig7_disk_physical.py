@@ -1,0 +1,23 @@
+"""F7 — Figure 7: disk read+write on bare metal (log-scale axes).
+
+Panels: Web+App PM, MySQL PM; KB per 2 s.  Shape targets: higher
+variance than the virtualized series (Q4 — no dom0 write batching) and
+an aggregate ~25% below dom0's physical disk traffic (R4 disk = 0.75).
+"""
+
+import numpy as np
+
+from benchmarks._figure_bench import run_figure_bench
+from repro.analysis.stats import variance_ratio
+
+
+def test_figure7_disk_physical(benchmark, bare_browse, bare_bid, virt_browse):
+    data = run_figure_bench(benchmark, 7, bare_browse, bare_bid)
+    bare_web = data.panels[0].series["browse"]
+    virt_web = virt_browse.traces.get("web", "disk_kb")
+    ratio = variance_ratio(bare_web, virt_web)
+    benchmark.extra_info["bare_over_virt_disk_variance"] = round(ratio, 2)
+    assert ratio > 1.0  # Q4
+    # Log-scale plot sanity: all samples strictly positive.
+    assert np.all(bare_web.values > 0)
+    assert np.all(data.panels[1].series["browse"].values > 0)

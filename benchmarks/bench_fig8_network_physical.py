@@ -1,0 +1,22 @@
+"""F8 — Figure 8: network RX+TX on bare metal.
+
+Panels: Web+App PM, MySQL PM; KB per 2 s.  Shape targets: the web
+server carries essentially all client traffic (db link tiny, same 50x+
+separation as the virtualized Figure 4), with the aggregate ~2% above
+the virtualized physical traffic (R4 net = 1.02).
+"""
+
+from benchmarks._figure_bench import run_figure_bench
+
+
+def test_figure8_network_physical(benchmark, bare_browse, bare_bid,
+                                  virt_browse):
+    data = run_figure_bench(benchmark, 8, bare_browse, bare_bid)
+    web = data.panels[0].series["browse"]
+    db = data.panels[1].series["browse"]
+    assert web.mean() > 30 * db.mean()
+    dom0_net = virt_browse.traces.get("dom0", "net_kb")
+    bare_aggregate = web.mean() + db.mean()
+    ratio = bare_aggregate / dom0_net.values.mean()
+    benchmark.extra_info["bare_over_dom0_net"] = round(ratio, 3)
+    assert 0.9 < ratio < 1.15  # R4 net ~ 1.02

@@ -1,0 +1,36 @@
+"""X3 — Section 4.1: the web->db workload lag.
+
+"there exist some lags between workload changes of the database server
+and the web and application servers as the client requests are received
+and processed first by the web server before being sent to the back-end
+database server."  The bench estimates the lag by cross-correlation on
+both workloads and asserts the back end never leads.
+"""
+
+from repro.analysis.correlation import estimate_lag
+
+
+def _lag(result):
+    web = result.traces.get("web", "cpu_cycles").without_warmup(30.0)
+    db = result.traces.get("db", "cpu_cycles").without_warmup(30.0)
+    return estimate_lag(web, db, max_lag=10, sample_period_s=2.0)
+
+
+def test_web_db_lag(benchmark, virt_browse, virt_bid):
+    lags = benchmark.pedantic(
+        lambda: {"browse": _lag(virt_browse), "bid": _lag(virt_bid)},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for workload, lag in lags.items():
+        print(
+            f"{workload:<7s} db lags web by {lag.lag_samples} samples "
+            f"({lag.lag_seconds:.1f}s), peak r={lag.correlation:.3f}"
+        )
+        benchmark.extra_info[f"{workload}.lag_samples"] = lag.lag_samples
+        benchmark.extra_info[f"{workload}.correlation"] = round(
+            lag.correlation, 3
+        )
+        assert lag.lag_samples >= 0  # Q1: the database never leads
+        assert lag.correlation > 0.2  # tiers are genuinely coupled

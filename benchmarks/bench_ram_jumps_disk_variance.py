@@ -1,0 +1,65 @@
+"""X4 — Sections 4.1/4.2: RAM step jumps and disk variance.
+
+Covers three textual findings at once:
+
+* Q2 — virtualized: browsing RAM jumps, bidding RAM smooth (Figure 2),
+* Q3 — bare-metal bidding jumps arrive *earlier* than the virtualized
+  browsing jumps (Figure 6 discussion),
+* Q4 — "disk read and write workload shows higher variance in the
+  non-virtualized system than the virtualized one" (Figure 7).
+"""
+
+from repro.analysis.changepoint import count_upward_jumps, first_jump_time
+from repro.analysis.stats import variance_ratio
+
+MIN_SHIFT_MB = 50.0
+WINDOW = 8
+
+
+def test_ram_jump_pattern(benchmark, virt_browse, virt_bid, bare_bid):
+    def analyze():
+        return {
+            "virt_browse_jumps": count_upward_jumps(
+                virt_browse.traces.get("web", "mem_used_mb"),
+                MIN_SHIFT_MB,
+                WINDOW,
+            ),
+            "virt_bid_jumps": count_upward_jumps(
+                virt_bid.traces.get("web", "mem_used_mb"),
+                MIN_SHIFT_MB,
+                WINDOW,
+            ),
+            "bare_bid_first_jump_s": first_jump_time(
+                bare_bid.traces.get("web", "mem_used_mb"),
+                MIN_SHIFT_MB,
+                WINDOW,
+            ),
+            "virt_browse_first_jump_s": first_jump_time(
+                virt_browse.traces.get("web", "mem_used_mb"),
+                MIN_SHIFT_MB,
+                WINDOW,
+            ),
+        }
+
+    out = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    print()
+    for key, value in out.items():
+        print(f"{key}: {value}")
+        benchmark.extra_info[key] = value
+    assert out["virt_browse_jumps"] >= 1  # Q2
+    assert out["virt_bid_jumps"] == 0  # Q2
+    assert (
+        out["bare_bid_first_jump_s"] < out["virt_browse_first_jump_s"]
+    )  # Q3
+
+
+def test_disk_variance_comparison(benchmark, virt_browse, bare_browse):
+    def analyze():
+        bare = bare_browse.traces.get("web", "disk_kb").without_warmup(30.0)
+        virt = virt_browse.traces.get("web", "disk_kb").without_warmup(30.0)
+        return variance_ratio(bare, virt)
+
+    ratio = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    print(f"\nbare/virt web disk variance ratio: {ratio:.2f}")
+    benchmark.extra_info["variance_ratio"] = round(ratio, 3)
+    assert ratio > 1.0  # Q4

@@ -1,0 +1,70 @@
+"""X2 — Section 4.2 ratio text: R3 and R4 across environments.
+
+R4 is the paper's conclusion-level finding ("88% more CPU cycles, 21%
+more RAM, and 2% more network traffic, while disk read/write is 25%
+less") and is calibrated.  R3 is *derived*: its disk/network components
+match the paper, while CPU/RAM expose the paper's internal
+inconsistency (R2, R3, R4 cannot all hold; see DESIGN.md section 3).
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_ratio
+from repro.analysis.ratios import (
+    RatioReport,
+    cross_environment_ratios,
+    physical_cross_ratios,
+)
+from repro.analysis.report import render_ratio_table
+from repro.experiments.paper_values import PAPER_R2, PAPER_R3, PAPER_R4
+
+
+def test_r4_physical_cross_ratio(benchmark, virt_browse, bare_browse):
+    measured = benchmark.pedantic(
+        physical_cross_ratios,
+        args=(virt_browse.traces, bare_browse.traces),
+        rounds=1,
+        iterations=1,
+    )
+    report = RatioReport(
+        "R4 bare-metal physical / dom0 physical", measured, PAPER_R4
+    )
+    print()
+    print(render_ratio_table(report))
+    attach_ratio(benchmark, "R4.measured", measured)
+    for _, measured_value, paper_value, relative in report.rows():
+        assert 0.7 < relative < 1.3
+    # Direction of every headline claim.
+    assert measured.cpu_cycles > 1.0  # more CPU on bare metal
+    assert measured.mem_used_mb > 1.0  # more RAM
+    assert measured.net_kb > 0.95  # ~2% more network
+    assert measured.disk_kb < 1.0  # less disk
+
+
+def test_r3_derived_cross_ratio(benchmark, virt_browse, bare_browse):
+    measured = benchmark.pedantic(
+        cross_environment_ratios,
+        args=(virt_browse.traces, bare_browse.traces),
+        rounds=1,
+        iterations=1,
+    )
+    report = RatioReport(
+        "R3 VM aggregate / bare-metal aggregate (derived)",
+        measured,
+        PAPER_R3,
+    )
+    print()
+    print(render_ratio_table(report))
+    print(
+        "note: R3 CPU/RAM cannot match the paper simultaneously with "
+        "R2 and R4 (internal inconsistency; see DESIGN.md)."
+    )
+    attach_ratio(benchmark, "R3.measured", measured)
+    # Disk and network are the mutually consistent components.
+    assert measured.disk_kb / PAPER_R3.disk_kb == pytest.approx(1.0, rel=0.25)
+    assert measured.net_kb / PAPER_R3.net_kb == pytest.approx(1.0, rel=0.10)
+    # CPU lands at the R2/R4-consistent value instead of 3.47.
+    consistent = PAPER_R2.cpu_cycles / PAPER_R4.cpu_cycles
+    assert measured.cpu_cycles == pytest.approx(
+        consistent, rel=0.25
+    )

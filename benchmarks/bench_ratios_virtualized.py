@@ -1,0 +1,48 @@
+"""X1 — Section 4.1 ratio text: R1 (tier ratio) and R2 (VM/dom0).
+
+Regenerates the two ratio vectors the paper states in prose:
+"the front-end servers ... demand 6.11, 3.29, 5.71, and 55.56 times
+more CPU cycles, RAM space, disk read/write, and network data than the
+back-end server" and "the former is 16.84, 0.58, 0.47, and 0.98 times
+more/less than the latter".
+"""
+
+from benchmarks.conftest import attach_ratio
+from repro.analysis.ratios import (
+    RatioReport,
+    tier_ratios,
+    vm_to_hypervisor_ratios,
+)
+from repro.analysis.report import render_ratio_table
+from repro.experiments.paper_values import PAPER_R1, PAPER_R2
+
+
+def test_r1_tier_ratio(benchmark, virt_browse):
+    measured = benchmark.pedantic(
+        tier_ratios, args=(virt_browse.traces,), rounds=1, iterations=1
+    )
+    report = RatioReport(
+        "R1 front-end/back-end (virtualized, browsing)", measured, PAPER_R1
+    )
+    print()
+    print(render_ratio_table(report))
+    attach_ratio(benchmark, "R1.measured", measured)
+    attach_ratio(benchmark, "R1.paper", PAPER_R1)
+    for _, measured_value, paper_value, relative in report.rows():
+        assert 0.7 < relative < 1.3
+
+
+def test_r2_vm_to_dom0_ratio(benchmark, virt_browse):
+    measured = benchmark.pedantic(
+        vm_to_hypervisor_ratios,
+        args=(virt_browse.traces,),
+        rounds=1,
+        iterations=1,
+    )
+    report = RatioReport("R2 VM aggregate / dom0", measured, PAPER_R2)
+    print()
+    print(render_ratio_table(report))
+    attach_ratio(benchmark, "R2.measured", measured)
+    attach_ratio(benchmark, "R2.paper", PAPER_R2)
+    for _, measured_value, paper_value, relative in report.rows():
+        assert 0.7 < relative < 1.3

@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper.  The
+underlying experiment runs are shared process-wide through the runner's
+memoizing cache, mirroring how the paper extracts all figures from one
+run matrix.  Benchmarks use ``benchmark.pedantic(..., rounds=1)``: the
+quantity of interest is the regenerated artifact (printed and attached
+to ``extra_info``), not micro-timing stability.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import run_scenario_cached
+from repro.experiments.scenarios import default_duration_s, scenario
+
+
+def core_run(environment: str, composition: str, duration_s: float = None):
+    return run_scenario_cached(
+        scenario(
+            environment,
+            composition,
+            duration_s=duration_s or default_duration_s(),
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def virt_browse():
+    return core_run("virtualized", "browsing")
+
+
+@pytest.fixture(scope="session")
+def virt_bid():
+    return core_run("virtualized", "bidding")
+
+
+@pytest.fixture(scope="session")
+def bare_browse():
+    return core_run("bare-metal", "browsing")
+
+
+@pytest.fixture(scope="session")
+def bare_bid():
+    return core_run("bare-metal", "bidding")
+
+
+def attach_ratio(benchmark, label: str, vector) -> None:
+    """Record a ratio vector in the benchmark's extra_info."""
+    for resource, value in vector.as_dict().items():
+        benchmark.extra_info[f"{label}.{resource}"] = round(value, 4)

@@ -1,0 +1,82 @@
+"""Capacity planning and SLA prediction from measured workload.
+
+The paper motivates its characterization with exactly this workflow:
+"predict SLA compliance or violation based on the projected application
+workload and guide the decision making to support applications with the
+right hardware."  This example
+
+1. measures the web tier's demand vector under 1000 browsing clients,
+2. projects utilization and response time to larger populations with
+   the utilization law and an M/M/1-style queueing correction,
+3. reports the largest population one paper-spec server sustains under
+   an 80 % headroom budget and a 500 ms p95-style SLA.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.analysis.ratios import demand_vector
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import scenario
+from repro.hardware.server import ServerSpec
+from repro.planning.capacity import ResourceCapacity
+from repro.planning.predictor import project_workload
+from repro.planning.sla import SlaTarget, evaluate_sla
+
+MEASURED_CLIENTS = 1000
+PROJECTIONS = (1000, 5000, 20_000, 60_000, 150_000)
+
+
+def main() -> None:
+    spec = scenario("virtualized", "browsing", duration_s=120.0)
+    print(f"measuring demand with {MEASURED_CLIENTS} clients ...")
+    result = run_scenario(spec)
+    demand = demand_vector(result.traces, "web", warmup_s=30.0)
+    base_response = result.mean_response_time_s
+    print(
+        f"measured: web demand/2s = "
+        f"{demand.cpu_cycles:.3g} cycles, {demand.net_kb:.0f} net KB; "
+        f"mean response = {base_response * 1000:.1f} ms\n"
+    )
+
+    sla = SlaTarget(threshold_s=0.5, quantile=0.95)
+    capacity = ResourceCapacity.from_server_spec(ServerSpec.paper_testbed())
+
+    print(f"{'clients':>9s} {'bottleneck':>12s} {'util':>7s} "
+          f"{'resp (ms)':>10s} {'SLA':>5s}")
+    for clients in PROJECTIONS:
+        projection = project_workload(
+            demand,
+            MEASURED_CLIENTS,
+            base_response,
+            clients,
+            capacity,
+            sla_target=sla,
+        )
+        plan = projection.plan
+        print(
+            f"{clients:>9d} {plan.bottleneck:>12s} "
+            f"{plan.bottleneck_utilization:>6.1%} "
+            f"{projection.predicted_response_time_s * 1000:>10.1f} "
+            f"{'ok' if projection.sla_predicted_compliant else 'VIOL':>5s}"
+        )
+
+    plan = project_workload(
+        demand, MEASURED_CLIENTS, base_response, MEASURED_CLIENTS, capacity
+    ).plan
+    print(
+        f"\none paper-spec server sustains ~{plan.max_clients} clients "
+        f"at 80% headroom (bottleneck: {plan.bottleneck})"
+    )
+
+    # Sanity: check the measured run against the SLA directly, using
+    # the per-request response times the client emulator recorded.
+    evaluation = evaluate_sla(result.client_stats.response_times_s, sla)
+    print(
+        f"measured run SLA check: "
+        f"p95={evaluation.observed_quantile_s * 1000:.1f} ms, "
+        f"{'compliant' if evaluation.compliant else 'VIOLATED'}"
+    )
+
+
+if __name__ == "__main__":
+    main()

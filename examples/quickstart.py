@@ -1,0 +1,36 @@
+"""Quickstart: run one virtualized RUBiS experiment and characterize it.
+
+This is the paper's Section 4.1 in miniature: 1000 emulated clients
+send browsing requests to the two-VM deployment for two simulated
+minutes, the monitoring substrate samples CPU/RAM/disk/network at the
+2-second period, and the characterization core produces the summary the
+paper reports (per-series statistics, fitted marginals, RAM jumps,
+inter-tier lag, demand ratios).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import characterize_trace_set, render_characterization_report
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import scenario
+
+
+def main() -> None:
+    spec = scenario("virtualized", "browsing", duration_s=120.0)
+    print(f"running {spec.name}: {spec.mix.clients} clients, "
+          f"{spec.mix.think_time_s:.0f}s think time, "
+          f"{spec.duration_s:.0f}s simulated ...")
+    result = run_scenario(spec)
+
+    print(
+        f"done: {result.requests_completed} requests, "
+        f"X={result.throughput_rps:.1f} req/s, "
+        f"mean response={result.mean_response_time_s * 1000:.1f} ms\n"
+    )
+
+    characterization = characterize_trace_set(result.traces)
+    print(render_characterization_report(characterization))
+
+
+if __name__ == "__main__":
+    main()

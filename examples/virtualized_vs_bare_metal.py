@@ -1,0 +1,51 @@
+"""The paper's core comparison: virtualized vs bare-metal RUBiS.
+
+Runs the four headline scenarios (virtualized/bare-metal x
+browsing/bidding), prints the four ratio tables (R1, R2, R3, R4)
+against the paper's published values, and evaluates the qualitative
+findings Q1-Q5.
+
+Run:  python examples/virtualized_vs_bare_metal.py
+"""
+
+from repro.analysis.report import render_ratio_table
+from repro.experiments.compare import compare_with_paper, qualitative_checks
+from repro.experiments.runner import run_scenario_cached
+from repro.experiments.scenarios import scenario
+
+DURATION_S = 240.0
+
+
+def main() -> None:
+    runs = {}
+    for environment in ("virtualized", "bare-metal"):
+        for composition in ("browsing", "bidding"):
+            spec = scenario(environment, composition, duration_s=DURATION_S)
+            print(f"running {spec.name} ...")
+            runs[(environment, composition)] = run_scenario_cached(spec)
+
+    print("\n=== Demand-ratio tables (Sections 4.1-4.2) ===\n")
+    reports = compare_with_paper(
+        runs[("virtualized", "browsing")], runs[("bare-metal", "browsing")]
+    )
+    for report in reports:
+        print(render_ratio_table(report))
+        print()
+
+    print("=== Qualitative findings (Q1-Q5) ===\n")
+    checks = qualitative_checks(
+        runs[("virtualized", "browsing")],
+        runs[("virtualized", "bidding")],
+        runs[("bare-metal", "browsing")],
+        runs[("bare-metal", "bidding")],
+    )
+    for finding, passed in checks.as_dict().items():
+        print(f"  [{'PASS' if passed else 'FAIL'}] {finding}")
+    print(
+        "\nall findings reproduce" if checks.all_pass()
+        else "\nsome findings did NOT reproduce — see EXPERIMENTS.md"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+Kept because the reference environment has no ``wheel`` package and no
+network access, so PEP 517 editable installs are unavailable;
+``pip install -e . --no-build-isolation`` then uses this file via the
+legacy ``setup.py develop`` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,144 @@
+"""repro — reproduction of "Characterizing Workload of Web Applications
+on Virtualized Servers" (Wang, Huang, Fu, Kavi; 2014).
+
+The library has three layers:
+
+1. **Simulated testbed** — a discrete-event simulation of the paper's
+   cloud (:mod:`repro.sim`, :mod:`repro.hardware`, :mod:`repro.virt`)
+   running the RUBiS three-tier benchmark (:mod:`repro.rubis`) in a
+   virtualized or bare-metal deployment.
+2. **Profiling pipeline** — the 518-metric sysstat/perf monitoring
+   substrate sampling at the paper's 2-second period
+   (:mod:`repro.monitoring`).
+3. **Characterization library** — the paper's analysis: summary
+   statistics, distribution fitting, inter-tier lag, RAM-jump
+   detection, demand-ratio tables, formal workload models
+   (:mod:`repro.analysis`), plus the capacity-planning layer the paper
+   motivates (:mod:`repro.planning`).
+
+Quick start::
+
+    from repro import run_scenario, scenario, characterize_trace_set
+
+    result = run_scenario(scenario("virtualized", "browsing"))
+    report = characterize_trace_set(result.traces)
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.errors import (
+    AnalysisError,
+    CapacityError,
+    ConfigurationError,
+    InsufficientDataError,
+    MonitoringError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    UnknownMetricError,
+)
+from repro.sim import Simulator, RandomStreams
+from repro.hardware import Cluster, PhysicalServer, ServerSpec
+from repro.virt import CreditScheduler, Domain, Hypervisor, OverheadModel
+from repro.rubis import (
+    BareMetalDeployment,
+    ClientPopulation,
+    RubisDatabase,
+    VirtualizedDeployment,
+    WorkloadMix,
+)
+from repro.monitoring import (
+    TraceRecorder,
+    TraceSet,
+    TimeSeries,
+    build_registry,
+)
+from repro.analysis import (
+    ARModel,
+    HistogramWorkloadModel,
+    RegimeModel,
+    best_fit,
+    characterize_trace_set,
+    detect_level_shifts,
+    estimate_lag,
+    render_characterization_report,
+    summarize,
+)
+from repro.planning import (
+    ResourceCapacity,
+    SlaTarget,
+    evaluate_sla,
+    plan_capacity,
+    project_workload,
+)
+from repro.experiments import (
+    ExperimentResult,
+    compare_with_paper,
+    paper_scenarios,
+    qualitative_checks,
+    run_scenario,
+    run_scenario_cached,
+    scenario,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "SchedulingError",
+    "CapacityError",
+    "MonitoringError",
+    "UnknownMetricError",
+    "AnalysisError",
+    "InsufficientDataError",
+    # simulation + testbed
+    "Simulator",
+    "RandomStreams",
+    "Cluster",
+    "PhysicalServer",
+    "ServerSpec",
+    "CreditScheduler",
+    "Domain",
+    "Hypervisor",
+    "OverheadModel",
+    # RUBiS
+    "RubisDatabase",
+    "WorkloadMix",
+    "ClientPopulation",
+    "VirtualizedDeployment",
+    "BareMetalDeployment",
+    # monitoring
+    "TraceRecorder",
+    "TraceSet",
+    "TimeSeries",
+    "build_registry",
+    # analysis
+    "summarize",
+    "best_fit",
+    "estimate_lag",
+    "detect_level_shifts",
+    "characterize_trace_set",
+    "render_characterization_report",
+    "ARModel",
+    "HistogramWorkloadModel",
+    "RegimeModel",
+    # planning
+    "ResourceCapacity",
+    "plan_capacity",
+    "SlaTarget",
+    "evaluate_sla",
+    "project_workload",
+    # experiments
+    "scenario",
+    "paper_scenarios",
+    "run_scenario",
+    "run_scenario_cached",
+    "ExperimentResult",
+    "compare_with_paper",
+    "qualitative_checks",
+    "__version__",
+]

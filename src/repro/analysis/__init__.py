@@ -1,0 +1,81 @@
+"""Workload characterization core (S7) — the paper's contribution.
+
+Given the monitored traces, this package produces everything Section 4
+reports, plus the "formal models" the conclusion promises as future
+work:
+
+* :mod:`~repro.analysis.stats` — summary statistics per series,
+* :mod:`~repro.analysis.distribution_fit` — candidate-family fitting
+  with AIC/K-S selection ("the workload dynamics show some patterns
+  that can be quantified by formal models"),
+* :mod:`~repro.analysis.correlation` — autocorrelation and the
+  web-tier -> db-tier lag estimation ("there exist some lags between
+  workload changes of the database server and the web server"),
+* :mod:`~repro.analysis.changepoint` — RAM step-jump detection,
+* :mod:`~repro.analysis.ratios` — the tier/dom0/cross-environment
+  demand ratio tables of Sections 4.1-4.2,
+* :mod:`~repro.analysis.models` — AR(p), histogram and regime workload
+  models (the promised transaction/resource-level modeling),
+* :mod:`~repro.analysis.characterize` — one-call characterization,
+* :mod:`~repro.analysis.report` — paper-style text reports.
+"""
+
+from repro.analysis.stats import SummaryStats, summarize
+from repro.analysis.distribution_fit import (
+    DistributionFit,
+    fit_candidates,
+    best_fit,
+)
+from repro.analysis.correlation import (
+    autocorrelation,
+    cross_correlation,
+    estimate_lag,
+)
+from repro.analysis.changepoint import LevelShift, detect_level_shifts
+from repro.analysis.ratios import (
+    ResourceVector,
+    RatioReport,
+    demand_vector,
+    tier_ratios,
+    vm_to_hypervisor_ratios,
+    cross_environment_ratios,
+    physical_cross_ratios,
+)
+from repro.analysis.models import (
+    ARModel,
+    HistogramWorkloadModel,
+    RegimeModel,
+)
+from repro.analysis.characterize import (
+    SeriesCharacterization,
+    WorkloadCharacterization,
+    characterize_trace_set,
+)
+from repro.analysis.report import render_characterization_report
+
+__all__ = [
+    "SummaryStats",
+    "summarize",
+    "DistributionFit",
+    "fit_candidates",
+    "best_fit",
+    "autocorrelation",
+    "cross_correlation",
+    "estimate_lag",
+    "LevelShift",
+    "detect_level_shifts",
+    "ResourceVector",
+    "RatioReport",
+    "demand_vector",
+    "tier_ratios",
+    "vm_to_hypervisor_ratios",
+    "cross_environment_ratios",
+    "physical_cross_ratios",
+    "ARModel",
+    "HistogramWorkloadModel",
+    "RegimeModel",
+    "SeriesCharacterization",
+    "WorkloadCharacterization",
+    "characterize_trace_set",
+    "render_characterization_report",
+]

@@ -1,0 +1,116 @@
+"""Autocorrelation and inter-tier lag estimation.
+
+Section 4.1: "there exist some lags between workload changes of the
+database server and the web and application servers as the client
+requests are received and processed first by the web server before
+being sent to the back-end database server."
+
+:func:`estimate_lag` quantifies that: the lag (in samples) at which the
+cross-correlation between the front-end series and the back-end series
+peaks.  A positive lag means the back end *follows* the front end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.errors import AnalysisError, InsufficientDataError
+from repro.monitoring.timeseries import TimeSeries
+
+ArrayLike = Union[TimeSeries, np.ndarray, list]
+
+
+def _as_array(series: ArrayLike) -> np.ndarray:
+    if isinstance(series, TimeSeries):
+        return series.values
+    return np.asarray(series, dtype=float)
+
+
+def autocorrelation(series: ArrayLike, max_lag: int) -> np.ndarray:
+    """Sample autocorrelation at lags 0..max_lag (biased estimator)."""
+    values = _as_array(series)
+    if values.size < max_lag + 2:
+        raise InsufficientDataError(
+            f"need > {max_lag + 1} samples for max_lag={max_lag}"
+        )
+    centered = values - values.mean()
+    denominator = float(np.dot(centered, centered))
+    if denominator == 0:
+        raise AnalysisError("autocorrelation undefined for a constant series")
+    acf = np.empty(max_lag + 1)
+    for lag in range(max_lag + 1):
+        if lag == 0:
+            acf[0] = 1.0
+        else:
+            acf[lag] = float(
+                np.dot(centered[:-lag], centered[lag:]) / denominator
+            )
+    return acf
+
+
+def cross_correlation(
+    front: ArrayLike, back: ArrayLike, max_lag: int
+) -> np.ndarray:
+    """Normalized cross-correlation of ``back`` against ``front``.
+
+    Returns an array indexed by lag in ``[-max_lag, +max_lag]`` (length
+    ``2*max_lag + 1``).  Entry at positive lag k correlates
+    ``back[t + k]`` with ``front[t]`` — i.e. the back end delayed k
+    samples behind the front end.
+    """
+    a = _as_array(front)
+    b = _as_array(back)
+    if a.size != b.size:
+        raise AnalysisError("cross_correlation needs equal-length series")
+    if a.size < max_lag + 2:
+        raise InsufficientDataError(
+            f"need > {max_lag + 1} samples for max_lag={max_lag}"
+        )
+    a_centered = a - a.mean()
+    b_centered = b - b.mean()
+    scale = float(np.linalg.norm(a_centered) * np.linalg.norm(b_centered))
+    if scale == 0:
+        raise AnalysisError("cross-correlation undefined for constant series")
+    out = np.empty(2 * max_lag + 1)
+    for i, lag in enumerate(range(-max_lag, max_lag + 1)):
+        if lag >= 0:
+            n = a.size - lag
+            value = np.dot(a_centered[:n], b_centered[lag : lag + n])
+        else:
+            n = a.size + lag
+            value = np.dot(a_centered[-lag : -lag + n], b_centered[:n])
+        out[i] = value / scale
+    return out
+
+
+@dataclass(frozen=True)
+class LagEstimate:
+    """Result of :func:`estimate_lag`."""
+
+    lag_samples: int
+    lag_seconds: float
+    correlation: float
+
+    @property
+    def back_follows_front(self) -> bool:
+        return self.lag_samples >= 0
+
+
+def estimate_lag(
+    front: ArrayLike,
+    back: ArrayLike,
+    max_lag: int,
+    sample_period_s: float = 2.0,
+) -> LagEstimate:
+    """Lag at which ``back`` correlates best with ``front``."""
+    xcorr = cross_correlation(front, back, max_lag)
+    index = int(np.argmax(xcorr))
+    lag = index - max_lag
+    return LagEstimate(
+        lag_samples=lag,
+        lag_seconds=lag * sample_period_s,
+        correlation=float(xcorr[index]),
+    )

@@ -1,0 +1,273 @@
+"""Formal workload models (the paper's promised future work).
+
+Section 5: "We plan to design and apply formal methods to model the
+workload dynamics at both resource level and transaction level."  Three
+standard models from the workload-modeling literature are implemented
+and benchmarked against each other (experiment M1):
+
+* :class:`ARModel` — autoregressive AR(p), fitted by Yule-Walker;
+  captures the short-range temporal correlation of resource demand.
+* :class:`HistogramWorkloadModel` — the histogram workload model of
+  Hernandez-Orallo & Vila-Carbo (the paper's reference [7]); captures
+  the marginal distribution, ignores temporal order.
+* :class:`RegimeModel` — a two-regime (low/high) Markov-modulated model;
+  captures bursts/level shifts that AR smooths over.
+
+Each model exposes ``fit``, ``simulate`` and ``one_step_rmse`` so the
+bench can score them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.errors import AnalysisError, ConfigurationError, InsufficientDataError
+from repro.monitoring.timeseries import TimeSeries
+
+ArrayLike = Union[TimeSeries, np.ndarray, list]
+
+
+def _as_array(series: ArrayLike) -> np.ndarray:
+    values = (
+        series.values if isinstance(series, TimeSeries)
+        else np.asarray(series, dtype=float)
+    )
+    if not np.isfinite(values).all():
+        raise AnalysisError("series contains non-finite values")
+    return values
+
+
+@dataclass
+class ARModel:
+    """Autoregressive model of order p, fitted by Yule-Walker."""
+
+    order: int = 2
+    coefficients: np.ndarray = field(default=None, repr=False)
+    mean: float = 0.0
+    noise_std: float = 0.0
+    _fitted: bool = False
+
+    def fit(self, series: ArrayLike) -> "ARModel":
+        values = _as_array(series)
+        p = self.order
+        if p < 1:
+            raise ConfigurationError("AR order must be >= 1")
+        if values.size < 4 * p:
+            raise InsufficientDataError(
+                f"AR({p}) needs >= {4 * p} samples, got {values.size}"
+            )
+        self.mean = float(values.mean())
+        centered = values - self.mean
+        denominator = float(np.dot(centered, centered)) / values.size
+        if denominator == 0:
+            raise AnalysisError("cannot fit AR to a constant series")
+        # Autocovariance at lags 0..p.
+        gamma = np.array(
+            [
+                np.dot(centered[: values.size - k], centered[k:]) / values.size
+                for k in range(p + 1)
+            ]
+        )
+        # Yule-Walker: R phi = r with Toeplitz R of gamma[0..p-1].
+        R = np.empty((p, p))
+        for i in range(p):
+            for j in range(p):
+                R[i, j] = gamma[abs(i - j)]
+        r = gamma[1 : p + 1]
+        try:
+            phi = np.linalg.solve(R, r)
+        except np.linalg.LinAlgError as exc:
+            raise AnalysisError(f"Yule-Walker system singular: {exc}") from exc
+        self.coefficients = phi
+        noise_var = float(gamma[0] - np.dot(phi, r))
+        self.noise_std = float(np.sqrt(max(noise_var, 0.0)))
+        self._fitted = True
+        return self
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise AnalysisError("model is not fitted")
+
+    def predict_one_step(self, history: ArrayLike) -> float:
+        """Predict the next value from the last ``order`` observations."""
+        self._require_fitted()
+        values = _as_array(history)
+        if values.size < self.order:
+            raise InsufficientDataError(
+                f"need >= {self.order} history samples"
+            )
+        window = values[-self.order :][::-1] - self.mean
+        return self.mean + float(np.dot(self.coefficients, window))
+
+    def one_step_rmse(self, series: ArrayLike) -> float:
+        """In-sample one-step-ahead RMSE."""
+        self._require_fitted()
+        values = _as_array(series)
+        p = self.order
+        if values.size <= p:
+            raise InsufficientDataError("series shorter than the AR order")
+        centered = values - self.mean
+        errors = []
+        for t in range(p, values.size):
+            prediction = np.dot(self.coefficients, centered[t - p : t][::-1])
+            errors.append(centered[t] - prediction)
+        return float(np.sqrt(np.mean(np.square(errors))))
+
+    def simulate(
+        self, n: int, rng: np.random.Generator, burn_in: int = 100
+    ) -> np.ndarray:
+        """Generate a synthetic series of length n."""
+        self._require_fitted()
+        p = self.order
+        total = n + burn_in
+        out = np.zeros(total + p)
+        noise = rng.normal(0.0, self.noise_std, size=total + p)
+        for t in range(p, total + p):
+            out[t] = np.dot(self.coefficients, out[t - p : t][::-1]) + noise[t]
+        return out[-n:] + self.mean
+
+    def is_stationary(self) -> bool:
+        """All roots of the AR characteristic polynomial outside unit circle."""
+        self._require_fitted()
+        poly = np.concatenate(([1.0], -self.coefficients))
+        roots = np.roots(poly[::-1])
+        return bool(np.all(np.abs(roots) > 1.0))
+
+
+@dataclass
+class HistogramWorkloadModel:
+    """Histogram model of the demand marginal (paper reference [7])."""
+
+    bins: int = 20
+    edges: np.ndarray = field(default=None, repr=False)
+    probabilities: np.ndarray = field(default=None, repr=False)
+    _fitted: bool = False
+
+    def fit(self, series: ArrayLike) -> "HistogramWorkloadModel":
+        values = _as_array(series)
+        if values.size < self.bins:
+            raise InsufficientDataError(
+                f"histogram model needs >= {self.bins} samples"
+            )
+        counts, edges = np.histogram(values, bins=self.bins)
+        total = counts.sum()
+        if total == 0:
+            raise AnalysisError("empty histogram")
+        self.edges = edges
+        self.probabilities = counts / total
+        self._fitted = True
+        return self
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw n values: pick a bin, then uniform within it."""
+        if not self._fitted:
+            raise AnalysisError("model is not fitted")
+        bins = rng.choice(self.probabilities.size, size=n, p=self.probabilities)
+        left = self.edges[bins]
+        right = self.edges[bins + 1]
+        return rng.uniform(left, right)
+
+    def mean(self) -> float:
+        if not self._fitted:
+            raise AnalysisError("model is not fitted")
+        centers = 0.5 * (self.edges[:-1] + self.edges[1:])
+        return float(np.dot(centers, self.probabilities))
+
+    def one_step_rmse(self, series: ArrayLike) -> float:
+        """Order-free baseline: RMSE of predicting the marginal mean."""
+        values = _as_array(series)
+        return float(np.sqrt(np.mean(np.square(values - self.mean()))))
+
+
+@dataclass
+class RegimeModel:
+    """Two-regime Markov-modulated Gaussian model.
+
+    Regimes are separated with a one-dimensional two-means split
+    (Lloyd's algorithm), then within-regime mean/std and the empirical
+    regime-transition matrix are estimated.  This is the simplest model
+    family able to represent the figures' step jumps.
+    """
+
+    #: Lloyd iterations for the 1-D two-means split.
+    kmeans_iterations: int = 50
+    means: Tuple[float, float] = (0.0, 0.0)
+    stds: Tuple[float, float] = (0.0, 0.0)
+    transition: np.ndarray = field(default=None, repr=False)
+    _fitted: bool = False
+
+    @staticmethod
+    def _two_means_threshold(values: np.ndarray, iterations: int) -> float:
+        low, high = float(values.min()), float(values.max())
+        for _ in range(iterations):
+            threshold = 0.5 * (low + high)
+            below = values[values <= threshold]
+            above = values[values > threshold]
+            if below.size == 0 or above.size == 0:
+                break
+            new_low, new_high = float(below.mean()), float(above.mean())
+            if new_low == low and new_high == high:
+                break
+            low, high = new_low, new_high
+        return 0.5 * (low + high)
+
+    def fit(self, series: ArrayLike) -> "RegimeModel":
+        values = _as_array(series)
+        if values.size < 20:
+            raise InsufficientDataError("regime model needs >= 20 samples")
+        if self.kmeans_iterations < 1:
+            raise ConfigurationError("kmeans_iterations must be >= 1")
+        threshold = self._two_means_threshold(
+            values, self.kmeans_iterations
+        )
+        states = (values > threshold).astype(int)
+        if states.min() == states.max():
+            # Degenerate: the series never leaves one regime.
+            states = np.zeros_like(states)
+            states[np.argmax(values)] = 1
+        regime_means = []
+        regime_stds = []
+        for state in (0, 1):
+            members = values[states == state]
+            if members.size == 0:
+                members = values
+            regime_means.append(float(members.mean()))
+            regime_stds.append(float(members.std() or 1e-9))
+        self.means = tuple(regime_means)
+        self.stds = tuple(regime_stds)
+        transition = np.zeros((2, 2))
+        for a, b in zip(states[:-1], states[1:]):
+            transition[a, b] += 1
+        row_sums = transition.sum(axis=1, keepdims=True)
+        row_sums[row_sums == 0] = 1.0
+        self.transition = transition / row_sums
+        self._fitted = True
+        return self
+
+    def simulate(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if not self._fitted:
+            raise AnalysisError("model is not fitted")
+        out = np.empty(n)
+        state = 0
+        for t in range(n):
+            out[t] = rng.normal(self.means[state], self.stds[state])
+            state = int(rng.uniform() < self.transition[state, 1])
+        return out
+
+    def one_step_rmse(self, series: ArrayLike) -> float:
+        """RMSE of predicting the current regime's mean for the next step."""
+        if not self._fitted:
+            raise AnalysisError("model is not fitted")
+        values = _as_array(series)
+        threshold_mid = 0.5 * (self.means[0] + self.means[1])
+        errors = []
+        for t in range(1, values.size):
+            state = int(values[t - 1] > threshold_mid)
+            # Expected next regime under the transition matrix.
+            p_high = self.transition[state, 1]
+            prediction = (1 - p_high) * self.means[0] + p_high * self.means[1]
+            errors.append(values[t] - prediction)
+        return float(np.sqrt(np.mean(np.square(errors))))

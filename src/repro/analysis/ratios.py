@@ -1,0 +1,166 @@
+"""Demand-ratio analysis: the quantitative core of Sections 4.1-4.2.
+
+The paper compresses its findings into ratio vectors over the four
+resource classes (CPU cycles, RAM, disk R+W, network RX+TX):
+
+* **R1** front-end vs back-end demand in VMs — "(the front-end servers)
+  demand 6.11, 3.29, 5.71, and 55.56 times more CPU cycles, RAM space,
+  disk read/write, and network data than the back-end server";
+* **R2** VM aggregate vs hypervisor — "16.84, 0.58, 0.47, and 0.98
+  times more/less";
+* **R3** VM aggregate vs bare-metal aggregate — "3.47, 0.97, 0.6 and
+  0.98 times more/less";
+* **R4** physical demand, bare metal vs virtualized (dom0) — "88% more
+  CPU cycles, 21% more RAM, and 2% more network traffic, while disk
+  read/write is 25% less".
+
+This module computes all four from trace sets.  Demands are averaged
+after dropping a warm-up prefix, since the paper's 20-minute runs
+dominate their ramp while short CI runs would not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import AnalysisError
+from repro.monitoring.timeseries import TraceSet
+
+#: The four resource classes, in the paper's reporting order.
+RESOURCES = ("cpu_cycles", "mem_used_mb", "disk_kb", "net_kb")
+RESOURCE_LABELS = {
+    "cpu_cycles": "CPU cycles",
+    "mem_used_mb": "RAM",
+    "disk_kb": "Disk R+W",
+    "net_kb": "Network RX+TX",
+}
+
+DEFAULT_WARMUP_S = 30.0
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """Mean demand (or a ratio) per resource class."""
+
+    cpu_cycles: float
+    mem_used_mb: float
+    disk_kb: float
+    net_kb: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "cpu_cycles": self.cpu_cycles,
+            "mem_used_mb": self.mem_used_mb,
+            "disk_kb": self.disk_kb,
+            "net_kb": self.net_kb,
+        }
+
+    def ratio_to(self, other: "ResourceVector") -> "ResourceVector":
+        """Element-wise self/other."""
+        result = {}
+        for resource, value in self.as_dict().items():
+            denominator = other.as_dict()[resource]
+            if denominator == 0:
+                raise AnalysisError(
+                    f"ratio undefined: zero {resource} denominator"
+                )
+            result[resource] = value / denominator
+        return ResourceVector(**result)
+
+    def plus(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            **{
+                resource: value + other.as_dict()[resource]
+                for resource, value in self.as_dict().items()
+            }
+        )
+
+
+@dataclass(frozen=True)
+class RatioReport:
+    """A named ratio vector with the paper's reference values."""
+
+    name: str
+    measured: ResourceVector
+    paper: ResourceVector
+
+    def rows(self):
+        """(resource label, measured, paper, measured/paper) rows."""
+        out = []
+        for resource in RESOURCES:
+            measured = self.measured.as_dict()[resource]
+            reference = self.paper.as_dict()[resource]
+            relative = measured / reference if reference else float("nan")
+            out.append(
+                (RESOURCE_LABELS[resource], measured, reference, relative)
+            )
+        return out
+
+
+def demand_vector(
+    traces: TraceSet, entity: str, warmup_s: float = DEFAULT_WARMUP_S
+) -> ResourceVector:
+    """Mean per-sample demand of one entity over the four resources."""
+    values = {}
+    for resource in RESOURCES:
+        series = traces.get(entity, resource).without_warmup(warmup_s)
+        values[resource] = series.mean()
+    return ResourceVector(**values)
+
+
+def aggregate_vector(
+    traces: TraceSet, entities, warmup_s: float = DEFAULT_WARMUP_S
+) -> ResourceVector:
+    """Sum of :func:`demand_vector` over several entities."""
+    vectors = [demand_vector(traces, entity, warmup_s) for entity in entities]
+    total = vectors[0]
+    for vector in vectors[1:]:
+        total = total.plus(vector)
+    return total
+
+
+def tier_ratios(
+    traces: TraceSet, warmup_s: float = DEFAULT_WARMUP_S
+) -> ResourceVector:
+    """R1: front-end (web) over back-end (db) demand."""
+    web = demand_vector(traces, "web", warmup_s)
+    db = demand_vector(traces, "db", warmup_s)
+    return web.ratio_to(db)
+
+
+def vm_to_hypervisor_ratios(
+    traces: TraceSet, warmup_s: float = DEFAULT_WARMUP_S
+) -> ResourceVector:
+    """R2: aggregated VM demand over dom0's physical demand."""
+    if not traces.has("dom0", "cpu_cycles"):
+        raise AnalysisError(
+            "vm_to_hypervisor_ratios needs a dom0 entity (virtualized run)"
+        )
+    vms = aggregate_vector(traces, ("web", "db"), warmup_s)
+    dom0 = demand_vector(traces, "dom0", warmup_s)
+    return vms.ratio_to(dom0)
+
+
+def cross_environment_ratios(
+    virtualized: TraceSet,
+    bare_metal: TraceSet,
+    warmup_s: float = DEFAULT_WARMUP_S,
+) -> ResourceVector:
+    """R3: virtualized VM-level aggregate over bare-metal aggregate."""
+    vm_aggregate = aggregate_vector(virtualized, ("web", "db"), warmup_s)
+    pm_aggregate = aggregate_vector(bare_metal, ("web", "db"), warmup_s)
+    return vm_aggregate.ratio_to(pm_aggregate)
+
+
+def physical_cross_ratios(
+    virtualized: TraceSet,
+    bare_metal: TraceSet,
+    warmup_s: float = DEFAULT_WARMUP_S,
+) -> ResourceVector:
+    """R4: bare-metal physical demand over the virtualized environment's
+    physical demand (dom0) — the conclusion's "+88 % CPU, +21 % RAM,
+    +2 % network, -25 % disk"."""
+    pm_aggregate = aggregate_vector(bare_metal, ("web", "db"), warmup_s)
+    dom0 = demand_vector(virtualized, "dom0", warmup_s)
+    return pm_aggregate.ratio_to(dom0)

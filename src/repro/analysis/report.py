@@ -1,0 +1,84 @@
+"""Paper-style text rendering of characterization results."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.characterize import WorkloadCharacterization
+from repro.analysis.ratios import RESOURCE_LABELS, RESOURCES, RatioReport
+
+
+def _format_ratio_line(label: str, vector) -> str:
+    values = vector.as_dict()
+    parts = [f"{RESOURCE_LABELS[r]}={values[r]:.2f}" for r in RESOURCES]
+    return f"{label}: " + ", ".join(parts)
+
+
+def render_characterization_report(
+    characterization: WorkloadCharacterization,
+) -> str:
+    """Human-readable multi-section report for one run."""
+    lines: List[str] = []
+    lines.append(
+        f"Workload characterization — environment="
+        f"{characterization.environment}, workload={characterization.workload}"
+    )
+    lines.append("=" * len(lines[0]))
+    lines.append("")
+    lines.append("Per-series summary (post warm-up):")
+    for (entity, resource), item in sorted(characterization.series.items()):
+        fit_note = (
+            f" best-fit={item.fit.family}" if item.fit is not None else ""
+        )
+        lines.append(
+            f"  {entity:>5s} {resource:<12s} {item.stats.describe()}{fit_note}"
+        )
+    lines.append("")
+    lines.append("RAM step jumps (>= detector threshold):")
+    for entity, shifts in sorted(characterization.ram_jumps.items()):
+        upward = [s for s in shifts if s.upward]
+        if upward:
+            times = ", ".join(f"t={s.time_s:.0f}s (+{s.magnitude:.0f}MB)"
+                              for s in upward)
+            lines.append(f"  {entity}: {times}")
+        else:
+            lines.append(f"  {entity}: none")
+    lines.append("")
+    if characterization.web_db_lag is not None:
+        lag = characterization.web_db_lag
+        direction = (
+            "db follows web" if lag.back_follows_front else "web follows db"
+        )
+        lines.append(
+            f"Inter-tier lag: {lag.lag_samples} samples "
+            f"({lag.lag_seconds:.1f}s, r={lag.correlation:.3f}) — {direction}"
+        )
+    if characterization.tier_ratio is not None:
+        lines.append(
+            _format_ratio_line(
+                "Front-end/back-end demand ratio (R1)",
+                characterization.tier_ratio,
+            )
+        )
+    if characterization.vm_dom0_ratio is not None:
+        lines.append(
+            _format_ratio_line(
+                "VM aggregate / dom0 ratio (R2)",
+                characterization.vm_dom0_ratio,
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_ratio_table(report: RatioReport) -> str:
+    """Fixed-width table comparing measured ratios against the paper."""
+    header = (
+        f"{report.name}\n"
+        f"{'resource':<16s} {'measured':>10s} {'paper':>10s} {'meas/paper':>11s}"
+    )
+    rows = [header, "-" * len(header.splitlines()[-1])]
+    for label, measured, paper, relative in report.rows():
+        rows.append(
+            f"{label:<16s} {measured:>10.3f} {paper:>10.3f} {relative:>11.2f}"
+        )
+    return "\n".join(rows)

@@ -1,0 +1,33 @@
+"""Application substrate (S4): requests, queueing stations, contexts.
+
+The RUBiS tiers are built on three pieces kept application-agnostic:
+
+* :class:`~repro.apps.requests.Request` / resource-demand records,
+* :class:`~repro.apps.queueing.QueueingStation` — a multi-worker FCFS
+  service station with backlog observability,
+* execution contexts (:mod:`repro.apps.tier`) that route CPU, disk,
+  network and memory operations either through a hypervisor domain
+  (virtualized environment) or directly to a physical server (bare
+  metal).  The tier code is identical in both environments, which is
+  exactly the property the paper's comparison relies on.
+"""
+
+from repro.apps.requests import Request, ResourceDemand
+from repro.apps.queueing import QueueingStation, StationStats
+from repro.apps.tier import (
+    BareMetalContext,
+    ExecutionContext,
+    OsActivityModel,
+    VirtualizedContext,
+)
+
+__all__ = [
+    "Request",
+    "ResourceDemand",
+    "QueueingStation",
+    "StationStats",
+    "ExecutionContext",
+    "BareMetalContext",
+    "VirtualizedContext",
+    "OsActivityModel",
+]

@@ -1,0 +1,145 @@
+"""Multi-worker FCFS queueing station.
+
+Models an Apache worker pool or a MySQL thread pool: ``workers``
+concurrent servers, FIFO queue in front.  The station does not know what
+"service" means — the submitter passes a callable that, invoked at
+service start, performs the accounting and returns the service duration.
+That lets service speed reflect the scheduler allocation *at start time*
+(the approximation documented in :mod:`repro.virt.scheduler`).
+
+The queue length is observable (``backlog``); the RUBiS memory models
+watch it to trigger the paper's backlog-induced RAM jumps.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+
+ServiceFn = Callable[[], float]
+DoneFn = Callable[[Any], None]
+
+
+@dataclass
+class StationStats:
+    """Aggregate behaviour counters for one station."""
+
+    arrivals: int = 0
+    completions: int = 0
+    total_wait_s: float = 0.0
+    total_service_s: float = 0.0
+    peak_backlog: int = 0
+    backlog_sum: float = 0.0
+    _observations: int = field(default=0, repr=False)
+
+    def observe_backlog(self, backlog: int) -> None:
+        self.peak_backlog = max(self.peak_backlog, backlog)
+        self.backlog_sum += backlog
+        self._observations += 1
+
+    @property
+    def mean_wait_s(self) -> float:
+        if self.completions == 0:
+            return 0.0
+        return self.total_wait_s / self.completions
+
+    @property
+    def mean_service_s(self) -> float:
+        if self.completions == 0:
+            return 0.0
+        return self.total_service_s / self.completions
+
+    @property
+    def mean_backlog(self) -> float:
+        if self._observations == 0:
+            return 0.0
+        return self.backlog_sum / self._observations
+
+
+class QueueingStation:
+    """FCFS station with ``workers`` parallel servers."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        workers: int,
+        on_start: Optional[Callable[[], None]] = None,
+        on_finish: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError("a station needs at least one worker")
+        self.sim = sim
+        self.name = name
+        self.workers = int(workers)
+        self.on_start = on_start
+        self.on_finish = on_finish
+        self._queue: Deque[Tuple[Any, ServiceFn, DoneFn, float]] = deque()
+        self._busy = 0
+        self.stats = StationStats()
+        self._window_peak = 0
+
+    @property
+    def backlog(self) -> int:
+        """Jobs waiting in queue (not counting those in service)."""
+        return len(self._queue)
+
+    @property
+    def in_service(self) -> int:
+        return self._busy
+
+    @property
+    def occupancy(self) -> int:
+        """Waiting plus in-service jobs."""
+        return self.backlog + self._busy
+
+    def submit(self, job: Any, service_fn: ServiceFn, done_fn: DoneFn) -> None:
+        """Enqueue ``job``; ``service_fn()`` runs at service start and
+        returns the service duration; ``done_fn(job)`` runs at completion."""
+        self.stats.arrivals += 1
+        self._queue.append((job, service_fn, done_fn, self.sim.now))
+        self.stats.observe_backlog(self.backlog)
+        self._window_peak = max(self._window_peak, self.occupancy)
+        self._dispatch()
+
+    def take_window_peak(self) -> int:
+        """Peak occupancy since the last call (then reset).
+
+        Burst backlogs drain in milliseconds — far faster than the
+        1-second memory-model tick — so level-triggered sampling would
+        miss them; this edge-triggered window peak is what the memory
+        models watch.
+        """
+        peak = self._window_peak
+        self._window_peak = self.occupancy
+        return peak
+
+    def _dispatch(self) -> None:
+        while self._busy < self.workers and self._queue:
+            job, service_fn, done_fn, enqueued_at = self._queue.popleft()
+            self._busy += 1
+            if self.on_start is not None:
+                self.on_start()
+            wait = self.sim.now - enqueued_at
+            self.stats.total_wait_s += wait
+            duration = service_fn()
+            if duration < 0:
+                raise ConfigurationError(
+                    f"negative service duration on station {self.name!r}"
+                )
+            self.stats.total_service_s += duration
+            self.sim.schedule(duration, self._complete, job, done_fn)
+
+    def _complete(self, job: Any, done_fn: DoneFn) -> None:
+        self._busy -= 1
+        self.stats.completions += 1
+        if self.on_finish is not None:
+            self.on_finish()
+        # Dispatch queued work before running the completion continuation
+        # so a long continuation chain cannot starve the queue.
+        self._dispatch()
+        done_fn(job)

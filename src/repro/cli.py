@@ -1,0 +1,149 @@
+"""Command-line interface.
+
+Three subcommands cover the library's headline workflows::
+
+    python -m repro run --environment virtualized --composition browsing \
+        --duration 120 --export-csv traces.csv
+    python -m repro compare --duration 240
+    python -m repro table1
+
+``run`` executes one scenario and prints the characterization report;
+``compare`` reproduces the paper's Section 4.1/4.2 comparison (the four
+ratio tables plus the Q1-Q5 findings); ``table1`` prints the metric
+catalogue sample.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.characterize import characterize_trace_set
+from repro.analysis.report import (
+    render_characterization_report,
+    render_ratio_table,
+)
+from repro.config import ExperimentConfig
+from repro.experiments.compare import compare_with_paper, qualitative_checks
+from repro.experiments.runner import run_scenario, run_scenario_cached
+from repro.experiments.scenarios import scenario
+from repro.experiments.tables import render_table1
+from repro.monitoring.export import write_trace_csv, write_trace_json
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Characterizing Workload of Web Applications "
+            "on Virtualized Servers' (Wang et al., 2014)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one scenario")
+    run_parser.add_argument(
+        "--environment", default="virtualized",
+        choices=("virtualized", "bare-metal"),
+    )
+    run_parser.add_argument("--composition", default="browsing")
+    run_parser.add_argument("--duration", type=float, default=None,
+                            help="simulated seconds (default 240)")
+    run_parser.add_argument("--seed", type=int, default=42)
+    run_parser.add_argument("--clients", type=int, default=None)
+    run_parser.add_argument("--export-csv", default=None, metavar="PATH")
+    run_parser.add_argument("--export-json", default=None, metavar="PATH")
+    run_parser.add_argument(
+        "--no-report", action="store_true",
+        help="skip the characterization report",
+    )
+
+    compare_parser = sub.add_parser(
+        "compare", help="reproduce the paper's cross-environment comparison"
+    )
+    compare_parser.add_argument("--duration", type=float, default=240.0)
+    compare_parser.add_argument("--seed", type=int, default=42)
+
+    sub.add_parser("table1", help="print the Table 1 metric sample")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        environment=args.environment,
+        composition=args.composition,
+        duration_s=args.duration,
+        seed=args.seed,
+        clients=args.clients,
+    )
+    spec = config.to_scenario()
+    print(
+        f"running {spec.name}: {spec.mix.clients} clients, "
+        f"{spec.duration_s:.0f}s simulated",
+        file=sys.stderr,
+    )
+    result = run_scenario(spec)
+    print(
+        f"completed {result.requests_completed} requests "
+        f"(X={result.throughput_rps:.1f} req/s, mean response "
+        f"{result.mean_response_time_s * 1000:.1f} ms)"
+    )
+    if not args.no_report:
+        # Clamp the warm-up so very short runs keep enough samples.
+        warmup_s = min(30.0, spec.duration_s / 4.0)
+        print()
+        print(render_characterization_report(
+            characterize_trace_set(result.traces, warmup_s=warmup_s)
+        ))
+    if args.export_csv:
+        write_trace_csv(result.traces, args.export_csv)
+        print(f"\ntraces written to {args.export_csv}", file=sys.stderr)
+    if args.export_json:
+        write_trace_json(result.traces, args.export_json)
+        print(f"traces written to {args.export_json}", file=sys.stderr)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    runs = {}
+    for environment in ("virtualized", "bare-metal"):
+        for composition in ("browsing", "bidding"):
+            spec = scenario(
+                environment,
+                composition,
+                duration_s=args.duration,
+                seed=args.seed,
+            )
+            print(f"running {spec.name} ...", file=sys.stderr)
+            runs[(environment, composition)] = run_scenario_cached(spec)
+    for report in compare_with_paper(
+        runs[("virtualized", "browsing")], runs[("bare-metal", "browsing")]
+    ):
+        print(render_ratio_table(report))
+        print()
+    checks = qualitative_checks(
+        runs[("virtualized", "browsing")],
+        runs[("virtualized", "bidding")],
+        runs[("bare-metal", "browsing")],
+        runs[("bare-metal", "bidding")],
+    )
+    for finding, passed in checks.as_dict().items():
+        print(f"[{'PASS' if passed else 'FAIL'}] {finding}")
+    return 0 if checks.all_pass() else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "table1":
+        print(render_table1())
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

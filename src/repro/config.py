@@ -1,0 +1,104 @@
+"""Declarative experiment configuration.
+
+:class:`ExperimentConfig` is the serializable description of one run —
+what the CLI and batch scripts consume, and what gets stored next to
+exported traces so a result is always reproducible from its sidecar.
+Round-trips through plain dicts (and therefore JSON).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.experiments.scenarios import (
+    ENVIRONMENTS,
+    Scenario,
+    default_duration_s,
+    scenario,
+)
+from repro.rubis.workload import PAPER_COMPOSITIONS
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One experiment run, fully described by plain data."""
+
+    environment: str = "virtualized"
+    composition: str = "browsing"
+    duration_s: Optional[float] = None
+    seed: int = 42
+    clients: Optional[int] = None
+    collect_full_registry: bool = False
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.environment not in ENVIRONMENTS:
+            raise ConfigurationError(
+                f"unknown environment {self.environment!r}; "
+                f"choose from {ENVIRONMENTS}"
+            )
+        if self.composition not in PAPER_COMPOSITIONS:
+            raise ConfigurationError(
+                f"unknown composition {self.composition!r}; known: "
+                f"{sorted(PAPER_COMPOSITIONS)}"
+            )
+        if self.duration_s is not None and self.duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+        if self.clients is not None and self.clients < 1:
+            raise ConfigurationError("clients must be >= 1")
+
+    # -- scenario construction ------------------------------------------
+
+    def to_scenario(self) -> Scenario:
+        """The runnable scenario this configuration describes."""
+        return scenario(
+            self.environment,
+            self.composition,
+            duration_s=self.duration_s,
+            seed=self.seed,
+            clients=self.clients,
+        )
+
+    @property
+    def effective_duration_s(self) -> float:
+        if self.duration_s is not None:
+            return self.duration_s
+        return default_duration_s()
+
+    # -- (de)serialization -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentConfig":
+        unknown = set(data) - {
+            "environment",
+            "composition",
+            "duration_s",
+            "seed",
+            "clients",
+            "collect_full_registry",
+            "metadata",
+        }
+        if unknown:
+            raise ConfigurationError(
+                f"unknown configuration keys: {sorted(unknown)}"
+            )
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentConfig":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ConfigurationError("configuration JSON must be an object")
+        return cls.from_dict(data)

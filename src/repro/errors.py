@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Sub-classes partition the
+failure domains: configuration, simulation, monitoring, and analysis.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was driven into an invalid state."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or the queue was corrupted."""
+
+
+class CapacityError(SimulationError):
+    """A hardware resource was asked for more than its capacity."""
+
+
+class MonitoringError(ReproError):
+    """A collector or metric registry operation failed."""
+
+
+class UnknownMetricError(MonitoringError):
+    """A metric name was looked up that is not in the registry."""
+
+
+class AnalysisError(ReproError):
+    """A characterization routine received unusable input."""
+
+
+class InsufficientDataError(AnalysisError):
+    """A statistic was requested from a series that is too short."""

@@ -1,0 +1,74 @@
+"""Experiment harness (S9): scenarios, calibration, runners, figures.
+
+Maps every table/figure of the paper to a regeneration function:
+
+* :mod:`~repro.experiments.paper_values` — the published numbers,
+* :mod:`~repro.experiments.calibration` — derives every simulator
+  constant from those numbers (documented, invertible math),
+* :mod:`~repro.experiments.scenarios` — the five request compositions
+  on both environments,
+* :mod:`~repro.experiments.runner` — runs a scenario end to end,
+* :mod:`~repro.experiments.figures` / :mod:`~repro.experiments.tables`
+  — regenerate Figures 1-8 and Table 1,
+* :mod:`~repro.experiments.compare` — measured-vs-paper reports.
+"""
+
+from repro.experiments.paper_values import (
+    PAPER_R1,
+    PAPER_R2,
+    PAPER_R3,
+    PAPER_R4,
+    SeriesTargets,
+    VIRTUALIZED_TARGETS,
+    BARE_METAL_TARGETS,
+    DOM0_TARGETS,
+)
+from repro.experiments.calibration import (
+    CalibratedEnvironment,
+    calibrate_bare_metal,
+    calibrate_virtualized,
+)
+from repro.experiments.scenarios import (
+    Scenario,
+    default_duration_s,
+    paper_scenarios,
+    scenario,
+)
+from repro.experiments.runner import ExperimentResult, run_scenario, run_scenario_cached
+from repro.experiments.figures import FigurePanel, FigureData, figure, render_figure
+from repro.experiments.tables import render_table1, table1_rows
+from repro.experiments.compare import (
+    QualitativeChecks,
+    compare_with_paper,
+    qualitative_checks,
+)
+
+__all__ = [
+    "PAPER_R1",
+    "PAPER_R2",
+    "PAPER_R3",
+    "PAPER_R4",
+    "SeriesTargets",
+    "VIRTUALIZED_TARGETS",
+    "BARE_METAL_TARGETS",
+    "DOM0_TARGETS",
+    "CalibratedEnvironment",
+    "calibrate_virtualized",
+    "calibrate_bare_metal",
+    "Scenario",
+    "scenario",
+    "paper_scenarios",
+    "default_duration_s",
+    "ExperimentResult",
+    "run_scenario",
+    "run_scenario_cached",
+    "FigurePanel",
+    "FigureData",
+    "figure",
+    "render_figure",
+    "render_table1",
+    "table1_rows",
+    "QualitativeChecks",
+    "qualitative_checks",
+    "compare_with_paper",
+]

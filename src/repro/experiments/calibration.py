@@ -1,0 +1,464 @@
+"""Calibration: derive every simulator constant from the paper's numbers.
+
+The philosophy: *no hand-tuned magic numbers inside the models*.  Every
+absolute scale is computed here by inverting the demand expectation
+under the browsing mix's stationary distribution (the paper's headline
+workload), using the same formulas the samplers use
+(:meth:`repro.rubis.demand.DemandSampler.expected_demand`), so the
+calibration is exact in expectation by construction.
+
+Derivation chain (all quantities per 2-second sample unless noted):
+
+1. Closed-loop throughput: X = N/Z requests/s (N=1000 clients, Z=7 s
+   think time; response time << Z so the correction is negligible).
+2. Per-request targets: target_per_sample / (X * 2 s).
+3. Linear inversion per scaling field, e.g.
+   ``web_cycles_per_unit = web_cpu_per_request / E_pi[web_work]``.
+4. Dom0 constants: every dom0 CPU contributor except the network-proxy
+   cost is fixed from systems lore (base housekeeping, scheduler
+   epochs, hypercalls, disk proxy, commit barriers); the net proxy
+   cycles/byte is then *solved* so dom0's CPU hits the R2-derived
+   target exactly in expectation.
+5. Memory profile bases are solved from the level-process mean formula.
+
+The virtualized and bare-metal environments get separate scalings; their
+ratio *is* the virtualization cycle-accounting inflation the paper
+measures (see DESIGN.md section 3 for the R2/R3/R4 consistency note).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.apps.tier import OsActivityModel
+from repro.errors import ConfigurationError
+from repro.rubis.database import BufferPool, RubisDatabase
+from repro.rubis.demand import DemandSampler, DemandScaling
+from repro.rubis.deployment import DeploymentConfig
+from repro.rubis.interactions import INTERACTIONS
+from repro.rubis.memorymodel import MemoryProfile
+from repro.rubis.transitions import TransitionMatrix, browsing_matrix
+from repro.experiments.paper_values import (
+    BARE_METAL_TARGETS,
+    DOM0_TARGETS,
+    PAPER_CLIENTS,
+    PAPER_RUN_DURATION_S,
+    PAPER_THINK_TIME_S,
+    VIRTUALIZED_TARGETS,
+    SeriesTargets,
+)
+from repro.units import KB, MB, SAMPLE_PERIOD_S
+from repro.virt.hypervisor import DEFAULT_EPOCH_S
+from repro.virt.overhead import OverheadModel
+
+#: Closed-loop throughput (requests/s); response time << think time.
+THROUGHPUT_RPS = PAPER_CLIENTS / PAPER_THINK_TIME_S
+#: Requests per 2-second sample.
+REQUESTS_PER_SAMPLE = THROUGHPUT_RPS * SAMPLE_PERIOD_S
+
+#: Bare-metal accounting factors (journal/frame overhead visible to the
+#: host's sysstat; in the virtualized environment these land in dom0).
+BARE_DISK_ACCOUNTING = 1.55
+BARE_NET_ACCOUNTING = 1.04
+
+
+@dataclass
+class CalibratedEnvironment:
+    """Everything a deployment needs for one environment."""
+
+    name: str
+    deployment_config: DeploymentConfig
+    overhead: Optional[OverheadModel] = None
+    web_os_model: Optional[OsActivityModel] = None
+    db_os_model: Optional[OsActivityModel] = None
+
+
+#: Buffer-pool skew used everywhere (see DeploymentConfig for rationale).
+POOL_HOT_FRACTION = 0.05
+POOL_HOT_ACCESS = 0.99
+
+
+def _expected_with(scaling: DemandScaling, matrix: TransitionMatrix,
+                   database: RubisDatabase, buffer_pool_bytes: float):
+    """Expected per-request demand under ``scaling`` (deterministic)."""
+    pool = BufferPool(
+        capacity_bytes=buffer_pool_bytes,
+        database=database,
+        hot_fraction=POOL_HOT_FRACTION,
+        hot_access_probability=POOL_HOT_ACCESS,
+    )
+    sampler = DemandSampler(scaling, pool, np.random.default_rng(0))
+    return sampler.expected_demand(matrix)
+
+
+def _db_request_fraction(matrix: TransitionMatrix) -> float:
+    """Stationary fraction of requests that reach the database tier."""
+    pi = matrix.stationary_distribution()
+    return sum(
+        probability
+        for state, probability in pi.items()
+        if INTERACTIONS[state].db_queries > 0
+    )
+
+
+def _commit_fraction(matrix: TransitionMatrix) -> float:
+    """Stationary fraction of requests that commit writes."""
+    pi = matrix.stationary_distribution()
+    return sum(
+        probability
+        for state, probability in pi.items()
+        if INTERACTIONS[state].writes
+    )
+
+
+def _solve_scaling(
+    targets: Dict[str, SeriesTargets],
+    matrix: TransitionMatrix,
+    database: RubisDatabase,
+    buffer_pool_bytes: float,
+    disk_accounting: float = 1.0,
+    net_accounting: float = 1.0,
+    cpu_overhead_per_sample: Dict[str, float] = None,
+    os_log_kb_per_sample: float = 0.0,
+) -> DemandScaling:
+    """Invert the expectation to hit the per-tier targets.
+
+    ``cpu_overhead_per_sample`` holds per-tier cycles that the context
+    itself will add (bare-metal OS base + syscalls); they are subtracted
+    before solving so the *measured* series hits the target.
+    ``os_log_kb_per_sample`` is subtracted from the disk targets for the
+    same reason.
+    """
+    cpu_overhead_per_sample = cpu_overhead_per_sample or {"web": 0.0, "db": 0.0}
+    web_target = targets["web"]
+    db_target = targets["db"]
+
+    # Pass 1: unit scaling to learn the stationary profile expectations.
+    base = DemandScaling(
+        web_cycles_per_unit=1.0,
+        db_cycles_per_unit=1.0,
+        response_scale=1.0,
+        db_net_scale=1.0,
+        web_log_bytes_per_request=1.0,
+        spill_bytes_per_row=1.0,
+    )
+    expected = _expected_with(base, matrix, database, buffer_pool_bytes)
+
+    # CPU: cycles per request = (target - context overhead) / requests.
+    web_cpu_per_request = (
+        (web_target.cpu_cycles - cpu_overhead_per_sample["web"])
+        / REQUESTS_PER_SAMPLE
+    )
+    db_cpu_per_request = (
+        (db_target.cpu_cycles - cpu_overhead_per_sample["db"])
+        / REQUESTS_PER_SAMPLE
+    )
+    if web_cpu_per_request <= 0 or db_cpu_per_request <= 0:
+        raise ConfigurationError("CPU targets below context overhead")
+    web_cycles_per_unit = web_cpu_per_request / expected.web_cycles
+    db_cycles_per_unit = db_cpu_per_request / expected.db_cycles
+
+    # Web disk: access log + session writes dominate the tier's traffic.
+    web_disk_per_request = (
+        (web_target.disk_kb / disk_accounting - os_log_kb_per_sample)
+        * KB / REQUESTS_PER_SAMPLE
+    )
+    web_log_bytes_per_request = max(web_disk_per_request, 0.0)
+
+    # DB network: scale query+result bytes to the db-tier net target.
+    db_net_per_request = (
+        db_target.net_kb / net_accounting * KB / REQUESTS_PER_SAMPLE
+    )
+    qr_expected = expected.query_bytes + expected.result_bytes
+    db_net_scale = db_net_per_request / qr_expected
+
+    # Web network: request + response + query + result.
+    web_net_per_request = (
+        web_target.net_kb / net_accounting * KB / REQUESTS_PER_SAMPLE
+    )
+    response_per_request = (
+        web_net_per_request - expected.request_bytes - db_net_per_request
+    )
+    if response_per_request <= 0:
+        raise ConfigurationError("web net target too small for the mix")
+    response_scale = response_per_request / expected.response_bytes
+
+    # DB disk: buffer-pool miss reads are fixed by the pool model; the
+    # filesort spill absorbs the remainder of the target.
+    db_disk_per_request = (
+        (db_target.disk_kb / disk_accounting - os_log_kb_per_sample)
+        * KB / REQUESTS_PER_SAMPLE
+    )
+    read_expected = expected.db_disk_read_bytes
+    # Expected write bytes split: the rows_written part keeps the default
+    # per-row cost; the spill coefficient absorbs the remaining budget.
+    rows_written_part = 0.0
+    spill_rows_part = 0.0
+    pi = matrix.stationary_distribution()
+    for state, probability in pi.items():
+        ix = INTERACTIONS[state]
+        rows_written_part += (
+            probability * ix.rows_written * base.db_write_bytes_per_row
+        )
+        if ix.rows_touched >= base.spill_threshold_rows:
+            spill_rows_part += probability * ix.rows_touched
+    spill_budget = db_disk_per_request - read_expected - rows_written_part
+    if spill_rows_part > 0:
+        spill_bytes_per_row = max(spill_budget / spill_rows_part, 0.0)
+    else:
+        spill_bytes_per_row = 0.0
+
+    return base.rescaled(
+        web_cycles_per_unit=web_cycles_per_unit,
+        db_cycles_per_unit=db_cycles_per_unit,
+        response_scale=response_scale,
+        db_net_scale=db_net_scale,
+        web_log_bytes_per_request=web_log_bytes_per_request,
+        spill_bytes_per_row=spill_bytes_per_row,
+    )
+
+
+def _memory_profile(
+    target_mean_mb: float,
+    per_session_kb: float,
+    cache_growth_mb: float,
+    cache_ramp_s: float,
+    noise_mb: float,
+    jump_mb: float,
+    max_jumps: int,
+    clients: int = PAPER_CLIENTS,
+    run_duration_s: float = PAPER_RUN_DURATION_S,
+    jump_allowance_mb: float = 0.0,
+) -> MemoryProfile:
+    """Solve the base level so the run-mean hits ``target_mean_mb``.
+
+    Mean of the warm-up ramp over a run of length T with time constant
+    tau: growth * (1 - tau/T * (1 - exp(-T/tau))).
+    """
+    tau, T = cache_ramp_s, run_duration_s
+    ramp_mean = cache_growth_mb * (1.0 - tau / T * (1.0 - np.exp(-T / tau)))
+    sessions_mb = clients * per_session_kb / 1024.0
+    base = target_mean_mb - ramp_mean - sessions_mb - jump_allowance_mb
+    if base <= 0:
+        raise ConfigurationError(
+            f"memory target {target_mean_mb} MB infeasible: base {base:.1f}"
+        )
+    return MemoryProfile(
+        base_mb=base,
+        per_session_kb=per_session_kb,
+        cache_growth_mb=cache_growth_mb,
+        cache_ramp_s=cache_ramp_s,
+        noise_mb=noise_mb,
+        jump_mb=jump_mb,
+        max_jumps=max_jumps,
+    )
+
+
+def _solve_net_cycles_per_byte(
+    overhead: OverheadModel,
+    expected,
+    db_fraction: float,
+    commit_fraction: float,
+) -> float:
+    """Solve the dom0 net-proxy cost so dom0 CPU hits its target.
+
+    Target (cycles/s) = base + epochs + hypercalls + commits
+                        + disk_proxy + net_proxy
+    with everything except net_proxy fixed; see the module docstring.
+    """
+    target_per_s = DOM0_TARGETS.cpu_cycles / SAMPLE_PERIOD_S
+    epochs_per_s = (1.0 / DEFAULT_EPOCH_S) * (
+        overhead.sched_cycles_per_epoch_per_domain * 2.5
+    )
+    hypercalls_per_s = (
+        THROUGHPUT_RPS * (1.0 + db_fraction)
+        * overhead.hypercall_cycles_per_request
+    )
+    commits_per_s = (
+        THROUGHPUT_RPS * commit_fraction * overhead.commit_cycles
+    )
+    vm_disk_bytes_per_s = THROUGHPUT_RPS * (
+        expected.db_disk_read_bytes
+        + expected.db_disk_write_bytes
+        + expected.web_disk_write_bytes
+    )
+    disk_proxy_per_s = (
+        vm_disk_bytes_per_s
+        * overhead.disk_amplification
+        * overhead.disk_cycles_per_byte
+    )
+    vm_net_bytes_per_s = THROUGHPUT_RPS * (
+        expected.request_bytes
+        + expected.response_bytes
+        + 2.0 * (expected.query_bytes + expected.result_bytes)
+    )
+    physical_net_bytes_per_s = vm_net_bytes_per_s * overhead.net_amplification
+    remainder = target_per_s - (
+        overhead.dom0_base_cycles_per_s
+        + epochs_per_s
+        + hypercalls_per_s
+        + commits_per_s
+        + disk_proxy_per_s
+    )
+    if remainder <= 0:
+        raise ConfigurationError(
+            "dom0 CPU target leaves no budget for the net proxy"
+        )
+    return remainder / physical_net_bytes_per_s
+
+
+def calibrate_virtualized(
+    database: Optional[RubisDatabase] = None,
+    buffer_pool_bytes: float = 384 * MB,
+) -> CalibratedEnvironment:
+    """Calibrated configuration for the virtualized environment."""
+    database = database or RubisDatabase()
+    matrix = browsing_matrix()
+    scaling = _solve_scaling(
+        VIRTUALIZED_TARGETS, matrix, database, buffer_pool_bytes
+    )
+    expected = _expected_with(scaling, matrix, database, buffer_pool_bytes)
+
+    overhead = OverheadModel(
+        # Dom0 RAM: base solved from base = target - share * guest_used.
+        dom0_base_memory_bytes=(
+            DOM0_TARGETS.mem_used_mb
+            - 0.70 * (VIRTUALIZED_TARGETS["web"].mem_used_mb
+                      + VIRTUALIZED_TARGETS["db"].mem_used_mb)
+        ) * MB,
+        dom0_memory_per_vm_byte=0.70,
+        # Dom0 disk: amplification solved so dom0 disk hits its target:
+        # amp = (dom0_disk - dom0_logs) / vm_disk_aggregate.
+        disk_amplification=(
+            (DOM0_TARGETS.disk_kb
+             - 15_000.0 / KB * SAMPLE_PERIOD_S)
+            / (VIRTUALIZED_TARGETS["web"].disk_kb
+               + VIRTUALIZED_TARGETS["db"].disk_kb)
+        ),
+        # Dom0 net: amplification solved the same way (R2 net = 0.98).
+        net_amplification=(
+            DOM0_TARGETS.net_kb
+            / (VIRTUALIZED_TARGETS["web"].net_kb
+               + VIRTUALIZED_TARGETS["db"].net_kb)
+        ),
+    )
+    net_cycles = _solve_net_cycles_per_byte(
+        overhead,
+        expected,
+        db_fraction=_db_request_fraction(matrix),
+        commit_fraction=_commit_fraction(matrix),
+    )
+    overhead = OverheadModel(
+        dom0_base_memory_bytes=overhead.dom0_base_memory_bytes,
+        dom0_memory_per_vm_byte=overhead.dom0_memory_per_vm_byte,
+        disk_amplification=overhead.disk_amplification,
+        net_amplification=overhead.net_amplification,
+        net_cycles_per_byte=net_cycles,
+    )
+
+    web_memory = _memory_profile(
+        target_mean_mb=VIRTUALIZED_TARGETS["web"].mem_used_mb,
+        per_session_kb=60.0,
+        cache_growth_mb=150.0,
+        cache_ramp_s=300.0,
+        noise_mb=6.0,
+        jump_mb=110.0,
+        max_jumps=3,
+        jump_allowance_mb=80.0,
+    )
+    db_memory = _memory_profile(
+        target_mean_mb=VIRTUALIZED_TARGETS["db"].mem_used_mb,
+        per_session_kb=4.0,
+        cache_growth_mb=60.0,
+        cache_ramp_s=250.0,
+        noise_mb=3.0,
+        jump_mb=0.0,
+        max_jumps=0,
+    )
+    config = DeploymentConfig(
+        scaling=scaling,
+        web_memory=web_memory,
+        db_memory=db_memory,
+        buffer_pool_bytes=buffer_pool_bytes,
+        database=database,
+    )
+    return CalibratedEnvironment(
+        name="virtualized", deployment_config=config, overhead=overhead
+    )
+
+
+def calibrate_bare_metal(
+    database: Optional[RubisDatabase] = None,
+    buffer_pool_bytes: float = 384 * MB,
+) -> CalibratedEnvironment:
+    """Calibrated configuration for the bare-metal environment."""
+    database = database or RubisDatabase()
+    matrix = browsing_matrix()
+    web_os = OsActivityModel(
+        disk_accounting_factor=BARE_DISK_ACCOUNTING,
+        net_accounting_factor=BARE_NET_ACCOUNTING,
+    )
+    db_os = OsActivityModel(
+        disk_accounting_factor=BARE_DISK_ACCOUNTING,
+        net_accounting_factor=BARE_NET_ACCOUNTING,
+    )
+    db_fraction = _db_request_fraction(matrix)
+    cpu_overhead = {
+        "web": (
+            web_os.base_cycles_per_s * SAMPLE_PERIOD_S
+            + web_os.syscall_cycles_per_request * REQUESTS_PER_SAMPLE
+        ),
+        "db": (
+            db_os.base_cycles_per_s * SAMPLE_PERIOD_S
+            + db_os.syscall_cycles_per_request
+            * REQUESTS_PER_SAMPLE * db_fraction
+        ),
+    }
+    os_log_kb_per_sample = (
+        web_os.log_bytes_per_s * SAMPLE_PERIOD_S / KB
+    )
+    scaling = _solve_scaling(
+        BARE_METAL_TARGETS,
+        matrix,
+        database,
+        buffer_pool_bytes,
+        disk_accounting=BARE_DISK_ACCOUNTING,
+        net_accounting=BARE_NET_ACCOUNTING,
+        cpu_overhead_per_sample=cpu_overhead,
+        os_log_kb_per_sample=os_log_kb_per_sample,
+    )
+    web_memory = _memory_profile(
+        target_mean_mb=BARE_METAL_TARGETS["web"].mem_used_mb,
+        per_session_kb=60.0,
+        cache_growth_mb=150.0,
+        cache_ramp_s=300.0,
+        noise_mb=7.0,
+        jump_mb=110.0,
+        max_jumps=3,
+        jump_allowance_mb=80.0,
+    )
+    db_memory = _memory_profile(
+        target_mean_mb=BARE_METAL_TARGETS["db"].mem_used_mb,
+        per_session_kb=4.0,
+        cache_growth_mb=80.0,
+        cache_ramp_s=250.0,
+        noise_mb=4.0,
+        jump_mb=0.0,
+        max_jumps=0,
+    )
+    config = DeploymentConfig(
+        scaling=scaling,
+        web_memory=web_memory,
+        db_memory=db_memory,
+        buffer_pool_bytes=buffer_pool_bytes,
+        database=database,
+    )
+    return CalibratedEnvironment(
+        name="bare-metal",
+        deployment_config=config,
+        web_os_model=web_os,
+        db_os_model=db_os,
+    )

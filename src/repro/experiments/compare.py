@@ -1,0 +1,193 @@
+"""Measured-vs-paper comparison: the ratio tables and qualitative checks.
+
+``compare_with_paper`` produces the four ratio reports (R1-R4);
+``qualitative_checks`` evaluates the paper's qualitative findings
+Q1-Q5 (see DESIGN.md) as booleans, so tests and EXPERIMENTS.md can state
+exactly which findings reproduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.changepoint import count_upward_jumps, first_jump_time
+from repro.analysis.correlation import estimate_lag
+from repro.analysis.ratios import (
+    DEFAULT_WARMUP_S,
+    RatioReport,
+    cross_environment_ratios,
+    demand_vector,
+    physical_cross_ratios,
+    tier_ratios,
+    vm_to_hypervisor_ratios,
+)
+from repro.analysis.stats import variance_ratio
+from repro.errors import AnalysisError
+from repro.experiments.paper_values import (
+    PAPER_R1,
+    PAPER_R2,
+    PAPER_R3,
+    PAPER_R4,
+)
+from repro.experiments.runner import ExperimentResult
+
+#: RAM jump detector settings shared by the checks.
+RAM_JUMP_MIN_SHIFT_MB = 50.0
+RAM_JUMP_WINDOW = 8
+
+
+def compare_with_paper(
+    virt_browse: ExperimentResult,
+    bare_browse: ExperimentResult,
+    warmup_s: float = DEFAULT_WARMUP_S,
+) -> List[RatioReport]:
+    """The R1-R4 ratio reports for the browsing workload."""
+    reports = [
+        RatioReport(
+            name="R1 front-end/back-end (virtualized)",
+            measured=tier_ratios(virt_browse.traces, warmup_s),
+            paper=PAPER_R1,
+        ),
+        RatioReport(
+            name="R2 VM aggregate / dom0",
+            measured=vm_to_hypervisor_ratios(virt_browse.traces, warmup_s),
+            paper=PAPER_R2,
+        ),
+        RatioReport(
+            name="R3 VM aggregate / bare-metal aggregate (derived)",
+            measured=cross_environment_ratios(
+                virt_browse.traces, bare_browse.traces, warmup_s
+            ),
+            paper=PAPER_R3,
+        ),
+        RatioReport(
+            name="R4 bare-metal physical / dom0 physical",
+            measured=physical_cross_ratios(
+                virt_browse.traces, bare_browse.traces, warmup_s
+            ),
+            paper=PAPER_R4,
+        ),
+    ]
+    return reports
+
+
+@dataclass
+class QualitativeChecks:
+    """The paper's qualitative findings as booleans."""
+
+    #: Q1 — db-tier CPU workload lags the web tier (lag >= 0).
+    q1_db_lags_web: bool
+    #: Q2 — virtualized: browsing RAM jumps, bidding RAM smooth.
+    q2_virt_browse_jumps: bool
+    q2_virt_bid_smooth: bool
+    #: Q3 — bare-metal bid jumps earlier than virtualized browse jumps.
+    q3_bare_bid_jumps_earlier: bool
+    #: Q4 — disk variance higher on bare metal than virtualized.
+    q4_disk_variance_higher_bare: bool
+    #: Q5 — bidding demands more dom0 physical CPU than browsing.
+    q5_bid_more_dom0_cpu: bool
+
+    def all_pass(self) -> bool:
+        return all(
+            (
+                self.q1_db_lags_web,
+                self.q2_virt_browse_jumps,
+                self.q2_virt_bid_smooth,
+                self.q3_bare_bid_jumps_earlier,
+                self.q4_disk_variance_higher_bare,
+                self.q5_bid_more_dom0_cpu,
+            )
+        )
+
+    def as_dict(self) -> Dict[str, bool]:
+        return {
+            "Q1 db lags web": self.q1_db_lags_web,
+            "Q2 virt browse RAM jumps": self.q2_virt_browse_jumps,
+            "Q2 virt bid RAM smooth": self.q2_virt_bid_smooth,
+            "Q3 bare bid jumps earlier": self.q3_bare_bid_jumps_earlier,
+            "Q4 disk variance higher on bare metal":
+                self.q4_disk_variance_higher_bare,
+            "Q5 bid costs dom0 more CPU": self.q5_bid_more_dom0_cpu,
+        }
+
+
+def qualitative_checks(
+    virt_browse: ExperimentResult,
+    virt_bid: ExperimentResult,
+    bare_browse: ExperimentResult,
+    bare_bid: ExperimentResult,
+    warmup_s: float = DEFAULT_WARMUP_S,
+) -> QualitativeChecks:
+    """Evaluate Q1-Q5 on the four core runs."""
+    for result, env in (
+        (virt_browse, "virtualized"),
+        (virt_bid, "virtualized"),
+        (bare_browse, "bare-metal"),
+        (bare_bid, "bare-metal"),
+    ):
+        if result.scenario.environment != env:
+            raise AnalysisError(
+                f"expected a {env} result, got "
+                f"{result.scenario.environment}"
+            )
+
+    # Q1: lag of db behind web on the virtualized browse run.
+    web_cpu = virt_browse.traces.get("web", "cpu_cycles").without_warmup(
+        warmup_s
+    )
+    db_cpu = virt_browse.traces.get("db", "cpu_cycles").without_warmup(
+        warmup_s
+    )
+    max_lag = min(15, max(1, len(web_cpu) // 4))
+    lag = estimate_lag(
+        web_cpu, db_cpu, max_lag, virt_browse.traces.sample_period_s
+    )
+    q1 = lag.lag_samples >= 0
+
+    # Q2: RAM jumps per workload in the virtualized environment.
+    virt_browse_ram = virt_browse.traces.get("web", "mem_used_mb")
+    virt_bid_ram = virt_bid.traces.get("web", "mem_used_mb")
+    q2_browse = (
+        count_upward_jumps(
+            virt_browse_ram, RAM_JUMP_MIN_SHIFT_MB, RAM_JUMP_WINDOW
+        )
+        >= 1
+    )
+    q2_bid = (
+        count_upward_jumps(
+            virt_bid_ram, RAM_JUMP_MIN_SHIFT_MB, RAM_JUMP_WINDOW
+        )
+        == 0
+    )
+
+    # Q3: bare bid first jump earlier than virtualized browse first jump.
+    bare_bid_ram = bare_bid.traces.get("web", "mem_used_mb")
+    q3 = first_jump_time(
+        bare_bid_ram, RAM_JUMP_MIN_SHIFT_MB, RAM_JUMP_WINDOW
+    ) < first_jump_time(
+        virt_browse_ram, RAM_JUMP_MIN_SHIFT_MB, RAM_JUMP_WINDOW
+    )
+
+    # Q4: disk variance, bare metal vs virtualized (browse, web tier).
+    bare_disk = bare_browse.traces.get("web", "disk_kb").without_warmup(
+        warmup_s
+    )
+    virt_disk = virt_browse.traces.get("web", "disk_kb").without_warmup(
+        warmup_s
+    )
+    q4 = variance_ratio(bare_disk, virt_disk) > 1.0
+
+    # Q5: dom0 physical CPU, bid vs browse.
+    dom0_browse = demand_vector(virt_browse.traces, "dom0", warmup_s)
+    dom0_bid = demand_vector(virt_bid.traces, "dom0", warmup_s)
+    q5 = dom0_bid.cpu_cycles > dom0_browse.cpu_cycles
+
+    return QualitativeChecks(
+        q1_db_lags_web=q1,
+        q2_virt_browse_jumps=q2_browse,
+        q2_virt_bid_smooth=q2_bid,
+        q3_bare_bid_jumps_earlier=q3,
+        q4_disk_variance_higher_bare=q4,
+        q5_bid_more_dom0_cpu=q5,
+    )

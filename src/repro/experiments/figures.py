@@ -1,0 +1,159 @@
+"""Figure regeneration: the series behind Figures 1-8.
+
+Each paper figure is a row of panels (one per measured entity), each
+panel holding the browse and bid series of one resource.  ``figure``
+extracts that structure from experiment results; ``render_figure``
+prints it as aligned text with compact sparklines plus the summary
+statistics the paper discusses — the closest faithful equivalent of the
+plots in a terminal-only environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.monitoring.timeseries import TimeSeries
+from repro.experiments.runner import ExperimentResult
+
+#: (resource, axis label) per figure number, virtualized 1-4, bare 5-8.
+FIGURE_DEFS: Dict[int, Tuple[str, str, str]] = {
+    1: ("virtualized", "cpu_cycles", "virtualized CPU cycles / 2s"),
+    2: ("virtualized", "mem_used_mb", "virtualized used memory (MB)"),
+    3: ("virtualized", "disk_kb", "virtualized disk read+write (KB / 2s)"),
+    4: ("virtualized", "net_kb", "virtualized net RX+TX (KB / 2s)"),
+    5: ("bare-metal", "cpu_cycles", "physical CPU cycles / 2s"),
+    6: ("bare-metal", "mem_used_mb", "physical used memory (MB)"),
+    7: ("bare-metal", "disk_kb", "physical disk read+write (KB / 2s)"),
+    8: ("bare-metal", "net_kb", "physical net RX+TX (KB / 2s)"),
+}
+
+#: Panel order matching the paper's layout.
+_PANEL_TITLES = {
+    "web": "Web+App.",
+    "db": "Mysql",
+    "dom0": "Domain0",
+}
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+@dataclass
+class FigurePanel:
+    """One panel: an entity's series for each workload."""
+
+    entity: str
+    title: str
+    series: Dict[str, TimeSeries] = field(default_factory=dict)
+
+
+@dataclass
+class FigureData:
+    """One regenerated figure."""
+
+    number: int
+    environment: str
+    resource: str
+    axis_label: str
+    panels: List[FigurePanel] = field(default_factory=list)
+
+
+def figure(
+    number: int, results_by_workload: Dict[str, ExperimentResult]
+) -> FigureData:
+    """Extract figure ``number`` from run results.
+
+    Args:
+        number: 1-8, as in the paper.
+        results_by_workload: e.g. ``{"browse": virt_browse_result,
+            "bid": virt_bid_result}``; environments must match the
+            figure's environment.
+    """
+    if number not in FIGURE_DEFS:
+        raise AnalysisError(f"unknown figure number {number}")
+    environment, resource, axis_label = FIGURE_DEFS[number]
+    entities: List[str] = []
+    for result in results_by_workload.values():
+        if result.scenario.environment != environment:
+            raise AnalysisError(
+                f"figure {number} needs {environment} results, got "
+                f"{result.scenario.environment}"
+            )
+        entities = result.traces.entities()
+    ordered = [e for e in ("web", "db", "dom0") if e in entities]
+    data = FigureData(
+        number=number,
+        environment=environment,
+        resource=resource,
+        axis_label=axis_label,
+    )
+    for entity in ordered:
+        suffix = "(VM)" if environment == "virtualized" and entity != "dom0" \
+            else "(PM)" if environment == "bare-metal" else ""
+        panel = FigurePanel(
+            entity=entity,
+            title=f"{_PANEL_TITLES[entity]} {suffix}".strip(),
+        )
+        for workload, result in results_by_workload.items():
+            panel.series[workload] = result.traces.get(entity, resource)
+        data.panels.append(panel)
+    return data
+
+
+def _sparkline(values: np.ndarray, width: int = 60) -> str:
+    if values.size == 0:
+        return ""
+    # Downsample to the target width by block means.
+    blocks = np.array_split(values, min(width, values.size))
+    means = np.array([b.mean() for b in blocks])
+    low, high = float(means.min()), float(means.max())
+    span = high - low
+    if span <= 0:
+        return _SPARK_CHARS[1] * len(means)
+    indices = ((means - low) / span * (len(_SPARK_CHARS) - 1)).astype(int)
+    return "".join(_SPARK_CHARS[i] for i in indices)
+
+
+def render_figure(data: FigureData, sparkline_width: int = 60) -> str:
+    """Text rendering of one figure: stats plus sparklines per panel."""
+    lines = [
+        f"Figure {data.number} — {data.axis_label} "
+        f"[{data.environment}]",
+        "=" * 72,
+    ]
+    for panel in data.panels:
+        lines.append(f"{panel.title}:")
+        for workload in sorted(panel.series):
+            series = panel.series[workload]
+            values = series.values
+            lines.append(
+                f"  {workload:<7s} mean={values.mean():.4g} "
+                f"min={values.min():.4g} max={values.max():.4g} "
+                f"n={values.size}"
+            )
+            lines.append(
+                f"          |{_sparkline(values, sparkline_width)}|"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def figure_series_rows(data: FigureData) -> List[dict]:
+    """Row-wise dump (time, panel, workload, value) for CSV-style output."""
+    rows = []
+    for panel in data.panels:
+        for workload, series in panel.series.items():
+            for t, v in zip(series.times, series.values):
+                rows.append(
+                    {
+                        "figure": data.number,
+                        "panel": panel.title,
+                        "workload": workload,
+                        "time_s": float(t),
+                        "value": float(v),
+                    }
+                )
+    return rows

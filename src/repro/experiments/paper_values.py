@@ -1,0 +1,115 @@
+"""The paper's published quantitative results.
+
+All values are transcribed from the text of Sections 4.1-4.2; the
+per-series envelope targets are read off the figure axes.  The ratio
+vectors use the resource order (CPU cycles, RAM, disk R+W, net RX+TX).
+
+**Internal consistency note** (also in DESIGN.md/EXPERIMENTS.md): R2, R3
+and R4 cannot all hold simultaneously under one definition — e.g. for
+CPU, R2/R4 = 16.84/1.88 = 8.96 != 3.47 = R3.  Disk and network *are*
+mutually consistent.  The calibration therefore targets R1, R2 and R4
+exactly and reports R3 as a derived quantity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.ratios import ResourceVector
+
+#: R1 — "demand 6.11, 3.29, 5.71, and 55.56 times more CPU cycles, RAM
+#: space, disk read/write, and network data than the back-end server".
+PAPER_R1 = ResourceVector(
+    cpu_cycles=6.11, mem_used_mb=3.29, disk_kb=5.71, net_kb=55.56
+)
+
+#: R2 — VM aggregate over dom0: "16.84, 0.58, 0.47, and 0.98".
+PAPER_R2 = ResourceVector(
+    cpu_cycles=16.84, mem_used_mb=0.58, disk_kb=0.47, net_kb=0.98
+)
+
+#: R3 — VM aggregate over bare-metal aggregate: "3.47, 0.97, 0.6, 0.98".
+PAPER_R3 = ResourceVector(
+    cpu_cycles=3.47, mem_used_mb=0.97, disk_kb=0.60, net_kb=0.98
+)
+
+#: R4 — bare-metal physical over dom0 physical: "88% more CPU cycles,
+#: 21% more RAM, and 2% more network traffic, while disk read/write is
+#: 25% less".
+PAPER_R4 = ResourceVector(
+    cpu_cycles=1.88, mem_used_mb=1.21, disk_kb=0.75, net_kb=1.02
+)
+
+
+@dataclass(frozen=True)
+class SeriesTargets:
+    """Mean per-sample (2 s) demand targets for one tier/entity."""
+
+    cpu_cycles: float
+    mem_used_mb: float
+    disk_kb: float
+    net_kb: float
+
+
+def _split(total: float, front_share: float) -> tuple:
+    return total * front_share, total * (1.0 - front_share)
+
+
+# -- virtualized environment (Figures 1-4) ------------------------------------
+# Web-tier anchors read off the figure axes; back-end derived via R1 so
+# the tier ratio holds exactly by construction.
+_WEB_CPU = 700.0e6
+_WEB_RAM = 600.0
+_WEB_DISK = 400.0
+_WEB_NET = 5000.0
+
+VIRTUALIZED_TARGETS = {
+    "web": SeriesTargets(_WEB_CPU, _WEB_RAM, _WEB_DISK, _WEB_NET),
+    "db": SeriesTargets(
+        _WEB_CPU / PAPER_R1.cpu_cycles,
+        _WEB_RAM / PAPER_R1.mem_used_mb,
+        _WEB_DISK / PAPER_R1.disk_kb,
+        _WEB_NET / PAPER_R1.net_kb,
+    ),
+}
+
+_VM_AGG = SeriesTargets(
+    VIRTUALIZED_TARGETS["web"].cpu_cycles + VIRTUALIZED_TARGETS["db"].cpu_cycles,
+    VIRTUALIZED_TARGETS["web"].mem_used_mb + VIRTUALIZED_TARGETS["db"].mem_used_mb,
+    VIRTUALIZED_TARGETS["web"].disk_kb + VIRTUALIZED_TARGETS["db"].disk_kb,
+    VIRTUALIZED_TARGETS["web"].net_kb + VIRTUALIZED_TARGETS["db"].net_kb,
+)
+
+#: Dom0 targets derived through R2 (held exactly).
+DOM0_TARGETS = SeriesTargets(
+    _VM_AGG.cpu_cycles / PAPER_R2.cpu_cycles,
+    _VM_AGG.mem_used_mb / PAPER_R2.mem_used_mb,
+    _VM_AGG.disk_kb / PAPER_R2.disk_kb,
+    _VM_AGG.net_kb / PAPER_R2.net_kb,
+)
+
+# -- bare-metal environment (Figures 5-8) ---------------------------------------
+# Aggregate derived through R4 (held exactly); split between the tiers
+# using the proportions visible in Figures 5-8 (web ~2x db for CPU,
+# roughly even RAM, 4:1 disk, and the same tiny db share of network).
+_PM_CPU_AGG = DOM0_TARGETS.cpu_cycles * PAPER_R4.cpu_cycles
+_PM_RAM_AGG = DOM0_TARGETS.mem_used_mb * PAPER_R4.mem_used_mb
+_PM_DISK_AGG = DOM0_TARGETS.disk_kb * PAPER_R4.disk_kb
+_PM_NET_AGG = DOM0_TARGETS.net_kb * PAPER_R4.net_kb
+
+_PM_CPU = _split(_PM_CPU_AGG, 2.0 / 3.0)
+_PM_RAM = _split(_PM_RAM_AGG, 0.524)
+_PM_DISK = _split(_PM_DISK_AGG, 0.80)
+_PM_NET = _split(_PM_NET_AGG, 1.0 - 1.0 / 56.56)
+
+BARE_METAL_TARGETS = {
+    "web": SeriesTargets(_PM_CPU[0], _PM_RAM[0], _PM_DISK[0], _PM_NET[0]),
+    "db": SeriesTargets(_PM_CPU[1], _PM_RAM[1], _PM_DISK[1], _PM_NET[1]),
+}
+
+#: The paper's testbed constants (Section 3 / 4.1).
+PAPER_CLIENTS = 1000
+PAPER_THINK_TIME_S = 7.0
+PAPER_RUN_DURATION_S = 1200.0
+PAPER_SAMPLE_PERIOD_S = 2.0
+PAPER_METRIC_COUNT = 518

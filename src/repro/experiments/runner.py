@@ -1,0 +1,179 @@
+"""End-to-end experiment runner.
+
+``run_scenario`` assembles the calibrated deployment for the scenario's
+environment, spins up the client population, samples traces at the 2 s
+period, runs the DES to the horizon and returns an
+:class:`ExperimentResult` with the traces, the client statistics and
+handles for deeper inspection.
+
+``run_scenario_cached`` memoizes results by scenario fingerprint within
+the process: the benchmark suite regenerates several figures from the
+same four underlying runs, exactly like the paper extracts all its
+figures from one run matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.monitoring.probes import ContextProbe, Dom0Probe
+from repro.monitoring.registry import MetricRegistry
+from repro.monitoring.sampler import TraceRecorder
+from repro.monitoring.timeseries import TraceSet
+from repro.rubis.client import ClientPopulation, SessionStats
+from repro.rubis.deployment import (
+    BareMetalDeployment,
+    Deployment,
+    VirtualizedDeployment,
+)
+from repro.rubis.transitions import bidding_matrix, browsing_matrix
+from repro.rubis.workload import SessionType
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+from repro.experiments.calibration import (
+    CalibratedEnvironment,
+    calibrate_bare_metal,
+    calibrate_virtualized,
+)
+from repro.experiments.scenarios import BARE_METAL, VIRTUALIZED, Scenario
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one run produced."""
+
+    scenario: Scenario
+    traces: TraceSet
+    client_stats: SessionStats
+    requests_completed: int
+    mean_response_time_s: float
+    deployment: Deployment = field(repr=False, default=None)
+    population: ClientPopulation = field(repr=False, default=None)
+    full_rows: list = field(repr=False, default_factory=list)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.requests_completed / self.scenario.duration_s
+
+
+_calibration_cache: Dict[str, CalibratedEnvironment] = {}
+
+
+def _calibrated(environment: str) -> CalibratedEnvironment:
+    if environment not in _calibration_cache:
+        if environment == VIRTUALIZED:
+            _calibration_cache[environment] = calibrate_virtualized()
+        elif environment == BARE_METAL:
+            _calibration_cache[environment] = calibrate_bare_metal()
+        else:
+            raise ConfigurationError(f"unknown environment {environment!r}")
+    return _calibration_cache[environment]
+
+
+def build_deployment(
+    sim: Simulator, streams: RandomStreams, environment: str
+) -> Deployment:
+    """Construct the calibrated deployment for one environment."""
+    calibrated = _calibrated(environment)
+    if environment == VIRTUALIZED:
+        return VirtualizedDeployment(
+            sim,
+            streams,
+            config=calibrated.deployment_config,
+            overhead=calibrated.overhead,
+        )
+    return BareMetalDeployment(
+        sim,
+        streams,
+        config=calibrated.deployment_config,
+        web_os_model=calibrated.web_os_model,
+        db_os_model=calibrated.db_os_model,
+    )
+
+
+def run_scenario(
+    scenario: Scenario,
+    collect_full_registry: bool = False,
+    registry: Optional[MetricRegistry] = None,
+) -> ExperimentResult:
+    """Run one scenario end to end and return its result."""
+    sim = Simulator()
+    streams = RandomStreams(seed=scenario.seed)
+    deployment = build_deployment(sim, streams, scenario.environment)
+
+    matrices = {
+        SessionType.BROWSE: browsing_matrix(),
+        SessionType.BID: bidding_matrix(),
+    }
+    population = ClientPopulation(
+        sim,
+        scenario.mix,
+        deployment.send,
+        streams.stream("clients"),
+        matrices,
+        ramp_s=scenario.ramp_s,
+    )
+    deployment.population = population
+
+    probes = [
+        ContextProbe(
+            "web",
+            deployment.web_context,
+            requests_fn=lambda: deployment.php_tier.requests_handled,
+        ),
+        ContextProbe(
+            "db",
+            deployment.db_context,
+            requests_fn=lambda: deployment.mysql_tier.station.stats.completions,
+        ),
+    ]
+    if scenario.environment == VIRTUALIZED:
+        probes.append(Dom0Probe(deployment.hypervisor))
+    if collect_full_registry and registry is None:
+        from repro.monitoring.registry import build_registry
+
+        registry = build_registry()
+    recorder = TraceRecorder(
+        sim,
+        probes,
+        environment=scenario.environment,
+        workload=scenario.mix.name,
+        registry=registry,
+        collect_full_registry=collect_full_registry,
+        rng=streams.stream("monitoring-noise"),
+    )
+
+    population.start()
+    sim.run_until(scenario.duration_s)
+    recorder.stop()
+    deployment.shutdown()
+
+    stats = population.stats
+    return ExperimentResult(
+        scenario=scenario,
+        traces=recorder.traces,
+        client_stats=stats,
+        requests_completed=stats.responses_received,
+        mean_response_time_s=stats.mean_response_time_s,
+        deployment=deployment,
+        population=population,
+        full_rows=recorder.full_rows,
+    )
+
+
+_result_cache: Dict[tuple, ExperimentResult] = {}
+
+
+def run_scenario_cached(scenario: Scenario) -> ExperimentResult:
+    """Memoized :func:`run_scenario` (per process, by fingerprint)."""
+    key = scenario.cache_key
+    if key not in _result_cache:
+        _result_cache[key] = run_scenario(scenario)
+    return _result_cache[key]
+
+
+def clear_result_cache() -> None:
+    """Drop memoized results (tests that need fresh runs)."""
+    _result_cache.clear()

@@ -1,0 +1,169 @@
+"""Experiment scenarios: the paper's runs as declarative objects.
+
+A scenario = (environment, workload mix, duration, seed).  The paper's
+matrix is two environments x five compositions, profiled for ~20
+minutes.  Full-length runs are expensive for CI, so the default duration
+is 240 s (120 samples); set ``REPRO_FULL_DURATION=1`` to use the paper's
+1200 s.
+
+Burst windows (the RAM-jump driver, see
+:mod:`repro.rubis.memorymodel`) are expressed as fractions of the run
+duration so short runs exhibit the same qualitative pattern:
+
+* virtualized browsing: jumps in the middle/late run (Figure 2 left),
+* virtualized bidding: no jumps — smooth curve (Figure 2 middle),
+* bare-metal bidding: jumps *early* (Figure 6, "the jumps happen
+  earlier in time than those in the virtualized system"),
+* bare-metal browsing: jumps mid-run.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.rubis.workload import (
+    PAPER_COMPOSITIONS,
+    BurstSchedule,
+    SessionType,
+    WorkloadMix,
+)
+
+VIRTUALIZED = "virtualized"
+BARE_METAL = "bare-metal"
+ENVIRONMENTS = (VIRTUALIZED, BARE_METAL)
+
+#: CI-friendly default run length; the paper used ~1200 s.
+SHORT_DURATION_S = 240.0
+FULL_DURATION_S = 1200.0
+
+
+def default_duration_s() -> float:
+    """240 s by default; the paper's 1200 s with REPRO_FULL_DURATION=1."""
+    if os.environ.get("REPRO_FULL_DURATION", "").strip() in ("1", "true", "yes"):
+        return FULL_DURATION_S
+    return SHORT_DURATION_S
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One experiment run specification."""
+
+    name: str
+    environment: str
+    mix: WorkloadMix
+    duration_s: float
+    seed: int = 42
+    ramp_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.environment not in ENVIRONMENTS:
+            raise ConfigurationError(
+                f"unknown environment {self.environment!r}; "
+                f"choose from {ENVIRONMENTS}"
+            )
+        if self.duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+
+    @property
+    def cache_key(self) -> tuple:
+        return (
+            self.name,
+            self.environment,
+            self.mix.name,
+            self.mix.clients,
+            self.mix.think_time_s,
+            self.duration_s,
+            self.seed,
+        )
+
+
+def _burst_schedules(
+    environment: str, duration_s: float
+) -> Dict[str, Dict[SessionType, BurstSchedule]]:
+    """Burst windows per (environment, composition name)."""
+    T = duration_s
+    virt_browse = BurstSchedule(count=2, window_s=(0.35 * T, 0.80 * T),
+                                fraction=0.85)
+    bare_browse = BurstSchedule(count=2, window_s=(0.30 * T, 0.70 * T),
+                                fraction=0.85)
+    bare_bid = BurstSchedule(count=2, window_s=(0.10 * T, 0.30 * T),
+                             fraction=0.85)
+    if environment == VIRTUALIZED:
+        return {
+            "browsing": {SessionType.BROWSE: virt_browse},
+            "bidding": {},  # smooth bid RAM in the virtualized env (Q2)
+            "blend": {SessionType.BROWSE: virt_browse},
+        }
+    return {
+        "browsing": {SessionType.BROWSE: bare_browse},
+        "bidding": {SessionType.BID: bare_bid},
+        "blend": {
+            SessionType.BROWSE: bare_browse,
+            SessionType.BID: bare_bid,
+        },
+    }
+
+
+def scenario(
+    environment: str,
+    composition: str,
+    duration_s: float = None,
+    seed: int = 42,
+    clients: int = None,
+) -> Scenario:
+    """Build a scenario for one of the paper's compositions.
+
+    Args:
+        environment: "virtualized" or "bare-metal".
+        composition: a key of
+            :data:`repro.rubis.workload.PAPER_COMPOSITIONS`.
+        duration_s: run length (defaults to :func:`default_duration_s`).
+        seed: root seed for all random streams.
+        clients: override the 1000-client population (e.g. sweeps).
+    """
+    if composition not in PAPER_COMPOSITIONS:
+        raise ConfigurationError(
+            f"unknown composition {composition!r}; known: "
+            f"{sorted(PAPER_COMPOSITIONS)}"
+        )
+    duration = duration_s if duration_s is not None else default_duration_s()
+    mix = PAPER_COMPOSITIONS[composition]
+    if clients is not None:
+        mix = WorkloadMix(
+            name=mix.name,
+            browse_fraction=mix.browse_fraction,
+            think_time_s=mix.think_time_s,
+            clients=clients,
+        )
+    schedules = _burst_schedules(environment, duration)
+    kind = composition if composition in ("browsing", "bidding") else "blend"
+    mix = mix.with_bursts(schedules[kind])
+    return Scenario(
+        name=f"{environment}/{composition}",
+        environment=environment,
+        mix=mix,
+        duration_s=duration,
+        seed=seed,
+    )
+
+
+def paper_scenarios(duration_s: float = None, seed: int = 42) -> Dict[str, Scenario]:
+    """The paper's full run matrix.
+
+    Virtualized: all five compositions (Section 4.1 tested five and
+    published browsing/bidding).  Bare metal: browsing and bidding
+    (Section 4.2).
+    """
+    out = {}
+    for composition in PAPER_COMPOSITIONS:
+        out[f"virtualized/{composition}"] = scenario(
+            VIRTUALIZED, composition, duration_s, seed
+        )
+    for composition in ("browsing", "bidding"):
+        out[f"bare-metal/{composition}"] = scenario(
+            BARE_METAL, composition, duration_s, seed
+        )
+    return out

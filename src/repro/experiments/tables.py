@@ -1,0 +1,60 @@
+"""Table regeneration: Table 1 and the ratio tables.
+
+The paper's Table 1 is "a sample of performance metrics used to
+characterize workload": metric name, collector, and description drawn
+from the 518-metric catalogue.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.monitoring.registry import (
+    MetricRegistry,
+    PERF_METRIC_COUNT,
+    SYSSTAT_METRIC_COUNT,
+    TOTAL_METRIC_COUNT,
+    build_registry,
+    table1_sample,
+)
+
+
+def table1_rows(
+    registry: Optional[MetricRegistry] = None,
+) -> List[Tuple[str, str, str, str]]:
+    """(metric, source, unit, description) rows of the Table 1 sample."""
+    return [
+        (metric.name, metric.source.value, metric.unit, metric.description)
+        for metric in table1_sample(registry)
+    ]
+
+
+def render_table1(registry: Optional[MetricRegistry] = None) -> str:
+    """Text rendering of Table 1 plus the catalogue counts."""
+    registry = registry or build_registry()
+    rows = table1_rows(registry)
+    name_width = max(len(r[0]) for r in rows)
+    source_width = max(len(r[1]) for r in rows)
+    lines = [
+        "Table 1 — sample of performance metrics used to characterize "
+        "workload",
+        "=" * 72,
+        f"{'metric':<{name_width}s}  {'collector':<{source_width}s}  "
+        f"{'unit':<10s} description",
+        "-" * 72,
+    ]
+    for name, source, unit, description in rows:
+        lines.append(
+            f"{name:<{name_width}s}  {source:<{source_width}s}  "
+            f"{unit:<10s} {description}"
+        )
+    counts = registry.counts_by_source()
+    lines.append("-" * 72)
+    lines.append(
+        f"catalogue: {counts['sysstat-hypervisor']} hypervisor sysstat + "
+        f"{counts['sysstat-vm']} VM sysstat + {counts['perf']} perf = "
+        f"{len(registry)} metrics "
+        f"(paper: {SYSSTAT_METRIC_COUNT}+{SYSSTAT_METRIC_COUNT}+"
+        f"{PERF_METRIC_COUNT}={TOTAL_METRIC_COUNT})"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Physical hardware models (substrate S2).
+
+Models the paper's testbed nodes: HP ProLiant servers with 8 Xeon cores at
+2.8 GHz, 32 GB RAM, 2 TB disk and gigabit Ethernet.  Every device keeps
+monotonic per-owner usage counters which the monitoring layer samples and
+differences, exactly as sysstat samples ``/proc`` counters.
+"""
+
+from repro.hardware.cpu import CpuPackage, CycleLedger
+from repro.hardware.memory import MemoryBank
+from repro.hardware.disk import Disk, DiskRequest
+from repro.hardware.network import NetworkInterface, NetworkFabric
+from repro.hardware.server import PhysicalServer, ServerSpec
+from repro.hardware.cluster import Cluster
+
+__all__ = [
+    "CpuPackage",
+    "CycleLedger",
+    "MemoryBank",
+    "Disk",
+    "DiskRequest",
+    "NetworkInterface",
+    "NetworkFabric",
+    "PhysicalServer",
+    "ServerSpec",
+    "Cluster",
+]

@@ -1,0 +1,41 @@
+"""Cluster: the set of physical servers plus the network fabric."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.errors import ConfigurationError
+from repro.hardware.network import NetworkFabric
+from repro.hardware.server import PhysicalServer, ServerSpec
+
+
+class Cluster:
+    """Named physical servers connected by a single switch fabric."""
+
+    def __init__(self, fabric: Optional[NetworkFabric] = None) -> None:
+        self.fabric = fabric or NetworkFabric()
+        self._servers: Dict[str, PhysicalServer] = {}
+
+    def add_server(
+        self, name: str, spec: Optional[ServerSpec] = None
+    ) -> PhysicalServer:
+        """Create a server; names must be unique within the cluster."""
+        if name in self._servers:
+            raise ConfigurationError(f"duplicate server name {name!r}")
+        server = PhysicalServer(name, spec)
+        self._servers[name] = server
+        return server
+
+    def server(self, name: str) -> PhysicalServer:
+        if name not in self._servers:
+            raise ConfigurationError(f"unknown server {name!r}")
+        return self._servers[name]
+
+    def servers(self) -> Iterable[PhysicalServer]:
+        return list(self._servers.values())
+
+    def __len__(self) -> int:
+        return len(self._servers)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._servers

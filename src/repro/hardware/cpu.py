@@ -1,0 +1,95 @@
+"""CPU package model with per-owner cycle accounting.
+
+The simulator does not emulate instructions; it *accounts* cycles.  Every
+piece of work (request service, hypervisor overhead, OS background
+activity) charges cycles to a named owner on a :class:`CycleLedger`.  The
+monitoring layer samples the monotonic counters and first-differences
+them, which is precisely how ``sar -u``/perf derive per-interval values
+from ``/proc/stat`` and MSR counters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.errors import CapacityError, ConfigurationError
+
+
+class CycleLedger:
+    """Monotonic per-owner cycle counters."""
+
+    def __init__(self) -> None:
+        self._cycles: Dict[str, float] = {}
+
+    def charge(self, owner: str, cycles: float) -> None:
+        """Add ``cycles`` to ``owner``'s counter.
+
+        Raises:
+            CapacityError: if ``cycles`` is negative (counters are monotonic).
+        """
+        if cycles < 0:
+            raise CapacityError(f"negative cycle charge {cycles} for {owner!r}")
+        self._cycles[owner] = self._cycles.get(owner, 0.0) + cycles
+
+    def total(self, owner: str) -> float:
+        """Cumulative cycles charged to ``owner`` (0 if never charged)."""
+        return self._cycles.get(owner, 0.0)
+
+    def grand_total(self) -> float:
+        """Cumulative cycles across all owners."""
+        return sum(self._cycles.values())
+
+    def owners(self) -> Iterable[str]:
+        return sorted(self._cycles)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Copy of the counter dict (for samplers)."""
+        return dict(self._cycles)
+
+
+class CpuPackage:
+    """A multi-core CPU package.
+
+    Attributes:
+        cores: number of physical cores.
+        frequency_hz: per-core frequency.
+        ledger: per-owner cycle accounting.
+    """
+
+    def __init__(self, cores: int = 8, frequency_hz: float = 2.8e9) -> None:
+        if cores < 1:
+            raise ConfigurationError("cores must be >= 1")
+        if frequency_hz <= 0:
+            raise ConfigurationError("frequency_hz must be positive")
+        self.cores = int(cores)
+        self.frequency_hz = float(frequency_hz)
+        self.ledger = CycleLedger()
+
+    @property
+    def capacity_cycles_per_s(self) -> float:
+        """Aggregate cycles the package can execute per second."""
+        return self.cores * self.frequency_hz
+
+    def service_time(self, cycles: float, speed_fraction: float = 1.0) -> float:
+        """Wall time to execute ``cycles`` on one core at ``speed_fraction``.
+
+        ``speed_fraction`` is the share of a core's speed granted by the
+        scheduler (1.0 = a whole dedicated core).
+        """
+        if cycles < 0:
+            raise CapacityError(f"negative cycle demand {cycles}")
+        if not 0 < speed_fraction <= self.cores:
+            raise CapacityError(
+                f"speed_fraction {speed_fraction} outside (0, {self.cores}]"
+            )
+        return cycles / (self.frequency_hz * speed_fraction)
+
+    def charge(self, owner: str, cycles: float) -> None:
+        """Account ``cycles`` of executed work to ``owner``."""
+        self.ledger.charge(owner, cycles)
+
+    def utilization(self, cycles_in_interval: float, interval_s: float) -> float:
+        """Fraction of package capacity used by ``cycles_in_interval``."""
+        if interval_s <= 0:
+            raise ConfigurationError("interval_s must be positive")
+        return cycles_in_interval / (self.capacity_cycles_per_s * interval_s)

@@ -1,0 +1,99 @@
+"""Disk device model.
+
+A single-spindle disk served FIFO.  Contention is modelled with the
+*busy-until* technique: a request submitted at time ``t`` starts at
+``max(t, busy_until)``, occupies the device for its service time
+(per-request latency plus size over bandwidth), and pushes ``busy_until``
+forward.  This captures queueing delay without per-request events.
+
+The device keeps monotonic per-owner byte counters for reads and writes,
+sampled by the monitoring layer (``sar -b`` equivalents).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import CapacityError, ConfigurationError
+
+
+@dataclass(frozen=True)
+class DiskRequest:
+    """One I/O: ``kind`` is 'read' or 'write', ``size_bytes`` the payload."""
+
+    owner: str
+    kind: str
+    size_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("read", "write"):
+            raise ConfigurationError(f"unknown I/O kind {self.kind!r}")
+        if self.size_bytes < 0:
+            raise CapacityError("I/O size must be non-negative")
+
+
+class Disk:
+    """FIFO disk with per-owner read/write accounting."""
+
+    def __init__(
+        self,
+        capacity_bytes: float = 2e12,
+        read_bandwidth_bps: float = 120e6,
+        write_bandwidth_bps: float = 100e6,
+        access_latency_s: float = 4e-3,
+    ) -> None:
+        if min(read_bandwidth_bps, write_bandwidth_bps) <= 0:
+            raise ConfigurationError("bandwidths must be positive")
+        if access_latency_s < 0:
+            raise ConfigurationError("latency must be non-negative")
+        self.capacity_bytes = float(capacity_bytes)
+        self.read_bandwidth_bps = float(read_bandwidth_bps)
+        self.write_bandwidth_bps = float(write_bandwidth_bps)
+        self.access_latency_s = float(access_latency_s)
+        self._busy_until = 0.0
+        self._bytes_read: Dict[str, float] = {}
+        self._bytes_written: Dict[str, float] = {}
+        self.requests_served = 0
+
+    def service_time(self, request: DiskRequest) -> float:
+        """Device occupancy for one request (latency + transfer)."""
+        bandwidth = (
+            self.read_bandwidth_bps
+            if request.kind == "read"
+            else self.write_bandwidth_bps
+        )
+        return self.access_latency_s + request.size_bytes / bandwidth
+
+    def submit(self, now: float, request: DiskRequest) -> float:
+        """Enqueue a request at time ``now``; return its completion time."""
+        start = max(now, self._busy_until)
+        completion = start + self.service_time(request)
+        self._busy_until = completion
+        self.requests_served += 1
+        counters = (
+            self._bytes_read if request.kind == "read" else self._bytes_written
+        )
+        counters[request.owner] = (
+            counters.get(request.owner, 0.0) + request.size_bytes
+        )
+        return completion
+
+    def queue_delay(self, now: float) -> float:
+        """Wait a request submitted at ``now`` would experience."""
+        return max(0.0, self._busy_until - now)
+
+    # -- counters (monotonic; samplers difference them) -------------------
+
+    def bytes_read(self, owner: str) -> float:
+        return self._bytes_read.get(owner, 0.0)
+
+    def bytes_written(self, owner: str) -> float:
+        return self._bytes_written.get(owner, 0.0)
+
+    def total_bytes(self, owner: str) -> float:
+        """Read + written bytes for ``owner`` (the paper's disk metric)."""
+        return self.bytes_read(owner) + self.bytes_written(owner)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        return {"read": dict(self._bytes_read), "write": dict(self._bytes_written)}

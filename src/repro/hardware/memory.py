@@ -1,0 +1,59 @@
+"""Physical memory bank with per-owner usage levels.
+
+Unlike CPU/disk/network, memory in the paper's figures is a *level*
+("used memory in MB"), not a rate.  Owners therefore set absolute usage
+levels; the bank enforces the physical capacity and exposes the levels to
+the samplers directly (no differencing).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import CapacityError, ConfigurationError
+
+
+class MemoryBank:
+    """Tracks per-owner used-memory levels against a fixed capacity."""
+
+    def __init__(self, capacity_bytes: float) -> None:
+        if capacity_bytes <= 0:
+            raise ConfigurationError("capacity_bytes must be positive")
+        self.capacity_bytes = float(capacity_bytes)
+        self._used: Dict[str, float] = {}
+
+    def set_usage(self, owner: str, used_bytes: float) -> None:
+        """Set ``owner``'s used-memory level.
+
+        Raises:
+            CapacityError: if the level is negative or the new total would
+                exceed the physical capacity.
+        """
+        if used_bytes < 0:
+            raise CapacityError(f"negative memory usage for {owner!r}")
+        new_total = self.total_used() - self._used.get(owner, 0.0) + used_bytes
+        if new_total > self.capacity_bytes:
+            raise CapacityError(
+                f"memory over-commit: {new_total:.0f} B > capacity "
+                f"{self.capacity_bytes:.0f} B (owner {owner!r})"
+            )
+        self._used[owner] = float(used_bytes)
+
+    def adjust_usage(self, owner: str, delta_bytes: float) -> None:
+        """Adjust ``owner``'s level by ``delta_bytes`` (clamped at zero)."""
+        current = self._used.get(owner, 0.0)
+        self.set_usage(owner, max(0.0, current + delta_bytes))
+
+    def usage(self, owner: str) -> float:
+        """Current used bytes for ``owner`` (0 if never set)."""
+        return self._used.get(owner, 0.0)
+
+    def total_used(self) -> float:
+        """Total used bytes across owners."""
+        return sum(self._used.values())
+
+    def free_bytes(self) -> float:
+        return self.capacity_bytes - self.total_used()
+
+    def snapshot(self) -> Dict[str, float]:
+        return dict(self._used)

@@ -1,0 +1,101 @@
+"""Network interface and fabric models.
+
+A :class:`NetworkInterface` is a full-duplex gigabit port: the RX and TX
+directions each have their own busy-until serialization.  The
+:class:`NetworkFabric` gives the propagation latency between servers (the
+testbed is a single gigabit switch, so one latency for all pairs) and is
+the hook for the non-virtualized environment's longer inter-tier path,
+which the paper invokes to explain the earlier RAM jumps (Sec 4.2).
+
+Per-owner monotonic RX/TX byte counters mirror ``sar -n DEV``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import CapacityError, ConfigurationError
+
+
+class NetworkInterface:
+    """Full-duplex NIC with per-direction serialization and accounting."""
+
+    def __init__(self, bandwidth_bps: float = 125e6) -> None:
+        # 125e6 bytes/s == 1 Gbit/s.
+        if bandwidth_bps <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        self.bandwidth_bps = float(bandwidth_bps)
+        self._busy_until = {"rx": 0.0, "tx": 0.0}
+        self._bytes = {"rx": {}, "tx": {}}
+        self.packets = {"rx": 0, "tx": 0}
+
+    def _transfer(
+        self, now: float, direction: str, owner: str, size_bytes: float
+    ) -> float:
+        if size_bytes < 0:
+            raise CapacityError("transfer size must be non-negative")
+        start = max(now, self._busy_until[direction])
+        completion = start + size_bytes / self.bandwidth_bps
+        self._busy_until[direction] = completion
+        counters = self._bytes[direction]
+        counters[owner] = counters.get(owner, 0.0) + size_bytes
+        self.packets[direction] += 1
+        return completion
+
+    def receive(self, now: float, owner: str, size_bytes: float) -> float:
+        """Account an ingress transfer; returns completion time."""
+        return self._transfer(now, "rx", owner, size_bytes)
+
+    def transmit(self, now: float, owner: str, size_bytes: float) -> float:
+        """Account an egress transfer; returns completion time."""
+        return self._transfer(now, "tx", owner, size_bytes)
+
+    # -- counters ----------------------------------------------------------
+
+    def bytes_received(self, owner: str) -> float:
+        return self._bytes["rx"].get(owner, 0.0)
+
+    def bytes_transmitted(self, owner: str) -> float:
+        return self._bytes["tx"].get(owner, 0.0)
+
+    def total_bytes(self, owner: str) -> float:
+        """RX + TX bytes for ``owner`` (the paper's network metric)."""
+        return self.bytes_received(owner) + self.bytes_transmitted(owner)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        return {"rx": dict(self._bytes["rx"]), "tx": dict(self._bytes["tx"])}
+
+
+class NetworkFabric:
+    """Propagation latency between named endpoints.
+
+    The testbed uses one gigabit switch; co-located endpoints (same
+    server, e.g. two VMs or a VM and dom0) communicate over the software
+    bridge with a much smaller latency.
+    """
+
+    def __init__(
+        self,
+        inter_server_latency_s: float = 0.25e-3,
+        local_latency_s: float = 0.03e-3,
+    ) -> None:
+        if inter_server_latency_s < 0 or local_latency_s < 0:
+            raise ConfigurationError("latencies must be non-negative")
+        self.inter_server_latency_s = float(inter_server_latency_s)
+        self.local_latency_s = float(local_latency_s)
+        self._placement: Dict[str, str] = {}
+
+    def place(self, endpoint: str, server_name: str) -> None:
+        """Record that ``endpoint`` (a tier or VM) runs on ``server_name``."""
+        self._placement[endpoint] = server_name
+
+    def server_of(self, endpoint: str) -> str:
+        if endpoint not in self._placement:
+            raise ConfigurationError(f"endpoint {endpoint!r} was never placed")
+        return self._placement[endpoint]
+
+    def latency(self, src: str, dst: str) -> float:
+        """One-way latency between two placed endpoints."""
+        if self.server_of(src) == self.server_of(dst):
+            return self.local_latency_s
+        return self.inter_server_latency_s

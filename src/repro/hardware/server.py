@@ -1,0 +1,57 @@
+"""Physical server: the composition of CPU, memory, disk and NIC.
+
+Matches the paper's node: "8 Intel Xeon 2.8 GHz cores, 32 GB of RAM and
+2 TB of disk", gigabit Ethernet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cpu import CpuPackage
+from repro.hardware.disk import Disk
+from repro.hardware.memory import MemoryBank
+from repro.hardware.network import NetworkInterface
+from repro.units import GB, TB
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """Hardware bill of materials for one server."""
+
+    cores: int = 8
+    frequency_hz: float = 2.8e9
+    memory_bytes: float = 32 * GB
+    disk_bytes: float = 2 * TB
+    disk_read_bandwidth_bps: float = 120e6
+    disk_write_bandwidth_bps: float = 100e6
+    disk_access_latency_s: float = 4e-3
+    nic_bandwidth_bps: float = 125e6
+
+    @classmethod
+    def paper_testbed(cls) -> "ServerSpec":
+        """The HP ProLiant configuration from Section 3."""
+        return cls()
+
+
+class PhysicalServer:
+    """One cloud server assembled from a :class:`ServerSpec`."""
+
+    def __init__(self, name: str, spec: ServerSpec = None) -> None:
+        self.name = name
+        self.spec = spec or ServerSpec.paper_testbed()
+        self.cpu = CpuPackage(self.spec.cores, self.spec.frequency_hz)
+        self.memory = MemoryBank(self.spec.memory_bytes)
+        self.disk = Disk(
+            capacity_bytes=self.spec.disk_bytes,
+            read_bandwidth_bps=self.spec.disk_read_bandwidth_bps,
+            write_bandwidth_bps=self.spec.disk_write_bandwidth_bps,
+            access_latency_s=self.spec.disk_access_latency_s,
+        )
+        self.nic = NetworkInterface(self.spec.nic_bandwidth_bps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PhysicalServer {self.name}: {self.spec.cores}x"
+            f"{self.spec.frequency_hz / 1e9:.1f} GHz>"
+        )

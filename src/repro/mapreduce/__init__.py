@@ -1,0 +1,31 @@
+"""MapReduce workload extension (the paper's Section 5 future work).
+
+"We also plan to characterize the workload of other cloud applications,
+such as big data applications using the MapReduce paradigm."  This
+package implements that plan on the same substrates: a slot-based
+MapReduce engine runs jobs over bare-metal worker nodes (map: local
+read + CPU + intermediate write; shuffle: all-to-all network; reduce:
+CPU + replicated output write), all resource activity lands on the
+standard execution contexts, and the unchanged monitoring +
+characterization pipeline profiles it.
+
+The signature result — reproduced by ``examples/
+mapreduce_characterization.py`` and the extension benchmark — is the
+phase-structured resource profile: disk-read/CPU-heavy map phase,
+network-heavy shuffle, write-heavy reduce tail.
+"""
+
+from repro.mapreduce.job import JobSpec, JobStats, MapReduceJob, TaskKind
+from repro.mapreduce.engine import MapReduceCluster
+from repro.mapreduce.workload import JobMix, grep_like_job, sort_like_job
+
+__all__ = [
+    "JobSpec",
+    "JobStats",
+    "MapReduceJob",
+    "TaskKind",
+    "MapReduceCluster",
+    "JobMix",
+    "grep_like_job",
+    "sort_like_job",
+]

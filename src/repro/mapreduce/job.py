@@ -1,0 +1,129 @@
+"""MapReduce job specifications and runtime state."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+_job_ids = itertools.count(1)
+
+
+class TaskKind(enum.Enum):
+    MAP = "map"
+    REDUCE = "reduce"
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Static description of one MapReduce job.
+
+    Attributes:
+        name: label for reports.
+        input_bytes: total input read by the map phase.
+        map_tasks / reduce_tasks: task counts.
+        map_cycles_per_byte / reduce_cycles_per_byte: CPU cost densities.
+        map_output_ratio: intermediate bytes per input byte (the map
+            selectivity — ~1.0 for sort, << 1 for grep/filter jobs).
+        output_replication: copies written by the reduce phase (HDFS-
+            style; the extra copies are network + disk on other nodes,
+            modelled as local writes for simplicity).
+    """
+
+    name: str
+    input_bytes: float
+    map_tasks: int
+    reduce_tasks: int
+    map_cycles_per_byte: float = 8.0
+    reduce_cycles_per_byte: float = 6.0
+    map_output_ratio: float = 1.0
+    output_replication: int = 3
+
+    def __post_init__(self) -> None:
+        if self.input_bytes <= 0:
+            raise ConfigurationError("input_bytes must be positive")
+        if self.map_tasks < 1 or self.reduce_tasks < 1:
+            raise ConfigurationError("need at least one map and one reduce")
+        if self.map_output_ratio < 0:
+            raise ConfigurationError("map_output_ratio must be >= 0")
+        if self.output_replication < 1:
+            raise ConfigurationError("output_replication must be >= 1")
+
+    @property
+    def split_bytes(self) -> float:
+        """Input bytes per map task."""
+        return self.input_bytes / self.map_tasks
+
+    @property
+    def intermediate_bytes(self) -> float:
+        """Total shuffle volume."""
+        return self.input_bytes * self.map_output_ratio
+
+    @property
+    def partition_bytes(self) -> float:
+        """Shuffle bytes received by one reducer."""
+        return self.intermediate_bytes / self.reduce_tasks
+
+
+@dataclass
+class JobStats:
+    """Phase timing collected while the job runs."""
+
+    submitted_at: Optional[float] = None
+    map_started_at: Optional[float] = None
+    map_finished_at: Optional[float] = None
+    shuffle_finished_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    maps_completed: int = 0
+    reduces_completed: int = 0
+    shuffle_bytes_moved: float = 0.0
+
+    @property
+    def makespan_s(self) -> Optional[float]:
+        if self.submitted_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    @property
+    def map_phase_s(self) -> Optional[float]:
+        if self.map_started_at is None or self.map_finished_at is None:
+            return None
+        return self.map_finished_at - self.map_started_at
+
+
+class MapReduceJob:
+    """Runtime wrapper: a spec plus progress state."""
+
+    def __init__(self, spec: JobSpec) -> None:
+        self.spec = spec
+        self.job_id = next(_job_ids)
+        self.stats = JobStats()
+        self._maps_remaining = spec.map_tasks
+        self._reduces_remaining = spec.reduce_tasks
+
+    @property
+    def maps_remaining(self) -> int:
+        return self._maps_remaining
+
+    @property
+    def reduces_remaining(self) -> int:
+        return self._reduces_remaining
+
+    def map_done(self) -> bool:
+        """Record one finished map; True when the phase completed."""
+        if self._maps_remaining <= 0:
+            raise ConfigurationError("map_done past the map phase")
+        self._maps_remaining -= 1
+        self.stats.maps_completed += 1
+        return self._maps_remaining == 0
+
+    def reduce_done(self) -> bool:
+        """Record one finished reduce; True when the job completed."""
+        if self._reduces_remaining <= 0:
+            raise ConfigurationError("reduce_done past the reduce phase")
+        self._reduces_remaining -= 1
+        self.stats.reduces_completed += 1
+        return self._reduces_remaining == 0

@@ -1,0 +1,74 @@
+"""Canonical MapReduce job shapes and arrival mixes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mapreduce.engine import MapReduceCluster
+from repro.mapreduce.job import JobSpec, MapReduceJob
+from repro.sim.engine import Simulator
+from repro.units import MB
+
+
+def sort_like_job(input_mb: float = 512.0, tasks: int = 16) -> JobSpec:
+    """A shuffle-heavy job: intermediate volume equals the input."""
+    return JobSpec(
+        name="sort",
+        input_bytes=input_mb * MB,
+        map_tasks=tasks,
+        reduce_tasks=max(2, tasks // 2),
+        map_cycles_per_byte=6.0,
+        reduce_cycles_per_byte=8.0,
+        map_output_ratio=1.0,
+    )
+
+
+def grep_like_job(input_mb: float = 512.0, tasks: int = 16) -> JobSpec:
+    """A scan-heavy job: tiny intermediate output (high selectivity)."""
+    return JobSpec(
+        name="grep",
+        input_bytes=input_mb * MB,
+        map_tasks=tasks,
+        reduce_tasks=2,
+        map_cycles_per_byte=10.0,
+        reduce_cycles_per_byte=4.0,
+        map_output_ratio=0.02,
+        output_replication=1,
+    )
+
+
+@dataclass
+class JobMix:
+    """A Poisson arrival process over a set of job templates."""
+
+    templates: List[JobSpec]
+    arrival_rate_per_s: float = 0.02
+
+    def __post_init__(self) -> None:
+        if not self.templates:
+            raise ConfigurationError("JobMix needs at least one template")
+        if self.arrival_rate_per_s <= 0:
+            raise ConfigurationError("arrival_rate_per_s must be positive")
+
+    def drive(
+        self,
+        sim: Simulator,
+        cluster: MapReduceCluster,
+        rng: np.random.Generator,
+        horizon_s: float,
+        on_complete: Callable[[MapReduceJob], None] = None,
+    ) -> List[MapReduceJob]:
+        """Schedule job submissions over ``horizon_s``; returns the jobs."""
+        jobs: List[MapReduceJob] = []
+        t = float(rng.exponential(1.0 / self.arrival_rate_per_s))
+        while t < horizon_s:
+            spec = self.templates[int(rng.integers(len(self.templates)))]
+            job = MapReduceJob(spec)
+            jobs.append(job)
+            sim.schedule_at(t, cluster.submit, job, on_complete)
+            t += float(rng.exponential(1.0 / self.arrival_rate_per_s))
+        return jobs

@@ -1,0 +1,59 @@
+"""Monitoring substrate (S6): the sysstat/perf profiling pipeline.
+
+The paper profiles 518 metrics at a 2-second period: 182 sysstat metrics
+in the hypervisor (dom0), 182 in the VMs, and 154 perf hardware counters.
+This package reproduces that pipeline:
+
+* :mod:`~repro.monitoring.timeseries` — sampled series containers,
+* :mod:`~repro.monitoring.metric` — metric descriptors (name, source,
+  kind, unit, derivation),
+* :mod:`~repro.monitoring.registry` — the full 518-metric catalogue,
+* :mod:`~repro.monitoring.probes` — raw-counter probes over simulator
+  entities (VM contexts, dom0, physical servers),
+* :mod:`~repro.monitoring.sampler` — the 2 s periodic trace recorder,
+* :mod:`~repro.monitoring.export` — CSV/JSON trace export.
+"""
+
+from repro.monitoring.timeseries import TimeSeries, TraceSet
+from repro.monitoring.metric import (
+    Metric,
+    MetricKind,
+    MetricSource,
+    SampleInputs,
+)
+from repro.monitoring.registry import (
+    MetricRegistry,
+    PERF_METRIC_COUNT,
+    SYSSTAT_METRIC_COUNT,
+    TOTAL_METRIC_COUNT,
+    build_registry,
+)
+from repro.monitoring.probes import (
+    ContextProbe,
+    Dom0Probe,
+    Probe,
+    RawCounters,
+)
+from repro.monitoring.sampler import TraceRecorder
+from repro.monitoring.export import trace_set_to_csv, trace_set_to_json
+
+__all__ = [
+    "TimeSeries",
+    "TraceSet",
+    "Metric",
+    "MetricKind",
+    "MetricSource",
+    "SampleInputs",
+    "MetricRegistry",
+    "build_registry",
+    "SYSSTAT_METRIC_COUNT",
+    "PERF_METRIC_COUNT",
+    "TOTAL_METRIC_COUNT",
+    "Probe",
+    "RawCounters",
+    "ContextProbe",
+    "Dom0Probe",
+    "TraceRecorder",
+    "trace_set_to_csv",
+    "trace_set_to_json",
+]

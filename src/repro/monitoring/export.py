@@ -1,0 +1,71 @@
+"""Trace export: CSV and JSON serialization of trace sets."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict
+
+from repro.errors import AnalysisError
+from repro.monitoring.timeseries import TraceSet
+
+
+def trace_set_to_csv(traces: TraceSet) -> str:
+    """Wide CSV: one row per sample time, one column per series.
+
+    All series must share the same sampling grid (they do when produced
+    by one :class:`~repro.monitoring.sampler.TraceRecorder`).
+    """
+    keys = traces.keys()
+    if not keys:
+        raise AnalysisError("cannot export an empty trace set")
+    first = traces.get(*keys[0])
+    times = first.times
+    columns = {}
+    for entity, resource in keys:
+        series = traces.get(entity, resource)
+        if len(series) != len(first):
+            raise AnalysisError(
+                f"series {(entity, resource)} is not aligned with "
+                f"{keys[0]}; cannot build a wide CSV"
+            )
+        columns[f"{entity}:{resource}"] = series.values
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["time_s"] + list(columns))
+    for i, t in enumerate(times):
+        writer.writerow(
+            [f"{t:.3f}"] + [f"{columns[c][i]:.6g}" for c in columns]
+        )
+    return buffer.getvalue()
+
+
+def trace_set_to_json(traces: TraceSet) -> str:
+    """JSON document with metadata and per-series arrays."""
+    document: Dict = {
+        "environment": traces.environment,
+        "workload": traces.workload,
+        "sample_period_s": traces.sample_period_s,
+        "metadata": traces.metadata,
+        "series": {},
+    }
+    for (entity, resource), series in traces.items():
+        document["series"][f"{entity}:{resource}"] = {
+            "unit": series.unit,
+            "times": series.times.tolist(),
+            "values": series.values.tolist(),
+        }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def write_trace_csv(traces: TraceSet, path: str) -> None:
+    """Write :func:`trace_set_to_csv` output to ``path``."""
+    with open(path, "w", newline="") as handle:
+        handle.write(trace_set_to_csv(traces))
+
+
+def write_trace_json(traces: TraceSet, path: str) -> None:
+    """Write :func:`trace_set_to_json` output to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(trace_set_to_json(traces))

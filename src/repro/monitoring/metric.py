@@ -1,0 +1,108 @@
+"""Metric descriptors: what sysstat/perf report and how we derive it.
+
+A :class:`Metric` couples an identity (name, source, kind, unit,
+description — what Table 1 of the paper lists) with a derivation
+function mapping one sampling interval's raw counter deltas to the
+metric's value.  Derivations receive a :class:`SampleInputs` with the
+interval deltas, machine constants and a noise stream, mirroring how
+sysstat computes rates from successive ``/proc`` snapshots.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import MonitoringError
+
+
+class MetricSource(enum.Enum):
+    """Where the paper's three collectors run."""
+
+    SYSSTAT_HYPERVISOR = "sysstat-hypervisor"
+    SYSSTAT_VM = "sysstat-vm"
+    PERF = "perf"
+
+
+class MetricKind(enum.Enum):
+    """COUNTER metrics are per-interval rates; GAUGE metrics are levels."""
+
+    COUNTER = "counter"
+    GAUGE = "gauge"
+
+
+@dataclass
+class SampleInputs:
+    """Everything a derivation may consume for one sampling interval."""
+
+    #: Interval length in seconds (the paper's 2 s).
+    interval_s: float
+    #: CPU cycles executed by the entity in the interval.
+    cpu_cycles: float
+    #: Used memory level at the sample instant (bytes).
+    mem_used_bytes: float
+    #: Total memory visible to the entity (bytes).
+    mem_total_bytes: float
+    #: Disk bytes read / written in the interval.
+    disk_read_bytes: float
+    disk_write_bytes: float
+    #: Network bytes received / transmitted in the interval.
+    net_rx_bytes: float
+    net_tx_bytes: float
+    #: Requests completed in the interval (application events).
+    requests: float
+    #: Cycles the entity could have executed (capacity).
+    capacity_cycles: float
+    #: Noise stream for measurement jitter.
+    rng: np.random.Generator
+    #: True when the entity runs virtualized (IPC degradation etc.).
+    virtualized: bool = False
+
+    @property
+    def cpu_utilization(self) -> float:
+        """Busy fraction in [0, 1]."""
+        if self.capacity_cycles <= 0:
+            return 0.0
+        return min(1.0, self.cpu_cycles / self.capacity_cycles)
+
+    @property
+    def disk_bytes(self) -> float:
+        return self.disk_read_bytes + self.disk_write_bytes
+
+    @property
+    def net_bytes(self) -> float:
+        return self.net_rx_bytes + self.net_tx_bytes
+
+    def jitter(self, scale: float = 0.03) -> float:
+        """Multiplicative measurement noise around 1."""
+        if scale <= 0:
+            return 1.0
+        return float(max(0.0, self.rng.normal(1.0, scale)))
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One entry of the profiling catalogue."""
+
+    name: str
+    source: MetricSource
+    kind: MetricKind
+    unit: str
+    description: str
+    derive: Callable[[SampleInputs], float]
+
+    def evaluate(self, inputs: SampleInputs) -> float:
+        """Compute the metric value; non-finite results are an error."""
+        value = float(self.derive(inputs))
+        if not np.isfinite(value):
+            raise MonitoringError(
+                f"metric {self.name!r} produced a non-finite value"
+            )
+        return value
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.source.value}/{self.name}"

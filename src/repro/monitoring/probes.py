@@ -1,0 +1,165 @@
+"""Raw-counter probes over simulator entities.
+
+A probe is to the sampler what ``/proc`` is to sysstat: a snapshot of
+monotonic counters (CPU cycles, disk and network bytes, request counts)
+plus the current memory level.  The sampler differences successive
+snapshots to produce per-interval values.
+
+Three probe flavours cover the paper's five measured entities:
+
+* :class:`ContextProbe` — a tier running in an execution context (the
+  web+app VM, the MySQL VM, or the two bare-metal servers),
+* :class:`Dom0Probe` — dom0's physical view on a virtualized server,
+* custom probes can implement the :class:`Probe` interface directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.apps.tier import BareMetalContext, ExecutionContext, VirtualizedContext
+from repro.errors import MonitoringError
+from repro.virt.hypervisor import Hypervisor
+from repro.virt.io_backend import DOM0_OWNER
+
+
+@dataclass(frozen=True)
+class RawCounters:
+    """One snapshot of an entity's monotonic counters and memory level."""
+
+    cpu_cycles: float
+    mem_used_bytes: float
+    disk_read_bytes: float
+    disk_write_bytes: float
+    net_rx_bytes: float
+    net_tx_bytes: float
+    requests: float
+
+    def delta(self, earlier: "RawCounters") -> "RawCounters":
+        """Counter differences against an earlier snapshot.
+
+        Memory is a level, not a counter, so the *current* level is kept.
+        """
+        return RawCounters(
+            cpu_cycles=self.cpu_cycles - earlier.cpu_cycles,
+            mem_used_bytes=self.mem_used_bytes,
+            disk_read_bytes=self.disk_read_bytes - earlier.disk_read_bytes,
+            disk_write_bytes=self.disk_write_bytes - earlier.disk_write_bytes,
+            net_rx_bytes=self.net_rx_bytes - earlier.net_rx_bytes,
+            net_tx_bytes=self.net_tx_bytes - earlier.net_tx_bytes,
+            requests=self.requests - earlier.requests,
+        )
+
+    def validate_monotonic(self) -> None:
+        """Counters must never decrease between snapshots."""
+        for field_name in (
+            "cpu_cycles",
+            "disk_read_bytes",
+            "disk_write_bytes",
+            "net_rx_bytes",
+            "net_tx_bytes",
+            "requests",
+        ):
+            if getattr(self, field_name) < -1e-9:
+                raise MonitoringError(
+                    f"counter {field_name} decreased between samples"
+                )
+
+
+class Probe:
+    """Interface: produce a RawCounters snapshot on demand."""
+
+    #: Entity label used in trace sets ("web", "db", "dom0").
+    entity: str = ""
+    #: Total memory visible to the entity (for %memused-style metrics).
+    mem_total_bytes: float = 0.0
+    #: Cycles/s capacity available to the entity.
+    capacity_cycles_per_s: float = 0.0
+    #: Whether the entity runs under a hypervisor.
+    virtualized: bool = False
+
+    def snapshot(self) -> RawCounters:
+        raise NotImplementedError
+
+
+class ContextProbe(Probe):
+    """Probe over a tier's execution context."""
+
+    def __init__(
+        self,
+        entity: str,
+        context: ExecutionContext,
+        requests_fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.entity = entity
+        self.context = context
+        self.requests_fn = requests_fn or (lambda: 0.0)
+        if isinstance(context, VirtualizedContext):
+            self.virtualized = True
+            domain = context.domain
+            server = context.hypervisor.server
+            self.mem_total_bytes = domain.memory_bytes
+            self.capacity_cycles_per_s = (
+                domain.online_vcpus * server.spec.frequency_hz
+            )
+        elif isinstance(context, BareMetalContext):
+            self.virtualized = False
+            server = context.server
+            self.mem_total_bytes = server.spec.memory_bytes
+            self.capacity_cycles_per_s = server.cpu.capacity_cycles_per_s
+        else:
+            raise MonitoringError(
+                f"unsupported context type {type(context).__name__}"
+            )
+
+    def snapshot(self) -> RawCounters:
+        context = self.context
+        if isinstance(context, VirtualizedContext):
+            backend_blk = context.hypervisor.block_backend
+            backend_net = context.hypervisor.net_backend
+            owner = context.owner
+            disk_read = backend_blk.vm_bytes_read(owner)
+            disk_write = backend_blk.vm_bytes_written(owner)
+            net_rx = backend_net.vm_bytes_received(owner)
+            net_tx = backend_net.vm_bytes_transmitted(owner)
+        else:
+            server = context.server
+            owner = context.owner
+            disk_read = server.disk.bytes_read(owner)
+            disk_write = server.disk.bytes_written(owner)
+            net_rx = server.nic.bytes_received(owner)
+            net_tx = server.nic.bytes_transmitted(owner)
+        return RawCounters(
+            cpu_cycles=context.cpu_cycles_total(),
+            mem_used_bytes=context.memory_used(),
+            disk_read_bytes=disk_read,
+            disk_write_bytes=disk_write,
+            net_rx_bytes=net_rx,
+            net_tx_bytes=net_tx,
+            requests=float(self.requests_fn()),
+        )
+
+
+class Dom0Probe(Probe):
+    """Dom0's physical view: what sysstat running in dom0 reports."""
+
+    def __init__(self, hypervisor: Hypervisor) -> None:
+        self.entity = "dom0"
+        self.hypervisor = hypervisor
+        self.virtualized = False  # dom0 reads physical counters
+        server = hypervisor.server
+        self.mem_total_bytes = server.spec.memory_bytes
+        self.capacity_cycles_per_s = server.cpu.capacity_cycles_per_s
+
+    def snapshot(self) -> RawCounters:
+        server = self.hypervisor.server
+        return RawCounters(
+            cpu_cycles=server.cpu.ledger.total(DOM0_OWNER),
+            mem_used_bytes=server.memory.usage(DOM0_OWNER),
+            disk_read_bytes=server.disk.bytes_read(DOM0_OWNER),
+            disk_write_bytes=server.disk.bytes_written(DOM0_OWNER),
+            net_rx_bytes=server.nic.bytes_received(DOM0_OWNER),
+            net_tx_bytes=server.nic.bytes_transmitted(DOM0_OWNER),
+            requests=float(self.hypervisor.requests_accounted),
+        )

@@ -1,0 +1,193 @@
+"""Sampled time-series containers.
+
+A :class:`TimeSeries` is an append-only (time, value) sequence backed by
+Python lists during collection and exposed as numpy arrays for analysis.
+A :class:`TraceSet` groups the series of one experiment run keyed by
+``(entity, resource)`` — e.g. ``("web", "cpu_cycles")`` — together with
+run metadata, and is the object every analysis routine consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError, InsufficientDataError
+
+
+class TimeSeries:
+    """Append-only sampled series with numpy views."""
+
+    def __init__(
+        self,
+        name: str,
+        unit: str = "",
+        times: Optional[Iterable[float]] = None,
+        values: Optional[Iterable[float]] = None,
+    ) -> None:
+        self.name = name
+        self.unit = unit
+        self._times: List[float] = list(times) if times is not None else []
+        self._values: List[float] = list(values) if values is not None else []
+        if len(self._times) != len(self._values):
+            raise AnalysisError(
+                f"series {name!r}: times and values differ in length"
+            )
+
+    def append(self, time: float, value: float) -> None:
+        if self._times and time <= self._times[-1]:
+            raise AnalysisError(
+                f"series {self.name!r}: non-increasing sample time {time}"
+            )
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times, dtype=float)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=float)
+
+    # -- summary -------------------------------------------------------------
+
+    def mean(self) -> float:
+        self._require(1)
+        return float(np.mean(self._values))
+
+    def std(self) -> float:
+        self._require(2)
+        return float(np.std(self._values, ddof=1))
+
+    def variance(self) -> float:
+        self._require(2)
+        return float(np.var(self._values, ddof=1))
+
+    def min(self) -> float:
+        self._require(1)
+        return float(np.min(self._values))
+
+    def max(self) -> float:
+        self._require(1)
+        return float(np.max(self._values))
+
+    def total(self) -> float:
+        return float(np.sum(self._values))
+
+    def coefficient_of_variation(self) -> float:
+        """std / mean; raises on a zero-mean series."""
+        mean = self.mean()
+        if mean == 0:
+            raise AnalysisError(
+                f"series {self.name!r}: CV undefined at zero mean"
+            )
+        return self.std() / abs(mean)
+
+    def _require(self, n: int) -> None:
+        if len(self._values) < n:
+            raise InsufficientDataError(
+                f"series {self.name!r} has {len(self._values)} samples, "
+                f"needs >= {n}"
+            )
+
+    # -- transforms ------------------------------------------------------------
+
+    def sliced(self, start_time: float, end_time: float) -> "TimeSeries":
+        """Sub-series with start_time <= t < end_time."""
+        times = self.times
+        mask = (times >= start_time) & (times < end_time)
+        return TimeSeries(
+            self.name, self.unit, times[mask].tolist(), self.values[mask].tolist()
+        )
+
+    def without_warmup(self, warmup_s: float) -> "TimeSeries":
+        """Drop samples earlier than ``warmup_s`` after the first sample."""
+        if not self._times:
+            return TimeSeries(self.name, self.unit)
+        cutoff = self._times[0] + warmup_s
+        times = self.times
+        mask = times >= cutoff
+        return TimeSeries(
+            self.name, self.unit, times[mask].tolist(), self.values[mask].tolist()
+        )
+
+    def scaled(self, factor: float, unit: Optional[str] = None) -> "TimeSeries":
+        return TimeSeries(
+            self.name,
+            unit if unit is not None else self.unit,
+            list(self._times),
+            (self.values * factor).tolist(),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TimeSeries {self.name!r} n={len(self)} unit={self.unit!r}>"
+
+
+class TraceSet:
+    """All series of one run, keyed by (entity, resource)."""
+
+    def __init__(
+        self,
+        environment: str,
+        workload: str,
+        sample_period_s: float,
+        metadata: Optional[Dict] = None,
+    ) -> None:
+        self.environment = environment
+        self.workload = workload
+        self.sample_period_s = float(sample_period_s)
+        self.metadata: Dict = dict(metadata or {})
+        self._series: Dict[Tuple[str, str], TimeSeries] = {}
+
+    def add(self, entity: str, resource: str, series: TimeSeries) -> None:
+        key = (entity, resource)
+        if key in self._series:
+            raise AnalysisError(f"duplicate series {key} in trace set")
+        self._series[key] = series
+
+    def get(self, entity: str, resource: str) -> TimeSeries:
+        key = (entity, resource)
+        if key not in self._series:
+            known = sorted(self._series)
+            raise AnalysisError(f"no series {key}; trace set has {known}")
+        return self._series[key]
+
+    def has(self, entity: str, resource: str) -> bool:
+        return (entity, resource) in self._series
+
+    def entities(self) -> List[str]:
+        return sorted({entity for entity, _ in self._series})
+
+    def resources(self) -> List[str]:
+        return sorted({resource for _, resource in self._series})
+
+    def keys(self) -> List[Tuple[str, str]]:
+        return sorted(self._series)
+
+    def items(self):
+        return [(key, self._series[key]) for key in self.keys()]
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def aggregate(self, entities: Iterable[str], resource: str) -> TimeSeries:
+        """Element-wise sum of one resource over several entities."""
+        entity_list = list(entities)
+        if not entity_list:
+            raise AnalysisError("aggregate() needs at least one entity")
+        base = self.get(entity_list[0], resource)
+        values = base.values.copy()
+        for entity in entity_list[1:]:
+            other = self.get(entity, resource)
+            if len(other) != len(base):
+                raise AnalysisError(
+                    f"series lengths differ: {entity}/{resource}"
+                )
+            values = values + other.values
+        name = "+".join(entity_list) + f":{resource}"
+        return TimeSeries(name, base.unit, base.times.tolist(), values.tolist())

@@ -1,0 +1,39 @@
+"""Capacity planning and SLA prediction (S8).
+
+The paper motivates its characterization with resource planning: "The
+findings ... will help us accurately estimate the performance of
+applications, predict SLA compliance or violation based on the
+projected application workload and guide the decision making to support
+applications with the right hardware."  This package implements that
+workflow on top of the characterization results:
+
+* :mod:`~repro.planning.capacity` — utilization-law demand estimation
+  and server sizing,
+* :mod:`~repro.planning.sla` — SLA targets and compliance evaluation,
+* :mod:`~repro.planning.predictor` — project a measured workload to a
+  different client count and predict utilization and SLA compliance.
+"""
+
+from repro.planning.capacity import (
+    CapacityPlan,
+    ResourceCapacity,
+    plan_capacity,
+    utilization_at,
+)
+from repro.planning.sla import SlaTarget, SlaEvaluation, evaluate_sla
+from repro.planning.predictor import (
+    WorkloadProjection,
+    project_workload,
+)
+
+__all__ = [
+    "ResourceCapacity",
+    "CapacityPlan",
+    "plan_capacity",
+    "utilization_at",
+    "SlaTarget",
+    "SlaEvaluation",
+    "evaluate_sla",
+    "WorkloadProjection",
+    "project_workload",
+]

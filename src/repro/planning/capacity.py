@@ -1,0 +1,125 @@
+"""Utilization-law capacity estimation.
+
+Given a measured per-sample demand vector (from
+:func:`repro.analysis.ratios.demand_vector`) obtained at a known client
+count, the utilization law gives per-resource utilization at any other
+client count: demand scales linearly with throughput in a closed system
+operating far from saturation, which is exactly the regime the paper's
+figures show (and the regime where capacity planning is actionable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.ratios import RESOURCES, ResourceVector
+from repro.errors import ConfigurationError
+from repro.hardware.server import ServerSpec
+from repro.units import KB, MB, SAMPLE_PERIOD_S
+
+
+@dataclass(frozen=True)
+class ResourceCapacity:
+    """Per-sample capacity of one server for each resource class."""
+
+    cpu_cycles: float
+    mem_used_mb: float
+    disk_kb: float
+    net_kb: float
+
+    @classmethod
+    def from_server_spec(
+        cls, spec: ServerSpec, sample_period_s: float = SAMPLE_PERIOD_S
+    ) -> "ResourceCapacity":
+        disk_bandwidth = min(
+            spec.disk_read_bandwidth_bps, spec.disk_write_bandwidth_bps
+        )
+        return cls(
+            cpu_cycles=spec.cores * spec.frequency_hz * sample_period_s,
+            mem_used_mb=spec.memory_bytes / MB,
+            disk_kb=disk_bandwidth * sample_period_s / KB,
+            net_kb=2 * spec.nic_bandwidth_bps * sample_period_s / KB,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "cpu_cycles": self.cpu_cycles,
+            "mem_used_mb": self.mem_used_mb,
+            "disk_kb": self.disk_kb,
+            "net_kb": self.net_kb,
+        }
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """Outcome of :func:`plan_capacity`."""
+
+    client_count: int
+    utilizations: Dict[str, float]
+    bottleneck: str
+    bottleneck_utilization: float
+    max_clients: int
+
+    @property
+    def feasible(self) -> bool:
+        return self.bottleneck_utilization <= 1.0
+
+
+def utilization_at(
+    demand: ResourceVector,
+    measured_clients: int,
+    target_clients: int,
+    capacity: ResourceCapacity,
+) -> Dict[str, float]:
+    """Per-resource utilization when scaling to ``target_clients``.
+
+    CPU, disk and network demand scale with throughput (proportional to
+    clients in a closed system below saturation); memory scales with the
+    session-state fraction only, so it is conservatively scaled linearly
+    as well — an upper bound, flagged in the plan.
+    """
+    if measured_clients < 1 or target_clients < 0:
+        raise ConfigurationError("client counts must be positive")
+    scale = target_clients / measured_clients
+    capacities = capacity.as_dict()
+    demands = demand.as_dict()
+    return {
+        resource: demands[resource] * scale / capacities[resource]
+        for resource in RESOURCES
+    }
+
+
+def plan_capacity(
+    demand: ResourceVector,
+    measured_clients: int,
+    target_clients: int,
+    capacity: ResourceCapacity,
+    headroom: float = 0.8,
+) -> CapacityPlan:
+    """Size one server for ``target_clients`` with a headroom budget.
+
+    ``max_clients`` is the largest client count keeping every resource
+    below ``headroom`` of capacity.
+    """
+    if not 0 < headroom <= 1:
+        raise ConfigurationError("headroom must be in (0, 1]")
+    utilizations = utilization_at(
+        demand, measured_clients, target_clients, capacity
+    )
+    bottleneck = max(utilizations, key=lambda r: utilizations[r])
+    per_client = {
+        resource: value / target_clients if target_clients else 0.0
+        for resource, value in utilizations.items()
+    }
+    if target_clients == 0 or max(per_client.values()) == 0:
+        max_clients = 0
+    else:
+        max_clients = int(headroom / max(per_client.values()))
+    return CapacityPlan(
+        client_count=target_clients,
+        utilizations=utilizations,
+        bottleneck=bottleneck,
+        bottleneck_utilization=utilizations[bottleneck],
+        max_clients=max_clients,
+    )

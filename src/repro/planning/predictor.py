@@ -1,0 +1,94 @@
+"""Workload projection: scale a measured profile to a hypothetical load.
+
+Combines the pieces the paper says its findings enable: take a measured
+demand vector, project it to a different client population with the
+utilization law, estimate the response-time inflation with an M/M/c-style
+correction, and predict SLA compliance at the projected load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analysis.ratios import ResourceVector
+from repro.errors import ConfigurationError
+from repro.planning.capacity import (
+    CapacityPlan,
+    ResourceCapacity,
+    plan_capacity,
+)
+from repro.planning.sla import SlaTarget
+
+
+@dataclass(frozen=True)
+class WorkloadProjection:
+    """Prediction for a projected client count."""
+
+    target_clients: int
+    plan: CapacityPlan
+    predicted_response_time_s: float
+    sla_target: Optional[SlaTarget]
+    sla_predicted_compliant: Optional[bool]
+
+    @property
+    def utilizations(self) -> Dict[str, float]:
+        return self.plan.utilizations
+
+
+def _queueing_inflation(utilization: float) -> float:
+    """Response-time inflation factor at the bottleneck.
+
+    Uses the M/M/1-style 1/(1-rho) blow-up, capped to keep projections
+    finite past saturation (the prediction there is "violated" anyway).
+    """
+    if utilization >= 0.99:
+        return 100.0
+    return 1.0 / (1.0 - utilization)
+
+
+def project_workload(
+    demand: ResourceVector,
+    measured_clients: int,
+    base_response_time_s: float,
+    target_clients: int,
+    capacity: ResourceCapacity,
+    sla_target: Optional[SlaTarget] = None,
+    headroom: float = 0.8,
+) -> WorkloadProjection:
+    """Predict utilization, response time and SLA compliance at a load.
+
+    Args:
+        demand: measured per-sample demand vector (one tier or aggregate).
+        measured_clients: client count at which ``demand`` was measured.
+        base_response_time_s: mean response time at the measured load.
+        target_clients: projected client population.
+        capacity: server capacity the demand runs against.
+        sla_target: optional SLA to check the projection against.
+        headroom: utilization budget used for ``plan.max_clients``.
+    """
+    if base_response_time_s <= 0:
+        raise ConfigurationError("base_response_time_s must be positive")
+    plan = plan_capacity(
+        demand, measured_clients, target_clients, capacity, headroom
+    )
+    base_utilizations = plan_capacity(
+        demand, measured_clients, measured_clients, capacity, headroom
+    ).utilizations
+    base_bottleneck = max(base_utilizations.values())
+    # Remove the queueing component already present in the measurement,
+    # then re-apply it at the projected utilization.
+    service_time = base_response_time_s / _queueing_inflation(base_bottleneck)
+    predicted = service_time * _queueing_inflation(
+        plan.bottleneck_utilization
+    )
+    compliant = None
+    if sla_target is not None:
+        compliant = predicted <= sla_target.threshold_s
+    return WorkloadProjection(
+        target_clients=target_clients,
+        plan=plan,
+        predicted_response_time_s=predicted,
+        sla_target=sla_target,
+        sla_predicted_compliant=compliant,
+    )

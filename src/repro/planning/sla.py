@@ -1,0 +1,58 @@
+"""SLA targets and compliance evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, InsufficientDataError
+
+
+@dataclass(frozen=True)
+class SlaTarget:
+    """A latency SLA: ``quantile`` of response times under ``threshold_s``."""
+
+    threshold_s: float
+    quantile: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.threshold_s <= 0:
+            raise ConfigurationError("threshold_s must be positive")
+        if not 0 < self.quantile < 1:
+            raise ConfigurationError("quantile must be in (0, 1)")
+
+
+@dataclass(frozen=True)
+class SlaEvaluation:
+    """Outcome of checking response times against a target."""
+
+    target: SlaTarget
+    observed_quantile_s: float
+    violation_fraction: float
+    compliant: bool
+
+    @property
+    def margin_s(self) -> float:
+        """Positive when compliant with slack; negative when violating."""
+        return self.target.threshold_s - self.observed_quantile_s
+
+
+def evaluate_sla(
+    response_times_s: Sequence[float], target: SlaTarget
+) -> SlaEvaluation:
+    """Evaluate measured response times against an SLA target."""
+    values = np.asarray(list(response_times_s), dtype=float)
+    if values.size < 10:
+        raise InsufficientDataError(
+            f"SLA evaluation needs >= 10 response times, got {values.size}"
+        )
+    observed = float(np.quantile(values, target.quantile))
+    violations = float(np.mean(values > target.threshold_s))
+    return SlaEvaluation(
+        target=target,
+        observed_quantile_s=observed,
+        violation_fraction=violations,
+        compliant=observed <= target.threshold_s,
+    )

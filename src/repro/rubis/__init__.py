@@ -1,0 +1,73 @@
+"""RUBiS benchmark model (substrate S5).
+
+RUBiS (Rice University Bidding System) is the eBay-like auction benchmark
+the paper drives its testbed with: a browsing/bidding client emulator in
+front of a PHP web+application tier and a MySQL database tier.  This
+package models
+
+* the 26 RUBiS interactions with per-interaction resource profiles,
+* the client emulator's Markov transition tables for the browsing mix,
+  the bidding mix, and the paper's three blended compositions,
+* the auction data set (tables, row counts, sizes) and a buffer pool,
+* both server tiers as queueing stations with memory dynamics,
+* closed-loop client sessions (1000 clients, 7 s think time), and
+* deployment wiring for the virtualized and bare-metal environments.
+"""
+
+from repro.rubis.interactions import (
+    BIDDING_INTERACTIONS,
+    BROWSING_INTERACTIONS,
+    INTERACTIONS,
+    Interaction,
+)
+from repro.rubis.transitions import (
+    TransitionMatrix,
+    bidding_matrix,
+    browsing_matrix,
+)
+from repro.rubis.database import BufferPool, RubisDatabase, TableSpec
+from repro.rubis.workload import (
+    PAPER_COMPOSITIONS,
+    SessionType,
+    WorkloadMix,
+)
+from repro.rubis.demand import DemandSampler, DemandScaling
+from repro.rubis.memorymodel import MemoryProfile, TierMemoryModel
+from repro.rubis.phptier import PhpTier, PhpTierConfig
+from repro.rubis.mysqltier import MysqlTier, MysqlTierConfig
+from repro.rubis.client import ClientPopulation, ClientSession, SessionStats
+from repro.rubis.deployment import (
+    BareMetalDeployment,
+    Deployment,
+    VirtualizedDeployment,
+)
+
+__all__ = [
+    "Interaction",
+    "INTERACTIONS",
+    "BROWSING_INTERACTIONS",
+    "BIDDING_INTERACTIONS",
+    "TransitionMatrix",
+    "browsing_matrix",
+    "bidding_matrix",
+    "RubisDatabase",
+    "BufferPool",
+    "TableSpec",
+    "WorkloadMix",
+    "SessionType",
+    "PAPER_COMPOSITIONS",
+    "DemandSampler",
+    "DemandScaling",
+    "MemoryProfile",
+    "TierMemoryModel",
+    "PhpTier",
+    "PhpTierConfig",
+    "MysqlTier",
+    "MysqlTierConfig",
+    "ClientSession",
+    "ClientPopulation",
+    "SessionStats",
+    "Deployment",
+    "VirtualizedDeployment",
+    "BareMetalDeployment",
+]

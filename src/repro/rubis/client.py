@@ -1,0 +1,196 @@
+"""Closed-loop client emulation.
+
+The paper drives RUBiS with 1000 clients external to the testbed, each
+with a 7-second mean think time.  A :class:`ClientSession` is a closed
+loop: think, walk the transition matrix one step, send the request, wait
+for the response, think again.  The :class:`ClientPopulation` owns all
+sessions, staggers their start (ramp-up), and fires the burst waves that
+synchronize thinking clients to build tier backlog (the RAM-jump
+mechanism of Figures 2 and 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.apps.requests import Request
+from repro.errors import ConfigurationError
+from repro.rubis.transitions import TransitionMatrix
+from repro.rubis.workload import SessionType, WorkloadMix
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+
+#: ``send_fn(session, interaction_name, on_response)`` — implemented by
+#: the deployment; delivers the response by calling ``on_response``.
+SendFn = Callable[["ClientSession", str, Callable[[Request], None]], None]
+
+
+@dataclass
+class SessionStats:
+    """Aggregate counters across sessions."""
+
+    #: Cap on the retained response-time sample (reservoir for SLA work).
+    MAX_SAMPLES = 200_000
+
+    requests_sent: int = 0
+    responses_received: int = 0
+    total_response_time_s: float = 0.0
+    per_interaction: Dict[str, int] = field(default_factory=dict)
+    #: Individual response times (capped at MAX_SAMPLES), used by the
+    #: SLA evaluation workflow the paper motivates.
+    response_times_s: List[float] = field(default_factory=list)
+
+    def record_request(self, interaction: str) -> None:
+        self.requests_sent += 1
+        self.per_interaction[interaction] = (
+            self.per_interaction.get(interaction, 0) + 1
+        )
+
+    def record_response(self, request: Request) -> None:
+        self.responses_received += 1
+        if request.response_time is not None:
+            self.total_response_time_s += request.response_time
+            if len(self.response_times_s) < self.MAX_SAMPLES:
+                self.response_times_s.append(request.response_time)
+
+    @property
+    def mean_response_time_s(self) -> float:
+        if self.responses_received == 0:
+            return 0.0
+        return self.total_response_time_s / self.responses_received
+
+
+class ClientSession:
+    """One emulated browser in a closed loop."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        session_id: int,
+        session_type: SessionType,
+        matrix: TransitionMatrix,
+        think_time_s: float,
+        rng: np.random.Generator,
+        send_fn: SendFn,
+        stats: SessionStats,
+    ) -> None:
+        if think_time_s <= 0:
+            raise ConfigurationError("think_time_s must be positive")
+        self.sim = sim
+        self.session_id = session_id
+        self.session_type = session_type
+        self.matrix = matrix
+        self.think_time_s = float(think_time_s)
+        self.rng = rng
+        self.send_fn = send_fn
+        self.stats = stats
+        self.state = matrix.initial_state
+        self._think_event: Optional[Event] = None
+        self.requests_sent = 0
+
+    @property
+    def thinking(self) -> bool:
+        """True while the session waits out a think time."""
+        return self._think_event is not None
+
+    def start(self, delay: float = 0.0) -> None:
+        """Begin the loop: first request after ``delay`` seconds."""
+        self._think_event = self.sim.schedule(delay, self._send_next)
+
+    def trigger_now(self) -> None:
+        """Burst hook: cut the current think time short."""
+        if self._think_event is None:
+            return
+        self.sim.cancel(self._think_event)
+        self._think_event = self.sim.schedule(0.0, self._send_next)
+
+    def _send_next(self) -> None:
+        self._think_event = None
+        self.state = self.matrix.next_state(self.rng, self.state)
+        self.requests_sent += 1
+        self.stats.record_request(self.state)
+        self.send_fn(self, self.state, self._on_response)
+
+    def _on_response(self, request: Request) -> None:
+        request.completed_at = self.sim.now
+        self.stats.record_response(request)
+        think = float(self.rng.exponential(self.think_time_s))
+        self._think_event = self.sim.schedule(think, self._send_next)
+
+
+class ClientPopulation:
+    """All emulated clients for one experiment run."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mix: WorkloadMix,
+        send_fn: SendFn,
+        rng: np.random.Generator,
+        matrices: Dict[SessionType, TransitionMatrix],
+        ramp_s: float = 10.0,
+    ) -> None:
+        if ramp_s < 0:
+            raise ConfigurationError("ramp_s must be non-negative")
+        self.sim = sim
+        self.mix = mix
+        self.rng = rng
+        self.stats = SessionStats()
+        self.sessions: List[ClientSession] = []
+        for session_id in range(mix.clients):
+            session_type = mix.session_type(rng)
+            self.sessions.append(
+                ClientSession(
+                    sim,
+                    session_id,
+                    session_type,
+                    matrices[session_type],
+                    mix.think_time_s,
+                    rng,
+                    send_fn,
+                    self.stats,
+                )
+            )
+        self._ramp_s = float(ramp_s)
+        self.burst_times: Dict[SessionType, tuple] = {}
+
+    def start(self) -> None:
+        """Stagger session starts over the ramp and arm the burst waves."""
+        for session in self.sessions:
+            delay = float(self.rng.uniform(0.0, max(self._ramp_s, 1e-9)))
+            session.start(delay)
+        for session_type in SessionType:
+            schedule = self.mix.burst_schedule(session_type)
+            times = schedule.sample_times(self.rng)
+            self.burst_times[session_type] = times
+            for burst_time in times:
+                self.sim.schedule_at(
+                    burst_time,
+                    self._fire_burst,
+                    session_type,
+                    schedule.fraction,
+                )
+
+    def _fire_burst(self, session_type: SessionType, fraction: float) -> None:
+        candidates = [
+            s
+            for s in self.sessions
+            if s.session_type is session_type and s.thinking
+        ]
+        count = int(len(candidates) * fraction)
+        if count <= 0:
+            return
+        chosen = self.rng.choice(len(candidates), size=count, replace=False)
+        for index in chosen:
+            candidates[int(index)].trigger_now()
+
+    def sessions_of_type(self, session_type: SessionType) -> List[ClientSession]:
+        return [s for s in self.sessions if s.session_type is session_type]
+
+    @property
+    def throughput_estimate(self) -> float:
+        """Long-run requests/s implied by the closed-loop population."""
+        return self.mix.clients / self.mix.think_time_s

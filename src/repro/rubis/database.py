@@ -1,0 +1,166 @@
+"""The RUBiS auction data set and the MySQL buffer pool model.
+
+The data-scale model follows the RUBiS distribution defaults (eBay-like
+proportions: tens of thousands of active auctions, an order of magnitude
+more historical ones, a million bids).  The scale matters because it
+fixes the working-set size, which — against the buffer-pool capacity —
+determines the database tier's *disk read* behaviour, one of the four
+resource classes the paper characterizes.
+
+The buffer pool uses a standard 80/20 concentration model: a ``hot_
+fraction`` of each table receives most accesses; the pool first caches
+hot pages.  The resulting hit ratio is the deterministic core; per-access
+misses are then drawn stochastically around it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import MB
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """One table: row count and average row width (bytes), index overhead."""
+
+    name: str
+    rows: int
+    row_bytes: float
+    index_overhead: float = 0.35
+
+    def total_bytes(self) -> float:
+        return self.rows * self.row_bytes * (1.0 + self.index_overhead)
+
+
+class RubisDatabase:
+    """The RUBiS schema at a configurable scale."""
+
+    def __init__(
+        self,
+        users: int = 100_000,
+        active_items: int = 33_000,
+        old_items: int = 500_000,
+        regions: int = 62,
+        categories: int = 20,
+        bids_per_item: float = 10.0,
+        comments_per_user: float = 5.0,
+        buy_now_fraction: float = 0.1,
+    ) -> None:
+        if min(users, active_items, old_items, regions, categories) <= 0:
+            raise ConfigurationError("all table cardinalities must be positive")
+        total_items = active_items + old_items
+        self.tables: Dict[str, TableSpec] = {
+            spec.name: spec
+            for spec in (
+                TableSpec("regions", regions, 24),
+                TableSpec("categories", categories, 40),
+                TableSpec("users", users, 292),
+                TableSpec("items", total_items, 420),
+                TableSpec("bids", int(total_items * bids_per_item), 52),
+                TableSpec("comments", int(users * comments_per_user), 240),
+                TableSpec("buy_now", int(total_items * buy_now_fraction), 44),
+            )
+        }
+        self.active_items = active_items
+        self.old_items = old_items
+
+    def table(self, name: str) -> TableSpec:
+        if name not in self.tables:
+            raise ConfigurationError(f"unknown table {name!r}")
+        return self.tables[name]
+
+    def total_bytes(self) -> float:
+        """Total on-disk footprint of data plus indexes."""
+        return sum(spec.total_bytes() for spec in self.tables.values())
+
+    def table_sizes(self) -> Dict[str, Tuple[int, float]]:
+        """``{table: (rows, bytes)}`` summary used by reports."""
+        return {
+            name: (spec.rows, spec.total_bytes())
+            for name, spec in self.tables.items()
+        }
+
+    def mean_row_bytes(self) -> float:
+        """Access-weighted mean row size (weighting by row counts)."""
+        total_rows = sum(spec.rows for spec in self.tables.values())
+        return self.total_bytes() / total_rows
+
+
+class BufferPool:
+    """InnoDB-style buffer pool with an 80/20 access concentration model.
+
+    Attributes:
+        capacity_bytes: pool size (the paper's DB VM has 2 GB of RAM; a
+            default RUBiS/MySQL install gives a few hundred MB to InnoDB).
+        hot_fraction: fraction of the data that receives
+            ``hot_access_probability`` of the accesses.
+    """
+
+    PAGE_BYTES = 16 * 1024
+
+    def __init__(
+        self,
+        capacity_bytes: float = 256 * MB,
+        database: RubisDatabase = None,
+        hot_fraction: float = 0.2,
+        hot_access_probability: float = 0.8,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ConfigurationError("capacity_bytes must be positive")
+        if not 0 < hot_fraction <= 1:
+            raise ConfigurationError("hot_fraction must be in (0, 1]")
+        if not 0 <= hot_access_probability <= 1:
+            raise ConfigurationError("hot_access_probability must be in [0, 1]")
+        self.capacity_bytes = float(capacity_bytes)
+        self.database = database or RubisDatabase()
+        self.hot_fraction = float(hot_fraction)
+        self.hot_access_probability = float(hot_access_probability)
+        self.hits = 0
+        self.misses = 0
+
+    def hit_ratio(self) -> float:
+        """Steady-state hit probability of one page access.
+
+        Hot pages are cached first; whatever capacity remains caches a
+        proportional slice of the cold pages.
+        """
+        data = self.database.total_bytes()
+        hot_bytes = data * self.hot_fraction
+        cold_bytes = data - hot_bytes
+        hot_cached = min(1.0, self.capacity_bytes / hot_bytes)
+        remaining = max(0.0, self.capacity_bytes - hot_bytes)
+        cold_cached = min(1.0, remaining / cold_bytes) if cold_bytes > 0 else 1.0
+        return (
+            self.hot_access_probability * hot_cached
+            + (1.0 - self.hot_access_probability) * cold_cached
+        )
+
+    def access(
+        self, rng: np.random.Generator, rows: float, row_bytes: float
+    ) -> float:
+        """Simulate reading ``rows`` rows; returns bytes to fetch from disk.
+
+        Rows map to pages (rows cluster, so several rows share a page);
+        each page access misses with probability ``1 - hit_ratio()``.
+        """
+        if rows <= 0:
+            return 0.0
+        rows_per_page = max(1.0, self.PAGE_BYTES / max(row_bytes, 1.0))
+        pages = max(1, int(np.ceil(rows / rows_per_page)))
+        miss_probability = 1.0 - self.hit_ratio()
+        missed_pages = int(rng.binomial(pages, miss_probability))
+        self.hits += pages - missed_pages
+        self.misses += missed_pages
+        return missed_pages * self.PAGE_BYTES
+
+    def observed_hit_ratio(self) -> float:
+        """Hit ratio measured over the accesses made so far."""
+        total = self.hits + self.misses
+        if total == 0:
+            return 1.0
+        return self.hits / total

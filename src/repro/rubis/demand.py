@@ -1,0 +1,209 @@
+"""Demand sampling: interaction profiles -> concrete resource demands.
+
+An :class:`Interaction` carries *relative* work units; the
+:class:`DemandScaling` maps them to absolute cycles and bytes.  The
+calibration module derives one scaling per environment from the paper's
+published per-resource targets (see ``repro.experiments.calibration``),
+so every scaling constant is traceable to a number in the paper.
+
+The sampler has a deterministic twin, :meth:`DemandSampler.expected_demand`,
+which computes the *stationary expectation* of each demand field under a
+given transition matrix using exactly the same formulas as the stochastic
+path.  Calibration inverts that expectation; keeping both code paths in
+one class is what makes the calibration exact by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.requests import ResourceDemand
+from repro.errors import ConfigurationError
+from repro.rubis.database import BufferPool
+from repro.rubis.interactions import Interaction, get_interaction
+from repro.rubis.transitions import TransitionMatrix
+from repro.units import KB
+
+
+@dataclass(frozen=True)
+class DemandScaling:
+    """Environment-specific absolute scales applied to interaction profiles."""
+
+    #: Cycles per web-tier work unit (guest-visible in the virtualized
+    #: environment, host-visible on bare metal — the difference encodes
+    #: the virtualized cycle-accounting inflation the paper measures).
+    web_cycles_per_unit: float = 2.0e6
+    #: Cycles per db-tier work unit.
+    db_cycles_per_unit: float = 1.0e5
+    #: HTTP request size (URL + headers + cookies).
+    request_bytes: float = 420.0
+    #: Multiplier on the interaction's nominal response size.
+    response_scale: float = 1.0
+    #: SQL text bytes per query.
+    query_bytes_per_query: float = 160.0
+    #: Result-set framing bytes per query.
+    result_base_bytes: float = 80.0
+    #: Result bytes per returned row (rows beyond the cap are aggregates).
+    result_bytes_per_row: float = 6.0
+    #: Maximum rows materialized into a result set (LIMIT-style).
+    result_row_cap: float = 40.0
+    #: Multiplier applied to query+result bytes (db-link calibration knob).
+    db_net_scale: float = 1.0
+    #: Web-tier bytes written per request (access log + session state).
+    web_log_bytes_per_request: float = 1400.0
+    #: Database bytes written per written row (row + index + binlog).
+    db_write_bytes_per_row: float = 600.0
+    #: Row count above which a query spills a filesort to disk.
+    spill_threshold_rows: float = 50.0
+    #: Spill bytes per touched row once over the threshold.
+    spill_bytes_per_row: float = 8.0
+    #: Coefficient of variation of the lognormal demand noise.
+    demand_cv: float = 0.30
+
+    def __post_init__(self) -> None:
+        for name in (
+            "web_cycles_per_unit",
+            "db_cycles_per_unit",
+            "request_bytes",
+            "response_scale",
+            "query_bytes_per_query",
+            "result_base_bytes",
+            "result_bytes_per_row",
+            "db_net_scale",
+            "web_log_bytes_per_request",
+            "db_write_bytes_per_row",
+            "spill_bytes_per_row",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+        if self.demand_cv < 0:
+            raise ConfigurationError("demand_cv must be non-negative")
+
+    def rescaled(self, **changes) -> "DemandScaling":
+        """Copy with some fields replaced (used by calibration)."""
+        return replace(self, **changes)
+
+
+class DemandSampler:
+    """Samples :class:`ResourceDemand` records for interactions."""
+
+    def __init__(
+        self,
+        scaling: DemandScaling,
+        buffer_pool: BufferPool,
+        rng: np.random.Generator,
+    ) -> None:
+        self.scaling = scaling
+        self.buffer_pool = buffer_pool
+        self.rng = rng
+        self._row_bytes = buffer_pool.database.mean_row_bytes()
+
+    # -- stochastic path -------------------------------------------------
+
+    def sample(self, interaction_name: str) -> ResourceDemand:
+        """Draw the demand of one request for ``interaction_name``."""
+        ix = get_interaction(interaction_name)
+        s = self.scaling
+        noise = self._noise
+        response_bytes = (
+            ix.response_kb * KB * s.response_scale * noise(ix.response_cv)
+        )
+        db_read = self.buffer_pool.access(
+            self.rng, ix.rows_touched, self._row_bytes
+        )
+        return ResourceDemand(
+            web_cycles=ix.web_work * s.web_cycles_per_unit * noise(),
+            db_cycles=ix.db_work * s.db_cycles_per_unit * noise(),
+            db_queries=ix.db_queries,
+            db_disk_read_bytes=db_read,
+            db_disk_write_bytes=self._db_write_bytes(ix) * noise(),
+            web_disk_write_bytes=s.web_log_bytes_per_request * noise(0.15),
+            request_bytes=s.request_bytes * noise(0.10),
+            response_bytes=response_bytes,
+            query_bytes=self._query_bytes(ix),
+            result_bytes=self._result_bytes(ix),
+            commit=ix.writes,
+        )
+
+    def _noise(self, cv: Optional[float] = None) -> float:
+        cv = self.scaling.demand_cv if cv is None else cv
+        if cv <= 0:
+            return 1.0
+        sigma2 = np.log1p(cv * cv)
+        return float(
+            self.rng.lognormal(-sigma2 / 2.0, np.sqrt(sigma2))
+        )
+
+    # -- shared deterministic formulas -----------------------------------
+
+    def _query_bytes(self, ix: Interaction) -> float:
+        return ix.db_queries * self.scaling.query_bytes_per_query * (
+            self.scaling.db_net_scale
+        )
+
+    def _result_bytes(self, ix: Interaction) -> float:
+        if ix.db_queries == 0:
+            return 0.0
+        s = self.scaling
+        returned_rows = min(ix.rows_touched, s.result_row_cap)
+        per_query = s.result_base_bytes * ix.db_queries
+        return (per_query + returned_rows * s.result_bytes_per_row) * (
+            s.db_net_scale
+        )
+
+    def _db_write_bytes(self, ix: Interaction) -> float:
+        s = self.scaling
+        written = ix.rows_written * s.db_write_bytes_per_row
+        spill = 0.0
+        if ix.rows_touched >= s.spill_threshold_rows:
+            spill = ix.rows_touched * s.spill_bytes_per_row
+        return written + spill
+
+    def _expected_db_read_bytes(self, ix: Interaction) -> float:
+        if ix.rows_touched <= 0:
+            return 0.0
+        rows_per_page = max(
+            1.0, BufferPool.PAGE_BYTES / max(self._row_bytes, 1.0)
+        )
+        pages = max(1, int(np.ceil(ix.rows_touched / rows_per_page)))
+        miss_probability = 1.0 - self.buffer_pool.hit_ratio()
+        return pages * miss_probability * BufferPool.PAGE_BYTES
+
+    # -- deterministic expectation ----------------------------------------
+
+    def expected_demand(self, matrix: TransitionMatrix) -> ResourceDemand:
+        """Stationary per-request expectation of every demand field.
+
+        Mirrors :meth:`sample` field by field with all noise factors at
+        their (unit) means; calibration relies on this exactness.
+        """
+        pi = matrix.stationary_distribution()
+        s = self.scaling
+        expected = ResourceDemand()
+        for state, probability in pi.items():
+            ix = get_interaction(state)
+            expected.web_cycles += (
+                probability * ix.web_work * s.web_cycles_per_unit
+            )
+            expected.db_cycles += (
+                probability * ix.db_work * s.db_cycles_per_unit
+            )
+            expected.db_disk_read_bytes += (
+                probability * self._expected_db_read_bytes(ix)
+            )
+            expected.db_disk_write_bytes += (
+                probability * self._db_write_bytes(ix)
+            )
+            expected.web_disk_write_bytes += (
+                probability * s.web_log_bytes_per_request
+            )
+            expected.request_bytes += probability * s.request_bytes
+            expected.response_bytes += (
+                probability * ix.response_kb * KB * s.response_scale
+            )
+            expected.query_bytes += probability * self._query_bytes(ix)
+            expected.result_bytes += probability * self._result_bytes(ix)
+        return expected

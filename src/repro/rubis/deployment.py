@@ -1,0 +1,317 @@
+"""Deployment wiring: RUBiS tiers on a virtualized or bare-metal testbed.
+
+A deployment assembles one of the paper's two environments:
+
+* :class:`VirtualizedDeployment` — one cloud server running a Xen-like
+  hypervisor with two guest VMs (web+app, MySQL) plus dom0 (Section 4.1).
+  The VMs share the server, so inter-tier traffic crosses the software
+  bridge with local latency.
+* :class:`BareMetalDeployment` — the two tiers on *separate* physical
+  servers (Section 4.2), so inter-tier traffic crosses the switch; the
+  paper invokes this "longer communication delay in the non-virtualized
+  system" when discussing the earlier RAM jumps.
+
+Both expose the same ``send`` function to the client population and the
+same tier/contexts to the monitoring layer, so every other part of the
+pipeline is environment-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.apps.requests import Request
+from repro.apps.tier import (
+    BareMetalContext,
+    ExecutionContext,
+    OsActivityModel,
+    VirtualizedContext,
+)
+from repro.errors import ConfigurationError
+from repro.hardware.cluster import Cluster
+from repro.hardware.server import ServerSpec
+from repro.rubis.database import BufferPool, RubisDatabase
+from repro.rubis.demand import DemandSampler, DemandScaling
+from repro.rubis.memorymodel import MemoryProfile, TierMemoryModel
+from repro.rubis.mysqltier import MysqlTier, MysqlTierConfig
+from repro.rubis.phptier import PhpTier, PhpTierConfig
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+from repro.units import GB, MB
+from repro.virt.hypervisor import Hypervisor
+from repro.virt.overhead import OverheadModel
+
+WEB_TIER = "web"
+DB_TIER = "db"
+CLIENT_ENDPOINT = "client"
+
+
+@dataclass
+class DeploymentConfig:
+    """Environment-independent deployment parameters."""
+
+    scaling: DemandScaling = field(default_factory=DemandScaling)
+    web_memory: MemoryProfile = field(
+        default_factory=lambda: MemoryProfile(base_mb=280.0)
+    )
+    db_memory: MemoryProfile = field(
+        default_factory=lambda: MemoryProfile(
+            base_mb=115.0,
+            per_session_kb=4.0,
+            cache_growth_mb=60.0,
+            noise_mb=3.0,
+            jump_mb=0.0,
+            max_jumps=0,
+        )
+    )
+    php: PhpTierConfig = field(default_factory=PhpTierConfig)
+    mysql: MysqlTierConfig = field(default_factory=MysqlTierConfig)
+    buffer_pool_bytes: float = 384 * MB
+    #: RUBiS touches a small hot set (active items and their bids) for
+    #: almost all accesses; with a warmed pool the hit ratio sits near
+    #: 99.4 %, which keeps the db tier CPU-bound as the paper observes.
+    buffer_pool_hot_fraction: float = 0.05
+    buffer_pool_hot_access: float = 0.99
+    database: RubisDatabase = field(default_factory=RubisDatabase)
+
+
+class Deployment:
+    """Common request-path logic for both environments."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        streams: RandomStreams,
+        config: Optional[DeploymentConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.streams = streams
+        self.config = config or DeploymentConfig()
+        self.cluster = Cluster()
+        self.buffer_pool = BufferPool(
+            capacity_bytes=self.config.buffer_pool_bytes,
+            database=self.config.database,
+            hot_fraction=self.config.buffer_pool_hot_fraction,
+            hot_access_probability=self.config.buffer_pool_hot_access,
+        )
+        self.demand_sampler = DemandSampler(
+            self.config.scaling, self.buffer_pool, streams.stream("demand")
+        )
+        self.population = None  # set by the runner once clients exist
+        # Subclasses must assign these in _build().
+        self.web_context: ExecutionContext = None
+        self.db_context: ExecutionContext = None
+        self.php_tier: PhpTier = None
+        self.mysql_tier: MysqlTier = None
+        self.web_memory_model: TierMemoryModel = None
+        self.db_memory_model: TierMemoryModel = None
+        self._build()
+        if self.web_context is None or self.db_context is None:
+            raise ConfigurationError("deployment subclass did not build tiers")
+
+    # -- subclass surface ---------------------------------------------------
+
+    def _build(self) -> None:
+        raise NotImplementedError
+
+    @property
+    def environment(self) -> str:
+        raise NotImplementedError
+
+    # -- shared helpers -------------------------------------------------------
+
+    def _active_sessions(self) -> int:
+        if self.population is None:
+            return 0
+        return len(self.population.sessions)
+
+    def _make_tiers(self) -> None:
+        self.php_tier = PhpTier(self.sim, self.web_context, self.config.php)
+        self.mysql_tier = MysqlTier(self.sim, self.db_context, self.config.mysql)
+        self.web_memory_model = TierMemoryModel(
+            self.sim,
+            self.web_context,
+            self.config.web_memory,
+            self.php_tier.station,
+            self.streams.stream("memory.web"),
+            active_sessions_fn=self._active_sessions,
+        )
+        self.db_memory_model = TierMemoryModel(
+            self.sim,
+            self.db_context,
+            self.config.db_memory,
+            self.mysql_tier.station,
+            self.streams.stream("memory.db"),
+            active_sessions_fn=self._active_sessions,
+        )
+
+    def _latency(self, src: str, dst: str) -> float:
+        return self.cluster.fabric.latency(src, dst)
+
+    # -- the request path -------------------------------------------------------
+
+    def send(
+        self,
+        session,
+        interaction: str,
+        on_response: Callable[[Request], None],
+    ) -> None:
+        """Entry point used by client sessions (the ``SendFn``)."""
+        demand = self.demand_sampler.sample(interaction)
+        request = Request(
+            session_id=session.session_id,
+            interaction=interaction,
+            demand=demand,
+            created_at=self.sim.now,
+        )
+        completion = self.web_context.net_receive(demand.request_bytes)
+        transfer = max(0.0, completion - self.sim.now)
+        self.sim.schedule(
+            transfer + self._latency(CLIENT_ENDPOINT, WEB_TIER),
+            self._web_arrive,
+            request,
+            on_response,
+        )
+
+    def _web_arrive(self, request: Request, on_response) -> None:
+        self.php_tier.handle(
+            request, lambda finished: self._web_done(finished, on_response)
+        )
+
+    def _web_done(self, request: Request, on_response) -> None:
+        demand = request.demand
+        if demand.db_queries > 0:
+            self.web_context.net_transmit(demand.query_bytes)
+            completion = self.db_context.net_receive(demand.query_bytes)
+            transfer = max(0.0, completion - self.sim.now)
+            self.sim.schedule(
+                transfer + self._latency(WEB_TIER, DB_TIER),
+                self._db_arrive,
+                request,
+                on_response,
+            )
+        else:
+            self._respond(request, on_response)
+
+    def _db_arrive(self, request: Request, on_response) -> None:
+        self.mysql_tier.handle(
+            request, lambda finished: self._db_done(finished, on_response)
+        )
+
+    def _db_done(self, request: Request, on_response) -> None:
+        demand = request.demand
+        self.db_context.net_transmit(demand.result_bytes)
+        completion = self.web_context.net_receive(demand.result_bytes)
+        transfer = max(0.0, completion - self.sim.now)
+        self.sim.schedule(
+            transfer + self._latency(DB_TIER, WEB_TIER),
+            self._respond,
+            request,
+            on_response,
+        )
+
+    def _respond(self, request: Request, on_response) -> None:
+        completion = self.web_context.net_transmit(request.demand.response_bytes)
+        transfer = max(0.0, completion - self.sim.now)
+        self.sim.schedule(
+            transfer + self._latency(WEB_TIER, CLIENT_ENDPOINT),
+            on_response,
+            request,
+        )
+
+    def shutdown(self) -> None:
+        """Disarm all periodic processes."""
+        self.web_memory_model.stop()
+        self.db_memory_model.stop()
+
+
+class VirtualizedDeployment(Deployment):
+    """Both tiers in VMs on one cloud server under a hypervisor."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        streams: RandomStreams,
+        config: Optional[DeploymentConfig] = None,
+        overhead: Optional[OverheadModel] = None,
+        vm_memory_bytes: float = 2 * GB,
+        vm_vcpus: int = 2,
+        server_spec: Optional[ServerSpec] = None,
+    ) -> None:
+        self._overhead = overhead or OverheadModel()
+        self._vm_memory_bytes = vm_memory_bytes
+        self._vm_vcpus = vm_vcpus
+        self._server_spec = server_spec
+        super().__init__(sim, streams, config)
+
+    @property
+    def environment(self) -> str:
+        return "virtualized"
+
+    def _build(self) -> None:
+        self.server = self.cluster.add_server("cloud-1", self._server_spec)
+        self.hypervisor = Hypervisor(self.sim, self.server, self._overhead)
+        self.web_domain = self.hypervisor.create_domain(
+            "web-vm",
+            vcpu_count=self._vm_vcpus,
+            memory_bytes=self._vm_memory_bytes,
+        )
+        self.db_domain = self.hypervisor.create_domain(
+            "db-vm",
+            vcpu_count=self._vm_vcpus,
+            memory_bytes=self._vm_memory_bytes,
+        )
+        self.web_context = VirtualizedContext(self.hypervisor, self.web_domain)
+        self.db_context = VirtualizedContext(self.hypervisor, self.db_domain)
+        fabric = self.cluster.fabric
+        fabric.place(WEB_TIER, "cloud-1")
+        fabric.place(DB_TIER, "cloud-1")
+        fabric.place(CLIENT_ENDPOINT, "client-host")
+        self._make_tiers()
+
+    def shutdown(self) -> None:
+        super().shutdown()
+        self.hypervisor.shutdown()
+
+
+class BareMetalDeployment(Deployment):
+    """Each tier on its own physical server, no hypervisor."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        streams: RandomStreams,
+        config: Optional[DeploymentConfig] = None,
+        web_os_model: Optional[OsActivityModel] = None,
+        db_os_model: Optional[OsActivityModel] = None,
+        server_spec: Optional[ServerSpec] = None,
+    ) -> None:
+        self._web_os_model = web_os_model or OsActivityModel()
+        self._db_os_model = db_os_model or OsActivityModel()
+        self._server_spec = server_spec
+        super().__init__(sim, streams, config)
+
+    @property
+    def environment(self) -> str:
+        return "bare-metal"
+
+    def _build(self) -> None:
+        self.web_server = self.cluster.add_server("web-pm", self._server_spec)
+        self.db_server = self.cluster.add_server("db-pm", self._server_spec)
+        self.web_context = BareMetalContext(
+            self.sim, self.web_server, "pm:web", self._web_os_model
+        )
+        self.db_context = BareMetalContext(
+            self.sim, self.db_server, "pm:db", self._db_os_model
+        )
+        fabric = self.cluster.fabric
+        fabric.place(WEB_TIER, "web-pm")
+        fabric.place(DB_TIER, "db-pm")
+        fabric.place(CLIENT_ENDPOINT, "client-host")
+        self._make_tiers()
+
+    def shutdown(self) -> None:
+        super().shutdown()
+        self.web_context.shutdown()
+        self.db_context.shutdown()

@@ -1,0 +1,130 @@
+"""The 26 RUBiS interactions and their resource profiles.
+
+RUBiS models an auction site; its client emulator walks a Markov chain
+whose states are these interactions.  Each interaction carries a
+*relative* resource profile (work units, query counts, rows touched,
+response sizes).  Absolute demands are produced by
+:class:`repro.rubis.demand.DemandSampler`, which multiplies the profile
+by per-environment calibration scales — that separation keeps the
+application model identical across the virtualized and bare-metal
+environments, as in the paper's methodology.
+
+Profile magnitudes follow the usual RUBiS lore: search/browse pages are
+the expensive reads (big item lists, multi-way joins), the ``Store*``
+interactions are the writes, static-ish pages (Home, auth forms) are
+cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Interaction:
+    """Static profile of one RUBiS interaction.
+
+    Attributes:
+        name: RUBiS servlet/PHP script name.
+        writes: True if the interaction commits database writes.
+        web_work: relative web/application CPU work units.
+        db_work: relative database CPU work units.
+        db_queries: number of SQL statements issued.
+        rows_touched: rows read by those statements (drives buffer-pool
+            misses and therefore data-tier disk reads).
+        rows_written: rows inserted/updated.
+        response_kb: mean HTML response size in KB.
+        response_cv: coefficient of variation of the response size.
+    """
+
+    name: str
+    writes: bool
+    web_work: float
+    db_work: float
+    db_queries: int
+    rows_touched: float
+    rows_written: float
+    response_kb: float
+    response_cv: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.web_work < 0 or self.db_work < 0:
+            raise ConfigurationError(f"{self.name}: negative work units")
+        if self.db_queries < 0 or self.rows_touched < 0 or self.rows_written < 0:
+            raise ConfigurationError(f"{self.name}: negative row/query counts")
+        if self.writes and self.rows_written <= 0:
+            raise ConfigurationError(
+                f"{self.name}: marked as writing but writes no rows"
+            )
+
+
+def _make_catalogue() -> Dict[str, Interaction]:
+    rows: Tuple[Tuple, ...] = (
+        # name                       writes web   db    q  r_tch r_wr  resp_kb
+        ("Home",                     False, 0.40, 0.00, 0,    0,  0,    3.0),
+        ("Register",                 False, 0.45, 0.00, 0,    0,  0,    4.0),
+        ("RegisterUser",             True,  0.90, 0.80, 3,    4,  1,    5.0),
+        ("Browse",                   False, 0.50, 0.00, 0,    0,  0,    4.5),
+        ("BrowseCategories",         False, 0.80, 0.50, 1,   20,  0,    9.0),
+        ("SearchItemsInCategory",    False, 1.60, 1.80, 2,  120,  0,   22.0),
+        ("BrowseRegions",            False, 0.70, 0.40, 1,   62,  0,    8.0),
+        ("BrowseCategoriesInRegion", False, 0.85, 0.55, 2,   25,  0,    9.5),
+        ("SearchItemsInRegion",      False, 1.65, 1.90, 3,  130,  0,   21.0),
+        ("ViewItem",                 False, 1.00, 0.90, 2,   12,  0,   14.0),
+        ("ViewUserInfo",             False, 0.85, 0.70, 2,   15,  0,    9.0),
+        ("ViewBidHistory",           False, 0.95, 1.00, 2,   25,  0,   11.0),
+        ("BuyNowAuth",               False, 0.45, 0.00, 0,    0,  0,    4.0),
+        ("BuyNow",                   False, 0.90, 0.70, 2,    8,  0,    9.0),
+        ("StoreBuyNow",              True,  1.00, 1.40, 4,   10,  3,    5.0),
+        ("PutBidAuth",               False, 0.45, 0.00, 0,    0,  0,    4.0),
+        ("PutBid",                   False, 0.95, 0.85, 3,   14,  0,   10.0),
+        ("StoreBid",                 True,  1.05, 1.50, 4,   12,  2,    5.0),
+        ("PutCommentAuth",           False, 0.45, 0.00, 0,    0,  0,    4.0),
+        ("PutComment",               False, 0.85, 0.60, 2,    8,  0,    8.0),
+        ("StoreComment",             True,  0.95, 1.30, 3,    8,  2,    5.0),
+        ("Sell",                     False, 0.45, 0.00, 0,    0,  0,    4.5),
+        ("SelectCategoryToSellItem", False, 0.60, 0.35, 1,   20,  0,    6.0),
+        ("SellItemForm",             False, 0.50, 0.00, 0,    0,  0,    5.0),
+        ("RegisterItem",             True,  1.10, 1.60, 4,    8,  3,    5.5),
+        ("AboutMe",                  False, 1.30, 1.40, 4,   60,  0,   16.0),
+    )
+    catalogue = {}
+    for (name, writes, web, db, queries, touched, written, resp) in rows:
+        catalogue[name] = Interaction(
+            name=name,
+            writes=writes,
+            web_work=web,
+            db_work=db,
+            db_queries=queries,
+            rows_touched=float(touched),
+            rows_written=float(written),
+            response_kb=resp,
+        )
+    return catalogue
+
+
+#: All 26 RUBiS interactions by name.
+INTERACTIONS: Dict[str, Interaction] = _make_catalogue()
+
+#: Read-only interactions used by the browsing mix.
+BROWSING_INTERACTIONS = tuple(
+    name for name, ix in INTERACTIONS.items() if not ix.writes
+)
+
+#: The full interaction set (the bidding mix uses all of them).
+BIDDING_INTERACTIONS = tuple(INTERACTIONS)
+
+
+def get_interaction(name: str) -> Interaction:
+    """Look up an interaction profile by name.
+
+    Raises:
+        ConfigurationError: for unknown names.
+    """
+    try:
+        return INTERACTIONS[name]
+    except KeyError:
+        raise ConfigurationError(f"unknown RUBiS interaction {name!r}") from None

@@ -1,0 +1,157 @@
+"""Tier memory dynamics: the "used memory" series of Figures 2 and 6.
+
+Used memory on a server running a web application is a *level* process
+with four visible components, all present in the paper's figures:
+
+* a base footprint (guest OS + daemons + application residents),
+* a slow warm-up ramp (page cache, interned code, buffer pool filling),
+* a per-active-session component (PHP session state, DB connections),
+* occasional *step jumps* when a backlog of requests forces the server
+  to allocate more memory — the paper's own explanation of the abrupt
+  RAM increases, which it also ties to co-located disk spikes ("which
+  also causes more disk reads/writes").
+
+The model watches its station's occupancy every second; when occupancy
+exceeds ``backlog_threshold`` (and the cooldown has passed), it commits a
+permanent jump of ``jump_mb`` and issues a disk burst through the tier's
+execution context — reproducing the paired RAM-step/disk-spike pattern
+of Figures 2 and 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.queueing import QueueingStation
+from repro.apps.tier import ExecutionContext
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+from repro.units import MB
+
+
+@dataclass(frozen=True)
+class MemoryProfile:
+    """Parameters of one tier's memory level process (all MB-based)."""
+
+    base_mb: float
+    #: KB of state per active client session.
+    per_session_kb: float = 60.0
+    #: Asymptotic warm-up growth above base.
+    cache_growth_mb: float = 150.0
+    #: Time constant of the warm-up ramp (reaches ~63 % at this age).
+    cache_ramp_s: float = 300.0
+    #: Standard deviation of the sampling noise.
+    noise_mb: float = 6.0
+    #: Size of one backlog-induced allocation step.
+    jump_mb: float = 110.0
+    #: Station occupancy that triggers a jump.
+    backlog_threshold: int = 40
+    #: Minimum spacing between jumps.
+    jump_cooldown_s: float = 120.0
+    #: Cap on the number of jumps per run.
+    max_jumps: int = 3
+    #: Disk burst issued with each jump (the paper's co-located spikes).
+    jump_disk_burst_kb: float = 500.0
+
+    def __post_init__(self) -> None:
+        if self.base_mb < 0:
+            raise ConfigurationError("base_mb must be non-negative")
+        if self.cache_ramp_s <= 0:
+            raise ConfigurationError("cache_ramp_s must be positive")
+        if self.max_jumps < 0:
+            raise ConfigurationError("max_jumps must be non-negative")
+
+
+class TierMemoryModel:
+    """Drives a tier's used-memory level once per second."""
+
+    UPDATE_INTERVAL_S = 1.0
+
+    def __init__(
+        self,
+        sim: Simulator,
+        context: ExecutionContext,
+        profile: MemoryProfile,
+        station: QueueingStation,
+        rng: np.random.Generator,
+        active_sessions_fn=None,
+    ) -> None:
+        self.sim = sim
+        self.context = context
+        self.profile = profile
+        self.station = station
+        self.rng = rng
+        self.active_sessions_fn = active_sessions_fn or (lambda: 0)
+        self._start_time = sim.now
+        self._jumps_committed = 0
+        self._jump_level_mb = 0.0
+        self._last_jump_at: Optional[float] = None
+        self.jump_times = []
+        self._process = PeriodicProcess(
+            sim,
+            self.UPDATE_INTERVAL_S,
+            self._update,
+            name=f"memory:{context.owner}",
+        ).start()
+        self._apply_level(self._level_mb())
+
+    # -- level process ---------------------------------------------------
+
+    def _level_mb(self) -> float:
+        profile = self.profile
+        age = self.sim.now - self._start_time
+        ramp = profile.cache_growth_mb * (
+            1.0 - np.exp(-age / profile.cache_ramp_s)
+        )
+        sessions = self.active_sessions_fn() * profile.per_session_kb / 1024.0
+        noise = (
+            self.rng.normal(0.0, profile.noise_mb)
+            if profile.noise_mb > 0
+            else 0.0
+        )
+        level = (
+            profile.base_mb + ramp + sessions + self._jump_level_mb + noise
+        )
+        return max(level, 0.0)
+
+    def _update(self, tick_time: float) -> None:
+        self._maybe_jump(tick_time)
+        self._apply_level(self._level_mb())
+
+    def _apply_level(self, level_mb: float) -> None:
+        self.context.set_memory(level_mb * MB)
+
+    # -- backlog jumps -----------------------------------------------------
+
+    def _maybe_jump(self, tick_time: float) -> None:
+        profile = self.profile
+        window_peak = self.station.take_window_peak()
+        if self._jumps_committed >= profile.max_jumps:
+            return
+        if window_peak < profile.backlog_threshold:
+            return
+        if (
+            self._last_jump_at is not None
+            and tick_time - self._last_jump_at < profile.jump_cooldown_s
+        ):
+            return
+        self._jumps_committed += 1
+        self._jump_level_mb += profile.jump_mb
+        self._last_jump_at = tick_time
+        self.jump_times.append(tick_time)
+        burst_bytes = profile.jump_disk_burst_kb * 1024.0
+        if burst_bytes > 0:
+            # Backlogged work spills to disk: half read back, half written.
+            self.context.disk_read(burst_bytes * 0.5)
+            self.context.disk_write(burst_bytes * 0.5)
+
+    @property
+    def jumps_committed(self) -> int:
+        return self._jumps_committed
+
+    def stop(self) -> None:
+        self._process.stop()

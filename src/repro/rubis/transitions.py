@@ -1,0 +1,268 @@
+"""Client-emulator transition matrices for the RUBiS mixes.
+
+The RUBiS client emulator walks a first-order Markov chain over the
+interactions; its distribution kit ships two canonical tables — the
+read-only *browsing* mix and the 15 %-read-write *bidding* mix.  The
+tables here follow that structure: browsing never leaves the read-only
+states; bidding adds the authentication/commit paths (PutBid/StoreBid,
+BuyNow/StoreBuyNow, comments, item registration).
+
+The matrices are genuinely Markovian objects: rows are validated to sum
+to one, the chain is checked for absorbing states, and the stationary
+distribution (used by the calibration math and the tests) is computed by
+power iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rubis.interactions import INTERACTIONS
+
+_ROW_SUM_TOLERANCE = 1e-9
+
+
+class TransitionMatrix:
+    """Validated first-order Markov chain over interaction names."""
+
+    def __init__(
+        self,
+        name: str,
+        transitions: Mapping[str, Mapping[str, float]],
+        initial_state: str = "Home",
+        normalize: bool = True,
+    ) -> None:
+        if initial_state not in transitions:
+            raise ConfigurationError(
+                f"initial state {initial_state!r} missing from matrix {name!r}"
+            )
+        self.name = name
+        self.initial_state = initial_state
+        self.states = tuple(sorted(transitions))
+        self._index = {state: i for i, state in enumerate(self.states)}
+        matrix = np.zeros((len(self.states), len(self.states)))
+        for src, row in transitions.items():
+            if not row:
+                raise ConfigurationError(
+                    f"state {src!r} in matrix {name!r} is absorbing"
+                )
+            for dst, probability in row.items():
+                if dst not in self._index:
+                    raise ConfigurationError(
+                        f"transition {src!r}->{dst!r} targets a state "
+                        f"missing from matrix {name!r}"
+                    )
+                if probability < 0:
+                    raise ConfigurationError(
+                        f"negative probability on {src!r}->{dst!r}"
+                    )
+                matrix[self._index[src], self._index[dst]] = probability
+        row_sums = matrix.sum(axis=1)
+        if normalize:
+            if (row_sums <= 0).any():
+                raise ConfigurationError(f"zero-sum row in matrix {name!r}")
+            matrix = matrix / row_sums[:, None]
+        elif np.abs(row_sums - 1.0).max() > _ROW_SUM_TOLERANCE:
+            worst = self.states[int(np.abs(row_sums - 1.0).argmax())]
+            raise ConfigurationError(
+                f"row {worst!r} of matrix {name!r} sums to "
+                f"{row_sums[self._index[worst]]:.6f}, not 1"
+            )
+        self.matrix = matrix
+        unknown = [s for s in self.states if s not in INTERACTIONS]
+        if unknown:
+            raise ConfigurationError(
+                f"matrix {name!r} references unknown interactions: {unknown}"
+            )
+
+    def next_state(self, rng: np.random.Generator, current: str) -> str:
+        """Draw the successor of ``current``."""
+        if current not in self._index:
+            raise ConfigurationError(
+                f"state {current!r} not in matrix {self.name!r}"
+            )
+        row = self.matrix[self._index[current]]
+        return self.states[int(rng.choice(len(self.states), p=row))]
+
+    def probability(self, src: str, dst: str) -> float:
+        return float(self.matrix[self._index[src], self._index[dst]])
+
+    def stationary_distribution(
+        self, iterations: int = 2000, tolerance: float = 1e-12
+    ) -> Dict[str, float]:
+        """Stationary distribution by power iteration.
+
+        Raises:
+            ConfigurationError: if the iteration fails to converge, which
+                indicates a periodic or disconnected chain.
+        """
+        pi = np.full(len(self.states), 1.0 / len(self.states))
+        for _ in range(iterations):
+            updated = pi @ self.matrix
+            if np.abs(updated - pi).max() < tolerance:
+                return dict(zip(self.states, updated))
+            pi = updated
+        raise ConfigurationError(
+            f"stationary distribution of {self.name!r} did not converge"
+        )
+
+    def write_fraction(self) -> float:
+        """Stationary probability mass on write interactions."""
+        pi = self.stationary_distribution()
+        return sum(
+            probability
+            for state, probability in pi.items()
+            if INTERACTIONS[state].writes
+        )
+
+    def mean_profile(self, attribute: str) -> float:
+        """Stationary mean of an interaction profile attribute."""
+        pi = self.stationary_distribution()
+        return sum(
+            probability * getattr(INTERACTIONS[state], attribute)
+            for state, probability in pi.items()
+        )
+
+
+def _browsing_transitions() -> Dict[str, Dict[str, float]]:
+    """Read-only navigation: home -> browse -> search -> view loops."""
+    return {
+        "Home": {"Browse": 0.85, "Home": 0.15},
+        "Browse": {
+            "BrowseCategories": 0.55,
+            "BrowseRegions": 0.35,
+            "Home": 0.10,
+        },
+        "BrowseCategories": {
+            "SearchItemsInCategory": 0.85,
+            "Browse": 0.15,
+        },
+        "SearchItemsInCategory": {
+            "ViewItem": 0.55,
+            "SearchItemsInCategory": 0.30,
+            "Browse": 0.15,
+        },
+        "BrowseRegions": {
+            "BrowseCategoriesInRegion": 0.85,
+            "Browse": 0.15,
+        },
+        "BrowseCategoriesInRegion": {
+            "SearchItemsInRegion": 0.85,
+            "BrowseRegions": 0.15,
+        },
+        "SearchItemsInRegion": {
+            "ViewItem": 0.55,
+            "SearchItemsInRegion": 0.30,
+            "Browse": 0.15,
+        },
+        "ViewItem": {
+            "ViewUserInfo": 0.25,
+            "ViewBidHistory": 0.25,
+            "Browse": 0.35,
+            "Home": 0.15,
+        },
+        "ViewUserInfo": {"ViewItem": 0.45, "Browse": 0.55},
+        "ViewBidHistory": {"ViewItem": 0.50, "Browse": 0.50},
+    }
+
+
+def _bidding_transitions() -> Dict[str, Dict[str, float]]:
+    """Default bidding mix: browsing plus read-write funnels.
+
+    The probabilities were tuned so the stationary write fraction lands
+    near 10 % (RUBiS's shipped bidding mix is quoted as "up to 15 %
+    read-write interactions"; the chain structure below dilutes the
+    funnels through the auth/confirm pages exactly as the real emulator
+    does).
+    """
+    transitions = _browsing_transitions()
+    # Entry points gain the seller/registration/about-me paths.
+    transitions["Home"] = {
+        "Browse": 0.68,
+        "Register": 0.06,
+        "Sell": 0.08,
+        "AboutMe": 0.06,
+        "Home": 0.12,
+    }
+    # Viewing an item leads into the bid / buy-now / comment funnels.
+    transitions["ViewItem"] = {
+        "PutBidAuth": 0.50,
+        "BuyNowAuth": 0.14,
+        "ViewUserInfo": 0.07,
+        "ViewBidHistory": 0.05,
+        "Browse": 0.16,
+        "Home": 0.08,
+    }
+    transitions["ViewUserInfo"] = {
+        "PutCommentAuth": 0.40,
+        "ViewItem": 0.25,
+        "Browse": 0.35,
+    }
+    transitions["SearchItemsInCategory"] = {
+        "ViewItem": 0.70,
+        "SearchItemsInCategory": 0.18,
+        "Browse": 0.12,
+    }
+    transitions["SearchItemsInRegion"] = {
+        "ViewItem": 0.70,
+        "SearchItemsInRegion": 0.18,
+        "Browse": 0.12,
+    }
+    transitions.update(
+        {
+            "Register": {"RegisterUser": 0.92, "Home": 0.08},
+            "RegisterUser": {"Browse": 0.70, "Home": 0.30},
+            "PutBidAuth": {"PutBid": 0.97, "ViewItem": 0.03},
+            "PutBid": {"StoreBid": 0.95, "ViewItem": 0.05},
+            "StoreBid": {"ViewItem": 0.55, "Browse": 0.32, "Home": 0.13},
+            "BuyNowAuth": {"BuyNow": 0.95, "ViewItem": 0.05},
+            "BuyNow": {"StoreBuyNow": 0.90, "ViewItem": 0.10},
+            "StoreBuyNow": {"ViewItem": 0.45, "Browse": 0.35, "Home": 0.20},
+            "PutCommentAuth": {"PutComment": 0.95, "ViewUserInfo": 0.05},
+            "PutComment": {"StoreComment": 0.92, "ViewUserInfo": 0.08},
+            "StoreComment": {"ViewItem": 0.45, "Browse": 0.35, "ViewUserInfo": 0.20},
+            "Sell": {"SelectCategoryToSellItem": 0.90, "Home": 0.10},
+            "SelectCategoryToSellItem": {"SellItemForm": 0.90, "Sell": 0.10},
+            "SellItemForm": {"RegisterItem": 0.90, "Sell": 0.10},
+            "RegisterItem": {"Sell": 0.25, "Browse": 0.45, "Home": 0.30},
+            "AboutMe": {"Browse": 0.55, "ViewItem": 0.30, "Home": 0.15},
+        }
+    )
+    return transitions
+
+
+def browsing_matrix() -> TransitionMatrix:
+    """The read-only browsing mix."""
+    return TransitionMatrix("browsing", _browsing_transitions())
+
+
+def bidding_matrix() -> TransitionMatrix:
+    """The default bidding mix (~15 % read-write interactions)."""
+    return TransitionMatrix("bidding", _bidding_transitions())
+
+
+def matrix_for(session_type: str) -> TransitionMatrix:
+    """Matrix for a session type: 'browse' or 'bid'."""
+    if session_type == "browse":
+        return browsing_matrix()
+    if session_type == "bid":
+        return bidding_matrix()
+    raise ConfigurationError(f"unknown session type {session_type!r}")
+
+
+def reachable_states(matrix: TransitionMatrix) -> Iterable[str]:
+    """States reachable from the initial state (BFS over positive edges)."""
+    seen = {matrix.initial_state}
+    frontier = [matrix.initial_state]
+    while frontier:
+        state = frontier.pop()
+        row = matrix.matrix[matrix._index[state]]
+        for j, probability in enumerate(row):
+            dst = matrix.states[j]
+            if probability > 0 and dst not in seen:
+                seen.add(dst)
+                frontier.append(dst)
+    return sorted(seen)

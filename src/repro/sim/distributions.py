@@ -1,0 +1,338 @@
+"""Service-time and size distributions used by the workload models.
+
+Each distribution is a small object with a ``sample(rng)`` method, a
+``mean()`` and, where meaningful, a coefficient of variation.  Web-server
+literature motivates the specific family choices:
+
+* request service times: log-normal (heavier right tail than exponential),
+* think times: exponential around the configured mean (RUBiS client
+  emulator draws negative-exponential think times),
+* transfer sizes: bounded Pareto (classic heavy-tailed web object sizes),
+* device jitter: truncated normal.
+
+``distribution_from_spec`` builds one from a plain dict so experiment
+configurations can be fully declarative.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class Distribution:
+    """Interface for scalar random variates."""
+
+    def sample(self, rng: np.random.Generator) -> float:
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        raise NotImplementedError
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Vectorized sampling; subclasses override when numpy allows."""
+        return np.array([self.sample(rng) for _ in range(n)], dtype=float)
+
+
+class Constant(Distribution):
+    """Degenerate distribution: always ``value``."""
+
+    def __init__(self, value: float) -> None:
+        self.value = float(value)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.value
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.full(n, self.value)
+
+    def mean(self) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+
+#: Alias mirroring queueing-theory naming (D in Kendall notation).
+Deterministic = Constant
+
+
+class Exponential(Distribution):
+    """Exponential with the given mean (rate = 1/mean)."""
+
+    def __init__(self, mean: float) -> None:
+        if mean <= 0:
+            raise ConfigurationError("Exponential mean must be positive")
+        self._mean = float(mean)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self._mean))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.exponential(self._mean, size=n)
+
+    def mean(self) -> float:
+        return self._mean
+
+    def __repr__(self) -> str:
+        return f"Exponential(mean={self._mean!r})"
+
+
+class Uniform(Distribution):
+    """Uniform on ``[low, high]``."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if high < low:
+            raise ConfigurationError("Uniform requires high >= low")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=n)
+
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    def __repr__(self) -> str:
+        return f"Uniform({self.low!r}, {self.high!r})"
+
+
+class TruncatedNormal(Distribution):
+    """Normal(mean, std) truncated below at ``floor`` by resampling.
+
+    Used for device jitter where negative durations are meaningless.  The
+    reported :meth:`mean` is the untruncated mean, a deliberate (small)
+    approximation valid when ``floor`` is several sigma below the mean.
+    """
+
+    _MAX_RESAMPLES = 64
+
+    def __init__(self, mean: float, std: float, floor: float = 0.0) -> None:
+        if std < 0:
+            raise ConfigurationError("std must be non-negative")
+        self._mean = float(mean)
+        self.std = float(std)
+        self.floor = float(floor)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self.std == 0:
+            return max(self._mean, self.floor)
+        for _ in range(self._MAX_RESAMPLES):
+            value = rng.normal(self._mean, self.std)
+            if value >= self.floor:
+                return float(value)
+        return self.floor
+
+    def mean(self) -> float:
+        return max(self._mean, self.floor)
+
+    def __repr__(self) -> str:
+        return (
+            f"TruncatedNormal(mean={self._mean!r}, std={self.std!r}, "
+            f"floor={self.floor!r})"
+        )
+
+
+class LogNormal(Distribution):
+    """Log-normal parameterized by its arithmetic mean and CV.
+
+    Given mean m and coefficient of variation c, the underlying normal
+    parameters are sigma^2 = ln(1 + c^2) and mu = ln(m) - sigma^2 / 2.
+    """
+
+    def __init__(self, mean: float, cv: float = 0.5) -> None:
+        if mean <= 0:
+            raise ConfigurationError("LogNormal mean must be positive")
+        if cv < 0:
+            raise ConfigurationError("LogNormal cv must be non-negative")
+        self._mean = float(mean)
+        self.cv = float(cv)
+        self._sigma2 = math.log(1.0 + cv * cv)
+        self._sigma = math.sqrt(self._sigma2)
+        self._mu = math.log(mean) - self._sigma2 / 2.0
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self.cv == 0:
+            return self._mean
+        return float(rng.lognormal(self._mu, self._sigma))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if self.cv == 0:
+            return np.full(n, self._mean)
+        return rng.lognormal(self._mu, self._sigma, size=n)
+
+    def mean(self) -> float:
+        return self._mean
+
+    def __repr__(self) -> str:
+        return f"LogNormal(mean={self._mean!r}, cv={self.cv!r})"
+
+
+class ParetoBounded(Distribution):
+    """Bounded Pareto on ``[low, high]`` with tail index ``alpha``.
+
+    The classic heavy-tailed model for web object sizes.  Sampled by
+    inversion of the truncated CDF.
+    """
+
+    def __init__(self, alpha: float, low: float, high: float) -> None:
+        if alpha <= 0:
+            raise ConfigurationError("alpha must be positive")
+        if not 0 < low < high:
+            raise ConfigurationError("require 0 < low < high")
+        self.alpha = float(alpha)
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self._invert(rng.uniform()))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self._invert(rng.uniform(size=n))
+
+    def _invert(self, u):
+        a, low, high = self.alpha, self.low, self.high
+        hl = (low / high) ** a
+        return low / (1.0 - u * (1.0 - hl)) ** (1.0 / a)
+
+    def mean(self) -> float:
+        a, low, high = self.alpha, self.low, self.high
+        if a == 1.0:
+            return math.log(high / low) * low * high / (high - low)
+        num = (low**a) * (high ** (1 - a) - low ** (1 - a)) * a
+        den = (1 - a) * (1 - (low / high) ** a)
+        return num / den
+
+    def __repr__(self) -> str:
+        return (
+            f"ParetoBounded(alpha={self.alpha!r}, low={self.low!r}, "
+            f"high={self.high!r})"
+        )
+
+
+class Erlang(Distribution):
+    """Erlang-k with the given mean (sum of k exponentials)."""
+
+    def __init__(self, k: int, mean: float) -> None:
+        if k < 1:
+            raise ConfigurationError("Erlang shape k must be >= 1")
+        if mean <= 0:
+            raise ConfigurationError("Erlang mean must be positive")
+        self.k = int(k)
+        self._mean = float(mean)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.gamma(self.k, self._mean / self.k))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.gamma(self.k, self._mean / self.k, size=n)
+
+    def mean(self) -> float:
+        return self._mean
+
+    def __repr__(self) -> str:
+        return f"Erlang(k={self.k!r}, mean={self._mean!r})"
+
+
+class Empirical(Distribution):
+    """Discrete distribution over given values with given weights."""
+
+    def __init__(self, values: Sequence[float], weights: Sequence[float]) -> None:
+        if len(values) == 0:
+            raise ConfigurationError("Empirical needs at least one value")
+        if len(values) != len(weights):
+            raise ConfigurationError("values and weights differ in length")
+        weight_array = np.asarray(weights, dtype=float)
+        if (weight_array < 0).any() or weight_array.sum() <= 0:
+            raise ConfigurationError("weights must be non-negative, sum > 0")
+        self.values = np.asarray(values, dtype=float)
+        self.probabilities = weight_array / weight_array.sum()
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.choice(self.values, p=self.probabilities))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.choice(self.values, p=self.probabilities, size=n)
+
+    def mean(self) -> float:
+        return float(np.dot(self.values, self.probabilities))
+
+    def __repr__(self) -> str:
+        return f"Empirical(n={len(self.values)})"
+
+
+class Mixture(Distribution):
+    """Probabilistic mixture of component distributions."""
+
+    def __init__(
+        self, components: Sequence[Distribution], weights: Sequence[float]
+    ) -> None:
+        if len(components) == 0:
+            raise ConfigurationError("Mixture needs at least one component")
+        if len(components) != len(weights):
+            raise ConfigurationError("components and weights differ in length")
+        weight_array = np.asarray(weights, dtype=float)
+        if (weight_array < 0).any() or weight_array.sum() <= 0:
+            raise ConfigurationError("weights must be non-negative, sum > 0")
+        self.components = list(components)
+        self.probabilities = weight_array / weight_array.sum()
+
+    def sample(self, rng: np.random.Generator) -> float:
+        index = rng.choice(len(self.components), p=self.probabilities)
+        return self.components[index].sample(rng)
+
+    def mean(self) -> float:
+        means = np.array([c.mean() for c in self.components])
+        return float(np.dot(means, self.probabilities))
+
+    def __repr__(self) -> str:
+        return f"Mixture(n={len(self.components)})"
+
+
+_SPEC_BUILDERS = {
+    "constant": lambda spec: Constant(spec["value"]),
+    "deterministic": lambda spec: Constant(spec["value"]),
+    "exponential": lambda spec: Exponential(spec["mean"]),
+    "uniform": lambda spec: Uniform(spec["low"], spec["high"]),
+    "lognormal": lambda spec: LogNormal(spec["mean"], spec.get("cv", 0.5)),
+    "normal": lambda spec: TruncatedNormal(
+        spec["mean"], spec["std"], spec.get("floor", 0.0)
+    ),
+    "pareto": lambda spec: ParetoBounded(
+        spec["alpha"], spec["low"], spec["high"]
+    ),
+    "erlang": lambda spec: Erlang(spec["k"], spec["mean"]),
+    "empirical": lambda spec: Empirical(spec["values"], spec["weights"]),
+}
+
+
+def distribution_from_spec(spec: Dict) -> Distribution:
+    """Build a distribution from a declarative dict.
+
+    The dict must contain a ``kind`` key naming the family plus the
+    family's parameters, e.g. ``{"kind": "lognormal", "mean": 5e-3,
+    "cv": 0.4}``.
+
+    Raises:
+        ConfigurationError: for an unknown kind or missing parameters.
+    """
+    if "kind" not in spec:
+        raise ConfigurationError("distribution spec needs a 'kind' key")
+    kind = spec["kind"]
+    builder = _SPEC_BUILDERS.get(kind)
+    if builder is None:
+        known = ", ".join(sorted(_SPEC_BUILDERS))
+        raise ConfigurationError(f"unknown distribution kind {kind!r}; known: {known}")
+    try:
+        return builder(spec)
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"distribution spec for {kind!r} is missing parameter {exc}"
+        ) from None

@@ -1,0 +1,146 @@
+"""The simulation engine: a clock plus the event loop.
+
+The engine is deliberately minimal.  Components schedule plain callbacks;
+there is no coroutine machinery to reason about.  Periodic activities are
+provided by :class:`repro.sim.process.PeriodicProcess` on top of this.
+
+Typical use::
+
+    sim = Simulator()
+    sim.schedule(0.5, handler, arg1, arg2)
+    sim.run_until(120.0)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.events import DEFAULT_PRIORITY, Event, EventQueue
+
+
+class Simulator:
+    """Discrete-event simulator with an absolute clock in seconds."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue = EventQueue()
+        self._running = False
+        self._stopped = False
+        self._events_fired = 0
+
+    # -- clock ---------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far (diagnostics)."""
+        return self._events_fired
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events still scheduled."""
+        return len(self._queue)
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> Event:
+        """Schedule ``fn(*args)`` after ``delay`` seconds from now."""
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule {delay:.6f}s in the past")
+        return self._queue.push(self._now + delay, fn, args, priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at t={time:.6f} before now={self._now:.6f}"
+            )
+        return self._queue.push(time, fn, args, priority)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        if not event.cancelled:
+            event.cancel()
+            self._queue.note_cancelled(event)
+
+    # -- execution -------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns False if none remained."""
+        if not self._queue:
+            return False
+        event = self._queue.pop()
+        if event.time < self._now:
+            raise SimulationError(
+                f"event queue yielded t={event.time} before now={self._now}"
+            )
+        self._now = event.time
+        self._events_fired += 1
+        event.fn(*event.args)
+        return True
+
+    def run_until(self, end_time: float) -> None:
+        """Run events up to and including ``end_time``, then set now to it.
+
+        Events scheduled exactly at ``end_time`` fire.  The clock is left
+        at ``end_time`` even if the queue drains early, so collectors see
+        a consistent horizon.
+        """
+        if end_time < self._now:
+            raise SimulationError(
+                f"run_until({end_time}) is before now={self._now}"
+            )
+        self._running = True
+        self._stopped = False
+        try:
+            while not self._stopped:
+                next_time = self._queue.peek_time()
+                if next_time is None or next_time > end_time:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        if not self._stopped:
+            self._now = end_time
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains or ``max_events`` were fired."""
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while not self._stopped and self._queue:
+                self.step()
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    break
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Stop the current run loop after the in-flight event returns."""
+        self._stopped = True
+
+    def reset(self, start_time: float = 0.0) -> None:
+        """Drop all pending events and rewind the clock."""
+        self._queue.clear()
+        self._now = float(start_time)
+        self._events_fired = 0
+        self._stopped = False

@@ -1,0 +1,128 @@
+"""Event and event-queue primitives for the DES engine.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence number
+makes ordering *stable*: two events scheduled for the same time and
+priority fire in the order they were scheduled, which keeps simulations
+reproducible regardless of heap internals.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+from repro.errors import SchedulingError
+
+#: Default priority; lower values fire first at equal timestamps.
+DEFAULT_PRIORITY = 10
+
+
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: Simulated time (seconds) at which the event fires.
+        priority: Tie-break priority; lower fires first.
+        seq: Monotonic sequence number assigned by the queue.
+        fn: Callback invoked as ``fn(*args)`` when the event fires.
+        cancelled: True if :meth:`cancel` was called; the engine skips it.
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        args: tuple = (),
+        priority: int = DEFAULT_PRIORITY,
+        seq: int = 0,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the engine discards it instead of firing it."""
+        self.cancelled = True
+
+    def sort_key(self) -> tuple:
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        name = getattr(self.fn, "__name__", repr(self.fn))
+        return f"<Event t={self.time:.6f} p={self.priority} {name}{state}>"
+
+
+class EventQueue:
+    """Binary-heap priority queue of :class:`Event` objects.
+
+    Cancelled events stay in the heap and are dropped lazily on pop; this
+    makes cancellation O(1) at the cost of occasional dead entries, the
+    standard approach for DES engines.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        args: tuple = (),
+        priority: int = DEFAULT_PRIORITY,
+    ) -> Event:
+        """Schedule ``fn(*args)`` at absolute ``time`` and return the event."""
+        event = Event(time, fn, args, priority, next(self._counter))
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event.
+
+        Raises:
+            SchedulingError: if the queue holds no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise SchedulingError("pop from an empty event queue")
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event, or None if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def note_cancelled(self, event: Event) -> None:
+        """Account for an externally cancelled event (keeps len() accurate)."""
+        if not event.cancelled:
+            raise SchedulingError("note_cancelled called on a live event")
+        self._live -= 1
+
+    def clear(self) -> None:
+        """Discard all events."""
+        self._heap.clear()
+        self._live = 0

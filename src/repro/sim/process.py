@@ -1,0 +1,82 @@
+"""Periodic processes layered on the event engine.
+
+A :class:`PeriodicProcess` re-schedules itself every ``interval`` seconds
+until stopped.  It is used for samplers (the 2-second sysstat/perf tick),
+scheduler epochs, background OS activity, and disk flush daemons.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+
+
+class PeriodicProcess:
+    """Invoke a callback every ``interval`` simulated seconds.
+
+    The callback receives the simulator time of the tick.  Ticks are
+    aligned to ``start + k * interval`` so long-running samplers do not
+    drift (each tick is scheduled from the nominal previous tick time,
+    not from whenever the callback finished).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[float], Any],
+        start: Optional[float] = None,
+        priority: int = 20,
+        name: str = "periodic",
+    ) -> None:
+        if interval <= 0:
+            raise ConfigurationError("interval must be positive")
+        self.sim = sim
+        self.interval = float(interval)
+        self.callback = callback
+        self.priority = priority
+        self.name = name
+        self._next_tick = sim.now + interval if start is None else start
+        self._event: Optional[Event] = None
+        self._running = False
+        self.ticks = 0
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> "PeriodicProcess":
+        """Arm the process; returns self for chaining."""
+        if self._running:
+            return self
+        self._running = True
+        self._arm()
+        return self
+
+    def stop(self) -> None:
+        """Disarm the process; a pending tick is cancelled."""
+        self._running = False
+        if self._event is not None:
+            self.sim.cancel(self._event)
+            self._event = None
+
+    def _arm(self) -> None:
+        if self._next_tick < self.sim.now:
+            # Skip ticks that fell into the past (e.g. started late).
+            missed = int((self.sim.now - self._next_tick) / self.interval) + 1
+            self._next_tick += missed * self.interval
+        self._event = self.sim.schedule_at(
+            self._next_tick, self._fire, priority=self.priority
+        )
+
+    def _fire(self) -> None:
+        self._event = None
+        tick_time = self._next_tick
+        self._next_tick = tick_time + self.interval
+        self.ticks += 1
+        self.callback(tick_time)
+        if self._running:
+            self._arm()

@@ -1,0 +1,51 @@
+"""Deterministic named random streams.
+
+Every stochastic component of the simulation draws from its own named
+stream.  Streams are derived from a single root seed with
+``numpy.random.SeedSequence`` spawned by a stable 64-bit hash of the
+stream name, so:
+
+* two runs with the same root seed produce identical traces,
+* adding a new component (new stream name) does not perturb the draws of
+  existing components — the property that makes A/B ablations meaningful.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+import numpy as np
+
+
+def _stable_name_key(name: str) -> int:
+    """Map a stream name to a stable 64-bit integer (process-independent)."""
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RandomStreams:
+    """Factory and cache of named ``numpy.random.Generator`` streams."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it deterministically."""
+        generator = self._streams.get(name)
+        if generator is None:
+            root = np.random.SeedSequence(
+                entropy=self.seed, spawn_key=(_stable_name_key(name),)
+            )
+            generator = np.random.default_rng(root)
+            self._streams[name] = generator
+        return generator
+
+    def fork(self, salt: int) -> "RandomStreams":
+        """A new independent stream family (e.g. per experiment repetition)."""
+        return RandomStreams(seed=(self.seed * 1_000_003 + salt) & (2**63 - 1))
+
+    def stream_names(self) -> list:
+        """Names of streams created so far (diagnostics)."""
+        return sorted(self._streams)

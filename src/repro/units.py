@@ -1,0 +1,70 @@
+"""Unit constants and conversion helpers.
+
+The paper reports resources in four classes with fixed units:
+
+* CPU in **cycles** (per 2-second sample),
+* RAM in **MB** (a level, not a rate),
+* disk traffic in **KB** read+written per sample,
+* network traffic in **KB** received+transmitted per sample.
+
+Internally the simulator accounts in base units (cycles, bytes) and the
+monitoring layer converts on export.  All constants here use the decimal
+(SI-style) convention that sysstat uses for data rates: 1 KB = 1024 bytes
+for memory-like quantities, matching the ``kbmemused``-style counters.
+"""
+
+from __future__ import annotations
+
+# -- time ------------------------------------------------------------------
+MILLISECOND = 1e-3
+MICROSECOND = 1e-6
+SECOND = 1.0
+MINUTE = 60.0
+
+#: Sampling period used throughout the paper ("Time(Sample 2s)" axes).
+SAMPLE_PERIOD_S = 2.0
+
+# -- data size -------------------------------------------------------------
+BYTE = 1
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+TB = 1024 * GB
+
+# -- frequency -------------------------------------------------------------
+HZ = 1.0
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+
+def bytes_to_kb(n_bytes: float) -> float:
+    """Convert a byte count to KB (1024-based), as sysstat reports."""
+    return n_bytes / KB
+
+
+def bytes_to_mb(n_bytes: float) -> float:
+    """Convert a byte count to MB (1024-based)."""
+    return n_bytes / MB
+
+
+def kb_to_bytes(n_kb: float) -> float:
+    """Convert KB to bytes."""
+    return n_kb * KB
+
+
+def mb_to_bytes(n_mb: float) -> float:
+    """Convert MB to bytes."""
+    return n_mb * MB
+
+
+def cycles_for(seconds: float, frequency_hz: float) -> float:
+    """Number of cycles a core at ``frequency_hz`` executes in ``seconds``."""
+    return seconds * frequency_hz
+
+
+def seconds_for(cycles: float, frequency_hz: float) -> float:
+    """Time a core at ``frequency_hz`` needs to execute ``cycles``."""
+    if frequency_hz <= 0:
+        raise ValueError("frequency_hz must be positive")
+    return cycles / frequency_hz

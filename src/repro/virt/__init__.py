@@ -1,0 +1,33 @@
+"""Xen-like virtualization layer (substrate S3).
+
+Models the parts of Xen 3.1.2 that shape the paper's measurements:
+
+* **domains** (dom0 plus guest domUs) with VCPUs and memory reservations,
+* the **credit scheduler** allocating physical cores by weight/cap,
+* the **split-driver I/O path**: guest block/network I/O is proxied by
+  backend drivers in dom0, which batches disk writes (smoothing the
+  physical stream), amplifies disk traffic (journaling, metadata), and
+  burns dom0 CPU per byte moved — the mechanism behind the paper's
+  finding that dom0 "performs additional work other than the workload of
+  RUBiS servers",
+* an **overhead model** collecting the accounting constants.
+"""
+
+from repro.virt.vcpu import Vcpu
+from repro.virt.domain import Domain, DomainKind
+from repro.virt.scheduler import CreditScheduler, SchedulerDecision
+from repro.virt.overhead import OverheadModel
+from repro.virt.io_backend import BlockBackend, NetBackend
+from repro.virt.hypervisor import Hypervisor
+
+__all__ = [
+    "Vcpu",
+    "Domain",
+    "DomainKind",
+    "CreditScheduler",
+    "SchedulerDecision",
+    "OverheadModel",
+    "BlockBackend",
+    "NetBackend",
+    "Hypervisor",
+]

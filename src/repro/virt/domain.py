@@ -1,0 +1,92 @@
+"""Xen domains: dom0 (the privileged control domain) and guest domUs."""
+
+from __future__ import annotations
+
+import enum
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.units import GB
+from repro.virt.vcpu import Vcpu
+
+
+class DomainKind(enum.Enum):
+    """Domain privilege class."""
+
+    DOM0 = "dom0"
+    GUEST = "guest"
+
+
+class Domain:
+    """A Xen domain: VCPUs, a memory reservation, scheduler parameters.
+
+    Attributes:
+        weight: credit-scheduler weight (proportional share).
+        cap_cores: hard cap in physical cores (0 disables the cap, like
+            Xen's ``cap=0``).
+        active_workers: a demand gauge maintained by the queueing stations
+            running inside the domain; the scheduler reads it to know how
+            many cores the domain could use right now.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: DomainKind = DomainKind.GUEST,
+        vcpu_count: int = 2,
+        memory_bytes: float = 2 * GB,
+        weight: float = 256.0,
+        cap_cores: float = 0.0,
+    ) -> None:
+        if vcpu_count < 1:
+            raise ConfigurationError("a domain needs at least one VCPU")
+        if memory_bytes <= 0:
+            raise ConfigurationError("memory_bytes must be positive")
+        if weight <= 0:
+            raise ConfigurationError("weight must be positive")
+        if cap_cores < 0:
+            raise ConfigurationError("cap_cores must be >= 0 (0 = uncapped)")
+        self.name = name
+        self.kind = kind
+        self.vcpus: List[Vcpu] = [Vcpu(i) for i in range(vcpu_count)]
+        self.memory_bytes = float(memory_bytes)
+        self.weight = float(weight)
+        self.cap_cores = float(cap_cores)
+        self.active_workers = 0
+
+    @property
+    def owner(self) -> str:
+        """Ledger owner key used by hardware accounting."""
+        if self.kind is DomainKind.DOM0:
+            return "dom0"
+        return f"vm:{self.name}"
+
+    @property
+    def online_vcpus(self) -> int:
+        return sum(1 for vcpu in self.vcpus if vcpu.online)
+
+    def demand_cores(self) -> float:
+        """Cores this domain could use right now.
+
+        Bounded by its online VCPUs (a 2-VCPU domain can never use more
+        than 2 cores) and by its current active workers.
+        """
+        return float(min(self.online_vcpus, max(0, self.active_workers)))
+
+    def worker_started(self) -> None:
+        """A station began serving a job inside this domain."""
+        self.active_workers += 1
+
+    def worker_finished(self) -> None:
+        """A station finished serving a job inside this domain."""
+        if self.active_workers <= 0:
+            raise ConfigurationError(
+                f"worker_finished with no active workers in {self.name!r}"
+            )
+        self.active_workers -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Domain {self.name} {self.kind.value} vcpus={len(self.vcpus)} "
+            f"mem={self.memory_bytes / GB:.1f}GB w={self.weight:g}>"
+        )

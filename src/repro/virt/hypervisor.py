@@ -1,0 +1,201 @@
+"""The hypervisor facade: domains, scheduling epochs, I/O, memory.
+
+One :class:`Hypervisor` runs per virtualized physical server.  It owns
+
+* the domain table (dom0 is created automatically),
+* the credit scheduler, re-run every epoch by a periodic process,
+* the block/net backends in dom0,
+* dom0's own housekeeping (base CPU burn, memory model, log writes),
+
+and exposes the execution interface the application tiers use:
+``cpu_time`` / ``charge_vm_cycles`` / ``disk_read`` / ``disk_write`` /
+``net_receive`` / ``net_transmit`` / ``set_vm_memory``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.hardware.server import PhysicalServer
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+from repro.units import GB
+from repro.virt.domain import Domain, DomainKind
+from repro.virt.io_backend import DOM0_OWNER, BlockBackend, NetBackend
+from repro.virt.overhead import OverheadModel
+from repro.virt.scheduler import CreditScheduler
+
+#: Xen's credit scheduler runs accounting every 30 ms; we use a coarser
+#: epoch because allocations only change with station occupancy.
+DEFAULT_EPOCH_S = 0.1
+
+#: Dom0 housekeeping cadence (sysstat cron, log flush, memory update).
+HOUSEKEEPING_INTERVAL_S = 1.0
+
+
+class Hypervisor:
+    """Xen-like hypervisor bound to one physical server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server: PhysicalServer,
+        overhead: Optional[OverheadModel] = None,
+        epoch_s: float = DEFAULT_EPOCH_S,
+        dom0_vcpus: int = 2,
+        dom0_memory_bytes: Optional[float] = None,
+        dom0_weight: float = 512.0,
+    ) -> None:
+        self.sim = sim
+        self.server = server
+        self.overhead = overhead or OverheadModel()
+        self.scheduler = CreditScheduler(server.spec.cores)
+        self._domains: Dict[str, Domain] = {}
+        self.dom0 = Domain(
+            "Domain-0",
+            kind=DomainKind.DOM0,
+            vcpu_count=dom0_vcpus,
+            memory_bytes=dom0_memory_bytes or 4 * GB,
+            weight=dom0_weight,
+        )
+        self._domains[self.dom0.name] = self.dom0
+        self.block_backend = BlockBackend(
+            sim, server.disk, server.cpu, self.overhead
+        )
+        self.net_backend = NetBackend(sim, server.nic, server.cpu, self.overhead)
+        self.requests_accounted = 0
+        self._epoch_process = PeriodicProcess(
+            sim, epoch_s, self._run_epoch, name="credit-epoch"
+        ).start()
+        self._housekeeping = PeriodicProcess(
+            sim, HOUSEKEEPING_INTERVAL_S, self._run_housekeeping,
+            name="dom0-housekeeping",
+        ).start()
+        self._update_dom0_memory()
+
+    # -- domain management ---------------------------------------------------
+
+    def create_domain(
+        self,
+        name: str,
+        vcpu_count: int = 2,
+        memory_bytes: float = 2 * GB,
+        weight: float = 256.0,
+        cap_cores: float = 0.0,
+    ) -> Domain:
+        """Create a guest domain (a VM)."""
+        if name in self._domains:
+            raise ConfigurationError(f"duplicate domain name {name!r}")
+        domain = Domain(
+            name,
+            kind=DomainKind.GUEST,
+            vcpu_count=vcpu_count,
+            memory_bytes=memory_bytes,
+            weight=weight,
+            cap_cores=cap_cores,
+        )
+        self._domains[name] = domain
+        return domain
+
+    def domain(self, name: str) -> Domain:
+        if name not in self._domains:
+            raise ConfigurationError(f"unknown domain {name!r}")
+        return self._domains[name]
+
+    def domains(self):
+        return list(self._domains.values())
+
+    def guest_domains(self):
+        return [d for d in self._domains.values() if d.kind is DomainKind.GUEST]
+
+    # -- CPU execution interface ----------------------------------------------
+
+    def cpu_time(self, domain: Domain, cycles: float) -> float:
+        """Wall time for ``cycles`` of guest work at the current allocation."""
+        fraction = self.scheduler.speed_fraction(domain.name)
+        return self.server.cpu.service_time(cycles, fraction)
+
+    def charge_vm_cycles(self, domain: Domain, cycles: float) -> None:
+        """Account guest-visible cycles to the domain's ledger owner."""
+        self.server.cpu.charge(domain.owner, cycles)
+
+    def account_request(self, domain: Domain, hypercall_scale: float = 1.0) -> None:
+        """Charge dom0 for the event channels/hypercalls of one request."""
+        self.requests_accounted += 1
+        self.server.cpu.charge(
+            DOM0_OWNER,
+            self.overhead.hypercall_cycles_per_request * hypercall_scale,
+        )
+
+    def account_commit(self, domain: Domain) -> None:
+        """Charge dom0 for one guest database commit (barrier + fsync)."""
+        self.server.cpu.charge(DOM0_OWNER, self.overhead.commit_cycles)
+
+    # -- I/O interface ----------------------------------------------------------
+
+    def disk_read(self, domain: Domain, size_bytes: float) -> float:
+        """Synchronous guest read; returns completion time."""
+        return self.block_backend.read(self.sim.now, domain.owner, size_bytes)
+
+    def disk_write(self, domain: Domain, size_bytes: float) -> float:
+        """Guest write (batched by the backend); returns completion time."""
+        return self.block_backend.write(self.sim.now, domain.owner, size_bytes)
+
+    def net_receive(self, domain: Domain, size_bytes: float) -> float:
+        return self.net_backend.receive(self.sim.now, domain.owner, size_bytes)
+
+    def net_transmit(self, domain: Domain, size_bytes: float) -> float:
+        return self.net_backend.transmit(self.sim.now, domain.owner, size_bytes)
+
+    # -- memory interface ---------------------------------------------------------
+
+    def set_vm_memory(self, domain: Domain, used_bytes: float) -> None:
+        """Set a guest's used-memory level (as its own sysstat would see)."""
+        if used_bytes > domain.memory_bytes:
+            used_bytes = domain.memory_bytes  # guest cannot exceed its VM size
+        self.server.memory.set_usage(domain.owner, used_bytes)
+        self._update_dom0_memory()
+
+    def vm_memory_used(self, domain: Domain) -> float:
+        return self.server.memory.usage(domain.owner)
+
+    def dom0_memory_used(self) -> float:
+        return self.server.memory.usage(DOM0_OWNER)
+
+    def _update_dom0_memory(self) -> None:
+        guest_used = sum(
+            self.server.memory.usage(d.owner) for d in self.guest_domains()
+        )
+        dom0_used = (
+            self.overhead.dom0_base_memory_bytes
+            + self.overhead.dom0_memory_per_vm_byte * guest_used
+        )
+        self.server.memory.set_usage(DOM0_OWNER, dom0_used)
+
+    # -- periodic work ----------------------------------------------------------
+
+    def _run_epoch(self, tick_time: float) -> None:
+        decision = self.scheduler.allocate(self._domains.values())
+        runnable = sum(1 for d in decision.demand_cores.values() if d > 0)
+        if runnable:
+            self.server.cpu.charge(
+                DOM0_OWNER,
+                self.overhead.sched_cycles_per_epoch_per_domain * runnable,
+            )
+
+    def _run_housekeeping(self, tick_time: float) -> None:
+        self.server.cpu.charge(
+            DOM0_OWNER,
+            self.overhead.dom0_base_cycles_per_s * HOUSEKEEPING_INTERVAL_S,
+        )
+        log_bytes = self.overhead.dom0_log_bytes_per_s * HOUSEKEEPING_INTERVAL_S
+        if log_bytes > 0:
+            self.block_backend.dom0_write(tick_time, log_bytes)
+        self._update_dom0_memory()
+
+    def shutdown(self) -> None:
+        """Disarm periodic processes (end of an experiment)."""
+        self._epoch_process.stop()
+        self._housekeeping.stop()
+        self.block_backend.stop()

@@ -1,0 +1,175 @@
+"""Split-driver I/O backends living in dom0.
+
+In Xen's driver model a guest's block/network I/O traverses a frontend
+driver in the guest and a backend driver in dom0, which performs the real
+device access.  Two measurement-relevant consequences, both modelled:
+
+* the *guest-visible* counters (what sysstat inside the VM reports, the
+  left/middle panels of Figures 3-4) record the logical traffic, while
+  the *physical* counters (dom0 panels) record amplified and, for disk
+  writes, batched traffic;
+* dom0 burns CPU per byte moved, which is the dominant contributor to
+  the dom0 CPU series of Figure 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.hardware.cpu import CpuPackage
+from repro.hardware.disk import Disk, DiskRequest
+from repro.hardware.network import NetworkInterface
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+from repro.virt.overhead import OverheadModel
+
+DOM0_OWNER = "dom0"
+
+
+class BlockBackend:
+    """Dom0 block backend: batching, amplification, CPU accounting.
+
+    Guest-visible byte counters are kept here per guest owner; physical
+    bytes land on the :class:`~repro.hardware.disk.Disk` under the dom0
+    owner because dom0 performs the actual access.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        disk: Disk,
+        cpu: CpuPackage,
+        overhead: OverheadModel,
+    ) -> None:
+        self.sim = sim
+        self.disk = disk
+        self.cpu = cpu
+        self.overhead = overhead
+        self._vm_read: Dict[str, float] = {}
+        self._vm_written: Dict[str, float] = {}
+        self._pending_write_bytes = 0.0
+        self._flusher: Optional[PeriodicProcess] = None
+        if overhead.batch_writes:
+            self._flusher = PeriodicProcess(
+                sim,
+                overhead.flush_interval_s,
+                self._flush,
+                name="blkback-flush",
+            ).start()
+
+    # -- guest-visible counters ---------------------------------------------
+
+    def vm_bytes_read(self, owner: str) -> float:
+        return self._vm_read.get(owner, 0.0)
+
+    def vm_bytes_written(self, owner: str) -> float:
+        return self._vm_written.get(owner, 0.0)
+
+    def vm_total_bytes(self, owner: str) -> float:
+        return self.vm_bytes_read(owner) + self.vm_bytes_written(owner)
+
+    # -- I/O path ------------------------------------------------------------
+
+    def read(self, now: float, owner: str, size_bytes: float) -> float:
+        """Synchronous guest read; returns completion time.
+
+        Reads cannot be deferred (the guest blocks on the data), so they
+        go to the physical disk immediately, amplified by metadata reads.
+        """
+        self._vm_read[owner] = self._vm_read.get(owner, 0.0) + size_bytes
+        physical = size_bytes * self.overhead.disk_amplification
+        self._charge_cpu(physical)
+        request = DiskRequest(DOM0_OWNER, "read", physical)
+        return self.disk.submit(now, request)
+
+    def write(self, now: float, owner: str, size_bytes: float) -> float:
+        """Guest write; returns the time the guest considers it done.
+
+        With batching enabled the guest write completes as soon as the
+        backend buffers it (like a page-cache write); the physical write
+        happens at the next flush.  Without batching (ablation A2) it is
+        forwarded immediately.
+        """
+        self._vm_written[owner] = self._vm_written.get(owner, 0.0) + size_bytes
+        physical = size_bytes * self.overhead.disk_amplification
+        self._charge_cpu(physical)
+        if self.overhead.batch_writes:
+            self._pending_write_bytes += physical
+            return now
+        request = DiskRequest(DOM0_OWNER, "write", physical)
+        return self.disk.submit(now, request)
+
+    def dom0_write(self, now: float, size_bytes: float) -> float:
+        """Dom0's own writes (its logs); never batched with guest I/O."""
+        request = DiskRequest(DOM0_OWNER, "write", size_bytes)
+        return self.disk.submit(now, request)
+
+    def _flush(self, tick_time: float) -> None:
+        if self._pending_write_bytes <= 0:
+            return
+        request = DiskRequest(DOM0_OWNER, "write", self._pending_write_bytes)
+        self.disk.submit(tick_time, request)
+        self._pending_write_bytes = 0.0
+
+    def _charge_cpu(self, physical_bytes: float) -> None:
+        self.cpu.charge(
+            DOM0_OWNER, physical_bytes * self.overhead.disk_cycles_per_byte
+        )
+
+    def stop(self) -> None:
+        """Disarm the flusher (end of simulation)."""
+        if self._flusher is not None:
+            self._flusher.stop()
+
+
+class NetBackend:
+    """Dom0 network backend: bridging, amplification, CPU accounting."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nic: NetworkInterface,
+        cpu: CpuPackage,
+        overhead: OverheadModel,
+    ) -> None:
+        self.sim = sim
+        self.nic = nic
+        self.cpu = cpu
+        self.overhead = overhead
+        self._vm_rx: Dict[str, float] = {}
+        self._vm_tx: Dict[str, float] = {}
+
+    # -- guest-visible counters ---------------------------------------------
+
+    def vm_bytes_received(self, owner: str) -> float:
+        return self._vm_rx.get(owner, 0.0)
+
+    def vm_bytes_transmitted(self, owner: str) -> float:
+        return self._vm_tx.get(owner, 0.0)
+
+    def vm_total_bytes(self, owner: str) -> float:
+        return self.vm_bytes_received(owner) + self.vm_bytes_transmitted(owner)
+
+    # -- transfer path --------------------------------------------------------
+
+    def receive(self, now: float, owner: str, size_bytes: float) -> float:
+        """Ingress to a guest through the bridge; returns completion time."""
+        return self._transfer(now, owner, size_bytes, ingress=True)
+
+    def transmit(self, now: float, owner: str, size_bytes: float) -> float:
+        """Egress from a guest through the bridge; returns completion time."""
+        return self._transfer(now, owner, size_bytes, ingress=False)
+
+    def _transfer(
+        self, now: float, owner: str, size_bytes: float, ingress: bool
+    ) -> float:
+        if size_bytes < 0:
+            raise ConfigurationError("transfer size must be non-negative")
+        counters = self._vm_rx if ingress else self._vm_tx
+        counters[owner] = counters.get(owner, 0.0) + size_bytes
+        physical = size_bytes * self.overhead.net_amplification
+        self.cpu.charge(DOM0_OWNER, physical * self.overhead.net_cycles_per_byte)
+        if ingress:
+            return self.nic.receive(now, DOM0_OWNER, physical)
+        return self.nic.transmit(now, DOM0_OWNER, physical)

@@ -1,0 +1,27 @@
+"""Virtual CPU: the schedulable unit the credit scheduler allocates."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class Vcpu:
+    """One virtual CPU belonging to a domain.
+
+    The paper's testbed assigns up to two VCPUs per VM, "among which the
+    number of active ones depends on applications"; :attr:`online`
+    captures that an assigned VCPU may be offline.
+    """
+
+    def __init__(self, index: int, online: bool = True) -> None:
+        if index < 0:
+            raise ConfigurationError("vcpu index must be non-negative")
+        self.index = int(index)
+        self.online = bool(online)
+
+    def set_online(self, online: bool) -> None:
+        self.online = bool(online)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "online" if self.online else "offline"
+        return f"<Vcpu {self.index} {state}>"

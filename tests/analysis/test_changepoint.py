@@ -1,0 +1,115 @@
+"""Unit and property tests for level-shift detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.changepoint import (
+    count_upward_jumps,
+    detect_level_shifts,
+    first_jump_time,
+)
+from repro.errors import ConfigurationError, InsufficientDataError
+from repro.monitoring.timeseries import TimeSeries
+
+
+def step_series(n, step_at, magnitude, noise=1.0, seed=0):
+    rng = np.random.default_rng(seed)
+    values = rng.normal(0.0, noise, size=n)
+    values[step_at:] += magnitude
+    return values
+
+
+class TestDetection:
+    def test_single_upward_step_found(self):
+        values = step_series(100, 50, 40.0)
+        shifts = detect_level_shifts(values, min_shift=20.0, window=8)
+        assert len(shifts) == 1
+        assert shifts[0].upward
+        assert abs(shifts[0].index - 50) <= 3
+        assert shifts[0].magnitude == pytest.approx(40.0, abs=5.0)
+
+    def test_downward_step_found(self):
+        values = step_series(100, 60, -30.0)
+        shifts = detect_level_shifts(values, min_shift=15.0, window=8)
+        assert len(shifts) == 1
+        assert not shifts[0].upward
+
+    def test_two_separated_steps(self):
+        values = step_series(200, 60, 50.0)
+        values[140:] += 50.0
+        shifts = detect_level_shifts(values, min_shift=25.0, window=10)
+        assert len(shifts) == 2
+        assert [abs(s.index - i) <= 4 for s, i in zip(shifts, (60, 140))]
+
+    def test_no_false_positives_on_noise(self):
+        rng = np.random.default_rng(9)
+        values = rng.normal(100.0, 3.0, size=300)
+        shifts = detect_level_shifts(values, min_shift=30.0, window=10)
+        assert shifts == []
+
+    def test_slow_ramp_not_flagged(self):
+        # A gentle linear ramp has no step larger than the threshold.
+        values = np.linspace(0.0, 30.0, 300)
+        shifts = detect_level_shifts(values, min_shift=25.0, window=10)
+        assert shifts == []
+
+    def test_uses_timeseries_time_axis(self):
+        values = step_series(100, 50, 40.0)
+        series = TimeSeries(
+            "ram", times=(np.arange(100) * 2.0).tolist(),
+            values=values.tolist(),
+        )
+        shifts = detect_level_shifts(series, min_shift=20.0, window=8)
+        assert shifts[0].time_s == pytest.approx(shifts[0].index * 2.0)
+
+
+class TestHelpers:
+    def test_count_upward_jumps(self):
+        values = step_series(200, 60, 50.0)
+        values[140:] -= 50.0  # one up, one down
+        assert count_upward_jumps(values, min_shift=25.0, window=10) == 1
+
+    def test_first_jump_time(self):
+        values = step_series(200, 60, 50.0)
+        series = TimeSeries(
+            "ram", times=(np.arange(200) * 2.0).tolist(),
+            values=values.tolist(),
+        )
+        t = first_jump_time(series, min_shift=25.0, window=10)
+        assert t == pytest.approx(120.0, abs=10.0)
+
+    def test_first_jump_time_inf_when_none(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=100)
+        assert first_jump_time(values, min_shift=50.0) == float("inf")
+
+
+class TestValidation:
+    def test_window_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            detect_level_shifts([1.0] * 50, min_shift=1.0, window=1)
+
+    def test_non_positive_shift_rejected(self):
+        with pytest.raises(ConfigurationError):
+            detect_level_shifts([1.0] * 50, min_shift=0.0)
+
+    def test_series_too_short_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            detect_level_shifts([1.0] * 10, min_shift=1.0, window=10)
+
+
+class TestDetectionProperties:
+    @given(
+        step_at=st.integers(min_value=25, max_value=75),
+        magnitude=st.floats(min_value=30.0, max_value=500.0),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_clear_steps_always_found(self, step_at, magnitude, seed):
+        values = step_series(100, step_at, magnitude, noise=1.0, seed=seed)
+        shifts = detect_level_shifts(values, min_shift=magnitude / 2,
+                                     window=8)
+        upward = [s for s in shifts if s.upward]
+        assert len(upward) >= 1
+        assert any(abs(s.index - step_at) <= 8 for s in upward)

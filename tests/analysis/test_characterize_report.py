@@ -1,0 +1,82 @@
+"""Tests for the one-call characterizer and the text reports.
+
+These run against a real (short) virtualized experiment shared by the
+session fixtures.
+"""
+
+import pytest
+
+from repro.analysis.characterize import characterize_trace_set
+from repro.analysis.report import (
+    render_characterization_report,
+    render_ratio_table,
+)
+from repro.analysis.ratios import RatioReport, ResourceVector
+from repro.experiments.paper_values import PAPER_R1
+
+
+@pytest.fixture(scope="module")
+def characterization(virt_browse_result):
+    return characterize_trace_set(virt_browse_result.traces)
+
+
+class TestCharacterize:
+    def test_all_series_characterized(self, characterization,
+                                      virt_browse_result):
+        assert set(characterization.series) == set(
+            virt_browse_result.traces.keys()
+        )
+
+    def test_series_stats_populated(self, characterization):
+        item = characterization.series_for("web", "cpu_cycles")
+        assert item.stats.mean > 0
+        assert item.stats.count > 50
+
+    def test_distribution_fits_where_possible(self, characterization):
+        item = characterization.series_for("web", "cpu_cycles")
+        assert item.fit is not None
+        assert item.fit.family in (
+            "normal", "lognormal", "gamma", "weibull", "exponential"
+        )
+
+    def test_ram_jumps_found_for_browse_web(self, characterization):
+        assert len(characterization.upward_ram_jumps("web")) >= 1
+
+    def test_lag_estimate_present(self, characterization):
+        assert characterization.web_db_lag is not None
+        assert characterization.web_db_lag.lag_samples >= 0
+
+    def test_ratios_present_for_virtualized(self, characterization):
+        assert characterization.tier_ratio is not None
+        assert characterization.vm_dom0_ratio is not None
+        assert characterization.tier_ratio.cpu_cycles == pytest.approx(
+            6.11, rel=0.15
+        )
+
+    def test_unknown_series_rejected(self, characterization):
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            characterization.series_for("web", "gpu_util")
+
+
+class TestReports:
+    def test_characterization_report_mentions_sections(
+        self, characterization
+    ):
+        text = render_characterization_report(characterization)
+        assert "Per-series summary" in text
+        assert "RAM step jumps" in text
+        assert "Inter-tier lag" in text
+        assert "R1" in text and "R2" in text
+
+    def test_ratio_table_renders_rows(self):
+        report = RatioReport(
+            name="R1 test",
+            measured=ResourceVector(6.0, 3.0, 5.0, 50.0),
+            paper=PAPER_R1,
+        )
+        text = render_ratio_table(report)
+        assert "R1 test" in text
+        assert "CPU cycles" in text
+        assert "55.56" in text

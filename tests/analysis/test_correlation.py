@@ -1,0 +1,93 @@
+"""Unit tests for autocorrelation and lag estimation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import (
+    autocorrelation,
+    cross_correlation,
+    estimate_lag,
+)
+from repro.errors import AnalysisError, InsufficientDataError
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self):
+        rng = np.random.default_rng(0)
+        acf = autocorrelation(rng.normal(size=200), max_lag=5)
+        assert acf[0] == 1.0
+
+    def test_white_noise_decorrelates(self):
+        rng = np.random.default_rng(1)
+        acf = autocorrelation(rng.normal(size=5000), max_lag=3)
+        assert abs(acf[1]) < 0.05
+
+    def test_ar1_has_geometric_decay(self):
+        rng = np.random.default_rng(2)
+        phi = 0.8
+        x = np.zeros(5000)
+        for t in range(1, 5000):
+            x[t] = phi * x[t - 1] + rng.normal()
+        acf = autocorrelation(x, max_lag=2)
+        assert acf[1] == pytest.approx(phi, abs=0.05)
+        assert acf[2] == pytest.approx(phi**2, abs=0.07)
+
+    def test_constant_series_rejected(self):
+        with pytest.raises(AnalysisError):
+            autocorrelation([1.0] * 50, max_lag=2)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            autocorrelation([1.0, 2.0], max_lag=5)
+
+
+class TestCrossCorrelation:
+    def test_detects_known_shift(self):
+        rng = np.random.default_rng(3)
+        front = rng.normal(size=500)
+        shift = 4
+        back = np.roll(front, shift)  # back follows front by 4 samples
+        xcorr = cross_correlation(front, back, max_lag=10)
+        peak = int(np.argmax(xcorr)) - 10
+        assert peak == shift
+
+    def test_symmetric_when_identical(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=300)
+        xcorr = cross_correlation(x, x, max_lag=5)
+        assert int(np.argmax(xcorr)) == 5  # lag 0
+        assert xcorr[5] == pytest.approx(1.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            cross_correlation([1.0, 2.0, 3.0], [1.0, 2.0], max_lag=1)
+
+    def test_constant_series_rejected(self):
+        with pytest.raises(AnalysisError):
+            cross_correlation([1.0] * 50, list(range(50)), max_lag=2)
+
+
+class TestEstimateLag:
+    def test_positive_lag_means_back_follows(self):
+        rng = np.random.default_rng(5)
+        front = rng.normal(size=400)
+        back = np.roll(front, 3)
+        lag = estimate_lag(front, back, max_lag=10, sample_period_s=2.0)
+        assert lag.lag_samples == 3
+        assert lag.lag_seconds == 6.0
+        assert lag.back_follows_front
+
+    def test_negative_lag_detected(self):
+        rng = np.random.default_rng(6)
+        back = rng.normal(size=400)
+        front = np.roll(back, 2)  # front follows back: lag -2
+        lag = estimate_lag(front, back, max_lag=10)
+        assert lag.lag_samples == -2
+        assert not lag.back_follows_front
+
+    def test_correlation_value_in_range(self):
+        rng = np.random.default_rng(7)
+        front = rng.normal(size=300)
+        back = 0.5 * np.roll(front, 1) + 0.5 * rng.normal(size=300)
+        lag = estimate_lag(front, back, max_lag=5)
+        assert -1.0 <= lag.correlation <= 1.0

@@ -1,0 +1,74 @@
+"""Unit tests for distribution fitting and model selection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distribution_fit import best_fit, fit_candidates
+from repro.errors import AnalysisError, InsufficientDataError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestFitting:
+    def test_recovers_normal(self, rng):
+        data = rng.normal(loc=50.0, scale=5.0, size=2000)
+        fit = best_fit(data)
+        assert fit.family == "normal"
+        assert fit.params[-2] == pytest.approx(50.0, rel=0.05)
+
+    def test_recovers_lognormal(self, rng):
+        data = rng.lognormal(mean=1.0, sigma=0.9, size=2000)
+        fit = best_fit(data)
+        assert fit.family in ("lognormal", "gamma")  # close cousins
+        # But lognormal should beat normal decisively.
+        fits = {f.family: f for f in fit_candidates(data)}
+        assert fits["lognormal"].aic < fits["normal"].aic
+
+    def test_recovers_exponential_shape(self, rng):
+        data = rng.exponential(scale=3.0, size=2000)
+        fits = {f.family: f for f in fit_candidates(data)}
+        assert fits["exponential"].aic < fits["normal"].aic
+
+    def test_fits_sorted_by_aic(self, rng):
+        data = rng.gamma(shape=2.0, scale=1.0, size=500)
+        fits = fit_candidates(data)
+        aics = [f.aic for f in fits]
+        assert aics == sorted(aics)
+
+    def test_positive_only_families_skipped_for_negative_data(self, rng):
+        data = rng.normal(loc=0.0, scale=1.0, size=500)
+        families = {f.family for f in fit_candidates(data)}
+        assert families == {"normal"}
+
+    def test_ks_pvalue_reasonable_for_true_family(self, rng):
+        data = rng.normal(loc=10.0, scale=2.0, size=500)
+        fits = {f.family: f for f in fit_candidates(data)}
+        assert fits["normal"].ks_pvalue > 0.01
+
+    def test_frozen_distribution_samples(self, rng):
+        data = rng.normal(loc=10.0, scale=2.0, size=500)
+        frozen = best_fit(data).frozen()
+        samples = frozen.rvs(size=10, random_state=rng)
+        assert len(samples) == 10
+
+
+class TestValidation:
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            fit_candidates([1.0, 2.0, 3.0])
+
+    def test_constant_series_rejected(self):
+        with pytest.raises(AnalysisError):
+            fit_candidates([5.0] * 100)
+
+    def test_unknown_family_rejected(self, rng):
+        data = rng.normal(size=100)
+        with pytest.raises(AnalysisError):
+            fit_candidates(data, families=["zipf"])
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(AnalysisError):
+            fit_candidates([1.0, float("nan")] * 50)

@@ -1,0 +1,136 @@
+"""Unit tests for the formal workload models."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.models import ARModel, HistogramWorkloadModel, RegimeModel
+from repro.errors import AnalysisError, InsufficientDataError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(21)
+
+
+def ar2_series(rng, n=3000, phi1=0.5, phi2=0.2, mean=100.0):
+    x = np.zeros(n)
+    for t in range(2, n):
+        x[t] = phi1 * x[t - 1] + phi2 * x[t - 2] + rng.normal()
+    return x + mean
+
+
+class TestARModel:
+    def test_recovers_ar2_coefficients(self, rng):
+        series = ar2_series(rng)
+        model = ARModel(order=2).fit(series)
+        assert model.coefficients[0] == pytest.approx(0.5, abs=0.06)
+        assert model.coefficients[1] == pytest.approx(0.2, abs=0.06)
+        assert model.mean == pytest.approx(100.0, abs=1.0)
+
+    def test_fitted_model_is_stationary(self, rng):
+        model = ARModel(order=2).fit(ar2_series(rng))
+        assert model.is_stationary()
+
+    def test_one_step_rmse_close_to_noise_std(self, rng):
+        series = ar2_series(rng)
+        model = ARModel(order=2).fit(series)
+        assert model.one_step_rmse(series) == pytest.approx(1.0, abs=0.1)
+
+    def test_predict_one_step(self, rng):
+        series = ar2_series(rng)
+        model = ARModel(order=2).fit(series)
+        prediction = model.predict_one_step(series[:-1])
+        assert abs(prediction - series[-1]) < 5.0
+
+    def test_simulation_preserves_mean(self, rng):
+        model = ARModel(order=2).fit(ar2_series(rng))
+        synthetic = model.simulate(5000, rng)
+        assert synthetic.mean() == pytest.approx(model.mean, abs=1.0)
+
+    def test_simulation_preserves_autocorrelation(self, rng):
+        series = ar2_series(rng)
+        model = ARModel(order=2).fit(series)
+        synthetic = model.simulate(5000, rng)
+        original_acf = np.corrcoef(series[:-1], series[1:])[0, 1]
+        synthetic_acf = np.corrcoef(synthetic[:-1], synthetic[1:])[0, 1]
+        assert synthetic_acf == pytest.approx(original_acf, abs=0.08)
+
+    def test_unfitted_use_rejected(self):
+        with pytest.raises(AnalysisError):
+            ARModel(order=1).predict_one_step([1.0, 2.0])
+
+    def test_constant_series_rejected(self):
+        with pytest.raises(AnalysisError):
+            ARModel(order=1).fit([3.0] * 100)
+
+    def test_short_series_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            ARModel(order=4).fit([1.0, 2.0, 3.0])
+
+
+class TestHistogramModel:
+    def test_samples_within_observed_range(self, rng):
+        data = rng.uniform(10.0, 20.0, size=500)
+        model = HistogramWorkloadModel(bins=10).fit(data)
+        samples = model.sample(1000, rng)
+        assert samples.min() >= 10.0 - 1e-9
+        assert samples.max() <= 20.0 + 1e-9
+
+    def test_mean_preserved(self, rng):
+        data = rng.normal(50.0, 5.0, size=2000)
+        model = HistogramWorkloadModel(bins=30).fit(data)
+        assert model.mean() == pytest.approx(50.0, abs=1.0)
+
+    def test_rmse_equals_marginal_std(self, rng):
+        data = rng.normal(0.0, 2.0, size=5000)
+        model = HistogramWorkloadModel(bins=40).fit(data)
+        assert model.one_step_rmse(data) == pytest.approx(2.0, abs=0.15)
+
+    def test_unfitted_sampling_rejected(self, rng):
+        with pytest.raises(AnalysisError):
+            HistogramWorkloadModel().sample(10, rng)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            HistogramWorkloadModel(bins=20).fit([1.0, 2.0])
+
+
+class TestRegimeModel:
+    def regime_series(self, rng, n=2000):
+        # Two levels with sticky transitions — like the RAM jumps.
+        values = []
+        state = 0
+        for _ in range(n):
+            if rng.uniform() < 0.02:
+                state = 1 - state
+            values.append(rng.normal(100.0 if state == 0 else 200.0, 5.0))
+        return np.array(values)
+
+    def test_recovers_two_levels(self, rng):
+        model = RegimeModel().fit(self.regime_series(rng))
+        low, high = sorted(model.means)
+        assert low == pytest.approx(100.0, abs=15.0)
+        assert high == pytest.approx(200.0, abs=15.0)
+
+    def test_transition_matrix_rows_sum_to_one(self, rng):
+        model = RegimeModel().fit(self.regime_series(rng))
+        assert np.allclose(model.transition.sum(axis=1), 1.0)
+
+    def test_sticky_regimes_have_high_self_transition(self, rng):
+        model = RegimeModel().fit(self.regime_series(rng))
+        assert model.transition[0, 0] > 0.8
+
+    def test_simulation_spans_both_regimes(self, rng):
+        model = RegimeModel().fit(self.regime_series(rng))
+        synthetic = model.simulate(3000, rng)
+        assert synthetic.min() < 150.0 < synthetic.max()
+
+    def test_rmse_better_than_marginal_for_regime_data(self, rng):
+        data = self.regime_series(rng)
+        regime = RegimeModel().fit(data)
+        histogram = HistogramWorkloadModel(bins=30).fit(data)
+        assert regime.one_step_rmse(data) < histogram.one_step_rmse(data)
+
+    def test_short_series_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            RegimeModel().fit([1.0] * 10)

@@ -1,0 +1,115 @@
+"""Unit tests for the demand-ratio analysis."""
+
+import pytest
+
+from repro.analysis.ratios import (
+    RatioReport,
+    ResourceVector,
+    aggregate_vector,
+    demand_vector,
+    tier_ratios,
+    vm_to_hypervisor_ratios,
+)
+from repro.errors import AnalysisError
+from repro.monitoring.timeseries import TimeSeries, TraceSet
+
+
+def make_traces(values_by_entity, environment="virtualized"):
+    """values_by_entity: {entity: (cpu, ram, disk, net)} constant series."""
+    traces = TraceSet(environment, "browsing", 2.0)
+    resources = ("cpu_cycles", "mem_used_mb", "disk_kb", "net_kb")
+    for entity, values in values_by_entity.items():
+        for resource, value in zip(resources, values):
+            series = TimeSeries(f"{entity}:{resource}")
+            for i in range(40):
+                series.append(i * 2.0, value)
+            traces.add(entity, resource, series)
+    return traces
+
+
+class TestResourceVector:
+    def test_ratio_elementwise(self):
+        a = ResourceVector(10.0, 20.0, 30.0, 40.0)
+        b = ResourceVector(2.0, 4.0, 5.0, 8.0)
+        ratio = a.ratio_to(b)
+        assert ratio.cpu_cycles == 5.0
+        assert ratio.mem_used_mb == 5.0
+        assert ratio.disk_kb == 6.0
+        assert ratio.net_kb == 5.0
+
+    def test_zero_denominator_rejected(self):
+        a = ResourceVector(1.0, 1.0, 1.0, 1.0)
+        b = ResourceVector(1.0, 0.0, 1.0, 1.0)
+        with pytest.raises(AnalysisError):
+            a.ratio_to(b)
+
+    def test_plus(self):
+        a = ResourceVector(1.0, 2.0, 3.0, 4.0)
+        total = a.plus(a)
+        assert total.net_kb == 8.0
+
+
+class TestDemandVectors:
+    def test_demand_vector_post_warmup_mean(self):
+        traces = make_traces({"web": (100.0, 50.0, 10.0, 5.0)})
+        vector = demand_vector(traces, "web", warmup_s=30.0)
+        assert vector.cpu_cycles == 100.0
+
+    def test_warmup_excluded(self):
+        traces = TraceSet("virtualized", "browsing", 2.0)
+        for resource in ("cpu_cycles", "mem_used_mb", "disk_kb", "net_kb"):
+            series = TimeSeries(resource)
+            for i in range(40):
+                # Garbage during the first 30 s, then steady 10.0.
+                series.append(i * 2.0, 1e9 if i * 2.0 < 30.0 else 10.0)
+            traces.add("web", resource, series)
+        vector = demand_vector(traces, "web", warmup_s=30.0)
+        assert vector.cpu_cycles == 10.0
+
+    def test_aggregate_vector_sums(self):
+        traces = make_traces(
+            {"web": (100.0, 50.0, 10.0, 5.0), "db": (20.0, 10.0, 2.0, 1.0)}
+        )
+        total = aggregate_vector(traces, ("web", "db"))
+        assert total.cpu_cycles == 120.0
+
+    def test_tier_ratios(self):
+        traces = make_traces(
+            {"web": (600.0, 300.0, 50.0, 500.0), "db": (100.0, 100.0, 10.0, 10.0)}
+        )
+        ratio = tier_ratios(traces)
+        assert ratio.cpu_cycles == 6.0
+        assert ratio.net_kb == 50.0
+
+    def test_vm_to_hypervisor_requires_dom0(self):
+        traces = make_traces({"web": (1, 1, 1, 1), "db": (1, 1, 1, 1)})
+        with pytest.raises(AnalysisError):
+            vm_to_hypervisor_ratios(traces)
+
+    def test_vm_to_hypervisor_ratio(self):
+        traces = make_traces(
+            {
+                "web": (100.0, 50.0, 10.0, 5.0),
+                "db": (20.0, 10.0, 2.0, 1.0),
+                "dom0": (10.0, 120.0, 24.0, 6.0),
+            }
+        )
+        ratio = vm_to_hypervisor_ratios(traces)
+        assert ratio.cpu_cycles == pytest.approx(12.0)
+        assert ratio.mem_used_mb == pytest.approx(0.5)
+        assert ratio.disk_kb == pytest.approx(0.5)
+        assert ratio.net_kb == pytest.approx(1.0)
+
+
+class TestRatioReport:
+    def test_rows_include_relative_error(self):
+        report = RatioReport(
+            name="R1",
+            measured=ResourceVector(6.0, 3.0, 5.0, 50.0),
+            paper=ResourceVector(6.11, 3.29, 5.71, 55.56),
+        )
+        rows = report.rows()
+        assert len(rows) == 4
+        label, measured, paper, relative = rows[0]
+        assert label == "CPU cycles"
+        assert relative == pytest.approx(6.0 / 6.11)

@@ -1,0 +1,71 @@
+"""Unit tests for summary statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    coefficient_of_variation_ratio,
+    summarize,
+    variance_ratio,
+)
+from repro.errors import InsufficientDataError
+from repro.monitoring.timeseries import TimeSeries
+
+
+class TestSummarize:
+    def test_known_moments(self):
+        stats = summarize([2.0, 4.0, 6.0])
+        assert stats.mean == 4.0
+        assert stats.std == pytest.approx(2.0)
+        assert stats.cv == pytest.approx(0.5)
+        assert stats.minimum == 2.0
+        assert stats.maximum == 6.0
+        assert stats.median == 4.0
+        assert stats.count == 3
+
+    def test_quantiles(self):
+        stats = summarize(list(range(101)))
+        assert stats.p25 == pytest.approx(25.0)
+        assert stats.p75 == pytest.approx(75.0)
+        assert stats.p95 == pytest.approx(95.0)
+        assert stats.iqr == pytest.approx(50.0)
+
+    def test_skewness_of_symmetric_data_near_zero(self):
+        rng = np.random.default_rng(0)
+        stats = summarize(rng.normal(size=5000))
+        assert abs(stats.skewness) < 0.15
+
+    def test_skewness_of_lognormal_positive(self):
+        rng = np.random.default_rng(0)
+        stats = summarize(rng.lognormal(0.0, 1.0, size=5000))
+        assert stats.skewness > 1.0
+
+    def test_accepts_timeseries(self):
+        series = TimeSeries("s", times=[0, 2, 4], values=[1.0, 2.0, 3.0])
+        assert summarize(series).mean == 2.0
+
+    def test_too_short_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            summarize([1.0])
+
+    def test_zero_mean_cv_infinite(self):
+        assert summarize([-1.0, 1.0]).cv == float("inf")
+
+    def test_describe_is_readable(self):
+        assert "mean=" in summarize([1.0, 2.0]).describe()
+
+
+class TestVarianceRatio:
+    def test_known_ratio(self):
+        a = [0.0, 4.0, 0.0, 4.0]
+        b = [0.0, 2.0, 0.0, 2.0]
+        assert variance_ratio(a, b) == pytest.approx(4.0)
+
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            variance_ratio([1.0, 2.0], [3.0, 3.0])
+
+    def test_cv_ratio_scale_free(self):
+        a = [10.0, 20.0, 30.0]
+        scaled = [100.0, 200.0, 300.0]
+        assert coefficient_of_variation_ratio(a, scaled) == pytest.approx(1.0)

@@ -1,0 +1,132 @@
+"""Unit and property tests for the queueing station."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.queueing import QueueingStation
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+
+
+def run_jobs(sim, station, arrivals, service_time):
+    """Submit jobs at given times; returns completion times by index."""
+    completions = {}
+
+    def submit(index):
+        station.submit(
+            index, lambda: service_time, lambda job: completions.__setitem__(
+                job, sim.now
+            )
+        )
+
+    for i, t in enumerate(arrivals):
+        sim.schedule_at(t, submit, i)
+    sim.run_until(max(arrivals) + 1000.0)
+    return completions
+
+
+class TestSingleWorker:
+    def test_sequential_service(self, sim):
+        station = QueueingStation(sim, "s", workers=1)
+        completions = run_jobs(sim, station, [0.0, 0.0, 0.0], 1.0)
+        assert completions == {0: 1.0, 1: 2.0, 2: 3.0}
+
+    def test_idle_gaps_not_accumulated(self, sim):
+        station = QueueingStation(sim, "s", workers=1)
+        completions = run_jobs(sim, station, [0.0, 10.0], 1.0)
+        assert completions[1] == pytest.approx(11.0)
+
+
+class TestMultiWorker:
+    def test_parallel_service(self, sim):
+        station = QueueingStation(sim, "s", workers=3)
+        completions = run_jobs(sim, station, [0.0, 0.0, 0.0], 1.0)
+        assert all(c == pytest.approx(1.0) for c in completions.values())
+
+    def test_queueing_beyond_worker_count(self, sim):
+        station = QueueingStation(sim, "s", workers=2)
+        completions = run_jobs(sim, station, [0.0] * 4, 1.0)
+        assert sorted(completions.values()) == [1.0, 1.0, 2.0, 2.0]
+
+
+class TestObservability:
+    def test_backlog_and_occupancy(self, sim):
+        station = QueueingStation(sim, "s", workers=1)
+        station.submit("a", lambda: 5.0, lambda j: None)
+        station.submit("b", lambda: 5.0, lambda j: None)
+        station.submit("c", lambda: 5.0, lambda j: None)
+        assert station.in_service == 1
+        assert station.backlog == 2
+        assert station.occupancy == 3
+
+    def test_window_peak_resets_after_read(self, sim):
+        station = QueueingStation(sim, "s", workers=1)
+        for name in "abc":
+            station.submit(name, lambda: 10.0, lambda j: None)
+        assert station.take_window_peak() == 3
+        # After reading, the peak restarts from current occupancy.
+        assert station.take_window_peak() == 3  # still 3 jobs in system
+
+    def test_window_peak_sees_transient_burst(self, sim):
+        station = QueueingStation(sim, "s", workers=4)
+        for i in range(8):
+            station.submit(i, lambda: 0.001, lambda j: None)
+        sim.run_until(1.0)  # burst fully drained
+        assert station.occupancy == 0
+        assert station.take_window_peak() == 8
+
+    def test_stats_wait_and_service(self, sim):
+        station = QueueingStation(sim, "s", workers=1)
+        run_jobs(sim, station, [0.0, 0.0], 2.0)
+        assert station.stats.completions == 2
+        assert station.stats.mean_service_s == pytest.approx(2.0)
+        # Second job waited 2 s.
+        assert station.stats.total_wait_s == pytest.approx(2.0)
+
+    def test_on_start_on_finish_hooks(self, sim):
+        events = []
+        station = QueueingStation(
+            sim,
+            "s",
+            workers=1,
+            on_start=lambda: events.append("start"),
+            on_finish=lambda: events.append("finish"),
+        )
+        station.submit("a", lambda: 1.0, lambda j: None)
+        sim.run_until(2.0)
+        assert events == ["start", "finish"]
+
+
+class TestValidation:
+    def test_zero_workers_rejected(self, sim):
+        with pytest.raises(ConfigurationError):
+            QueueingStation(sim, "s", workers=0)
+
+    def test_negative_service_rejected(self, sim):
+        station = QueueingStation(sim, "s", workers=1)
+        # Dispatch is synchronous, so the bad duration surfaces at submit.
+        with pytest.raises(ConfigurationError):
+            station.submit("a", lambda: -1.0, lambda j: None)
+
+
+class TestStationProperties:
+    @given(
+        arrivals=st.lists(
+            st.floats(min_value=0.0, max_value=100.0),
+            min_size=1,
+            max_size=40,
+        ),
+        workers=st.integers(min_value=1, max_value=8),
+        service=st.floats(min_value=0.01, max_value=5.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_all_jobs_complete_exactly_once(self, arrivals, workers, service):
+        sim = Simulator()
+        station = QueueingStation(sim, "s", workers=workers)
+        completions = run_jobs(sim, station, arrivals, service)
+        assert len(completions) == len(arrivals)
+        assert station.stats.completions == len(arrivals)
+        assert station.stats.arrivals == len(arrivals)
+        # No completion earlier than arrival + service.
+        for i, arrival in enumerate(arrivals):
+            assert completions[i] >= arrival + service - 1e-9

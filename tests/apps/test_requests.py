@@ -1,0 +1,42 @@
+"""Unit tests for request and demand records."""
+
+from repro.apps.requests import Request, ResourceDemand
+
+
+class TestResourceDemand:
+    def test_scaled_multiplies_continuous_fields(self):
+        demand = ResourceDemand(
+            web_cycles=10.0,
+            db_cycles=4.0,
+            db_queries=3,
+            response_bytes=100.0,
+            commit=True,
+        )
+        scaled = demand.scaled(2.0)
+        assert scaled.web_cycles == 20.0
+        assert scaled.db_cycles == 8.0
+        assert scaled.response_bytes == 200.0
+        # Discrete/boolean fields are preserved, not scaled.
+        assert scaled.db_queries == 3
+        assert scaled.commit is True
+
+    def test_defaults_are_zero(self):
+        demand = ResourceDemand()
+        assert demand.web_cycles == 0.0
+        assert demand.commit is False
+
+
+class TestRequest:
+    def test_ids_are_unique_and_increasing(self):
+        a = Request(1, "Home", ResourceDemand(), created_at=0.0)
+        b = Request(1, "Home", ResourceDemand(), created_at=0.0)
+        assert b.request_id > a.request_id
+
+    def test_response_time_none_while_in_flight(self):
+        request = Request(1, "Home", ResourceDemand(), created_at=5.0)
+        assert request.response_time is None
+
+    def test_response_time_after_completion(self):
+        request = Request(1, "Home", ResourceDemand(), created_at=5.0)
+        request.completed_at = 7.5
+        assert request.response_time == 2.5

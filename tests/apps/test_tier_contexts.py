@@ -1,0 +1,135 @@
+"""Unit tests for execution contexts (virtualized and bare-metal)."""
+
+import pytest
+
+from repro.apps.tier import BareMetalContext, OsActivityModel, VirtualizedContext
+from repro.errors import ConfigurationError
+from repro.hardware.server import PhysicalServer
+from repro.sim.engine import Simulator
+from repro.units import MB
+from repro.virt.hypervisor import Hypervisor
+
+
+@pytest.fixture
+def virt_parts():
+    sim = Simulator()
+    server = PhysicalServer("cloud-1")
+    hypervisor = Hypervisor(sim, server)
+    domain = hypervisor.create_domain("web-vm")
+    context = VirtualizedContext(hypervisor, domain)
+    return sim, server, hypervisor, domain, context
+
+
+@pytest.fixture
+def bare_parts():
+    sim = Simulator()
+    server = PhysicalServer("web-pm")
+    os_model = OsActivityModel(
+        disk_accounting_factor=2.0, net_accounting_factor=1.5
+    )
+    context = BareMetalContext(sim, server, "pm:web", os_model)
+    return sim, server, context
+
+
+class TestVirtualizedContext:
+    def test_owner_matches_domain(self, virt_parts):
+        _, _, _, domain, context = virt_parts
+        assert context.owner == domain.owner == "vm:web-vm"
+
+    def test_cpu_charge_and_counters(self, virt_parts):
+        _, _, _, _, context = virt_parts
+        context.charge_cpu(1e6)
+        assert context.cpu_cycles_total() == 1e6
+
+    def test_disk_counters_are_guest_visible(self, virt_parts):
+        _, server, hypervisor, _, context = virt_parts
+        context.disk_read(1000.0)
+        assert context.disk_bytes_total() == 1000.0
+        # The physical device saw amplified traffic under dom0.
+        physical = server.disk.bytes_read("dom0")
+        assert physical == pytest.approx(
+            1000.0 * hypervisor.overhead.disk_amplification
+        )
+
+    def test_net_counters_are_guest_visible(self, virt_parts):
+        _, _, _, _, context = virt_parts
+        context.net_receive(100.0)
+        context.net_transmit(200.0)
+        assert context.net_bytes_total() == 300.0
+
+    def test_memory_round_trip(self, virt_parts):
+        _, _, _, _, context = virt_parts
+        context.set_memory(500 * MB)
+        assert context.memory_used() == 500 * MB
+
+    def test_worker_gauge_updates_domain(self, virt_parts):
+        _, _, _, domain, context = virt_parts
+        context.worker_started()
+        assert domain.active_workers == 1
+        context.worker_finished()
+        assert domain.active_workers == 0
+
+
+class TestBareMetalContext:
+    def test_cpu_charge_to_owner(self, bare_parts):
+        _, server, context = bare_parts
+        context.charge_cpu(5e6)
+        assert server.cpu.ledger.total("pm:web") == 5e6
+
+    def test_disk_accounting_factor_applied(self, bare_parts):
+        _, server, context = bare_parts
+        context.disk_write(1000.0)
+        assert server.disk.bytes_written("pm:web") == pytest.approx(2000.0)
+
+    def test_net_accounting_factor_applied(self, bare_parts):
+        _, server, context = bare_parts
+        context.net_transmit(1000.0)
+        assert server.nic.bytes_transmitted("pm:web") == pytest.approx(1500.0)
+
+    def test_account_request_charges_owner(self, bare_parts):
+        _, server, context = bare_parts
+        before = server.cpu.ledger.total("pm:web")
+        context.account_request()
+        delta = server.cpu.ledger.total("pm:web") - before
+        assert delta == context.os_model.syscall_cycles_per_request
+
+    def test_account_commit_charges_owner(self, bare_parts):
+        _, server, context = bare_parts
+        before = server.cpu.ledger.total("pm:web")
+        context.account_commit()
+        delta = server.cpu.ledger.total("pm:web") - before
+        assert delta == context.os_model.commit_cycles
+
+    def test_housekeeping_burns_base_cycles(self, bare_parts):
+        sim, server, context = bare_parts
+        sim.run_until(5.0)
+        cycles = server.cpu.ledger.total("pm:web")
+        assert cycles >= 5 * context.os_model.base_cycles_per_s
+
+    def test_housekeeping_writes_logs(self, bare_parts):
+        sim, server, context = bare_parts
+        sim.run_until(5.0)
+        assert server.disk.bytes_written("pm:web") > 0
+
+    def test_shutdown_stops_housekeeping(self, bare_parts):
+        sim, server, context = bare_parts
+        sim.run_until(2.0)
+        context.shutdown()
+        cycles = server.cpu.ledger.total("pm:web")
+        sim.run_until(10.0)
+        assert server.cpu.ledger.total("pm:web") == cycles
+
+    def test_cpu_time_full_core(self, bare_parts):
+        _, server, context = bare_parts
+        cycles = server.spec.frequency_hz
+        assert context.cpu_time(cycles) == pytest.approx(1.0)
+
+
+class TestOsActivityModel:
+    def test_accounting_factor_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OsActivityModel(disk_accounting_factor=0.5)
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OsActivityModel(base_cycles_per_s=-1.0)

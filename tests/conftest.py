@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite.
+
+The four core experiment runs (virtualized/bare-metal x browse/bid) are
+expensive relative to unit tests, so they are produced once per test
+session through the runner's memoizing cache and shared by every
+integration test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import run_scenario_cached
+from repro.experiments.scenarios import scenario
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+
+#: Integration-run length: long enough for warm-up plus stable means,
+#: short enough to keep the suite fast.
+INTEGRATION_DURATION_S = 240.0
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    return RandomStreams(seed=77)
+
+
+def _core_run(environment: str, composition: str):
+    return run_scenario_cached(
+        scenario(environment, composition, duration_s=INTEGRATION_DURATION_S)
+    )
+
+
+@pytest.fixture(scope="session")
+def virt_browse_result():
+    return _core_run("virtualized", "browsing")
+
+
+@pytest.fixture(scope="session")
+def virt_bid_result():
+    return _core_run("virtualized", "bidding")
+
+
+@pytest.fixture(scope="session")
+def bare_browse_result():
+    return _core_run("bare-metal", "browsing")
+
+
+@pytest.fixture(scope="session")
+def bare_bid_result():
+    return _core_run("bare-metal", "bidding")

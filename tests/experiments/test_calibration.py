@@ -1,0 +1,157 @@
+"""Unit tests for the calibration math."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.calibration import (
+    REQUESTS_PER_SAMPLE,
+    THROUGHPUT_RPS,
+    calibrate_bare_metal,
+    calibrate_virtualized,
+    _expected_with,
+)
+from repro.experiments.paper_values import (
+    BARE_METAL_TARGETS,
+    DOM0_TARGETS,
+    PAPER_R1,
+    PAPER_R2,
+    PAPER_R4,
+    VIRTUALIZED_TARGETS,
+)
+from repro.rubis.transitions import browsing_matrix
+from repro.units import KB, MB, SAMPLE_PERIOD_S
+
+
+@pytest.fixture(scope="module")
+def virt():
+    return calibrate_virtualized()
+
+
+@pytest.fixture(scope="module")
+def bare():
+    return calibrate_bare_metal()
+
+
+class TestThroughputModel:
+    def test_closed_loop_throughput(self):
+        assert THROUGHPUT_RPS == pytest.approx(1000 / 7.0)
+        assert REQUESTS_PER_SAMPLE == pytest.approx(2000 / 7.0)
+
+
+class TestTargetDerivation:
+    def test_r1_holds_by_construction(self):
+        web, db = VIRTUALIZED_TARGETS["web"], VIRTUALIZED_TARGETS["db"]
+        assert web.cpu_cycles / db.cpu_cycles == pytest.approx(
+            PAPER_R1.cpu_cycles
+        )
+        assert web.net_kb / db.net_kb == pytest.approx(PAPER_R1.net_kb)
+
+    def test_r2_holds_by_construction(self):
+        web, db = VIRTUALIZED_TARGETS["web"], VIRTUALIZED_TARGETS["db"]
+        assert (
+            (web.cpu_cycles + db.cpu_cycles) / DOM0_TARGETS.cpu_cycles
+        ) == pytest.approx(PAPER_R2.cpu_cycles)
+
+    def test_r4_holds_by_construction(self):
+        web, db = BARE_METAL_TARGETS["web"], BARE_METAL_TARGETS["db"]
+        assert (
+            (web.cpu_cycles + db.cpu_cycles) / DOM0_TARGETS.cpu_cycles
+        ) == pytest.approx(PAPER_R4.cpu_cycles)
+        assert (
+            (web.disk_kb + db.disk_kb) / DOM0_TARGETS.disk_kb
+        ) == pytest.approx(PAPER_R4.disk_kb)
+
+
+class TestScalingInversion:
+    def test_virt_expected_cpu_matches_target(self, virt):
+        config = virt.deployment_config
+        expected = _expected_with(
+            config.scaling,
+            browsing_matrix(),
+            config.database,
+            config.buffer_pool_bytes,
+        )
+        per_sample = expected.web_cycles * REQUESTS_PER_SAMPLE
+        assert per_sample == pytest.approx(
+            VIRTUALIZED_TARGETS["web"].cpu_cycles, rel=1e-6
+        )
+
+    def test_virt_expected_net_matches_target(self, virt):
+        config = virt.deployment_config
+        expected = _expected_with(
+            config.scaling,
+            browsing_matrix(),
+            config.database,
+            config.buffer_pool_bytes,
+        )
+        web_net = (
+            expected.request_bytes
+            + expected.response_bytes
+            + expected.query_bytes
+            + expected.result_bytes
+        ) * REQUESTS_PER_SAMPLE / KB
+        assert web_net == pytest.approx(
+            VIRTUALIZED_TARGETS["web"].net_kb, rel=1e-6
+        )
+
+    def test_bare_cycles_inflation_is_large(self, virt, bare):
+        # The virtualized/bare cycle-per-unit ratio IS the cycle
+        # accounting inflation; per DESIGN.md it lands near 9x.
+        inflation = (
+            virt.deployment_config.scaling.web_cycles_per_unit
+            / bare.deployment_config.scaling.web_cycles_per_unit
+        )
+        assert 5.0 < inflation < 15.0
+
+    def test_all_scaling_fields_non_negative(self, virt, bare):
+        for env in (virt, bare):
+            scaling = env.deployment_config.scaling
+            assert scaling.web_cycles_per_unit > 0
+            assert scaling.db_cycles_per_unit > 0
+            assert scaling.response_scale > 0
+            assert scaling.spill_bytes_per_row >= 0
+
+
+class TestOverheadDerivation:
+    def test_dom0_memory_base_solves_r2(self, virt):
+        overhead = virt.overhead
+        guest_ram = (
+            VIRTUALIZED_TARGETS["web"].mem_used_mb
+            + VIRTUALIZED_TARGETS["db"].mem_used_mb
+        )
+        dom0_ram = (
+            overhead.dom0_base_memory_bytes / MB
+            + overhead.dom0_memory_per_vm_byte * guest_ram
+        )
+        assert dom0_ram == pytest.approx(DOM0_TARGETS.mem_used_mb, rel=1e-6)
+
+    def test_net_amplification_matches_r2(self, virt):
+        assert virt.overhead.net_amplification == pytest.approx(
+            1.0 / PAPER_R2.net_kb, rel=1e-6
+        )
+
+    def test_net_cycles_per_byte_plausible(self, virt):
+        # A few cycles per proxied byte; sanity band around Xen lore.
+        assert 1.0 < virt.overhead.net_cycles_per_byte < 20.0
+
+    def test_bare_models_have_accounting_factors(self, bare):
+        assert bare.web_os_model.disk_accounting_factor > 1.0
+        assert bare.web_os_model.net_accounting_factor > 1.0
+
+
+class TestMemoryProfiles:
+    def test_virt_web_memory_targets_run_mean(self, virt):
+        profile = virt.deployment_config.web_memory
+        # base + full ramp + sessions should bracket the target mean.
+        ceiling = (
+            profile.base_mb
+            + profile.cache_growth_mb
+            + 1000 * profile.per_session_kb / 1024
+            + profile.max_jumps * profile.jump_mb
+        )
+        assert profile.base_mb < VIRTUALIZED_TARGETS["web"].mem_used_mb
+        assert ceiling > VIRTUALIZED_TARGETS["web"].mem_used_mb
+
+    def test_db_profiles_have_no_jumps(self, virt, bare):
+        assert virt.deployment_config.db_memory.max_jumps == 0
+        assert bare.deployment_config.db_memory.max_jumps == 0

@@ -1,0 +1,138 @@
+"""Unit tests for scenarios, the runner, figures and tables."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.figures import FIGURE_DEFS, figure, render_figure
+from repro.experiments.runner import run_scenario_cached
+from repro.experiments.scenarios import (
+    BARE_METAL,
+    VIRTUALIZED,
+    default_duration_s,
+    paper_scenarios,
+    scenario,
+)
+from repro.experiments.tables import render_table1, table1_rows
+from repro.rubis.workload import SessionType
+
+
+class TestScenarios:
+    def test_paper_matrix_shape(self):
+        scenarios = paper_scenarios(duration_s=60.0)
+        assert len(scenarios) == 7  # 5 virtualized + 2 bare-metal
+        assert "virtualized/blend_50_50" in scenarios
+        assert "bare-metal/bidding" in scenarios
+
+    def test_unknown_composition_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scenario(VIRTUALIZED, "doomscrolling")
+
+    def test_unknown_environment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scenario("container", "browsing")
+
+    def test_virt_bid_has_no_bursts(self):
+        s = scenario(VIRTUALIZED, "bidding", duration_s=100.0)
+        assert s.mix.burst_schedule(SessionType.BID).count == 0
+
+    def test_bare_bid_bursts_early(self):
+        s = scenario(BARE_METAL, "bidding", duration_s=1000.0)
+        schedule = s.mix.burst_schedule(SessionType.BID)
+        assert schedule.count > 0
+        assert schedule.window_s[1] <= 0.5 * 1000.0
+
+    def test_virt_browse_bursts_late(self):
+        s = scenario(VIRTUALIZED, "browsing", duration_s=1000.0)
+        schedule = s.mix.burst_schedule(SessionType.BROWSE)
+        assert schedule.window_s[0] >= 0.3 * 1000.0
+
+    def test_client_override(self):
+        s = scenario(VIRTUALIZED, "browsing", duration_s=60.0, clients=50)
+        assert s.mix.clients == 50
+
+    def test_default_duration_env_override(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL_DURATION", raising=False)
+        assert default_duration_s() == 240.0
+        monkeypatch.setenv("REPRO_FULL_DURATION", "1")
+        assert default_duration_s() == 1200.0
+
+    def test_cache_key_distinguishes_scenarios(self):
+        a = scenario(VIRTUALIZED, "browsing", duration_s=60.0)
+        b = scenario(VIRTUALIZED, "bidding", duration_s=60.0)
+        assert a.cache_key != b.cache_key
+
+
+class TestRunner:
+    def test_result_shape(self, virt_browse_result):
+        result = virt_browse_result
+        assert result.traces.environment == "virtualized"
+        assert result.requests_completed > 1000
+        assert result.mean_response_time_s > 0
+        assert result.throughput_rps > 50
+
+    def test_cached_runner_returns_same_object(self):
+        s = scenario(VIRTUALIZED, "browsing", duration_s=240.0)
+        assert run_scenario_cached(s) is run_scenario_cached(s)
+
+    def test_bare_metal_has_no_dom0_entity(self, bare_browse_result):
+        assert bare_browse_result.traces.entities() == ["db", "web"]
+
+    def test_virtualized_has_dom0_entity(self, virt_browse_result):
+        assert virt_browse_result.traces.entities() == ["db", "dom0", "web"]
+
+    def test_sample_grid_is_2s(self, virt_browse_result):
+        series = virt_browse_result.traces.get("web", "cpu_cycles")
+        times = series.times
+        assert (times[1:] - times[:-1] == 2.0).all()
+
+
+class TestFigures:
+    def test_figure_defs_cover_1_to_8(self):
+        assert sorted(FIGURE_DEFS) == list(range(1, 9))
+
+    def test_virtualized_figure_has_three_panels(
+        self, virt_browse_result, virt_bid_result
+    ):
+        data = figure(
+            1, {"browse": virt_browse_result, "bid": virt_bid_result}
+        )
+        assert [p.entity for p in data.panels] == ["web", "db", "dom0"]
+        assert data.resource == "cpu_cycles"
+
+    def test_bare_figure_has_two_panels(
+        self, bare_browse_result, bare_bid_result
+    ):
+        data = figure(
+            5, {"browse": bare_browse_result, "bid": bare_bid_result}
+        )
+        assert [p.entity for p in data.panels] == ["web", "db"]
+
+    def test_environment_mismatch_rejected(self, virt_browse_result):
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            figure(5, {"browse": virt_browse_result})
+
+    def test_render_contains_workloads_and_sparklines(
+        self, virt_browse_result, virt_bid_result
+    ):
+        data = figure(
+            2, {"browse": virt_browse_result, "bid": virt_bid_result}
+        )
+        text = render_figure(data)
+        assert "Figure 2" in text
+        assert "browse" in text and "bid" in text
+        assert "|" in text
+
+
+class TestTable1:
+    def test_rows_shape(self):
+        rows = table1_rows()
+        assert len(rows) == 25
+        for name, source, unit, description in rows:
+            assert name and source and description
+
+    def test_render_mentions_518(self):
+        text = render_table1()
+        assert "518" in text
+        assert "Table 1" in text

@@ -1,0 +1,84 @@
+"""Unit tests for CPU package and cycle ledger."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.hardware.cpu import CpuPackage, CycleLedger
+
+
+class TestCycleLedger:
+    def test_charges_accumulate(self):
+        ledger = CycleLedger()
+        ledger.charge("a", 100.0)
+        ledger.charge("a", 50.0)
+        assert ledger.total("a") == 150.0
+
+    def test_unknown_owner_is_zero(self):
+        assert CycleLedger().total("nobody") == 0.0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(CapacityError):
+            CycleLedger().charge("a", -1.0)
+
+    def test_grand_total(self):
+        ledger = CycleLedger()
+        ledger.charge("a", 10.0)
+        ledger.charge("b", 20.0)
+        assert ledger.grand_total() == 30.0
+
+    def test_owners_sorted(self):
+        ledger = CycleLedger()
+        ledger.charge("zeta", 1.0)
+        ledger.charge("alpha", 1.0)
+        assert list(ledger.owners()) == ["alpha", "zeta"]
+
+    def test_snapshot_is_copy(self):
+        ledger = CycleLedger()
+        ledger.charge("a", 5.0)
+        snapshot = ledger.snapshot()
+        snapshot["a"] = 999.0
+        assert ledger.total("a") == 5.0
+
+
+class TestCpuPackage:
+    def test_paper_capacity(self):
+        cpu = CpuPackage(cores=8, frequency_hz=2.8e9)
+        assert cpu.capacity_cycles_per_s == 8 * 2.8e9
+
+    def test_service_time_full_speed(self):
+        cpu = CpuPackage(cores=8, frequency_hz=2.0e9)
+        assert cpu.service_time(2.0e9) == pytest.approx(1.0)
+
+    def test_service_time_scales_with_speed_fraction(self):
+        cpu = CpuPackage(cores=8, frequency_hz=2.0e9)
+        assert cpu.service_time(2.0e9, speed_fraction=0.5) == pytest.approx(2.0)
+
+    def test_service_time_rejects_bad_fraction(self):
+        cpu = CpuPackage(cores=2)
+        with pytest.raises(CapacityError):
+            cpu.service_time(1.0, speed_fraction=0.0)
+        with pytest.raises(CapacityError):
+            cpu.service_time(1.0, speed_fraction=3.0)
+
+    def test_service_time_rejects_negative_cycles(self):
+        with pytest.raises(CapacityError):
+            CpuPackage().service_time(-1.0)
+
+    def test_charge_lands_in_ledger(self):
+        cpu = CpuPackage()
+        cpu.charge("vm:web", 1e6)
+        assert cpu.ledger.total("vm:web") == 1e6
+
+    def test_utilization(self):
+        cpu = CpuPackage(cores=4, frequency_hz=1e9)
+        assert cpu.utilization(2e9, 1.0) == pytest.approx(0.5)
+
+    def test_utilization_rejects_bad_interval(self):
+        with pytest.raises(ConfigurationError):
+            CpuPackage().utilization(1.0, 0.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            CpuPackage(cores=0)
+        with pytest.raises(ConfigurationError):
+            CpuPackage(frequency_hz=0.0)

@@ -1,0 +1,101 @@
+"""Unit tests for the disk device model."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.hardware.disk import Disk, DiskRequest
+
+
+def make_disk(**kwargs):
+    defaults = dict(
+        read_bandwidth_bps=100e6,
+        write_bandwidth_bps=50e6,
+        access_latency_s=1e-3,
+    )
+    defaults.update(kwargs)
+    return Disk(**defaults)
+
+
+class TestDiskRequest:
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiskRequest("a", "append", 10.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(CapacityError):
+            DiskRequest("a", "read", -5.0)
+
+
+class TestServiceTime:
+    def test_read_uses_read_bandwidth(self):
+        disk = make_disk()
+        request = DiskRequest("a", "read", 100e6)
+        assert disk.service_time(request) == pytest.approx(1.0 + 1e-3)
+
+    def test_write_uses_write_bandwidth(self):
+        disk = make_disk()
+        request = DiskRequest("a", "write", 50e6)
+        assert disk.service_time(request) == pytest.approx(1.0 + 1e-3)
+
+    def test_zero_size_costs_latency_only(self):
+        disk = make_disk()
+        request = DiskRequest("a", "read", 0.0)
+        assert disk.service_time(request) == pytest.approx(1e-3)
+
+
+class TestQueueing:
+    def test_idle_disk_serves_immediately(self):
+        disk = make_disk()
+        completion = disk.submit(10.0, DiskRequest("a", "read", 1e6))
+        assert completion == pytest.approx(10.0 + 1e-3 + 0.01)
+
+    def test_fifo_backlog_accumulates(self):
+        disk = make_disk()
+        first = disk.submit(0.0, DiskRequest("a", "read", 100e6))
+        second = disk.submit(0.0, DiskRequest("a", "read", 100e6))
+        assert second == pytest.approx(first + 1.0 + 1e-3)
+
+    def test_queue_drains_during_idle_gap(self):
+        disk = make_disk()
+        disk.submit(0.0, DiskRequest("a", "read", 1e6))
+        completion = disk.submit(100.0, DiskRequest("a", "read", 1e6))
+        assert completion == pytest.approx(100.0 + 1e-3 + 0.01)
+
+    def test_queue_delay_reporting(self):
+        disk = make_disk()
+        disk.submit(0.0, DiskRequest("a", "read", 100e6))
+        assert disk.queue_delay(0.0) == pytest.approx(1.0 + 1e-3)
+        assert disk.queue_delay(50.0) == 0.0
+
+
+class TestAccounting:
+    def test_per_owner_byte_counters(self):
+        disk = make_disk()
+        disk.submit(0.0, DiskRequest("web", "read", 1000.0))
+        disk.submit(0.0, DiskRequest("web", "write", 500.0))
+        disk.submit(0.0, DiskRequest("db", "write", 200.0))
+        assert disk.bytes_read("web") == 1000.0
+        assert disk.bytes_written("web") == 500.0
+        assert disk.total_bytes("web") == 1500.0
+        assert disk.total_bytes("db") == 200.0
+
+    def test_requests_served_counter(self):
+        disk = make_disk()
+        for _ in range(3):
+            disk.submit(0.0, DiskRequest("a", "read", 1.0))
+        assert disk.requests_served == 3
+
+    def test_snapshot_structure(self):
+        disk = make_disk()
+        disk.submit(0.0, DiskRequest("a", "read", 10.0))
+        snapshot = disk.snapshot()
+        assert snapshot["read"] == {"a": 10.0}
+        assert snapshot["write"] == {}
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_disk(read_bandwidth_bps=0.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_disk(access_latency_s=-1.0)

@@ -1,0 +1,68 @@
+"""Unit tests for the memory bank."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.hardware.memory import MemoryBank
+from repro.units import GB, MB
+
+
+class TestMemoryBank:
+    def test_set_and_read_usage(self):
+        bank = MemoryBank(1 * GB)
+        bank.set_usage("web", 100 * MB)
+        assert bank.usage("web") == 100 * MB
+
+    def test_total_and_free(self):
+        bank = MemoryBank(1 * GB)
+        bank.set_usage("a", 200 * MB)
+        bank.set_usage("b", 300 * MB)
+        assert bank.total_used() == 500 * MB
+        assert bank.free_bytes() == 1 * GB - 500 * MB
+
+    def test_overcommit_rejected(self):
+        bank = MemoryBank(1 * GB)
+        bank.set_usage("a", 800 * MB)
+        with pytest.raises(CapacityError):
+            bank.set_usage("b", 300 * MB)
+
+    def test_owner_can_shrink_then_regrow(self):
+        bank = MemoryBank(1 * GB)
+        bank.set_usage("a", 900 * MB)
+        bank.set_usage("a", 100 * MB)
+        bank.set_usage("b", 800 * MB)
+        assert bank.total_used() == 900 * MB
+
+    def test_replacing_own_usage_not_double_counted(self):
+        bank = MemoryBank(1 * GB)
+        bank.set_usage("a", 600 * MB)
+        bank.set_usage("a", 700 * MB)  # must not raise
+        assert bank.usage("a") == 700 * MB
+
+    def test_negative_usage_rejected(self):
+        with pytest.raises(CapacityError):
+            MemoryBank(1 * GB).set_usage("a", -1.0)
+
+    def test_adjust_usage_delta(self):
+        bank = MemoryBank(1 * GB)
+        bank.set_usage("a", 100 * MB)
+        bank.adjust_usage("a", 50 * MB)
+        assert bank.usage("a") == 150 * MB
+
+    def test_adjust_clamps_at_zero(self):
+        bank = MemoryBank(1 * GB)
+        bank.set_usage("a", 10 * MB)
+        bank.adjust_usage("a", -100 * MB)
+        assert bank.usage("a") == 0.0
+
+    def test_unknown_owner_usage_is_zero(self):
+        assert MemoryBank(1 * GB).usage("ghost") == 0.0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryBank(0.0)
+
+    def test_snapshot(self):
+        bank = MemoryBank(1 * GB)
+        bank.set_usage("a", 1 * MB)
+        assert bank.snapshot() == {"a": 1 * MB}

@@ -1,0 +1,77 @@
+"""Unit tests for NIC and fabric models."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.hardware.network import NetworkFabric, NetworkInterface
+
+
+class TestNetworkInterface:
+    def test_transfer_time_from_bandwidth(self):
+        nic = NetworkInterface(bandwidth_bps=100.0)
+        completion = nic.transmit(0.0, "a", 50.0)
+        assert completion == pytest.approx(0.5)
+
+    def test_rx_and_tx_are_independent_duplex(self):
+        nic = NetworkInterface(bandwidth_bps=100.0)
+        tx_done = nic.transmit(0.0, "a", 100.0)
+        rx_done = nic.receive(0.0, "a", 100.0)
+        # Both directions complete at 1.0: no mutual serialization.
+        assert tx_done == pytest.approx(1.0)
+        assert rx_done == pytest.approx(1.0)
+
+    def test_same_direction_serializes(self):
+        nic = NetworkInterface(bandwidth_bps=100.0)
+        first = nic.transmit(0.0, "a", 100.0)
+        second = nic.transmit(0.0, "b", 100.0)
+        assert second == pytest.approx(first + 1.0)
+
+    def test_byte_accounting_per_owner(self):
+        nic = NetworkInterface()
+        nic.receive(0.0, "web", 1000.0)
+        nic.transmit(0.0, "web", 2000.0)
+        assert nic.bytes_received("web") == 1000.0
+        assert nic.bytes_transmitted("web") == 2000.0
+        assert nic.total_bytes("web") == 3000.0
+
+    def test_packet_counters(self):
+        nic = NetworkInterface()
+        nic.receive(0.0, "a", 10.0)
+        nic.receive(0.0, "a", 10.0)
+        nic.transmit(0.0, "a", 10.0)
+        assert nic.packets == {"rx": 2, "tx": 1}
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(CapacityError):
+            NetworkInterface().transmit(0.0, "a", -1.0)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkInterface(bandwidth_bps=0.0)
+
+
+class TestNetworkFabric:
+    def test_local_vs_remote_latency(self):
+        fabric = NetworkFabric(
+            inter_server_latency_s=1e-3, local_latency_s=1e-5
+        )
+        fabric.place("web", "host1")
+        fabric.place("db", "host1")
+        fabric.place("client", "host2")
+        assert fabric.latency("web", "db") == 1e-5
+        assert fabric.latency("client", "web") == 1e-3
+
+    def test_unplaced_endpoint_rejected(self):
+        fabric = NetworkFabric()
+        fabric.place("web", "host1")
+        with pytest.raises(ConfigurationError):
+            fabric.latency("web", "ghost")
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkFabric(inter_server_latency_s=-1.0)
+
+    def test_server_of(self):
+        fabric = NetworkFabric()
+        fabric.place("web", "host1")
+        assert fabric.server_of("web") == "host1"

@@ -1,0 +1,56 @@
+"""Unit tests for server composition and cluster."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.cluster import Cluster
+from repro.hardware.server import PhysicalServer, ServerSpec
+from repro.units import GB, TB
+
+
+class TestServerSpec:
+    def test_paper_testbed_matches_section3(self):
+        spec = ServerSpec.paper_testbed()
+        assert spec.cores == 8
+        assert spec.frequency_hz == 2.8e9
+        assert spec.memory_bytes == 32 * GB
+        assert spec.disk_bytes == 2 * TB
+
+
+class TestPhysicalServer:
+    def test_components_sized_from_spec(self):
+        server = PhysicalServer("s1")
+        assert server.cpu.cores == 8
+        assert server.memory.capacity_bytes == 32 * GB
+        assert server.disk.capacity_bytes == 2 * TB
+        assert server.nic.bandwidth_bps == 125e6
+
+    def test_custom_spec(self):
+        spec = ServerSpec(cores=2, frequency_hz=1e9, memory_bytes=GB)
+        server = PhysicalServer("small", spec)
+        assert server.cpu.capacity_cycles_per_s == 2e9
+
+
+class TestCluster:
+    def test_add_and_get_server(self):
+        cluster = Cluster()
+        server = cluster.add_server("node1")
+        assert cluster.server("node1") is server
+        assert "node1" in cluster
+        assert len(cluster) == 1
+
+    def test_duplicate_name_rejected(self):
+        cluster = Cluster()
+        cluster.add_server("node1")
+        with pytest.raises(ConfigurationError):
+            cluster.add_server("node1")
+
+    def test_unknown_server_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Cluster().server("ghost")
+
+    def test_servers_listing(self):
+        cluster = Cluster()
+        cluster.add_server("a")
+        cluster.add_server("b")
+        assert {s.name for s in cluster.servers()} == {"a", "b"}

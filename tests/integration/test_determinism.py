@@ -1,0 +1,85 @@
+"""Integration tests: determinism and cross-cutting pipeline behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import scenario
+from repro.monitoring.export import trace_set_to_csv
+
+
+class TestDeterminism:
+    def test_same_seed_identical_traces(self):
+        a = run_scenario(
+            scenario("virtualized", "browsing", duration_s=60.0, seed=7)
+        )
+        b = run_scenario(
+            scenario("virtualized", "browsing", duration_s=60.0, seed=7)
+        )
+        for key in a.traces.keys():
+            va = a.traces.get(*key).values
+            vb = b.traces.get(*key).values
+            assert np.array_equal(va, vb), f"series {key} diverged"
+        assert a.requests_completed == b.requests_completed
+
+    def test_different_seed_different_traces(self):
+        a = run_scenario(
+            scenario("virtualized", "browsing", duration_s=60.0, seed=7)
+        )
+        b = run_scenario(
+            scenario("virtualized", "browsing", duration_s=60.0, seed=8)
+        )
+        assert not np.array_equal(
+            a.traces.get("web", "cpu_cycles").values,
+            b.traces.get("web", "cpu_cycles").values,
+        )
+
+    def test_bare_metal_also_deterministic(self):
+        a = run_scenario(
+            scenario("bare-metal", "bidding", duration_s=60.0, seed=3)
+        )
+        b = run_scenario(
+            scenario("bare-metal", "bidding", duration_s=60.0, seed=3)
+        )
+        assert np.array_equal(
+            a.traces.get("web", "disk_kb").values,
+            b.traces.get("web", "disk_kb").values,
+        )
+
+
+class TestPipelineConsistency:
+    def test_throughput_matches_closed_loop_law(self, virt_browse_result):
+        # X = N / (Z + R); bursts add a few percent on short runs.
+        result = virt_browse_result
+        expected = 1000.0 / (7.0 + result.mean_response_time_s)
+        assert result.throughput_rps == pytest.approx(expected, rel=0.10)
+
+    def test_response_time_far_below_think_time(self, virt_browse_result):
+        assert virt_browse_result.mean_response_time_s < 0.5
+
+    def test_interaction_frequencies_match_matrix(self, virt_browse_result):
+        from repro.rubis.transitions import browsing_matrix
+
+        pi = browsing_matrix().stationary_distribution()
+        counts = virt_browse_result.client_stats.per_interaction
+        total = sum(counts.values())
+        for state, probability in pi.items():
+            if probability > 0.08:
+                observed = counts.get(state, 0) / total
+                assert observed == pytest.approx(probability, abs=0.03)
+
+    def test_traces_export_to_csv(self, virt_browse_result):
+        text = trace_set_to_csv(virt_browse_result.traces)
+        lines = text.strip().splitlines()
+        assert len(lines) == 1 + 120  # header + 240s/2s samples
+        assert lines[0].count(",") == 12  # time + 3 entities x 4
+
+    def test_memory_never_exceeds_vm_allocation(self, virt_browse_result):
+        web_ram = virt_browse_result.traces.get("web", "mem_used_mb")
+        assert web_ram.max() <= 2048.0  # 2 GB VM
+
+    def test_all_series_non_negative(self, virt_browse_result,
+                                     bare_browse_result):
+        for result in (virt_browse_result, bare_browse_result):
+            for key in result.traces.keys():
+                assert result.traces.get(*key).values.min() >= 0.0

@@ -1,0 +1,218 @@
+"""Integration tests: the paper's findings hold end to end.
+
+These are the acceptance tests of the reproduction: each asserts one of
+the calibration targets (R1/R2/R4 within tolerance, R3 derived) or one
+of the qualitative findings (Q1-Q5) on the shared 240-second runs.
+Tolerances are sized for the short CI runs; full 1200 s runs land
+tighter (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.analysis.ratios import (
+    cross_environment_ratios,
+    demand_vector,
+    physical_cross_ratios,
+    tier_ratios,
+    vm_to_hypervisor_ratios,
+)
+from repro.experiments.compare import compare_with_paper, qualitative_checks
+from repro.experiments.paper_values import (
+    PAPER_R1,
+    PAPER_R2,
+    PAPER_R4,
+    VIRTUALIZED_TARGETS,
+)
+
+#: Relative tolerance for rate resources on 240 s runs.
+RATE_TOLERANCE = 0.15
+#: RAM needs a looser band: its warm-up ramp spans a large part of a
+#: short run, biasing the level mean low.
+LEVEL_TOLERANCE = 0.30
+
+
+class TestR1TierRatios:
+    def test_cpu(self, virt_browse_result):
+        ratio = tier_ratios(virt_browse_result.traces)
+        assert ratio.cpu_cycles == pytest.approx(
+            PAPER_R1.cpu_cycles, rel=RATE_TOLERANCE
+        )
+
+    def test_ram(self, virt_browse_result):
+        ratio = tier_ratios(virt_browse_result.traces)
+        assert ratio.mem_used_mb == pytest.approx(
+            PAPER_R1.mem_used_mb, rel=LEVEL_TOLERANCE
+        )
+
+    def test_disk(self, virt_browse_result):
+        ratio = tier_ratios(virt_browse_result.traces)
+        assert ratio.disk_kb == pytest.approx(
+            PAPER_R1.disk_kb, rel=RATE_TOLERANCE
+        )
+
+    def test_network(self, virt_browse_result):
+        ratio = tier_ratios(virt_browse_result.traces)
+        assert ratio.net_kb == pytest.approx(
+            PAPER_R1.net_kb, rel=RATE_TOLERANCE
+        )
+
+
+class TestR2VmToDom0:
+    def test_cpu(self, virt_browse_result):
+        ratio = vm_to_hypervisor_ratios(virt_browse_result.traces)
+        assert ratio.cpu_cycles == pytest.approx(
+            PAPER_R2.cpu_cycles, rel=RATE_TOLERANCE
+        )
+
+    def test_ram(self, virt_browse_result):
+        ratio = vm_to_hypervisor_ratios(virt_browse_result.traces)
+        assert ratio.mem_used_mb == pytest.approx(
+            PAPER_R2.mem_used_mb, rel=LEVEL_TOLERANCE
+        )
+
+    def test_disk(self, virt_browse_result):
+        ratio = vm_to_hypervisor_ratios(virt_browse_result.traces)
+        assert ratio.disk_kb == pytest.approx(
+            PAPER_R2.disk_kb, rel=RATE_TOLERANCE
+        )
+
+    def test_network(self, virt_browse_result):
+        ratio = vm_to_hypervisor_ratios(virt_browse_result.traces)
+        assert ratio.net_kb == pytest.approx(
+            PAPER_R2.net_kb, rel=0.05
+        )
+
+
+class TestR4PhysicalCross:
+    def test_cpu_non_virt_higher(self, virt_browse_result,
+                                 bare_browse_result):
+        ratio = physical_cross_ratios(
+            virt_browse_result.traces, bare_browse_result.traces
+        )
+        assert ratio.cpu_cycles == pytest.approx(
+            PAPER_R4.cpu_cycles, rel=RATE_TOLERANCE
+        )
+
+    def test_ram_non_virt_higher(self, virt_browse_result,
+                                 bare_browse_result):
+        ratio = physical_cross_ratios(
+            virt_browse_result.traces, bare_browse_result.traces
+        )
+        assert ratio.mem_used_mb == pytest.approx(
+            PAPER_R4.mem_used_mb, rel=LEVEL_TOLERANCE
+        )
+
+    def test_disk_non_virt_lower(self, virt_browse_result,
+                                 bare_browse_result):
+        ratio = physical_cross_ratios(
+            virt_browse_result.traces, bare_browse_result.traces
+        )
+        assert ratio.disk_kb == pytest.approx(
+            PAPER_R4.disk_kb, rel=RATE_TOLERANCE
+        )
+        assert ratio.disk_kb < 1.0  # the "25% less" direction
+
+    def test_network_near_parity(self, virt_browse_result,
+                                 bare_browse_result):
+        ratio = physical_cross_ratios(
+            virt_browse_result.traces, bare_browse_result.traces
+        )
+        assert ratio.net_kb == pytest.approx(
+            PAPER_R4.net_kb, rel=0.10
+        )
+
+
+class TestR3Derived:
+    def test_disk_and_net_match_paper(self, virt_browse_result,
+                                      bare_browse_result):
+        # R3 is derived, not calibrated; disk and network are the two
+        # components consistent with R2 x R4 and they must match.
+        ratio = cross_environment_ratios(
+            virt_browse_result.traces, bare_browse_result.traces
+        )
+        assert ratio.disk_kb == pytest.approx(0.60, rel=0.20)
+        assert ratio.net_kb == pytest.approx(0.98, rel=0.10)
+
+    def test_cpu_shows_documented_inconsistency(self, virt_browse_result,
+                                                bare_browse_result):
+        # Paper states 3.47; under R2 and R4 the consistent value is
+        # R2/R4 = 8.96.  We assert the derived value, documenting the
+        # paper's internal inconsistency (see DESIGN.md section 3).
+        ratio = cross_environment_ratios(
+            virt_browse_result.traces, bare_browse_result.traces
+        )
+        assert ratio.cpu_cycles == pytest.approx(
+            PAPER_R2.cpu_cycles / PAPER_R4.cpu_cycles, rel=0.20
+        )
+
+
+class TestQualitativeFindings:
+    @pytest.fixture(scope="class")
+    def checks(
+        self,
+        virt_browse_result,
+        virt_bid_result,
+        bare_browse_result,
+        bare_bid_result,
+    ):
+        return qualitative_checks(
+            virt_browse_result,
+            virt_bid_result,
+            bare_browse_result,
+            bare_bid_result,
+        )
+
+    def test_q1_db_lags_web(self, checks):
+        assert checks.q1_db_lags_web
+
+    def test_q2_virt_browse_ram_jumps(self, checks):
+        assert checks.q2_virt_browse_jumps
+
+    def test_q2_virt_bid_ram_smooth(self, checks):
+        assert checks.q2_virt_bid_smooth
+
+    def test_q3_bare_bid_jumps_earlier(self, checks):
+        assert checks.q3_bare_bid_jumps_earlier
+
+    def test_q4_disk_variance_higher_on_bare_metal(self, checks):
+        assert checks.q4_disk_variance_higher_bare
+
+    def test_q5_bid_costs_dom0_more_cpu(self, checks):
+        assert checks.q5_bid_more_dom0_cpu
+
+    def test_all_findings_summary(self, checks):
+        assert checks.all_pass()
+
+
+class TestSeriesEnvelopes:
+    def test_virt_web_cpu_mean_near_target(self, virt_browse_result):
+        vector = demand_vector(virt_browse_result.traces, "web")
+        assert vector.cpu_cycles == pytest.approx(
+            VIRTUALIZED_TARGETS["web"].cpu_cycles, rel=0.15
+        )
+
+    def test_virt_web_net_mean_near_target(self, virt_browse_result):
+        vector = demand_vector(virt_browse_result.traces, "web")
+        assert vector.net_kb == pytest.approx(
+            VIRTUALIZED_TARGETS["web"].net_kb, rel=0.15
+        )
+
+    def test_browse_demands_more_web_cpu_than_bid(
+        self, virt_browse_result, virt_bid_result
+    ):
+        browse = demand_vector(virt_browse_result.traces, "web")
+        bid = demand_vector(virt_bid_result.traces, "web")
+        assert browse.cpu_cycles >= bid.cpu_cycles
+        assert browse.net_kb >= bid.net_kb
+
+
+class TestComparisonReports:
+    def test_four_ratio_reports(self, virt_browse_result,
+                                bare_browse_result):
+        reports = compare_with_paper(
+            virt_browse_result, bare_browse_result
+        )
+        names = [r.name for r in reports]
+        assert len(reports) == 4
+        assert any("R1" in n for n in names)
+        assert any("R4" in n for n in names)

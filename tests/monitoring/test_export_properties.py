@@ -1,0 +1,75 @@
+"""Property tests for trace export round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AnalysisError
+from repro.monitoring.export import trace_set_to_csv, trace_set_to_json
+from repro.monitoring.timeseries import TimeSeries, TraceSet
+
+
+@st.composite
+def trace_sets(draw):
+    n_samples = draw(st.integers(min_value=1, max_value=30))
+    entities = draw(
+        st.lists(
+            st.sampled_from(["web", "db", "dom0"]),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        )
+    )
+    traces = TraceSet("virtualized", "browsing", 2.0)
+    for entity in entities:
+        for resource in ("cpu_cycles", "mem_used_mb"):
+            values = draw(
+                st.lists(
+                    st.floats(
+                        min_value=0.0,
+                        max_value=1e12,
+                        allow_nan=False,
+                        allow_infinity=False,
+                    ),
+                    min_size=n_samples,
+                    max_size=n_samples,
+                )
+            )
+            series = TimeSeries(f"{entity}:{resource}")
+            for i, value in enumerate(values):
+                series.append((i + 1) * 2.0, value)
+            traces.add(entity, resource, series)
+    return traces
+
+
+class TestJsonRoundTrip:
+    @given(traces=trace_sets())
+    @settings(max_examples=30, deadline=None)
+    def test_json_preserves_every_sample(self, traces):
+        document = json.loads(trace_set_to_json(traces))
+        assert len(document["series"]) == len(traces)
+        for (entity, resource), series in traces.items():
+            stored = document["series"][f"{entity}:{resource}"]
+            assert stored["times"] == series.times.tolist()
+            assert stored["values"] == series.values.tolist()
+
+    @given(traces=trace_sets())
+    @settings(max_examples=30, deadline=None)
+    def test_csv_row_count_and_parse(self, traces):
+        text = trace_set_to_csv(traces)
+        lines = text.strip().splitlines()
+        first_key = traces.keys()[0]
+        assert len(lines) == 1 + len(traces.get(*first_key))
+        header = lines[0].split(",")
+        assert header[0] == "time_s"
+        assert len(header) == 1 + len(traces)
+        # Every cell parses back to a float within format precision.
+        for line in lines[1:]:
+            for cell in line.split(","):
+                float(cell)
+
+    def test_empty_trace_set_rejected(self):
+        with pytest.raises(AnalysisError):
+            trace_set_to_csv(TraceSet("v", "w", 2.0))

@@ -1,0 +1,178 @@
+"""Unit tests for probes, the trace recorder, and export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import MonitoringError
+from repro.monitoring.export import trace_set_to_csv, trace_set_to_json
+from repro.monitoring.probes import ContextProbe, Dom0Probe, RawCounters
+from repro.monitoring.registry import build_registry
+from repro.monitoring.sampler import TraceRecorder
+from repro.rubis.deployment import VirtualizedDeployment
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+
+
+@pytest.fixture
+def virt():
+    sim = Simulator()
+    deployment = VirtualizedDeployment(sim, RandomStreams(3))
+    return sim, deployment
+
+
+class FakeSession:
+    session_id = 1
+
+
+class TestRawCounters:
+    def test_delta_differences_counters_keeps_level(self):
+        earlier = RawCounters(100, 50, 10, 20, 30, 40, 5)
+        later = RawCounters(150, 70, 15, 25, 35, 45, 9)
+        delta = later.delta(earlier)
+        assert delta.cpu_cycles == 50
+        assert delta.mem_used_bytes == 70  # level, not differenced
+        assert delta.requests == 4
+
+    def test_monotonic_validation(self):
+        bad = RawCounters(-5, 0, 0, 0, 0, 0, 0)
+        with pytest.raises(MonitoringError):
+            bad.validate_monotonic()
+
+
+class TestContextProbe:
+    def test_virtualized_probe_metadata(self, virt):
+        _, deployment = virt
+        probe = ContextProbe("web", deployment.web_context)
+        assert probe.virtualized
+        assert probe.mem_total_bytes == deployment.web_domain.memory_bytes
+        assert probe.capacity_cycles_per_s == pytest.approx(2 * 2.8e9)
+
+    def test_snapshot_tracks_activity(self, virt):
+        sim, deployment = virt
+        probe = ContextProbe("web", deployment.web_context)
+        before = probe.snapshot()
+        deployment.send(FakeSession(), "ViewItem", lambda r: None)
+        sim.run_until(2.0)
+        after = probe.snapshot()
+        delta = after.delta(before)
+        assert delta.cpu_cycles > 0
+        assert delta.net_rx_bytes > 0
+
+
+class TestDom0Probe:
+    def test_snapshot_reads_dom0_owners(self, virt):
+        sim, deployment = virt
+        probe = Dom0Probe(deployment.hypervisor)
+        sim.run_until(3.0)
+        snapshot = probe.snapshot()
+        assert snapshot.cpu_cycles > 0  # housekeeping burned cycles
+        assert snapshot.mem_used_bytes > 0
+
+    def test_not_flagged_virtualized(self, virt):
+        _, deployment = virt
+        assert not Dom0Probe(deployment.hypervisor).virtualized
+
+
+class TestTraceRecorder:
+    def test_core_series_collected_on_2s_grid(self, virt):
+        sim, deployment = virt
+        probes = [
+            ContextProbe("web", deployment.web_context),
+            ContextProbe("db", deployment.db_context),
+            Dom0Probe(deployment.hypervisor),
+        ]
+        recorder = TraceRecorder(sim, probes, "virtualized", "browsing")
+        sim.run_until(10.0)
+        series = recorder.traces.get("web", "cpu_cycles")
+        assert list(series.times) == [2.0, 4.0, 6.0, 8.0, 10.0]
+        assert recorder.samples_taken == 5
+        assert len(recorder.traces) == 12  # 3 entities x 4 resources
+
+    def test_duplicate_entities_rejected(self, virt):
+        sim, deployment = virt
+        probes = [
+            ContextProbe("web", deployment.web_context),
+            ContextProbe("web", deployment.db_context),
+        ]
+        with pytest.raises(MonitoringError):
+            TraceRecorder(sim, probes, "virtualized", "browsing")
+
+    def test_no_probes_rejected(self, virt):
+        sim, _ = virt
+        with pytest.raises(MonitoringError):
+            TraceRecorder(sim, [], "virtualized", "browsing")
+
+    def test_full_registry_rows(self, virt):
+        sim, deployment = virt
+        probes = [ContextProbe("web", deployment.web_context)]
+        recorder = TraceRecorder(
+            sim,
+            probes,
+            "virtualized",
+            "browsing",
+            registry=build_registry(),
+            collect_full_registry=True,
+            rng=np.random.default_rng(0),
+        )
+        sim.run_until(4.0)
+        assert len(recorder.full_rows) == 2
+        row = recorder.full_rows[0]
+        # 182 sysstat-vm + 154 perf + time column.
+        assert len(row) == 182 + 154 + 1
+
+    def test_full_registry_requires_registry_and_rng(self, virt):
+        sim, deployment = virt
+        probes = [ContextProbe("web", deployment.web_context)]
+        with pytest.raises(MonitoringError):
+            TraceRecorder(
+                sim, probes, "v", "w", collect_full_registry=True
+            )
+
+    def test_stop_halts_sampling(self, virt):
+        sim, deployment = virt
+        recorder = TraceRecorder(
+            sim,
+            [ContextProbe("web", deployment.web_context)],
+            "virtualized",
+            "browsing",
+        )
+        sim.run_until(4.0)
+        recorder.stop()
+        sim.run_until(20.0)
+        assert recorder.samples_taken == 2
+
+
+class TestExport:
+    def _recorded(self, virt):
+        sim, deployment = virt
+        recorder = TraceRecorder(
+            sim,
+            [
+                ContextProbe("web", deployment.web_context),
+                ContextProbe("db", deployment.db_context),
+            ],
+            "virtualized",
+            "browsing",
+        )
+        deployment.send(FakeSession(), "ViewItem", lambda r: None)
+        sim.run_until(6.0)
+        return recorder.traces
+
+    def test_csv_round_shape(self, virt):
+        traces = self._recorded(virt)
+        csv_text = trace_set_to_csv(traces)
+        lines = csv_text.strip().splitlines()
+        assert lines[0].startswith("time_s,")
+        assert len(lines) == 1 + 3  # header + 3 samples
+        assert len(lines[0].split(",")) == 1 + 8  # time + 2x4 series
+
+    def test_json_round_trip(self, virt):
+        traces = self._recorded(virt)
+        document = json.loads(trace_set_to_json(traces))
+        assert document["environment"] == "virtualized"
+        assert document["workload"] == "browsing"
+        assert len(document["series"]) == 8
+        web_cpu = document["series"]["web:cpu_cycles"]
+        assert len(web_cpu["times"]) == 3

@@ -1,0 +1,137 @@
+"""Unit tests for the 518-metric catalogue."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnknownMetricError
+from repro.monitoring.metric import MetricKind, MetricSource, SampleInputs
+from repro.monitoring.registry import (
+    PERF_METRIC_COUNT,
+    SYSSTAT_METRIC_COUNT,
+    TOTAL_METRIC_COUNT,
+    build_registry,
+    perf_metrics,
+    sysstat_metrics,
+    table1_sample,
+)
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return build_registry()
+
+
+def make_inputs(virtualized=False, cpu_cycles=1.4e9):
+    return SampleInputs(
+        interval_s=2.0,
+        cpu_cycles=cpu_cycles,
+        mem_used_bytes=600e6,
+        mem_total_bytes=2e9,
+        disk_read_bytes=100e3,
+        disk_write_bytes=300e3,
+        net_rx_bytes=2e6,
+        net_tx_bytes=3e6,
+        requests=280.0,
+        capacity_cycles=2 * 2.8e9 * 2.0,
+        rng=np.random.default_rng(5),
+        virtualized=virtualized,
+    )
+
+
+class TestCatalogueCounts:
+    def test_paper_totals(self, registry):
+        # Section 3: "In total, 518 metrics are profiled, i.e., 182 for
+        # the hypervisor and 182 for VMs by sysstat and 154 for
+        # performance counters by perf".
+        assert len(registry) == TOTAL_METRIC_COUNT == 518
+        counts = registry.counts_by_source()
+        assert counts["sysstat-hypervisor"] == SYSSTAT_METRIC_COUNT == 182
+        assert counts["sysstat-vm"] == 182
+        assert counts["perf"] == PERF_METRIC_COUNT == 154
+
+    def test_sysstat_names_unique_within_source(self):
+        metrics = sysstat_metrics(MetricSource.SYSSTAT_VM)
+        names = [m.name for m in metrics]
+        assert len(set(names)) == len(names)
+
+    def test_perf_names_unique(self):
+        names = [m.name for m in perf_metrics()]
+        assert len(set(names)) == len(names)
+
+    def test_perf_per_core_events(self):
+        names = {m.name for m in perf_metrics()}
+        for core in range(8):
+            assert f"cpu{core}/cycles" in names
+            assert f"cpu{core}/instructions" in names
+
+
+class TestEvaluation:
+    def test_all_metrics_evaluate_finite(self, registry):
+        inputs = make_inputs(virtualized=True)
+        values = registry.evaluate_all(inputs)
+        assert len(values) == 518
+        for value in values.values():
+            assert np.isfinite(value)
+
+    def test_memused_reflects_inputs(self, registry):
+        metric = registry.lookup(MetricSource.SYSSTAT_VM, "kbmemused")
+        value = metric.evaluate(make_inputs())
+        assert value == pytest.approx(600e6 / 1024)
+
+    def test_steal_only_when_virtualized(self, registry):
+        metric = registry.lookup(MetricSource.SYSSTAT_VM, "%steal")
+        assert metric.evaluate(make_inputs(virtualized=False)) == 0.0
+        assert metric.evaluate(make_inputs(virtualized=True)) > 0.0
+
+    def test_cycles_counter_passthrough(self, registry):
+        metric = registry.lookup(MetricSource.PERF, "cycles")
+        value = metric.evaluate(make_inputs(cpu_cycles=1e9))
+        assert value == pytest.approx(1e9, rel=0.2)
+
+    def test_virtualization_reduces_ipc(self, registry):
+        metric = registry.lookup(MetricSource.PERF, "instructions")
+        bare = metric.evaluate(make_inputs(virtualized=False))
+        virt = metric.evaluate(make_inputs(virtualized=True))
+        assert virt < bare
+
+    def test_virtualization_raises_tlb_misses(self, registry):
+        metric = registry.lookup(MetricSource.PERF, "dTLB-load-misses")
+        bare = metric.evaluate(make_inputs(virtualized=False))
+        virt = metric.evaluate(make_inputs(virtualized=True))
+        assert virt > bare
+
+    def test_idle_complement_of_utilization(self, registry):
+        metric = registry.lookup(
+            MetricSource.SYSSTAT_HYPERVISOR, "%idle"
+        )
+        idle = metric.evaluate(make_inputs(cpu_cycles=0.0))
+        assert idle == pytest.approx(100.0)
+
+    def test_network_rate_scales_with_bytes(self, registry):
+        metric = registry.lookup(MetricSource.SYSSTAT_VM, "rxkB/s")
+        value = metric.evaluate(make_inputs())
+        assert value == pytest.approx(2e6 / 1024 / 2.0, rel=0.2)
+
+    def test_lookup_unknown_rejected(self, registry):
+        with pytest.raises(UnknownMetricError):
+            registry.lookup(MetricSource.PERF, "quantum-flux")
+
+
+class TestTable1:
+    def test_sample_is_subset_of_catalogue(self, registry):
+        sample = table1_sample(registry)
+        assert len(sample) == 25
+        for metric in sample:
+            assert registry.lookup(metric.source, metric.name) is metric
+
+    def test_sample_covers_all_three_collectors(self, registry):
+        sources = {m.source for m in table1_sample(registry)}
+        assert sources == {
+            MetricSource.SYSSTAT_HYPERVISOR,
+            MetricSource.SYSSTAT_VM,
+            MetricSource.PERF,
+        }
+
+    def test_descriptions_nonempty(self, registry):
+        for metric in table1_sample(registry):
+            assert metric.description

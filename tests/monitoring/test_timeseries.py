@@ -1,0 +1,122 @@
+"""Unit tests for time series and trace sets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError, InsufficientDataError
+from repro.monitoring.timeseries import TimeSeries, TraceSet
+
+
+def series_of(values, name="s", start=0.0, step=2.0):
+    s = TimeSeries(name)
+    for i, v in enumerate(values):
+        s.append(start + i * step, v)
+    return s
+
+
+class TestTimeSeries:
+    def test_append_and_views(self):
+        s = series_of([1.0, 2.0, 3.0])
+        assert len(s) == 3
+        assert list(s.times) == [0.0, 2.0, 4.0]
+        assert list(s.values) == [1.0, 2.0, 3.0]
+
+    def test_non_increasing_time_rejected(self):
+        s = series_of([1.0])
+        with pytest.raises(AnalysisError):
+            s.append(0.0, 2.0)
+
+    def test_summary_statistics(self):
+        s = series_of([2.0, 4.0, 6.0])
+        assert s.mean() == 4.0
+        assert s.min() == 2.0
+        assert s.max() == 6.0
+        assert s.total() == 12.0
+        assert s.std() == pytest.approx(2.0)
+        assert s.variance() == pytest.approx(4.0)
+
+    def test_cv(self):
+        s = series_of([2.0, 4.0, 6.0])
+        assert s.coefficient_of_variation() == pytest.approx(0.5)
+
+    def test_cv_zero_mean_rejected(self):
+        s = series_of([-1.0, 1.0])
+        with pytest.raises(AnalysisError):
+            s.coefficient_of_variation()
+
+    def test_insufficient_data_raises(self):
+        s = TimeSeries("empty")
+        with pytest.raises(InsufficientDataError):
+            s.mean()
+        with pytest.raises(InsufficientDataError):
+            series_of([1.0]).std()
+
+    def test_sliced(self):
+        s = series_of([1.0, 2.0, 3.0, 4.0])
+        sub = s.sliced(2.0, 6.0)
+        assert list(sub.values) == [2.0, 3.0]
+
+    def test_without_warmup(self):
+        s = series_of([1.0, 2.0, 3.0, 4.0])  # times 0, 2, 4, 6
+        trimmed = s.without_warmup(3.0)
+        assert list(trimmed.values) == [3.0, 4.0]
+
+    def test_without_warmup_empty_series(self):
+        s = TimeSeries("e")
+        assert len(s.without_warmup(10.0)) == 0
+
+    def test_scaled(self):
+        s = series_of([1.0, 2.0])
+        scaled = s.scaled(10.0, unit="KB")
+        assert list(scaled.values) == [10.0, 20.0]
+        assert scaled.unit == "KB"
+
+    def test_mismatched_init_lengths_rejected(self):
+        with pytest.raises(AnalysisError):
+            TimeSeries("bad", times=[1.0], values=[1.0, 2.0])
+
+
+class TestTraceSet:
+    def make(self):
+        traces = TraceSet("virtualized", "browsing", 2.0)
+        traces.add("web", "cpu_cycles", series_of([1.0, 2.0]))
+        traces.add("db", "cpu_cycles", series_of([0.5, 0.5]))
+        return traces
+
+    def test_add_and_get(self):
+        traces = self.make()
+        assert traces.get("web", "cpu_cycles").mean() == 1.5
+
+    def test_duplicate_rejected(self):
+        traces = self.make()
+        with pytest.raises(AnalysisError):
+            traces.add("web", "cpu_cycles", series_of([1.0]))
+
+    def test_missing_series_error_lists_known(self):
+        traces = self.make()
+        with pytest.raises(AnalysisError, match="cpu_cycles"):
+            traces.get("dom0", "cpu_cycles")
+
+    def test_entities_and_resources(self):
+        traces = self.make()
+        assert traces.entities() == ["db", "web"]
+        assert traces.resources() == ["cpu_cycles"]
+
+    def test_aggregate_sums_elementwise(self):
+        traces = self.make()
+        aggregate = traces.aggregate(["web", "db"], "cpu_cycles")
+        assert list(aggregate.values) == [1.5, 2.5]
+
+    def test_aggregate_length_mismatch_rejected(self):
+        traces = self.make()
+        traces.add("dom0", "cpu_cycles", series_of([1.0, 2.0, 3.0]))
+        with pytest.raises(AnalysisError):
+            traces.aggregate(["web", "dom0"], "cpu_cycles")
+
+    def test_has(self):
+        traces = self.make()
+        assert traces.has("web", "cpu_cycles")
+        assert not traces.has("web", "net_kb")
+
+    def test_len_counts_series(self):
+        assert len(self.make()) == 2

@@ -1,0 +1,151 @@
+"""Unit tests for capacity planning and SLA prediction."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ratios import ResourceVector
+from repro.errors import ConfigurationError, InsufficientDataError
+from repro.hardware.server import ServerSpec
+from repro.planning.capacity import (
+    ResourceCapacity,
+    plan_capacity,
+    utilization_at,
+)
+from repro.planning.predictor import project_workload
+from repro.planning.sla import SlaTarget, evaluate_sla
+
+
+@pytest.fixture
+def capacity():
+    return ResourceCapacity.from_server_spec(ServerSpec.paper_testbed())
+
+
+@pytest.fixture
+def demand():
+    # Roughly the calibrated virtualized web-tier demand per 2 s sample.
+    return ResourceVector(
+        cpu_cycles=700e6, mem_used_mb=600.0, disk_kb=400.0, net_kb=5000.0
+    )
+
+
+class TestResourceCapacity:
+    def test_paper_server_capacity(self, capacity):
+        assert capacity.cpu_cycles == pytest.approx(8 * 2.8e9 * 2.0)
+        assert capacity.mem_used_mb == pytest.approx(32 * 1024)
+
+    def test_all_positive(self, capacity):
+        for value in capacity.as_dict().values():
+            assert value > 0
+
+
+class TestUtilization:
+    def test_linear_scaling(self, capacity, demand):
+        at_1000 = utilization_at(demand, 1000, 1000, capacity)
+        at_2000 = utilization_at(demand, 1000, 2000, capacity)
+        for resource in at_1000:
+            assert at_2000[resource] == pytest.approx(
+                2 * at_1000[resource]
+            )
+
+    def test_paper_operating_point_is_light(self, capacity, demand):
+        utilizations = utilization_at(demand, 1000, 1000, capacity)
+        # The paper's figures show no saturation anywhere.
+        assert max(utilizations.values()) < 0.30
+
+    def test_invalid_clients_rejected(self, capacity, demand):
+        with pytest.raises(ConfigurationError):
+            utilization_at(demand, 0, 100, capacity)
+
+
+class TestCapacityPlan:
+    def test_bottleneck_identified(self, capacity, demand):
+        plan = plan_capacity(demand, 1000, 1000, capacity)
+        assert plan.bottleneck in plan.utilizations
+        assert plan.bottleneck_utilization == max(
+            plan.utilizations.values()
+        )
+
+    def test_max_clients_respects_headroom(self, capacity, demand):
+        plan = plan_capacity(demand, 1000, 1000, capacity, headroom=0.8)
+        at_max = utilization_at(demand, 1000, plan.max_clients, capacity)
+        assert max(at_max.values()) <= 0.8 + 1e-6
+
+    def test_feasibility_flag(self, capacity, demand):
+        light = plan_capacity(demand, 1000, 1000, capacity)
+        assert light.feasible
+        heavy = plan_capacity(demand, 1000, 10_000_000, capacity)
+        assert not heavy.feasible
+
+    def test_invalid_headroom_rejected(self, capacity, demand):
+        with pytest.raises(ConfigurationError):
+            plan_capacity(demand, 1000, 1000, capacity, headroom=0.0)
+
+
+class TestSla:
+    def test_compliant_when_quantile_below_threshold(self):
+        rng = np.random.default_rng(0)
+        times = rng.exponential(0.01, size=1000)
+        evaluation = evaluate_sla(times, SlaTarget(threshold_s=0.5))
+        assert evaluation.compliant
+        assert evaluation.margin_s > 0
+
+    def test_violation_detected(self):
+        times = [1.0] * 100
+        evaluation = evaluate_sla(times, SlaTarget(threshold_s=0.5))
+        assert not evaluation.compliant
+        assert evaluation.violation_fraction == 1.0
+
+    def test_quantile_respected(self):
+        times = [0.1] * 94 + [2.0] * 6  # p95 above 0.5 barely
+        evaluation = evaluate_sla(
+            times, SlaTarget(threshold_s=0.5, quantile=0.95)
+        )
+        assert not evaluation.compliant
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            evaluate_sla([0.1] * 5, SlaTarget(threshold_s=1.0))
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SlaTarget(threshold_s=0.0)
+        with pytest.raises(ConfigurationError):
+            SlaTarget(threshold_s=1.0, quantile=1.5)
+
+
+class TestProjection:
+    def test_response_time_grows_with_load(self, capacity, demand):
+        low = project_workload(demand, 1000, 0.01, 2000, capacity)
+        high = project_workload(demand, 1000, 0.01, 50_000, capacity)
+        assert (
+            high.predicted_response_time_s
+            >= low.predicted_response_time_s
+        )
+
+    def test_sla_prediction_flips_at_saturation(self, capacity, demand):
+        target = SlaTarget(threshold_s=0.5)
+        light = project_workload(
+            demand, 1000, 0.01, 2000, capacity, sla_target=target
+        )
+        assert light.sla_predicted_compliant
+        crushed = project_workload(
+            demand, 1000, 0.01, 10_000_000, capacity, sla_target=target
+        )
+        assert not crushed.sla_predicted_compliant
+
+    def test_projection_without_sla(self, capacity, demand):
+        projection = project_workload(demand, 1000, 0.01, 2000, capacity)
+        assert projection.sla_predicted_compliant is None
+
+    def test_invalid_base_response_rejected(self, capacity, demand):
+        with pytest.raises(ConfigurationError):
+            project_workload(demand, 1000, 0.0, 2000, capacity)
+
+    def test_utilizations_exposed(self, capacity, demand):
+        projection = project_workload(demand, 1000, 0.01, 2000, capacity)
+        assert set(projection.utilizations) == {
+            "cpu_cycles",
+            "mem_used_mb",
+            "disk_kb",
+            "net_kb",
+        }

@@ -1,0 +1,182 @@
+"""Unit tests for client sessions and the population."""
+
+import numpy as np
+import pytest
+
+from repro.apps.requests import Request, ResourceDemand
+from repro.rubis.client import ClientPopulation, ClientSession, SessionStats
+from repro.rubis.transitions import bidding_matrix, browsing_matrix
+from repro.rubis.workload import (
+    BurstSchedule,
+    SessionType,
+    WorkloadMix,
+    browsing_mix,
+)
+from repro.sim.engine import Simulator
+
+
+class EchoDeployment:
+    """Answers every request after a fixed delay."""
+
+    def __init__(self, sim, delay=0.05):
+        self.sim = sim
+        self.delay = delay
+        self.sent = []
+
+    def send(self, session, interaction, on_response):
+        self.sent.append((session.session_id, interaction))
+        request = Request(
+            session_id=session.session_id,
+            interaction=interaction,
+            demand=ResourceDemand(),
+            created_at=self.sim.now,
+        )
+        self.sim.schedule(self.delay, on_response, request)
+
+
+def make_session(sim, deployment, think=1.0, session_type=SessionType.BROWSE):
+    stats = SessionStats()
+    return ClientSession(
+        sim,
+        session_id=1,
+        session_type=session_type,
+        matrix=browsing_matrix(),
+        think_time_s=think,
+        rng=np.random.default_rng(4),
+        send_fn=deployment.send,
+        stats=stats,
+    )
+
+
+class TestClientSession:
+    def test_closed_loop_alternates_think_and_request(self):
+        sim = Simulator()
+        deployment = EchoDeployment(sim)
+        session = make_session(sim, deployment, think=1.0)
+        session.start(0.0)
+        sim.run_until(30.0)
+        # With think ~Exp(1.0)+0.05s response, expect on the order of
+        # 30 requests; definitely more than 5 and fewer than 200.
+        assert 5 < session.requests_sent < 200
+
+    def test_states_follow_matrix(self):
+        sim = Simulator()
+        deployment = EchoDeployment(sim)
+        session = make_session(sim, deployment)
+        session.start(0.0)
+        sim.run_until(30.0)
+        matrix = browsing_matrix()
+        for _, interaction in deployment.sent:
+            assert interaction in matrix.states
+
+    def test_stats_record_roundtrips(self):
+        sim = Simulator()
+        deployment = EchoDeployment(sim, delay=0.1)
+        session = make_session(sim, deployment, think=0.5)
+        session.start(0.0)
+        sim.run_until(20.0)
+        assert session.stats.requests_sent >= session.stats.responses_received
+        assert session.stats.mean_response_time_s == pytest.approx(0.1)
+
+    def test_trigger_now_fires_thinking_session(self):
+        sim = Simulator()
+        deployment = EchoDeployment(sim)
+        session = make_session(sim, deployment, think=1000.0)
+        session.start(500.0)
+        sim.run_until(1.0)
+        assert session.requests_sent == 0
+        session.trigger_now()
+        sim.run_until(1.5)
+        assert session.requests_sent == 1
+
+    def test_trigger_noop_when_waiting_on_response(self):
+        sim = Simulator()
+        deployment = EchoDeployment(sim, delay=100.0)
+        session = make_session(sim, deployment, think=0.001)
+        session.start(0.0)
+        sim.run_until(1.0)  # request in flight, not thinking
+        sent_before = session.requests_sent
+        session.trigger_now()
+        sim.run_until(2.0)
+        assert session.requests_sent == sent_before
+
+
+class TestClientPopulation:
+    def _population(self, sim, mix, ramp=2.0):
+        deployment = EchoDeployment(sim)
+        population = ClientPopulation(
+            sim,
+            mix,
+            deployment.send,
+            np.random.default_rng(8),
+            {
+                SessionType.BROWSE: browsing_matrix(),
+                SessionType.BID: bidding_matrix(),
+            },
+            ramp_s=ramp,
+        )
+        return population, deployment
+
+    def test_population_size(self):
+        sim = Simulator()
+        mix = browsing_mix(clients=50, think_time_s=5.0)
+        population, _ = self._population(sim, mix)
+        assert len(population.sessions) == 50
+
+    def test_all_sessions_start_within_ramp(self):
+        sim = Simulator()
+        mix = browsing_mix(clients=30, think_time_s=100.0)
+        population, deployment = self._population(sim, mix, ramp=2.0)
+        population.start()
+        sim.run_until(2.5)
+        assert len(deployment.sent) == 30
+
+    def test_session_type_assignment(self):
+        sim = Simulator()
+        mix = WorkloadMix("half", browse_fraction=0.5, clients=200)
+        population, _ = self._population(sim, mix)
+        browse = len(population.sessions_of_type(SessionType.BROWSE))
+        assert 60 < browse < 140
+
+    def test_burst_preempts_thinking_sessions(self):
+        sim = Simulator()
+        mix = WorkloadMix(
+            "bursty",
+            browse_fraction=1.0,
+            clients=40,
+            think_time_s=10_000.0,
+            burst_schedules={
+                SessionType.BROWSE: BurstSchedule(
+                    count=1, window_s=(5.0, 5.0), fraction=1.0
+                )
+            },
+        )
+        population, deployment = self._population(sim, mix, ramp=1.0)
+        population.start()
+        sim.run_until(4.9)
+        first_wave = len(deployment.sent)
+        sim.run_until(6.0)
+        # The burst forces every thinking client to fire again at t=5.
+        assert len(deployment.sent) >= first_wave + 0.9 * 40
+
+    def test_burst_times_recorded(self):
+        sim = Simulator()
+        mix = WorkloadMix(
+            "bursty",
+            browse_fraction=1.0,
+            clients=5,
+            burst_schedules={
+                SessionType.BROWSE: BurstSchedule(
+                    count=2, window_s=(1.0, 9.0)
+                )
+            },
+        )
+        population, _ = self._population(sim, mix)
+        population.start()
+        assert len(population.burst_times[SessionType.BROWSE]) == 2
+
+    def test_throughput_estimate(self):
+        sim = Simulator()
+        mix = browsing_mix(clients=700, think_time_s=7.0)
+        population, _ = self._population(sim, mix)
+        assert population.throughput_estimate == pytest.approx(100.0)

@@ -1,0 +1,120 @@
+"""Unit tests for the RUBiS data model and buffer pool."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rubis.database import BufferPool, RubisDatabase, TableSpec
+from repro.units import MB
+
+
+class TestTableSpec:
+    def test_total_bytes_includes_indexes(self):
+        spec = TableSpec("t", rows=100, row_bytes=10.0, index_overhead=0.5)
+        assert spec.total_bytes() == 1500.0
+
+
+class TestRubisDatabase:
+    def test_default_schema_has_seven_tables(self):
+        database = RubisDatabase()
+        assert set(database.tables) == {
+            "regions",
+            "categories",
+            "users",
+            "items",
+            "bids",
+            "comments",
+            "buy_now",
+        }
+
+    def test_items_include_history(self):
+        database = RubisDatabase(active_items=1000, old_items=9000)
+        assert database.table("items").rows == 10000
+
+    def test_bids_scale_with_items(self):
+        database = RubisDatabase(
+            active_items=100, old_items=900, bids_per_item=5.0
+        )
+        assert database.table("bids").rows == 5000
+
+    def test_total_bytes_positive_and_consistent(self):
+        database = RubisDatabase()
+        assert database.total_bytes() == pytest.approx(
+            sum(s.total_bytes() for s in database.tables.values())
+        )
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RubisDatabase().table("wishlists")
+
+    def test_invalid_cardinality_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RubisDatabase(users=0)
+
+    def test_table_sizes_summary(self):
+        sizes = RubisDatabase().table_sizes()
+        assert sizes["regions"][0] == 62
+
+    def test_mean_row_bytes(self):
+        database = RubisDatabase()
+        total_rows = sum(s.rows for s in database.tables.values())
+        assert database.mean_row_bytes() == pytest.approx(
+            database.total_bytes() / total_rows
+        )
+
+
+class TestBufferPool:
+    def test_giant_pool_hits_everything(self):
+        database = RubisDatabase()
+        pool = BufferPool(
+            capacity_bytes=database.total_bytes() * 2, database=database
+        )
+        assert pool.hit_ratio() == pytest.approx(1.0)
+
+    def test_tiny_pool_bounded_by_hot_access(self):
+        database = RubisDatabase()
+        pool = BufferPool(
+            capacity_bytes=1 * MB,
+            database=database,
+            hot_fraction=0.2,
+            hot_access_probability=0.8,
+        )
+        assert pool.hit_ratio() < 0.05
+
+    def test_hit_ratio_monotone_in_capacity(self):
+        database = RubisDatabase()
+        ratios = [
+            BufferPool(capacity_bytes=c, database=database).hit_ratio()
+            for c in (16 * MB, 64 * MB, 256 * MB, 1024 * MB)
+        ]
+        assert ratios == sorted(ratios)
+
+    def test_access_returns_page_multiples(self):
+        pool = BufferPool(capacity_bytes=1 * MB, database=RubisDatabase())
+        rng = np.random.default_rng(3)
+        missed = pool.access(rng, rows=1000.0, row_bytes=100.0)
+        assert missed % BufferPool.PAGE_BYTES == 0
+
+    def test_zero_rows_costs_nothing(self):
+        pool = BufferPool(database=RubisDatabase())
+        assert pool.access(np.random.default_rng(0), 0.0, 100.0) == 0.0
+
+    def test_observed_hit_ratio_tracks_model(self):
+        database = RubisDatabase()
+        pool = BufferPool(
+            capacity_bytes=database.total_bytes() * 0.5, database=database
+        )
+        rng = np.random.default_rng(11)
+        for _ in range(3000):
+            pool.access(rng, rows=20.0, row_bytes=135.0)
+        assert pool.observed_hit_ratio() == pytest.approx(
+            pool.hit_ratio(), abs=0.03
+        )
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BufferPool(capacity_bytes=0.0)
+        with pytest.raises(ConfigurationError):
+            BufferPool(hot_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            BufferPool(hot_access_probability=1.5)

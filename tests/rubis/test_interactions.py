@@ -1,0 +1,60 @@
+"""Unit tests for the RUBiS interaction catalogue."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rubis.interactions import (
+    BIDDING_INTERACTIONS,
+    BROWSING_INTERACTIONS,
+    INTERACTIONS,
+    get_interaction,
+)
+
+
+class TestCatalogue:
+    def test_has_26_interactions(self):
+        assert len(INTERACTIONS) == 26
+
+    def test_bidding_set_is_everything(self):
+        assert set(BIDDING_INTERACTIONS) == set(INTERACTIONS)
+
+    def test_browsing_set_is_read_only(self):
+        for name in BROWSING_INTERACTIONS:
+            assert not INTERACTIONS[name].writes
+
+    def test_write_interactions_present(self):
+        writers = {n for n, ix in INTERACTIONS.items() if ix.writes}
+        assert writers == {
+            "RegisterUser",
+            "StoreBuyNow",
+            "StoreBid",
+            "StoreComment",
+            "RegisterItem",
+        }
+
+    def test_search_pages_are_the_expensive_reads(self):
+        search = INTERACTIONS["SearchItemsInCategory"]
+        home = INTERACTIONS["Home"]
+        assert search.web_work > home.web_work
+        assert search.db_work > home.db_work
+        assert search.rows_touched > 50
+
+    def test_static_pages_have_no_queries(self):
+        for name in ("Home", "Browse", "PutBidAuth", "SellItemForm"):
+            assert INTERACTIONS[name].db_queries == 0
+
+    def test_writers_write_rows(self):
+        for name, ix in INTERACTIONS.items():
+            if ix.writes:
+                assert ix.rows_written > 0
+
+    def test_response_sizes_positive(self):
+        for ix in INTERACTIONS.values():
+            assert ix.response_kb > 0
+
+    def test_lookup_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_interaction("BuyDogecoin")
+
+    def test_lookup_known(self):
+        assert get_interaction("ViewItem").name == "ViewItem"

@@ -1,0 +1,200 @@
+"""Unit tests for the tier memory dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.apps.queueing import QueueingStation
+from repro.apps.tier import BareMetalContext, OsActivityModel
+from repro.errors import ConfigurationError
+from repro.hardware.server import PhysicalServer
+from repro.rubis.memorymodel import MemoryProfile, TierMemoryModel
+from repro.sim.engine import Simulator
+from repro.units import MB
+
+
+def make_model(sim, profile, active_sessions=0):
+    server = PhysicalServer("s")
+    context = BareMetalContext(
+        sim, server, "pm:web", OsActivityModel(log_bytes_per_s=0.0)
+    )
+    station = QueueingStation(sim, "st", workers=4)
+    model = TierMemoryModel(
+        sim,
+        context,
+        profile,
+        station,
+        np.random.default_rng(3),
+        active_sessions_fn=lambda: active_sessions,
+    )
+    return model, context, station, server
+
+
+class TestLevelProcess:
+    def test_base_level_applied_at_start(self):
+        sim = Simulator()
+        profile = MemoryProfile(base_mb=200.0, noise_mb=0.0,
+                                cache_growth_mb=0.0, per_session_kb=0.0)
+        model, context, _, _ = make_model(sim, profile)
+        assert context.memory_used() == pytest.approx(200.0 * MB)
+
+    def test_cache_ramp_grows_toward_asymptote(self):
+        sim = Simulator()
+        profile = MemoryProfile(
+            base_mb=100.0,
+            noise_mb=0.0,
+            per_session_kb=0.0,
+            cache_growth_mb=100.0,
+            cache_ramp_s=50.0,
+        )
+        model, context, _, _ = make_model(sim, profile)
+        sim.run_until(200.0)
+        level_mb = context.memory_used() / MB
+        assert 190.0 < level_mb <= 201.0
+
+    def test_sessions_contribute(self):
+        sim = Simulator()
+        profile = MemoryProfile(
+            base_mb=100.0, noise_mb=0.0, cache_growth_mb=0.0,
+            per_session_kb=1024.0,
+        )
+        model, context, _, _ = make_model(sim, profile, active_sessions=50)
+        sim.run_until(2.0)
+        assert context.memory_used() / MB == pytest.approx(150.0)
+
+    def test_noise_varies_levels(self):
+        sim = Simulator()
+        profile = MemoryProfile(base_mb=100.0, noise_mb=5.0,
+                                cache_growth_mb=0.0, per_session_kb=0.0)
+        model, context, _, _ = make_model(sim, profile)
+        levels = []
+        for t in range(1, 20):
+            sim.run_until(float(t))
+            levels.append(context.memory_used())
+        assert len(set(levels)) > 5
+
+
+class TestBacklogJumps:
+    def _saturate(self, station, jobs):
+        for i in range(jobs):
+            station.submit(i, lambda: 100.0, lambda j: None)
+
+    def test_jump_on_backlog(self):
+        sim = Simulator()
+        profile = MemoryProfile(
+            base_mb=100.0,
+            noise_mb=0.0,
+            cache_growth_mb=0.0,
+            per_session_kb=0.0,
+            jump_mb=50.0,
+            backlog_threshold=10,
+            max_jumps=2,
+        )
+        model, context, station, _ = make_model(sim, profile)
+        self._saturate(station, 20)
+        sim.run_until(2.0)
+        assert model.jumps_committed == 1
+        assert context.memory_used() / MB == pytest.approx(150.0)
+
+    def test_jump_triggers_disk_burst(self):
+        sim = Simulator()
+        profile = MemoryProfile(
+            base_mb=100.0,
+            noise_mb=0.0,
+            cache_growth_mb=0.0,
+            per_session_kb=0.0,
+            jump_mb=50.0,
+            backlog_threshold=5,
+            jump_disk_burst_kb=100.0,
+            max_jumps=1,
+        )
+        model, context, station, server = make_model(sim, profile)
+        self._saturate(station, 10)
+        sim.run_until(2.0)
+        assert server.disk.total_bytes("pm:web") > 0
+
+    def test_cooldown_limits_jump_rate(self):
+        sim = Simulator()
+        profile = MemoryProfile(
+            base_mb=100.0,
+            noise_mb=0.0,
+            cache_growth_mb=0.0,
+            per_session_kb=0.0,
+            jump_mb=50.0,
+            backlog_threshold=5,
+            jump_cooldown_s=1000.0,
+            max_jumps=5,
+        )
+        model, _, station, _ = make_model(sim, profile)
+        self._saturate(station, 50)
+        sim.run_until(20.0)
+        assert model.jumps_committed == 1
+
+    def test_max_jumps_cap(self):
+        sim = Simulator()
+        profile = MemoryProfile(
+            base_mb=100.0,
+            noise_mb=0.0,
+            cache_growth_mb=0.0,
+            per_session_kb=0.0,
+            jump_mb=10.0,
+            backlog_threshold=5,
+            jump_cooldown_s=1.0,
+            max_jumps=2,
+        )
+        model, _, station, _ = make_model(sim, profile)
+        self._saturate(station, 50)
+        sim.run_until(30.0)
+        assert model.jumps_committed == 2
+
+    def test_no_jump_without_backlog(self):
+        sim = Simulator()
+        profile = MemoryProfile(
+            base_mb=100.0,
+            noise_mb=0.0,
+            cache_growth_mb=0.0,
+            per_session_kb=0.0,
+            jump_mb=50.0,
+            backlog_threshold=5,
+            max_jumps=3,
+        )
+        model, _, _, _ = make_model(sim, profile)
+        sim.run_until(30.0)
+        assert model.jumps_committed == 0
+
+    def test_jump_times_recorded(self):
+        sim = Simulator()
+        profile = MemoryProfile(
+            base_mb=100.0,
+            noise_mb=0.0,
+            cache_growth_mb=0.0,
+            per_session_kb=0.0,
+            jump_mb=50.0,
+            backlog_threshold=5,
+            max_jumps=1,
+        )
+        model, _, station, _ = make_model(sim, profile)
+        self._saturate(station, 10)
+        sim.run_until(5.0)
+        assert len(model.jump_times) == 1
+
+
+class TestValidation:
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryProfile(base_mb=-1.0)
+        with pytest.raises(ConfigurationError):
+            MemoryProfile(base_mb=1.0, cache_ramp_s=0.0)
+        with pytest.raises(ConfigurationError):
+            MemoryProfile(base_mb=1.0, max_jumps=-1)
+
+    def test_stop_freezes_level(self):
+        sim = Simulator()
+        profile = MemoryProfile(base_mb=100.0, noise_mb=0.0,
+                                cache_growth_mb=50.0, per_session_kb=0.0,
+                                cache_ramp_s=10.0)
+        model, context, _, _ = make_model(sim, profile)
+        sim.run_until(5.0)
+        model.stop()
+        level = context.memory_used()
+        sim.run_until(50.0)
+        assert context.memory_used() == level

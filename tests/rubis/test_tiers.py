@@ -1,0 +1,148 @@
+"""Unit tests for the PHP and MySQL tier servers."""
+
+import pytest
+
+from repro.apps.requests import Request, ResourceDemand
+from repro.apps.tier import BareMetalContext, OsActivityModel
+from repro.errors import ConfigurationError
+from repro.hardware.server import PhysicalServer
+from repro.rubis.mysqltier import MysqlTier, MysqlTierConfig
+from repro.rubis.phptier import PhpTier, PhpTierConfig
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def bare_setup():
+    sim = Simulator()
+    server = PhysicalServer("s")
+    context = BareMetalContext(
+        sim,
+        server,
+        "pm:web",
+        OsActivityModel(log_bytes_per_s=0.0, base_cycles_per_s=0.0,
+                        disk_accounting_factor=1.0,
+                        net_accounting_factor=1.0),
+    )
+    return sim, server, context
+
+
+def make_request(**demand_kwargs):
+    return Request(
+        session_id=1,
+        interaction="ViewItem",
+        demand=ResourceDemand(**demand_kwargs),
+        created_at=0.0,
+    )
+
+
+class TestPhpTier:
+    def test_service_burns_web_cycles(self, bare_setup):
+        sim, server, context = bare_setup
+        tier = PhpTier(sim, context)
+        request = make_request(web_cycles=2.8e9)
+        done = []
+        tier.handle(request, done.append)
+        sim.run_until(10.0)
+        assert done == [request]
+        assert server.cpu.ledger.total("pm:web") == pytest.approx(
+            2.8e9 + context.os_model.syscall_cycles_per_request
+        )
+
+    def test_service_duration_from_cycles(self, bare_setup):
+        sim, server, context = bare_setup
+        tier = PhpTier(sim, context)
+        request = make_request(web_cycles=2.8e9)  # one core-second
+        completions = []
+        tier.handle(request, lambda r: completions.append(sim.now))
+        sim.run_until(10.0)
+        assert completions[0] == pytest.approx(1.0)
+
+    def test_log_written_after_service(self, bare_setup):
+        sim, server, context = bare_setup
+        tier = PhpTier(sim, context)
+        request = make_request(web_cycles=1e6, web_disk_write_bytes=1500.0)
+        tier.handle(request, lambda r: None)
+        sim.run_until(1.0)
+        assert server.disk.bytes_written("pm:web") == pytest.approx(1500.0)
+
+    def test_web_started_timestamp_set(self, bare_setup):
+        sim, _, context = bare_setup
+        tier = PhpTier(sim, context)
+        request = make_request(web_cycles=1e6)
+        tier.handle(request, lambda r: None)
+        sim.run_until(1.0)
+        assert request.web_started_at is not None
+
+    def test_requests_handled_counter(self, bare_setup):
+        sim, _, context = bare_setup
+        tier = PhpTier(sim, context)
+        for _ in range(3):
+            tier.handle(make_request(web_cycles=1e5), lambda r: None)
+        sim.run_until(1.0)
+        assert tier.requests_handled == 3
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PhpTierConfig(workers=0)
+
+
+class TestMysqlTier:
+    def test_service_burns_db_cycles(self, bare_setup):
+        sim, server, context = bare_setup
+        tier = MysqlTier(sim, context)
+        request = make_request(db_cycles=1e6, db_queries=2)
+        tier.handle(request, lambda r: None)
+        sim.run_until(1.0)
+        assert server.cpu.ledger.total("pm:web") >= 1e6
+        assert tier.queries_executed == 2
+
+    def test_sync_read_extends_service(self, bare_setup):
+        sim, server, context = bare_setup
+        tier = MysqlTier(sim, context)
+        fast = make_request(db_cycles=1e6)
+        slow = make_request(db_cycles=1e6, db_disk_read_bytes=50e6)
+        times = {}
+        tier.handle(fast, lambda r: times.__setitem__("fast", sim.now))
+        sim.run_until(100.0)
+        tier.handle(slow, lambda r: times.__setitem__("slow", sim.now))
+        sim.run_until(1000.0)
+        assert times["slow"] - 100.0 > times["fast"]
+
+    def test_write_back_recorded_async(self, bare_setup):
+        sim, server, context = bare_setup
+        tier = MysqlTier(sim, context)
+        request = make_request(db_cycles=1e5, db_disk_write_bytes=4096.0)
+        tier.handle(request, lambda r: None)
+        sim.run_until(1.0)
+        assert server.disk.bytes_written("pm:web") == pytest.approx(4096.0)
+
+    def test_commit_accounted(self, bare_setup):
+        sim, server, context = bare_setup
+        tier = MysqlTier(sim, context)
+        request = make_request(db_cycles=1e5, commit=True,
+                               db_disk_write_bytes=100.0)
+        before = server.cpu.ledger.total("pm:web")
+        tier.handle(request, lambda r: None)
+        sim.run_until(1.0)
+        delta = server.cpu.ledger.total("pm:web") - before
+        assert delta >= context.os_model.commit_cycles
+        assert tier.commits == 1
+
+    def test_no_commit_for_read_only(self, bare_setup):
+        sim, _, context = bare_setup
+        tier = MysqlTier(sim, context)
+        tier.handle(make_request(db_cycles=1e5), lambda r: None)
+        sim.run_until(1.0)
+        assert tier.commits == 0
+
+    def test_db_started_timestamp_set(self, bare_setup):
+        sim, _, context = bare_setup
+        tier = MysqlTier(sim, context)
+        request = make_request(db_cycles=1e5)
+        tier.handle(request, lambda r: None)
+        sim.run_until(1.0)
+        assert request.db_started_at is not None
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MysqlTierConfig(workers=0)

@@ -1,0 +1,153 @@
+"""Unit and property tests for the client transition matrices."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.rubis.interactions import INTERACTIONS
+from repro.rubis.transitions import (
+    TransitionMatrix,
+    bidding_matrix,
+    browsing_matrix,
+    matrix_for,
+    reachable_states,
+)
+
+
+class TestConstruction:
+    def test_rows_normalized(self):
+        matrix = browsing_matrix()
+        assert np.allclose(matrix.matrix.sum(axis=1), 1.0)
+
+    def test_unknown_target_state_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TransitionMatrix(
+                "bad", {"Home": {"Narnia": 1.0}, "Narnia": {"Home": 1.0}}
+            )
+
+    def test_absorbing_state_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TransitionMatrix("bad", {"Home": {}})
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TransitionMatrix(
+                "bad",
+                {"Home": {"Browse": -0.5, "Home": 1.5},
+                 "Browse": {"Home": 1.0}},
+            )
+
+    def test_missing_initial_state_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TransitionMatrix(
+                "bad", {"Browse": {"Browse": 1.0}}, initial_state="Home"
+            )
+
+    def test_unnormalized_rows_rejected_when_strict(self):
+        with pytest.raises(ConfigurationError):
+            TransitionMatrix(
+                "bad",
+                {"Home": {"Home": 0.5}},
+                normalize=False,
+            )
+
+
+class TestChainStructure:
+    @pytest.mark.parametrize("factory", [browsing_matrix, bidding_matrix])
+    def test_chain_is_irreducible(self, factory):
+        matrix = factory()
+        graph = nx.DiGraph()
+        for i, src in enumerate(matrix.states):
+            for j, dst in enumerate(matrix.states):
+                if matrix.matrix[i, j] > 0:
+                    graph.add_edge(src, dst)
+        assert nx.is_strongly_connected(graph)
+
+    @pytest.mark.parametrize("factory", [browsing_matrix, bidding_matrix])
+    def test_all_states_reachable_from_home(self, factory):
+        matrix = factory()
+        assert set(reachable_states(matrix)) == set(matrix.states)
+
+    def test_browsing_uses_only_read_only_states(self):
+        matrix = browsing_matrix()
+        for state in matrix.states:
+            assert not INTERACTIONS[state].writes
+
+    def test_bidding_includes_write_states(self):
+        matrix = bidding_matrix()
+        writers = {s for s in matrix.states if INTERACTIONS[s].writes}
+        assert len(writers) == 5
+
+
+class TestStationaryDistribution:
+    def test_sums_to_one(self):
+        pi = browsing_matrix().stationary_distribution()
+        assert sum(pi.values()) == pytest.approx(1.0)
+
+    def test_is_fixed_point(self):
+        matrix = bidding_matrix()
+        pi = matrix.stationary_distribution()
+        vec = np.array([pi[s] for s in matrix.states])
+        assert np.allclose(vec @ matrix.matrix, vec, atol=1e-9)
+
+    def test_bidding_write_fraction_near_rubis_default(self):
+        # RUBiS's shipped bidding mix is quoted as up to 15% read-write;
+        # our chain lands around 10%.
+        fraction = bidding_matrix().write_fraction()
+        assert 0.08 <= fraction <= 0.16
+
+    def test_browsing_write_fraction_zero(self):
+        assert browsing_matrix().write_fraction() == 0.0
+
+    def test_bid_mean_profiles_below_browse(self):
+        # The auth/store pages are cheap, so the bidding mix averages
+        # slightly lighter web work and smaller responses (Figs 1 and 4).
+        browse, bid = browsing_matrix(), bidding_matrix()
+        assert bid.mean_profile("web_work") < browse.mean_profile("web_work")
+        assert bid.mean_profile("response_kb") < browse.mean_profile(
+            "response_kb"
+        )
+
+
+class TestSampling:
+    def test_next_state_follows_matrix_support(self):
+        matrix = browsing_matrix()
+        rng = np.random.default_rng(7)
+        state = matrix.initial_state
+        for _ in range(500):
+            successor = matrix.next_state(rng, state)
+            assert matrix.probability(state, successor) > 0
+            state = successor
+
+    def test_unknown_state_rejected(self):
+        matrix = browsing_matrix()
+        with pytest.raises(ConfigurationError):
+            matrix.next_state(np.random.default_rng(0), "Narnia")
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_long_run_frequencies_approach_stationary(self, seed):
+        matrix = browsing_matrix()
+        rng = np.random.default_rng(seed)
+        pi = matrix.stationary_distribution()
+        counts = {s: 0 for s in matrix.states}
+        state = matrix.initial_state
+        n = 4000
+        for _ in range(n):
+            state = matrix.next_state(rng, state)
+            counts[state] += 1
+        for s, probability in pi.items():
+            if probability > 0.05:
+                assert counts[s] / n == pytest.approx(probability, abs=0.05)
+
+
+class TestMatrixFor:
+    def test_known_types(self):
+        assert matrix_for("browse").name == "browsing"
+        assert matrix_for("bid").name == "bidding"
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            matrix_for("lurk")

@@ -1,0 +1,81 @@
+"""Unit tests for workload mixes and burst schedules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rubis.workload import (
+    PAPER_COMPOSITIONS,
+    BurstSchedule,
+    SessionType,
+    WorkloadMix,
+    bidding_mix,
+    blended_mix,
+    browsing_mix,
+)
+
+
+class TestWorkloadMix:
+    def test_paper_has_five_compositions(self):
+        assert len(PAPER_COMPOSITIONS) == 5
+        fractions = {
+            mix.browse_fraction for mix in PAPER_COMPOSITIONS.values()
+        }
+        assert fractions == {1.0, 0.0, 0.30, 0.50, 0.70}
+
+    def test_paper_defaults(self):
+        mix = PAPER_COMPOSITIONS["browsing"]
+        assert mix.clients == 1000
+        assert mix.think_time_s == 7.0
+
+    def test_session_type_extremes(self):
+        rng = np.random.default_rng(0)
+        assert browsing_mix().session_type(rng) is SessionType.BROWSE
+        assert bidding_mix().session_type(rng) is SessionType.BID
+
+    def test_session_type_fraction_respected(self):
+        rng = np.random.default_rng(1)
+        mix = blended_mix(0.30)
+        draws = [mix.session_type(rng) for _ in range(5000)]
+        browse_share = sum(
+            1 for d in draws if d is SessionType.BROWSE
+        ) / len(draws)
+        assert browse_share == pytest.approx(0.30, abs=0.03)
+
+    def test_blend_name_matches_paper_phrasing(self):
+        assert blended_mix(0.30).name == "30% browsing / 70% bidding"
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadMix("bad", browse_fraction=1.5)
+
+    def test_invalid_think_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadMix("bad", 0.5, think_time_s=0.0)
+
+    def test_with_bursts_preserves_identity(self):
+        mix = browsing_mix()
+        schedule = BurstSchedule(count=1, window_s=(10.0, 20.0))
+        updated = mix.with_bursts({SessionType.BROWSE: schedule})
+        assert updated.name == mix.name
+        assert updated.burst_schedule(SessionType.BROWSE) is schedule
+        # Original untouched.
+        assert mix.burst_schedule(SessionType.BROWSE).count == 0
+
+
+class TestBurstSchedule:
+    def test_empty_schedule_samples_nothing(self):
+        schedule = BurstSchedule()
+        assert schedule.sample_times(np.random.default_rng(0)) == ()
+
+    def test_times_within_window_and_sorted(self):
+        schedule = BurstSchedule(count=5, window_s=(10.0, 30.0))
+        times = schedule.sample_times(np.random.default_rng(2))
+        assert len(times) == 5
+        assert list(times) == sorted(times)
+        assert all(10.0 <= t <= 30.0 for t in times)
+
+    def test_invalid_window_rejected(self):
+        schedule = BurstSchedule(count=1, window_s=(30.0, 10.0))
+        with pytest.raises(ConfigurationError):
+            schedule.sample_times(np.random.default_rng(0))

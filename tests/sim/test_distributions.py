@@ -1,0 +1,232 @@
+"""Unit and property tests for the distribution samplers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim.distributions import (
+    Constant,
+    Deterministic,
+    Empirical,
+    Erlang,
+    Exponential,
+    LogNormal,
+    Mixture,
+    ParetoBounded,
+    TruncatedNormal,
+    Uniform,
+    distribution_from_spec,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+class TestConstant:
+    def test_sample_is_value(self, rng):
+        assert Constant(3.5).sample(rng) == 3.5
+
+    def test_mean(self):
+        assert Constant(2.0).mean() == 2.0
+
+    def test_deterministic_alias(self):
+        assert Deterministic is Constant
+
+
+class TestExponential:
+    def test_sample_mean_converges(self, rng):
+        dist = Exponential(mean=4.0)
+        samples = dist.sample_many(rng, 20000)
+        assert abs(samples.mean() - 4.0) < 0.15
+
+    def test_samples_positive(self, rng):
+        samples = Exponential(1.0).sample_many(rng, 1000)
+        assert (samples >= 0).all()
+
+    def test_invalid_mean_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Exponential(0.0)
+
+
+class TestUniform:
+    def test_bounds_respected(self, rng):
+        dist = Uniform(2.0, 5.0)
+        samples = dist.sample_many(rng, 1000)
+        assert samples.min() >= 2.0
+        assert samples.max() <= 5.0
+
+    def test_mean(self):
+        assert Uniform(2.0, 4.0).mean() == 3.0
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Uniform(5.0, 2.0)
+
+
+class TestTruncatedNormal:
+    def test_floor_respected(self, rng):
+        dist = TruncatedNormal(mean=0.5, std=1.0, floor=0.0)
+        samples = np.array([dist.sample(rng) for _ in range(2000)])
+        assert (samples >= 0).all()
+
+    def test_zero_std_returns_mean(self, rng):
+        assert TruncatedNormal(3.0, 0.0).sample(rng) == 3.0
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TruncatedNormal(1.0, -0.5)
+
+
+class TestLogNormal:
+    def test_mean_parameterization(self, rng):
+        dist = LogNormal(mean=10.0, cv=0.5)
+        samples = dist.sample_many(rng, 50000)
+        assert abs(samples.mean() - 10.0) / 10.0 < 0.03
+
+    def test_cv_parameterization(self, rng):
+        dist = LogNormal(mean=10.0, cv=0.5)
+        samples = dist.sample_many(rng, 50000)
+        cv = samples.std() / samples.mean()
+        assert abs(cv - 0.5) < 0.05
+
+    def test_zero_cv_degenerates_to_constant(self, rng):
+        assert LogNormal(mean=7.0, cv=0.0).sample(rng) == 7.0
+
+    def test_invalid_mean_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LogNormal(mean=-1.0)
+
+
+class TestParetoBounded:
+    def test_bounds_respected(self, rng):
+        dist = ParetoBounded(alpha=1.2, low=1.0, high=100.0)
+        samples = dist.sample_many(rng, 5000)
+        assert samples.min() >= 1.0
+        assert samples.max() <= 100.0
+
+    def test_analytic_mean_matches_samples(self, rng):
+        dist = ParetoBounded(alpha=1.5, low=2.0, high=50.0)
+        samples = dist.sample_many(rng, 200000)
+        assert abs(samples.mean() - dist.mean()) / dist.mean() < 0.02
+
+    def test_alpha_one_mean(self, rng):
+        dist = ParetoBounded(alpha=1.0, low=1.0, high=10.0)
+        samples = dist.sample_many(rng, 200000)
+        assert abs(samples.mean() - dist.mean()) / dist.mean() < 0.02
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParetoBounded(alpha=1.0, low=5.0, high=2.0)
+
+
+class TestErlang:
+    def test_mean(self, rng):
+        dist = Erlang(k=3, mean=6.0)
+        samples = dist.sample_many(rng, 50000)
+        assert abs(samples.mean() - 6.0) / 6.0 < 0.03
+
+    def test_lower_cv_than_exponential(self, rng):
+        erlang = Erlang(k=4, mean=1.0).sample_many(rng, 50000)
+        expo = Exponential(1.0).sample_many(rng, 50000)
+        assert erlang.std() < expo.std()
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Erlang(k=0, mean=1.0)
+
+
+class TestEmpirical:
+    def test_samples_from_support(self, rng):
+        dist = Empirical([1.0, 2.0, 3.0], [1, 1, 2])
+        samples = dist.sample_many(rng, 500)
+        assert set(np.unique(samples)) <= {1.0, 2.0, 3.0}
+
+    def test_mean_weighted(self):
+        dist = Empirical([0.0, 10.0], [3, 1])
+        assert dist.mean() == 2.5
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Empirical([1.0], [1, 2])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Empirical([1.0, 2.0], [1, -1])
+
+
+class TestMixture:
+    def test_mean_is_weighted(self):
+        mixture = Mixture([Constant(0.0), Constant(10.0)], [1, 3])
+        assert mixture.mean() == 7.5
+
+    def test_sampling_uses_components(self, rng):
+        mixture = Mixture([Constant(1.0), Constant(2.0)], [1, 1])
+        samples = {mixture.sample(rng) for _ in range(100)}
+        assert samples == {1.0, 2.0}
+
+
+class TestSpecBuilder:
+    @pytest.mark.parametrize(
+        "spec, expected_type",
+        [
+            ({"kind": "constant", "value": 2.0}, Constant),
+            ({"kind": "exponential", "mean": 1.0}, Exponential),
+            ({"kind": "uniform", "low": 0.0, "high": 1.0}, Uniform),
+            ({"kind": "lognormal", "mean": 1.0, "cv": 0.3}, LogNormal),
+            ({"kind": "normal", "mean": 1.0, "std": 0.1}, TruncatedNormal),
+            ({"kind": "pareto", "alpha": 1.1, "low": 1, "high": 9}, ParetoBounded),
+            ({"kind": "erlang", "k": 2, "mean": 3.0}, Erlang),
+            (
+                {"kind": "empirical", "values": [1, 2], "weights": [1, 1]},
+                Empirical,
+            ),
+        ],
+    )
+    def test_builds_each_family(self, spec, expected_type):
+        assert isinstance(distribution_from_spec(spec), expected_type)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            distribution_from_spec({"kind": "zipf"})
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            distribution_from_spec({"mean": 1.0})
+
+    def test_missing_parameter_reported(self):
+        with pytest.raises(ConfigurationError, match="missing parameter"):
+            distribution_from_spec({"kind": "exponential"})
+
+
+class TestSamplerProperties:
+    @given(mean=st.floats(min_value=0.01, max_value=1e6))
+    @settings(max_examples=30, deadline=None)
+    def test_lognormal_reported_mean(self, mean):
+        assert LogNormal(mean=mean, cv=0.4).mean() == pytest.approx(mean)
+
+    @given(
+        low=st.floats(min_value=0.1, max_value=10.0),
+        span=st.floats(min_value=0.1, max_value=100.0),
+        alpha=st.floats(min_value=0.2, max_value=4.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pareto_mean_within_bounds(self, low, span, alpha):
+        if abs(alpha - 1.0) < 1e-3:
+            alpha += 0.01
+        dist = ParetoBounded(alpha=alpha, low=low, high=low + span)
+        assert low <= dist.mean() <= low + span
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_samples_never_negative(self, seed):
+        rng = np.random.default_rng(seed)
+        for dist in (
+            Exponential(1.0),
+            LogNormal(2.0, 0.8),
+            Erlang(2, 1.0),
+            TruncatedNormal(0.1, 1.0, floor=0.0),
+        ):
+            assert dist.sample(rng) >= 0.0

@@ -1,0 +1,121 @@
+"""Unit tests for the event queue."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SchedulingError
+from repro.sim.events import Event, EventQueue
+
+
+def _noop():
+    pass
+
+
+class TestEventOrdering:
+    def test_pop_returns_earliest(self):
+        q = EventQueue()
+        q.push(2.0, _noop)
+        q.push(1.0, _noop)
+        q.push(3.0, _noop)
+        assert q.pop().time == 1.0
+        assert q.pop().time == 2.0
+        assert q.pop().time == 3.0
+
+    def test_ties_fire_in_scheduling_order(self):
+        q = EventQueue()
+        order = []
+        for i in range(5):
+            q.push(1.0, order.append, (i,))
+        while q:
+            event = q.pop()
+            event.fn(*event.args)
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_priority_breaks_ties_before_sequence(self):
+        q = EventQueue()
+        first = q.push(1.0, _noop, priority=20)
+        second = q.push(1.0, _noop, priority=5)
+        assert q.pop() is second
+        assert q.pop() is first
+
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_pop_order_is_sorted_for_any_times(self, times):
+        q = EventQueue()
+        for t in times:
+            q.push(t, _noop)
+        popped = [q.pop().time for _ in range(len(times))]
+        assert popped == sorted(times)
+
+
+class TestEventQueueBookkeeping:
+    def test_len_counts_live_events(self):
+        q = EventQueue()
+        assert len(q) == 0
+        q.push(1.0, _noop)
+        q.push(2.0, _noop)
+        assert len(q) == 2
+        q.pop()
+        assert len(q) == 1
+
+    def test_bool_reflects_liveness(self):
+        q = EventQueue()
+        assert not q
+        q.push(1.0, _noop)
+        assert q
+
+    def test_pop_empty_raises(self):
+        q = EventQueue()
+        with pytest.raises(SchedulingError):
+            q.pop()
+
+    def test_cancelled_events_are_skipped(self):
+        q = EventQueue()
+        victim = q.push(1.0, _noop)
+        survivor = q.push(2.0, _noop)
+        victim.cancel()
+        q.note_cancelled(victim)
+        assert len(q) == 1
+        assert q.pop() is survivor
+
+    def test_note_cancelled_requires_cancelled_event(self):
+        q = EventQueue()
+        event = q.push(1.0, _noop)
+        with pytest.raises(SchedulingError):
+            q.note_cancelled(event)
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        victim = q.push(1.0, _noop)
+        q.push(5.0, _noop)
+        victim.cancel()
+        q.note_cancelled(victim)
+        assert q.peek_time() == 5.0
+
+    def test_peek_time_empty_returns_none(self):
+        assert EventQueue().peek_time() is None
+
+    def test_clear_drops_everything(self):
+        q = EventQueue()
+        q.push(1.0, _noop)
+        q.push(2.0, _noop)
+        q.clear()
+        assert len(q) == 0
+        assert q.peek_time() is None
+
+
+class TestEvent:
+    def test_sort_key_structure(self):
+        event = Event(1.5, _noop, (), priority=3, seq=7)
+        assert event.sort_key() == (1.5, 3, 7)
+
+    def test_cancel_sets_flag(self):
+        event = Event(1.0, _noop)
+        assert not event.cancelled
+        event.cancel()
+        assert event.cancelled

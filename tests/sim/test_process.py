@@ -1,0 +1,64 @@
+"""Unit tests for periodic processes."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.process import PeriodicProcess
+
+
+class TestPeriodicProcess:
+    def test_fires_at_aligned_ticks(self, sim):
+        ticks = []
+        PeriodicProcess(sim, 2.0, ticks.append).start()
+        sim.run_until(10.0)
+        assert ticks == [2.0, 4.0, 6.0, 8.0, 10.0]
+
+    def test_explicit_start_time(self, sim):
+        ticks = []
+        PeriodicProcess(sim, 2.0, ticks.append, start=1.0).start()
+        sim.run_until(6.0)
+        assert ticks == [1.0, 3.0, 5.0]
+
+    def test_stop_halts_ticks(self, sim):
+        ticks = []
+        process = PeriodicProcess(sim, 1.0, ticks.append).start()
+        sim.schedule(3.5, process.stop)
+        sim.run_until(10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_tick_counter(self, sim):
+        process = PeriodicProcess(sim, 1.0, lambda t: None).start()
+        sim.run_until(5.0)
+        assert process.ticks == 5
+
+    def test_no_drift_with_slow_callbacks(self, sim):
+        # Callback schedules further work; tick times remain on-grid.
+        ticks = []
+
+        def callback(t):
+            ticks.append(t)
+            sim.schedule(0.3, lambda: None)
+
+        PeriodicProcess(sim, 1.0, callback).start()
+        sim.run_until(4.0)
+        assert ticks == [1.0, 2.0, 3.0, 4.0]
+
+    def test_invalid_interval_rejected(self, sim):
+        with pytest.raises(ConfigurationError):
+            PeriodicProcess(sim, 0.0, lambda t: None)
+
+    def test_start_is_idempotent(self, sim):
+        ticks = []
+        process = PeriodicProcess(sim, 1.0, ticks.append)
+        process.start()
+        process.start()
+        sim.run_until(2.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_running_flag(self, sim):
+        process = PeriodicProcess(sim, 1.0, lambda t: None)
+        assert not process.running
+        process.start()
+        assert process.running
+        process.stop()
+        assert not process.running

@@ -1,0 +1,108 @@
+"""Tests for the experiment configuration and the CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.config import ExperimentConfig
+from repro.errors import ConfigurationError
+
+
+class TestExperimentConfig:
+    def test_defaults_build_a_scenario(self):
+        config = ExperimentConfig()
+        spec = config.to_scenario()
+        assert spec.environment == "virtualized"
+        assert spec.mix.name == "browsing"
+
+    def test_round_trip_through_json(self):
+        config = ExperimentConfig(
+            environment="bare-metal",
+            composition="bidding",
+            duration_s=60.0,
+            seed=9,
+            clients=100,
+            metadata={"note": "smoke"},
+        )
+        clone = ExperimentConfig.from_json(config.to_json())
+        assert clone == config
+
+    def test_unknown_environment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(environment="kubernetes")
+
+    def test_unknown_composition_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(composition="doomscrolling")
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(duration_s=0.0)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig.from_dict({"environment": "virtualized",
+                                        "gpu": True})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig.from_json("not json")
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig.from_json(json.dumps([1, 2, 3]))
+
+    def test_clients_override_propagates(self):
+        config = ExperimentConfig(clients=42, duration_s=30.0)
+        assert config.to_scenario().mix.clients == 42
+
+    def test_effective_duration_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL_DURATION", raising=False)
+        assert ExperimentConfig().effective_duration_s == 240.0
+        assert ExperimentConfig(duration_s=33.0).effective_duration_s == 33.0
+
+
+class TestCli:
+    def test_run_prints_summary_and_report(self, capsys):
+        code = main(
+            [
+                "run",
+                "--duration", "30",
+                "--clients", "100",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "completed" in captured.out
+        assert "Workload characterization" in captured.out
+
+    def test_run_no_report(self, capsys):
+        code = main(
+            ["run", "--duration", "30", "--clients", "100", "--no-report"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Workload characterization" not in captured.out
+
+    def test_run_exports_csv(self, tmp_path, capsys):
+        out = tmp_path / "traces.csv"
+        code = main(
+            [
+                "run",
+                "--duration", "30",
+                "--clients", "100",
+                "--no-report",
+                "--export-csv", str(out),
+            ]
+        )
+        assert code == 0
+        header = out.read_text().splitlines()[0]
+        assert header.startswith("time_s,")
+
+    def test_table1_prints_catalogue(self, capsys):
+        assert main(["table1"]) == 0
+        captured = capsys.readouterr()
+        assert "518" in captured.out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["teleport"])

@@ -1,0 +1,195 @@
+"""Tests for the MapReduce extension (the paper's future work)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mapreduce.engine import MapReduceCluster
+from repro.mapreduce.job import JobSpec, MapReduceJob
+from repro.mapreduce.workload import JobMix, grep_like_job, sort_like_job
+from repro.monitoring.probes import ContextProbe
+from repro.monitoring.sampler import TraceRecorder
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+from repro.units import MB
+
+
+@pytest.fixture
+def mr():
+    sim = Simulator()
+    cluster = MapReduceCluster(
+        sim, RandomStreams(5), nodes=3, map_slots=2, reduce_slots=2
+    )
+    return sim, cluster
+
+
+def small_spec(**overrides):
+    base = dict(
+        name="tiny",
+        input_bytes=64 * MB,
+        map_tasks=6,
+        reduce_tasks=3,
+        map_output_ratio=0.5,
+    )
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+class TestJobSpec:
+    def test_derived_quantities(self):
+        spec = small_spec()
+        assert spec.split_bytes == pytest.approx(64 * MB / 6)
+        assert spec.intermediate_bytes == pytest.approx(32 * MB)
+        assert spec.partition_bytes == pytest.approx(32 * MB / 3)
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_spec(input_bytes=0.0)
+        with pytest.raises(ConfigurationError):
+            small_spec(map_tasks=0)
+        with pytest.raises(ConfigurationError):
+            small_spec(map_output_ratio=-0.1)
+        with pytest.raises(ConfigurationError):
+            small_spec(output_replication=0)
+
+    def test_canonical_templates(self):
+        assert sort_like_job().map_output_ratio == 1.0
+        assert grep_like_job().map_output_ratio < 0.1
+
+
+class TestExecution:
+    def test_job_runs_to_completion(self, mr):
+        sim, cluster = mr
+        job = MapReduceJob(small_spec())
+        done = []
+        cluster.submit(job, done.append)
+        sim.run_until(3600.0)
+        assert done == [job]
+        assert job.stats.makespan_s > 0
+        assert job.stats.maps_completed == 6
+        assert job.stats.reduces_completed == 3
+
+    def test_phase_ordering(self, mr):
+        sim, cluster = mr
+        job = MapReduceJob(small_spec())
+        cluster.submit(job)
+        sim.run_until(3600.0)
+        stats = job.stats
+        assert (
+            stats.submitted_at
+            <= stats.map_started_at
+            < stats.map_finished_at
+            <= stats.shuffle_finished_at
+            <= stats.finished_at
+        )
+
+    def test_resource_accounting_lands_on_nodes(self, mr):
+        sim, cluster = mr
+        job = MapReduceJob(small_spec())
+        cluster.submit(job)
+        sim.run_until(3600.0)
+        contexts = cluster.contexts()
+        total_cpu = sum(c.cpu_cycles_total() for c in contexts.values())
+        total_disk = sum(c.disk_bytes_total() for c in contexts.values())
+        total_net = sum(c.net_bytes_total() for c in contexts.values())
+        spec = job.spec
+        expected_cpu = spec.input_bytes * spec.map_cycles_per_byte + (
+            spec.intermediate_bytes * spec.reduce_cycles_per_byte
+        )
+        assert total_cpu >= expected_cpu  # plus OS housekeeping
+        # Disk: input read + intermediate write + replicated output.
+        expected_disk = spec.input_bytes + spec.intermediate_bytes + (
+            spec.intermediate_bytes * spec.output_replication
+        )
+        assert total_disk >= expected_disk * 0.99
+        # Network: shuffle moves the intermediate volume twice (tx + rx).
+        assert total_net == pytest.approx(
+            2 * spec.intermediate_bytes, rel=0.01
+        )
+
+    def test_shuffle_bytes_tracked(self, mr):
+        sim, cluster = mr
+        job = MapReduceJob(small_spec())
+        cluster.submit(job)
+        sim.run_until(3600.0)
+        assert job.stats.shuffle_bytes_moved == pytest.approx(
+            job.spec.intermediate_bytes, rel=0.01
+        )
+
+    def test_slots_limit_parallelism(self):
+        # One node, one map slot: maps must serialize, stretching the
+        # map phase compared to an unconstrained cluster.  The job is
+        # made CPU-bound (high cycles/byte) because the single shared
+        # spindle serializes split reads regardless of slot count.
+        def run(slots):
+            sim = Simulator()
+            cluster = MapReduceCluster(
+                sim, RandomStreams(5), nodes=1, map_slots=slots,
+                reduce_slots=2,
+            )
+            job = MapReduceJob(small_spec(map_cycles_per_byte=120.0))
+            cluster.submit(job)
+            sim.run_until(36000.0)
+            return job.stats.map_phase_s
+
+        assert run(1) > 2.0 * run(6)
+
+    def test_grep_shuffles_less_than_sort(self):
+        def shuffle_bytes(spec):
+            sim = Simulator()
+            cluster = MapReduceCluster(sim, RandomStreams(5), nodes=2)
+            job = MapReduceJob(spec)
+            cluster.submit(job)
+            sim.run_until(36000.0)
+            return job.stats.shuffle_bytes_moved
+
+        assert shuffle_bytes(grep_like_job(64, 8)) < 0.1 * shuffle_bytes(
+            sort_like_job(64, 8)
+        )
+
+    def test_invalid_cluster_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            MapReduceCluster(sim, RandomStreams(1), nodes=0)
+        with pytest.raises(ConfigurationError):
+            MapReduceCluster(sim, RandomStreams(1), map_slots=0)
+
+
+class TestMonitoringIntegration:
+    def test_standard_pipeline_profiles_mapreduce(self, mr):
+        sim, cluster = mr
+        probes = [
+            ContextProbe(name, context)
+            for name, context in cluster.contexts().items()
+        ]
+        recorder = TraceRecorder(
+            sim, probes, environment="bare-metal", workload="sort"
+        )
+        cluster.submit(MapReduceJob(sort_like_job(128, 8)))
+        sim.run_until(120.0)
+        recorder.stop()
+        traces = recorder.traces
+        assert len(traces.entities()) == 3
+        # The shuffle is visible on the network series of some node.
+        peak_net = max(
+            traces.get(entity, "net_kb").max()
+            for entity in traces.entities()
+        )
+        assert peak_net > 0
+
+
+class TestJobMix:
+    def test_poisson_arrivals_within_horizon(self, mr):
+        sim, cluster = mr
+        import numpy as np
+
+        mix = JobMix([grep_like_job(16, 4)], arrival_rate_per_s=0.5)
+        jobs = mix.drive(
+            sim, cluster, np.random.default_rng(3), horizon_s=60.0
+        )
+        assert len(jobs) > 5
+        sim.run_until(4000.0)
+        assert cluster.jobs_completed == len(jobs)
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JobMix([])

@@ -1,0 +1,57 @@
+"""Contract tests for the top-level public API."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_every_all_entry_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ exports missing {name}"
+
+    def test_version_is_semver_like(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.sim",
+            "repro.hardware",
+            "repro.virt",
+            "repro.apps",
+            "repro.rubis",
+            "repro.monitoring",
+            "repro.analysis",
+            "repro.planning",
+            "repro.experiments",
+            "repro.mapreduce",
+            "repro.config",
+            "repro.cli",
+        ],
+    )
+    def test_subpackage_imports_cleanly(self, module):
+        importlib.import_module(module)
+
+    def test_errors_form_one_hierarchy(self):
+        from repro import errors
+
+        for name in errors.__dict__:
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError) or (
+                    obj is errors.ReproError
+                )
+
+    def test_docstrings_on_public_symbols(self):
+        undocumented = [
+            name
+            for name in repro.__all__
+            if name != "__version__"
+            and not (getattr(repro, name).__doc__ or "").strip()
+        ]
+        assert undocumented == []

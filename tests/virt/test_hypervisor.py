@@ -1,0 +1,136 @@
+"""Unit tests for the hypervisor facade."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.server import PhysicalServer
+from repro.sim.engine import Simulator
+from repro.units import GB, MB
+from repro.virt.hypervisor import Hypervisor
+from repro.virt.overhead import OverheadModel
+
+
+@pytest.fixture
+def hv():
+    sim = Simulator()
+    server = PhysicalServer("cloud-1")
+    return sim, server, Hypervisor(sim, server)
+
+
+class TestDomainManagement:
+    def test_dom0_exists_at_boot(self, hv):
+        _, _, hypervisor = hv
+        assert hypervisor.dom0.name == "Domain-0"
+        assert hypervisor.domain("Domain-0") is hypervisor.dom0
+
+    def test_create_guest(self, hv):
+        _, _, hypervisor = hv
+        domain = hypervisor.create_domain("web-vm", memory_bytes=2 * GB)
+        assert domain in hypervisor.guest_domains()
+        assert hypervisor.domain("web-vm") is domain
+
+    def test_duplicate_name_rejected(self, hv):
+        _, _, hypervisor = hv
+        hypervisor.create_domain("web-vm")
+        with pytest.raises(ConfigurationError):
+            hypervisor.create_domain("web-vm")
+
+    def test_unknown_domain_rejected(self, hv):
+        _, _, hypervisor = hv
+        with pytest.raises(ConfigurationError):
+            hypervisor.domain("ghost")
+
+    def test_dom0_not_in_guests(self, hv):
+        _, _, hypervisor = hv
+        assert hypervisor.dom0 not in hypervisor.guest_domains()
+
+
+class TestCpuPath:
+    def test_cpu_time_at_full_speed(self, hv):
+        _, server, hypervisor = hv
+        domain = hypervisor.create_domain("web-vm")
+        cycles = server.spec.frequency_hz  # one core-second of work
+        assert hypervisor.cpu_time(domain, cycles) == pytest.approx(1.0)
+
+    def test_charge_vm_cycles_goes_to_vm_owner(self, hv):
+        _, server, hypervisor = hv
+        domain = hypervisor.create_domain("web-vm")
+        hypervisor.charge_vm_cycles(domain, 1e6)
+        assert server.cpu.ledger.total("vm:web-vm") == 1e6
+        assert server.cpu.ledger.total("dom0") == 0.0
+
+    def test_account_request_charges_dom0(self, hv):
+        _, server, hypervisor = hv
+        domain = hypervisor.create_domain("web-vm")
+        hypervisor.account_request(domain)
+        expected = hypervisor.overhead.hypercall_cycles_per_request
+        assert server.cpu.ledger.total("dom0") == expected
+        assert hypervisor.requests_accounted == 1
+
+    def test_account_commit_charges_dom0(self, hv):
+        _, server, hypervisor = hv
+        domain = hypervisor.create_domain("db-vm")
+        hypervisor.account_commit(domain)
+        assert (
+            server.cpu.ledger.total("dom0")
+            == hypervisor.overhead.commit_cycles
+        )
+
+
+class TestMemoryPath:
+    def test_vm_memory_recorded_per_owner(self, hv):
+        _, server, hypervisor = hv
+        domain = hypervisor.create_domain("web-vm", memory_bytes=2 * GB)
+        hypervisor.set_vm_memory(domain, 500 * MB)
+        assert hypervisor.vm_memory_used(domain) == 500 * MB
+
+    def test_vm_memory_clamped_to_vm_size(self, hv):
+        _, _, hypervisor = hv
+        domain = hypervisor.create_domain("web-vm", memory_bytes=1 * GB)
+        hypervisor.set_vm_memory(domain, 5 * GB)
+        assert hypervisor.vm_memory_used(domain) == 1 * GB
+
+    def test_dom0_memory_tracks_guest_usage(self, hv):
+        _, _, hypervisor = hv
+        overhead = hypervisor.overhead
+        domain = hypervisor.create_domain("web-vm", memory_bytes=2 * GB)
+        base = overhead.dom0_base_memory_bytes
+        hypervisor.set_vm_memory(domain, 1 * GB)
+        expected = base + overhead.dom0_memory_per_vm_byte * 1 * GB
+        assert hypervisor.dom0_memory_used() == pytest.approx(expected)
+
+
+class TestPeriodicWork:
+    def test_epochs_charge_scheduler_overhead(self):
+        sim = Simulator()
+        server = PhysicalServer("s")
+        hypervisor = Hypervisor(sim, server, OverheadModel())
+        domain = hypervisor.create_domain("web-vm")
+        domain.active_workers = 1
+        baseline = server.cpu.ledger.total("dom0")
+        sim.run_until(1.0)
+        assert server.cpu.ledger.total("dom0") > baseline
+
+    def test_housekeeping_writes_dom0_logs(self):
+        sim = Simulator()
+        server = PhysicalServer("s")
+        Hypervisor(sim, server, OverheadModel(dom0_log_bytes_per_s=1000.0))
+        sim.run_until(3.0)
+        assert server.disk.bytes_written("dom0") >= 2000.0
+
+    def test_shutdown_stops_periodic_work(self):
+        sim = Simulator()
+        server = PhysicalServer("s")
+        hypervisor = Hypervisor(sim, server)
+        sim.run_until(1.0)
+        hypervisor.shutdown()
+        cycles_at_shutdown = server.cpu.ledger.total("dom0")
+        sim.run_until(10.0)
+        assert server.cpu.ledger.total("dom0") == cycles_at_shutdown
+
+    def test_scheduler_decision_updates_every_epoch(self):
+        sim = Simulator()
+        server = PhysicalServer("s")
+        hypervisor = Hypervisor(sim, server, epoch_s=0.1)
+        sim.run_until(1.0)
+        assert hypervisor.scheduler.epochs == 10

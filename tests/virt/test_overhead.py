@@ -1,0 +1,35 @@
+"""Unit tests for the overhead model validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.virt.overhead import OverheadModel
+
+
+class TestOverheadModel:
+    def test_defaults_valid(self):
+        model = OverheadModel()
+        assert model.disk_amplification >= 1.0
+        assert model.net_amplification >= 1.0
+
+    def test_amplification_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OverheadModel(disk_amplification=0.9)
+        with pytest.raises(ConfigurationError):
+            OverheadModel(net_amplification=0.5)
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OverheadModel(hypercall_cycles_per_request=-1.0)
+        with pytest.raises(ConfigurationError):
+            OverheadModel(commit_cycles=-1.0)
+        with pytest.raises(ConfigurationError):
+            OverheadModel(dom0_base_cycles_per_s=-1.0)
+
+    def test_invalid_flush_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OverheadModel(flush_interval_s=0.0)
+
+    def test_batching_can_be_disabled(self):
+        model = OverheadModel(batch_writes=False)
+        assert model.batch_writes is False
