@@ -20,11 +20,11 @@ from typing import Any, Callable, Deque, Optional, Tuple
 from repro.errors import ConfigurationError
 from repro.sim.engine import Simulator
 
-ServiceFn = Callable[[], float]
+ServiceFn = Callable[[Any], float]
 DoneFn = Callable[[Any], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class StationStats:
     """Aggregate behaviour counters for one station."""
 
@@ -37,7 +37,8 @@ class StationStats:
     _observations: int = field(default=0, repr=False)
 
     def observe_backlog(self, backlog: int) -> None:
-        self.peak_backlog = max(self.peak_backlog, backlog)
+        if backlog > self.peak_backlog:
+            self.peak_backlog = backlog
         self.backlog_sum += backlog
         self._observations += 1
 
@@ -62,6 +63,9 @@ class StationStats:
 
 class QueueingStation:
     """FCFS station with ``workers`` parallel servers."""
+
+    __slots__ = ("sim", "name", "workers", "on_start", "on_finish",
+                 "_queue", "_busy", "stats", "_window_peak")
 
     def __init__(
         self,
@@ -98,12 +102,39 @@ class QueueingStation:
         return self.backlog + self._busy
 
     def submit(self, job: Any, service_fn: ServiceFn, done_fn: DoneFn) -> None:
-        """Enqueue ``job``; ``service_fn()`` runs at service start and
+        """Enqueue ``job``; ``service_fn(job)`` runs at service start and
         returns the service duration; ``done_fn(job)`` runs at completion."""
-        self.stats.arrivals += 1
-        self._queue.append((job, service_fn, done_fn, self.sim.now))
-        self.stats.observe_backlog(self.backlog)
-        self._window_peak = max(self._window_peak, self.occupancy)
+        stats = self.stats
+        stats.arrivals += 1
+        queue = self._queue
+        busy = self._busy
+        if not queue and busy < self.workers:
+            # Fast path (the common case away from saturation): the job
+            # starts immediately, so the enqueue/dequeue round trip and
+            # the zero wait-time accounting are skipped.  The observed
+            # backlog of 1 matches the queued path, which counts the job
+            # between its append and the dispatch pop.
+            stats.observe_backlog(1)
+            occupancy = busy + 1
+            if occupancy > self._window_peak:
+                self._window_peak = occupancy
+            self._busy = occupancy
+            if self.on_start is not None:
+                self.on_start()
+            duration = service_fn(job)
+            if duration < 0:
+                raise ConfigurationError(
+                    f"negative service duration on station {self.name!r}"
+                )
+            stats.total_service_s += duration
+            self.sim.schedule(duration, self._complete, job, done_fn)
+            return
+        queue.append((job, service_fn, done_fn, self.sim.now))
+        backlog = len(queue)
+        stats.observe_backlog(backlog)
+        occupancy = backlog + busy
+        if occupancy > self._window_peak:
+            self._window_peak = occupancy
         self._dispatch()
 
     def take_window_peak(self) -> int:
@@ -119,20 +150,31 @@ class QueueingStation:
         return peak
 
     def _dispatch(self) -> None:
-        while self._busy < self.workers and self._queue:
-            job, service_fn, done_fn, enqueued_at = self._queue.popleft()
-            self._busy += 1
-            if self.on_start is not None:
-                self.on_start()
-            wait = self.sim.now - enqueued_at
-            self.stats.total_wait_s += wait
-            duration = service_fn()
+        queue = self._queue
+        busy = self._busy
+        workers = self.workers
+        if busy >= workers or not queue:
+            return
+        sim = self.sim
+        stats = self.stats
+        on_start = self.on_start
+        # _busy is only ever touched from this loop and _complete, which
+        # runs from a scheduled event, never re-entrantly — so the local
+        # counter is written back once.
+        while busy < workers and queue:
+            job, service_fn, done_fn, enqueued_at = queue.popleft()
+            busy += 1
+            self._busy = busy
+            if on_start is not None:
+                on_start()
+            stats.total_wait_s += sim.now - enqueued_at
+            duration = service_fn(job)
             if duration < 0:
                 raise ConfigurationError(
                     f"negative service duration on station {self.name!r}"
                 )
-            self.stats.total_service_s += duration
-            self.sim.schedule(duration, self._complete, job, done_fn)
+            stats.total_service_s += duration
+            sim.schedule(duration, self._complete, job, done_fn)
 
     def _complete(self, job: Any, done_fn: DoneFn) -> None:
         self._busy -= 1
@@ -140,6 +182,8 @@ class QueueingStation:
         if self.on_finish is not None:
             self.on_finish()
         # Dispatch queued work before running the completion continuation
-        # so a long continuation chain cannot starve the queue.
-        self._dispatch()
+        # so a long continuation chain cannot starve the queue.  At low
+        # utilization the queue is almost always empty; skip the call.
+        if self._queue:
+            self._dispatch()
         done_fn(job)

@@ -4,12 +4,12 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 _request_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class ResourceDemand:
     """Sampled resource demand of one request, in base units.
 
@@ -50,7 +50,7 @@ class ResourceDemand:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
     """One client request travelling through the tiers."""
 
@@ -62,6 +62,10 @@ class Request:
     web_started_at: Optional[float] = None
     db_started_at: Optional[float] = None
     completed_at: Optional[float] = None
+    #: Continuation invoked with the request when the response reaches
+    #: the client.  Carried on the request so the tier pipeline passes
+    #: stable bound methods instead of allocating per-request closures.
+    on_response: Optional[Callable[["Request"], None]] = None
 
     @property
     def response_time(self) -> Optional[float]:

@@ -20,6 +20,7 @@ bare metal.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 from repro.errors import ConfigurationError
 from repro.hardware.disk import DiskRequest
@@ -97,6 +98,45 @@ class VirtualizedContext(ExecutionContext):
         self.hypervisor = hypervisor
         self.domain = domain
         self.owner = domain.owner
+        # The request path crosses this adapter for every service start;
+        # the fixed (hypervisor, domain) targets are prebound so each
+        # crossing costs one frame instead of a delegation chain (the
+        # methods below document the contracts they shadow).
+        self.charge_cpu = partial(
+            hypervisor.server.cpu.ledger.charge, domain.owner
+        )
+        self.account_request = partial(hypervisor.account_request, domain)
+        speed_fraction = hypervisor.scheduler.speed_fraction
+        service_time = hypervisor.server.cpu.service_time
+        domain_name = domain.name
+
+        def cpu_time(cycles: float) -> float:
+            return service_time(cycles, speed_fraction(domain_name))
+
+        self.cpu_time = cpu_time
+        sim = hypervisor.sim
+        owner = domain.owner
+        block = hypervisor.block_backend
+        net = hypervisor.net_backend
+        block_read, block_write = block.read, block.write
+        net_rx, net_tx = net.receive, net.transmit
+
+        def disk_read(size_bytes: float) -> float:
+            return block_read(sim.now, owner, size_bytes)
+
+        def disk_write(size_bytes: float) -> float:
+            return block_write(sim.now, owner, size_bytes)
+
+        def net_receive(size_bytes: float) -> float:
+            return net_rx(sim.now, owner, size_bytes)
+
+        def net_transmit(size_bytes: float) -> float:
+            return net_tx(sim.now, owner, size_bytes)
+
+        self.disk_read = disk_read
+        self.disk_write = disk_write
+        self.net_receive = net_receive
+        self.net_transmit = net_transmit
 
     def cpu_time(self, cycles: float) -> float:
         return self.hypervisor.cpu_time(self.domain, cycles)
@@ -201,6 +241,8 @@ class BareMetalContext(ExecutionContext):
         self.server = server
         self.owner = owner
         self.os_model = os_model or OsActivityModel()
+        # Same prebound fast path as VirtualizedContext.charge_cpu.
+        self.charge_cpu = partial(server.cpu.ledger.charge, owner)
         self._housekeeping = PeriodicProcess(
             sim,
             self.HOUSEKEEPING_INTERVAL_S,

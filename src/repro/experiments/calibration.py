@@ -94,9 +94,12 @@ def _expected_with(scaling: DemandScaling, matrix: TransitionMatrix,
     return sampler.expected_demand(matrix)
 
 
-def _db_request_fraction(matrix: TransitionMatrix) -> float:
+def _db_request_fraction(
+    matrix: TransitionMatrix, pi: Optional[Dict[str, float]] = None
+) -> float:
     """Stationary fraction of requests that reach the database tier."""
-    pi = matrix.stationary_distribution()
+    if pi is None:
+        pi = matrix.stationary_distribution()
     return sum(
         probability
         for state, probability in pi.items()
@@ -104,9 +107,12 @@ def _db_request_fraction(matrix: TransitionMatrix) -> float:
     )
 
 
-def _commit_fraction(matrix: TransitionMatrix) -> float:
+def _commit_fraction(
+    matrix: TransitionMatrix, pi: Optional[Dict[str, float]] = None
+) -> float:
     """Stationary fraction of requests that commit writes."""
-    pi = matrix.stationary_distribution()
+    if pi is None:
+        pi = matrix.stationary_distribution()
     return sum(
         probability
         for state, probability in pi.items()
@@ -345,11 +351,12 @@ def calibrate_virtualized(
                + VIRTUALIZED_TARGETS["db"].net_kb)
         ),
     )
+    pi = matrix.stationary_distribution()
     net_cycles = _solve_net_cycles_per_byte(
         overhead,
         expected,
-        db_fraction=_db_request_fraction(matrix),
-        commit_fraction=_commit_fraction(matrix),
+        db_fraction=_db_request_fraction(matrix, pi),
+        commit_fraction=_commit_fraction(matrix, pi),
     )
     overhead = OverheadModel(
         dom0_base_memory_bytes=overhead.dom0_base_memory_bytes,

@@ -52,6 +52,9 @@ class ExperimentResult:
     deployment: Deployment = field(repr=False, default=None)
     population: ClientPopulation = field(repr=False, default=None)
     full_rows: list = field(repr=False, default_factory=list)
+    #: Full-registry samples as per-metric arrays (only populated when
+    #: the run was made with ``columnar_rows=True``).
+    columnar: object = field(repr=False, default=None)
 
     @property
     def throughput_rps(self) -> float:
@@ -97,8 +100,17 @@ def run_scenario(
     scenario: Scenario,
     collect_full_registry: bool = False,
     registry: Optional[MetricRegistry] = None,
+    columnar_rows: bool = False,
 ) -> ExperimentResult:
-    """Run one scenario end to end and return its result."""
+    """Run one scenario end to end and return its result.
+
+    With ``columnar_rows=True`` (requires ``collect_full_registry``)
+    the 518-metric samples are stored as per-metric float arrays
+    (:class:`~repro.monitoring.columnar.ColumnarRows`) on
+    ``result.columnar`` instead of one dict per tick in
+    ``result.full_rows`` — the storage that scales to hour-long
+    horizons.
+    """
     sim = Simulator()
     streams = RandomStreams(seed=scenario.seed)
     deployment = build_deployment(sim, streams, scenario.environment)
@@ -143,6 +155,7 @@ def run_scenario(
         registry=registry,
         collect_full_registry=collect_full_registry,
         rng=streams.stream("monitoring-noise"),
+        columnar_rows=columnar_rows,
     )
 
     population.start()
@@ -160,6 +173,7 @@ def run_scenario(
         deployment=deployment,
         population=population,
         full_rows=recorder.full_rows,
+        columnar=recorder.columnar,
     )
 
 

@@ -113,6 +113,7 @@ def scenario(
     duration_s: float = None,
     seed: int = 42,
     clients: int = None,
+    scale: float = 1.0,
 ) -> Scenario:
     """Build a scenario for one of the paper's compositions.
 
@@ -123,12 +124,18 @@ def scenario(
         duration_s: run length (defaults to :func:`default_duration_s`).
         seed: root seed for all random streams.
         clients: override the 1000-client population (e.g. sweeps).
+        scale: stress multiplier — stretches the horizon *and* the
+            client population by this factor (million-event runs:
+            ``scale=10`` is ~10x the events of the paper's setup).
+            Applied after ``duration_s``/``clients`` overrides.
     """
     if composition not in PAPER_COMPOSITIONS:
         raise ConfigurationError(
             f"unknown composition {composition!r}; known: "
             f"{sorted(PAPER_COMPOSITIONS)}"
         )
+    if scale <= 0:
+        raise ConfigurationError("scale must be positive")
     duration = duration_s if duration_s is not None else default_duration_s()
     mix = PAPER_COMPOSITIONS[composition]
     if clients is not None:
@@ -137,6 +144,14 @@ def scenario(
             browse_fraction=mix.browse_fraction,
             think_time_s=mix.think_time_s,
             clients=clients,
+        )
+    if scale != 1.0:
+        duration = duration * scale
+        mix = WorkloadMix(
+            name=mix.name,
+            browse_fraction=mix.browse_fraction,
+            think_time_s=mix.think_time_s,
+            clients=max(1, round(mix.clients * scale)),
         )
     schedules = _burst_schedules(environment, duration)
     kind = composition if composition in ("browsing", "bidding") else "blend"

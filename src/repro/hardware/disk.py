@@ -18,7 +18,7 @@ from typing import Dict
 from repro.errors import CapacityError, ConfigurationError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DiskRequest:
     """One I/O: ``kind`` is 'read' or 'write', ``size_bytes`` the payload."""
 
@@ -67,16 +67,19 @@ class Disk:
 
     def submit(self, now: float, request: DiskRequest) -> float:
         """Enqueue a request at time ``now``; return its completion time."""
-        start = max(now, self._busy_until)
+        busy = self._busy_until
+        start = now if now > busy else busy
         completion = start + self.service_time(request)
         self._busy_until = completion
         self.requests_served += 1
         counters = (
             self._bytes_read if request.kind == "read" else self._bytes_written
         )
-        counters[request.owner] = (
-            counters.get(request.owner, 0.0) + request.size_bytes
-        )
+        owner = request.owner
+        try:
+            counters[owner] += request.size_bytes
+        except KeyError:
+            counters[owner] = request.size_bytes
         return completion
 
     def queue_delay(self, now: float) -> float:

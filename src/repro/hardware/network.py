@@ -25,45 +25,61 @@ class NetworkInterface:
         if bandwidth_bps <= 0:
             raise ConfigurationError("bandwidth must be positive")
         self.bandwidth_bps = float(bandwidth_bps)
-        self._busy_until = {"rx": 0.0, "tx": 0.0}
-        self._bytes = {"rx": {}, "tx": {}}
+        # The two directions keep dedicated state: every request crosses
+        # the NIC several times, and the direction-keyed dict lookups of
+        # a combined path were measurable on million-event runs.
+        self._rx_busy_until = 0.0
+        self._tx_busy_until = 0.0
+        self._rx_bytes: Dict[str, float] = {}
+        self._tx_bytes: Dict[str, float] = {}
         self.packets = {"rx": 0, "tx": 0}
-
-    def _transfer(
-        self, now: float, direction: str, owner: str, size_bytes: float
-    ) -> float:
-        if size_bytes < 0:
-            raise CapacityError("transfer size must be non-negative")
-        start = max(now, self._busy_until[direction])
-        completion = start + size_bytes / self.bandwidth_bps
-        self._busy_until[direction] = completion
-        counters = self._bytes[direction]
-        counters[owner] = counters.get(owner, 0.0) + size_bytes
-        self.packets[direction] += 1
-        return completion
 
     def receive(self, now: float, owner: str, size_bytes: float) -> float:
         """Account an ingress transfer; returns completion time."""
-        return self._transfer(now, "rx", owner, size_bytes)
+        if size_bytes < 0:
+            raise CapacityError("transfer size must be non-negative")
+        busy = self._rx_busy_until
+        start = now if now > busy else busy
+        completion = start + size_bytes / self.bandwidth_bps
+        self._rx_busy_until = completion
+        counters = self._rx_bytes
+        try:
+            counters[owner] += size_bytes
+        except KeyError:
+            counters[owner] = size_bytes
+        self.packets["rx"] += 1
+        return completion
 
     def transmit(self, now: float, owner: str, size_bytes: float) -> float:
         """Account an egress transfer; returns completion time."""
-        return self._transfer(now, "tx", owner, size_bytes)
+        if size_bytes < 0:
+            raise CapacityError("transfer size must be non-negative")
+        busy = self._tx_busy_until
+        start = now if now > busy else busy
+        completion = start + size_bytes / self.bandwidth_bps
+        self._tx_busy_until = completion
+        counters = self._tx_bytes
+        try:
+            counters[owner] += size_bytes
+        except KeyError:
+            counters[owner] = size_bytes
+        self.packets["tx"] += 1
+        return completion
 
     # -- counters ----------------------------------------------------------
 
     def bytes_received(self, owner: str) -> float:
-        return self._bytes["rx"].get(owner, 0.0)
+        return self._rx_bytes.get(owner, 0.0)
 
     def bytes_transmitted(self, owner: str) -> float:
-        return self._bytes["tx"].get(owner, 0.0)
+        return self._tx_bytes.get(owner, 0.0)
 
     def total_bytes(self, owner: str) -> float:
         """RX + TX bytes for ``owner`` (the paper's network metric)."""
         return self.bytes_received(owner) + self.bytes_transmitted(owner)
 
     def snapshot(self) -> Dict[str, Dict[str, float]]:
-        return {"rx": dict(self._bytes["rx"]), "tx": dict(self._bytes["tx"])}
+        return {"rx": dict(self._rx_bytes), "tx": dict(self._tx_bytes)}
 
 
 class NetworkFabric:

@@ -11,9 +11,12 @@ This package reproduces that pipeline:
 * :mod:`~repro.monitoring.probes` — raw-counter probes over simulator
   entities (VM contexts, dom0, physical servers),
 * :mod:`~repro.monitoring.sampler` — the 2 s periodic trace recorder,
+* :mod:`~repro.monitoring.columnar` — per-metric array storage for
+  full-registry samples (million-sample horizons),
 * :mod:`~repro.monitoring.export` — CSV/JSON trace export.
 """
 
+from repro.monitoring.columnar import ColumnarRows
 from repro.monitoring.timeseries import TimeSeries, TraceSet
 from repro.monitoring.metric import (
     Metric,
@@ -38,6 +41,7 @@ from repro.monitoring.sampler import TraceRecorder
 from repro.monitoring.export import trace_set_to_csv, trace_set_to_json
 
 __all__ = [
+    "ColumnarRows",
     "TimeSeries",
     "TraceSet",
     "Metric",

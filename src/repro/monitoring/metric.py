@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import cached_property
+from math import isfinite
 from typing import Callable
 
 import numpy as np
@@ -61,18 +63,22 @@ class SampleInputs:
     #: True when the entity runs virtualized (IPC degradation etc.).
     virtualized: bool = False
 
-    @property
+    # Derived quantities are cached: one SampleInputs describes one
+    # immutable interval snapshot, and hundreds of metric derivations
+    # read these per sample.
+
+    @cached_property
     def cpu_utilization(self) -> float:
         """Busy fraction in [0, 1]."""
         if self.capacity_cycles <= 0:
             return 0.0
         return min(1.0, self.cpu_cycles / self.capacity_cycles)
 
-    @property
+    @cached_property
     def disk_bytes(self) -> float:
         return self.disk_read_bytes + self.disk_write_bytes
 
-    @property
+    @cached_property
     def net_bytes(self) -> float:
         return self.net_rx_bytes + self.net_tx_bytes
 
@@ -80,7 +86,8 @@ class SampleInputs:
         """Multiplicative measurement noise around 1."""
         if scale <= 0:
             return 1.0
-        return float(max(0.0, self.rng.normal(1.0, scale)))
+        draw = self.rng.normal(1.0, scale)
+        return float(draw) if draw > 0.0 else 0.0
 
 
 @dataclass(frozen=True)
@@ -97,7 +104,7 @@ class Metric:
     def evaluate(self, inputs: SampleInputs) -> float:
         """Compute the metric value; non-finite results are an error."""
         value = float(self.derive(inputs))
-        if not np.isfinite(value):
+        if not isfinite(value):
             raise MonitoringError(
                 f"metric {self.name!r} produced a non-finite value"
             )

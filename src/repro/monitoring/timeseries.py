@@ -1,10 +1,12 @@
 """Sampled time-series containers.
 
 A :class:`TimeSeries` is an append-only (time, value) sequence backed by
-Python lists during collection and exposed as numpy arrays for analysis.
-A :class:`TraceSet` groups the series of one experiment run keyed by
-``(entity, resource)`` — e.g. ``("web", "cpu_cycles")`` — together with
-run metadata, and is the object every analysis routine consumes.
+preallocated numpy buffers with amortized doubling growth; ``times`` and
+``values`` are O(1) cached read-only views into those buffers instead of
+per-access array rebuilds.  A :class:`TraceSet` groups the series of one
+experiment run keyed by ``(entity, resource)`` — e.g. ``("web",
+"cpu_cycles")`` — together with run metadata, and is the object every
+analysis routine consumes.
 """
 
 from __future__ import annotations
@@ -15,9 +17,24 @@ import numpy as np
 
 from repro.errors import AnalysisError, InsufficientDataError
 
+#: Starting buffer capacity; doubled on each growth.
+_INITIAL_CAPACITY = 64
+
+
+def _as_buffer(data: Optional[Iterable[float]]) -> np.ndarray:
+    """Own, contiguous float64 array from any iterable (or None)."""
+    if data is None:
+        return np.empty(0, dtype=float)
+    if isinstance(data, np.ndarray):
+        return np.ascontiguousarray(data, dtype=float).copy()
+    return np.array(list(data), dtype=float)
+
 
 class TimeSeries:
-    """Append-only sampled series with numpy views."""
+    """Append-only sampled series with O(1) numpy views."""
+
+    __slots__ = ("name", "unit", "_times", "_values", "_n",
+                 "_times_view", "_values_view")
 
     def __init__(
         self,
@@ -28,56 +45,102 @@ class TimeSeries:
     ) -> None:
         self.name = name
         self.unit = unit
-        self._times: List[float] = list(times) if times is not None else []
-        self._values: List[float] = list(values) if values is not None else []
+        self._times = _as_buffer(times)
+        self._values = _as_buffer(values)
         if len(self._times) != len(self._values):
             raise AnalysisError(
                 f"series {name!r}: times and values differ in length"
             )
+        self._n = len(self._times)
+        self._times_view: Optional[np.ndarray] = None
+        self._values_view: Optional[np.ndarray] = None
+
+    @classmethod
+    def _from_arrays(
+        cls, name: str, unit: str, times: np.ndarray, values: np.ndarray
+    ) -> "TimeSeries":
+        """Adopt freshly built float64 arrays without copying them."""
+        series = cls.__new__(cls)
+        series.name = name
+        series.unit = unit
+        series._times = times
+        series._values = values
+        series._n = len(times)
+        series._times_view = None
+        series._values_view = None
+        return series
+
+    def _grow(self) -> None:
+        capacity = max(2 * len(self._times), _INITIAL_CAPACITY)
+        times = np.empty(capacity, dtype=float)
+        values = np.empty(capacity, dtype=float)
+        n = self._n
+        times[:n] = self._times[:n]
+        values[:n] = self._values[:n]
+        self._times = times
+        self._values = values
 
     def append(self, time: float, value: float) -> None:
-        if self._times and time <= self._times[-1]:
+        n = self._n
+        if n and time <= self._times[n - 1]:
             raise AnalysisError(
                 f"series {self.name!r}: non-increasing sample time {time}"
             )
-        self._times.append(float(time))
-        self._values.append(float(value))
+        if n == len(self._times):
+            self._grow()
+        self._times[n] = time
+        self._values[n] = value
+        self._n = n + 1
+        # Cached views cover [0, n); invalidate so the next access sees
+        # the new sample (and never aliases a reallocated buffer).
+        self._times_view = None
+        self._values_view = None
 
     def __len__(self) -> int:
-        return len(self._values)
+        return self._n
 
     @property
     def times(self) -> np.ndarray:
-        return np.asarray(self._times, dtype=float)
+        view = self._times_view
+        if view is None:
+            view = self._times[: self._n]
+            view.setflags(write=False)
+            self._times_view = view
+        return view
 
     @property
     def values(self) -> np.ndarray:
-        return np.asarray(self._values, dtype=float)
+        view = self._values_view
+        if view is None:
+            view = self._values[: self._n]
+            view.setflags(write=False)
+            self._values_view = view
+        return view
 
     # -- summary -------------------------------------------------------------
 
     def mean(self) -> float:
         self._require(1)
-        return float(np.mean(self._values))
+        return float(np.mean(self.values))
 
     def std(self) -> float:
         self._require(2)
-        return float(np.std(self._values, ddof=1))
+        return float(np.std(self.values, ddof=1))
 
     def variance(self) -> float:
         self._require(2)
-        return float(np.var(self._values, ddof=1))
+        return float(np.var(self.values, ddof=1))
 
     def min(self) -> float:
         self._require(1)
-        return float(np.min(self._values))
+        return float(np.min(self.values))
 
     def max(self) -> float:
         self._require(1)
-        return float(np.max(self._values))
+        return float(np.max(self.values))
 
     def total(self) -> float:
-        return float(np.sum(self._values))
+        return float(np.sum(self.values))
 
     def coefficient_of_variation(self) -> float:
         """std / mean; raises on a zero-mean series."""
@@ -89,9 +152,9 @@ class TimeSeries:
         return self.std() / abs(mean)
 
     def _require(self, n: int) -> None:
-        if len(self._values) < n:
+        if self._n < n:
             raise InsufficientDataError(
-                f"series {self.name!r} has {len(self._values)} samples, "
+                f"series {self.name!r} has {self._n} samples, "
                 f"needs >= {n}"
             )
 
@@ -101,27 +164,26 @@ class TimeSeries:
         """Sub-series with start_time <= t < end_time."""
         times = self.times
         mask = (times >= start_time) & (times < end_time)
-        return TimeSeries(
-            self.name, self.unit, times[mask].tolist(), self.values[mask].tolist()
+        return TimeSeries._from_arrays(
+            self.name, self.unit, times[mask], self.values[mask]
         )
 
     def without_warmup(self, warmup_s: float) -> "TimeSeries":
         """Drop samples earlier than ``warmup_s`` after the first sample."""
-        if not self._times:
+        if not self._n:
             return TimeSeries(self.name, self.unit)
-        cutoff = self._times[0] + warmup_s
         times = self.times
-        mask = times >= cutoff
-        return TimeSeries(
-            self.name, self.unit, times[mask].tolist(), self.values[mask].tolist()
+        mask = times >= times[0] + warmup_s
+        return TimeSeries._from_arrays(
+            self.name, self.unit, times[mask], self.values[mask]
         )
 
     def scaled(self, factor: float, unit: Optional[str] = None) -> "TimeSeries":
-        return TimeSeries(
+        return TimeSeries._from_arrays(
             self.name,
             unit if unit is not None else self.unit,
-            list(self._times),
-            (self.values * factor).tolist(),
+            self.times.copy(),
+            self.values * factor,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -188,6 +250,8 @@ class TraceSet:
                 raise AnalysisError(
                     f"series lengths differ: {entity}/{resource}"
                 )
-            values = values + other.values
+            values += other.values
         name = "+".join(entity_list) + f":{resource}"
-        return TimeSeries(name, base.unit, base.times.tolist(), values.tolist())
+        return TimeSeries._from_arrays(
+            name, base.unit, base.times.copy(), values
+        )

@@ -51,10 +51,12 @@ class SessionStats:
 
     def record_response(self, request: Request) -> None:
         self.responses_received += 1
-        if request.response_time is not None:
-            self.total_response_time_s += request.response_time
-            if len(self.response_times_s) < self.MAX_SAMPLES:
-                self.response_times_s.append(request.response_time)
+        response_time = request.response_time
+        if response_time is not None:
+            self.total_response_time_s += response_time
+            times = self.response_times_s
+            if len(times) < self.MAX_SAMPLES:
+                times.append(response_time)
 
     @property
     def mean_response_time_s(self) -> float:
@@ -65,6 +67,10 @@ class SessionStats:
 
 class ClientSession:
     """One emulated browser in a closed loop."""
+
+    __slots__ = ("sim", "session_id", "session_type", "matrix",
+                 "think_time_s", "rng", "send_fn", "stats", "state",
+                 "_think_event", "requests_sent")
 
     def __init__(
         self,
@@ -115,10 +121,11 @@ class ClientSession:
         self.send_fn(self, self.state, self._on_response)
 
     def _on_response(self, request: Request) -> None:
-        request.completed_at = self.sim.now
+        sim = self.sim
+        request.completed_at = sim.now
         self.stats.record_response(request)
         think = float(self.rng.exponential(self.think_time_s))
-        self._think_event = self.sim.schedule(think, self._send_next)
+        self._think_event = sim.schedule(think, self._send_next)
 
 
 class ClientPopulation:

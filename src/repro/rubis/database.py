@@ -16,6 +16,7 @@ misses are then drawn stochastically around it.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from math import ceil
 from typing import Dict, Tuple
 
 import numpy as np
@@ -122,13 +123,19 @@ class BufferPool:
         self.hot_access_probability = float(hot_access_probability)
         self.hits = 0
         self.misses = 0
+        # Pool capacity and data-set size are fixed after construction,
+        # so the steady-state hit ratio is a constant; computing it per
+        # access (summing seven table footprints) dominated pool cost.
+        self._hit_ratio = self._compute_hit_ratio()
+        self._miss_probability = 1.0 - self._hit_ratio
 
     def hit_ratio(self) -> float:
-        """Steady-state hit probability of one page access.
+        """Steady-state hit probability of one page access."""
+        return self._hit_ratio
 
-        Hot pages are cached first; whatever capacity remains caches a
-        proportional slice of the cold pages.
-        """
+    def _compute_hit_ratio(self) -> float:
+        """Hot pages are cached first; whatever capacity remains caches a
+        proportional slice of the cold pages."""
         data = self.database.total_bytes()
         hot_bytes = data * self.hot_fraction
         cold_bytes = data - hot_bytes
@@ -150,10 +157,15 @@ class BufferPool:
         """
         if rows <= 0:
             return 0.0
-        rows_per_page = max(1.0, self.PAGE_BYTES / max(row_bytes, 1.0))
-        pages = max(1, int(np.ceil(rows / rows_per_page)))
-        miss_probability = 1.0 - self.hit_ratio()
-        missed_pages = int(rng.binomial(pages, miss_probability))
+        if row_bytes < 1.0:
+            row_bytes = 1.0
+        rows_per_page = self.PAGE_BYTES / row_bytes
+        if rows_per_page < 1.0:
+            rows_per_page = 1.0
+        pages = ceil(rows / rows_per_page)
+        if pages < 1:
+            pages = 1
+        missed_pages = int(rng.binomial(pages, self._miss_probability))
         self.hits += pages - missed_pages
         self.misses += missed_pages
         return missed_pages * self.PAGE_BYTES

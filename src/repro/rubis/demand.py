@@ -100,42 +100,108 @@ class DemandSampler:
         self.buffer_pool = buffer_pool
         self.rng = rng
         self._row_bytes = buffer_pool.database.mean_row_bytes()
+        #: cv -> (mu, sigma) of the matching lognormal, computed once per
+        #: distinct cv instead of log1p/sqrt on every draw.
+        self._noise_params: dict = {}
+        #: interaction name -> precomputed deterministic demand bases
+        #: (everything in :meth:`sample` that does not involve a draw).
+        self._profiles: dict = {}
 
     # -- stochastic path -------------------------------------------------
 
     def sample(self, interaction_name: str) -> ResourceDemand:
-        """Draw the demand of one request for ``interaction_name``."""
-        ix = get_interaction(interaction_name)
-        s = self.scaling
-        noise = self._noise
-        response_bytes = (
-            ix.response_kb * KB * s.response_scale * noise(ix.response_cv)
+        """Draw the demand of one request for ``interaction_name``.
+
+        The deterministic bases are precomputed per interaction (the
+        scaling is immutable), so a draw costs only the noise factors
+        and the buffer-pool access.  The draw order matches the original
+        per-field formulation exactly, keeping the noise stream — and
+        therefore every trace — bit-identical.
+        """
+        profile = self._profiles.get(interaction_name)
+        if profile is None:
+            profile = self._build_profile(interaction_name)
+        (response_base, response_params, web_base, db_base, db_queries,
+         rows_touched, db_write_base, web_log_base, request_base,
+         query_bytes, result_bytes, writes, demand_params, log_params,
+         req_params) = profile
+        rng = self.rng
+        lognormal = rng.lognormal
+        # Draw order mirrors the original per-field formulation exactly.
+        response_noise = (
+            float(lognormal(response_params[0], response_params[1]))
+            if response_params is not None else 1.0
         )
-        db_read = self.buffer_pool.access(
-            self.rng, ix.rows_touched, self._row_bytes
-        )
+        response_bytes = response_base * response_noise
+        db_read = self.buffer_pool.access(rng, rows_touched, self._row_bytes)
+        if demand_params is not None:
+            mu, sigma = demand_params
+            web_noise = float(lognormal(mu, sigma))
+            db_noise = float(lognormal(mu, sigma))
+            write_noise = float(lognormal(mu, sigma))
+        else:
+            web_noise = db_noise = write_noise = 1.0
+        # Positional construction in ResourceDemand field order (kwarg
+        # binding on an 11-field dataclass showed up on profiles).
         return ResourceDemand(
-            web_cycles=ix.web_work * s.web_cycles_per_unit * noise(),
-            db_cycles=ix.db_work * s.db_cycles_per_unit * noise(),
-            db_queries=ix.db_queries,
-            db_disk_read_bytes=db_read,
-            db_disk_write_bytes=self._db_write_bytes(ix) * noise(),
-            web_disk_write_bytes=s.web_log_bytes_per_request * noise(0.15),
-            request_bytes=s.request_bytes * noise(0.10),
-            response_bytes=response_bytes,
-            query_bytes=self._query_bytes(ix),
-            result_bytes=self._result_bytes(ix),
-            commit=ix.writes,
+            web_base * web_noise,
+            db_base * db_noise,
+            db_queries,
+            db_read,
+            db_write_base * write_noise,
+            web_log_base * float(lognormal(log_params[0], log_params[1])),
+            request_base * float(lognormal(req_params[0], req_params[1])),
+            response_bytes,
+            query_bytes,
+            result_bytes,
+            writes,
         )
 
-    def _noise(self, cv: Optional[float] = None) -> float:
-        cv = self.scaling.demand_cv if cv is None else cv
+    def _lognormal_params(self, cv: float) -> Optional[tuple]:
+        """(mu, sigma) of the unit-mean lognormal for ``cv`` (None if 0)."""
         if cv <= 0:
-            return 1.0
-        sigma2 = np.log1p(cv * cv)
-        return float(
-            self.rng.lognormal(-sigma2 / 2.0, np.sqrt(sigma2))
+            return None
+        params = self._noise_params.get(cv)
+        if params is None:
+            sigma2 = np.log1p(cv * cv)
+            params = (-sigma2 / 2.0, np.sqrt(sigma2))
+            self._noise_params[cv] = params
+        return params
+
+    def _build_profile(self, interaction_name: str) -> tuple:
+        ix = get_interaction(interaction_name)
+        s = self.scaling
+        profile = (
+            ix.response_kb * KB * s.response_scale,
+            self._lognormal_params(ix.response_cv),
+            ix.web_work * s.web_cycles_per_unit,
+            ix.db_work * s.db_cycles_per_unit,
+            ix.db_queries,
+            ix.rows_touched,
+            self._db_write_bytes(ix),
+            s.web_log_bytes_per_request,
+            s.request_bytes,
+            self._query_bytes(ix),
+            self._result_bytes(ix),
+            ix.writes,
+            self._lognormal_params(s.demand_cv),
+            self._lognormal_params(0.15),
+            self._lognormal_params(0.10),
         )
+        self._profiles[interaction_name] = profile
+        return profile
+
+    def _noise(self, cv: Optional[float] = None) -> float:
+        """Unit-mean lognormal factor for ``cv`` (1.0 when cv <= 0).
+
+        The hot path draws through the precomputed profile parameters
+        directly; this helper remains the one-off entry point.
+        """
+        cv = self.scaling.demand_cv if cv is None else cv
+        params = self._lognormal_params(cv)
+        if params is None:
+            return 1.0
+        return float(self.rng.lognormal(params[0], params[1]))
 
     # -- shared deterministic formulas -----------------------------------
 

@@ -109,6 +109,13 @@ class Deployment:
         self._build()
         if self.web_context is None or self.db_context is None:
             raise ConfigurationError("deployment subclass did not build tiers")
+        # Placement is fixed once _build ran, so the four request-path
+        # latencies are constants; resolving them per hop was measurable.
+        fabric = self.cluster.fabric
+        self._lat_client_web = fabric.latency(CLIENT_ENDPOINT, WEB_TIER)
+        self._lat_web_db = fabric.latency(WEB_TIER, DB_TIER)
+        self._lat_db_web = fabric.latency(DB_TIER, WEB_TIER)
+        self._lat_web_client = fabric.latency(WEB_TIER, CLIENT_ENDPOINT)
 
     # -- subclass surface ---------------------------------------------------
 
@@ -157,66 +164,66 @@ class Deployment:
         interaction: str,
         on_response: Callable[[Request], None],
     ) -> None:
-        """Entry point used by client sessions (the ``SendFn``)."""
+        """Entry point used by client sessions (the ``SendFn``).
+
+        The continuation rides on the request itself (``on_response``)
+        so every later stage passes stable bound methods around; the
+        per-request closures this replaced were a measurable share of
+        the request-path cost.
+        """
         demand = self.demand_sampler.sample(interaction)
-        request = Request(
-            session_id=session.session_id,
-            interaction=interaction,
-            demand=demand,
-            created_at=self.sim.now,
-        )
-        completion = self.web_context.net_receive(demand.request_bytes)
-        transfer = max(0.0, completion - self.sim.now)
-        self.sim.schedule(
-            transfer + self._latency(CLIENT_ENDPOINT, WEB_TIER),
-            self._web_arrive,
-            request,
-            on_response,
+        sim = self.sim
+        request = Request(session.session_id, interaction, demand, sim.now)
+        request.on_response = on_response
+        transfer = self.web_context.net_receive(demand.request_bytes) - sim.now
+        if transfer < 0.0:
+            transfer = 0.0
+        sim.schedule(
+            transfer + self._lat_client_web, self._web_arrive, request
         )
 
-    def _web_arrive(self, request: Request, on_response) -> None:
-        self.php_tier.handle(
-            request, lambda finished: self._web_done(finished, on_response)
-        )
+    def _web_arrive(self, request: Request) -> None:
+        self.php_tier.handle(request, self._web_done)
 
-    def _web_done(self, request: Request, on_response) -> None:
+    def _web_done(self, request: Request) -> None:
         demand = request.demand
         if demand.db_queries > 0:
+            sim = self.sim
             self.web_context.net_transmit(demand.query_bytes)
-            completion = self.db_context.net_receive(demand.query_bytes)
-            transfer = max(0.0, completion - self.sim.now)
-            self.sim.schedule(
-                transfer + self._latency(WEB_TIER, DB_TIER),
-                self._db_arrive,
-                request,
-                on_response,
+            transfer = self.db_context.net_receive(demand.query_bytes) - sim.now
+            if transfer < 0.0:
+                transfer = 0.0
+            sim.schedule(
+                transfer + self._lat_web_db, self._db_arrive, request
             )
         else:
-            self._respond(request, on_response)
+            self._respond(request)
 
-    def _db_arrive(self, request: Request, on_response) -> None:
-        self.mysql_tier.handle(
-            request, lambda finished: self._db_done(finished, on_response)
-        )
+    def _db_arrive(self, request: Request) -> None:
+        self.mysql_tier.handle(request, self._db_done)
 
-    def _db_done(self, request: Request, on_response) -> None:
+    def _db_done(self, request: Request) -> None:
         demand = request.demand
+        sim = self.sim
         self.db_context.net_transmit(demand.result_bytes)
-        completion = self.web_context.net_receive(demand.result_bytes)
-        transfer = max(0.0, completion - self.sim.now)
-        self.sim.schedule(
-            transfer + self._latency(DB_TIER, WEB_TIER),
-            self._respond,
-            request,
-            on_response,
+        transfer = self.web_context.net_receive(demand.result_bytes) - sim.now
+        if transfer < 0.0:
+            transfer = 0.0
+        sim.schedule(
+            transfer + self._lat_db_web, self._respond, request
         )
 
-    def _respond(self, request: Request, on_response) -> None:
-        completion = self.web_context.net_transmit(request.demand.response_bytes)
-        transfer = max(0.0, completion - self.sim.now)
-        self.sim.schedule(
-            transfer + self._latency(WEB_TIER, CLIENT_ENDPOINT),
-            on_response,
+    def _respond(self, request: Request) -> None:
+        sim = self.sim
+        transfer = (
+            self.web_context.net_transmit(request.demand.response_bytes)
+            - sim.now
+        )
+        if transfer < 0.0:
+            transfer = 0.0
+        sim.schedule(
+            transfer + self._lat_web_client,
+            request.on_response,
             request,
         )
 

@@ -57,33 +57,42 @@ class MysqlTier:
         self.commits = 0
 
     def handle(self, request: Request, done_fn: Callable[[Request], None]) -> None:
-        """Execute ``request``'s query batch; ``done_fn`` fires at the end."""
+        """Execute ``request``'s query batch; ``done_fn`` fires at the end.
 
-        def service() -> float:
-            request.db_started_at = self.sim.now
-            demand = request.demand
-            self.context.account_request(self.config.request_account_scale)
-            self.context.charge_cpu(demand.db_cycles)
-            duration = self.context.cpu_time(demand.db_cycles)
-            if demand.db_disk_read_bytes > 0:
-                # The thread blocks on buffer-pool misses.
-                completion = self.context.disk_read(demand.db_disk_read_bytes)
-                duration += max(0.0, completion - self.sim.now)
-            return duration
+        The continuation travels with the job so the station calls the
+        tier's stable bound methods — no per-request closures.
+        """
+        self.station.submit((request, done_fn), self._service, self._done)
 
-        def done(finished: Request) -> None:
-            demand = finished.demand
-            self.queries_executed += demand.db_queries
-            if demand.db_disk_write_bytes > 0:
-                # Dirty pages, index updates, binlog — written back
-                # asynchronously after the query batch returns.
-                self.context.disk_write(demand.db_disk_write_bytes)
-            if demand.commit:
-                self.commits += 1
-                self.context.account_commit()
-            done_fn(finished)
+    def _service(self, job) -> float:
+        request = job[0]
+        context = self.context
+        request.db_started_at = self.sim.now
+        demand = request.demand
+        context.account_request(self.config.request_account_scale)
+        context.charge_cpu(demand.db_cycles)
+        duration = context.cpu_time(demand.db_cycles)
+        if demand.db_disk_read_bytes > 0:
+            # The thread blocks on buffer-pool misses.
+            blocked = (
+                context.disk_read(demand.db_disk_read_bytes) - self.sim.now
+            )
+            if blocked > 0.0:
+                duration += blocked
+        return duration
 
-        self.station.submit(request, service, done)
+    def _done(self, job) -> None:
+        request, done_fn = job
+        demand = request.demand
+        self.queries_executed += demand.db_queries
+        if demand.db_disk_write_bytes > 0:
+            # Dirty pages, index updates, binlog — written back
+            # asynchronously after the query batch returns.
+            self.context.disk_write(demand.db_disk_write_bytes)
+        if demand.commit:
+            self.commits += 1
+            self.context.account_commit()
+        done_fn(request)
 
     @property
     def backlog(self) -> int:

@@ -55,25 +55,31 @@ class PhpTier:
         self.requests_handled = 0
 
     def handle(self, request: Request, done_fn: Callable[[Request], None]) -> None:
-        """Serve ``request``; ``done_fn`` fires when PHP processing ends."""
+        """Serve ``request``; ``done_fn`` fires when PHP processing ends.
 
-        def service() -> float:
-            request.web_started_at = self.sim.now
-            self.context.account_request(self.config.request_account_scale)
-            cycles = request.demand.web_cycles
-            self.context.charge_cpu(cycles)
-            return self.context.cpu_time(cycles)
+        The continuation travels with the job so the station calls the
+        tier's stable bound methods — no per-request closures.
+        """
+        self.station.submit((request, done_fn), self._service, self._done)
 
-        def done(finished: Request) -> None:
-            self.requests_handled += 1
-            log_bytes = finished.demand.web_disk_write_bytes
-            if log_bytes > 0:
-                # Access log + PHP session write; asynchronous, the
-                # request does not wait for it.
-                self.context.disk_write(log_bytes)
-            done_fn(finished)
+    def _service(self, job) -> float:
+        request = job[0]
+        context = self.context
+        request.web_started_at = self.sim.now
+        context.account_request(self.config.request_account_scale)
+        cycles = request.demand.web_cycles
+        context.charge_cpu(cycles)
+        return context.cpu_time(cycles)
 
-        self.station.submit(request, service, done)
+    def _done(self, job) -> None:
+        request, done_fn = job
+        self.requests_handled += 1
+        log_bytes = request.demand.web_disk_write_bytes
+        if log_bytes > 0:
+            # Access log + PHP session write; asynchronous, the
+            # request does not wait for it.
+            self.context.disk_write(log_bytes)
+        done_fn(request)
 
     @property
     def backlog(self) -> int:

@@ -15,6 +15,7 @@ power iteration.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Dict, Iterable, Mapping
 
 import numpy as np
@@ -77,15 +78,34 @@ class TransitionMatrix:
             raise ConfigurationError(
                 f"matrix {name!r} references unknown interactions: {unknown}"
             )
+        # Per-state cumulative rows, prepared exactly as Generator.choice
+        # prepares its ``p`` argument (cumsum, then normalize by the last
+        # element).  next_state then inverts one uniform draw against the
+        # precomputed CDF, which consumes the identical random stream as
+        # ``rng.choice(n, p=row)`` without re-validating ``p`` per call.
+        # The CDFs are kept as plain float lists: bisect on a short list
+        # beats numpy searchsorted's dispatch overhead, with identical
+        # IEEE-double comparisons.
+        cdfs = []
+        for i in range(len(self.states)):
+            cdf = matrix[i].cumsum()
+            cdf /= cdf[-1]
+            cdfs.append(cdf.tolist())
+        self._cdfs = cdfs
+        # (iterations, tolerance) -> stationary distribution.  The chain
+        # is immutable after construction and calibration asks for the
+        # distribution repeatedly (expectation inversion, request/commit
+        # fractions), so the power iteration runs once per setting.
+        self._stationary_cache: Dict[tuple, Dict[str, float]] = {}
 
     def next_state(self, rng: np.random.Generator, current: str) -> str:
         """Draw the successor of ``current``."""
-        if current not in self._index:
+        index = self._index.get(current)
+        if index is None:
             raise ConfigurationError(
                 f"state {current!r} not in matrix {self.name!r}"
             )
-        row = self.matrix[self._index[current]]
-        return self.states[int(rng.choice(len(self.states), p=row))]
+        return self.states[bisect_right(self._cdfs[index], rng.random())]
 
     def probability(self, src: str, dst: str) -> float:
         return float(self.matrix[self._index[src], self._index[dst]])
@@ -99,11 +119,17 @@ class TransitionMatrix:
             ConfigurationError: if the iteration fails to converge, which
                 indicates a periodic or disconnected chain.
         """
+        key = (iterations, tolerance)
+        cached = self._stationary_cache.get(key)
+        if cached is not None:
+            return dict(cached)
         pi = np.full(len(self.states), 1.0 / len(self.states))
         for _ in range(iterations):
             updated = pi @ self.matrix
             if np.abs(updated - pi).max() < tolerance:
-                return dict(zip(self.states, updated))
+                result = dict(zip(self.states, updated))
+                self._stationary_cache[key] = result
+                return dict(result)
             pi = updated
         raise ConfigurationError(
             f"stationary distribution of {self.name!r} did not converge"

@@ -13,6 +13,7 @@ Typical use::
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Any, Callable, Optional
 
 from repro.errors import SchedulingError, SimulationError
@@ -23,18 +24,15 @@ class Simulator:
     """Discrete-event simulator with an absolute clock in seconds."""
 
     def __init__(self, start_time: float = 0.0) -> None:
-        self._now = float(start_time)
+        #: Current simulated time in seconds (read-only by convention;
+        #: a plain attribute because it is the hottest read in the system).
+        self.now = float(start_time)
         self._queue = EventQueue()
         self._running = False
         self._stopped = False
         self._events_fired = 0
 
     # -- clock ---------------------------------------------------------
-
-    @property
-    def now(self) -> float:
-        """Current simulated time in seconds."""
-        return self._now
 
     @property
     def events_fired(self) -> int:
@@ -55,10 +53,26 @@ class Simulator:
         *args: Any,
         priority: int = DEFAULT_PRIORITY,
     ) -> Event:
-        """Schedule ``fn(*args)`` after ``delay`` seconds from now."""
+        """Schedule ``fn(*args)`` after ``delay`` seconds from now.
+
+        The body mirrors :meth:`EventQueue.push` rather than calling it:
+        this is the single hottest API of the engine (one call per
+        scheduled event), and the delegation frame was measurable.
+        """
         if delay < 0:
             raise SchedulingError(f"cannot schedule {delay:.6f}s in the past")
-        return self._queue.push(self._now + delay, fn, args, priority)
+        queue = self._queue
+        event = Event.__new__(Event)
+        event.time = time = self.now + delay
+        event.priority = priority
+        event.seq = seq = next(queue._counter)
+        event.fn = fn
+        event.args = args
+        event.cancelled = False
+        event._noted = False
+        heappush(queue._heap, (time, priority, seq, event))
+        queue._live += 1
+        return event
 
     def schedule_at(
         self,
@@ -68,9 +82,9 @@ class Simulator:
         priority: int = DEFAULT_PRIORITY,
     ) -> Event:
         """Schedule ``fn(*args)`` at absolute simulated ``time``."""
-        if time < self._now:
+        if time < self.now:
             raise SchedulingError(
-                f"cannot schedule at t={time:.6f} before now={self._now:.6f}"
+                f"cannot schedule at t={time:.6f} before now={self.now:.6f}"
             )
         return self._queue.push(time, fn, args, priority)
 
@@ -87,11 +101,11 @@ class Simulator:
         if not self._queue:
             return False
         event = self._queue.pop()
-        if event.time < self._now:
+        if event.time < self.now:
             raise SimulationError(
-                f"event queue yielded t={event.time} before now={self._now}"
+                f"event queue yielded t={event.time} before now={self.now}"
             )
-        self._now = event.time
+        self.now = event.time
         self._events_fired += 1
         event.fn(*event.args)
         return True
@@ -103,22 +117,54 @@ class Simulator:
         at ``end_time`` even if the queue drains early, so collectors see
         a consistent horizon.
         """
-        if end_time < self._now:
+        if end_time < self.now:
             raise SimulationError(
-                f"run_until({end_time}) is before now={self._now}"
+                f"run_until({end_time}) is before now={self.now}"
             )
         self._running = True
         self._stopped = False
+        # Hot path: the pop is inlined (mirroring EventQueue.pop_ready,
+        # including its live/dead bookkeeping) and the fired counter is
+        # kept in a local synced on exit, so each event costs one heap
+        # pop plus the callback.  The heap reference is re-read per
+        # event because a callback may trigger a compaction.
+        queue = self._queue
+        fired = self._events_fired
         try:
             while not self._stopped:
-                next_time = self._queue.peek_time()
-                if next_time is None or next_time > end_time:
+                heap = queue._heap
+                event = None
+                while heap:
+                    entry = heap[0]
+                    candidate = entry[3]
+                    if candidate.cancelled:
+                        heappop(heap)
+                        if candidate._noted:
+                            queue._dead -= 1
+                        else:
+                            queue._live -= 1
+                        continue
+                    if entry[0] > end_time:
+                        break
+                    heappop(heap)
+                    queue._live -= 1
+                    event = candidate
                     break
-                self.step()
+                if event is None:
+                    break
+                time = event.time
+                if time < self.now:
+                    raise SimulationError(
+                        f"event queue yielded t={time} before now={self.now}"
+                    )
+                self.now = time
+                fired += 1
+                event.fn(*event.args)
         finally:
+            self._events_fired = fired
             self._running = False
         if not self._stopped:
-            self._now = end_time
+            self.now = end_time
 
     def run(self, max_events: Optional[int] = None) -> None:
         """Run until the queue drains or ``max_events`` were fired."""
@@ -141,6 +187,6 @@ class Simulator:
     def reset(self, start_time: float = 0.0) -> None:
         """Drop all pending events and rewind the clock."""
         self._queue.clear()
-        self._now = float(start_time)
+        self.now = float(start_time)
         self._events_fired = 0
         self._stopped = False

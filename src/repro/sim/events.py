@@ -4,6 +4,16 @@ Events are ordered by ``(time, priority, sequence)``.  The sequence number
 makes ordering *stable*: two events scheduled for the same time and
 priority fire in the order they were scheduled, which keeps simulations
 reproducible regardless of heap internals.
+
+The heap stores ``(time, priority, seq, event)`` tuples rather than bare
+:class:`Event` objects so ``heapq`` compares tuples of numbers at C speed
+instead of calling :meth:`Event.__lt__` for every sift — on
+million-event runs the Python-level comparisons were the single largest
+engine cost.  Cancelled events stay buried in the heap and are discarded
+lazily; the queue tracks how many dead entries it holds and compacts the
+heap once they outnumber the live ones, so cancellation-heavy workloads
+(burst waves re-arming thousands of think timers) cannot degrade pop
+cost indefinitely.
 """
 
 from __future__ import annotations
@@ -29,7 +39,7 @@ class Event:
         cancelled: True if :meth:`cancel` was called; the engine skips it.
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled", "_noted")
 
     def __init__(
         self,
@@ -45,6 +55,9 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        # True once the owning queue accounted the cancellation in its
+        # live/dead bookkeeping (see EventQueue.note_cancelled).
+        self._noted = False
 
     def cancel(self) -> None:
         """Mark the event so the engine discards it instead of firing it."""
@@ -67,19 +80,38 @@ class EventQueue:
 
     Cancelled events stay in the heap and are dropped lazily on pop; this
     makes cancellation O(1) at the cost of occasional dead entries, the
-    standard approach for DES engines.
+    standard approach for DES engines.  Dead entries are counted and the
+    heap is compacted once they exceed both :data:`COMPACT_MIN_DEAD` and
+    the number of live events.
     """
 
+    #: Never bother compacting below this many dead entries.
+    COMPACT_MIN_DEAD = 64
+
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        # Entries are (time, priority, seq, event); seq is unique so the
+        # comparison never reaches the Event object.
+        self._heap: list = []
         self._counter = itertools.count()
         self._live = 0
+        self._dead = 0
+        self._compactions = 0
 
     def __len__(self) -> int:
         return self._live
 
     def __bool__(self) -> bool:
         return self._live > 0
+
+    @property
+    def dead_entries(self) -> int:
+        """Cancelled-and-accounted entries still buried in the heap."""
+        return self._dead
+
+    @property
+    def compactions(self) -> int:
+        """Number of heap compactions performed (diagnostics)."""
+        return self._compactions
 
     def push(
         self,
@@ -89,10 +121,32 @@ class EventQueue:
         priority: int = DEFAULT_PRIORITY,
     ) -> Event:
         """Schedule ``fn(*args)`` at absolute ``time`` and return the event."""
-        event = Event(time, fn, args, priority, next(self._counter))
-        heapq.heappush(self._heap, event)
+        # Build the event without a constructor frame: push runs once per
+        # scheduled event and is the hottest allocation site in the engine.
+        event = Event.__new__(Event)
+        event.time = time
+        event.priority = priority
+        event.seq = seq = next(self._counter)
+        event.fn = fn
+        event.args = args
+        event.cancelled = False
+        event._noted = False
+        heapq.heappush(self._heap, (time, priority, seq, event))
         self._live += 1
         return event
+
+    def _account_discard(self, event: Event) -> None:
+        """Bookkeeping for a cancelled entry leaving the heap.
+
+        Events cancelled through :meth:`note_cancelled` were already
+        removed from the live count; events cancelled behind the queue's
+        back (``event.cancel()`` without notification) still count as
+        live until they surface here.
+        """
+        if event._noted:
+            self._dead -= 1
+        else:
+            self._live -= 1
 
     def pop(self) -> Event:
         """Remove and return the earliest live event.
@@ -100,29 +154,90 @@ class EventQueue:
         Raises:
             SchedulingError: if the queue holds no live events.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[3]
             if event.cancelled:
+                self._account_discard(event)
                 continue
             self._live -= 1
             return event
         raise SchedulingError("pop from an empty event queue")
 
+    def pop_ready(self, max_time: float) -> Optional[Event]:
+        """Pop the earliest live event with ``time <= max_time``.
+
+        Returns None (leaving the heap untouched) when the queue is empty
+        or the earliest live event lies beyond ``max_time``.  This fuses
+        the peek/pop pair the engine's run loop would otherwise perform
+        per event.
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            event = entry[3]
+            if event.cancelled:
+                heapq.heappop(heap)
+                self._account_discard(event)
+                continue
+            if entry[0] > max_time:
+                return None
+            heapq.heappop(heap)
+            self._live -= 1
+            return event
+        return None
+
     def peek_time(self) -> Optional[float]:
         """Time of the earliest live event, or None if the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            self._account_discard(heapq.heappop(heap)[3])
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def note_cancelled(self, event: Event) -> None:
-        """Account for an externally cancelled event (keeps len() accurate)."""
+        """Account for an externally cancelled event (keeps len() accurate).
+
+        Idempotent: noting the same event twice is a no-op, so callers
+        holding several handles to one event cannot corrupt the live
+        count.  Triggers a heap compaction when dead entries outnumber
+        live ones.
+        """
         if not event.cancelled:
             raise SchedulingError("note_cancelled called on a live event")
+        if event._noted:
+            return
+        event._noted = True
         self._live -= 1
+        self._dead += 1
+        if self._dead > self.COMPACT_MIN_DEAD and self._dead > self._live:
+            self.compact()
+
+    def compact(self) -> None:
+        """Rebuild the heap without dead entries.
+
+        ``heapify`` over the surviving ``(time, priority, seq, event)``
+        tuples preserves the queue's total order exactly: the sort key is
+        unchanged and ``seq`` keeps ties stable.
+        """
+        kept = []
+        unnoted = 0
+        for entry in self._heap:
+            event = entry[3]
+            if event.cancelled:
+                if not event._noted:
+                    unnoted += 1
+                continue
+            kept.append(entry)
+        heapq.heapify(kept)
+        self._heap = kept
+        self._live -= unnoted
+        self._dead = 0
+        self._compactions += 1
 
     def clear(self) -> None:
         """Discard all events."""
         self._heap.clear()
         self._live = 0
+        self._dead = 0

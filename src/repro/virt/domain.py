@@ -53,13 +53,10 @@ class Domain:
         self.weight = float(weight)
         self.cap_cores = float(cap_cores)
         self.active_workers = 0
-
-    @property
-    def owner(self) -> str:
-        """Ledger owner key used by hardware accounting."""
-        if self.kind is DomainKind.DOM0:
-            return "dom0"
-        return f"vm:{self.name}"
+        #: Ledger owner key used by hardware accounting.  A plain
+        #: attribute (name and kind are fixed at construction) because
+        #: every I/O and CPU charge reads it.
+        self.owner = "dom0" if kind is DomainKind.DOM0 else f"vm:{name}"
 
     @property
     def online_vcpus(self) -> int:

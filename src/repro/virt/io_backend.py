@@ -46,6 +46,11 @@ class BlockBackend:
         self.disk = disk
         self.cpu = cpu
         self.overhead = overhead
+        # Hot-path bindings: constants and the ledger charge method,
+        # resolved once instead of per I/O.
+        self._amplification = overhead.disk_amplification
+        self._cycles_per_byte = overhead.disk_cycles_per_byte
+        self._charge = cpu.ledger.charge
         self._vm_read: Dict[str, float] = {}
         self._vm_written: Dict[str, float] = {}
         self._pending_write_bytes = 0.0
@@ -77,9 +82,13 @@ class BlockBackend:
         Reads cannot be deferred (the guest blocks on the data), so they
         go to the physical disk immediately, amplified by metadata reads.
         """
-        self._vm_read[owner] = self._vm_read.get(owner, 0.0) + size_bytes
-        physical = size_bytes * self.overhead.disk_amplification
-        self._charge_cpu(physical)
+        counters = self._vm_read
+        try:
+            counters[owner] += size_bytes
+        except KeyError:
+            counters[owner] = size_bytes
+        physical = size_bytes * self._amplification
+        self._charge(DOM0_OWNER, physical * self._cycles_per_byte)
         request = DiskRequest(DOM0_OWNER, "read", physical)
         return self.disk.submit(now, request)
 
@@ -91,9 +100,13 @@ class BlockBackend:
         happens at the next flush.  Without batching (ablation A2) it is
         forwarded immediately.
         """
-        self._vm_written[owner] = self._vm_written.get(owner, 0.0) + size_bytes
-        physical = size_bytes * self.overhead.disk_amplification
-        self._charge_cpu(physical)
+        counters = self._vm_written
+        try:
+            counters[owner] += size_bytes
+        except KeyError:
+            counters[owner] = size_bytes
+        physical = size_bytes * self._amplification
+        self._charge(DOM0_OWNER, physical * self._cycles_per_byte)
         if self.overhead.batch_writes:
             self._pending_write_bytes += physical
             return now
@@ -111,11 +124,6 @@ class BlockBackend:
         request = DiskRequest(DOM0_OWNER, "write", self._pending_write_bytes)
         self.disk.submit(tick_time, request)
         self._pending_write_bytes = 0.0
-
-    def _charge_cpu(self, physical_bytes: float) -> None:
-        self.cpu.charge(
-            DOM0_OWNER, physical_bytes * self.overhead.disk_cycles_per_byte
-        )
 
     def stop(self) -> None:
         """Disarm the flusher (end of simulation)."""
@@ -137,6 +145,10 @@ class NetBackend:
         self.nic = nic
         self.cpu = cpu
         self.overhead = overhead
+        # Hot-path bindings, resolved once instead of per transfer.
+        self._amplification = overhead.net_amplification
+        self._cycles_per_byte = overhead.net_cycles_per_byte
+        self._charge = cpu.ledger.charge
         self._vm_rx: Dict[str, float] = {}
         self._vm_tx: Dict[str, float] = {}
 
@@ -155,21 +167,26 @@ class NetBackend:
 
     def receive(self, now: float, owner: str, size_bytes: float) -> float:
         """Ingress to a guest through the bridge; returns completion time."""
-        return self._transfer(now, owner, size_bytes, ingress=True)
+        if size_bytes < 0:
+            raise ConfigurationError("transfer size must be non-negative")
+        counters = self._vm_rx
+        try:
+            counters[owner] += size_bytes
+        except KeyError:
+            counters[owner] = size_bytes
+        physical = size_bytes * self._amplification
+        self._charge(DOM0_OWNER, physical * self._cycles_per_byte)
+        return self.nic.receive(now, DOM0_OWNER, physical)
 
     def transmit(self, now: float, owner: str, size_bytes: float) -> float:
         """Egress from a guest through the bridge; returns completion time."""
-        return self._transfer(now, owner, size_bytes, ingress=False)
-
-    def _transfer(
-        self, now: float, owner: str, size_bytes: float, ingress: bool
-    ) -> float:
         if size_bytes < 0:
             raise ConfigurationError("transfer size must be non-negative")
-        counters = self._vm_rx if ingress else self._vm_tx
-        counters[owner] = counters.get(owner, 0.0) + size_bytes
-        physical = size_bytes * self.overhead.net_amplification
-        self.cpu.charge(DOM0_OWNER, physical * self.overhead.net_cycles_per_byte)
-        if ingress:
-            return self.nic.receive(now, DOM0_OWNER, physical)
+        counters = self._vm_tx
+        try:
+            counters[owner] += size_bytes
+        except KeyError:
+            counters[owner] = size_bytes
+        physical = size_bytes * self._amplification
+        self._charge(DOM0_OWNER, physical * self._cycles_per_byte)
         return self.nic.transmit(now, DOM0_OWNER, physical)

@@ -57,6 +57,9 @@ class CreditScheduler:
         self.total_cores = float(total_cores)
         self.last_decision = SchedulerDecision(total_cores=self.total_cores)
         self.epochs = 0
+        # name -> speed fraction of the last epoch; fractions only change
+        # at epoch boundaries but are read at every service start.
+        self._fractions: Dict[str, float] = {}
 
     def allocate(self, domains: Iterable[Domain]) -> SchedulerDecision:
         """Allocate cores to ``domains`` for the next epoch."""
@@ -103,9 +106,15 @@ class CreditScheduler:
             total_cores=self.total_cores,
         )
         self.last_decision = decision
+        self._fractions = {
+            name: decision.speed_fraction(name) for name in demands
+        }
         self.epochs += 1
         return decision
 
     def speed_fraction(self, domain_name: str) -> float:
         """Speed fraction from the most recent epoch."""
-        return self.last_decision.speed_fraction(domain_name)
+        fraction = self._fractions.get(domain_name)
+        if fraction is None:
+            return self.last_decision.speed_fraction(domain_name)
+        return fraction

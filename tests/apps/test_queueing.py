@@ -14,9 +14,9 @@ def run_jobs(sim, station, arrivals, service_time):
 
     def submit(index):
         station.submit(
-            index, lambda: service_time, lambda job: completions.__setitem__(
-                job, sim.now
-            )
+            index,
+            lambda job: service_time,
+            lambda job: completions.__setitem__(job, sim.now),
         )
 
     for i, t in enumerate(arrivals):
@@ -52,9 +52,9 @@ class TestMultiWorker:
 class TestObservability:
     def test_backlog_and_occupancy(self, sim):
         station = QueueingStation(sim, "s", workers=1)
-        station.submit("a", lambda: 5.0, lambda j: None)
-        station.submit("b", lambda: 5.0, lambda j: None)
-        station.submit("c", lambda: 5.0, lambda j: None)
+        station.submit("a", lambda j: 5.0, lambda j: None)
+        station.submit("b", lambda j: 5.0, lambda j: None)
+        station.submit("c", lambda j: 5.0, lambda j: None)
         assert station.in_service == 1
         assert station.backlog == 2
         assert station.occupancy == 3
@@ -62,7 +62,7 @@ class TestObservability:
     def test_window_peak_resets_after_read(self, sim):
         station = QueueingStation(sim, "s", workers=1)
         for name in "abc":
-            station.submit(name, lambda: 10.0, lambda j: None)
+            station.submit(name, lambda j: 10.0, lambda j: None)
         assert station.take_window_peak() == 3
         # After reading, the peak restarts from current occupancy.
         assert station.take_window_peak() == 3  # still 3 jobs in system
@@ -70,7 +70,7 @@ class TestObservability:
     def test_window_peak_sees_transient_burst(self, sim):
         station = QueueingStation(sim, "s", workers=4)
         for i in range(8):
-            station.submit(i, lambda: 0.001, lambda j: None)
+            station.submit(i, lambda j: 0.001, lambda j: None)
         sim.run_until(1.0)  # burst fully drained
         assert station.occupancy == 0
         assert station.take_window_peak() == 8
@@ -92,7 +92,7 @@ class TestObservability:
             on_start=lambda: events.append("start"),
             on_finish=lambda: events.append("finish"),
         )
-        station.submit("a", lambda: 1.0, lambda j: None)
+        station.submit("a", lambda j: 1.0, lambda j: None)
         sim.run_until(2.0)
         assert events == ["start", "finish"]
 
@@ -106,7 +106,7 @@ class TestValidation:
         station = QueueingStation(sim, "s", workers=1)
         # Dispatch is synchronous, so the bad duration surfaces at submit.
         with pytest.raises(ConfigurationError):
-            station.submit("a", lambda: -1.0, lambda j: None)
+            station.submit("a", lambda j: -1.0, lambda j: None)
 
 
 class TestStationProperties:

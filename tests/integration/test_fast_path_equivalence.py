@@ -1,0 +1,77 @@
+"""End-to-end equivalence of the optimized engine against the seed loop.
+
+The performance work (inlined run_until, fused pop, compiled registry,
+precomputed demand profiles) must not move a single sample: running a
+full scenario under the original peek/step formulation of ``run_until``
+has to produce identical traces, identical full-registry rows, and the
+same event count as the fast path.
+"""
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import scenario
+from repro.sim.engine import Simulator
+
+
+def reference_run_until(self, end_time):
+    """The seed engine's run_until: peek the queue, bounds-check, step."""
+    if end_time < self.now:
+        raise SimulationError(
+            f"run_until({end_time}) is before now={self.now}"
+        )
+    self._running = True
+    self._stopped = False
+    try:
+        while not self._stopped:
+            next_time = self._queue.peek_time()
+            if next_time is None or next_time > end_time:
+                break
+            self.step()
+    finally:
+        self._running = False
+    if not self._stopped:
+        self.now = end_time
+
+
+class TestFastPathEquivalence:
+    def test_scenario_traces_identical_under_reference_loop(self, monkeypatch):
+        sc = scenario("virtualized", "browsing", duration_s=40.0, seed=13)
+        fast = run_scenario(sc, collect_full_registry=True)
+
+        monkeypatch.setattr(Simulator, "run_until", reference_run_until)
+        slow = run_scenario(sc, collect_full_registry=True)
+        monkeypatch.undo()
+
+        assert (
+            fast.deployment.sim.events_fired
+            == slow.deployment.sim.events_fired
+        )
+        for key in fast.traces.keys():
+            fast_series = fast.traces.get(*key)
+            slow_series = slow.traces.get(*key)
+            assert np.array_equal(
+                fast_series.times, slow_series.times
+            ), f"times diverged for {key}"
+            assert np.array_equal(
+                fast_series.values, slow_series.values
+            ), f"values diverged for {key}"
+        assert len(fast.full_rows) == len(slow.full_rows)
+        for fast_row, slow_row in zip(fast.full_rows, slow.full_rows):
+            assert fast_row == slow_row
+        assert fast.requests_completed == slow.requests_completed
+
+    def test_bare_metal_equivalence(self, monkeypatch):
+        sc = scenario("bare-metal", "bidding", duration_s=40.0, seed=5)
+        fast = run_scenario(sc)
+
+        monkeypatch.setattr(Simulator, "run_until", reference_run_until)
+        slow = run_scenario(sc)
+        monkeypatch.undo()
+
+        for key in fast.traces.keys():
+            assert np.array_equal(
+                fast.traces.get(*key).values,
+                slow.traces.get(*key).values,
+            ), f"series {key} diverged"

@@ -1,0 +1,99 @@
+"""Columnar full-registry storage: container semantics and recorder parity."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MonitoringError
+from repro.monitoring.columnar import ColumnarRows
+
+
+class TestColumnarRows:
+    def test_append_and_column_views(self):
+        table = ColumnarRows(["time_s", "a", "b"])
+        table.append_row([0.0, 1.0, 2.0])
+        table.append_row([2.0, 3.0, 4.0])
+        assert len(table) == 2
+        assert list(table.column("a")) == [1.0, 3.0]
+        assert list(table.column("time_s")) == [0.0, 2.0]
+
+    def test_growth_preserves_rows(self):
+        table = ColumnarRows(["t", "x"])
+        for i in range(500):
+            table.append_row([float(i), float(2 * i)])
+        assert len(table) == 500
+        assert np.array_equal(
+            table.column("x"), 2.0 * np.arange(500, dtype=float)
+        )
+
+    def test_rows_round_trip_as_dicts(self):
+        table = ColumnarRows(["t", "x"])
+        table.append_row([1.0, 10.0])
+        assert table.rows() == [{"t": 1.0, "x": 10.0}]
+        assert table.row(0)["x"] == 10.0
+
+    def test_matrix_view_read_only(self):
+        table = ColumnarRows(["t", "x"])
+        table.append_row([1.0, 2.0])
+        with pytest.raises(ValueError):
+            table.matrix()[0, 0] = 9.0
+        with pytest.raises(ValueError):
+            table.column("x")[0] = 9.0
+
+    def test_validation(self):
+        with pytest.raises(MonitoringError):
+            ColumnarRows([])
+        with pytest.raises(MonitoringError):
+            ColumnarRows(["a", "a"])
+        table = ColumnarRows(["a", "b"])
+        with pytest.raises(MonitoringError):
+            table.append_row([1.0])
+        with pytest.raises(MonitoringError):
+            table.column("missing")
+        with pytest.raises(MonitoringError):
+            table.row(0)
+
+
+class TestRecorderColumnarParity:
+    def test_columnar_rows_match_dict_rows_bit_for_bit(self):
+        # Two identical runs of one scenario, differing only in storage
+        # format, must produce the same samples: the columnar path reuses
+        # the same compiled derivations in the same order, so the noise
+        # stream is untouched.
+        from repro.experiments.runner import run_scenario
+        from repro.experiments.scenarios import scenario
+
+        sc = scenario("virtualized", "browsing", duration_s=20.0, seed=11)
+        dict_run = run_scenario(sc, collect_full_registry=True)
+        col_run = run_scenario(
+            sc, collect_full_registry=True, columnar_rows=True
+        )
+        assert dict_run.full_rows, "dict-mode run produced no samples"
+        assert col_run.full_rows == []  # opt-in replaces the dict rows
+        reconstructed = col_run.columnar.rows()
+        assert len(reconstructed) == len(dict_run.full_rows)
+        for got, expected in zip(reconstructed, dict_run.full_rows):
+            assert got == expected
+
+    def test_columnar_requires_full_registry(self):
+        from repro.monitoring.sampler import TraceRecorder
+        from repro.sim.engine import Simulator
+
+        class FakeProbe:
+            entity = "x"
+            mem_total_bytes = 1.0
+            capacity_cycles_per_s = 1.0
+            virtualized = False
+
+            def snapshot(self):
+                from repro.monitoring.probes import RawCounters
+
+                return RawCounters(0, 0, 0, 0, 0, 0, 0)
+
+        with pytest.raises(MonitoringError):
+            TraceRecorder(
+                Simulator(),
+                [FakeProbe()],
+                environment="e",
+                workload="w",
+                columnar_rows=True,
+            )

@@ -1,0 +1,125 @@
+"""Buffer semantics of the preallocated TimeSeries storage.
+
+The series keeps amortized-growth float64 buffers with cached read-only
+views; these tests pin the view-invalidation contract (satellite of the
+vectorized-telemetry work) and the no-roundtrip transform paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.monitoring.timeseries import TimeSeries, TraceSet
+
+
+class TestCachedViews:
+    def test_view_is_cached_between_reads(self):
+        series = TimeSeries("s")
+        series.append(0.0, 1.0)
+        assert series.values is series.values
+        assert series.times is series.times
+
+    def test_append_invalidates_cached_views(self):
+        series = TimeSeries("s")
+        series.append(0.0, 1.0)
+        before = series.values
+        series.append(2.0, 5.0)
+        after = series.values
+        assert len(before) == 1  # old view keeps its snapshot length
+        assert len(after) == 2
+        assert after[-1] == 5.0
+        assert series.times[-1] == 2.0
+
+    def test_views_are_read_only(self):
+        series = TimeSeries("s")
+        series.append(0.0, 1.0)
+        with pytest.raises(ValueError):
+            series.values[0] = 99.0
+        with pytest.raises(ValueError):
+            series.times[0] = 99.0
+
+    def test_old_view_survives_buffer_growth(self):
+        series = TimeSeries("s")
+        series.append(0.0, 0.0)
+        view = series.values
+        # Push well past the initial capacity so the buffer reallocates.
+        for i in range(1, 500):
+            series.append(2.0 * i, float(i))
+        assert list(view) == [0.0]  # snapshot unaffected by growth
+        assert len(series) == 500
+        assert series.values[-1] == 499.0
+
+    def test_growth_preserves_all_samples(self):
+        series = TimeSeries("s")
+        n = 1000
+        for i in range(n):
+            series.append(float(i), float(2 * i))
+        assert np.array_equal(series.times, np.arange(n, dtype=float))
+        assert np.array_equal(
+            series.values, 2.0 * np.arange(n, dtype=float)
+        )
+
+
+class TestArrayConstruction:
+    def test_constructor_accepts_numpy_arrays_directly(self):
+        times = np.array([0.0, 2.0, 4.0])
+        values = np.array([1.0, 2.0, 3.0])
+        series = TimeSeries("s", "u", times, values)
+        assert np.array_equal(series.times, times)
+        assert np.array_equal(series.values, values)
+
+    def test_constructor_copies_its_input(self):
+        times = np.array([0.0, 2.0])
+        values = np.array([1.0, 2.0])
+        series = TimeSeries("s", "u", times, values)
+        values[0] = 99.0
+        assert series.values[0] == 1.0
+
+    def test_constructor_accepts_generators(self):
+        series = TimeSeries(
+            "s", "u", (float(i) for i in range(3)), iter([5.0, 6.0, 7.0])
+        )
+        assert list(series.values) == [5.0, 6.0, 7.0]
+
+    def test_append_after_array_construction(self):
+        series = TimeSeries("s", "u", [0.0, 2.0], [1.0, 2.0])
+        series.append(4.0, 3.0)
+        assert list(series.values) == [1.0, 2.0, 3.0]
+        with pytest.raises(AnalysisError):
+            series.append(3.0, 9.0)  # still monotonic-checked
+
+
+class TestTransformsStayArrayNative:
+    def make(self):
+        series = TimeSeries("s", "u")
+        for i in range(10):
+            series.append(2.0 * i, float(i))
+        return series
+
+    def test_sliced_returns_float64_and_appendable(self):
+        sub = self.make().sliced(4.0, 12.0)
+        assert sub.values.dtype == np.float64
+        assert list(sub.values) == [2.0, 3.0, 4.0, 5.0]
+        sub.append(100.0, 42.0)  # adopted arrays stay appendable
+        assert len(sub) == 5
+
+    def test_scaled_does_not_alias_source(self):
+        series = self.make()
+        scaled = series.scaled(10.0)
+        scaled.append(100.0, 1.0)
+        assert len(series) == 10
+        assert series.values[-1] == 9.0
+
+    def test_without_warmup_matches_mask(self):
+        trimmed = self.make().without_warmup(10.0)
+        assert list(trimmed.times) == [10.0, 12.0, 14.0, 16.0, 18.0]
+
+    def test_aggregate_appendable_and_exact(self):
+        traces = TraceSet("env", "wl", 2.0)
+        traces.add("a", "r", TimeSeries("a", "u", [0.0, 2.0], [1.0, 2.0]))
+        traces.add("b", "r", TimeSeries("b", "u", [0.0, 2.0], [0.5, 0.5]))
+        total = traces.aggregate(["a", "b"], "r")
+        assert list(total.values) == [1.5, 2.5]
+        # The aggregate owns its buffers: mutating it must not leak back.
+        total.append(4.0, 9.0)
+        assert len(traces.get("a", "r")) == 2

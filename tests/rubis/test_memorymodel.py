@@ -76,7 +76,7 @@ class TestLevelProcess:
 class TestBacklogJumps:
     def _saturate(self, station, jobs):
         for i in range(jobs):
-            station.submit(i, lambda: 100.0, lambda j: None)
+            station.submit(i, lambda j: 100.0, lambda j: None)
 
     def test_jump_on_backlog(self):
         sim = Simulator()

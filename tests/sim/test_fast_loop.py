@@ -1,0 +1,214 @@
+"""Fast-path engine semantics: inlined run_until, compaction, bookkeeping.
+
+The optimized run loop must be observationally identical to the simple
+peek/step formulation the engine started with; these tests pin that
+equivalence plus the event-queue invariants the fast path relies on
+(dead-entry accounting, compaction order preservation, cancellation-
+heavy bookkeeping).
+"""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim.engine import Simulator
+from repro.sim.events import EventQueue
+
+
+def _noop():
+    pass
+
+
+def reference_run_until(sim: Simulator, end_time: float) -> None:
+    """The seed engine's loop: peek, bounds-check, step."""
+    while True:
+        next_time = sim._queue.peek_time()
+        if next_time is None or next_time > end_time:
+            break
+        sim.step()
+    sim.now = end_time
+
+
+def _build_schedule(sim: Simulator, log: list) -> None:
+    """A mixed workload: ties, priorities, cancellations, re-scheduling."""
+    for i in range(50):
+        sim.schedule(0.1 * (i % 7), log.append, ("a", i), priority=5 + i % 3)
+    for i in range(50):
+        event = sim.schedule(0.05 * i, log.append, ("b", i))
+        if i % 3 == 0:
+            sim.cancel(event)
+    # Same-time ties must fire in scheduling order.
+    for i in range(10):
+        sim.schedule(1.0, log.append, ("tie", i))
+
+    def reschedule():
+        log.append(("resched",))
+        sim.schedule(0.5, log.append, ("late",))
+
+    sim.schedule(0.2, reschedule)
+
+
+class TestRunUntilEquivalence:
+    def test_same_firing_order_as_reference_loop(self):
+        fast_log, ref_log = [], []
+        fast, ref = Simulator(), Simulator()
+        _build_schedule(fast, fast_log)
+        _build_schedule(ref, ref_log)
+
+        fast.run_until(2.0)
+        reference_run_until(ref, 2.0)
+
+        assert fast_log == ref_log
+        assert fast.events_fired == ref.events_fired
+        assert fast.now == ref.now == 2.0
+        assert fast.pending_events == ref.pending_events
+
+    def test_events_beyond_horizon_stay_queued(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(3.0, fired.append, 3)
+        sim.run_until(2.0)
+        assert fired == [1]
+        assert sim.pending_events == 1
+        sim.run_until(4.0)
+        assert fired == [1, 3]
+
+    def test_stop_inside_callback_halts_loop(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(2.0, sim.stop)
+        sim.schedule(3.0, fired.append, 3)
+        sim.run_until(10.0)
+        assert fired == [1]
+        assert sim.now == 2.0  # clock stays at the stopping event
+
+    def test_events_fired_visible_after_run(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i), _noop)
+        sim.run_until(10.0)
+        assert sim.events_fired == 5
+
+
+class TestHeapCompaction:
+    def test_compaction_triggered_by_cancellation_pressure(self):
+        queue = EventQueue()
+        keep = [queue.push(float(i), _noop) for i in range(10)]
+        victims = [queue.push(1000.0 + i, _noop) for i in range(200)]
+        for event in victims:
+            event.cancel()
+            queue.note_cancelled(event)
+        assert queue.compactions >= 1
+        # Invariant: dead entries never exceed the compaction threshold
+        # or the live count for long.
+        assert queue.dead_entries <= max(
+            EventQueue.COMPACT_MIN_DEAD, len(queue)
+        )
+        assert len(queue) == len(keep)
+
+    def test_compaction_preserves_time_priority_seq_order(self):
+        queue = EventQueue()
+        events = []
+        # Interleave priorities and ties so ordering is non-trivial.
+        for i in range(300):
+            events.append(
+                queue.push(float(i % 13), _noop, priority=i % 5)
+            )
+        for i, event in enumerate(events):
+            if i % 2 == 0:
+                event.cancel()
+                queue.note_cancelled(event)
+        queue.compact()
+        expected = sorted(
+            (e for e in events if not e.cancelled),
+            key=lambda e: e.sort_key(),
+        )
+        popped = [queue.pop() for _ in range(len(queue))]
+        assert popped == expected
+
+    def test_explicit_compact_on_clean_queue_is_safe(self):
+        queue = EventQueue()
+        queue.push(1.0, _noop)
+        queue.compact()
+        assert len(queue) == 1
+        assert queue.pop().time == 1.0
+
+
+class TestCancellationBookkeeping:
+    def test_note_cancelled_is_idempotent(self):
+        queue = EventQueue()
+        queue.push(1.0, _noop)
+        victim = queue.push(2.0, _noop)
+        victim.cancel()
+        queue.note_cancelled(victim)
+        queue.note_cancelled(victim)  # a second holder of the handle
+        assert len(queue) == 1
+
+    def test_unnoted_cancellation_corrects_len_on_discard(self):
+        # Regression: event.cancel() without note_cancelled used to leave
+        # len() overcounting forever.
+        queue = EventQueue()
+        victim = queue.push(1.0, _noop)
+        survivor = queue.push(2.0, _noop)
+        victim.cancel()  # behind the queue's back
+        assert queue.pop() is survivor  # discard fixes the live count
+        assert len(queue) == 0
+
+    def test_unnoted_cancellation_corrected_by_peek(self):
+        queue = EventQueue()
+        victim = queue.push(1.0, _noop)
+        queue.push(5.0, _noop)
+        victim.cancel()
+        assert queue.peek_time() == 5.0
+        assert len(queue) == 1
+
+    def test_unnoted_cancellation_corrected_by_compact(self):
+        queue = EventQueue()
+        victims = [queue.push(float(i), _noop) for i in range(10)]
+        for event in victims:
+            event.cancel()  # never noted
+        queue.compact()
+        assert len(queue) == 0
+        assert queue.peek_time() is None
+
+    def test_cancellation_heavy_workload_drains_clean(self):
+        # Burst-wave pattern: re-arm timers constantly, cancelling the
+        # previous one each time.
+        sim = Simulator()
+        fired = []
+        pending = None
+        for i in range(500):
+            if pending is not None:
+                sim.cancel(pending)
+            pending = sim.schedule(1000.0 + i, fired.append, i)
+            sim.schedule(0.001 * (i + 1), _noop)
+        sim.run_until(1.0)
+        assert fired == []  # all far-future timers were cancelled but one
+        assert sim.pending_events == 1
+        sim.run_until(2000.0)
+        assert fired == [499]
+        assert sim.pending_events == 0
+        assert sim._queue.dead_entries == 0
+
+    def test_pop_ready_leaves_future_events(self):
+        queue = EventQueue()
+        queue.push(1.0, _noop)
+        queue.push(5.0, _noop)
+        assert queue.pop_ready(2.0).time == 1.0
+        assert queue.pop_ready(2.0) is None
+        assert len(queue) == 1  # the 5.0 event was not consumed
+        assert queue.pop_ready(10.0).time == 5.0
+
+    def test_pop_ready_discards_cancelled_heads(self):
+        queue = EventQueue()
+        victim = queue.push(1.0, _noop)
+        survivor = queue.push(2.0, _noop)
+        victim.cancel()
+        queue.note_cancelled(victim)
+        assert queue.pop_ready(10.0) is survivor
+        assert queue.dead_entries == 0
+
+    def test_pop_empty_still_raises(self):
+        with pytest.raises(SchedulingError):
+            EventQueue().pop()
