@@ -8,15 +8,23 @@ paper reports (per-series statistics, fitted marginals, RAM jumps,
 inter-tier lag, demand ratios).
 
 Run:  python examples/quickstart.py
+Quick mode (CI):  REPRO_EXAMPLE_QUICK=1 python examples/quickstart.py
 """
+
+import os
 
 from repro import characterize_trace_set, render_characterization_report
 from repro.experiments.runner import run_scenario
 from repro.experiments.scenarios import scenario
 
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK", "").strip() in (
+    "1", "true", "yes",
+)
+
 
 def main() -> None:
-    spec = scenario("virtualized", "browsing", duration_s=120.0)
+    duration_s = 60.0 if QUICK else 120.0
+    spec = scenario("virtualized", "browsing", duration_s=duration_s)
     print(f"running {spec.name}: {spec.mix.clients} clients, "
           f"{spec.mix.think_time_s:.0f}s think time, "
           f"{spec.duration_s:.0f}s simulated ...")

@@ -14,7 +14,9 @@ The library has three layers:
    statistics, distribution fitting, inter-tier lag, RAM-jump
    detection, demand-ratio tables, formal workload models
    (:mod:`repro.analysis`), plus the capacity-planning layer the paper
-   motivates (:mod:`repro.planning`).
+   motivates (:mod:`repro.planning`) and the open-loop traffic
+   subsystem that replays and model-synthesizes offered-load traces
+   (:mod:`repro.traffic`).
 
 Quick start::
 
@@ -72,9 +74,18 @@ from repro.planning import (
     plan_capacity,
     project_workload,
 )
+from repro.traffic import (
+    OpenLoopDriver,
+    RateTrace,
+    TrafficSpec,
+    fit_rate_models,
+    synthesize_rate_trace,
+)
 from repro.experiments import (
     ExperimentResult,
     compare_with_paper,
+    flash_crowd_scenario,
+    open_loop_scenario,
     paper_scenarios,
     qualitative_checks,
     run_scenario,
@@ -132,8 +143,16 @@ __all__ = [
     "SlaTarget",
     "evaluate_sla",
     "project_workload",
+    # traffic
+    "OpenLoopDriver",
+    "RateTrace",
+    "TrafficSpec",
+    "synthesize_rate_trace",
+    "fit_rate_models",
     # experiments
     "scenario",
+    "open_loop_scenario",
+    "flash_crowd_scenario",
     "paper_scenarios",
     "run_scenario",
     "run_scenario_cached",

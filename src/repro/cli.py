@@ -4,13 +4,19 @@ Three subcommands cover the library's headline workflows::
 
     python -m repro run --environment virtualized --composition browsing \
         --duration 120 --export-csv traces.csv
+    python -m repro run --traffic poisson --rate 500 --duration 120
+    python -m repro run --traffic trace:offered.csv --session-budget 2000
     python -m repro compare --duration 240
     python -m repro table1
 
 ``run`` executes one scenario and prints the characterization report;
-``compare`` reproduces the paper's Section 4.1/4.2 comparison (the four
-ratio tables plus the Q1-Q5 findings); ``table1`` prints the metric
-catalogue sample.
+``--traffic`` swaps the closed-loop client population for an open-loop
+arrival stream (``poisson``, ``mmpp``, ``bmodel`` or ``trace:<path>``),
+``--scale`` stress-multiplies horizon and clients, and ``--columnar``
+collects the full 518-metric registry into per-metric arrays
+(exportable with ``--export-columnar``).  ``compare`` reproduces the
+paper's Section 4.1/4.2 comparison (the four ratio tables plus the
+Q1-Q5 findings); ``table1`` prints the metric catalogue sample.
 """
 
 from __future__ import annotations
@@ -25,11 +31,17 @@ from repro.analysis.report import (
     render_ratio_table,
 )
 from repro.config import ExperimentConfig
+from repro.errors import ConfigurationError
 from repro.experiments.compare import compare_with_paper, qualitative_checks
 from repro.experiments.runner import run_scenario, run_scenario_cached
 from repro.experiments.scenarios import scenario
 from repro.experiments.tables import render_table1
-from repro.monitoring.export import write_trace_csv, write_trace_json
+from repro.monitoring.export import (
+    write_columnar_csv,
+    write_columnar_npz,
+    write_trace_csv,
+    write_trace_json,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -52,6 +64,33 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="simulated seconds (default 240)")
     run_parser.add_argument("--seed", type=int, default=42)
     run_parser.add_argument("--clients", type=int, default=None)
+    run_parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="stress multiplier on horizon and clients (default 1)",
+    )
+    run_parser.add_argument(
+        "--traffic", default="closed", metavar="KIND",
+        help="traffic driver: closed (default), poisson, mmpp, bmodel "
+             "or trace:<path>",
+    )
+    run_parser.add_argument(
+        "--rate", type=float, default=None, metavar="RPS",
+        help="open-loop base request rate (default: clients/think_time)",
+    )
+    run_parser.add_argument(
+        "--session-budget", type=int, default=None, metavar="N",
+        help="open-loop concurrent-session cap (arrivals beyond it are "
+             "shed and reported)",
+    )
+    run_parser.add_argument(
+        "--columnar", action="store_true",
+        help="collect the full 518-metric registry as per-metric arrays",
+    )
+    run_parser.add_argument(
+        "--export-columnar", default=None, metavar="PATH",
+        help="write the columnar samples to PATH (.csv or .npz; "
+             "requires --columnar)",
+    )
     run_parser.add_argument("--export-csv", default=None, metavar="PATH")
     run_parser.add_argument("--export-json", default=None, metavar="PATH")
     run_parser.add_argument(
@@ -70,25 +109,59 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.export_columnar and not args.columnar:
+        raise ConfigurationError("--export-columnar requires --columnar")
     config = ExperimentConfig(
         environment=args.environment,
         composition=args.composition,
         duration_s=args.duration,
         seed=args.seed,
         clients=args.clients,
+        scale=args.scale,
+        traffic=args.traffic,
+        rate_rps=args.rate,
+        session_budget=args.session_budget,
+        collect_full_registry=args.columnar,
     )
     spec = config.to_scenario()
+    if spec.open_loop:
+        if spec.traffic.kind == "trace" and spec.traffic.rate_rps is None:
+            # The replay rate comes from the trace file, not the mix.
+            driver_label = (
+                f"open-loop replay of {spec.traffic.trace_path}"
+            )
+        else:
+            driver_label = (
+                f"open-loop {spec.traffic.kind} @ "
+                f"{spec.traffic.effective_rate_rps(spec.mix):.1f} arrivals/s"
+            )
+    else:
+        driver_label = f"{spec.mix.clients} clients closed-loop"
     print(
-        f"running {spec.name}: {spec.mix.clients} clients, "
+        f"running {spec.name}: {driver_label}, "
         f"{spec.duration_s:.0f}s simulated",
         file=sys.stderr,
     )
-    result = run_scenario(spec)
+    result = run_scenario(
+        spec,
+        collect_full_registry=args.columnar,
+        columnar_rows=args.columnar,
+    )
     print(
         f"completed {result.requests_completed} requests "
         f"(X={result.throughput_rps:.1f} req/s, mean response "
         f"{result.mean_response_time_s * 1000:.1f} ms)"
     )
+    if result.traffic_report is not None:
+        report = result.traffic_report
+        duration = spec.duration_s
+        print(
+            f"open-loop traffic: {report['offered']} arrivals offered "
+            f"({report['offered'] / duration:.1f}/s), "
+            f"{report['admitted']} admitted, {report['shed']} shed "
+            f"({report['shed_fraction']:.1%}); arrival trace sha256 "
+            f"{result.arrival_trace.sha256()[:16]}"
+        )
     if not args.no_report:
         # Clamp the warm-up so very short runs keep enough samples.
         warmup_s = min(30.0, spec.duration_s / 4.0)
@@ -102,6 +175,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.export_json:
         write_trace_json(result.traces, args.export_json)
         print(f"traces written to {args.export_json}", file=sys.stderr)
+    if args.columnar and result.columnar is not None:
+        print(
+            f"columnar samples: {len(result.columnar)} ticks x "
+            f"{len(result.columnar.columns)} columns",
+            file=sys.stderr,
+        )
+    if args.export_columnar:
+        if args.export_columnar.lower().endswith(".npz"):
+            write_columnar_npz(result.columnar, args.export_columnar)
+        else:
+            write_columnar_csv(result.columnar, args.export_columnar)
+        print(
+            f"columnar samples written to {args.export_columnar}",
+            file=sys.stderr,
+        )
     return 0
 
 

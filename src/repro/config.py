@@ -17,9 +17,11 @@ from repro.experiments.scenarios import (
     ENVIRONMENTS,
     Scenario,
     default_duration_s,
+    open_loop_scenario,
     scenario,
 )
 from repro.rubis.workload import PAPER_COMPOSITIONS
+from repro.traffic.spec import TrafficSpec
 
 
 @dataclass(frozen=True)
@@ -31,6 +33,16 @@ class ExperimentConfig:
     duration_s: Optional[float] = None
     seed: int = 42
     clients: Optional[int] = None
+    #: Stress multiplier on horizon and clients (see ``scenario(scale=)``).
+    scale: float = 1.0
+    #: Traffic driver token: "closed" (default), "poisson", "mmpp",
+    #: "bmodel" or "trace:<path>" — the CLI ``--traffic`` syntax.
+    traffic: Optional[str] = None
+    #: Base offered rate for open-loop traffic (req/s; default: matched
+    #: to the closed-loop long-run rate).
+    rate_rps: Optional[float] = None
+    #: Concurrent-session cap for open-loop traffic (overload shedding).
+    session_budget: Optional[int] = None
     collect_full_registry: bool = False
     metadata: dict = field(default_factory=dict)
 
@@ -49,17 +61,58 @@ class ExperimentConfig:
             raise ConfigurationError("duration_s must be positive")
         if self.clients is not None and self.clients < 1:
             raise ConfigurationError("clients must be >= 1")
+        if self.scale <= 0:
+            raise ConfigurationError("scale must be positive")
+        if self.rate_rps is not None and self.rate_rps <= 0:
+            raise ConfigurationError("rate_rps must be positive")
+        # Validate the traffic token eagerly so bad configs fail at
+        # construction, not at run time.
+        if self.traffic_spec() is None:
+            # Closed loop: reject open-loop-only knobs instead of
+            # silently running at a different offered load.
+            if self.rate_rps is not None:
+                raise ConfigurationError(
+                    "rate_rps requires an open-loop --traffic kind "
+                    "(poisson, mmpp, bmodel or trace:<path>)"
+                )
+            if self.session_budget is not None:
+                raise ConfigurationError(
+                    "session_budget requires an open-loop --traffic kind"
+                )
 
     # -- scenario construction ------------------------------------------
 
+    def traffic_spec(self) -> Optional[TrafficSpec]:
+        """The parsed traffic spec, or None for the closed loop."""
+        if self.traffic is None:
+            return None
+        spec = TrafficSpec.from_cli_string(
+            self.traffic,
+            rate_rps=self.rate_rps,
+            session_budget=self.session_budget,
+        )
+        return spec if spec.open_loop else None
+
     def to_scenario(self) -> Scenario:
         """The runnable scenario this configuration describes."""
+        traffic = self.traffic_spec()
+        if traffic is not None:
+            return open_loop_scenario(
+                self.environment,
+                self.composition,
+                duration_s=self.duration_s,
+                seed=self.seed,
+                clients=self.clients,
+                scale=self.scale,
+                traffic=traffic,
+            )
         return scenario(
             self.environment,
             self.composition,
             duration_s=self.duration_s,
             seed=self.seed,
             clients=self.clients,
+            scale=self.scale,
         )
 
     @property
@@ -84,6 +137,10 @@ class ExperimentConfig:
             "duration_s",
             "seed",
             "clients",
+            "scale",
+            "traffic",
+            "rate_rps",
+            "session_budget",
             "collect_full_registry",
             "metadata",
         }

@@ -31,6 +31,8 @@ from repro.experiments.calibration import (
 from repro.experiments.scenarios import (
     Scenario,
     default_duration_s,
+    flash_crowd_scenario,
+    open_loop_scenario,
     paper_scenarios,
     scenario,
 )
@@ -57,6 +59,8 @@ __all__ = [
     "calibrate_bare_metal",
     "Scenario",
     "scenario",
+    "open_loop_scenario",
+    "flash_crowd_scenario",
     "paper_scenarios",
     "default_duration_s",
     "ExperimentResult",

@@ -32,6 +32,9 @@ from repro.rubis.transitions import bidding_matrix, browsing_matrix
 from repro.rubis.workload import SessionType
 from repro.sim.engine import Simulator
 from repro.sim.random import RandomStreams
+from repro.traffic.driver import ArrivalMeter, OpenLoopDriver
+from repro.traffic.spec import build_driver as build_traffic_driver
+from repro.traffic.trace import RateTrace
 from repro.experiments.calibration import (
     CalibratedEnvironment,
     calibrate_bare_metal,
@@ -50,15 +53,27 @@ class ExperimentResult:
     requests_completed: int
     mean_response_time_s: float
     deployment: Deployment = field(repr=False, default=None)
-    population: ClientPopulation = field(repr=False, default=None)
+    #: The traffic driver: a ClientPopulation (closed loop) or an
+    #: OpenLoopDriver (open loop).
+    population: object = field(repr=False, default=None)
     full_rows: list = field(repr=False, default_factory=list)
     #: Full-registry samples as per-metric arrays (only populated when
     #: the run was made with ``columnar_rows=True``).
     columnar: object = field(repr=False, default=None)
+    #: Per-interval offered request rate (open-loop runs always; closed
+    #: loop only when run with ``meter_arrivals=True``).
+    arrival_trace: Optional[RateTrace] = field(repr=False, default=None)
+    #: Open-loop overload report (offered/admitted/shed counters).
+    traffic_report: Optional[dict] = None
 
     @property
     def throughput_rps(self) -> float:
         return self.requests_completed / self.scenario.duration_s
+
+    @property
+    def open_loop(self) -> bool:
+        """True when an OpenLoopDriver produced this result."""
+        return isinstance(self.population, OpenLoopDriver)
 
 
 _calibration_cache: Dict[str, CalibratedEnvironment] = {}
@@ -101,6 +116,7 @@ def run_scenario(
     collect_full_registry: bool = False,
     registry: Optional[MetricRegistry] = None,
     columnar_rows: bool = False,
+    meter_arrivals: bool = False,
 ) -> ExperimentResult:
     """Run one scenario end to end and return its result.
 
@@ -110,6 +126,16 @@ def run_scenario(
     ``result.columnar`` instead of one dict per tick in
     ``result.full_rows`` — the storage that scales to hour-long
     horizons.
+
+    Open-loop scenarios (``scenario.traffic``) are driven by an
+    :class:`~repro.traffic.driver.OpenLoopDriver` instead of the
+    closed-loop client population and always produce
+    ``result.arrival_trace`` and ``result.traffic_report``.  For
+    closed-loop runs, ``meter_arrivals=True`` wraps the send path in an
+    arrival counter so the run yields the same per-interval offered
+    rate trace (the input to model fitting and open-loop replay); it
+    draws no randomness and schedules no events, so traces are
+    bit-identical with and without it.
     """
     sim = Simulator()
     streams = RandomStreams(seed=scenario.seed)
@@ -119,14 +145,31 @@ def run_scenario(
         SessionType.BROWSE: browsing_matrix(),
         SessionType.BID: bidding_matrix(),
     }
-    population = ClientPopulation(
-        sim,
-        scenario.mix,
-        deployment.send,
-        streams.stream("clients"),
-        matrices,
-        ramp_s=scenario.ramp_s,
-    )
+    traffic = scenario.traffic
+    meter: Optional[ArrivalMeter] = None
+    if traffic is not None and traffic.open_loop:
+        population = build_traffic_driver(
+            traffic,
+            sim,
+            scenario.mix,
+            deployment.send,
+            streams,
+            matrices,
+        )
+        meter = population.meter
+    else:
+        send_fn = deployment.send
+        if meter_arrivals:
+            meter = ArrivalMeter()
+            send_fn = _metered_send(meter, sim, send_fn)
+        population = ClientPopulation(
+            sim,
+            scenario.mix,
+            send_fn,
+            streams.stream("clients"),
+            matrices,
+            ramp_s=scenario.ramp_s,
+        )
     deployment.population = population
 
     probes = [
@@ -174,7 +217,27 @@ def run_scenario(
         population=population,
         full_rows=recorder.full_rows,
         columnar=recorder.columnar,
+        arrival_trace=(
+            meter.to_rate_trace(scenario.duration_s)
+            if meter is not None
+            else None
+        ),
+        traffic_report=(
+            population.summary()
+            if isinstance(population, OpenLoopDriver)
+            else None
+        ),
     )
+
+
+def _metered_send(meter: ArrivalMeter, sim: Simulator, send_fn):
+    """Wrap a deployment send function to count offered arrivals."""
+
+    def metered(session, interaction, on_response):
+        meter.record(sim.now)
+        send_fn(session, interaction, on_response)
+
+    return metered
 
 
 _result_cache: Dict[tuple, ExperimentResult] = {}

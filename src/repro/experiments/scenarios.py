@@ -20,8 +20,8 @@ duration so short runs exhibit the same qualitative pattern:
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
 
 from repro.errors import ConfigurationError
 from repro.rubis.workload import (
@@ -30,6 +30,8 @@ from repro.rubis.workload import (
     SessionType,
     WorkloadMix,
 )
+from repro.traffic.shapes import FlashCrowdShape, RateShape
+from repro.traffic.spec import TrafficSpec
 
 VIRTUALIZED = "virtualized"
 BARE_METAL = "bare-metal"
@@ -49,7 +51,14 @@ def default_duration_s() -> float:
 
 @dataclass(frozen=True)
 class Scenario:
-    """One experiment run specification."""
+    """One experiment run specification.
+
+    ``traffic`` selects the traffic driver: None (or a closed-kind
+    spec) keeps the paper's closed-loop client population; any
+    open-loop :class:`~repro.traffic.spec.TrafficSpec` replaces it with
+    an arrival-process-driven :class:`~repro.traffic.driver.
+    OpenLoopDriver`.
+    """
 
     name: str
     environment: str
@@ -57,6 +66,7 @@ class Scenario:
     duration_s: float
     seed: int = 42
     ramp_s: float = 10.0
+    traffic: Optional[TrafficSpec] = None
 
     def __post_init__(self) -> None:
         if self.environment not in ENVIRONMENTS:
@@ -68,6 +78,11 @@ class Scenario:
             raise ConfigurationError("duration_s must be positive")
 
     @property
+    def open_loop(self) -> bool:
+        """True when an open-loop traffic spec drives this scenario."""
+        return self.traffic is not None and self.traffic.open_loop
+
+    @property
     def cache_key(self) -> tuple:
         return (
             self.name,
@@ -77,6 +92,7 @@ class Scenario:
             self.mix.think_time_s,
             self.duration_s,
             self.seed,
+            self.traffic,
         )
 
 
@@ -163,6 +179,125 @@ def scenario(
         duration_s=duration,
         seed=seed,
     )
+
+
+def open_loop_scenario(
+    environment: str = VIRTUALIZED,
+    composition: str = "browsing",
+    kind: str = "poisson",
+    rate_rps: float = None,
+    duration_s: float = None,
+    seed: int = 42,
+    clients: int = None,
+    scale: float = 1.0,
+    shape: Optional[RateShape] = None,
+    session_budget: int = None,
+    traffic: Optional[TrafficSpec] = None,
+) -> Scenario:
+    """An open-loop variant of one of the paper's scenarios.
+
+    The workload *content* (composition, demands, environment) is the
+    paper's; only the traffic driver changes: ``kind`` selects the
+    arrival process (``poisson``, ``mmpp``, ``bmodel`` or
+    ``trace:<path>`` — the CLI token syntax), ``rate_rps`` its base
+    intensity (default: the closed-loop long-run rate, so open-vs-
+    closed runs are directly comparable), ``shape`` an optional
+    deterministic envelope, and ``session_budget`` the overload
+    shedding cap.  Pass a full ``traffic`` spec to override everything.
+    """
+    base = scenario(
+        environment,
+        composition,
+        duration_s=duration_s,
+        seed=seed,
+        clients=clients,
+        scale=scale,
+    )
+    if traffic is None:
+        parsed = TrafficSpec.from_cli_string(
+            kind, rate_rps=rate_rps, session_budget=session_budget
+        )
+        traffic = replace(parsed, shape=shape)
+    if not traffic.open_loop:
+        raise ConfigurationError(
+            "open_loop_scenario needs an open-loop traffic kind"
+        )
+    # Closed-loop burst waves synchronize *thinking* clients; they are
+    # meaningless without a think loop, so the open-loop mix drops them
+    # (the shape schedule is the open-loop burst mechanism).
+    mix = base.mix.with_bursts({})
+    return replace(
+        base,
+        name=f"{base.name}/open-{traffic.kind}",
+        mix=mix,
+        traffic=traffic,
+    )
+
+
+def flash_crowd_scenario(
+    environment: str = VIRTUALIZED,
+    composition: str = "browsing",
+    rate_rps: float = None,
+    magnitude: float = 20.0,
+    duration_s: float = None,
+    seed: int = 42,
+    clients: int = None,
+    session_budget: int = 2000,
+    requests_per_session: int = 5,
+    kind: str = "poisson",
+) -> Scenario:
+    """An open-loop flash crowd: a ``magnitude``-times surge in visits.
+
+    ``rate_rps`` is the baseline offered *request* rate (default: the
+    closed-loop steady-state rate, ``clients / think_time``); arrivals
+    are whole visits of ``requests_per_session`` think-separated
+    requests, so the session-arrival rate is ``rate_rps /
+    requests_per_session``.  The surge peaks at 40 % of the horizon
+    after a rise of 8 % of the horizon and decays with a 25 %-of-
+    horizon time constant — duration-relative like the closed-loop
+    burst windows, so short CI runs and full-length runs show the same
+    qualitative dynamics.  With the default magnitude the offered
+    request rate averages >= 5x the closed-loop steady state over the
+    horizon (~20x at the peak) — intensity a closed loop structurally
+    cannot offer.  The ``session_budget`` is the front end's concurrent-
+    visit cap (MaxClients): the surge piles up thinking sessions far
+    beyond it, making overload shedding observable in the run report.
+    """
+    duration = duration_s if duration_s is not None else default_duration_s()
+    shape = FlashCrowdShape(
+        peak_time_s=0.40 * duration,
+        magnitude=magnitude,
+        rise_s=0.08 * duration,
+        decay_s=0.25 * duration,
+    )
+    base = scenario(
+        environment,
+        composition,
+        duration_s=duration,
+        seed=seed,
+        clients=clients,
+    )
+    request_rate = (
+        rate_rps
+        if rate_rps is not None
+        else base.mix.clients / base.mix.think_time_s
+    )
+    traffic = TrafficSpec(
+        kind=kind,
+        rate_rps=request_rate / requests_per_session,
+        shape=shape,
+        session_budget=session_budget,
+        requests_per_session=requests_per_session,
+    )
+    spec = open_loop_scenario(
+        environment,
+        composition,
+        duration_s=duration,
+        seed=seed,
+        clients=clients,
+        traffic=traffic,
+    )
+    return replace(spec, name=f"{environment}/{composition}/flash-crowd")
 
 
 def paper_scenarios(duration_s: float = None, seed: int = 42) -> Dict[str, Scenario]:

@@ -13,7 +13,8 @@ This package reproduces that pipeline:
 * :mod:`~repro.monitoring.sampler` — the 2 s periodic trace recorder,
 * :mod:`~repro.monitoring.columnar` — per-metric array storage for
   full-registry samples (million-sample horizons),
-* :mod:`~repro.monitoring.export` — CSV/JSON trace export.
+* :mod:`~repro.monitoring.export` — CSV/JSON trace export plus
+  CSV/NPZ round trips for columnar sample matrices.
 """
 
 from repro.monitoring.columnar import ColumnarRows
@@ -38,7 +39,14 @@ from repro.monitoring.probes import (
     RawCounters,
 )
 from repro.monitoring.sampler import TraceRecorder
-from repro.monitoring.export import trace_set_to_csv, trace_set_to_json
+from repro.monitoring.export import (
+    columnar_to_csv,
+    read_columnar_npz,
+    trace_set_to_csv,
+    trace_set_to_json,
+    write_columnar_csv,
+    write_columnar_npz,
+)
 
 __all__ = [
     "ColumnarRows",
@@ -60,4 +68,8 @@ __all__ = [
     "TraceRecorder",
     "trace_set_to_csv",
     "trace_set_to_json",
+    "columnar_to_csv",
+    "write_columnar_csv",
+    "write_columnar_npz",
+    "read_columnar_npz",
 ]

@@ -33,6 +33,24 @@ class ColumnarRows:
         self._buffer = np.empty((_INITIAL_CAPACITY, len(self._names)))
         self._n = 0
 
+    @classmethod
+    def from_matrix(
+        cls, columns: Sequence[str], matrix: np.ndarray
+    ) -> "ColumnarRows":
+        """Adopt a (samples x columns) matrix (e.g. loaded from NPZ)."""
+        table = cls(columns)
+        # One guaranteed C-order copy; tables at the multi-hundred-MB
+        # scale must not be duplicated transiently.
+        data = np.array(matrix, dtype=float, order="C", copy=True)
+        if data.ndim != 2 or data.shape[1] != len(table._names):
+            raise MonitoringError(
+                f"matrix shape {data.shape} does not match "
+                f"{len(table._names)} columns"
+            )
+        table._buffer = data
+        table._n = len(data)
+        return table
+
     @property
     def columns(self) -> tuple:
         return self._names

@@ -7,6 +7,12 @@ for the response, think again.  The :class:`ClientPopulation` owns all
 sessions, staggers their start (ramp-up), and fires the burst waves that
 synchronize thinking clients to build tier backlog (the RAM-jump
 mechanism of Figures 2 and 6).
+
+A deployment accepts any *traffic driver* in place of the population:
+an object with ``start()``, a ``stats`` :class:`SessionStats`, and
+``active_session_count()`` (what the tier memory models scale with).
+:class:`ClientPopulation` is the closed-loop driver;
+:class:`repro.traffic.driver.OpenLoopDriver` is the open-loop one.
 """
 
 from __future__ import annotations
@@ -196,6 +202,10 @@ class ClientPopulation:
 
     def sessions_of_type(self, session_type: SessionType) -> List[ClientSession]:
         return [s for s in self.sessions if s.session_type is session_type]
+
+    def active_session_count(self) -> int:
+        """Driver interface: closed-loop sessions are all always active."""
+        return len(self.sessions)
 
     @property
     def throughput_estimate(self) -> float:

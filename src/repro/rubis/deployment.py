@@ -129,9 +129,12 @@ class Deployment:
     # -- shared helpers -------------------------------------------------------
 
     def _active_sessions(self) -> int:
+        # Works for either traffic driver: the closed-loop population
+        # reports its (fixed) pool size, the open-loop driver its
+        # in-flight transient sessions.
         if self.population is None:
             return 0
-        return len(self.population.sessions)
+        return self.population.active_session_count()
 
     def _make_tiers(self) -> None:
         self.php_tier = PhpTier(self.sim, self.web_context, self.config.php)

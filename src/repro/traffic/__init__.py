@@ -1,0 +1,89 @@
+"""Open-loop, trace-driven traffic generation.
+
+This package closes the characterize -> model -> regenerate loop the
+paper motivates: arrival processes synthesize request streams at
+intensities a closed-loop client pool structurally cannot reach
+("millions of users" scenarios), shape schedules impose the diurnal /
+ramp / step / flash-crowd dynamics the figures characterize, rate
+traces move offered load between runs, models, and files, and the
+:class:`OpenLoopDriver` feeds it all to a deployment with overload
+shedding accounted for.
+
+Layout:
+
+* :mod:`repro.traffic.arrivals` — Poisson, MMPP, b-model processes,
+  thinning modulation; batched, seed-deterministic sampling.
+* :mod:`repro.traffic.shapes` — deterministic rate envelopes.
+* :mod:`repro.traffic.trace` — :class:`RateTrace` CSV/NPZ ingestion,
+  resampling, fingerprinting, and open-loop replay.
+* :mod:`repro.traffic.synthesis` — rate traces from fitted
+  :mod:`repro.analysis.models` objects.
+* :mod:`repro.traffic.driver` — transient sessions per arrival with a
+  session budget and shed counters.
+* :mod:`repro.traffic.spec` — the declarative :class:`TrafficSpec`
+  scenarios and the CLI consume.
+"""
+
+from repro.traffic.arrivals import (
+    ArrivalProcess,
+    BModelProcess,
+    MMPPProcess,
+    ModulatedProcess,
+    PoissonProcess,
+    drain_process,
+)
+from repro.traffic.driver import ArrivalMeter, OpenLoopDriver, TransientSession
+from repro.traffic.shapes import (
+    CompositeShape,
+    ConstantShape,
+    DiurnalShape,
+    FlashCrowdShape,
+    RampShape,
+    RateShape,
+    StepShape,
+)
+from repro.traffic.spec import (
+    TRAFFIC_KINDS,
+    TrafficSpec,
+    build_driver,
+    build_process,
+)
+from repro.traffic.synthesis import (
+    fit_rate_models,
+    regime_means_match,
+    synthesize_rate_trace,
+)
+from repro.traffic.trace import RateTrace, TraceReplayProcess
+
+__all__ = [
+    # arrivals
+    "ArrivalProcess",
+    "PoissonProcess",
+    "MMPPProcess",
+    "BModelProcess",
+    "ModulatedProcess",
+    "drain_process",
+    # shapes
+    "RateShape",
+    "ConstantShape",
+    "DiurnalShape",
+    "RampShape",
+    "StepShape",
+    "FlashCrowdShape",
+    "CompositeShape",
+    # traces
+    "RateTrace",
+    "TraceReplayProcess",
+    # synthesis
+    "synthesize_rate_trace",
+    "fit_rate_models",
+    "regime_means_match",
+    # driver + spec
+    "ArrivalMeter",
+    "OpenLoopDriver",
+    "TransientSession",
+    "TrafficSpec",
+    "TRAFFIC_KINDS",
+    "build_process",
+    "build_driver",
+]

@@ -1,0 +1,213 @@
+"""Shape schedules: piecewise-rate envelopes for open-loop traffic.
+
+A shape is a deterministic time-varying multiplier on a base arrival
+rate.  Shapes are what turn a stationary arrival process into the
+workload dynamics the paper characterizes — diurnal-like drifts, load
+ramps, step jumps, and flash crowds — without touching the process's
+stochastic structure.  They compose multiplicatively
+(:class:`CompositeShape`) and apply to *any* arrival process through
+Lewis-Shedler thinning (see
+:class:`repro.traffic.arrivals.ModulatedProcess`), which needs only the
+pointwise ``factor(t)`` and a global upper bound ``max_factor()``.
+
+All shapes are frozen dataclasses: hashable, comparable, and safe to
+embed in a :class:`~repro.traffic.spec.TrafficSpec` (and therefore in a
+scenario cache key).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+
+
+class RateShape:
+    """Interface: a deterministic rate multiplier over simulated time."""
+
+    def factor(self, t: float) -> float:
+        """Multiplier at time ``t`` (>= 0)."""
+        raise NotImplementedError
+
+    def max_factor(self) -> float:
+        """An upper bound on ``factor`` over all times (thinning envelope)."""
+        raise NotImplementedError
+
+    def mean_factor(self, horizon_s: float, samples: int = 512) -> float:
+        """Trapezoidal estimate of the average factor over ``[0, horizon]``."""
+        if horizon_s <= 0:
+            raise ConfigurationError("horizon_s must be positive")
+        step = horizon_s / samples
+        total = 0.5 * (self.factor(0.0) + self.factor(horizon_s))
+        for i in range(1, samples):
+            total += self.factor(i * step)
+        return total / samples
+
+
+@dataclass(frozen=True)
+class ConstantShape(RateShape):
+    """A flat multiplier (the identity envelope when ``value == 1``)."""
+
+    value: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ConfigurationError("shape factor must be non-negative")
+
+    def factor(self, t: float) -> float:
+        return self.value
+
+    def max_factor(self) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class DiurnalShape(RateShape):
+    """Sinusoidal day/night envelope: ``1 + amplitude * sin(...)``.
+
+    ``period_s`` defaults to a compressed "day" rather than 86400 s so
+    short simulated horizons still sweep full cycles.
+    """
+
+    period_s: float = 240.0
+    amplitude: float = 0.5
+    phase_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ConfigurationError("period_s must be positive")
+        if not 0.0 <= self.amplitude <= 1.0:
+            raise ConfigurationError("amplitude must be in [0, 1]")
+
+    def factor(self, t: float) -> float:
+        phase = 2.0 * math.pi * (t - self.phase_s) / self.period_s
+        return 1.0 + self.amplitude * math.sin(phase)
+
+    def max_factor(self) -> float:
+        return 1.0 + self.amplitude
+
+
+@dataclass(frozen=True)
+class RampShape(RateShape):
+    """Linear ramp from ``start_factor`` to ``end_factor`` over a window.
+
+    Flat at ``start_factor`` before the window and at ``end_factor``
+    after it — the classic load-ramp profile of capacity tests.
+    """
+
+    t_start_s: float
+    t_end_s: float
+    start_factor: float = 1.0
+    end_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.t_end_s <= self.t_start_s:
+            raise ConfigurationError("ramp needs t_end_s > t_start_s")
+        if self.start_factor < 0 or self.end_factor < 0:
+            raise ConfigurationError("ramp factors must be non-negative")
+
+    def factor(self, t: float) -> float:
+        if t <= self.t_start_s:
+            return self.start_factor
+        if t >= self.t_end_s:
+            return self.end_factor
+        progress = (t - self.t_start_s) / (self.t_end_s - self.t_start_s)
+        return self.start_factor + progress * (
+            self.end_factor - self.start_factor
+        )
+
+    def max_factor(self) -> float:
+        return max(self.start_factor, self.end_factor)
+
+
+@dataclass(frozen=True)
+class StepShape(RateShape):
+    """Piecewise-constant steps: factor ``factors[i]`` from ``times_s[i]``.
+
+    The factor is 1.0 before the first step — the profile of the
+    figures' RAM step jumps translated to offered load.
+    """
+
+    times_s: Tuple[float, ...]
+    factors: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.times_s) != len(self.factors):
+            raise ConfigurationError("times_s and factors must align")
+        if not self.times_s:
+            raise ConfigurationError("StepShape needs at least one step")
+        if any(b <= a for a, b in zip(self.times_s, self.times_s[1:])):
+            raise ConfigurationError("step times must strictly increase")
+        if any(f < 0 for f in self.factors):
+            raise ConfigurationError("step factors must be non-negative")
+
+    def factor(self, t: float) -> float:
+        index = bisect_right(self.times_s, t)
+        if index == 0:
+            return 1.0
+        return self.factors[index - 1]
+
+    def max_factor(self) -> float:
+        return max(1.0, *self.factors)
+
+
+@dataclass(frozen=True)
+class FlashCrowdShape(RateShape):
+    """A flash crowd: linear surge to ``magnitude``x, exponential decay.
+
+    The factor is 1 until ``peak_time_s - rise_s``, climbs linearly to
+    ``magnitude`` at ``peak_time_s``, then decays back toward 1 with
+    time constant ``decay_s`` — the slashdot-effect profile from the
+    web-workload literature.
+    """
+
+    peak_time_s: float
+    magnitude: float = 8.0
+    rise_s: float = 10.0
+    decay_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.magnitude < 1.0:
+            raise ConfigurationError("flash-crowd magnitude must be >= 1")
+        if self.rise_s <= 0 or self.decay_s <= 0:
+            raise ConfigurationError("rise_s and decay_s must be positive")
+        if self.peak_time_s < 0:
+            raise ConfigurationError("peak_time_s must be non-negative")
+
+    def factor(self, t: float) -> float:
+        surge = self.magnitude - 1.0
+        onset = self.peak_time_s - self.rise_s
+        if t <= onset:
+            return 1.0
+        if t <= self.peak_time_s:
+            return 1.0 + surge * (t - onset) / self.rise_s
+        return 1.0 + surge * math.exp(-(t - self.peak_time_s) / self.decay_s)
+
+    def max_factor(self) -> float:
+        return self.magnitude
+
+
+@dataclass(frozen=True)
+class CompositeShape(RateShape):
+    """Product of component shapes (e.g. diurnal x flash crowd)."""
+
+    shapes: Tuple[RateShape, ...]
+
+    def __post_init__(self) -> None:
+        if not self.shapes:
+            raise ConfigurationError("CompositeShape needs >= 1 component")
+
+    def factor(self, t: float) -> float:
+        out = 1.0
+        for shape in self.shapes:
+            out *= shape.factor(t)
+        return out
+
+    def max_factor(self) -> float:
+        out = 1.0
+        for shape in self.shapes:
+            out *= shape.max_factor()
+        return out

@@ -1,0 +1,105 @@
+"""Model-synthesized rate traces: close the characterize -> regenerate loop.
+
+The paper's Section 5 motivates formal workload models;
+:mod:`repro.analysis.models` fits them (AR(p), histogram marginal,
+two-regime Markov).  This module is the missing consumer: it turns a
+*fitted* model into a :class:`~repro.traffic.trace.RateTrace` that the
+open-loop driver can replay, so a characterized run can be regenerated
+at will — and re-characterized to validate the model (the round-trip
+test in ``tests/traffic/test_synthesis_roundtrip.py``).
+
+The documented round-trip tolerances (enforced by that test) are:
+
+* mean rate of the replayed run within **10 %** of the source model's
+  mean (Poisson sampling noise at >= 50 arrivals/interval is ~3 %),
+* regime means of a re-fitted :class:`RegimeModel` within **25 %**,
+* a re-fitted :class:`ARModel` stays stationary when the source was.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.analysis.models import ARModel, HistogramWorkloadModel, RegimeModel
+from repro.errors import AnalysisError, ConfigurationError
+from repro.traffic.trace import RateTrace
+
+WorkloadModel = Union[ARModel, HistogramWorkloadModel, RegimeModel]
+
+
+def synthesize_rate_trace(
+    model: WorkloadModel,
+    n_intervals: int,
+    interval_s: float,
+    rng: np.random.Generator,
+    floor_rps: float = 0.0,
+    start_time_s: float = 0.0,
+) -> RateTrace:
+    """Generate a synthetic request-rate trace from a fitted model.
+
+    ``ARModel``/``RegimeModel`` use their temporal ``simulate``;
+    ``HistogramWorkloadModel`` draws i.i.d. from its marginal.  Values
+    below ``floor_rps`` are clipped — fitted Gaussian tails can dip
+    negative, which is meaningless as an arrival rate.
+    """
+    if n_intervals < 1:
+        raise ConfigurationError("n_intervals must be >= 1")
+    if interval_s <= 0:
+        raise ConfigurationError("interval_s must be positive")
+    if floor_rps < 0:
+        raise ConfigurationError("floor_rps must be non-negative")
+    if isinstance(model, (ARModel, RegimeModel)):
+        values = model.simulate(n_intervals, rng)
+    elif isinstance(model, HistogramWorkloadModel):
+        values = model.sample(n_intervals, rng)
+    else:
+        raise ConfigurationError(
+            f"unsupported model type {type(model).__name__}; expected "
+            "ARModel, RegimeModel or HistogramWorkloadModel"
+        )
+    values = np.clip(np.asarray(values, dtype=float), floor_rps, None)
+    return RateTrace(values, interval_s, start_time_s)
+
+
+def fit_rate_models(trace: RateTrace, ar_order: int = 2) -> dict:
+    """Fit the three analysis models to one rate trace.
+
+    Returns ``{"ar": ARModel, "histogram": ..., "regime": ...}`` —
+    the bundle the round-trip validation compares before/after replay.
+    Models that cannot fit the series (e.g. a constant trace has no AR
+    structure) are reported as the raised exception instance instead of
+    a model, so callers can degrade gracefully.
+    """
+    out = {}
+    for name, model in (
+        ("ar", ARModel(order=ar_order)),
+        ("histogram", HistogramWorkloadModel()),
+        ("regime", RegimeModel()),
+    ):
+        try:
+            out[name] = model.fit(trace.rates_rps)
+        except AnalysisError as exc:
+            out[name] = exc
+    return out
+
+
+def regime_means_match(
+    original: RegimeModel,
+    refit: RegimeModel,
+    tolerance: float = 0.25,
+) -> bool:
+    """True when both regime means agree within ``tolerance`` (relative).
+
+    Regime labels are order-normalized (low/high) before comparison,
+    and the relative error is taken against the original's regime
+    *spread* floor so near-identical regimes don't blow up the ratio.
+    """
+    a = sorted(original.means)
+    b = sorted(refit.means)
+    scale = max(abs(a[0]), abs(a[1]), 1e-9)
+    return all(
+        abs(x - y) <= tolerance * max(abs(x), 0.1 * scale)
+        for x, y in zip(a, b)
+    )

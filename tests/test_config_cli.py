@@ -60,6 +60,33 @@ class TestExperimentConfig:
         assert ExperimentConfig().effective_duration_s == 240.0
         assert ExperimentConfig(duration_s=33.0).effective_duration_s == 33.0
 
+    def test_open_loop_traffic_round_trip(self):
+        config = ExperimentConfig(
+            traffic="poisson", rate_rps=120.0, session_budget=500
+        )
+        clone = ExperimentConfig.from_json(config.to_json())
+        assert clone == config
+        spec = config.to_scenario()
+        assert spec.open_loop
+        assert spec.traffic.rate_rps == 120.0
+        assert spec.traffic.session_budget == 500
+
+    def test_open_loop_knobs_rejected_on_closed_loop(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(rate_rps=100.0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(traffic="closed", session_budget=10)
+
+    def test_scale_multiplies_clients_and_duration(self):
+        config = ExperimentConfig(duration_s=30.0, clients=100, scale=2.0)
+        spec = config.to_scenario()
+        assert spec.duration_s == 60.0
+        assert spec.mix.clients == 200
+
+    def test_unknown_traffic_token_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(traffic="chaos")
+
 
 class TestCli:
     def test_run_prints_summary_and_report(self, capsys):
@@ -97,6 +124,56 @@ class TestCli:
         assert code == 0
         header = out.read_text().splitlines()[0]
         assert header.startswith("time_s,")
+
+    def test_run_open_loop_traffic_reports_shedding_counters(self, capsys):
+        code = main(
+            [
+                "run",
+                "--duration", "30",
+                "--clients", "100",
+                "--no-report",
+                "--traffic", "poisson",
+                "--rate", "60",
+                "--session-budget", "400",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "open-loop traffic:" in captured.out
+        assert "shed" in captured.out
+        assert "sha256" in captured.out
+
+    def test_run_columnar_exports_npz(self, tmp_path, capsys):
+        out = tmp_path / "cols.npz"
+        code = main(
+            [
+                "run",
+                "--duration", "10",
+                "--clients", "50",
+                "--no-report",
+                "--columnar",
+                "--export-columnar", str(out),
+            ]
+        )
+        assert code == 0
+        from repro.monitoring.export import read_columnar_npz
+
+        table = read_columnar_npz(str(out))
+        assert len(table) == 5
+        assert "time_s" in table.columns
+
+    def test_export_columnar_requires_columnar(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(
+                [
+                    "run",
+                    "--duration", "10",
+                    "--no-report",
+                    "--export-columnar", "/tmp/x.csv",
+                ]
+            )
 
     def test_table1_prints_catalogue(self, capsys):
         assert main(["table1"]) == 0

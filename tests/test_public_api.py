@@ -28,6 +28,7 @@ class TestPublicApi:
             "repro.monitoring",
             "repro.analysis",
             "repro.planning",
+            "repro.traffic",
             "repro.experiments",
             "repro.mapreduce",
             "repro.config",

@@ -1,0 +1,208 @@
+"""Property tests for the arrival processes.
+
+Every process must satisfy the open-loop generator contract:
+
+* empirical rate within tolerance of the nominal rate,
+* identical streams for identical seeds (bit-exact),
+* disjoint streams for distinct stream names (distinct spawn keys),
+* nondecreasing arrival times.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.random import RandomStreams
+from repro.traffic.arrivals import (
+    BModelProcess,
+    MMPPProcess,
+    ModulatedProcess,
+    PoissonProcess,
+    drain_process,
+)
+from repro.traffic.shapes import ConstantShape, RampShape
+from repro.traffic.trace import RateTrace, TraceReplayProcess
+
+RATE = 40.0
+HORIZON = 500.0
+
+
+def _make(kind: str, streams: RandomStreams, name: str = "traffic"):
+    rng = streams.stream(name)
+    if kind == "poisson":
+        return PoissonProcess(RATE, rng)
+    if kind == "mmpp":
+        # Time-weighted average (0.5*3 + 2.5*1) / 4 = 1.0 x RATE.
+        return MMPPProcess((RATE * 0.5, RATE * 2.5), (3.0, 1.0), rng)
+    if kind == "bmodel":
+        return BModelProcess(RATE, rng, bias=0.72, window_s=32.0, levels=5)
+    if kind == "trace":
+        trace = RateTrace(
+            np.full(int(HORIZON), RATE), interval_s=1.0
+        )
+        return TraceReplayProcess(trace, rng)
+    raise AssertionError(kind)
+
+
+KINDS = ("poisson", "mmpp", "bmodel", "trace")
+
+
+class TestArrivalProperties:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_empirical_rate_near_nominal(self, kind):
+        process = _make(kind, RandomStreams(seed=11))
+        times = drain_process(process, HORIZON)
+        empirical = len(times) / HORIZON
+        # MMPP averages over regime cycles, so give it the widest band.
+        tolerance = 0.15 if kind == "mmpp" else 0.10
+        assert empirical == pytest.approx(RATE, rel=tolerance)
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_nominal_rate_attribute(self, kind):
+        process = _make(kind, RandomStreams(seed=11))
+        assert process.rate_rps == pytest.approx(RATE, rel=1e-6)
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_times_nondecreasing(self, kind):
+        process = _make(kind, RandomStreams(seed=7))
+        times = drain_process(process, 100.0)
+        assert len(times) > 0
+        assert np.all(np.diff(times) >= 0)
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_identical_seeds_identical_streams(self, kind):
+        a = drain_process(_make(kind, RandomStreams(seed=5)), 50.0)
+        b = drain_process(_make(kind, RandomStreams(seed=5)), 50.0)
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_distinct_seeds_distinct_streams(self, kind):
+        a = drain_process(_make(kind, RandomStreams(seed=5)), 50.0)
+        b = drain_process(_make(kind, RandomStreams(seed=6)), 50.0)
+        assert not np.array_equal(a, b)
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_distinct_stream_names_disjoint(self, kind):
+        """Distinct spawn keys must decorrelate the arrival streams."""
+        streams = RandomStreams(seed=5)
+        a = drain_process(_make(kind, streams, name="traffic"), 50.0)
+        b = drain_process(_make(kind, streams, name="traffic.alt"), 50.0)
+        assert not np.array_equal(a, b)
+
+
+class TestPoisson:
+    def test_interarrival_mean_and_cv(self):
+        process = PoissonProcess(10.0, RandomStreams(seed=3).stream("t"))
+        times = drain_process(process, 2000.0)
+        gaps = np.diff(times)
+        assert gaps.mean() == pytest.approx(0.1, rel=0.05)
+        # Exponential gaps: coefficient of variation 1.
+        assert gaps.std() / gaps.mean() == pytest.approx(1.0, abs=0.1)
+
+    def test_rejects_nonpositive_rate(self):
+        rng = RandomStreams(seed=1).stream("t")
+        with pytest.raises(ConfigurationError):
+            PoissonProcess(0.0, rng)
+
+
+class TestMMPP:
+    def test_burstier_than_poisson(self):
+        """Index of dispersion of counts must exceed the Poisson 1.0."""
+        streams = RandomStreams(seed=9)
+        mmpp = MMPPProcess((10.0, 160.0), (8.0, 2.0), streams.stream("m"))
+        times = drain_process(mmpp, 4000.0)
+        counts = np.histogram(times, bins=np.arange(0.0, 4000.0, 2.0))[0]
+        dispersion = counts.var() / counts.mean()
+        assert dispersion > 2.0
+
+    def test_stationary_rate_weights_sojourns(self):
+        rng = RandomStreams(seed=1).stream("m")
+        mmpp = MMPPProcess((10.0, 40.0), (3.0, 1.0), rng)
+        # (10*3 + 40*1) / 4 = 17.5 for the alternating default chain.
+        assert mmpp.rate_rps == pytest.approx(17.5)
+
+    def test_stationary_rate_on_periodic_three_cycle(self):
+        """Exact pi for a periodic embedded chain (not power-iterable)."""
+        rng = RandomStreams(seed=1).stream("m")
+        cycle = ((0.0, 1.0, 0.0), (0.0, 0.0, 1.0), (1.0, 0.0, 0.0))
+        mmpp = MMPPProcess(
+            (10.0, 40.0, 100.0), (4.0, 2.0, 1.0), rng, transition=cycle
+        )
+        # pi = 1/3 each; time-weighted: (10*4+40*2+100*1)/(4+2+1).
+        assert mmpp.rate_rps == pytest.approx(220.0 / 7.0)
+
+    def test_validates_configuration(self):
+        rng = RandomStreams(seed=1).stream("m")
+        with pytest.raises(ConfigurationError):
+            MMPPProcess((10.0,), (1.0,), rng)
+        with pytest.raises(ConfigurationError):
+            MMPPProcess((10.0, 20.0), (1.0, -1.0), rng)
+        with pytest.raises(ConfigurationError):
+            MMPPProcess(
+                (10.0, 20.0), (1.0, 1.0), rng,
+                transition=((0.5, 0.4), (1.0, 0.0)),
+            )
+
+
+class TestBModel:
+    def test_burstier_with_higher_bias(self):
+        def dispersion(bias):
+            rng = RandomStreams(seed=21).stream("b")
+            process = BModelProcess(
+                50.0, rng, bias=bias, window_s=64.0, levels=6
+            )
+            times = drain_process(process, 1000.0)
+            counts = np.histogram(
+                times, bins=np.arange(0.0, 1000.0, 1.0)
+            )[0]
+            return counts.var() / counts.mean()
+
+        assert dispersion(0.85) > dispersion(0.55) > 0.5
+
+    def test_bias_half_is_poisson_like(self):
+        rng = RandomStreams(seed=2).stream("b")
+        process = BModelProcess(50.0, rng, bias=0.5, window_s=32.0)
+        times = drain_process(process, 1000.0)
+        counts = np.histogram(times, bins=np.arange(0.0, 1000.0, 1.0))[0]
+        assert counts.var() / counts.mean() == pytest.approx(1.0, abs=0.25)
+
+    def test_validates_bias(self):
+        rng = RandomStreams(seed=1).stream("b")
+        with pytest.raises(ConfigurationError):
+            BModelProcess(10.0, rng, bias=0.4)
+        with pytest.raises(ConfigurationError):
+            BModelProcess(10.0, rng, bias=1.0)
+
+
+class TestModulated:
+    def test_identity_shape_preserves_rate(self):
+        streams = RandomStreams(seed=13)
+        base = PoissonProcess(RATE, streams.stream("base"))
+        process = ModulatedProcess(
+            base, ConstantShape(1.0), streams.stream("thin")
+        )
+        times = drain_process(process, HORIZON)
+        assert len(times) / HORIZON == pytest.approx(RATE, rel=0.1)
+
+    def test_ramp_shifts_mass_to_the_end(self):
+        streams = RandomStreams(seed=13)
+        shape = RampShape(0.0, 200.0, start_factor=0.2, end_factor=1.0)
+        base = PoissonProcess(
+            RATE * shape.max_factor(), streams.stream("base")
+        )
+        process = ModulatedProcess(base, shape, streams.stream("thin"))
+        times = drain_process(process, 200.0)
+        first_half = int((times < 100.0).sum())
+        second_half = len(times) - first_half
+        # Mean factor 0.4 early vs 0.9 late: expect roughly 2.25x.
+        assert second_half > 1.7 * first_half
+
+    def test_exhaustion_propagates(self):
+        streams = RandomStreams(seed=4)
+        trace = RateTrace([20.0, 20.0], interval_s=1.0)
+        base = TraceReplayProcess(trace, streams.stream("r"))
+        process = ModulatedProcess(
+            base, ConstantShape(1.0), streams.stream("thin")
+        )
+        drain_process(process, 10.0)
+        assert process.next_arrival() is None

@@ -1,0 +1,170 @@
+"""OpenLoopDriver unit tests against a stub deployment."""
+
+import numpy as np
+import pytest
+
+from repro.apps.requests import Request, ResourceDemand
+from repro.errors import ConfigurationError
+from repro.rubis.transitions import bidding_matrix, browsing_matrix
+from repro.rubis.workload import SessionType, browsing_mix
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+from repro.traffic.arrivals import PoissonProcess
+from repro.traffic.driver import ArrivalMeter, OpenLoopDriver
+
+MATRICES = {
+    SessionType.BROWSE: browsing_matrix(),
+    SessionType.BID: bidding_matrix(),
+}
+
+
+def _stub_send(sim: Simulator, response_time_s: float = 0.01):
+    """A deployment stand-in answering every request after a delay."""
+
+    def send(session, interaction, on_response):
+        request = Request(
+            session.session_id, interaction, ResourceDemand(), sim.now
+        )
+        sim.schedule(response_time_s, on_response, request)
+
+    return send
+
+
+def _driver(
+    sim,
+    rate=50.0,
+    seed=7,
+    response_time_s=0.01,
+    **kwargs,
+):
+    streams = RandomStreams(seed=seed)
+    rng = streams.stream("traffic")
+    return OpenLoopDriver(
+        sim,
+        browsing_mix(clients=100),
+        _stub_send(sim, response_time_s),
+        rng,
+        MATRICES,
+        PoissonProcess(rate, rng),
+        **kwargs,
+    )
+
+
+class TestOpenLoopDriver:
+    def test_offered_arrivals_track_rate(self):
+        sim = Simulator()
+        driver = _driver(sim, rate=50.0)
+        driver.start()
+        sim.run_until(100.0)
+        assert driver.arrivals_offered == pytest.approx(5000, rel=0.1)
+        assert driver.stats.requests_sent == driver.arrivals_admitted
+        assert driver.arrivals_shed == 0
+
+    def test_sessions_complete_and_drain(self):
+        sim = Simulator()
+        driver = _driver(sim, rate=20.0)
+        driver.start()
+        sim.run_until(50.0)
+        # Give in-flight responses time to land; no new arrivals are
+        # pulled once the run loop stops pumping past the horizon.
+        assert driver.active_session_count() <= 2
+        assert driver.sessions_completed >= driver.arrivals_admitted - 2
+        assert driver.stats.responses_received > 0
+
+    def test_budget_sheds_and_caps_in_flight(self):
+        sim = Simulator()
+        # Responses take 5 s at 50 arrivals/s: unbounded in-flight would
+        # reach ~250, so a budget of 20 must shed heavily.
+        driver = _driver(
+            sim, rate=50.0, response_time_s=5.0, session_budget=20
+        )
+        driver.start()
+        sim.run_until(60.0)
+        assert driver.arrivals_shed > 0
+        assert driver.active_session_count() <= 20
+        report = driver.summary()
+        assert report["shed"] == driver.arrivals_shed
+        assert 0.0 < report["shed_fraction"] < 1.0
+        assert (
+            report["offered"] == report["admitted"] + report["shed"]
+        )
+
+    def test_multi_request_sessions_think_between_steps(self):
+        sim = Simulator()
+        driver = _driver(sim, rate=5.0, requests_per_session=4)
+        driver.start()
+        sim.run_until(400.0)
+        # Each admitted session eventually issues 4 requests.
+        completed = driver.sessions_completed
+        assert completed > 0
+        assert driver.stats.requests_sent >= 4 * completed
+        # Think times keep multi-request sessions alive ~3 * 7 s, so
+        # concurrency sits well above the arrival count of one tick.
+        assert driver.stats.responses_received > completed
+
+    def test_deterministic_across_runs(self):
+        def run():
+            sim = Simulator()
+            driver = _driver(sim, rate=40.0, seed=123)
+            driver.start()
+            sim.run_until(50.0)
+            return driver
+
+        a, b = run(), run()
+        assert a.arrivals_offered == b.arrivals_offered
+        assert a.stats.requests_sent == b.stats.requests_sent
+        assert (
+            a.meter.to_rate_trace(50.0).sha256()
+            == b.meter.to_rate_trace(50.0).sha256()
+        )
+
+    def test_start_twice_rejected(self):
+        sim = Simulator()
+        driver = _driver(sim)
+        driver.start()
+        with pytest.raises(ConfigurationError):
+            driver.start()
+
+    def test_validates_configuration(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            _driver(sim, session_budget=0)
+        with pytest.raises(ConfigurationError):
+            _driver(sim, requests_per_session=0)
+
+
+class TestArrivalMeter:
+    def test_bins_and_rate_trace(self):
+        meter = ArrivalMeter(interval_s=2.0)
+        for t in (0.1, 0.5, 1.9, 2.0, 5.99):
+            meter.record(t)
+        np.testing.assert_array_equal(meter.counts, [3, 1, 1])
+        trace = meter.to_rate_trace()
+        np.testing.assert_allclose(trace.rates_rps, [1.5, 0.5, 0.5])
+
+    def test_horizon_pads_with_zero_intervals(self):
+        meter = ArrivalMeter(interval_s=2.0)
+        meter.record(1.0)
+        trace = meter.to_rate_trace(horizon_s=10.0)
+        assert len(trace) == 5
+        np.testing.assert_allclose(
+            trace.rates_rps, [0.5, 0.0, 0.0, 0.0, 0.0]
+        )
+
+    def test_boundary_arrival_at_horizon_kept(self):
+        meter = ArrivalMeter(interval_s=2.0)
+        for t in (0.5, 1.5, 3.9, 10.0):  # run_until fires t==horizon
+            meter.record(t)
+        trace = meter.to_rate_trace(horizon_s=10.0)
+        assert trace.total_expected_arrivals() == meter.total
+
+    def test_growth_beyond_initial_capacity(self):
+        meter = ArrivalMeter(interval_s=1.0)
+        meter.record(500.0)
+        assert meter.counts[500] == 1
+        assert meter.total == 1
+
+    def test_rejects_pre_start_arrivals(self):
+        meter = ArrivalMeter(interval_s=1.0, start_time_s=10.0)
+        with pytest.raises(ConfigurationError):
+            meter.record(5.0)

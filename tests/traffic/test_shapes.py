@@ -1,0 +1,92 @@
+"""Tests for the deterministic rate envelopes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic.shapes import (
+    CompositeShape,
+    ConstantShape,
+    DiurnalShape,
+    FlashCrowdShape,
+    RampShape,
+    StepShape,
+)
+
+ALL_SHAPES = [
+    ConstantShape(1.4),
+    DiurnalShape(period_s=120.0, amplitude=0.6),
+    RampShape(10.0, 50.0, start_factor=0.5, end_factor=3.0),
+    StepShape(times_s=(20.0, 60.0), factors=(2.0, 0.5)),
+    FlashCrowdShape(peak_time_s=40.0, magnitude=6.0),
+    CompositeShape(
+        (DiurnalShape(period_s=60.0, amplitude=0.3),
+         FlashCrowdShape(peak_time_s=30.0, magnitude=4.0))
+    ),
+]
+
+
+class TestEnvelopeContract:
+    @pytest.mark.parametrize("shape", ALL_SHAPES, ids=lambda s: type(s).__name__)
+    def test_factor_nonnegative_and_bounded(self, shape):
+        grid = np.linspace(0.0, 200.0, 4001)
+        factors = np.array([shape.factor(t) for t in grid])
+        assert (factors >= 0.0).all()
+        assert (factors <= shape.max_factor() + 1e-12).all()
+
+    @pytest.mark.parametrize("shape", ALL_SHAPES, ids=lambda s: type(s).__name__)
+    def test_mean_factor_between_bounds(self, shape):
+        mean = shape.mean_factor(200.0)
+        assert 0.0 <= mean <= shape.max_factor()
+
+    @pytest.mark.parametrize("shape", ALL_SHAPES, ids=lambda s: type(s).__name__)
+    def test_hashable_for_scenario_cache_keys(self, shape):
+        assert hash(shape) == hash(shape)
+
+
+class TestIndividualShapes:
+    def test_diurnal_oscillates_around_one(self):
+        shape = DiurnalShape(period_s=100.0, amplitude=0.5)
+        assert shape.factor(25.0) == pytest.approx(1.5)
+        assert shape.factor(75.0) == pytest.approx(0.5)
+        assert shape.mean_factor(100.0) == pytest.approx(1.0, abs=0.01)
+
+    def test_ramp_endpoints_and_midpoint(self):
+        shape = RampShape(10.0, 20.0, start_factor=1.0, end_factor=3.0)
+        assert shape.factor(0.0) == 1.0
+        assert shape.factor(15.0) == pytest.approx(2.0)
+        assert shape.factor(25.0) == 3.0
+
+    def test_step_levels(self):
+        shape = StepShape(times_s=(10.0, 20.0), factors=(4.0, 0.25))
+        assert shape.factor(5.0) == 1.0
+        assert shape.factor(10.0) == 4.0
+        assert shape.factor(19.9) == 4.0
+        assert shape.factor(30.0) == 0.25
+
+    def test_flash_crowd_profile(self):
+        shape = FlashCrowdShape(
+            peak_time_s=50.0, magnitude=9.0, rise_s=10.0, decay_s=20.0
+        )
+        assert shape.factor(30.0) == 1.0
+        assert shape.factor(45.0) == pytest.approx(5.0)
+        assert shape.factor(50.0) == pytest.approx(9.0)
+        # One decay constant later: 1 + 8/e.
+        assert shape.factor(70.0) == pytest.approx(1.0 + 8.0 / np.e)
+
+    def test_composite_multiplies(self):
+        shape = CompositeShape((ConstantShape(2.0), ConstantShape(0.5)))
+        assert shape.factor(12.0) == pytest.approx(1.0)
+        assert shape.max_factor() == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalShape(amplitude=1.5)
+        with pytest.raises(ConfigurationError):
+            RampShape(20.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            StepShape(times_s=(10.0, 5.0), factors=(1.0, 2.0))
+        with pytest.raises(ConfigurationError):
+            FlashCrowdShape(peak_time_s=10.0, magnitude=0.5)
+        with pytest.raises(ConfigurationError):
+            CompositeShape(())

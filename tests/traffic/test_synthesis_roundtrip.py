@@ -1,0 +1,145 @@
+"""The characterize -> model -> regenerate round trip.
+
+Satellite acceptance: fit a model on a run, synthesize a rate trace
+from it, replay the trace open-loop, re-fit on the replayed run — the
+re-fitted parameters must sit within the tolerances documented in
+:mod:`repro.traffic.synthesis`:
+
+* replayed mean rate within 10 % of the synthesized trace's mean,
+* re-fitted regime means within 25 % of the originals,
+* a re-fitted AR model keeps the original's mean within 15 % and stays
+  stationary.
+
+The source run is an MMPP open-loop scenario: a genuinely
+regime-switching workload, so both regimes are well-populated and the
+fitted parameters are statistically meaningful at CI horizons.
+"""
+
+import pytest
+
+from repro.analysis.models import ARModel, HistogramWorkloadModel, RegimeModel
+from repro.errors import ConfigurationError
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import open_loop_scenario
+from repro.sim.random import RandomStreams
+from repro.traffic.driver import ArrivalMeter
+from repro.traffic.synthesis import (
+    fit_rate_models,
+    regime_means_match,
+    synthesize_rate_trace,
+)
+from repro.traffic.trace import TraceReplayProcess
+
+SOURCE_DURATION_S = 240.0
+REPLAY_INTERVALS = 240
+
+
+@pytest.fixture(scope="module")
+def source_run():
+    spec = open_loop_scenario(
+        "virtualized",
+        "browsing",
+        kind="mmpp",
+        rate_rps=60.0,
+        duration_s=SOURCE_DURATION_S,
+        clients=400,
+    )
+    return run_scenario(spec)
+
+
+@pytest.fixture(scope="module")
+def source_models(source_run):
+    return fit_rate_models(source_run.arrival_trace)
+
+
+def _replay(trace, tmp_path, clients=400):
+    path = str(tmp_path / "synthesized.npz")
+    trace.to_npz(path)
+    spec = open_loop_scenario(
+        "virtualized",
+        "browsing",
+        kind=f"trace:{path}",
+        duration_s=trace.duration_s,
+        clients=clients,
+    )
+    return run_scenario(spec)
+
+
+class TestModelSynthesisRoundTrip:
+    def test_source_models_fit(self, source_models):
+        assert isinstance(source_models["ar"], ARModel)
+        assert isinstance(source_models["regime"], RegimeModel)
+        assert isinstance(
+            source_models["histogram"], HistogramWorkloadModel
+        )
+
+    def test_regime_round_trip(self, source_run, source_models, tmp_path):
+        regime = source_models["regime"]
+        rng = RandomStreams(seed=99).stream("synthesis")
+        trace = synthesize_rate_trace(
+            regime,
+            REPLAY_INTERVALS,
+            source_run.arrival_trace.interval_s,
+            rng,
+        )
+        result = _replay(trace, tmp_path)
+        replayed = result.arrival_trace
+        assert replayed.mean_rate_rps() == pytest.approx(
+            trace.mean_rate_rps(), rel=0.10
+        )
+        refit = fit_rate_models(replayed)["regime"]
+        assert isinstance(refit, RegimeModel)
+        assert regime_means_match(regime, refit, tolerance=0.25)
+
+    def test_ar_round_trip(self, source_run, source_models, tmp_path):
+        ar = source_models["ar"]
+        rng = RandomStreams(seed=77).stream("synthesis")
+        trace = synthesize_rate_trace(
+            ar,
+            REPLAY_INTERVALS,
+            source_run.arrival_trace.interval_s,
+            rng,
+        )
+        result = _replay(trace, tmp_path)
+        refit = fit_rate_models(result.arrival_trace)["ar"]
+        assert isinstance(refit, ARModel)
+        assert refit.mean == pytest.approx(ar.mean, rel=0.15)
+        assert ar.is_stationary()
+        assert refit.is_stationary()
+
+    def test_histogram_replay_without_deployment(self, source_models):
+        """Fast pure-generator round trip: marginal mean is preserved."""
+        histogram = source_models["histogram"]
+        rng = RandomStreams(seed=55).stream("synthesis")
+        trace = synthesize_rate_trace(histogram, 500, 2.0, rng)
+        process = TraceReplayProcess(
+            trace, RandomStreams(seed=55).stream("replay")
+        )
+        meter = ArrivalMeter(interval_s=2.0)
+        while (t := process.next_arrival()) is not None:
+            meter.record(t)
+        replayed = meter.to_rate_trace(trace.duration_s)
+        assert replayed.mean_rate_rps() == pytest.approx(
+            histogram.mean(), rel=0.10
+        )
+
+    def test_synthesis_is_seed_deterministic(self, source_models):
+        regime = source_models["regime"]
+
+        def synth(seed):
+            rng = RandomStreams(seed=seed).stream("synthesis")
+            return synthesize_rate_trace(regime, 100, 2.0, rng)
+
+        assert synth(1).sha256() == synth(1).sha256()
+        assert synth(1).sha256() != synth(2).sha256()
+
+    def test_rejects_unknown_model(self):
+        rng = RandomStreams(seed=1).stream("synthesis")
+        with pytest.raises(ConfigurationError):
+            synthesize_rate_trace(object(), 10, 2.0, rng)
+
+    def test_clips_negative_rates(self, source_models):
+        ar = source_models["ar"]
+        rng = RandomStreams(seed=3).stream("synthesis")
+        trace = synthesize_rate_trace(ar, 500, 2.0, rng, floor_rps=0.0)
+        assert (trace.rates_rps >= 0.0).all()

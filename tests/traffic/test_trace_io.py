@@ -1,0 +1,230 @@
+"""Rate-trace ingestion, serialization and fingerprinting tests.
+
+The columnar-export round trip is the load-bearing case: a recorded
+run's columnar matrix written by :mod:`repro.monitoring.export` must
+come back through :meth:`RateTrace.from_file` as replayable offered
+load.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AnalysisError, ConfigurationError
+from repro.monitoring.columnar import ColumnarRows
+from repro.monitoring.export import (
+    read_columnar_npz,
+    write_columnar_csv,
+    write_columnar_npz,
+)
+from repro.sim.random import RandomStreams
+from repro.traffic.trace import RateTrace, TraceReplayProcess
+
+
+def _trace() -> RateTrace:
+    return RateTrace([12.0, 30.0, 0.0, 7.5, 90.0], interval_s=2.0)
+
+
+class TestRateTraceBasics:
+    def test_grid_and_aggregates(self):
+        trace = _trace()
+        assert len(trace) == 5
+        assert trace.duration_s == 10.0
+        assert trace.mean_rate_rps() == pytest.approx(27.9)
+        assert trace.total_expected_arrivals() == pytest.approx(279.0)
+        np.testing.assert_allclose(trace.times_s, [0, 2, 4, 6, 8])
+
+    def test_rate_at(self):
+        trace = _trace()
+        assert trace.rate_at(0.0) == 12.0
+        assert trace.rate_at(3.9) == 30.0
+        assert trace.rate_at(4.0) == 0.0
+        assert trace.rate_at(-1.0) == 0.0
+        assert trace.rate_at(10.0) == 0.0
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ConfigurationError):
+            RateTrace([], interval_s=1.0)
+        with pytest.raises(ConfigurationError):
+            RateTrace([1.0], interval_s=0.0)
+        with pytest.raises(AnalysisError):
+            RateTrace([1.0, -2.0], interval_s=1.0)
+        with pytest.raises(AnalysisError):
+            RateTrace([1.0, float("nan")], interval_s=1.0)
+
+    def test_scaled(self):
+        doubled = _trace().scaled(2.0)
+        assert doubled.mean_rate_rps() == pytest.approx(55.8)
+
+    def test_from_counts(self):
+        trace = RateTrace.from_counts([10, 20, 0], interval_s=2.0)
+        np.testing.assert_allclose(trace.rates_rps, [5.0, 10.0, 0.0])
+
+    def test_does_not_freeze_caller_array(self):
+        rates = np.ones(5)
+        trace = RateTrace(rates, interval_s=1.0)
+        rates[0] = 3.0  # caller's buffer must stay writable
+        assert trace.rates_rps[0] == 1.0
+
+
+class TestResample:
+    @given(
+        rates=st.lists(
+            st.floats(min_value=0.0, max_value=500.0),
+            min_size=2,
+            max_size=40,
+        ),
+        factor=st.sampled_from([0.25, 0.5, 2.0, 3.0]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_resample_conserves_volume(self, rates, factor):
+        trace = RateTrace(rates, interval_s=2.0)
+        resampled = trace.resample(2.0 * factor)
+        assert resampled.total_expected_arrivals() == pytest.approx(
+            trace.total_expected_arrivals(), rel=1e-9, abs=1e-6
+        )
+
+    def test_resample_to_sim_clock_grid(self):
+        trace = RateTrace([10.0, 20.0], interval_s=3.0)
+        fine = trace.resample(1.0)
+        assert len(fine) == 6
+        np.testing.assert_allclose(
+            fine.rates_rps, [10, 10, 10, 20, 20, 20]
+        )
+
+
+class TestSerialization:
+    def test_csv_round_trip(self, tmp_path):
+        trace = _trace()
+        path = str(tmp_path / "trace.csv")
+        trace.to_csv(path)
+        assert RateTrace.from_csv(path) == trace
+
+    def test_npz_round_trip(self, tmp_path):
+        trace = _trace()
+        path = str(tmp_path / "trace.npz")
+        trace.to_npz(path)
+        assert RateTrace.from_npz(path) == trace
+
+    def test_from_file_dispatches_on_extension(self, tmp_path):
+        trace = _trace()
+        csv_path = str(tmp_path / "trace.csv")
+        npz_path = str(tmp_path / "trace.npz")
+        trace.to_csv(csv_path)
+        trace.to_npz(npz_path)
+        assert RateTrace.from_file(csv_path) == trace
+        assert RateTrace.from_file(npz_path) == trace
+        with pytest.raises(ConfigurationError):
+            RateTrace.from_file(str(tmp_path / "trace.parquet"))
+
+    def test_csv_round_trip_with_non_decimal_interval(self, tmp_path):
+        trace = RateTrace(np.ones(10) * 8.0, interval_s=1.0 / 3.0)
+        path = str(tmp_path / "thirds.csv")
+        trace.to_csv(path)
+        loaded = RateTrace.from_csv(path)
+        assert loaded.interval_s == pytest.approx(1.0 / 3.0, rel=1e-6)
+        np.testing.assert_allclose(loaded.rates_rps, trace.rates_rps)
+
+    def test_nonuniform_grid_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "time_s,rate_rps\n0.0,1.0\n1.0,2.0\n3.5,3.0\n"
+        )
+        with pytest.raises(AnalysisError):
+            RateTrace.from_csv(str(path))
+
+
+class TestColumnarRoundTrip:
+    """monitoring.export columnar files as trace-ingestion fixtures."""
+
+    def _table(self) -> ColumnarRows:
+        table = ColumnarRows(
+            ["time_s", "web|requests_rps", "db|cpu_pct"]
+        )
+        for i in range(8):
+            table.append_row([2.0 * i, 50.0 + 5.0 * i, 30.0])
+        return table
+
+    def test_csv_column_selection(self, tmp_path):
+        path = str(tmp_path / "cols.csv")
+        write_columnar_csv(self._table(), path)
+        trace = RateTrace.from_file(path, column="web|requests_rps")
+        assert len(trace) == 8
+        assert trace.interval_s == pytest.approx(2.0)
+        assert trace.rates_rps[0] == pytest.approx(50.0)
+
+    def test_npz_column_selection(self, tmp_path):
+        path = str(tmp_path / "cols.npz")
+        write_columnar_npz(self._table(), path)
+        trace = RateTrace.from_file(path, column="web|requests_rps")
+        assert len(trace) == 8
+        assert trace.rates_rps[-1] == pytest.approx(85.0)
+
+    def test_missing_column_reports_choices(self, tmp_path):
+        path = str(tmp_path / "cols.csv")
+        write_columnar_csv(self._table(), path)
+        with pytest.raises(AnalysisError):
+            RateTrace.from_file(path, column="nope")
+
+    def test_columnar_npz_full_round_trip(self, tmp_path):
+        table = self._table()
+        path = str(tmp_path / "cols.npz")
+        write_columnar_npz(table, path)
+        loaded = read_columnar_npz(path)
+        assert loaded.columns == table.columns
+        np.testing.assert_allclose(loaded.matrix(), table.matrix())
+
+
+class TestFingerprint:
+    def test_stable_and_content_sensitive(self):
+        trace = _trace()
+        assert trace.sha256() == _trace().sha256()
+        assert trace.sha256() != trace.scaled(1.01).sha256()
+        assert (
+            trace.sha256()
+            != RateTrace(trace.rates_rps, interval_s=4.0).sha256()
+        )
+
+
+class TestReplay:
+    def test_expected_count_and_exhaustion(self):
+        trace = RateTrace(np.full(200, 25.0), interval_s=1.0)
+        process = TraceReplayProcess(
+            trace, RandomStreams(seed=8).stream("replay")
+        )
+        times = []
+        while True:
+            t = process.next_arrival()
+            if t is None:
+                break
+            times.append(t)
+        assert len(times) == pytest.approx(5000, rel=0.05)
+        assert np.all(np.diff(times) >= 0)
+        assert times[-1] <= trace.end_time_s
+
+    def test_zero_rate_intervals_emit_nothing(self):
+        trace = RateTrace([50.0, 0.0, 50.0], interval_s=1.0)
+        process = TraceReplayProcess(
+            trace, RandomStreams(seed=8).stream("replay")
+        )
+        times = []
+        while (t := process.next_arrival()) is not None:
+            times.append(t)
+        gap = [t for t in times if 1.0 <= t < 2.0]
+        assert gap == []
+
+    def test_loop_mode_tiles_the_trace(self):
+        trace = RateTrace([30.0], interval_s=1.0)
+        process = TraceReplayProcess(
+            trace, RandomStreams(seed=8).stream("replay"), loop=True
+        )
+        times = [process.next_arrival() for _ in range(200)]
+        assert all(t is not None for t in times)
+        assert times[-1] > trace.end_time_s
+
+    def test_loop_rejects_all_zero_trace(self):
+        trace = RateTrace(np.zeros(3), interval_s=1.0)
+        with pytest.raises(ConfigurationError):
+            TraceReplayProcess(
+                trace, RandomStreams(seed=8).stream("replay"), loop=True
+            )
