@@ -1,0 +1,94 @@
+"""Consolidation interference — co-resident web + batch on one hypervisor.
+
+Section 5 of the paper names MapReduce as the next workload to
+characterize on virtualized servers; the consolidation literature asks
+what happens when it shares the box with an interactive tenant.  This
+example runs the same browsing workload twice — alone, then next to a
+sort-style MapReduce tenant on the *same* hypervisor — and reports the
+two interference channels the multi-tenant testbed models:
+
+* CPU: batch map/reduce tasks raise the batch domain's demand, and the
+  credit scheduler's overcommit shows up as web-VM ready (steal) time;
+* I/O: batch reads/writes and shuffle traffic flow through the shared
+  dom0 split drivers, queueing behind (and ahead of) the web tiers.
+
+Run:  PYTHONPATH=src python examples/consolidated_interference.py
+Set REPRO_EXAMPLE_QUICK=1 for a CI-friendly horizon.
+"""
+
+import os
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import consolidated_scenario, scenario
+from repro.workloads import TenantSpec
+
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK", "") == "1"
+DURATION_S = 90.0 if QUICK else 240.0
+CLIENTS = 400 if QUICK else 1000
+SEED = 13
+
+TENANT = TenantSpec(arrival_rate_per_s=0.15, input_mb=384.0)
+
+
+def main() -> None:
+    base_spec = scenario(
+        "virtualized", "browsing",
+        duration_s=DURATION_S, seed=SEED, clients=CLIENTS,
+    )
+    print(f"running web-only baseline ({base_spec.name}) ...")
+    baseline = run_scenario(base_spec)
+
+    cons_spec = consolidated_scenario(
+        "browsing",
+        duration_s=DURATION_S, seed=SEED, clients=CLIENTS,
+        tenants=(TENANT,),
+    )
+    print(f"running consolidated testbed ({cons_spec.name}) ...")
+    consolidated = run_scenario(cons_spec)
+
+    batch = consolidated.tenant_reports["batch"]
+    ready = consolidated.interference["cpu_ready_s"]
+    print()
+    print(f"{'':<26s} {'web-only':>12s} {'consolidated':>12s}")
+    print(
+        f"{'web p95 latency (ms)':<26s} "
+        f"{baseline.p95_response_time_s * 1e3:>12.1f} "
+        f"{consolidated.p95_response_time_s * 1e3:>12.1f}"
+    )
+    print(
+        f"{'web-vm CPU ready (s)':<26s} "
+        f"{baseline.cpu_ready_seconds('web-vm'):>12.2f} "
+        f"{consolidated.cpu_ready_seconds('web-vm'):>12.2f}"
+    )
+    print(
+        f"{'dom0 disk traffic (KB)':<26s} "
+        f"{baseline.traces.get('dom0', 'disk_kb').total():>12.0f} "
+        f"{consolidated.traces.get('dom0', 'disk_kb').total():>12.0f}"
+    )
+    print()
+    print(
+        f"batch tenant: {batch['jobs_completed']}/"
+        f"{batch['jobs_submitted']} jobs finished, "
+        f"{batch['tasks_completed']} tasks, mean makespan "
+        f"{batch['mean_makespan_s']:.1f}s"
+    )
+    print(
+        "per-domain CPU ready (s): "
+        + ", ".join(
+            f"{name} {seconds:.2f}" for name, seconds in sorted(ready.items())
+        )
+    )
+    degraded = (
+        consolidated.p95_response_time_s > baseline.p95_response_time_s
+        and consolidated.cpu_ready_seconds("web-vm")
+        > baseline.cpu_ready_seconds("web-vm")
+    )
+    print(
+        "\ninterference "
+        + ("OBSERVED: co-location degrades the web tenant"
+           if degraded else "NOT OBSERVED (unexpected)")
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -81,16 +81,30 @@ from repro.traffic import (
     fit_rate_models,
     synthesize_rate_trace,
 )
+from repro.workloads import (
+    MapReduceWorkload,
+    RubisWorkload,
+    TenantSpec,
+    Workload,
+)
 from repro.experiments import (
     ExperimentResult,
+    TestbedBuilder,
     compare_with_paper,
+    consolidated_scenario,
+    consolidated_web_batch_scenario,
     flash_crowd_scenario,
+    interference_checks,
     open_loop_scenario,
+    paper_matrix_suite,
     paper_scenarios,
     qualitative_checks,
     run_scenario,
     run_scenario_cached,
+    run_suite,
     scenario,
+    scenario_catalog,
+    suite_grid,
 )
 
 __version__ = "1.0.0"
@@ -149,15 +163,29 @@ __all__ = [
     "TrafficSpec",
     "synthesize_rate_trace",
     "fit_rate_models",
+    # workloads
+    "Workload",
+    "TenantSpec",
+    "RubisWorkload",
+    "MapReduceWorkload",
     # experiments
     "scenario",
     "open_loop_scenario",
     "flash_crowd_scenario",
+    "consolidated_scenario",
+    "consolidated_web_batch_scenario",
     "paper_scenarios",
+    "scenario_catalog",
+    "TestbedBuilder",
     "run_scenario",
     "run_scenario_cached",
     "ExperimentResult",
     "compare_with_paper",
     "qualitative_checks",
+    # suite orchestration
+    "suite_grid",
+    "paper_matrix_suite",
+    "run_suite",
+    "interference_checks",
     "__version__",
 ]

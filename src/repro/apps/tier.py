@@ -90,6 +90,10 @@ class ExecutionContext:
     def worker_finished(self) -> None:
         """A station worker finished serving inside this context."""
 
+    # -- lifecycle -----------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Disarm periodic processes owned by this context (if any)."""
+
 
 class VirtualizedContext(ExecutionContext):
     """Execution inside a guest domain under a hypervisor."""

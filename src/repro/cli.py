@@ -1,27 +1,36 @@
 """Command-line interface.
 
-Three subcommands cover the library's headline workflows::
+Four subcommands cover the library's headline workflows::
 
     python -m repro run --environment virtualized --composition browsing \
         --duration 120 --export-csv traces.csv
     python -m repro run --traffic poisson --rate 500 --duration 120
-    python -m repro run --traffic trace:offered.csv --session-budget 2000
+    python -m repro run --traffic trace:access.log --session-budget 2000
+    python -m repro run --list
+    python -m repro run --scenario consolidated_web_batch
+    python -m repro sweep --grid paper --workers 4
     python -m repro compare --duration 240
     python -m repro table1
 
 ``run`` executes one scenario and prints the characterization report;
 ``--traffic`` swaps the closed-loop client population for an open-loop
-arrival stream (``poisson``, ``mmpp``, ``bmodel`` or ``trace:<path>``),
-``--scale`` stress-multiplies horizon and clients, and ``--columnar``
+arrival stream (``poisson``, ``mmpp``, ``bmodel`` or ``trace:<path>``
+where the path may be CSV, NPZ or a Common/Combined Log Format access
+log), ``--scale`` stress-multiplies horizon and clients, ``--columnar``
 collects the full 518-metric registry into per-metric arrays
-(exportable with ``--export-columnar``).  ``compare`` reproduces the
-paper's Section 4.1/4.2 comparison (the four ratio tables plus the
-Q1-Q5 findings); ``table1`` prints the metric catalogue sample.
+(exportable with ``--export-columnar``), ``--list`` prints the named
+scenario catalogue and ``--scenario`` runs a catalogue entry (including
+the consolidated multi-tenant runs).  ``sweep`` executes a whole
+scenario grid across worker processes with deterministic per-run
+seeds.  ``compare`` reproduces the paper's Section 4.1/4.2 comparison
+(the four ratio tables plus the Q1-Q5 findings); ``table1`` prints the
+metric catalogue sample.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -34,7 +43,13 @@ from repro.config import ExperimentConfig
 from repro.errors import ConfigurationError
 from repro.experiments.compare import compare_with_paper, qualitative_checks
 from repro.experiments.runner import run_scenario, run_scenario_cached
-from repro.experiments.scenarios import scenario
+from repro.experiments.scenarios import scenario, scenario_catalog
+from repro.experiments.suite import (
+    TENANT_MIXES,
+    paper_matrix_suite,
+    run_suite,
+    suite_grid,
+)
 from repro.experiments.tables import render_table1
 from repro.monitoring.export import (
     write_columnar_csv,
@@ -55,6 +70,16 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_parser = sub.add_parser("run", help="run one scenario")
+    run_parser.add_argument(
+        "--list", action="store_true", dest="list_scenarios",
+        help="print the named scenario catalogue and exit",
+    )
+    run_parser.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="run a catalogue entry by name (see --list); honours "
+             "--duration/--seed/--clients and rejects the remaining "
+             "shaping flags (--traffic/--scale/...)",
+    )
     run_parser.add_argument(
         "--environment", default="virtualized",
         choices=("virtualized", "bare-metal"),
@@ -98,6 +123,50 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip the characterization report",
     )
 
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="run a scenario grid across worker processes",
+    )
+    sweep_parser.add_argument(
+        "--grid", default=None, choices=("paper", "quick"),
+        help="preset grid: 'paper' = the 4-run published matrix, "
+             "'quick' = a 2-run CI smoke grid; omit to build the grid "
+             "from the axis flags below",
+    )
+    sweep_parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes (1 = inline, no subprocesses)",
+    )
+    sweep_parser.add_argument("--duration", type=float, default=None)
+    sweep_parser.add_argument("--seed", type=int, default=42)
+    sweep_parser.add_argument("--clients", type=int, default=None)
+    sweep_parser.add_argument(
+        "--environments", default="virtualized",
+        help="comma-separated grid axis (default: virtualized)",
+    )
+    sweep_parser.add_argument(
+        "--compositions", default="browsing",
+        help="comma-separated grid axis (default: browsing)",
+    )
+    sweep_parser.add_argument(
+        "--traffics", default="closed",
+        help="comma-separated traffic axis: closed, poisson, mmpp, "
+             "bmodel or trace:<path> (default: closed)",
+    )
+    sweep_parser.add_argument(
+        "--scales", default="1",
+        help="comma-separated stress-scale axis (default: 1)",
+    )
+    sweep_parser.add_argument(
+        "--tenant-mixes", default="none",
+        help=f"comma-separated tenant-mix axis: "
+             f"{sorted(TENANT_MIXES)} (default: none)",
+    )
+    sweep_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the merged suite report as JSON",
+    )
+
     compare_parser = sub.add_parser(
         "compare", help="reproduce the paper's cross-environment comparison"
     )
@@ -109,21 +178,61 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.list_scenarios:
+        catalog = scenario_catalog(duration_s=args.duration, seed=args.seed)
+        for name, spec in catalog.items():
+            kind = "open-loop" if spec.open_loop else "closed-loop"
+            if spec.consolidated:
+                kind += (
+                    " + " + ", ".join(t.name for t in spec.tenants)
+                    + " tenant(s)"
+                )
+            print(f"{name:<40s} {kind}")
+        return 0
     if args.export_columnar and not args.columnar:
         raise ConfigurationError("--export-columnar requires --columnar")
-    config = ExperimentConfig(
-        environment=args.environment,
-        composition=args.composition,
-        duration_s=args.duration,
-        seed=args.seed,
-        clients=args.clients,
-        scale=args.scale,
-        traffic=args.traffic,
-        rate_rps=args.rate,
-        session_budget=args.session_budget,
-        collect_full_registry=args.columnar,
-    )
-    spec = config.to_scenario()
+    if args.scenario is not None:
+        # A catalogue entry fully describes its traffic and shaping, so
+        # flags that would silently conflict with it are rejected
+        # instead of dropped.
+        conflicting = {
+            "--environment": args.environment != "virtualized",
+            "--composition": args.composition != "browsing",
+            "--traffic": args.traffic != "closed",
+            "--scale": args.scale != 1.0,
+            "--rate": args.rate is not None,
+            "--session-budget": args.session_budget is not None,
+        }
+        rejected = [flag for flag, given in conflicting.items() if given]
+        if rejected:
+            raise ConfigurationError(
+                f"--scenario is incompatible with {', '.join(rejected)}; "
+                "the catalogue entry defines its own workload, traffic "
+                "and shape"
+            )
+        catalog = scenario_catalog(
+            duration_s=args.duration, seed=args.seed, clients=args.clients
+        )
+        if args.scenario not in catalog:
+            raise ConfigurationError(
+                f"unknown scenario {args.scenario!r}; "
+                "see `repro run --list` for the catalogue"
+            )
+        spec = catalog[args.scenario]
+    else:
+        config = ExperimentConfig(
+            environment=args.environment,
+            composition=args.composition,
+            duration_s=args.duration,
+            seed=args.seed,
+            clients=args.clients,
+            scale=args.scale,
+            traffic=args.traffic,
+            rate_rps=args.rate,
+            session_budget=args.session_budget,
+            collect_full_registry=args.columnar,
+        )
+        spec = config.to_scenario()
     if spec.open_loop:
         if spec.traffic.kind == "trace" and spec.traffic.rate_rps is None:
             # The replay rate comes from the trace file, not the mix.
@@ -137,6 +246,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
     else:
         driver_label = f"{spec.mix.clients} clients closed-loop"
+    if spec.consolidated:
+        driver_label += (
+            " + co-resident " + ", ".join(t.name for t in spec.tenants)
+        )
     print(
         f"running {spec.name}: {driver_label}, "
         f"{spec.duration_s:.0f}s simulated",
@@ -162,6 +275,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"({report['shed_fraction']:.1%}); arrival trace sha256 "
             f"{result.arrival_trace.sha256()[:16]}"
         )
+    if result.tenant_reports:
+        for name, report in result.tenant_reports.items():
+            print(
+                f"tenant {name}: {report.get('jobs_completed', 0)}/"
+                f"{report.get('jobs_submitted', 0)} jobs, "
+                f"{report.get('tasks_completed', 0)} tasks completed"
+            )
+        ready = (result.interference or {}).get("cpu_ready_s", {})
+        if ready:
+            readable = ", ".join(
+                f"{domain} {seconds:.2f}s"
+                for domain, seconds in sorted(ready.items())
+            )
+            print(f"CPU ready time: {readable}")
     if not args.no_report:
         # Clamp the warm-up so very short runs keep enough samples.
         warmup_s = min(30.0, spec.duration_s / 4.0)
@@ -190,6 +317,76 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"columnar samples written to {args.export_columnar}",
             file=sys.stderr,
         )
+    return 0
+
+
+def _split_axis(text: str) -> list:
+    return [token.strip() for token in text.split(",") if token.strip()]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.grid is not None:
+        # Presets define their own axes; reject flags that would
+        # otherwise be silently dropped.
+        overridden = {
+            "--environments": args.environments != "virtualized",
+            "--compositions": args.compositions != "browsing",
+            "--traffics": args.traffics != "closed",
+            "--scales": args.scales != "1",
+            "--tenant-mixes": args.tenant_mixes != "none",
+        }
+        rejected = [flag for flag, given in overridden.items() if given]
+        if rejected:
+            raise ConfigurationError(
+                f"--grid {args.grid} is incompatible with "
+                f"{', '.join(rejected)}; presets define their own axes "
+                "(omit --grid to build a custom grid)"
+            )
+    if args.grid == "paper":
+        runs = paper_matrix_suite(
+            duration_s=args.duration, seed=args.seed, clients=args.clients
+        )
+    elif args.grid == "quick":
+        # The CI smoke grid: two short virtualized runs.
+        runs = suite_grid(
+            environments=("virtualized",),
+            compositions=("browsing", "bidding"),
+            duration_s=args.duration if args.duration is not None else 40.0,
+            seed=args.seed,
+            clients=args.clients if args.clients is not None else 150,
+        )
+    else:
+        mixes = []
+        for token in _split_axis(args.tenant_mixes):
+            if token not in TENANT_MIXES:
+                raise ConfigurationError(
+                    f"unknown tenant mix {token!r}; "
+                    f"choose from {sorted(TENANT_MIXES)}"
+                )
+            mixes.append(TENANT_MIXES[token])
+        runs = suite_grid(
+            environments=_split_axis(args.environments),
+            compositions=_split_axis(args.compositions),
+            traffics=[
+                None if token == "closed" else token
+                for token in _split_axis(args.traffics)
+            ],
+            scales=[float(token) for token in _split_axis(args.scales)],
+            tenant_mixes=mixes,
+            duration_s=args.duration,
+            seed=args.seed,
+            clients=args.clients,
+        )
+    print(
+        f"sweeping {len(runs)} runs on {args.workers} worker(s) ...",
+        file=sys.stderr,
+    )
+    suite = run_suite(runs, workers=args.workers)
+    print(suite.render())
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(suite.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"suite report written to {args.json}", file=sys.stderr)
     return 0
 
 
@@ -225,6 +422,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "compare":
         return _cmd_compare(args)
     if args.command == "table1":

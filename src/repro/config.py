@@ -9,12 +9,13 @@ Round-trips through plain dicts (and therefore JSON).
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
-from typing import Optional
+from dataclasses import asdict, dataclass, field, replace
+from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.experiments.scenarios import (
     ENVIRONMENTS,
+    VIRTUALIZED,
     Scenario,
     default_duration_s,
     open_loop_scenario,
@@ -22,6 +23,7 @@ from repro.experiments.scenarios import (
 )
 from repro.rubis.workload import PAPER_COMPOSITIONS
 from repro.traffic.spec import TrafficSpec
+from repro.workloads.base import TenantSpec
 
 
 @dataclass(frozen=True)
@@ -43,10 +45,24 @@ class ExperimentConfig:
     rate_rps: Optional[float] = None
     #: Concurrent-session cap for open-loop traffic (overload shedding).
     session_budget: Optional[int] = None
+    #: Co-resident tenant VMs (consolidation); each entry is a
+    #: :class:`~repro.workloads.base.TenantSpec` (or its dict form).
+    tenants: Tuple[TenantSpec, ...] = ()
     collect_full_registry: bool = False
     metadata: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        # Deserialized tenants arrive as plain dicts; normalize to the
+        # hashable spec tuple so equality and round-trips hold.
+        coerced = tuple(
+            entry if isinstance(entry, TenantSpec) else TenantSpec.from_dict(entry)
+            for entry in self.tenants
+        )
+        object.__setattr__(self, "tenants", coerced)
+        if self.tenants and self.environment != VIRTUALIZED:
+            raise ConfigurationError(
+                "tenants require the virtualized environment"
+            )
         if self.environment not in ENVIRONMENTS:
             raise ConfigurationError(
                 f"unknown environment {self.environment!r}; "
@@ -97,7 +113,7 @@ class ExperimentConfig:
         """The runnable scenario this configuration describes."""
         traffic = self.traffic_spec()
         if traffic is not None:
-            return open_loop_scenario(
+            spec = open_loop_scenario(
                 self.environment,
                 self.composition,
                 duration_s=self.duration_s,
@@ -106,14 +122,21 @@ class ExperimentConfig:
                 scale=self.scale,
                 traffic=traffic,
             )
-        return scenario(
-            self.environment,
-            self.composition,
-            duration_s=self.duration_s,
-            seed=self.seed,
-            clients=self.clients,
-            scale=self.scale,
-        )
+        else:
+            spec = scenario(
+                self.environment,
+                self.composition,
+                duration_s=self.duration_s,
+                seed=self.seed,
+                clients=self.clients,
+                scale=self.scale,
+            )
+        if self.tenants:
+            names = "+".join(t.name for t in self.tenants)
+            spec = replace(
+                spec, name=f"{spec.name}+{names}", tenants=self.tenants
+            )
+        return spec
 
     @property
     def effective_duration_s(self) -> float:
@@ -141,6 +164,7 @@ class ExperimentConfig:
             "traffic",
             "rate_rps",
             "session_budget",
+            "tenants",
             "collect_full_registry",
             "metadata",
         }

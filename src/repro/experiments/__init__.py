@@ -30,13 +30,34 @@ from repro.experiments.calibration import (
 )
 from repro.experiments.scenarios import (
     Scenario,
+    consolidated_scenario,
+    consolidated_web_batch_scenario,
     default_duration_s,
     flash_crowd_scenario,
     open_loop_scenario,
     paper_scenarios,
     scenario,
+    scenario_catalog,
+)
+from repro.experiments.testbed import (
+    Testbed,
+    TestbedBuilder,
+    build_deployment,
+    build_testbed,
+    calibrated_environment,
 )
 from repro.experiments.runner import ExperimentResult, run_scenario, run_scenario_cached
+from repro.experiments.suite import (
+    RunSummary,
+    SuiteResult,
+    SuiteRun,
+    derive_run_seed,
+    execute_run,
+    interference_checks,
+    paper_matrix_suite,
+    run_suite,
+    suite_grid,
+)
 from repro.experiments.figures import FigurePanel, FigureData, figure, render_figure
 from repro.experiments.tables import render_table1, table1_rows
 from repro.experiments.compare import (
@@ -61,11 +82,28 @@ __all__ = [
     "scenario",
     "open_loop_scenario",
     "flash_crowd_scenario",
+    "consolidated_scenario",
+    "consolidated_web_batch_scenario",
     "paper_scenarios",
+    "scenario_catalog",
     "default_duration_s",
+    "Testbed",
+    "TestbedBuilder",
+    "build_deployment",
+    "build_testbed",
+    "calibrated_environment",
     "ExperimentResult",
     "run_scenario",
     "run_scenario_cached",
+    "SuiteRun",
+    "RunSummary",
+    "SuiteResult",
+    "suite_grid",
+    "paper_matrix_suite",
+    "run_suite",
+    "execute_run",
+    "derive_run_seed",
+    "interference_checks",
     "FigurePanel",
     "FigureData",
     "figure",

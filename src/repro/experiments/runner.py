@@ -1,15 +1,17 @@
 """End-to-end experiment runner.
 
-``run_scenario`` assembles the calibrated deployment for the scenario's
-environment, spins up the client population, samples traces at the 2 s
-period, runs the DES to the horizon and returns an
-:class:`ExperimentResult` with the traces, the client statistics and
-handles for deeper inspection.
+``run_scenario`` builds the scenario's testbed through the
+:class:`~repro.experiments.testbed.TestbedBuilder` (the paper's
+single-tenant deployments, or a multi-tenant consolidated server when
+the scenario carries tenant specs), arms every workload's driver,
+samples traces at the 2 s period, runs the DES to the horizon and
+returns an :class:`ExperimentResult` with the traces, the client
+statistics, per-tenant reports and handles for deeper inspection.
 
-``run_scenario_cached`` memoizes results by scenario fingerprint within
-the process: the benchmark suite regenerates several figures from the
-same four underlying runs, exactly like the paper extracts all its
-figures from one run matrix.
+``run_scenario_cached`` memoizes results by the scenario's full cache
+fingerprint within the process: the benchmark suite regenerates several
+figures from the same four underlying runs, exactly like the paper
+extracts all its figures from one run matrix.
 """
 
 from __future__ import annotations
@@ -17,30 +19,23 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.errors import ConfigurationError
-from repro.monitoring.probes import ContextProbe, Dom0Probe
+import numpy as np
+
 from repro.monitoring.registry import MetricRegistry
 from repro.monitoring.sampler import TraceRecorder
 from repro.monitoring.timeseries import TraceSet
-from repro.rubis.client import ClientPopulation, SessionStats
-from repro.rubis.deployment import (
-    BareMetalDeployment,
-    Deployment,
-    VirtualizedDeployment,
-)
-from repro.rubis.transitions import bidding_matrix, browsing_matrix
-from repro.rubis.workload import SessionType
+from repro.rubis.client import SessionStats
+from repro.rubis.deployment import Deployment
 from repro.sim.engine import Simulator
 from repro.sim.random import RandomStreams
-from repro.traffic.driver import ArrivalMeter, OpenLoopDriver
-from repro.traffic.spec import build_driver as build_traffic_driver
+from repro.traffic.driver import OpenLoopDriver
 from repro.traffic.trace import RateTrace
-from repro.experiments.calibration import (
-    CalibratedEnvironment,
-    calibrate_bare_metal,
-    calibrate_virtualized,
+from repro.experiments.scenarios import Scenario
+from repro.experiments.testbed import (  # noqa: F401  (compat re-exports)
+    build_deployment,
+    build_testbed,
+    calibrated_environment,
 )
-from repro.experiments.scenarios import BARE_METAL, VIRTUALIZED, Scenario
 
 
 @dataclass
@@ -65,6 +60,11 @@ class ExperimentResult:
     arrival_trace: Optional[RateTrace] = field(repr=False, default=None)
     #: Open-loop overload report (offered/admitted/shed counters).
     traffic_report: Optional[dict] = None
+    #: Per-tenant summaries of consolidated runs ({tenant: summary}).
+    tenant_reports: Optional[dict] = None
+    #: Consolidation signals (per-domain CPU ready time); present for
+    #: every virtualized run, zero-valued without co-tenants.
+    interference: Optional[dict] = None
 
     @property
     def throughput_rps(self) -> float:
@@ -75,40 +75,19 @@ class ExperimentResult:
         """True when an OpenLoopDriver produced this result."""
         return isinstance(self.population, OpenLoopDriver)
 
+    @property
+    def p95_response_time_s(self) -> float:
+        """95th-percentile response time (0 when nothing completed)."""
+        times = self.client_stats.response_times_s
+        if not times:
+            return 0.0
+        return float(np.percentile(np.asarray(times), 95.0))
 
-_calibration_cache: Dict[str, CalibratedEnvironment] = {}
-
-
-def _calibrated(environment: str) -> CalibratedEnvironment:
-    if environment not in _calibration_cache:
-        if environment == VIRTUALIZED:
-            _calibration_cache[environment] = calibrate_virtualized()
-        elif environment == BARE_METAL:
-            _calibration_cache[environment] = calibrate_bare_metal()
-        else:
-            raise ConfigurationError(f"unknown environment {environment!r}")
-    return _calibration_cache[environment]
-
-
-def build_deployment(
-    sim: Simulator, streams: RandomStreams, environment: str
-) -> Deployment:
-    """Construct the calibrated deployment for one environment."""
-    calibrated = _calibrated(environment)
-    if environment == VIRTUALIZED:
-        return VirtualizedDeployment(
-            sim,
-            streams,
-            config=calibrated.deployment_config,
-            overhead=calibrated.overhead,
-        )
-    return BareMetalDeployment(
-        sim,
-        streams,
-        config=calibrated.deployment_config,
-        web_os_model=calibrated.web_os_model,
-        db_os_model=calibrated.db_os_model,
-    )
+    def cpu_ready_seconds(self, domain_name: str) -> float:
+        """Cumulative ready time of one domain (0 for bare metal)."""
+        if not self.interference:
+            return 0.0
+        return self.interference.get("cpu_ready_s", {}).get(domain_name, 0.0)
 
 
 def run_scenario(
@@ -136,63 +115,26 @@ def run_scenario(
     rate trace (the input to model fitting and open-loop replay); it
     draws no randomness and schedules no events, so traces are
     bit-identical with and without it.
+
+    Consolidated scenarios (``scenario.tenants``) run every tenant
+    workload on one shared hypervisor; their per-tenant summaries land
+    on ``result.tenant_reports`` and the interference signals (CPU
+    ready/steal time per domain) on ``result.interference``.
     """
     sim = Simulator()
     streams = RandomStreams(seed=scenario.seed)
-    deployment = build_deployment(sim, streams, scenario.environment)
+    testbed = build_testbed(
+        sim, streams, scenario, meter_arrivals=meter_arrivals
+    )
+    web = testbed.web
 
-    matrices = {
-        SessionType.BROWSE: browsing_matrix(),
-        SessionType.BID: bidding_matrix(),
-    }
-    traffic = scenario.traffic
-    meter: Optional[ArrivalMeter] = None
-    if traffic is not None and traffic.open_loop:
-        population = build_traffic_driver(
-            traffic,
-            sim,
-            scenario.mix,
-            deployment.send,
-            streams,
-            matrices,
-        )
-        meter = population.meter
-    else:
-        send_fn = deployment.send
-        if meter_arrivals:
-            meter = ArrivalMeter()
-            send_fn = _metered_send(meter, sim, send_fn)
-        population = ClientPopulation(
-            sim,
-            scenario.mix,
-            send_fn,
-            streams.stream("clients"),
-            matrices,
-            ramp_s=scenario.ramp_s,
-        )
-    deployment.population = population
-
-    probes = [
-        ContextProbe(
-            "web",
-            deployment.web_context,
-            requests_fn=lambda: deployment.php_tier.requests_handled,
-        ),
-        ContextProbe(
-            "db",
-            deployment.db_context,
-            requests_fn=lambda: deployment.mysql_tier.station.stats.completions,
-        ),
-    ]
-    if scenario.environment == VIRTUALIZED:
-        probes.append(Dom0Probe(deployment.hypervisor))
     if collect_full_registry and registry is None:
         from repro.monitoring.registry import build_registry
 
         registry = build_registry()
     recorder = TraceRecorder(
         sim,
-        probes,
+        testbed.probes(),
         environment=scenario.environment,
         workload=scenario.mix.name,
         registry=registry,
@@ -201,19 +143,21 @@ def run_scenario(
         columnar_rows=columnar_rows,
     )
 
-    population.start()
+    testbed.start()
     sim.run_until(scenario.duration_s)
     recorder.stop()
-    deployment.shutdown()
+    testbed.shutdown()
 
-    stats = population.stats
+    stats = web.stats
+    meter = web.meter
+    population = web.population
     return ExperimentResult(
         scenario=scenario,
         traces=recorder.traces,
         client_stats=stats,
         requests_completed=stats.responses_received,
         mean_response_time_s=stats.mean_response_time_s,
-        deployment=deployment,
+        deployment=testbed.deployment,
         population=population,
         full_rows=recorder.full_rows,
         columnar=recorder.columnar,
@@ -227,17 +171,9 @@ def run_scenario(
             if isinstance(population, OpenLoopDriver)
             else None
         ),
+        tenant_reports=testbed.tenant_reports(),
+        interference=testbed.interference_report(),
     )
-
-
-def _metered_send(meter: ArrivalMeter, sim: Simulator, send_fn):
-    """Wrap a deployment send function to count offered arrivals."""
-
-    def metered(session, interaction, on_response):
-        meter.record(sim.now)
-        send_fn(session, interaction, on_response)
-
-    return metered
 
 
 _result_cache: Dict[tuple, ExperimentResult] = {}

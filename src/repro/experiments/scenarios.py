@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.rubis.workload import (
@@ -32,6 +32,7 @@ from repro.rubis.workload import (
 )
 from repro.traffic.shapes import FlashCrowdShape, RateShape
 from repro.traffic.spec import TrafficSpec
+from repro.workloads.base import TenantSpec
 
 VIRTUALIZED = "virtualized"
 BARE_METAL = "bare-metal"
@@ -58,6 +59,16 @@ class Scenario:
     open-loop :class:`~repro.traffic.spec.TrafficSpec` replaces it with
     an arrival-process-driven :class:`~repro.traffic.driver.
     OpenLoopDriver`.
+
+    ``tenants`` adds co-resident VMs to the testbed: each
+    :class:`~repro.workloads.base.TenantSpec` becomes one extra domain
+    (e.g. a MapReduce batch VM) on the *same* hypervisor as the web
+    tiers, sharing the credit scheduler and dom0 I/O backends.
+    Consolidation requires the virtualized environment.
+
+    ``scale`` records the stress multiplier the factory applied to
+    horizon and clients, so two scenarios that differ only in how they
+    were scaled never share a cache fingerprint.
     """
 
     name: str
@@ -67,6 +78,8 @@ class Scenario:
     seed: int = 42
     ramp_s: float = 10.0
     traffic: Optional[TrafficSpec] = None
+    scale: float = 1.0
+    tenants: Tuple[TenantSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if self.environment not in ENVIRONMENTS:
@@ -76,6 +89,21 @@ class Scenario:
             )
         if self.duration_s <= 0:
             raise ConfigurationError("duration_s must be positive")
+        if self.scale <= 0:
+            raise ConfigurationError("scale must be positive")
+        if not isinstance(self.tenants, tuple):
+            object.__setattr__(self, "tenants", tuple(self.tenants))
+        if self.tenants:
+            if self.environment != VIRTUALIZED:
+                raise ConfigurationError(
+                    "co-resident tenants require the virtualized "
+                    "environment (consolidation is a hypervisor feature)"
+                )
+            names = [t.name for t in self.tenants]
+            if len(set(names)) != len(names):
+                raise ConfigurationError(
+                    f"duplicate tenant names: {names}"
+                )
 
     @property
     def open_loop(self) -> bool:
@@ -83,16 +111,39 @@ class Scenario:
         return self.traffic is not None and self.traffic.open_loop
 
     @property
+    def consolidated(self) -> bool:
+        """True when co-resident tenant VMs share the hypervisor."""
+        return bool(self.tenants)
+
+    @property
     def cache_key(self) -> tuple:
+        """Full behavioural fingerprint of the run this describes.
+
+        Covers every field that changes the run's traces: the mix
+        (including its burst schedules), the traffic spec, the scale
+        knob and the tenant set — so memoized results can never be
+        served across scenarios that would simulate differently.
+        """
+        bursts = tuple(
+            sorted(
+                (kind.value, sched.count, sched.window_s, sched.fraction)
+                for kind, sched in self.mix.burst_schedules.items()
+            )
+        )
         return (
             self.name,
             self.environment,
             self.mix.name,
+            self.mix.browse_fraction,
             self.mix.clients,
             self.mix.think_time_s,
+            bursts,
             self.duration_s,
             self.seed,
+            self.ramp_s,
             self.traffic,
+            self.scale,
+            self.tenants,
         )
 
 
@@ -178,6 +229,7 @@ def scenario(
         mix=mix,
         duration_s=duration,
         seed=seed,
+        scale=scale,
     )
 
 
@@ -300,6 +352,55 @@ def flash_crowd_scenario(
     return replace(spec, name=f"{environment}/{composition}/flash-crowd")
 
 
+def consolidated_scenario(
+    composition: str = "browsing",
+    duration_s: float = None,
+    seed: int = 42,
+    clients: int = None,
+    scale: float = 1.0,
+    tenants: Optional[Sequence[TenantSpec]] = None,
+    name: Optional[str] = None,
+) -> Scenario:
+    """A multi-tenant run: the web workload plus co-resident batch VMs.
+
+    The web tiers keep the paper's closed-loop setup; every tenant spec
+    adds one more VM on the *same* hypervisor, so batch CPU demand
+    contends in the credit scheduler and batch I/O shares the dom0
+    split drivers — the co-location interference that motivates
+    characterizing workloads on virtualized servers in the first place.
+    """
+    base = scenario(
+        VIRTUALIZED,
+        composition,
+        duration_s=duration_s,
+        seed=seed,
+        clients=clients,
+        scale=scale,
+    )
+    tenant_tuple = tuple(tenants) if tenants is not None else (TenantSpec(),)
+    if not tenant_tuple:
+        raise ConfigurationError(
+            "consolidated_scenario needs at least one tenant"
+        )
+    label = name or (
+        f"{base.name}+{'+'.join(t.name for t in tenant_tuple)}"
+    )
+    return replace(base, name=label, tenants=tenant_tuple)
+
+
+def consolidated_web_batch_scenario(
+    duration_s: float = None, seed: int = 42, clients: int = None
+) -> Scenario:
+    """The canonical consolidation run: browsing web VM + sort batch VM."""
+    return consolidated_scenario(
+        "browsing",
+        duration_s=duration_s,
+        seed=seed,
+        clients=clients,
+        name="consolidated_web_batch",
+    )
+
+
 def paper_scenarios(duration_s: float = None, seed: int = 42) -> Dict[str, Scenario]:
     """The paper's full run matrix.
 
@@ -316,4 +417,38 @@ def paper_scenarios(duration_s: float = None, seed: int = 42) -> Dict[str, Scena
         out[f"bare-metal/{composition}"] = scenario(
             BARE_METAL, composition, duration_s, seed
         )
+    return out
+
+
+def scenario_catalog(
+    duration_s: float = None, seed: int = 42, clients: int = None
+) -> Dict[str, Scenario]:
+    """Every named scenario the CLI can run (``repro run --list``).
+
+    The paper's seven-run matrix plus the extensions: the consolidated
+    multi-tenant runs and the open-loop flash crowd.  ``clients``
+    overrides the 1000-client population of every entry.
+    """
+    out = {}
+    for name, spec in paper_scenarios(duration_s, seed).items():
+        if clients is not None:
+            environment, composition = name.split("/", 1)
+            spec = scenario(
+                environment, composition, duration_s, seed, clients=clients
+            )
+        out[name] = spec
+    out["consolidated_web_batch"] = consolidated_web_batch_scenario(
+        duration_s, seed, clients=clients
+    )
+    out["consolidated_bidding_batch"] = consolidated_scenario(
+        "bidding",
+        duration_s=duration_s,
+        seed=seed,
+        clients=clients,
+        name="consolidated_bidding_batch",
+    )
+    flash = flash_crowd_scenario(
+        duration_s=duration_s, seed=seed, clients=clients
+    )
+    out[flash.name] = flash
     return out

@@ -1,0 +1,334 @@
+"""Parallel experiment-suite orchestration.
+
+The paper's figures come from a *matrix* of runs (environments x
+compositions); the growth roadmap multiplies that by traffic kinds,
+stress scales and tenant mixes.  This module runs such grids across
+worker processes:
+
+* :func:`suite_grid` expands declarative axes into
+  :class:`SuiteRun`s — each a serializable
+  :class:`~repro.config.ExperimentConfig` plus a stable run id;
+* per-run seeds derive from the suite seed and the run id through
+  SHA-256 (:func:`derive_run_seed`), so a run's random streams depend
+  only on *which* run it is — never on worker count, scheduling order
+  or process reuse (the multiprocess-determinism invariant);
+* :func:`run_suite` executes the grid inline (``workers=1``) or on a
+  spawn-context process pool, returning one :class:`SuiteResult` whose
+  merged per-run summaries and trace fingerprints are identical either
+  way;
+* interference axes: grids may add consolidated (multi-tenant) runs
+  through ``tenant_mixes``, and :func:`interference_checks` verifies
+  the qualitative consolidation findings (web p95 latency and CPU
+  ready time strictly higher than the web-only baseline).
+
+Workers communicate in plain data (config dicts in, summary dicts
+out): results are mergeable, JSON-exportable and independent of any
+in-process object graph.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.config import ExperimentConfig
+from repro.errors import ConfigurationError
+from repro.monitoring.export import trace_set_sha256
+from repro.workloads.base import TenantSpec
+
+#: Tenant-mix tokens the CLI grid axis accepts.
+TENANT_MIXES: Dict[str, Tuple[TenantSpec, ...]] = {
+    "none": (),
+    "batch": (TenantSpec(),),
+}
+
+
+def derive_run_seed(base_seed: int, run_id: str) -> int:
+    """Deterministic 63-bit per-run seed from the suite seed + run id.
+
+    Stable across processes, platforms and Python hash randomization
+    (SHA-256, not ``hash()``), and independent of how runs are
+    distributed over workers — the property that makes a 4-worker
+    sweep bit-identical to the same sweep run serially.
+    """
+    digest = hashlib.sha256(
+        f"{int(base_seed)}:{run_id}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+@dataclass(frozen=True)
+class SuiteRun:
+    """One cell of a suite grid: a run id plus its full config."""
+
+    run_id: str
+    config: ExperimentConfig
+
+
+@dataclass
+class RunSummary:
+    """Plain-data outcome of one suite run (picklable, mergeable)."""
+
+    run_id: str
+    scenario_name: str
+    seed: int
+    duration_s: float
+    wall_clock_s: float
+    requests_completed: int
+    throughput_rps: float
+    mean_response_time_s: float
+    p95_response_time_s: float
+    trace_sha256: str
+    traffic_report: Optional[dict] = None
+    tenant_reports: Optional[dict] = None
+    cpu_ready_s: Optional[dict] = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSummary":
+        return cls(**data)
+
+
+@dataclass
+class SuiteResult:
+    """Merged outcome of a whole suite.
+
+    The per-run seeds (derived by :func:`suite_grid` from the suite
+    seed and each run id) are recorded on the individual
+    :class:`RunSummary` entries.
+    """
+
+    summaries: Dict[str, RunSummary]
+    workers: int
+    wall_clock_s: float
+
+    def merged_sha256(self) -> str:
+        """Order-independent fingerprint over every run's traces."""
+        digest = hashlib.sha256()
+        for run_id in sorted(self.summaries):
+            digest.update(run_id.encode("utf-8"))
+            digest.update(self.summaries[run_id].trace_sha256.encode("utf-8"))
+        return digest.hexdigest()
+
+    def to_dict(self) -> dict:
+        return {
+            "workers": self.workers,
+            "wall_clock_s": self.wall_clock_s,
+            "merged_sha256": self.merged_sha256(),
+            "runs": {
+                run_id: summary.to_dict()
+                for run_id, summary in self.summaries.items()
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable suite report table."""
+        lines = [
+            f"{'run':<44s} {'reqs':>8s} {'X req/s':>8s} "
+            f"{'mean ms':>8s} {'p95 ms':>8s}  trace sha256",
+        ]
+        for run_id, s in self.summaries.items():
+            lines.append(
+                f"{run_id:<44s} {s.requests_completed:>8d} "
+                f"{s.throughput_rps:>8.1f} "
+                f"{s.mean_response_time_s * 1000:>8.1f} "
+                f"{s.p95_response_time_s * 1000:>8.1f}  "
+                f"{s.trace_sha256[:16]}"
+            )
+        lines.append(
+            f"{len(self.summaries)} runs, {self.workers} worker(s), "
+            f"{self.wall_clock_s:.1f}s wall clock; merged sha256 "
+            f"{self.merged_sha256()[:16]}"
+        )
+        return "\n".join(lines)
+
+
+# -- grid construction ----------------------------------------------------
+
+
+def suite_grid(
+    environments: Sequence[str] = ("virtualized",),
+    compositions: Sequence[str] = ("browsing",),
+    traffics: Sequence[Optional[str]] = (None,),
+    scales: Sequence[float] = (1.0,),
+    tenant_mixes: Sequence[Tuple[TenantSpec, ...]] = ((),),
+    duration_s: Optional[float] = None,
+    seed: int = 42,
+    clients: Optional[int] = None,
+) -> List[SuiteRun]:
+    """Expand grid axes into a list of suite runs.
+
+    The run id encodes every axis value, and the per-run seed derives
+    from it (:func:`derive_run_seed`).  Invalid cells — tenants on a
+    bare-metal environment — are skipped, so mixed grids stay
+    declarative.
+    """
+    runs: List[SuiteRun] = []
+    for environment, composition, traffic, scale, tenants in (
+        itertools.product(
+            environments, compositions, traffics, scales, tenant_mixes
+        )
+    ):
+        tenants = tuple(tenants)
+        if tenants and environment != "virtualized":
+            continue  # consolidation needs a hypervisor
+        parts = [environment, composition]
+        if traffic not in (None, "closed"):
+            parts.append(str(traffic))
+        if scale != 1.0:
+            parts.append(f"x{scale:g}")
+        if tenants:
+            parts.append("+".join(t.name for t in tenants))
+        run_id = "/".join(parts)
+        config = ExperimentConfig(
+            environment=environment,
+            composition=composition,
+            duration_s=duration_s,
+            seed=derive_run_seed(seed, run_id),
+            clients=clients,
+            scale=scale,
+            traffic=traffic,
+            tenants=tenants,
+        )
+        runs.append(SuiteRun(run_id=run_id, config=config))
+    if not runs:
+        raise ConfigurationError("suite grid expanded to zero valid runs")
+    return runs
+
+
+def paper_matrix_suite(
+    duration_s: Optional[float] = None,
+    seed: int = 42,
+    clients: Optional[int] = None,
+) -> List[SuiteRun]:
+    """The paper's published 4-run matrix (2 environments x 2 workloads)."""
+    return suite_grid(
+        environments=("virtualized", "bare-metal"),
+        compositions=("browsing", "bidding"),
+        duration_s=duration_s,
+        seed=seed,
+        clients=clients,
+    )
+
+
+# -- execution -------------------------------------------------------------
+
+
+def execute_run(run: SuiteRun) -> RunSummary:
+    """Run one suite cell in this process and summarize it."""
+    from repro.experiments.runner import run_scenario
+
+    scenario = run.config.to_scenario()
+    started = time.perf_counter()
+    result = run_scenario(scenario)
+    wall = time.perf_counter() - started
+    interference = result.interference or {}
+    return RunSummary(
+        run_id=run.run_id,
+        scenario_name=scenario.name,
+        seed=scenario.seed,
+        duration_s=scenario.duration_s,
+        wall_clock_s=wall,
+        requests_completed=result.requests_completed,
+        throughput_rps=result.throughput_rps,
+        mean_response_time_s=result.mean_response_time_s,
+        p95_response_time_s=result.p95_response_time_s,
+        trace_sha256=trace_set_sha256(result.traces),
+        traffic_report=result.traffic_report,
+        tenant_reports=result.tenant_reports,
+        cpu_ready_s=interference.get("cpu_ready_s"),
+    )
+
+
+def _execute_payload(payload: dict) -> dict:
+    """Worker entry point: plain dict in, plain dict out (spawn-safe)."""
+    run = SuiteRun(
+        run_id=payload["run_id"],
+        config=ExperimentConfig.from_dict(payload["config"]),
+    )
+    return execute_run(run).to_dict()
+
+
+def run_suite(
+    runs: Iterable[SuiteRun],
+    workers: int = 1,
+) -> SuiteResult:
+    """Execute a suite grid and merge the per-run summaries.
+
+    ``workers=1`` runs inline (no subprocesses).  With more workers the
+    runs execute on a ``spawn``-context process pool: each worker is a
+    fresh interpreter, receives configs as plain dicts and returns
+    summaries as plain dicts, so results cannot depend on inherited
+    process state.  Run ids, seeds and therefore traces are identical
+    across worker counts; only wall clock changes.
+    """
+    run_list = list(runs)
+    if not run_list:
+        raise ConfigurationError("run_suite needs at least one run")
+    ids = [run.run_id for run in run_list]
+    if len(set(ids)) != len(ids):
+        raise ConfigurationError(f"duplicate run ids in suite: {ids}")
+    if workers < 1:
+        raise ConfigurationError("workers must be >= 1")
+    workers = min(workers, len(run_list))
+    started = time.perf_counter()
+    if workers == 1:
+        summaries = [execute_run(run) for run in run_list]
+    else:
+        import multiprocessing
+
+        payloads = [
+            {"run_id": run.run_id, "config": run.config.to_dict()}
+            for run in run_list
+        ]
+        context = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        ) as pool:
+            summaries = [
+                RunSummary.from_dict(out)
+                for out in pool.map(_execute_payload, payloads)
+            ]
+    wall = time.perf_counter() - started
+    return SuiteResult(
+        summaries={s.run_id: s for s in summaries},
+        workers=workers,
+        wall_clock_s=wall,
+    )
+
+
+# -- qualitative consolidation checks -------------------------------------
+
+
+def interference_checks(
+    web_only: "RunSummary", consolidated: "RunSummary"
+) -> Dict[str, bool]:
+    """The consolidation findings, as named pass/fail checks.
+
+    Compares a web-only baseline against the same web workload running
+    next to batch tenants: co-location must *strictly* raise the web
+    tier's p95 latency and its domain's CPU ready (steal) time, and
+    the batch tenant must have made real progress (the interference is
+    caused by work, not by accounting).
+    """
+    ready = consolidated.cpu_ready_s or {}
+    baseline_ready = (web_only.cpu_ready_s or {}).get("web-vm", 0.0)
+    tenants = consolidated.tenant_reports or {}
+    batch_progress = sum(
+        report.get("tasks_completed", 0) for report in tenants.values()
+    )
+    return {
+        "web p95 latency strictly above web-only baseline": (
+            consolidated.p95_response_time_s > web_only.p95_response_time_s
+        ),
+        "web-vm CPU ready time strictly above baseline": (
+            ready.get("web-vm", 0.0) > baseline_ready
+        ),
+        "batch tenant completed tasks": batch_progress > 0,
+    }

@@ -1,0 +1,216 @@
+"""Testbed assembly: from a declarative scenario to live workloads.
+
+The :class:`TestbedBuilder` is the consolidation layer between the
+scenario vocabulary and the simulated hardware:
+
+* a **single-tenant** scenario (no ``tenants``) assembles exactly the
+  paper's testbed — the calibrated
+  :class:`~repro.rubis.deployment.VirtualizedDeployment` or
+  :class:`~repro.rubis.deployment.BareMetalDeployment` with its private
+  server(s) — via the same construction path the pre-refactor runner
+  used, so existing scenarios keep bit-identical traces;
+* a **multi-tenant** scenario builds one shared
+  :class:`~repro.virt.hypervisor.Hypervisor` first, attaches the web
+  VMs to it, then creates one extra domain per
+  :class:`~repro.workloads.base.TenantSpec` and wires the tenant's
+  workload (e.g. MapReduce) into that VM's
+  :class:`~repro.apps.tier.VirtualizedContext`.  All tenants share the
+  physical cores through the credit scheduler and the dom0 block/net
+  backends — the two interference channels the consolidation scenarios
+  measure.
+
+The resulting :class:`Testbed` owns workload lifecycles and the probe
+set (web/db, dom0, one namespace per tenant) the trace recorder
+samples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.apps.tier import VirtualizedContext
+from repro.errors import ConfigurationError
+from repro.hardware.cluster import Cluster
+from repro.monitoring.probes import Dom0Probe, Probe
+from repro.rubis.deployment import (
+    BareMetalDeployment,
+    Deployment,
+    VirtualizedDeployment,
+)
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+from repro.units import GB
+from repro.virt.hypervisor import Hypervisor
+from repro.workloads import Workload, build_tenant_workload
+from repro.workloads.rubis import RubisWorkload
+from repro.experiments.calibration import (
+    CalibratedEnvironment,
+    calibrate_bare_metal,
+    calibrate_virtualized,
+)
+from repro.experiments.scenarios import BARE_METAL, VIRTUALIZED, Scenario
+
+_calibration_cache: Dict[str, CalibratedEnvironment] = {}
+
+
+def calibrated_environment(environment: str) -> CalibratedEnvironment:
+    """Memoized calibration for one environment (pure derivation)."""
+    if environment not in _calibration_cache:
+        if environment == VIRTUALIZED:
+            _calibration_cache[environment] = calibrate_virtualized()
+        elif environment == BARE_METAL:
+            _calibration_cache[environment] = calibrate_bare_metal()
+        else:
+            raise ConfigurationError(f"unknown environment {environment!r}")
+    return _calibration_cache[environment]
+
+
+def build_deployment(
+    sim: Simulator, streams: RandomStreams, environment: str
+) -> Deployment:
+    """Construct the calibrated single-tenant deployment."""
+    calibrated = calibrated_environment(environment)
+    if environment == VIRTUALIZED:
+        return VirtualizedDeployment(
+            sim,
+            streams,
+            config=calibrated.deployment_config,
+            overhead=calibrated.overhead,
+        )
+    return BareMetalDeployment(
+        sim,
+        streams,
+        config=calibrated.deployment_config,
+        web_os_model=calibrated.web_os_model,
+        db_os_model=calibrated.db_os_model,
+    )
+
+
+class Testbed:
+    """A live testbed: the web workload plus any co-resident tenants."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        web: RubisWorkload,
+        tenants: List[Workload],
+        hypervisor: Optional[Hypervisor],
+    ) -> None:
+        self.scenario = scenario
+        self.web = web
+        self.tenants = tenants
+        self.hypervisor = hypervisor
+
+    @property
+    def deployment(self) -> Deployment:
+        return self.web.deployment
+
+    def probes(self) -> List[Probe]:
+        """Web/db first, then dom0, then one namespace per tenant."""
+        probes = self.web.probes()
+        if self.hypervisor is not None:
+            probes.append(Dom0Probe(self.hypervisor))
+        for tenant in self.tenants:
+            probes.extend(tenant.probes())
+        return probes
+
+    def start(self) -> None:
+        self.web.start()
+        for tenant in self.tenants:
+            tenant.start()
+
+    def shutdown(self) -> None:
+        for tenant in self.tenants:
+            tenant.shutdown()
+        self.web.shutdown()
+
+    def tenant_reports(self) -> Optional[Dict[str, dict]]:
+        """Per-tenant summaries, or None for single-tenant runs."""
+        if not self.tenants:
+            return None
+        return {tenant.name: tenant.summary() for tenant in self.tenants}
+
+    def interference_report(self) -> Optional[dict]:
+        """Consolidation signals: per-domain CPU ready (steal) time."""
+        if self.hypervisor is None:
+            return None
+        return {"cpu_ready_s": self.hypervisor.cpu_ready_report()}
+
+
+class TestbedBuilder:
+    """Assembles N-tenant testbeds from declarative scenarios."""
+
+    def __init__(self, sim: Simulator, streams: RandomStreams) -> None:
+        self.sim = sim
+        self.streams = streams
+
+    def build(
+        self, scenario: Scenario, meter_arrivals: bool = False
+    ) -> Testbed:
+        """Build the testbed a scenario describes (single- or multi-tenant)."""
+        if scenario.tenants and scenario.environment != VIRTUALIZED:
+            raise ConfigurationError(
+                "multi-tenant testbeds require the virtualized environment"
+            )
+        if scenario.tenants:
+            deployment, hypervisor = self._build_shared_server(scenario)
+        else:
+            deployment = build_deployment(
+                self.sim, self.streams, scenario.environment
+            )
+            hypervisor = getattr(deployment, "hypervisor", None)
+        web = RubisWorkload(
+            self.sim,
+            self.streams,
+            scenario,
+            deployment,
+            meter_arrivals=meter_arrivals,
+        )
+        tenants: List[Workload] = []
+        for spec in scenario.tenants:
+            domain = hypervisor.create_domain(
+                f"{spec.name}-vm",
+                vcpu_count=spec.vcpus,
+                memory_bytes=spec.memory_gb * GB,
+                weight=spec.weight,
+                cap_cores=spec.cap_cores,
+            )
+            context = VirtualizedContext(hypervisor, domain)
+            tenants.append(
+                build_tenant_workload(
+                    self.sim,
+                    self.streams,
+                    spec,
+                    [context],
+                    horizon_s=scenario.duration_s,
+                )
+            )
+        return Testbed(scenario, web, tenants, hypervisor)
+
+    def _build_shared_server(self, scenario: Scenario):
+        """One physical server whose hypervisor hosts every tenant."""
+        calibrated = calibrated_environment(VIRTUALIZED)
+        cluster = Cluster()
+        server = cluster.add_server("cloud-1")
+        hypervisor = Hypervisor(self.sim, server, calibrated.overhead)
+        deployment = VirtualizedDeployment(
+            self.sim,
+            self.streams,
+            config=calibrated.deployment_config,
+            overhead=calibrated.overhead,
+            hypervisor=hypervisor,
+            cluster=cluster,
+        )
+        return deployment, hypervisor
+
+
+def build_testbed(
+    sim: Simulator,
+    streams: RandomStreams,
+    scenario: Scenario,
+    meter_arrivals: bool = False,
+) -> Testbed:
+    """Convenience wrapper over :class:`TestbedBuilder`."""
+    return TestbedBuilder(sim, streams).build(
+        scenario, meter_arrivals=meter_arrivals
+    )

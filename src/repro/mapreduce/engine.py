@@ -1,10 +1,19 @@
 """Slot-based MapReduce execution over simulated worker nodes.
 
-Each worker node is a :class:`~repro.hardware.server.PhysicalServer`
-wrapped in a :class:`~repro.apps.tier.BareMetalContext` (owner
-``mr:node-K``), so every byte and cycle lands on the same ledgers the
-monitoring layer samples — characterizing a MapReduce job uses exactly
-the same probes/recorder/analysis stack as the RUBiS study.
+By default each worker node is a
+:class:`~repro.hardware.server.PhysicalServer` wrapped in a
+:class:`~repro.apps.tier.BareMetalContext` (owner ``mr:node-K``), so
+every byte and cycle lands on the same ledgers the monitoring layer
+samples — characterizing a MapReduce job uses exactly the same
+probes/recorder/analysis stack as the RUBiS study.
+
+Alternatively the cluster accepts externally built *contexts* — e.g. a
+:class:`~repro.apps.tier.VirtualizedContext` over a batch VM on a
+shared hypervisor — which is how the multi-tenant testbed runs
+MapReduce *inside* the simulated virtualized servers: task CPU runs
+under the credit scheduler (tasks raise the domain's worker gauge, so
+the scheduler sees batch demand), and task I/O flows through the same
+dom0 split drivers the web tiers use.
 
 Execution model (Hadoop-classic, simplified and documented):
 
@@ -21,9 +30,9 @@ Execution model (Hadoop-classic, simplified and documented):
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.apps.tier import BareMetalContext, OsActivityModel
+from repro.apps.tier import BareMetalContext, ExecutionContext, OsActivityModel
 from repro.errors import ConfigurationError
 from repro.hardware.cluster import Cluster
 from repro.hardware.server import ServerSpec
@@ -40,28 +49,28 @@ class _WorkerNode:
 
     def __init__(
         self,
-        sim: Simulator,
-        cluster: Cluster,
-        index: int,
+        name: str,
+        context: ExecutionContext,
         map_slots: int,
         reduce_slots: int,
     ) -> None:
-        self.name = f"node-{index}"
-        server = cluster.add_server(self.name)
-        self.context = BareMetalContext(
-            sim,
-            server,
-            owner=f"mr:{self.name}",
-            os_model=OsActivityModel(
-                disk_accounting_factor=1.0, net_accounting_factor=1.0
-            ),
-        )
+        self.name = name
+        self.context = context
         self.map_slots_free = map_slots
         self.reduce_slots_free = reduce_slots
+        self.tasks_completed = 0
 
 
 class MapReduceCluster:
-    """A pool of worker nodes executing MapReduce jobs FIFO."""
+    """A pool of worker nodes executing MapReduce jobs FIFO.
+
+    With ``contexts=None`` (the default) the cluster owns its nodes:
+    one paper-spec physical server per node.  Passing ``contexts``
+    attaches the workers to externally built execution contexts
+    instead (e.g. the VMs of a multi-tenant testbed); the caller then
+    owns those contexts' lifecycles, and ``stream`` names the RNG
+    stream so several clusters in one run draw independently.
+    """
 
     def __init__(
         self,
@@ -71,22 +80,49 @@ class MapReduceCluster:
         map_slots: int = 2,
         reduce_slots: int = 2,
         server_spec: Optional[ServerSpec] = None,
+        contexts: Optional[Sequence[ExecutionContext]] = None,
+        stream: str = "mapreduce",
     ) -> None:
-        if nodes < 1:
-            raise ConfigurationError("need at least one worker node")
         if map_slots < 1 or reduce_slots < 1:
             raise ConfigurationError("slots must be >= 1")
         self.sim = sim
-        self.rng = streams.stream("mapreduce")
-        self.cluster = Cluster()
-        del server_spec  # nodes use the paper's server spec
-        self.nodes: List[_WorkerNode] = [
-            _WorkerNode(sim, self.cluster, i, map_slots, reduce_slots)
-            for i in range(nodes)
-        ]
+        self.rng = streams.stream(stream)
+        del server_spec  # owned nodes use the paper's server spec
+        if contexts is not None:
+            if not contexts:
+                raise ConfigurationError("need at least one worker context")
+            self.cluster = None
+            self._owns_contexts = False
+            self.nodes: List[_WorkerNode] = [
+                _WorkerNode(f"node-{i}", context, map_slots, reduce_slots)
+                for i, context in enumerate(contexts)
+            ]
+        else:
+            if nodes < 1:
+                raise ConfigurationError("need at least one worker node")
+            self.cluster = Cluster()
+            self._owns_contexts = True
+            self.nodes = [
+                _WorkerNode(
+                    f"node-{i}",
+                    BareMetalContext(
+                        sim,
+                        self.cluster.add_server(f"node-{i}"),
+                        owner=f"mr:node-{i}",
+                        os_model=OsActivityModel(
+                            disk_accounting_factor=1.0,
+                            net_accounting_factor=1.0,
+                        ),
+                    ),
+                    map_slots,
+                    reduce_slots,
+                )
+                for i in range(nodes)
+            ]
         self._pending_maps: List[tuple] = []
         self._pending_reduces: List[tuple] = []
         self.jobs_completed = 0
+        self.tasks_completed = 0
 
     # -- public API -------------------------------------------------------
 
@@ -106,8 +142,9 @@ class MapReduceCluster:
         return {node.name: node.context for node in self.nodes}
 
     def shutdown(self) -> None:
-        for node in self.nodes:
-            node.context.shutdown()
+        if self._owns_contexts:
+            for node in self.nodes:
+                node.context.shutdown()
 
     # -- scheduling ----------------------------------------------------------
 
@@ -144,6 +181,10 @@ class MapReduceCluster:
         if job.stats.map_started_at is None:
             job.stats.map_started_at = self.sim.now
         context = node.context
+        # Raise the context's worker gauge for the task's lifetime: under
+        # a hypervisor this is the batch domain's CPU demand signal, so
+        # the credit scheduler contends it against co-resident tenants.
+        context.worker_started()
         split = spec.split_bytes
         read_done = context.disk_read(split)
         cpu_time = context.cpu_time(
@@ -157,9 +198,12 @@ class MapReduceCluster:
     def _finish_map(self, node, job: MapReduceJob, on_complete) -> None:
         spec = job.spec
         context = node.context
+        context.worker_finished()
         context.charge_cpu(spec.split_bytes * spec.map_cycles_per_byte)
         context.disk_write(spec.split_bytes * spec.map_output_ratio)
         node.map_slots_free += 1
+        node.tasks_completed += 1
+        self.tasks_completed += 1
         if job.map_done():
             job.stats.map_finished_at = self.sim.now
             self._start_shuffle(job, on_complete)
@@ -193,6 +237,7 @@ class MapReduceCluster:
     def _start_reduce(self, node, job: MapReduceJob, on_complete) -> None:
         spec = job.spec
         context = node.context
+        context.worker_started()
         cpu_time = context.cpu_time(
             spec.partition_bytes * spec.reduce_cycles_per_byte
             * self._jitter()
@@ -204,11 +249,14 @@ class MapReduceCluster:
     def _finish_reduce(self, node, job: MapReduceJob, on_complete) -> None:
         spec = job.spec
         context = node.context
+        context.worker_finished()
         context.charge_cpu(spec.partition_bytes * spec.reduce_cycles_per_byte)
         context.disk_write(
             spec.partition_bytes * spec.output_replication
         )
         node.reduce_slots_free += 1
+        node.tasks_completed += 1
+        self.tasks_completed += 1
         if job.reduce_done():
             job.stats.finished_at = self.sim.now
             self.jobs_completed += 1

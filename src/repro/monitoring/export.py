@@ -12,6 +12,7 @@ offered-load trace (or as a full :class:`ColumnarRows` via
 from __future__ import annotations
 
 import csv
+import hashlib
 import io
 import json
 from typing import Dict
@@ -21,6 +22,23 @@ import numpy as np
 from repro.errors import AnalysisError
 from repro.monitoring.columnar import ColumnarRows
 from repro.monitoring.timeseries import TraceSet
+
+
+def trace_set_sha256(traces: TraceSet) -> str:
+    """Stable content fingerprint of a whole trace set.
+
+    Hashes every series (sorted by ``(entity, resource)`` key) over its
+    name, unit, sample times and values — the determinism currency of
+    the suite orchestrator: two runs are bit-identical iff their trace
+    sets share this digest.
+    """
+    digest = hashlib.sha256()
+    for entity, resource in sorted(traces.keys()):
+        series = traces.get(entity, resource)
+        digest.update(f"{entity}|{resource}|{series.unit}".encode("utf-8"))
+        digest.update(np.ascontiguousarray(series.times).tobytes())
+        digest.update(np.ascontiguousarray(series.values).tobytes())
+    return digest.hexdigest()
 
 
 def trace_set_to_csv(traces: TraceSet) -> str:

@@ -84,11 +84,14 @@ class Deployment:
         sim: Simulator,
         streams: RandomStreams,
         config: Optional[DeploymentConfig] = None,
+        cluster: Optional[Cluster] = None,
     ) -> None:
         self.sim = sim
         self.streams = streams
         self.config = config or DeploymentConfig()
-        self.cluster = Cluster()
+        # A multi-tenant testbed passes its shared cluster in; the
+        # default single-tenant deployment owns a private one.
+        self.cluster = cluster if cluster is not None else Cluster()
         self.buffer_pool = BufferPool(
             capacity_bytes=self.config.buffer_pool_bytes,
             database=self.config.database,
@@ -237,7 +240,14 @@ class Deployment:
 
 
 class VirtualizedDeployment(Deployment):
-    """Both tiers in VMs on one cloud server under a hypervisor."""
+    """Both tiers in VMs on one cloud server under a hypervisor.
+
+    By default the deployment owns its server and hypervisor (the
+    paper's single-tenant testbed).  A multi-tenant testbed passes a
+    pre-built ``hypervisor`` (and its ``cluster``) instead, so the web
+    VMs become two domains among several co-resident tenants sharing
+    the credit scheduler and the dom0 I/O backends.
+    """
 
     def __init__(
         self,
@@ -248,20 +258,29 @@ class VirtualizedDeployment(Deployment):
         vm_memory_bytes: float = 2 * GB,
         vm_vcpus: int = 2,
         server_spec: Optional[ServerSpec] = None,
+        hypervisor: Optional[Hypervisor] = None,
+        cluster=None,
     ) -> None:
         self._overhead = overhead or OverheadModel()
         self._vm_memory_bytes = vm_memory_bytes
         self._vm_vcpus = vm_vcpus
         self._server_spec = server_spec
-        super().__init__(sim, streams, config)
+        self._shared_hypervisor = hypervisor
+        super().__init__(sim, streams, config, cluster=cluster)
 
     @property
     def environment(self) -> str:
         return "virtualized"
 
     def _build(self) -> None:
-        self.server = self.cluster.add_server("cloud-1", self._server_spec)
-        self.hypervisor = Hypervisor(self.sim, self.server, self._overhead)
+        if self._shared_hypervisor is not None:
+            self.hypervisor = self._shared_hypervisor
+            self.server = self.hypervisor.server
+        else:
+            self.server = self.cluster.add_server(
+                "cloud-1", self._server_spec
+            )
+            self.hypervisor = Hypervisor(self.sim, self.server, self._overhead)
         self.web_domain = self.hypervisor.create_domain(
             "web-vm",
             vcpu_count=self._vm_vcpus,
@@ -275,8 +294,8 @@ class VirtualizedDeployment(Deployment):
         self.web_context = VirtualizedContext(self.hypervisor, self.web_domain)
         self.db_context = VirtualizedContext(self.hypervisor, self.db_domain)
         fabric = self.cluster.fabric
-        fabric.place(WEB_TIER, "cloud-1")
-        fabric.place(DB_TIER, "cloud-1")
+        fabric.place(WEB_TIER, self.server.name)
+        fabric.place(DB_TIER, self.server.name)
         fabric.place(CLIENT_ENDPOINT, "client-host")
         self._make_tiers()
 

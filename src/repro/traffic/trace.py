@@ -17,18 +17,82 @@ stable content fingerprint used by the determinism acceptance checks.
 
 from __future__ import annotations
 
+import calendar
 import csv
 import hashlib
+import re
 from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.errors import AnalysisError, ConfigurationError
 from repro.traffic.arrivals import _BatchedProcess
+from repro.units import SAMPLE_PERIOD_S
 
 #: Canonical column names of the native CSV/NPZ layout.
 TIME_COLUMN = "time_s"
 RATE_COLUMN = "rate_rps"
+
+#: Common/Combined Log Format line: ``host ident user [ts] "req" status
+#: size [...]``.  Only the prefix through the status/size is matched, so
+#: Combined (referer + user agent) and custom suffixes all parse.
+_CLF_LINE_RE = re.compile(
+    r'^\S+ \S+ \S+ '
+    r'\[(?P<day>\d{2})/(?P<mon>[A-Za-z]{3})/(?P<year>\d{4}):'
+    r'(?P<hh>\d{2}):(?P<mm>\d{2}):(?P<ss>\d{2}) '
+    r'(?P<tzsign>[+-])(?P<tzh>\d{2})(?P<tzm>\d{2})\] '
+    r'"[^"]*" \d{3} (?:\d+|-)'
+)
+
+_CLF_MONTHS = {
+    "jan": 1, "feb": 2, "mar": 3, "apr": 4, "may": 5, "jun": 6,
+    "jul": 7, "aug": 8, "sep": 9, "oct": 10, "nov": 11, "dec": 12,
+}
+
+
+def _clf_epoch_s(match: "re.Match") -> float:
+    """UTC epoch seconds of one matched CLF timestamp."""
+    month = _CLF_MONTHS.get(match.group("mon").lower())
+    if month is None:
+        raise AnalysisError(
+            f"unknown month {match.group('mon')!r} in access-log timestamp"
+        )
+    naive = calendar.timegm((
+        int(match.group("year")),
+        month,
+        int(match.group("day")),
+        int(match.group("hh")),
+        int(match.group("mm")),
+        int(match.group("ss")),
+        0, 0, 0,
+    ))
+    offset = 3600 * int(match.group("tzh")) + 60 * int(match.group("tzm"))
+    if match.group("tzsign") == "-":
+        offset = -offset
+    return float(naive - offset)
+
+
+def looks_like_access_log(path: str, probe_lines: int = 5) -> bool:
+    """Sniff whether a file's head parses as Common/Combined Log Format.
+
+    Reads one bounded chunk (64 KB) so probing a large binary or
+    otherwise newline-free file stays O(1) in time and memory.
+    """
+    try:
+        with open(path, "r", errors="replace") as handle:
+            head = handle.read(65536)
+    except OSError:
+        return False
+    for line in head.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if _CLF_LINE_RE.match(line):
+            return True
+        probe_lines -= 1
+        if probe_lines <= 0:
+            return False
+    return False
 
 
 class RateTrace:
@@ -267,15 +331,73 @@ class RateTrace:
         raise AnalysisError(f"{path}: unrecognized NPZ trace layout")
 
     @classmethod
+    def from_access_log(
+        cls,
+        path: str,
+        interval_s: float = SAMPLE_PERIOD_S,
+        max_invalid_fraction: float = 0.05,
+    ) -> "RateTrace":
+        """Ingest an HTTP access log (Common/Combined Log Format).
+
+        Request timestamps are binned into ``interval_s`` buckets and
+        the counts become a rate trace starting at t=0 (times are
+        re-based to the earliest request, so public traces — e.g.
+        WorldCup98-style archives — replay on the simulation clock
+        directly).  Lines that do not parse as CLF are skipped, but
+        more than ``max_invalid_fraction`` of them fails the ingest:
+        a mostly-unparseable file is the wrong format, not a noisy log.
+        """
+        if interval_s <= 0:
+            raise ConfigurationError("interval_s must be positive")
+        times = []
+        invalid = 0
+        with open(path, "r", errors="replace") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                match = _CLF_LINE_RE.match(line)
+                if match is None:
+                    invalid += 1
+                    continue
+                times.append(_clf_epoch_s(match))
+        if not times:
+            raise AnalysisError(
+                f"{path}: no Common/Combined Log Format lines found"
+            )
+        total = len(times) + invalid
+        if invalid > max_invalid_fraction * total:
+            raise AnalysisError(
+                f"{path}: {invalid}/{total} lines are not CLF; "
+                "refusing to ingest a mostly-unparseable file"
+            )
+        stamps = np.asarray(times, dtype=float)
+        stamps -= stamps.min()
+        indices = (stamps // interval_s).astype(np.int64)
+        counts = np.bincount(indices)
+        return cls.from_counts(counts, interval_s)
+
+    @classmethod
     def from_file(cls, path: str, column: Optional[str] = None) -> "RateTrace":
-        """Dispatch on file extension (.csv / .npz)."""
+        """Dispatch on file extension, sniffing access logs.
+
+        ``.csv`` / ``.npz`` load the native (or columnar-export)
+        layouts; anything else — ``.log``, extension-less paths — is
+        probed for Common/Combined Log Format and ingested with
+        :meth:`from_access_log`, so ``--traffic trace:<access.log>``
+        replays a real web server's offered load with no conversion
+        step.
+        """
         lowered = path.lower()
         if lowered.endswith(".csv"):
             return cls.from_csv(path, column)
         if lowered.endswith(".npz"):
             return cls.from_npz(path, column)
+        if looks_like_access_log(path):
+            return cls.from_access_log(path)
         raise ConfigurationError(
-            f"cannot infer trace format of {path!r}; use .csv or .npz"
+            f"cannot infer trace format of {path!r}; use .csv, .npz or "
+            "a Common/Combined Log Format access log"
         )
 
 

@@ -51,6 +51,10 @@ class Hypervisor:
         self.server = server
         self.overhead = overhead or OverheadModel()
         self.scheduler = CreditScheduler(server.spec.cores)
+        self.epoch_s = float(epoch_s)
+        #: Per-domain CPU ready (steal) time in core-seconds — see
+        #: :meth:`cpu_ready_seconds`.
+        self._cpu_ready_s: Dict[str, float] = {}
         self._domains: Dict[str, Domain] = {}
         self.dom0 = Domain(
             "Domain-0",
@@ -173,16 +177,49 @@ class Hypervisor:
         )
         self.server.memory.set_usage(DOM0_OWNER, dom0_used)
 
+    # -- CPU ready / steal accounting ---------------------------------------
+
+    def cpu_ready_seconds(self, domain_name: str) -> float:
+        """Cumulative CPU ready (steal) time of a domain, core-seconds.
+
+        Epoch-level processor-sharing model of Xen's per-VCPU ready
+        time: when the aggregate runnable demand exceeds the physical
+        cores, runnable VCPUs rotate over the cores and each spends
+        ``1 - cores/total_demand`` of the epoch waiting for a
+        timeslice, so a domain accrues ``epoch * demand * (1 -
+        cores/total_demand)``.  Summed over domains this equals the
+        epoch's total unserved demand ``(total_demand - cores) *
+        epoch`` — each wait is counted exactly once.  Zero whenever
+        the machine is not overcommitted, which makes the metric a
+        direct consolidation-interference signal: a single-tenant run
+        never accrues it.
+        """
+        return self._cpu_ready_s.get(domain_name, 0.0)
+
+    def cpu_ready_report(self) -> Dict[str, float]:
+        """Per-domain cumulative ready time (plain data, for reports)."""
+        return dict(self._cpu_ready_s)
+
     # -- periodic work ----------------------------------------------------------
 
     def _run_epoch(self, tick_time: float) -> None:
         decision = self.scheduler.allocate(self._domains.values())
-        runnable = sum(1 for d in decision.demand_cores.values() if d > 0)
+        demands = decision.demand_cores
+        runnable = sum(1 for d in demands.values() if d > 0)
         if runnable:
             self.server.cpu.charge(
                 DOM0_OWNER,
                 self.overhead.sched_cycles_per_epoch_per_domain * runnable,
             )
+            total_demand = sum(demands.values())
+            if total_demand > self.scheduler.total_cores + 1e-12:
+                wait_fraction = 1.0 - self.scheduler.total_cores / total_demand
+                ready = self._cpu_ready_s
+                accrual = self.epoch_s * wait_fraction
+                for name, demand in demands.items():
+                    if demand <= 0:
+                        continue
+                    ready[name] = ready.get(name, 0.0) + accrual * demand
 
     def _run_housekeeping(self, tick_time: float) -> None:
         self.server.cpu.charge(

@@ -1,0 +1,63 @@
+"""Workloads: what tenants run inside the simulated testbed.
+
+The :class:`~repro.workloads.base.Workload` protocol packages a
+tenant's tiers, load driver, probes (under a per-tenant metric
+namespace) and summary reporting.  Two implementations cover the
+paper's two application classes:
+
+* :class:`~repro.workloads.rubis.RubisWorkload` — the interactive
+  RUBiS deployment with a closed- or open-loop traffic driver,
+* :class:`~repro.workloads.mapreduce.MapReduceWorkload` — batch
+  MapReduce jobs running inside a VM on the shared hypervisor.
+
+:class:`~repro.workloads.base.TenantSpec` is the declarative,
+serializable description of one extra tenant VM;
+``build_tenant_workload`` turns a spec plus its VM contexts into the
+live workload.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import (
+    JOB_TEMPLATES,
+    MAPREDUCE,
+    RESERVED_ENTITIES,
+    RUBIS,
+    WORKLOAD_KINDS,
+    TenantSpec,
+    Workload,
+)
+from repro.workloads.mapreduce import MapReduceWorkload
+from repro.workloads.rubis import RubisWorkload
+
+
+def build_tenant_workload(
+    sim,
+    streams,
+    spec: TenantSpec,
+    contexts: Sequence,
+    horizon_s: float,
+) -> Workload:
+    """Instantiate the workload a tenant spec describes."""
+    if spec.workload == MAPREDUCE:
+        return MapReduceWorkload(sim, streams, spec, contexts, horizon_s)
+    raise ConfigurationError(
+        f"no tenant workload builder for kind {spec.workload!r}"
+    )
+
+
+__all__ = [
+    "JOB_TEMPLATES",
+    "MAPREDUCE",
+    "RESERVED_ENTITIES",
+    "RUBIS",
+    "WORKLOAD_KINDS",
+    "MapReduceWorkload",
+    "RubisWorkload",
+    "TenantSpec",
+    "Workload",
+    "build_tenant_workload",
+]

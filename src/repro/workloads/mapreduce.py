@@ -1,0 +1,129 @@
+"""The MapReduce batch workload as a co-resident tenant.
+
+Section 5 of the paper names MapReduce as the next workload to
+characterize on the same virtualized servers.  This module finally runs
+it *inside* the simulated testbed: the tenant's batch VM lives on the
+shared hypervisor, map/reduce task CPU executes under the credit
+scheduler (tasks raise the domain's worker gauge, so batch demand
+contends with the web VMs), and task I/O flows through the same dom0
+block/net backends — the interference channels the consolidation
+scenarios measure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.apps.tier import ExecutionContext
+from repro.errors import ConfigurationError
+from repro.mapreduce.engine import MapReduceCluster
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.workload import JobMix, grep_like_job, sort_like_job
+from repro.monitoring.probes import ContextProbe, Probe
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+from repro.workloads.base import TenantSpec, Workload
+
+#: Fraction of the VM reservation a warmed batch JVM/OS working set
+#: occupies (reported by the tenant's memory probe).
+BASE_MEMORY_FRACTION = 0.55
+
+_TEMPLATES = {"sort": sort_like_job, "grep": grep_like_job}
+
+
+class MapReduceWorkload(Workload):
+    """A batch tenant: a job mix over worker contexts on shared hardware."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        streams: RandomStreams,
+        spec: TenantSpec,
+        contexts: Sequence[ExecutionContext],
+        horizon_s: float,
+    ) -> None:
+        if spec.job not in _TEMPLATES:
+            raise ConfigurationError(
+                f"unknown job template {spec.job!r}; "
+                f"known: {sorted(_TEMPLATES)}"
+            )
+        if horizon_s <= 0:
+            raise ConfigurationError("horizon_s must be positive")
+        self.sim = sim
+        self.streams = streams
+        self.spec = spec
+        self.name = spec.name
+        self.contexts = list(contexts)
+        self.horizon_s = float(horizon_s)
+        template = _TEMPLATES[spec.job](
+            input_mb=spec.input_mb, tasks=spec.tasks
+        )
+        self.cluster = MapReduceCluster(
+            sim,
+            streams,
+            map_slots=spec.map_slots,
+            reduce_slots=spec.reduce_slots,
+            contexts=self.contexts,
+            stream=f"{spec.stream_prefix}.mapreduce",
+        )
+        self.mix = JobMix(
+            [template], arrival_rate_per_s=spec.arrival_rate_per_s
+        )
+        self.jobs: List[MapReduceJob] = []
+        self._started = False
+
+    # -- Workload interface ------------------------------------------------
+
+    def probes(self) -> List[Probe]:
+        """One probe per worker context, under the tenant namespace."""
+        nodes = self.cluster.nodes  # aligned 1:1 with self.contexts
+        if len(nodes) == 1:
+            names = [self.name]
+        else:
+            names = [f"{self.name}-{i}" for i in range(len(nodes))]
+        return [
+            ContextProbe(
+                entity,
+                node.context,
+                requests_fn=(
+                    lambda node=node: float(node.tasks_completed)
+                ),
+            )
+            for entity, node in zip(names, nodes)
+        ]
+
+    def start(self) -> None:
+        """Warm the working set and schedule the job arrivals."""
+        if self._started:
+            raise ConfigurationError("workload already started")
+        self._started = True
+        for context in self.contexts:
+            context.set_memory(
+                BASE_MEMORY_FRACTION * self.spec.memory_gb * 1024 ** 3
+            )
+        self.jobs = self.mix.drive(
+            self.sim,
+            self.cluster,
+            self.streams.stream(f"{self.spec.stream_prefix}.jobs"),
+            self.horizon_s,
+        )
+
+    def shutdown(self) -> None:
+        self.cluster.shutdown()
+
+    def summary(self) -> dict:
+        """Job/task progress counters plus completed-job makespans."""
+        completed = [
+            j for j in self.jobs if j.stats.finished_at is not None
+        ]
+        makespans = [j.stats.makespan_s for j in completed]
+        return {
+            "kind": "mapreduce",
+            "job": self.spec.job,
+            "jobs_submitted": len(self.jobs),
+            "jobs_completed": len(completed),
+            "tasks_completed": self.cluster.tasks_completed,
+            "mean_makespan_s": (
+                float(sum(makespans) / len(makespans)) if makespans else 0.0
+            ),
+        }

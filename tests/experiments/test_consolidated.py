@@ -1,0 +1,102 @@
+"""Qualitative interference checks for the consolidation scenarios.
+
+The acceptance bar of the multi-tenant testbed: running a batch tenant
+next to the web VMs on one hypervisor must make co-location *visible*
+— web p95 latency and the web domain's CPU ready (steal) time strictly
+above the web-only baseline — while the single-tenant run itself stays
+untouched by the machinery (zero ready time, no tenant entities).
+"""
+
+import pytest
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import consolidated_scenario, scenario
+from repro.experiments.suite import execute_run, interference_checks, suite_grid
+from repro.workloads import TenantSpec
+
+DURATION_S = 90.0
+CLIENTS = 400
+SEED = 13
+
+#: An aggressive batch tenant so short CI runs still overlap several
+#: map/shuffle bursts with the web traffic.
+TENANT = TenantSpec(arrival_rate_per_s=0.15, input_mb=384.0)
+
+
+@pytest.fixture(scope="module")
+def web_only_result():
+    return run_scenario(
+        scenario(
+            "virtualized",
+            "browsing",
+            duration_s=DURATION_S,
+            seed=SEED,
+            clients=CLIENTS,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def consolidated_result():
+    return run_scenario(
+        consolidated_scenario(
+            "browsing",
+            duration_s=DURATION_S,
+            seed=SEED,
+            clients=CLIENTS,
+            tenants=(TENANT,),
+        )
+    )
+
+
+class TestInterference:
+    def test_web_p95_strictly_degrades(
+        self, web_only_result, consolidated_result
+    ):
+        assert (
+            consolidated_result.p95_response_time_s
+            > web_only_result.p95_response_time_s
+        )
+
+    def test_web_cpu_ready_time_strictly_rises(
+        self, web_only_result, consolidated_result
+    ):
+        assert web_only_result.cpu_ready_seconds("web-vm") == 0.0
+        assert consolidated_result.cpu_ready_seconds("web-vm") > 0.0
+
+    def test_batch_tenant_makes_progress(self, consolidated_result):
+        reports = consolidated_result.tenant_reports
+        assert reports["batch"]["jobs_submitted"] > 0
+        assert reports["batch"]["tasks_completed"] > 0
+
+    def test_dom0_sees_the_batch_io(
+        self, web_only_result, consolidated_result
+    ):
+        # Batch reads/writes flow through the dom0 split drivers, so
+        # dom0's disk counters must rise under consolidation.
+        baseline = web_only_result.traces.get("dom0", "disk_kb").total()
+        consolidated = consolidated_result.traces.get(
+            "dom0", "disk_kb"
+        ).total()
+        assert consolidated > baseline
+
+    def test_interference_checks_all_pass(
+        self, web_only_result, consolidated_result
+    ):
+        [baseline_run] = suite_grid(
+            compositions=("browsing",),
+            duration_s=DURATION_S,
+            seed=SEED,
+            clients=CLIENTS,
+        )
+        [consolidated_run] = suite_grid(
+            compositions=("browsing",),
+            tenant_mixes=((TENANT,),),
+            duration_s=DURATION_S,
+            seed=SEED,
+            clients=CLIENTS,
+        )
+        checks = interference_checks(
+            execute_run(baseline_run), execute_run(consolidated_run)
+        )
+        assert all(checks.values()), checks

@@ -61,6 +61,54 @@ class TestScenarios:
         b = scenario(VIRTUALIZED, "bidding", duration_s=60.0)
         assert a.cache_key != b.cache_key
 
+    def test_cache_key_includes_scale(self):
+        """Regression: scenarios differing only in scale must not
+        collide in the memoizing runner cache."""
+        from dataclasses import replace
+
+        base = scenario(VIRTUALIZED, "browsing", duration_s=60.0)
+        rescaled = replace(base, scale=2.0)
+        assert base.cache_key != rescaled.cache_key
+        a = scenario(VIRTUALIZED, "browsing", duration_s=60.0, scale=2.0)
+        b = scenario(VIRTUALIZED, "browsing", duration_s=60.0, scale=1.0)
+        assert a.scale == 2.0 and b.scale == 1.0
+        assert a.cache_key != b.cache_key
+
+    def test_cache_key_includes_traffic_and_tenants(self):
+        from dataclasses import replace
+
+        from repro.experiments.scenarios import open_loop_scenario
+        from repro.workloads import TenantSpec
+
+        closed = scenario(VIRTUALIZED, "browsing", duration_s=60.0)
+        open_loop = open_loop_scenario(
+            VIRTUALIZED, "browsing", duration_s=60.0, rate_rps=100.0
+        )
+        consolidated = replace(closed, tenants=(TenantSpec(),))
+        keys = {closed.cache_key, open_loop.cache_key,
+                consolidated.cache_key}
+        assert len(keys) == 3
+
+    def test_cache_key_includes_burst_schedules(self):
+        base = scenario(VIRTUALIZED, "browsing", duration_s=60.0)
+        flattened = base.mix.with_bursts({})
+        from dataclasses import replace
+
+        assert base.cache_key != replace(base, mix=flattened).cache_key
+
+    def test_cached_runner_separates_scales(self):
+        """Two cached runs that differ only in scale return distinct
+        results (the scale-collision regression, end to end)."""
+        a = run_scenario_cached(
+            scenario(VIRTUALIZED, "browsing", duration_s=20.0,
+                     clients=40, scale=1.0)
+        )
+        b = run_scenario_cached(
+            scenario(VIRTUALIZED, "browsing", duration_s=10.0,
+                     clients=20, scale=2.0)
+        )
+        assert a is not b
+
 
 class TestRunner:
     def test_result_shape(self, virt_browse_result):

@@ -1,0 +1,161 @@
+"""Tests for the suite orchestrator: grids, seeds, multiprocess runs."""
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.errors import ConfigurationError
+from repro.experiments.suite import (
+    RunSummary,
+    SuiteRun,
+    derive_run_seed,
+    execute_run,
+    paper_matrix_suite,
+    run_suite,
+    suite_grid,
+)
+from repro.workloads import TenantSpec
+
+
+class TestGrid:
+    def test_paper_matrix_is_four_runs(self):
+        runs = paper_matrix_suite(duration_s=30.0)
+        assert [r.run_id for r in runs] == [
+            "virtualized/browsing",
+            "virtualized/bidding",
+            "bare-metal/browsing",
+            "bare-metal/bidding",
+        ]
+
+    def test_axes_multiply(self):
+        runs = suite_grid(
+            environments=("virtualized",),
+            compositions=("browsing", "bidding"),
+            scales=(1.0, 2.0),
+            duration_s=30.0,
+        )
+        assert len(runs) == 4
+        assert any("x2" in r.run_id for r in runs)
+
+    def test_bare_metal_tenant_cells_are_skipped(self):
+        runs = suite_grid(
+            environments=("virtualized", "bare-metal"),
+            tenant_mixes=((), (TenantSpec(),)),
+            duration_s=30.0,
+        )
+        ids = [r.run_id for r in runs]
+        assert "virtualized/browsing/batch" in ids
+        assert not any("bare-metal" in i and "batch" in i for i in ids)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            suite_grid(
+                environments=("bare-metal",),
+                tenant_mixes=((TenantSpec(),),),
+                duration_s=30.0,
+            )
+
+    def test_run_ids_are_unique(self):
+        runs = paper_matrix_suite(duration_s=30.0)
+        assert len({r.run_id for r in runs}) == len(runs)
+
+
+class TestSeeds:
+    def test_derivation_is_stable_and_distinct(self):
+        a = derive_run_seed(42, "virtualized/browsing")
+        assert a == derive_run_seed(42, "virtualized/browsing")
+        assert a != derive_run_seed(42, "virtualized/bidding")
+        assert a != derive_run_seed(43, "virtualized/browsing")
+        assert 0 <= a < 2 ** 63
+
+    def test_grid_seeds_depend_only_on_run_id(self):
+        first = suite_grid(
+            compositions=("browsing", "bidding"), duration_s=30.0
+        )
+        second = suite_grid(
+            compositions=("bidding", "browsing"), duration_s=30.0
+        )
+        by_id_first = {r.run_id: r.config.seed for r in first}
+        by_id_second = {r.run_id: r.config.seed for r in second}
+        assert by_id_first == by_id_second
+
+
+class TestExecution:
+    def test_summary_is_plain_data(self):
+        [run] = suite_grid(duration_s=24.0, clients=80)
+        summary = execute_run(run)
+        clone = RunSummary.from_dict(summary.to_dict())
+        assert clone == summary
+        assert summary.requests_completed > 0
+        assert len(summary.trace_sha256) == 64
+
+    def test_workers_do_not_change_results(self):
+        """The acceptance invariant: 1-worker and 4-worker sweeps of the
+        same grid produce identical per-run trace fingerprints."""
+        runs = suite_grid(
+            environments=("virtualized", "bare-metal"),
+            compositions=("browsing", "bidding"),
+            duration_s=24.0,
+            clients=80,
+            seed=9,
+        )
+        serial = run_suite(runs, workers=1)
+        parallel = run_suite(runs, workers=4)
+        assert serial.merged_sha256() == parallel.merged_sha256()
+        for run_id, summary in serial.summaries.items():
+            assert (
+                summary.trace_sha256
+                == parallel.summaries[run_id].trace_sha256
+            ), f"run {run_id} diverged across worker counts"
+
+    def test_duplicate_run_ids_rejected(self):
+        [run] = suite_grid(duration_s=24.0, clients=80)
+        with pytest.raises(ConfigurationError):
+            run_suite([run, run])
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_suite([])
+
+    def test_render_mentions_every_run(self):
+        runs = suite_grid(
+            compositions=("browsing",), duration_s=24.0, clients=80
+        )
+        result = run_suite(runs, workers=1)
+        text = result.render()
+        assert "virtualized/browsing" in text
+        assert "merged sha256" in text
+
+
+class TestConfigTenants:
+    def test_config_round_trips_tenants_through_json(self):
+        config = ExperimentConfig(
+            duration_s=30.0,
+            tenants=(TenantSpec(input_mb=64.0),),
+        )
+        clone = ExperimentConfig.from_json(config.to_json())
+        assert clone == config
+        assert clone.tenants[0].input_mb == 64.0
+
+    def test_config_tenants_reach_the_scenario(self):
+        config = ExperimentConfig(
+            duration_s=30.0, tenants=(TenantSpec(),)
+        )
+        spec = config.to_scenario()
+        assert spec.consolidated
+        assert spec.name.endswith("+batch")
+
+    def test_bare_metal_tenants_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(
+                environment="bare-metal", tenants=(TenantSpec(),)
+            )
+
+    def test_suite_run_survives_payload_round_trip(self):
+        [run] = suite_grid(
+            tenant_mixes=((TenantSpec(),),), duration_s=30.0
+        )
+        clone = SuiteRun(
+            run_id=run.run_id,
+            config=ExperimentConfig.from_dict(run.config.to_dict()),
+        )
+        assert clone == run

@@ -175,6 +175,66 @@ class TestCli:
                 ]
             )
 
+    def test_run_list_prints_scenario_names(self, capsys):
+        code = main(["run", "--list"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "virtualized/browsing" in captured.out
+        assert "consolidated_web_batch" in captured.out
+
+    def test_run_unknown_scenario_names_the_list_flag(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="--list"):
+            main(["run", "--scenario", "doomscrolling", "--duration", "10"])
+
+    def test_run_named_consolidated_scenario(self, capsys):
+        code = main(
+            [
+                "run",
+                "--scenario", "consolidated_web_batch",
+                "--duration", "20",
+                "--no-report",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "tenant batch:" in captured.out
+        assert "CPU ready time" in captured.out
+
+    def test_sweep_quick_grid_single_worker(self, capsys):
+        code = main(
+            ["sweep", "--grid", "quick", "--duration", "20", "--workers", "1"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "virtualized/browsing" in captured.out
+        assert "merged sha256" in captured.out
+
+    def test_sweep_writes_json_report(self, tmp_path, capsys):
+        out = tmp_path / "suite.json"
+        code = main(
+            [
+                "sweep",
+                "--compositions", "browsing",
+                "--duration", "20",
+                "--clients", "80",
+                "--json", str(out),
+            ]
+        )
+        assert code == 0
+        import json as json_module
+
+        report = json_module.loads(out.read_text())
+        assert "runs" in report and "merged_sha256" in report
+        assert "virtualized/browsing" in report["runs"]
+
+    def test_sweep_rejects_unknown_tenant_mix(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["sweep", "--tenant-mixes", "gpu-farm", "--duration", "10"])
+
     def test_table1_prints_catalogue(self, capsys):
         assert main(["table1"]) == 0
         captured = capsys.readouterr()

@@ -1,0 +1,132 @@
+"""Tests for HTTP access-log (Common/Combined Log Format) ingestion."""
+
+import pytest
+
+from repro.errors import AnalysisError, ConfigurationError
+from repro.traffic.trace import (
+    RateTrace,
+    looks_like_access_log,
+)
+
+CLF_LINE = (
+    '{host} - {user} [{ts}] "GET {path} HTTP/1.0" {status} {size}'
+)
+COMBINED_SUFFIX = ' "http://example.com/start.html" "Mozilla/4.08"'
+
+
+def _log_lines(timestamps, combined=False):
+    lines = []
+    for i, ts in enumerate(timestamps):
+        line = CLF_LINE.format(
+            host=f"10.0.0.{i % 250}",
+            user="frank" if i % 3 else "-",
+            ts=ts,
+            path=f"/item/{i}",
+            status=200 if i % 5 else 404,
+            size=2048 if i % 7 else "-",
+        )
+        if combined:
+            line += COMBINED_SUFFIX
+        lines.append(line)
+    return lines
+
+
+def _write(tmp_path, lines, name="access.log"):
+    path = tmp_path / name
+    path.write_text("\n".join(lines) + "\n")
+    return str(path)
+
+
+class TestAccessLogIngestion:
+    def test_counts_bin_into_intervals(self, tmp_path):
+        # 3 requests in second 0, 1 in second 2, 2 in second 5.
+        stamps = (
+            ["10/Oct/2000:13:55:36 -0700"] * 3
+            + ["10/Oct/2000:13:55:38 -0700"]
+            + ["10/Oct/2000:13:55:41 -0700"] * 2
+        )
+        path = _write(tmp_path, _log_lines(stamps))
+        trace = RateTrace.from_access_log(path, interval_s=1.0)
+        assert trace.start_time_s == 0.0
+        assert list(trace.rates_rps) == [3.0, 0.0, 1.0, 0.0, 0.0, 2.0]
+        assert trace.total_expected_arrivals() == pytest.approx(6.0)
+
+    def test_combined_format_parses(self, tmp_path):
+        stamps = ["01/Jan/2024:00:00:00 +0000"] * 4
+        path = _write(tmp_path, _log_lines(stamps, combined=True))
+        trace = RateTrace.from_access_log(path, interval_s=2.0)
+        assert trace.total_expected_arrivals() == pytest.approx(4.0)
+
+    def test_timezone_offsets_normalize(self, tmp_path):
+        # The same instant written in two zones must land in one bin.
+        stamps = [
+            "10/Oct/2000:13:55:36 -0700",
+            "10/Oct/2000:20:55:36 +0000",
+        ]
+        path = _write(tmp_path, _log_lines(stamps))
+        trace = RateTrace.from_access_log(path, interval_s=1.0)
+        assert len(trace) == 1
+        assert trace.rates_rps[0] == 2.0
+
+    def test_noisy_lines_skipped_within_tolerance(self, tmp_path):
+        stamps = ["10/Oct/2000:13:55:36 -0700"] * 30
+        lines = _log_lines(stamps) + ["corrupted partial li"]
+        path = _write(tmp_path, lines)
+        trace = RateTrace.from_access_log(path, interval_s=1.0)
+        assert trace.total_expected_arrivals() == pytest.approx(30.0)
+
+    def test_mostly_garbage_rejected(self, tmp_path):
+        lines = _log_lines(["10/Oct/2000:13:55:36 -0700"]) + [
+            f"noise {i}" for i in range(20)
+        ]
+        path = _write(tmp_path, lines)
+        with pytest.raises(AnalysisError):
+            RateTrace.from_access_log(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = _write(tmp_path, [""])
+        with pytest.raises(AnalysisError):
+            RateTrace.from_access_log(path)
+
+
+class TestAutoDetection:
+    def test_from_file_sniffs_clf(self, tmp_path):
+        stamps = ["10/Oct/2000:13:55:36 -0700"] * 5
+        path = _write(tmp_path, _log_lines(stamps), name="worldcup.log")
+        assert looks_like_access_log(path)
+        trace = RateTrace.from_file(path)
+        assert trace.total_expected_arrivals() == pytest.approx(5.0)
+
+    def test_from_file_still_rejects_unknown_formats(self, tmp_path):
+        path = _write(tmp_path, ["not a log at all"], name="data.bin")
+        assert not looks_like_access_log(path)
+        with pytest.raises(ConfigurationError):
+            RateTrace.from_file(path)
+
+    def test_csv_extension_still_uses_csv_reader(self, tmp_path):
+        trace = RateTrace([5.0, 7.0], interval_s=2.0)
+        path = str(tmp_path / "offered.csv")
+        trace.to_csv(path)
+        assert RateTrace.from_file(path) == trace
+
+    def test_traffic_spec_replays_an_access_log(self, tmp_path):
+        """End to end: trace:<access.log> builds a replay process."""
+        from repro.rubis.workload import browsing_mix
+        from repro.traffic.spec import TrafficSpec, build_process
+        import numpy as np
+
+        stamps = ["10/Oct/2000:13:55:36 -0700"] * 40 + [
+            "10/Oct/2000:13:55:38 -0700"
+        ] * 40
+        path = _write(tmp_path, _log_lines(stamps))
+        spec = TrafficSpec.from_cli_string(f"trace:{path}")
+        process = build_process(
+            spec, browsing_mix(), np.random.default_rng(7)
+        )
+        arrivals = []
+        t = process.next_arrival()
+        while t is not None:
+            arrivals.append(t)
+            t = process.next_arrival()
+        assert len(arrivals) > 0
+        assert all(0.0 <= t <= 6.0 for t in arrivals)

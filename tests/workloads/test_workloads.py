@@ -1,0 +1,151 @@
+"""Tests for the workload abstraction and tenant specs."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mapreduce.engine import MapReduceCluster
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.workload import sort_like_job
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+from repro.units import MB
+from repro.workloads import (
+    MapReduceWorkload,
+    TenantSpec,
+    build_tenant_workload,
+)
+
+
+class TestTenantSpec:
+    def test_default_spec_is_valid(self):
+        spec = TenantSpec()
+        assert spec.name == "batch"
+        assert spec.workload == "mapreduce"
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TenantSpec(name="")
+        with pytest.raises(ConfigurationError):
+            TenantSpec(name="web")  # reserved probe entity
+        with pytest.raises(ConfigurationError):
+            TenantSpec(workload="quake-server")
+        with pytest.raises(ConfigurationError):
+            TenantSpec(vcpus=0)
+        with pytest.raises(ConfigurationError):
+            TenantSpec(job="wordcount")
+        with pytest.raises(ConfigurationError):
+            TenantSpec(arrival_rate_per_s=0.0)
+
+    def test_hashable_for_cache_keys(self):
+        assert hash(TenantSpec()) == hash(TenantSpec())
+        assert TenantSpec() != TenantSpec(vcpus=4)
+
+    def test_from_dict_round_trip(self):
+        spec = TenantSpec(name="etl", input_mb=128.0, tasks=4)
+        clone = TenantSpec.from_dict(
+            {f: getattr(spec, f) for f in TenantSpec.__dataclass_fields__}
+        )
+        assert clone == spec
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError):
+            TenantSpec.from_dict({"name": "x", "gpus": 8})
+
+    def test_stream_prefix_is_namespaced(self):
+        assert TenantSpec(name="etl").stream_prefix == "tenant.etl"
+
+
+class TestExternalContexts:
+    """MapReduceCluster over caller-provided execution contexts."""
+
+    def _context_cluster(self):
+        sim = Simulator()
+        streams = RandomStreams(3)
+        owned = MapReduceCluster(sim, streams, nodes=2)
+        contexts = [node.context for node in owned.nodes]
+        attached = MapReduceCluster(
+            sim, streams, contexts=contexts, stream="mr.attached"
+        )
+        return sim, owned, attached
+
+    def test_external_contexts_execute_jobs(self):
+        sim, _, attached = self._context_cluster()
+        job = MapReduceJob(
+            sort_like_job(input_mb=32.0, tasks=4)
+        )
+        done = []
+        attached.submit(job, done.append)
+        sim.run_until(3600.0)
+        assert done == [job]
+        assert attached.tasks_completed == 4 + job.spec.reduce_tasks
+
+    def test_external_cluster_does_not_own_contexts(self):
+        _, _, attached = self._context_cluster()
+        assert attached.cluster is None
+        attached.shutdown()  # must not stop contexts it does not own
+
+    def test_empty_contexts_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            MapReduceCluster(sim, RandomStreams(1), contexts=[])
+
+
+class TestBuildTenantWorkload:
+    def _build(self, spec=None):
+        from repro.hardware.cluster import Cluster
+        from repro.apps.tier import VirtualizedContext
+        from repro.virt.hypervisor import Hypervisor
+
+        sim = Simulator()
+        streams = RandomStreams(11)
+        cluster = Cluster()
+        server = cluster.add_server("host")
+        hypervisor = Hypervisor(sim, server)
+        spec = spec or TenantSpec(
+            input_mb=32.0, tasks=4, arrival_rate_per_s=0.2
+        )
+        domain = hypervisor.create_domain(
+            f"{spec.name}-vm", vcpu_count=spec.vcpus
+        )
+        context = VirtualizedContext(hypervisor, domain)
+        workload = build_tenant_workload(
+            sim, streams, spec, [context], horizon_s=120.0
+        )
+        return sim, hypervisor, domain, workload
+
+    def test_builds_mapreduce_workload(self):
+        _, _, _, workload = self._build()
+        assert isinstance(workload, MapReduceWorkload)
+        assert workload.name == "batch"
+
+    def test_probe_entity_is_tenant_namespace(self):
+        _, _, _, workload = self._build()
+        probes = workload.probes()
+        assert [p.entity for p in probes] == ["batch"]
+
+    def test_jobs_run_inside_the_domain(self):
+        sim, hypervisor, domain, workload = self._build()
+        workload.start()
+        sim.run_until(120.0)
+        summary = workload.summary()
+        assert summary["jobs_submitted"] > 0
+        assert summary["tasks_completed"] > 0
+        # Task cycles land on the domain's ledger, not a private server.
+        assert hypervisor.server.cpu.ledger.total(domain.owner) > 0
+        # The warmed working set is visible to the memory probe.
+        assert hypervisor.vm_memory_used(domain) > 0
+
+    def test_tasks_raise_the_domain_worker_gauge(self):
+        sim, hypervisor, domain, workload = self._build()
+        workload.start()
+        observed = []
+        for t in range(1, 120):
+            sim.run_until(float(t))
+            observed.append(domain.active_workers)
+        assert max(observed) > 0  # the scheduler saw batch CPU demand
+
+    def test_double_start_rejected(self):
+        _, _, _, workload = self._build()
+        workload.start()
+        with pytest.raises(ConfigurationError):
+            workload.start()
