@@ -1,0 +1,127 @@
+"""P4 — elastic-controller overhead on the simulation hot path.
+
+Measures what the control loop costs, not what it achieves:
+
+* **decision cost per policy** — microbenchmark of ``policy.update``
+  on synthetic signal windows (threshold / pid / predictive, the
+  latter paying for its AR fit every window);
+* **observe/record epoch cost** — the full tick (signal tap + series
+  appends) isolated by running the *same* static-controller scenario
+  twice, once at the 2 s epoch and once with an epoch beyond the
+  horizon.  A static controller never actuates, so the two runs
+  simulate identical physics and the wall-clock difference is pure
+  control-loop overhead — the honest number for PERFORMANCE.md
+  (differencing controlled-vs-uncontrolled runs would instead measure
+  the vcpu-contention model refinement that controller-bearing
+  testbeds enable).
+
+Quick mode: set ``REPRO_BENCH_QUICK=1`` to shrink horizons so the file
+runs in a few seconds (the CI smoke configuration).
+"""
+
+import os
+import time
+
+from dataclasses import replace
+
+from repro.control.policies import build_policy
+from repro.control.signals import ControlSignals
+from repro.control.spec import ControllerSpec
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import autoscaled_flash_crowd_scenario
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "").strip() in ("1", "true", "yes")
+
+#: Policy-update microbenchmark iterations.
+POLICY_UPDATES = 2_000 if QUICK else 20_000
+#: Scenario for the epoch-cost isolation (the elasticity stress run;
+#: full mode is the million-event-class configuration).
+DURATION_S = 60.0 if QUICK else 240.0
+CLIENTS = 200 if QUICK else 1000
+
+
+def _synthetic_signals(i: int) -> ControlSignals:
+    """A deterministic, mildly varying signal stream (ramp + plateau)."""
+    offered = 40 + (i % 50) * 4
+    return ControlSignals(
+        time_s=2.0 * i,
+        window_s=2.0,
+        completed=offered,
+        p95_s=0.004 + 0.0001 * (i % 30),
+        mean_s=0.002,
+        offered=offered,
+        shed=offered // 20 if i % 7 == 0 else 0,
+        shed_fraction=0.05 if i % 7 == 0 else 0.0,
+        in_flight=500,
+        session_budget=1000,
+        domains={},
+    )
+
+
+def test_policy_decision_cost(benchmark):
+    """Microseconds per ``policy.update`` call, per policy family."""
+
+    def run():
+        costs = {}
+        for kind in ("threshold", "pid", "predictive"):
+            policy = build_policy(ControllerSpec(kind=kind))
+            start = time.perf_counter()
+            for i in range(POLICY_UPDATES):
+                policy.update(_synthetic_signals(i))
+            elapsed = time.perf_counter() - start
+            costs[kind] = elapsed / POLICY_UPDATES
+        return costs
+
+    costs = benchmark.pedantic(run, rounds=1, iterations=1)
+    for kind, cost in costs.items():
+        benchmark.extra_info[f"{kind}_us_per_update"] = round(cost * 1e6, 1)
+    print(
+        "\npolicy decision cost: "
+        + ", ".join(f"{k}={v * 1e6:,.0f}us" for k, v in costs.items())
+    )
+    # Even the AR-fitting predictive policy must stay far below the
+    # 2 s epoch it runs inside.
+    assert max(costs.values()) < 0.05
+
+
+def test_control_epoch_cost(benchmark):
+    """Observe/record cost per 2 s epoch, isolated on identical physics."""
+
+    def run():
+        base_spec = autoscaled_flash_crowd_scenario(
+            duration_s=DURATION_S, clients=CLIENTS, controller="static"
+        )
+        # Same scenario, same actions (none), epoch beyond the horizon:
+        # zero ticks fire, physics identical.
+        no_tick = replace(
+            base_spec,
+            controller=replace(
+                base_spec.controller, interval_s=10.0 * DURATION_S
+            ),
+        )
+        start = time.perf_counter()
+        run_scenario(no_tick)
+        wall_no_tick = time.perf_counter() - start
+        start = time.perf_counter()
+        run_scenario(base_spec)
+        wall_ticking = time.perf_counter() - start
+        ticks = int(DURATION_S / base_spec.controller.interval_s)
+        return wall_no_tick, wall_ticking, ticks
+
+    wall_no_tick, wall_ticking, ticks = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    per_epoch = max(0.0, wall_ticking - wall_no_tick) / ticks
+    overhead = wall_ticking / wall_no_tick - 1.0
+    benchmark.extra_info["us_per_epoch"] = round(per_epoch * 1e6)
+    benchmark.extra_info["overhead_fraction"] = round(overhead, 4)
+    print(
+        f"\ncontrol epoch cost: {per_epoch * 1e6:,.0f}us/epoch over "
+        f"{ticks} epochs (run {wall_no_tick:.2f}s -> {wall_ticking:.2f}s, "
+        f"{overhead:+.1%})"
+    )
+    # The observe/record tick is ~a dozen numpy calls; anything near
+    # a millisecond per epoch signals a hot-path regression.  The
+    # wall-clock difference of two short runs is noisy, so the bound
+    # is generous.
+    assert per_epoch < 0.005

@@ -87,9 +87,17 @@ from repro.workloads import (
     TenantSpec,
     Workload,
 )
+from repro.control import (
+    ControllerSpec,
+    ElasticController,
+    SignalTap,
+    build_policy,
+)
 from repro.experiments import (
     ExperimentResult,
     TestbedBuilder,
+    autoscaled_consolidated_scenario,
+    autoscaled_flash_crowd_scenario,
     compare_with_paper,
     consolidated_scenario,
     consolidated_web_batch_scenario,
@@ -99,6 +107,7 @@ from repro.experiments import (
     paper_matrix_suite,
     paper_scenarios,
     qualitative_checks,
+    render_suite_ratio_table,
     run_scenario,
     run_scenario_cached,
     run_suite,
@@ -168,10 +177,17 @@ __all__ = [
     "TenantSpec",
     "RubisWorkload",
     "MapReduceWorkload",
+    # elastic control
+    "ControllerSpec",
+    "ElasticController",
+    "SignalTap",
+    "build_policy",
     # experiments
     "scenario",
     "open_loop_scenario",
     "flash_crowd_scenario",
+    "autoscaled_flash_crowd_scenario",
+    "autoscaled_consolidated_scenario",
     "consolidated_scenario",
     "consolidated_web_batch_scenario",
     "paper_scenarios",
@@ -187,5 +203,6 @@ __all__ = [
     "paper_matrix_suite",
     "run_suite",
     "interference_checks",
+    "render_suite_ratio_table",
     "__version__",
 ]

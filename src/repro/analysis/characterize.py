@@ -91,6 +91,10 @@ def characterize_trace_set(
         )
 
     for entity in traces.entities():
+        if not traces.has(entity, "mem_used_mb"):
+            # Non-resource entities (e.g. the elastic controller's
+            # series) have no RAM trace to scan for jumps.
+            continue
         ram = traces.get(entity, "mem_used_mb")
         if len(ram) >= 2 * RAM_JUMP_WINDOW + 1:
             result.ram_jumps[entity] = detect_level_shifts(

@@ -114,8 +114,27 @@ class VirtualizedContext(ExecutionContext):
         service_time = hypervisor.server.cpu.service_time
         domain_name = domain.name
 
-        def cpu_time(cycles: float) -> float:
-            return service_time(cycles, speed_fraction(domain_name))
+        if hypervisor.vcpu_contention:
+            # Elasticity-experiment refinement: workers runnable beyond
+            # the online VCPUs time-share them, so each runs at
+            # ``online / workers`` of the scheduler-granted speed.
+            # Sampled at service start like the scheduler fraction.
+            def cpu_time(cycles: float) -> float:
+                fraction = speed_fraction(domain_name)
+                workers = domain.active_workers
+                # A single worker can never exceed its VCPU (>= 1), so
+                # the online count — a sum over the VCPU list — is only
+                # computed when contention is possible at all.
+                if workers > 1:
+                    online = domain.online_vcpus
+                    if workers > online:
+                        fraction *= online / workers
+                return service_time(cycles, fraction)
+
+        else:
+
+            def cpu_time(cycles: float) -> float:
+                return service_time(cycles, speed_fraction(domain_name))
 
         self.cpu_time = cpu_time
         sim = hypervisor.sim

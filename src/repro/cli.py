@@ -8,7 +8,9 @@ Four subcommands cover the library's headline workflows::
     python -m repro run --traffic trace:access.log --session-budget 2000
     python -m repro run --list
     python -m repro run --scenario consolidated_web_batch
+    python -m repro run --scenario autoscaled_flash_crowd --controller pid
     python -m repro sweep --grid paper --workers 4
+    python -m repro sweep --controllers static,threshold --table
     python -m repro compare --duration 240
     python -m repro table1
 
@@ -20,9 +22,12 @@ log), ``--scale`` stress-multiplies horizon and clients, ``--columnar``
 collects the full 518-metric registry into per-metric arrays
 (exportable with ``--export-columnar``), ``--list`` prints the named
 scenario catalogue and ``--scenario`` runs a catalogue entry (including
-the consolidated multi-tenant runs).  ``sweep`` executes a whole
+the consolidated multi-tenant runs and the autoscaled elasticity
+experiments), and ``--controller`` attaches an elastic-control policy
+that resizes the web VMs mid-run.  ``sweep`` executes a whole
 scenario grid across worker processes with deterministic per-run
-seeds.  ``compare`` reproduces the paper's Section 4.1/4.2 comparison
+seeds; ``--controllers`` grids over scaling policies and ``--table``
+prints the aggregate ratio table over the merged results.  ``compare`` reproduces the paper's Section 4.1/4.2 comparison
 (the four ratio tables plus the Q1-Q5 findings); ``table1`` prints the
 metric catalogue sample.
 """
@@ -47,6 +52,7 @@ from repro.experiments.scenarios import scenario, scenario_catalog
 from repro.experiments.suite import (
     TENANT_MIXES,
     paper_matrix_suite,
+    render_suite_ratio_table,
     run_suite,
     suite_grid,
 )
@@ -108,6 +114,13 @@ def _build_parser() -> argparse.ArgumentParser:
              "shed and reported)",
     )
     run_parser.add_argument(
+        "--controller", default="none",
+        choices=("none", "static", "threshold", "pid", "predictive"),
+        help="elastic-control policy resizing the web VMs mid-run "
+             "(static = apply the initial sizing, never act); composes "
+             "with --scenario by swapping the catalogue entry's policy",
+    )
+    run_parser.add_argument(
         "--columnar", action="store_true",
         help="collect the full 518-metric registry as per-metric arrays",
     )
@@ -163,6 +176,16 @@ def _build_parser() -> argparse.ArgumentParser:
              f"{sorted(TENANT_MIXES)} (default: none)",
     )
     sweep_parser.add_argument(
+        "--controllers", default="none",
+        help="comma-separated elastic-control axis: none, static, "
+             "threshold, pid or predictive (default: none)",
+    )
+    sweep_parser.add_argument(
+        "--table", action="store_true",
+        help="print the aggregate ratio table (every run vs. the "
+             "first run) after the suite report",
+    )
+    sweep_parser.add_argument(
         "--json", default=None, metavar="PATH",
         help="write the merged suite report as JSON",
     )
@@ -187,6 +210,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     " + " + ", ".join(t.name for t in spec.tenants)
                     + " tenant(s)"
                 )
+            if spec.controller is not None:
+                kind += f" + {spec.controller.kind} controller"
             print(f"{name:<40s} {kind}")
         return 0
     if args.export_columnar and not args.columnar:
@@ -219,6 +244,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "see `repro run --list` for the catalogue"
             )
         spec = catalog[args.scenario]
+        if args.controller != "none":
+            # Swap (or attach) the policy while keeping the catalogue
+            # entry's capacity bands and thresholds — and rename the
+            # run to match, following the factories' convention, so a
+            # PID run never reports under a "_static" label.
+            from dataclasses import replace as _replace
+
+            from repro.control.spec import ControllerSpec
+
+            if spec.controller is not None:
+                controller = _replace(spec.controller, kind=args.controller)
+                name = spec.name
+                if name.endswith("_static"):
+                    name = name[: -len("_static")]
+                if args.controller == "static":
+                    name += "_static"
+            else:
+                controller = ControllerSpec.from_kind(args.controller)
+                name = f"{spec.name}@{args.controller}"
+            spec = _replace(spec, name=name, controller=controller)
     else:
         config = ExperimentConfig(
             environment=args.environment,
@@ -230,6 +275,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             traffic=args.traffic,
             rate_rps=args.rate,
             session_budget=args.session_budget,
+            controller=(
+                None if args.controller == "none" else args.controller
+            ),
             collect_full_registry=args.columnar,
         )
         spec = config.to_scenario()
@@ -250,6 +298,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         driver_label += (
             " + co-resident " + ", ".join(t.name for t in spec.tenants)
         )
+    if spec.controller is not None:
+        driver_label += f" + {spec.controller.kind} controller"
     print(
         f"running {spec.name}: {driver_label}, "
         f"{spec.duration_s:.0f}s simulated",
@@ -275,6 +325,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"({report['shed_fraction']:.1%}); arrival trace sha256 "
             f"{result.arrival_trace.sha256()[:16]}"
         )
+    if result.control_reports:
+        for entity, report in result.control_reports.items():
+            by_kind = ", ".join(
+                f"{kind} x{count}"
+                for kind, count in sorted(
+                    report["actions_by_kind"].items()
+                )
+            ) or "no actions"
+            final = "; ".join(
+                f"{domain}: {caps['cap_cores']:g} cores, "
+                f"{caps['vcpus']} vcpu, {caps['memory_mb']:.0f} MB"
+                for domain, caps in sorted(report["final"].items())
+            )
+            print(
+                f"{entity} [{report['kind']}]: "
+                f"{report['num_actions']} control actions ({by_kind}); "
+                f"final capacity {final}"
+            )
     if result.tenant_reports:
         for name, report in result.tenant_reports.items():
             print(
@@ -334,6 +402,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "--traffics": args.traffics != "closed",
             "--scales": args.scales != "1",
             "--tenant-mixes": args.tenant_mixes != "none",
+            "--controllers": args.controllers != "none",
         }
         rejected = [flag for flag, given in overridden.items() if given]
         if rejected:
@@ -373,6 +442,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             ],
             scales=[float(token) for token in _split_axis(args.scales)],
             tenant_mixes=mixes,
+            controllers=[
+                None if token == "none" else token
+                for token in _split_axis(args.controllers)
+            ],
             duration_s=args.duration,
             seed=args.seed,
             clients=args.clients,
@@ -383,6 +456,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     suite = run_suite(runs, workers=args.workers)
     print(suite.render())
+    if args.table:
+        print()
+        print(render_suite_ratio_table(suite))
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(suite.to_dict(), handle, indent=2, sort_keys=True)

@@ -12,6 +12,7 @@ import json
 from dataclasses import asdict, dataclass, field, replace
 from typing import Optional, Tuple
 
+from repro.control.spec import CONTROLLER_KINDS, ControllerSpec
 from repro.errors import ConfigurationError
 from repro.experiments.scenarios import (
     ENVIRONMENTS,
@@ -48,6 +49,11 @@ class ExperimentConfig:
     #: Co-resident tenant VMs (consolidation); each entry is a
     #: :class:`~repro.workloads.base.TenantSpec` (or its dict form).
     tenants: Tuple[TenantSpec, ...] = ()
+    #: Elastic-controller policy token: None/"none" (no controller) or
+    #: "static"/"threshold"/"pid"/"predictive" — the CLI
+    #: ``--controller`` syntax, expanded to a default-band
+    #: :class:`~repro.control.spec.ControllerSpec`.
+    controller: Optional[str] = None
     collect_full_registry: bool = False
     metadata: dict = field(default_factory=dict)
 
@@ -81,6 +87,18 @@ class ExperimentConfig:
             raise ConfigurationError("scale must be positive")
         if self.rate_rps is not None and self.rate_rps <= 0:
             raise ConfigurationError("rate_rps must be positive")
+        if self.controller not in (None, "none") + CONTROLLER_KINDS:
+            raise ConfigurationError(
+                f"unknown controller {self.controller!r}; choose from "
+                f"{('none',) + CONTROLLER_KINDS}"
+            )
+        if (
+            self.controller not in (None, "none")
+            and self.environment != VIRTUALIZED
+        ):
+            raise ConfigurationError(
+                "controllers require the virtualized environment"
+            )
         # Validate the traffic token eagerly so bad configs fail at
         # construction, not at run time.
         if self.traffic_spec() is None:
@@ -136,6 +154,12 @@ class ExperimentConfig:
             spec = replace(
                 spec, name=f"{spec.name}+{names}", tenants=self.tenants
             )
+        if self.controller not in (None, "none"):
+            spec = replace(
+                spec,
+                name=f"{spec.name}@{self.controller}",
+                controller=ControllerSpec.from_kind(self.controller),
+            )
         return spec
 
     @property
@@ -165,6 +189,7 @@ class ExperimentConfig:
             "rate_rps",
             "session_budget",
             "tenants",
+            "controller",
             "collect_full_registry",
             "metadata",
         }

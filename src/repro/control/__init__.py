@@ -1,0 +1,61 @@
+"""Elastic resource control: feedback autoscaling of VM capacity mid-run.
+
+The paper's point of characterizing web workloads on virtualized
+servers is to *act* on the characterization — sizing and resizing VM
+capacity as load shifts.  This subsystem closes that loop inside the
+simulated testbed:
+
+* **actuators** — runtime VCPU hotplug, credit-scheduler cap/weight
+  adjustment and memory ballooning live on the
+  :class:`~repro.virt.hypervisor.Hypervisor`; every effective actuation
+  charges dom0 the toolstack cost and is recorded as a control-action
+  event;
+* **signals** (:mod:`repro.control.signals`) — a
+  :class:`SignalTap` turns live telemetry (response times, open-loop
+  offered/shed counters, scheduler allocation, CPU-ready accrual) into
+  windowed controller inputs;
+* **policies** (:mod:`repro.control.policies`) — threshold/hysteresis
+  reactive scaling, PID-style target tracking, and an AR-model
+  predictive policy that scales ahead of ramps;
+* **controller** (:mod:`repro.control.controller`) — the periodic
+  observe → decide → act loop, with every decision recorded as
+  first-class time series exported alongside the run's metrics.
+
+Scenarios opt in through
+:class:`~repro.control.spec.ControllerSpec` (on
+:class:`~repro.experiments.scenarios.Scenario`,
+:class:`~repro.config.ExperimentConfig` and per-tenant on
+:class:`~repro.workloads.base.TenantSpec`);
+``repro run --controller {none,static,threshold,pid,predictive}``
+selects a policy from the CLI.
+"""
+
+from repro.control.actions import ActionLog, ControlAction
+from repro.control.controller import ElasticController
+from repro.control.policies import (
+    ControlPolicy,
+    PidPolicy,
+    PredictivePolicy,
+    StaticPolicy,
+    ThresholdPolicy,
+    build_policy,
+)
+from repro.control.signals import ControlSignals, DomainSignals, SignalTap
+from repro.control.spec import CONTROLLER_KINDS, ControllerSpec
+
+__all__ = [
+    "ActionLog",
+    "ControlAction",
+    "ControlPolicy",
+    "ControlSignals",
+    "ControllerSpec",
+    "CONTROLLER_KINDS",
+    "DomainSignals",
+    "ElasticController",
+    "PidPolicy",
+    "PredictivePolicy",
+    "SignalTap",
+    "StaticPolicy",
+    "ThresholdPolicy",
+    "build_policy",
+]

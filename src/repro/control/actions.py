@@ -1,0 +1,57 @@
+"""Control-action records: what the controller did, and when.
+
+The hypervisor actuators emit plain-dict events (they must not depend
+on this layer); :class:`ActionLog` collects them as typed
+:class:`ControlAction` records for reports, tests and serialization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterator, List
+
+
+@dataclass(frozen=True)
+class ControlAction:
+    """One effective actuation (value actually changed)."""
+
+    time_s: float
+    domain: str
+    kind: str
+    old: float
+    new: float
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+class ActionLog:
+    """Append-only log of control actions across one run."""
+
+    def __init__(self) -> None:
+        self._actions: List[ControlAction] = []
+
+    def record(self, event: dict) -> None:
+        """Append one hypervisor control event (plain dict form)."""
+        self._actions.append(ControlAction(**event))
+
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    def __iter__(self) -> Iterator[ControlAction]:
+        return iter(self._actions)
+
+    @property
+    def actions(self) -> List[ControlAction]:
+        return list(self._actions)
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Number of effective actuations per action kind."""
+        counts: Dict[str, int] = {}
+        for action in self._actions:
+            counts[action.kind] = counts.get(action.kind, 0) + 1
+        return counts
+
+    def to_dicts(self) -> List[dict]:
+        """Every action as a plain dict (JSON-exportable)."""
+        return [action.to_dict() for action in self._actions]

@@ -1,0 +1,269 @@
+"""The closed-loop elastic controller.
+
+An :class:`ElasticController` runs a periodic observe → decide → act
+loop during a simulation: every ``interval_s`` it samples its
+:class:`~repro.control.signals.SignalTap`, feeds the window to its
+policy, and maps the resulting load level onto the hypervisor
+actuators — credit-scheduler cap, VCPU hotplug, weight, memory balloon
+and (through ballooned memory) the open-loop driver's session budget.
+
+Everything the loop does is recorded: every effective actuation lands
+in an :class:`~repro.control.actions.ActionLog`, and the controller
+keeps per-tick :class:`~repro.monitoring.timeseries.TimeSeries` of its
+signals and the capacity it set — first-class series the experiment
+runner merges into the run's :class:`TraceSet` (and, for columnar
+runs, into the per-metric table), so control decisions export through
+the exact same CSV/NPZ paths as every other metric.
+
+Determinism: the tick draws no randomness and the policies are pure
+functions of the observed signals, so a controller-enabled run is a
+deterministic function of the scenario seed.  The tick runs at
+priority 40 — after the trace recorder's priority-30 tick at the same
+timestamp — so each sample reflects the pre-action state ("observe,
+then act") and recorder alignment is unaffected.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.control.actions import ActionLog
+from repro.control.policies import build_policy
+from repro.control.signals import SignalTap
+from repro.control.spec import ControllerSpec
+from repro.monitoring.timeseries import TimeSeries
+from repro.sim.process import PeriodicProcess
+from repro.units import MB
+
+
+def _snap(value: float, low: float, high: float, step: float) -> float:
+    """Snap ``value`` onto the ``low + k * step`` grid, clamped to band."""
+    snapped = low + round((value - low) / step) * step
+    return min(high, max(low, snapped))
+
+
+class ElasticController:
+    """Observe live telemetry, resize tenant capacity mid-run."""
+
+    def __init__(
+        self,
+        sim,
+        spec: ControllerSpec,
+        hypervisor,
+        stats,
+        driver=None,
+        entity: str = "control",
+    ) -> None:
+        self.sim = sim
+        self.spec = spec
+        self.hypervisor = hypervisor
+        self.driver = driver
+        #: Trace-set entity the control series are filed under.
+        self.entity = entity
+        # Resolve eagerly so a misnamed domain fails at build time.
+        self._domains = [hypervisor.domain(name) for name in spec.domains]
+        self._base_weights = {d.name: d.weight for d in self._domains}
+        self.tap = SignalTap(
+            sim,
+            stats,
+            hypervisor,
+            spec.domains,
+            driver=driver,
+            window_s=spec.interval_s,
+        )
+        self.policy = build_policy(spec)
+        self.log = ActionLog()
+        hypervisor.add_control_hook(self._on_action)
+        self._actions_in_tick = 0
+        self.level = 0.0
+        self._series: Dict[str, TimeSeries] = {}
+        self._add_series("level", "fraction")
+        self._add_series("p95_ms", "ms")
+        self._add_series("actions", "count/sample")
+        if driver is not None:
+            self._add_series("offered_rps", "arrivals/s")
+            self._add_series("shed_fraction", "fraction")
+            self._add_series("session_budget", "sessions")
+        for name in spec.domains:
+            self._add_series(f"{name}.cap_cores", "cores")
+            self._add_series(f"{name}.vcpus", "vcpus")
+            self._add_series(f"{name}.memory_mb", "MB")
+        self._process: Optional[PeriodicProcess] = None
+
+    def _add_series(self, resource: str, unit: str) -> None:
+        self._series[resource] = TimeSeries(
+            f"{self.entity}:{resource}", unit
+        )
+
+    def _on_action(self, event: dict) -> None:
+        # The hypervisor broadcasts to every registered hook; keep only
+        # the actions on domains this controller owns.
+        if event["domain"] in self.spec.domains:
+            self.log.record(event)
+            self._actions_in_tick += 1
+
+    # -- capacity mapping --------------------------------------------------
+
+    def _effective_level(self, level: float) -> float:
+        return 1.0 - level if self.spec.invert else level
+
+    def _cap_for(self, level: float) -> float:
+        spec = self.spec
+        effective = self._effective_level(level)
+        return _snap(
+            spec.min_cap_cores
+            + effective * (spec.max_cap_cores - spec.min_cap_cores),
+            spec.min_cap_cores,
+            spec.max_cap_cores,
+            spec.step_cores,
+        )
+
+    def _vcpus_for(self, cap_cores: float) -> int:
+        spec = self.spec
+        wanted = int(ceil(cap_cores - 1e-9))
+        return min(spec.max_vcpus, max(spec.min_vcpus, wanted))
+
+    def _memory_mb_for(self, level: float) -> float:
+        spec = self.spec
+        effective = self._effective_level(level)
+        return _snap(
+            spec.balloon_min_mb
+            + effective * (spec.balloon_max_mb - spec.balloon_min_mb),
+            spec.balloon_min_mb,
+            spec.balloon_max_mb,
+            spec.balloon_step_mb,
+        )
+
+    def _actuate(self, level: float) -> None:
+        spec = self.spec
+        hypervisor = self.hypervisor
+        cap = self._cap_for(level)
+        vcpus = self._vcpus_for(cap)
+        memory_mb = (
+            self._memory_mb_for(level) if spec.balloon_enabled else None
+        )
+        for domain in self._domains:
+            hypervisor.set_cap_cores(domain, cap)
+            hypervisor.set_vcpus(domain, vcpus)
+            if spec.weight_boost > 0:
+                base = self._base_weights[domain.name]
+                hypervisor.set_weight(
+                    domain,
+                    base * (1.0 + spec.weight_boost
+                            * self._effective_level(level)),
+                )
+            if memory_mb is not None:
+                hypervisor.balloon(domain, memory_mb * MB)
+        if (
+            memory_mb is not None
+            and spec.sessions_per_gb > 0
+            and self.driver is not None
+        ):
+            budget = max(1, round(spec.sessions_per_gb * memory_mb / 1024.0))
+            self.driver.set_session_budget(budget)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def apply_initial(self) -> None:
+        """Provision the controlled domains at the level-0 capacity.
+
+        Runs for every kind including ``static`` — the static baseline
+        is "the same initial sizing, never resized", which makes
+        static-vs-policy comparisons apples-to-apples.
+        """
+        self._actuate(0.0)
+
+    def start(self) -> "ElasticController":
+        """Apply the initial capacity and arm the decision loop."""
+        self.apply_initial()
+        self._process = PeriodicProcess(
+            self.sim,
+            self.spec.interval_s,
+            self._tick,
+            priority=40,
+            name=f"elastic-controller:{self.entity}",
+        ).start()
+        return self
+
+    def stop(self) -> None:
+        """Disarm the decision loop (end of an experiment)."""
+        if self._process is not None:
+            self._process.stop()
+            self._process = None
+
+    # -- the decision epoch ------------------------------------------------
+
+    def _tick(self, tick_time: float) -> None:
+        signals = self.tap.sample()
+        self._actions_in_tick = 0
+        level = self.policy.update(signals)
+        if self.spec.active:
+            self._actuate(level)
+        self.level = level
+        series = self._series
+        series["level"].append(tick_time, level)
+        series["p95_ms"].append(tick_time, signals.p95_ms)
+        series["actions"].append(tick_time, float(self._actions_in_tick))
+        if self.driver is not None:
+            series["offered_rps"].append(tick_time, signals.offered_rps)
+            series["shed_fraction"].append(
+                tick_time, signals.shed_fraction
+            )
+            series["session_budget"].append(
+                tick_time, float(self.driver.session_budget or 0)
+            )
+        for name, domain_signals in signals.domains.items():
+            domain = self.hypervisor.domain(name)
+            series[f"{name}.cap_cores"].append(
+                tick_time, domain.cap_cores
+            )
+            series[f"{name}.vcpus"].append(
+                tick_time, float(domain.online_vcpus)
+            )
+            series[f"{name}.memory_mb"].append(
+                tick_time, domain.memory_bytes / MB
+            )
+
+    # -- exports -----------------------------------------------------------
+
+    def trace_series(self) -> List[Tuple[str, TimeSeries]]:
+        """The control series as ``(resource, series)`` pairs."""
+        return list(self._series.items())
+
+    def columnar_block(self) -> Tuple[List[str], np.ndarray]:
+        """Column labels + matrix for columnar (per-metric) export."""
+        names = [
+            f"{self.entity}|{resource}" for resource in self._series
+        ]
+        if not self._series:
+            return names, np.empty((0, 0))
+        matrix = np.column_stack(
+            [series.values for series in self._series.values()]
+        )
+        return names, matrix
+
+    def report(self) -> dict:
+        """Plain-data summary of what this controller did."""
+        return {
+            "kind": self.spec.kind,
+            "domains": list(self.spec.domains),
+            "level": self.level,
+            "num_actions": len(self.log),
+            "actions_by_kind": self.log.counts_by_kind(),
+            "final": {
+                domain.name: {
+                    "cap_cores": domain.cap_cores,
+                    "vcpus": domain.online_vcpus,
+                    "memory_mb": domain.memory_bytes / MB,
+                }
+                for domain in self._domains
+            },
+            "session_budget": (
+                self.driver.session_budget
+                if self.driver is not None
+                else None
+            ),
+        }

@@ -1,0 +1,182 @@
+"""Scaling policies: signals in, load level out.
+
+Every policy maps a :class:`~repro.control.signals.ControlSignals`
+window to a *load level* in ``[0, 1]``; the controller turns the level
+into concrete capacity (CPU cap, VCPUs, memory, session budget).  All
+policies are deterministic — they draw no randomness, so
+controller-enabled runs stay seed-reproducible.
+
+* :class:`StaticPolicy` — the baseline: level 0 forever.
+* :class:`ThresholdPolicy` — reactive hysteresis: step up when p95 or
+  the shed fraction crosses the high watermark, step down only after
+  ``calm_windows`` consecutive calm windows.
+* :class:`PidPolicy` — velocity-form PI tracking of a p95 target (the
+  shed fraction enters the error so overload without completions still
+  scales up); the incremental form plus clamping gives anti-windup.
+* :class:`PredictivePolicy` — fits an AR model
+  (:class:`~repro.analysis.models.ARModel`) to the recent offered-rate
+  history and scales ahead of predicted ramps; falls back to threshold
+  behaviour until enough history exists, and never scales below what
+  the reactive part demands.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.analysis.models import ARModel
+from repro.errors import AnalysisError, ConfigurationError, InsufficientDataError
+from repro.control.signals import ControlSignals
+from repro.control.spec import (
+    PID,
+    PREDICTIVE,
+    STATIC,
+    THRESHOLD,
+    ControllerSpec,
+)
+
+
+def _clamp01(value: float) -> float:
+    return min(1.0, max(0.0, value))
+
+
+class ControlPolicy:
+    """Interface: consume one signal window, emit a load level."""
+
+    def update(self, signals: ControlSignals) -> float:
+        """Return the load level in ``[0, 1]`` for this window."""
+        raise NotImplementedError
+
+
+class StaticPolicy(ControlPolicy):
+    """The non-policy: static provisioning (level 0 forever)."""
+
+    def update(self, signals: ControlSignals) -> float:
+        return 0.0
+
+
+class ThresholdPolicy(ControlPolicy):
+    """Reactive threshold scaling with scale-down hysteresis."""
+
+    def __init__(self, spec: ControllerSpec) -> None:
+        self.spec = spec
+        self.level = 0.0
+        self._calm = 0
+
+    def update(self, signals: ControlSignals) -> float:
+        spec = self.spec
+        hot = (
+            signals.p95_ms > spec.p95_high_ms
+            or signals.shed_fraction > spec.shed_high
+        )
+        calm = (
+            signals.p95_ms < spec.p95_low_ms and signals.shed == 0
+        )
+        if hot:
+            self.level = _clamp01(self.level + spec.up_step)
+            self._calm = 0
+        elif calm:
+            self._calm += 1
+            if self._calm >= spec.calm_windows:
+                self.level = _clamp01(self.level - spec.down_step)
+                self._calm = 0
+        else:
+            self._calm = 0
+        return self.level
+
+
+class PidPolicy(ControlPolicy):
+    """Velocity-form PI tracking of the p95 target."""
+
+    #: Error clamp: one target's worth of slack downward, four upward
+    #: (a p95 at 5x the target saturates the proportional response).
+    ERROR_MIN = -1.0
+    ERROR_MAX = 4.0
+
+    def __init__(self, spec: ControllerSpec) -> None:
+        self.spec = spec
+        self.level = 0.0
+        self._previous_error = 0.0
+
+    def _error(self, signals: ControlSignals) -> float:
+        spec = self.spec
+        latency_error = signals.p95_ms / spec.p95_target_ms - 1.0
+        error = latency_error
+        if signals.shed > 0:
+            shed_error = signals.shed_fraction / spec.shed_high - 1.0
+            error = max(error, shed_error)
+        return min(self.ERROR_MAX, max(self.ERROR_MIN, error))
+
+    def update(self, signals: ControlSignals) -> float:
+        error = self._error(signals)
+        delta = (
+            self.spec.kp * (error - self._previous_error)
+            + self.spec.ki * error
+        )
+        self._previous_error = error
+        self.level = _clamp01(self.level + delta)
+        return self.level
+
+
+class PredictivePolicy(ControlPolicy):
+    """Scale ahead of ramps predicted from the offered-arrival history."""
+
+    def __init__(self, spec: ControllerSpec) -> None:
+        self.spec = spec
+        self._reactive = ThresholdPolicy(spec)
+        self._history: List[float] = []
+        #: Level the AR forecast asked for in the last window (exposed
+        #: for tests/diagnostics).
+        self.predicted_level = 0.0
+
+    def _forecast_rate(self) -> float:
+        """Offered rate ``lead_windows`` ahead, via an AR fit."""
+        spec = self.spec
+        history = np.asarray(self._history)
+        model = ARModel(order=spec.ar_order).fit(history)
+        window = list(history)
+        prediction = float(history[-1])
+        for _ in range(spec.lead_windows):
+            prediction = model.predict_one_step(np.asarray(window))
+            window.append(prediction)
+        return max(prediction, 0.0)
+
+    def update(self, signals: ControlSignals) -> float:
+        spec = self.spec
+        self._history.append(signals.offered_rps)
+        if len(self._history) > spec.history_windows:
+            del self._history[: len(self._history) - spec.history_windows]
+        reactive = self._reactive.update(signals)
+        self.predicted_level = 0.0
+        minimum = max(12, 4 * spec.ar_order + spec.lead_windows)
+        if len(self._history) >= minimum:
+            try:
+                predicted = self._forecast_rate()
+            except (AnalysisError, InsufficientDataError):
+                return reactive  # constant/degenerate history
+            baseline = float(np.percentile(self._history, 20.0))
+            if baseline > 0:
+                ratio = predicted / baseline
+                self.predicted_level = _clamp01(
+                    (ratio - 1.0) / (spec.surge_ref_ratio - 1.0)
+                )
+        # Never below the reactive demand: prediction adds lead time,
+        # it must not mask a live overload signal.
+        level = max(reactive, self.predicted_level)
+        self._reactive.level = level
+        return level
+
+
+def build_policy(spec: ControllerSpec) -> ControlPolicy:
+    """Construct the policy a controller spec names."""
+    if spec.kind == STATIC:
+        return StaticPolicy()
+    if spec.kind == THRESHOLD:
+        return ThresholdPolicy(spec)
+    if spec.kind == PID:
+        return PidPolicy(spec)
+    if spec.kind == PREDICTIVE:
+        return PredictivePolicy(spec)
+    raise ConfigurationError(f"unknown controller kind {spec.kind!r}")

@@ -1,0 +1,151 @@
+"""The signal layer: windowed controller inputs over live telemetry.
+
+A :class:`SignalTap` sits over the objects a run already maintains —
+the traffic driver's :class:`~repro.rubis.client.SessionStats`, the
+open-loop driver's offered/shed counters, and the hypervisor's
+per-domain allocation and CPU-ready accounting — and turns their
+cumulative counters into *windowed* control inputs: per-window p95
+latency, offered and shed rates, and per-domain utilization signals.
+
+Sampling draws no randomness and schedules no events, so attaching a
+tap (the ``static`` baseline controller does) never perturbs a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.units import MB
+
+
+@dataclass(frozen=True)
+class DomainSignals:
+    """One domain's allocation state at a sample."""
+
+    demand_cores: float
+    speed_fraction: float
+    cap_cores: float
+    online_vcpus: int
+    memory_mb: float
+    mem_used_mb: float
+    #: CPU ready (steal) time accrued inside the window, core-seconds.
+    ready_delta_s: float
+
+
+@dataclass(frozen=True)
+class ControlSignals:
+    """Everything a policy sees for one decision window."""
+
+    time_s: float
+    window_s: float
+    #: Requests completed inside the window.
+    completed: int
+    #: Windowed 95th-percentile response time (carried over from the
+    #: previous window when nothing completed — an empty window during
+    #: overload means *wedged*, not *healthy*).
+    p95_s: float
+    mean_s: float
+    #: Open-loop arrivals offered / shed inside the window (0 for
+    #: closed-loop runs, which cannot shed).
+    offered: int
+    shed: int
+    shed_fraction: float
+    in_flight: int
+    session_budget: Optional[int]
+    domains: Dict[str, DomainSignals] = field(default_factory=dict)
+
+    @property
+    def offered_rps(self) -> float:
+        """Offered arrival rate over the window."""
+        return self.offered / self.window_s
+
+    @property
+    def p95_ms(self) -> float:
+        return self.p95_s * 1000.0
+
+
+class SignalTap:
+    """Windowed view over a run's cumulative telemetry counters."""
+
+    def __init__(
+        self,
+        sim,
+        stats,
+        hypervisor,
+        domain_names: Sequence[str],
+        driver=None,
+        window_s: float = 2.0,
+    ) -> None:
+        self.sim = sim
+        self.stats = stats
+        self.hypervisor = hypervisor
+        self.domain_names = tuple(domain_names)
+        self.driver = driver
+        self.window_s = float(window_s)
+        # Window response times arrive through a live sink rather than
+        # a cursor into ``stats.response_times_s``: that reservoir is
+        # capped (MAX_SAMPLES), and a cursor-based window would freeze
+        # once a long run fills it — blinding the controller exactly
+        # on the horizons elasticity experiments care about.
+        self._window: list = []
+        stats.add_window_sink(self._window)
+        # Cursors into the (unbounded) cumulative counters.
+        self._seen_offered = 0
+        self._seen_shed = 0
+        self._seen_ready = {name: 0.0 for name in self.domain_names}
+        self._last_p95_s = 0.0
+        self._last_mean_s = 0.0
+
+    def sample(self) -> ControlSignals:
+        """Compute the signals for the window ending now."""
+        window = self._window
+        completed = len(window)
+        if completed:
+            arr = np.asarray(window)
+            self._last_p95_s = float(np.percentile(arr, 95.0))
+            self._last_mean_s = float(arr.mean())
+            # Drain in place: the sink reference registered with the
+            # stats object must stay alive.
+            window.clear()
+        offered = shed = 0
+        in_flight = 0
+        budget = None
+        driver = self.driver
+        if driver is not None:
+            offered = driver.arrivals_offered - self._seen_offered
+            shed = driver.arrivals_shed - self._seen_shed
+            self._seen_offered = driver.arrivals_offered
+            self._seen_shed = driver.arrivals_shed
+            in_flight = driver.active_session_count()
+            budget = driver.session_budget
+        domains: Dict[str, DomainSignals] = {}
+        hypervisor = self.hypervisor
+        for name in self.domain_names:
+            domain = hypervisor.domain(name)
+            ready = hypervisor.cpu_ready_seconds(name)
+            domains[name] = DomainSignals(
+                demand_cores=domain.demand_cores(),
+                speed_fraction=hypervisor.scheduler.speed_fraction(name),
+                cap_cores=domain.cap_cores,
+                online_vcpus=domain.online_vcpus,
+                memory_mb=domain.memory_bytes / MB,
+                mem_used_mb=hypervisor.vm_memory_used(domain) / MB,
+                ready_delta_s=ready - self._seen_ready[name],
+            )
+            self._seen_ready[name] = ready
+        return ControlSignals(
+            time_s=self.sim.now,
+            window_s=self.window_s,
+            completed=completed,
+            p95_s=self._last_p95_s,
+            mean_s=self._last_mean_s,
+            offered=offered,
+            shed=shed,
+            shed_fraction=(shed / offered) if offered else 0.0,
+            in_flight=in_flight,
+            session_budget=budget,
+            domains=domains,
+        )

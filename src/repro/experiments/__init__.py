@@ -30,10 +30,13 @@ from repro.experiments.calibration import (
 )
 from repro.experiments.scenarios import (
     Scenario,
+    autoscaled_consolidated_scenario,
+    autoscaled_flash_crowd_scenario,
     consolidated_scenario,
     consolidated_web_batch_scenario,
     default_duration_s,
     flash_crowd_scenario,
+    flash_crowd_window,
     open_loop_scenario,
     paper_scenarios,
     scenario,
@@ -55,8 +58,10 @@ from repro.experiments.suite import (
     execute_run,
     interference_checks,
     paper_matrix_suite,
+    render_suite_ratio_table,
     run_suite,
     suite_grid,
+    suite_ratio_data,
 )
 from repro.experiments.figures import FigurePanel, FigureData, figure, render_figure
 from repro.experiments.tables import render_table1, table1_rows
@@ -82,6 +87,9 @@ __all__ = [
     "scenario",
     "open_loop_scenario",
     "flash_crowd_scenario",
+    "flash_crowd_window",
+    "autoscaled_flash_crowd_scenario",
+    "autoscaled_consolidated_scenario",
     "consolidated_scenario",
     "consolidated_web_batch_scenario",
     "paper_scenarios",
@@ -104,6 +112,8 @@ __all__ = [
     "execute_run",
     "derive_run_seed",
     "interference_checks",
+    "suite_ratio_data",
+    "render_suite_ratio_table",
     "FigurePanel",
     "FigureData",
     "figure",

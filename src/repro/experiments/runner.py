@@ -65,6 +65,9 @@ class ExperimentResult:
     #: Consolidation signals (per-domain CPU ready time); present for
     #: every virtualized run, zero-valued without co-tenants.
     interference: Optional[dict] = None
+    #: Elastic-control summaries ({controller entity: report}); the
+    #: control *series* land in ``traces`` under the same entity.
+    control_reports: Optional[dict] = None
 
     @property
     def throughput_rps(self) -> float:
@@ -148,6 +151,17 @@ def run_scenario(
     recorder.stop()
     testbed.shutdown()
 
+    # Elastic-control decisions are first-class telemetry: the control
+    # series join the run's trace set (entity = the controller's) and,
+    # for columnar runs, the per-metric table — so they ride the same
+    # CSV/NPZ export paths as every sampled metric.
+    columnar = recorder.columnar
+    for controller in testbed.controllers:
+        for resource, series in controller.trace_series():
+            recorder.traces.add(controller.entity, resource, series)
+    if columnar is not None and testbed.controllers:
+        columnar = _merge_control_columns(columnar, testbed.controllers)
+
     stats = web.stats
     meter = web.meter
     population = web.population
@@ -160,7 +174,7 @@ def run_scenario(
         deployment=testbed.deployment,
         population=population,
         full_rows=recorder.full_rows,
-        columnar=recorder.columnar,
+        columnar=columnar,
         arrival_trace=(
             meter.to_rate_trace(scenario.duration_s)
             if meter is not None
@@ -173,7 +187,41 @@ def run_scenario(
         ),
         tenant_reports=testbed.tenant_reports(),
         interference=testbed.interference_report(),
+        control_reports=testbed.control_reports(),
     )
+
+
+def _merge_control_columns(columnar, controllers):
+    """Append the controllers' per-tick columns to the columnar table.
+
+    Controllers ticking on the sampling grid (the default) contribute
+    one row per sample; a controller on a different cadence cannot be
+    column-aligned and is skipped (its series stay in the trace set).
+    The merged table is filled into one preallocated matrix and
+    adopted without a defensive copy — full-registry tables reach
+    multi-GB scale and must not be duplicated transiently.
+    """
+    from repro.monitoring.columnar import ColumnarRows
+
+    rows = len(columnar)
+    names = list(columnar.columns)
+    blocks = []
+    for controller in controllers:
+        block_names, block = controller.columnar_block()
+        if block.shape[0] != rows:
+            continue
+        names.extend(block_names)
+        blocks.append(block)
+    if not blocks:
+        return columnar
+    merged = np.empty((rows, len(names)))
+    base_columns = len(columnar.columns)
+    merged[:, :base_columns] = columnar.matrix()
+    start = base_columns
+    for block in blocks:
+        merged[:, start:start + block.shape[1]] = block
+        start += block.shape[1]
+    return ColumnarRows.adopt_matrix(names, merged)
 
 
 _result_cache: Dict[tuple, ExperimentResult] = {}

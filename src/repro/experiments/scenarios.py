@@ -23,6 +23,7 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.control.spec import ControllerSpec
 from repro.errors import ConfigurationError
 from repro.rubis.workload import (
     PAPER_COMPOSITIONS,
@@ -69,6 +70,14 @@ class Scenario:
     ``scale`` records the stress multiplier the factory applied to
     horizon and clients, so two scenarios that differ only in how they
     were scaled never share a cache fingerprint.
+
+    ``controller`` attaches an elastic controller
+    (:class:`~repro.control.spec.ControllerSpec`) that observes live
+    telemetry and resizes the web VMs mid-run (``kind="static"`` =
+    same initial sizing, never resized — the autoscaling baseline).
+    Controllers are a hypervisor feature, so they require the
+    virtualized environment; a controller-bearing testbed also enables
+    the hypervisor's intra-VM VCPU-contention refinement.
     """
 
     name: str
@@ -80,6 +89,7 @@ class Scenario:
     traffic: Optional[TrafficSpec] = None
     scale: float = 1.0
     tenants: Tuple[TenantSpec, ...] = ()
+    controller: Optional[ControllerSpec] = None
 
     def __post_init__(self) -> None:
         if self.environment not in ENVIRONMENTS:
@@ -104,6 +114,21 @@ class Scenario:
                 raise ConfigurationError(
                     f"duplicate tenant names: {names}"
                 )
+        has_controller = self.controller is not None or any(
+            t.controller is not None for t in self.tenants
+        )
+        if has_controller and self.environment != VIRTUALIZED:
+            raise ConfigurationError(
+                "elastic controllers require the virtualized environment "
+                "(resizing is a hypervisor feature)"
+            )
+
+    @property
+    def controlled(self) -> bool:
+        """True when any elastic controller runs in this scenario."""
+        return self.controller is not None or any(
+            t.controller is not None for t in self.tenants
+        )
 
     @property
     def open_loop(self) -> bool:
@@ -144,6 +169,7 @@ class Scenario:
             self.traffic,
             self.scale,
             self.tenants,
+            self.controller,
         )
 
 
@@ -401,6 +427,143 @@ def consolidated_web_batch_scenario(
     )
 
 
+def autoscaled_flash_crowd_scenario(
+    duration_s: float = None,
+    seed: int = 42,
+    clients: int = None,
+    controller: str = "threshold",
+    session_budget: int = None,
+) -> Scenario:
+    """The elasticity experiment: a flash crowd against a small web VM.
+
+    The static provisioning is *rightsized for the calm load*: the web
+    and db VMs start at a fractional-core CPU cap sized to ~1.2x the
+    calm request rate (0.25 cores at the paper's 1000 clients, scaled
+    with the client count) on one VCPU, with 1 GB of ballooned memory
+    whose front-end session capacity (MaxClients) is
+    ``session_budget`` concurrent visits.  Shed visits retry twice
+    with exponential backoff before abandoning (the PR-2 follow-up
+    semantics).
+
+    When the flash crowd hits, the static sizing fails along both
+    axes: the budget sheds most of the surge, and the visits it *does*
+    admit exceed the capped CPU capacity, so latency collapses too.
+    The ``controller`` policy (threshold / pid / predictive) grows the
+    VMs out of both failure modes — CPU cap and VCPUs to 8x the calm
+    sizing, memory to 3 GB with the session budget following at
+    ``session_budget`` per GB — and shrinks them again after the
+    surge.  ``controller="static"`` is the never-resized baseline
+    every comparison runs against: same initial sizing, same seed,
+    same offered arrival stream.
+    """
+    duration = duration_s if duration_s is not None else default_duration_s()
+    base_clients = clients if clients is not None else 1000
+    budget = session_budget
+    if budget is None:
+        budget = max(50, 2 * base_clients)
+    base = flash_crowd_scenario(
+        duration_s=duration,
+        seed=seed,
+        clients=clients,
+        session_budget=budget,
+    )
+    traffic = replace(base.traffic, retry_max=2, retry_backoff_s=2.0)
+    # Capacity bands scale with the client population so the
+    # calm-load/surge-load geometry (and therefore the qualitative
+    # static-vs-elastic outcome) is the same at CI scale and at the
+    # paper's 1000 clients.
+    load_scale = base_clients / 1000.0
+    min_cap = 0.25 * load_scale
+    max_cap = 2.0 * load_scale
+    spec = ControllerSpec(
+        kind=controller,
+        domains=("web-vm", "db-vm"),
+        min_cap_cores=min_cap,
+        max_cap_cores=max_cap,
+        step_cores=(max_cap - min_cap) / 7.0,
+        min_vcpus=1,
+        max_vcpus=2,
+        balloon_min_mb=1024.0,
+        balloon_max_mb=3072.0,
+        balloon_step_mb=256.0,
+        sessions_per_gb=float(budget),
+        p95_high_ms=10.0,
+        p95_low_ms=4.0,
+        shed_high=0.02,
+        p95_target_ms=6.0,
+    )
+    name = "autoscaled_flash_crowd"
+    if controller == "static":
+        name += "_static"
+    return replace(
+        base,
+        name=name,
+        traffic=traffic,
+        controller=spec,
+    )
+
+
+def autoscaled_consolidated_scenario(
+    duration_s: float = None,
+    seed: int = 42,
+    clients: int = None,
+    controller: str = "threshold",
+) -> Scenario:
+    """Elastic web VMs on a consolidated server (closed-loop clients).
+
+    The canonical consolidation run (browsing web tiers + a sort batch
+    VM on one hypervisor) with the web VMs starting at a fractional
+    CPU cap.  Under co-tenant contention the capped tiers inflate the
+    web p95 by an order of magnitude; the controller restores it by
+    growing the caps (and boosting the credit-scheduler weight) while
+    the SLO is violated, then releases capacity once calm.
+    """
+    base = consolidated_web_batch_scenario(
+        duration_s=duration_s, seed=seed, clients=clients
+    )
+    # Batch jobs arrive every ~20 s and each burst inflates the capped
+    # web tiers within seconds, so the policy scales up in one step and
+    # holds capacity across bursts (long calm hysteresis) instead of
+    # thrashing between them.
+    spec = ControllerSpec(
+        kind=controller,
+        domains=("web-vm", "db-vm"),
+        min_cap_cores=0.25,
+        max_cap_cores=2.0,
+        step_cores=0.25,
+        min_vcpus=1,
+        max_vcpus=2,
+        weight_boost=1.0,
+        p95_high_ms=50.0,
+        p95_low_ms=10.0,
+        up_step=1.0,
+        down_step=0.1,
+        calm_windows=15,
+        p95_target_ms=40.0,
+    )
+    name = "autoscaled_consolidated"
+    if controller == "static":
+        name += "_static"
+    return replace(base, name=name, controller=spec)
+
+
+def flash_crowd_window(spec: Scenario) -> Tuple[float, float]:
+    """The surge interval of a flash-crowd scenario, ``(start, end)``.
+
+    From one rise before the peak to one decay constant after it —
+    the window the autoscaling comparisons score p95 over.
+    """
+    shape = spec.traffic.shape if spec.traffic is not None else None
+    if shape is None or not hasattr(shape, "peak_time_s"):
+        raise ConfigurationError(
+            f"scenario {spec.name!r} has no flash-crowd shape"
+        )
+    return (
+        shape.peak_time_s - shape.rise_s,
+        shape.peak_time_s + shape.decay_s,
+    )
+
+
 def paper_scenarios(duration_s: float = None, seed: int = 42) -> Dict[str, Scenario]:
     """The paper's full run matrix.
 
@@ -451,4 +614,15 @@ def scenario_catalog(
         duration_s=duration_s, seed=seed, clients=clients
     )
     out[flash.name] = flash
+    for kind in ("threshold", "static"):
+        auto_flash = autoscaled_flash_crowd_scenario(
+            duration_s=duration_s, seed=seed, clients=clients,
+            controller=kind,
+        )
+        out[auto_flash.name] = auto_flash
+        auto_cons = autoscaled_consolidated_scenario(
+            duration_s=duration_s, seed=seed, clients=clients,
+            controller=kind,
+        )
+        out[auto_cons.name] = auto_cons
     return out

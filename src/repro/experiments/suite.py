@@ -86,6 +86,7 @@ class RunSummary:
     traffic_report: Optional[dict] = None
     tenant_reports: Optional[dict] = None
     cpu_ready_s: Optional[dict] = None
+    control_reports: Optional[dict] = None
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -158,6 +159,7 @@ def suite_grid(
     traffics: Sequence[Optional[str]] = (None,),
     scales: Sequence[float] = (1.0,),
     tenant_mixes: Sequence[Tuple[TenantSpec, ...]] = ((),),
+    controllers: Sequence[Optional[str]] = (None,),
     duration_s: Optional[float] = None,
     seed: int = 42,
     clients: Optional[int] = None,
@@ -165,19 +167,26 @@ def suite_grid(
     """Expand grid axes into a list of suite runs.
 
     The run id encodes every axis value, and the per-run seed derives
-    from it (:func:`derive_run_seed`).  Invalid cells — tenants on a
-    bare-metal environment — are skipped, so mixed grids stay
-    declarative.
+    from it (:func:`derive_run_seed`).  Invalid cells — tenants or
+    controllers on a bare-metal environment — are skipped, so mixed
+    grids stay declarative.  The ``controllers`` axis takes policy
+    tokens (``none``/``static``/``threshold``/``pid``/``predictive``),
+    so one sweep can grid the same workload over scaling policies.
     """
     runs: List[SuiteRun] = []
-    for environment, composition, traffic, scale, tenants in (
+    for environment, composition, traffic, scale, tenants, controller in (
         itertools.product(
-            environments, compositions, traffics, scales, tenant_mixes
+            environments, compositions, traffics, scales, tenant_mixes,
+            controllers,
         )
     ):
         tenants = tuple(tenants)
         if tenants and environment != "virtualized":
             continue  # consolidation needs a hypervisor
+        if controller in ("none",):
+            controller = None
+        if controller is not None and environment != "virtualized":
+            continue  # resizing is a hypervisor feature
         parts = [environment, composition]
         if traffic not in (None, "closed"):
             parts.append(str(traffic))
@@ -185,16 +194,25 @@ def suite_grid(
             parts.append(f"x{scale:g}")
         if tenants:
             parts.append("+".join(t.name for t in tenants))
+        # The per-run seed is derived *before* the controller token is
+        # appended: cells that differ only in scaling policy must run
+        # the same seed (and therefore the same offered arrival
+        # stream), or the static-vs-policy ratios in the aggregate
+        # table would compare across seed noise.
+        seed_id = "/".join(parts)
+        if controller is not None:
+            parts.append(f"ctl-{controller}")
         run_id = "/".join(parts)
         config = ExperimentConfig(
             environment=environment,
             composition=composition,
             duration_s=duration_s,
-            seed=derive_run_seed(seed, run_id),
+            seed=derive_run_seed(seed, seed_id),
             clients=clients,
             scale=scale,
             traffic=traffic,
             tenants=tenants,
+            controller=controller,
         )
         runs.append(SuiteRun(run_id=run_id, config=config))
     if not runs:
@@ -243,6 +261,7 @@ def execute_run(run: SuiteRun) -> RunSummary:
         traffic_report=result.traffic_report,
         tenant_reports=result.tenant_reports,
         cpu_ready_s=interference.get("cpu_ready_s"),
+        control_reports=result.control_reports,
     )
 
 
@@ -301,6 +320,87 @@ def run_suite(
         workers=workers,
         wall_clock_s=wall,
     )
+
+
+# -- aggregate analysis over merged suite results ---------------------------
+
+
+def suite_ratio_data(
+    suite: "SuiteResult", baseline_run_id: Optional[str] = None
+) -> Dict[str, Dict[str, float]]:
+    """Per-run metrics plus ratios against a baseline run.
+
+    The paper's headline results are *ratio* tables (virtualized over
+    bare metal); this is the suite-level generalization: every run's
+    throughput, mean/p95 latency, shed fraction and control-action
+    count, each paired with its ratio to the ``baseline_run_id`` run
+    (default: the first run of the suite).  Plain data, so the table
+    renders from a merged suite JSON as well as from a live result.
+    """
+    if not suite.summaries:
+        raise ConfigurationError("suite has no runs to tabulate")
+    run_ids = list(suite.summaries)
+    baseline_id = baseline_run_id or run_ids[0]
+    if baseline_id not in suite.summaries:
+        raise ConfigurationError(
+            f"unknown baseline run {baseline_id!r}; suite has {run_ids}"
+        )
+
+    def metrics(summary: RunSummary) -> Dict[str, float]:
+        traffic = summary.traffic_report or {}
+        controls = summary.control_reports or {}
+        actions = sum(
+            report.get("num_actions", 0) for report in controls.values()
+        )
+        return {
+            "throughput_rps": summary.throughput_rps,
+            "mean_ms": summary.mean_response_time_s * 1000.0,
+            "p95_ms": summary.p95_response_time_s * 1000.0,
+            "shed_fraction": float(traffic.get("shed_fraction", 0.0)),
+            "control_actions": float(actions),
+        }
+
+    baseline = metrics(suite.summaries[baseline_id])
+    table: Dict[str, Dict[str, float]] = {}
+    for run_id in run_ids:
+        row = metrics(suite.summaries[run_id])
+        for name in list(row):
+            base = baseline[name]
+            row[f"{name}_ratio"] = (
+                row[name] / base if base else float("nan")
+            )
+        table[run_id] = row
+    return table
+
+
+def render_suite_ratio_table(
+    suite: "SuiteResult", baseline_run_id: Optional[str] = None
+) -> str:
+    """Human-readable aggregate ratio table for a whole sweep.
+
+    One row per run; each metric prints as ``value (ratio x)`` against
+    the baseline run, which is marked with ``*``.
+    """
+    data = suite_ratio_data(suite, baseline_run_id)
+    baseline_id = baseline_run_id or next(iter(suite.summaries))
+    columns = ("throughput_rps", "mean_ms", "p95_ms", "shed_fraction")
+    header = f"{'run':<44s}" + "".join(
+        f" {name:>22s}" for name in columns
+    ) + f" {'actions':>8s}"
+    lines = [header]
+    for run_id, row in data.items():
+        label = f"{run_id}{'*' if run_id == baseline_id else ''}"
+        cells = []
+        for name in columns:
+            ratio = row[f"{name}_ratio"]
+            ratio_text = f"{ratio:.2f}x" if ratio == ratio else "-"
+            cells.append(f" {row[name]:>13.3g} ({ratio_text:>6s})")
+        lines.append(
+            f"{label:<44s}" + "".join(cells)
+            + f" {row['control_actions']:>8.0f}"
+        )
+    lines.append(f"baseline (*): {baseline_id}")
+    return "\n".join(lines)
 
 
 # -- qualitative consolidation checks -------------------------------------

@@ -26,9 +26,11 @@ samples.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Optional
 
 from repro.apps.tier import VirtualizedContext
+from repro.control.controller import ElasticController
 from repro.errors import ConfigurationError
 from repro.hardware.cluster import Cluster
 from repro.monitoring.probes import Dom0Probe, Probe
@@ -66,7 +68,10 @@ def calibrated_environment(environment: str) -> CalibratedEnvironment:
 
 
 def build_deployment(
-    sim: Simulator, streams: RandomStreams, environment: str
+    sim: Simulator,
+    streams: RandomStreams,
+    environment: str,
+    vcpu_contention: bool = False,
 ) -> Deployment:
     """Construct the calibrated single-tenant deployment."""
     calibrated = calibrated_environment(environment)
@@ -76,6 +81,7 @@ def build_deployment(
             streams,
             config=calibrated.deployment_config,
             overhead=calibrated.overhead,
+            vcpu_contention=vcpu_contention,
         )
     return BareMetalDeployment(
         sim,
@@ -95,11 +101,13 @@ class Testbed:
         web: RubisWorkload,
         tenants: List[Workload],
         hypervisor: Optional[Hypervisor],
+        controllers: Optional[List[ElasticController]] = None,
     ) -> None:
         self.scenario = scenario
         self.web = web
         self.tenants = tenants
         self.hypervisor = hypervisor
+        self.controllers = list(controllers or [])
 
     @property
     def deployment(self) -> Deployment:
@@ -115,11 +123,17 @@ class Testbed:
         return probes
 
     def start(self) -> None:
+        # Controllers first: the initial (level-0) capacity must be in
+        # place before any workload driver schedules its first event.
+        for controller in self.controllers:
+            controller.start()
         self.web.start()
         for tenant in self.tenants:
             tenant.start()
 
     def shutdown(self) -> None:
+        for controller in self.controllers:
+            controller.stop()
         for tenant in self.tenants:
             tenant.shutdown()
         self.web.shutdown()
@@ -135,6 +149,15 @@ class Testbed:
         if self.hypervisor is None:
             return None
         return {"cpu_ready_s": self.hypervisor.cpu_ready_report()}
+
+    def control_reports(self) -> Optional[Dict[str, dict]]:
+        """Per-controller action summaries, or None when uncontrolled."""
+        if not self.controllers:
+            return None
+        return {
+            controller.entity: controller.report()
+            for controller in self.controllers
+        }
 
 
 class TestbedBuilder:
@@ -156,7 +179,10 @@ class TestbedBuilder:
             deployment, hypervisor = self._build_shared_server(scenario)
         else:
             deployment = build_deployment(
-                self.sim, self.streams, scenario.environment
+                self.sim,
+                self.streams,
+                scenario.environment,
+                vcpu_contention=scenario.controlled,
             )
             hypervisor = getattr(deployment, "hypervisor", None)
         web = RubisWorkload(
@@ -185,14 +211,62 @@ class TestbedBuilder:
                     horizon_s=scenario.duration_s,
                 )
             )
-        return Testbed(scenario, web, tenants, hypervisor)
+        controllers = self._build_controllers(scenario, web, hypervisor)
+        return Testbed(scenario, web, tenants, hypervisor, controllers)
+
+    def _build_controllers(
+        self,
+        scenario: Scenario,
+        web: RubisWorkload,
+        hypervisor: Optional[Hypervisor],
+    ) -> List[ElasticController]:
+        """The scenario's elastic controllers, wired to live telemetry.
+
+        The scenario-level controller resizes the web VMs; per-tenant
+        controllers (``TenantSpec.controller``) are retargeted at the
+        tenant's own VM.  All of them observe the web workload's
+        latency/shed signals — the testbed-level SLO is what drives
+        resizing, including the priority-aware (``invert=True``)
+        throttling of antagonist tenants.
+        """
+        controllers: List[ElasticController] = []
+        driver = web.population if web.open_loop else None
+        if scenario.controller is not None:
+            controllers.append(
+                ElasticController(
+                    self.sim,
+                    scenario.controller,
+                    hypervisor,
+                    web.stats,
+                    driver=driver,
+                )
+            )
+        for spec in scenario.tenants:
+            if spec.controller is None:
+                continue
+            controllers.append(
+                ElasticController(
+                    self.sim,
+                    spec.controller.for_domain(f"{spec.name}-vm"),
+                    hypervisor,
+                    web.stats,
+                    driver=driver,
+                    entity=f"control.{spec.name}",
+                )
+            )
+        return controllers
 
     def _build_shared_server(self, scenario: Scenario):
         """One physical server whose hypervisor hosts every tenant."""
         calibrated = calibrated_environment(VIRTUALIZED)
         cluster = Cluster()
         server = cluster.add_server("cloud-1")
-        hypervisor = Hypervisor(self.sim, server, calibrated.overhead)
+        hypervisor = Hypervisor(
+            self.sim,
+            server,
+            calibrated.overhead,
+            vcpu_contention=scenario.controlled,
+        )
         deployment = VirtualizedDeployment(
             self.sim,
             self.streams,

@@ -51,6 +51,28 @@ class ColumnarRows:
         table._n = len(data)
         return table
 
+    @classmethod
+    def adopt_matrix(
+        cls, columns: Sequence[str], matrix: np.ndarray
+    ) -> "ColumnarRows":
+        """Like :meth:`from_matrix` but takes ownership of ``matrix``.
+
+        No defensive copy: the caller promises not to mutate the array
+        afterwards.  This is the path for assembling multi-GB tables
+        (e.g. appending control columns to an hour-long full-registry
+        table) without a transient duplicate.
+        """
+        table = cls(columns)
+        data = np.ascontiguousarray(matrix, dtype=float)
+        if data.ndim != 2 or data.shape[1] != len(table._names):
+            raise MonitoringError(
+                f"matrix shape {data.shape} does not match "
+                f"{len(table._names)} columns"
+            )
+        table._buffer = data
+        table._n = len(data)
+        return table
+
     @property
     def columns(self) -> tuple:
         return self._names

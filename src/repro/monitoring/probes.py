@@ -97,21 +97,38 @@ class ContextProbe(Probe):
         self.requests_fn = requests_fn or (lambda: 0.0)
         if isinstance(context, VirtualizedContext):
             self.virtualized = True
-            domain = context.domain
-            server = context.hypervisor.server
-            self.mem_total_bytes = domain.memory_bytes
-            self.capacity_cycles_per_s = (
-                domain.online_vcpus * server.spec.frequency_hz
-            )
+            self._domain = context.domain
+            self._frequency_hz = context.hypervisor.server.spec.frequency_hz
+            self._static_mem_total = 0.0
+            self._static_capacity = 0.0
         elif isinstance(context, BareMetalContext):
             self.virtualized = False
             server = context.server
-            self.mem_total_bytes = server.spec.memory_bytes
-            self.capacity_cycles_per_s = server.cpu.capacity_cycles_per_s
+            self._domain = None
+            self._frequency_hz = 0.0
+            self._static_mem_total = server.spec.memory_bytes
+            self._static_capacity = server.cpu.capacity_cycles_per_s
         else:
             raise MonitoringError(
                 f"unsupported context type {type(context).__name__}"
             )
+
+    # Read per sample rather than cached at construction: the elastic
+    # controller may hotplug VCPUs or balloon memory mid-run, and the
+    # %-utilization metrics must reflect the *current* allocation (what
+    # sysstat inside the guest would see).  Identical values to the old
+    # cached attributes whenever no control actions occur.
+    @property
+    def mem_total_bytes(self) -> float:
+        if self._domain is not None:
+            return self._domain.memory_bytes
+        return self._static_mem_total
+
+    @property
+    def capacity_cycles_per_s(self) -> float:
+        if self._domain is not None:
+            return self._domain.online_vcpus * self._frequency_hz
+        return self._static_capacity
 
     def snapshot(self) -> RawCounters:
         context = self.context

@@ -48,6 +48,21 @@ class SessionStats:
     #: Individual response times (capped at MAX_SAMPLES), used by the
     #: SLA evaluation workflow the paper motivates.
     response_times_s: List[float] = field(default_factory=list)
+    #: Live subscribers (see :meth:`add_window_sink`): unlike the
+    #: capped reservoir above, sinks receive *every* response time, so
+    #: windowed consumers (the elastic controller's signal tap) never
+    #: go blind on long runs.
+    _window_sinks: List[list] = field(default_factory=list, repr=False)
+
+    def add_window_sink(self, sink: list) -> None:
+        """Subscribe a list to receive every future response time.
+
+        The caller owns draining it (``clear()`` — the registered
+        reference must stay alive).  Appending to a plain list draws
+        no randomness and schedules nothing, so subscribing never
+        perturbs a run.
+        """
+        self._window_sinks.append(sink)
 
     def record_request(self, interaction: str) -> None:
         self.requests_sent += 1
@@ -63,6 +78,9 @@ class SessionStats:
             times = self.response_times_s
             if len(times) < self.MAX_SAMPLES:
                 times.append(response_time)
+            if self._window_sinks:
+                for sink in self._window_sinks:
+                    sink.append(response_time)
 
     @property
     def mean_response_time_s(self) -> float:

@@ -260,12 +260,14 @@ class VirtualizedDeployment(Deployment):
         server_spec: Optional[ServerSpec] = None,
         hypervisor: Optional[Hypervisor] = None,
         cluster=None,
+        vcpu_contention: bool = False,
     ) -> None:
         self._overhead = overhead or OverheadModel()
         self._vm_memory_bytes = vm_memory_bytes
         self._vm_vcpus = vm_vcpus
         self._server_spec = server_spec
         self._shared_hypervisor = hypervisor
+        self._vcpu_contention = vcpu_contention
         super().__init__(sim, streams, config, cluster=cluster)
 
     @property
@@ -280,7 +282,12 @@ class VirtualizedDeployment(Deployment):
             self.server = self.cluster.add_server(
                 "cloud-1", self._server_spec
             )
-            self.hypervisor = Hypervisor(self.sim, self.server, self._overhead)
+            self.hypervisor = Hypervisor(
+                self.sim,
+                self.server,
+                self._overhead,
+                vcpu_contention=self._vcpu_contention,
+            )
         self.web_domain = self.hypervisor.create_domain(
             "web-vm",
             vcpu_count=self._vm_vcpus,

@@ -167,11 +167,17 @@ class OpenLoopDriver:
         session_budget: Optional[int] = None,
         requests_per_session: int = 1,
         meter_interval_s: float = SAMPLE_PERIOD_S,
+        retry_max: int = 0,
+        retry_backoff_s: float = 2.0,
     ) -> None:
         if session_budget is not None and session_budget < 1:
             raise ConfigurationError("session_budget must be >= 1")
         if requests_per_session < 1:
             raise ConfigurationError("requests_per_session must be >= 1")
+        if retry_max < 0:
+            raise ConfigurationError("retry_max must be >= 0")
+        if retry_backoff_s <= 0:
+            raise ConfigurationError("retry_backoff_s must be positive")
         self.sim = sim
         self.mix = mix
         self.send_fn = send_fn
@@ -180,11 +186,23 @@ class OpenLoopDriver:
         self.process = process
         self.session_budget = session_budget
         self.requests_per_session = int(requests_per_session)
+        #: Shed-arrival retry policy: a shed visit retries up to
+        #: ``retry_max`` times with exponential backoff (``backoff *
+        #: 2**attempt``) before abandoning.  ``retry_max=0`` (default)
+        #: keeps the original semantics: every shed arrival abandons
+        #: immediately.  The backoff is deterministic (no rng draw), so
+        #: enabling retries never perturbs the offered arrival stream.
+        self.retry_max = int(retry_max)
+        self.retry_backoff_s = float(retry_backoff_s)
         self.stats = SessionStats()
         self.meter = ArrivalMeter(interval_s=meter_interval_s)
         self.arrivals_offered = 0
         self.arrivals_admitted = 0
         self.arrivals_shed = 0
+        #: Retry attempts scheduled for shed arrivals.
+        self.arrivals_retried = 0
+        #: Arrivals that gave up: shed with no retries left.
+        self.arrivals_abandoned = 0
         self.sessions_completed = 0
         self._in_flight = 0
         self._next_session_id = 0
@@ -195,6 +213,17 @@ class OpenLoopDriver:
     def active_session_count(self) -> int:
         """Sessions currently in flight (the open-loop 'population')."""
         return self._in_flight
+
+    def set_session_budget(self, session_budget: Optional[int]) -> None:
+        """Resize the concurrent-session cap mid-run (control actuator).
+
+        Raising the budget lets queued-up demand in, shrinking it only
+        affects *future* admissions — in-flight sessions are never
+        evicted, like lowering MaxClients on a live front end.
+        """
+        if session_budget is not None and session_budget < 1:
+            raise ConfigurationError("session_budget must be >= 1")
+        self.session_budget = session_budget
 
     @property
     def throughput_estimate(self) -> float:
@@ -226,21 +255,41 @@ class OpenLoopDriver:
         budget = self.session_budget
         if budget is not None and self._in_flight >= budget:
             self.arrivals_shed += 1
+            self._handle_shed(attempt=0)
         else:
-            self.arrivals_admitted += 1
-            self._in_flight += 1
-            session_id = self._next_session_id
-            self._next_session_id += 1
-            session_type = self.mix.session_type(self.rng)
-            session = TransientSession(
-                self,
-                session_id,
-                session_type,
-                self.matrices[session_type].initial_state,
-                self.requests_per_session,
-            )
-            session._send_next()
+            self._admit()
         self._schedule_next()
+
+    def _admit(self) -> None:
+        self.arrivals_admitted += 1
+        self._in_flight += 1
+        session_id = self._next_session_id
+        self._next_session_id += 1
+        session_type = self.mix.session_type(self.rng)
+        session = TransientSession(
+            self,
+            session_id,
+            session_type,
+            self.matrices[session_type].initial_state,
+            self.requests_per_session,
+        )
+        session._send_next()
+
+    def _handle_shed(self, attempt: int) -> None:
+        """A visit found the front end full; retry with backoff or give up."""
+        if attempt < self.retry_max:
+            self.arrivals_retried += 1
+            delay = self.retry_backoff_s * (2.0 ** attempt)
+            self.sim.schedule(delay, self._retry, attempt + 1)
+        else:
+            self.arrivals_abandoned += 1
+
+    def _retry(self, attempt: int) -> None:
+        budget = self.session_budget
+        if budget is not None and self._in_flight >= budget:
+            self._handle_shed(attempt)
+        else:
+            self._admit()
 
     def _session_done(self, session: TransientSession) -> None:
         self._in_flight -= 1
@@ -255,13 +304,34 @@ class OpenLoopDriver:
             return 0.0
         return self.arrivals_shed / self.arrivals_offered
 
+    @property
+    def abandonment_fraction(self) -> float:
+        """Fraction of offered arrivals that gave up for good.
+
+        Equals :attr:`shed_fraction` when retries are disabled; with
+        retries it is the stricter user-visible failure rate (a shed
+        visit that got in on retry is delayed, not lost).
+        """
+        if self.arrivals_offered == 0:
+            return 0.0
+        return self.arrivals_abandoned / self.arrivals_offered
+
     def summary(self) -> dict:
-        """Plain-data overload/throughput report for one run."""
+        """Plain-data overload/throughput report for one run.
+
+        ``offered == admitted + shed`` holds without retries; with
+        retries an arrival can appear in both ``shed`` (its first
+        attempt) and ``admitted`` (a later retry), so ``abandoned``
+        carries the loss accounting.
+        """
         return {
             "offered": self.arrivals_offered,
             "admitted": self.arrivals_admitted,
             "shed": self.arrivals_shed,
             "shed_fraction": self.shed_fraction,
+            "retried": self.arrivals_retried,
+            "abandoned": self.arrivals_abandoned,
+            "abandonment_fraction": self.abandonment_fraction,
             "sessions_completed": self.sessions_completed,
             "in_flight": self._in_flight,
             "session_budget": self.session_budget,

@@ -68,6 +68,11 @@ class TrafficSpec:
     trace_column: Optional[str] = None
     session_budget: Optional[int] = None
     requests_per_session: int = 1
+    #: Shed-arrival retry policy: a shed visit retries up to
+    #: ``retry_max`` times with deterministic exponential backoff
+    #: before abandoning (0 = the classic immediate-abandon semantics).
+    retry_max: int = 0
+    retry_backoff_s: float = 2.0
     #: MMPP defaults: a base regime and a burst regime at
     #: ``mmpp_burst_ratio`` times the base rate, alternating.
     mmpp_burst_ratio: float = 4.0
@@ -102,6 +107,10 @@ class TrafficSpec:
             raise ConfigurationError("session_budget must be >= 1")
         if self.requests_per_session < 1:
             raise ConfigurationError("requests_per_session must be >= 1")
+        if self.retry_max < 0:
+            raise ConfigurationError("retry_max must be >= 0")
+        if self.retry_backoff_s <= 0:
+            raise ConfigurationError("retry_backoff_s must be positive")
         if self.mmpp_burst_ratio <= 0:
             raise ConfigurationError("mmpp_burst_ratio must be positive")
         if self.mmpp_base_sojourn_s <= 0 or self.mmpp_burst_sojourn_s <= 0:
@@ -254,4 +263,6 @@ def build_driver(
         session_budget=spec.session_budget,
         requests_per_session=spec.requests_per_session,
         meter_interval_s=meter_interval_s,
+        retry_max=spec.retry_max,
+        retry_backoff_s=spec.retry_backoff_s,
     )

@@ -62,6 +62,21 @@ class Domain:
     def online_vcpus(self) -> int:
         return sum(1 for vcpu in self.vcpus if vcpu.online)
 
+    def set_online_vcpus(self, count: int) -> None:
+        """Hotplug/unplug: bring exactly ``count`` VCPUs online.
+
+        Grows the VCPU list when ``count`` exceeds the assigned VCPUs
+        (Xen hotplugs against ``maxvcpus``); surplus VCPUs go offline.
+        In-flight services are not re-scaled — like the scheduler
+        allocation, the VCPU count is sampled at service start.
+        """
+        if count < 1:
+            raise ConfigurationError("a domain needs at least one online VCPU")
+        while len(self.vcpus) < count:
+            self.vcpus.append(Vcpu(len(self.vcpus), online=False))
+        for i, vcpu in enumerate(self.vcpus):
+            vcpu.online = i < count
+
     def demand_cores(self) -> float:
         """Cores this domain could use right now.
 

@@ -10,11 +10,19 @@ One :class:`Hypervisor` runs per virtualized physical server.  It owns
 and exposes the execution interface the application tiers use:
 ``cpu_time`` / ``charge_vm_cycles`` / ``disk_read`` / ``disk_write`` /
 ``net_receive`` / ``net_transmit`` / ``set_vm_memory``.
+
+It also exposes the *runtime actuators* the elastic-control subsystem
+(:mod:`repro.control`) drives mid-run: VCPU hotplug/unplug
+(:meth:`set_vcpus`), credit-scheduler cap and weight adjustment
+(:meth:`set_cap_cores` / :meth:`set_weight`) and memory ballooning
+(:meth:`balloon`).  Every effective actuation charges dom0 the
+toolstack cost and emits a control-action event to the registered
+hooks, so resizing decisions are first-class observable events.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.hardware.server import PhysicalServer
@@ -46,10 +54,23 @@ class Hypervisor:
         dom0_vcpus: int = 2,
         dom0_memory_bytes: Optional[float] = None,
         dom0_weight: float = 512.0,
+        vcpu_contention: bool = False,
     ) -> None:
         self.sim = sim
         self.server = server
         self.overhead = overhead or OverheadModel()
+        #: Model refinement used by elasticity experiments: when True,
+        #: workers runnable beyond a domain's online VCPUs time-share
+        #: them (service slows by ``online_vcpus / active_workers``).
+        #: Off by default — the paper-calibrated baseline never
+        #: materially exceeds its VCPUs, and enabling it globally would
+        #: perturb the figure fingerprints (it needs a deliberate
+        #: re-baselining, like the PR-1 batching ideas).
+        self.vcpu_contention = bool(vcpu_contention)
+        #: Control-action hooks (see :meth:`add_control_hook`) and the
+        #: total count of effective actuations.
+        self._control_hooks: List[Callable[[dict], None]] = []
+        self.control_actions = 0
         self.scheduler = CreditScheduler(server.spec.cores)
         self.epoch_s = float(epoch_s)
         #: Per-domain CPU ready (steal) time in core-seconds — see
@@ -176,6 +197,85 @@ class Hypervisor:
             + self.overhead.dom0_memory_per_vm_byte * guest_used
         )
         self.server.memory.set_usage(DOM0_OWNER, dom0_used)
+
+    # -- runtime control actuators -------------------------------------------
+
+    def add_control_hook(self, hook: Callable[[dict], None]) -> None:
+        """Register a callback invoked with every control-action event.
+
+        The event is a plain dict (``time_s``, ``domain``, ``kind``,
+        ``old``, ``new``) so consumers need no import of this layer.
+        """
+        self._control_hooks.append(hook)
+
+    def _emit_control(
+        self, domain: Domain, kind: str, old: float, new: float
+    ) -> None:
+        self.control_actions += 1
+        self.server.cpu.charge(
+            DOM0_OWNER, self.overhead.control_action_cycles
+        )
+        if self._control_hooks:
+            event = {
+                "time_s": self.sim.now,
+                "domain": domain.name,
+                "kind": kind,
+                "old": float(old),
+                "new": float(new),
+            }
+            for hook in self._control_hooks:
+                hook(event)
+
+    def set_vcpus(self, domain: Domain, count: int) -> None:
+        """Hotplug/unplug VCPUs so exactly ``count`` are online.
+
+        No-op (no event, no dom0 charge) when the domain already runs
+        ``count`` VCPUs.  The new count takes effect at the next service
+        start / scheduler epoch, like every other allocation change.
+        """
+        old = domain.online_vcpus
+        if count == old:
+            return
+        domain.set_online_vcpus(count)
+        self._emit_control(domain, "set_vcpus", old, count)
+
+    def set_cap_cores(self, domain: Domain, cap_cores: float) -> None:
+        """Adjust the credit-scheduler cap (0 = uncapped, like Xen)."""
+        if cap_cores < 0:
+            raise ConfigurationError("cap_cores must be >= 0 (0 = uncapped)")
+        old = domain.cap_cores
+        if cap_cores == old:
+            return
+        domain.cap_cores = float(cap_cores)
+        self._emit_control(domain, "set_cap", old, cap_cores)
+
+    def set_weight(self, domain: Domain, weight: float) -> None:
+        """Adjust the credit-scheduler proportional-share weight."""
+        if weight <= 0:
+            raise ConfigurationError("weight must be positive")
+        old = domain.weight
+        if weight == old:
+            return
+        domain.weight = float(weight)
+        self._emit_control(domain, "set_weight", old, weight)
+
+    def balloon(self, domain: Domain, memory_bytes: float) -> None:
+        """Balloon a guest's memory reservation up or down.
+
+        Ballooning below the current used level forces the guest to
+        release pages: usage is clamped to the new reservation (and
+        dom0's per-VM bookkeeping follows).
+        """
+        if memory_bytes <= 0:
+            raise ConfigurationError("memory_bytes must be positive")
+        old = domain.memory_bytes
+        if memory_bytes == old:
+            return
+        domain.memory_bytes = float(memory_bytes)
+        used = self.server.memory.usage(domain.owner)
+        if used > domain.memory_bytes:
+            self.set_vm_memory(domain, domain.memory_bytes)
+        self._emit_control(domain, "balloon", old, memory_bytes)
 
     # -- CPU ready / steal accounting ---------------------------------------
 

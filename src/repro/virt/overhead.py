@@ -62,6 +62,11 @@ class OverheadModel:
     #: Dom0's own logging traffic, bytes/s written to disk.
     dom0_log_bytes_per_s: float = 15_000.0
 
+    # -- elastic control --------------------------------------------------
+    #: Dom0 cycles per control action (xl vcpu-set / sched-credit /
+    #: mem-set round trip through xenstore and the toolstack).
+    control_action_cycles: float = 50_000.0
+
     # -- block backend batching --------------------------------------------
     #: Seconds between backend flushes of buffered guest writes.  Batching
     #: is the mechanism for the paper's observation that disk traffic has
@@ -85,6 +90,7 @@ class OverheadModel:
             "dom0_base_memory_bytes",
             "dom0_memory_per_vm_byte",
             "dom0_log_bytes_per_s",
+            "control_action_cycles",
         ):
             if getattr(self, name) < 0:
                 raise ConfigurationError(f"{name} must be non-negative")

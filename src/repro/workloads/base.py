@@ -23,8 +23,9 @@ hypervisor.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
+from repro.control.spec import ControllerSpec
 from repro.errors import ConfigurationError
 from repro.monitoring.probes import Probe
 
@@ -94,6 +95,11 @@ class TenantSpec:
         tasks: map-task count per job.
         arrival_rate_per_s: Poisson job-arrival intensity.
         map_slots / reduce_slots: concurrent task slots in the VM.
+        controller: optional per-tenant elastic controller — the
+            testbed attaches it to this tenant's own VM (the spec's
+            ``domains`` field is replaced with ``<name>-vm``).  With
+            ``invert=True`` it becomes a priority-aware throttle: the
+            tenant is capped down while the web SLO degrades.
     """
 
     name: str = "batch"
@@ -108,8 +114,15 @@ class TenantSpec:
     arrival_rate_per_s: float = 0.05
     map_slots: int = 8
     reduce_slots: int = 4
+    controller: Optional[ControllerSpec] = None
 
     def __post_init__(self) -> None:
+        if self.controller is not None and not isinstance(
+            self.controller, ControllerSpec
+        ):
+            object.__setattr__(
+                self, "controller", ControllerSpec.from_dict(self.controller)
+            )
         if not self.name:
             raise ConfigurationError("tenant name must be non-empty")
         if self.name in RESERVED_ENTITIES:

@@ -1,0 +1,193 @@
+"""ElasticController end-to-end behaviour inside real runs."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import (
+    autoscaled_consolidated_scenario,
+    autoscaled_flash_crowd_scenario,
+)
+from repro.monitoring.export import (
+    read_columnar_npz,
+    trace_set_to_csv,
+    write_columnar_npz,
+)
+
+DURATION_S = 60.0
+CLIENTS = 200
+
+
+@pytest.fixture(scope="module")
+def threshold_result():
+    return run_scenario(
+        autoscaled_flash_crowd_scenario(
+            duration_s=DURATION_S, clients=CLIENTS, controller="threshold"
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def static_result():
+    return run_scenario(
+        autoscaled_flash_crowd_scenario(
+            duration_s=DURATION_S, clients=CLIENTS, controller="static"
+        )
+    )
+
+
+class TestControlSeries:
+    def test_control_series_join_the_trace_set(self, threshold_result):
+        traces = threshold_result.traces
+        assert "control" in traces.entities()
+        for resource in (
+            "level",
+            "p95_ms",
+            "actions",
+            "offered_rps",
+            "shed_fraction",
+            "session_budget",
+            "web-vm.cap_cores",
+            "web-vm.vcpus",
+            "web-vm.memory_mb",
+            "db-vm.cap_cores",
+        ):
+            assert traces.has("control", resource), resource
+
+    def test_control_series_align_with_sampler_grid(self, threshold_result):
+        traces = threshold_result.traces
+        web = traces.get("web", "cpu_cycles")
+        level = traces.get("control", "level")
+        assert len(level) == len(web)
+        assert np.array_equal(level.times, web.times)
+
+    def test_wide_csv_export_includes_control_columns(
+        self, threshold_result
+    ):
+        text = trace_set_to_csv(threshold_result.traces)
+        header = text.splitlines()[0]
+        assert "control:level" in header
+        assert "control:web-vm.cap_cores" in header
+
+    def test_capacity_stays_inside_the_band(self, threshold_result):
+        spec = threshold_result.scenario.controller
+        for domain in ("web-vm", "db-vm"):
+            caps = threshold_result.traces.get(
+                "control", f"{domain}.cap_cores"
+            ).values
+            assert caps.min() >= spec.min_cap_cores - 1e-9
+            assert caps.max() <= spec.max_cap_cores + 1e-9
+            vcpus = threshold_result.traces.get(
+                "control", f"{domain}.vcpus"
+            ).values
+            assert vcpus.min() >= spec.min_vcpus
+            assert vcpus.max() <= spec.max_vcpus
+            memory = threshold_result.traces.get(
+                "control", f"{domain}.memory_mb"
+            ).values
+            assert memory.min() >= spec.balloon_min_mb - 1e-9
+            assert memory.max() <= spec.balloon_max_mb + 1e-9
+
+    def test_surge_actually_scales_capacity(self, threshold_result):
+        caps = threshold_result.traces.get(
+            "control", "web-vm.cap_cores"
+        ).values
+        spec = threshold_result.scenario.controller
+        assert caps.max() > spec.min_cap_cores
+        report = threshold_result.control_reports["control"]
+        assert report["num_actions"] > 0
+        assert set(report["actions_by_kind"]) >= {"set_cap", "balloon"}
+
+    def test_session_budget_follows_ballooned_memory(
+        self, threshold_result
+    ):
+        spec = threshold_result.scenario.controller
+        budget = threshold_result.traces.get(
+            "control", "session_budget"
+        ).values
+        memory = threshold_result.traces.get(
+            "control", "web-vm.memory_mb"
+        ).values
+        expected = np.maximum(
+            1, np.round(spec.sessions_per_gb * memory / 1024.0)
+        )
+        assert np.array_equal(budget, expected)
+
+    def test_static_controller_never_acts_after_initial(
+        self, static_result
+    ):
+        report = static_result.control_reports["control"]
+        level = static_result.traces.get("control", "level").values
+        actions = static_result.traces.get("control", "actions").values
+        assert np.all(level == 0.0)
+        assert np.all(actions == 0.0)
+        # Only the initial provisioning (level-0 sizing) acted.
+        caps = static_result.traces.get(
+            "control", "web-vm.cap_cores"
+        ).values
+        spec = static_result.scenario.controller
+        assert np.all(caps == spec.min_cap_cores)
+        assert report["num_actions"] == 6  # 2 domains x cap/vcpus/balloon
+
+
+class TestColumnarMerge:
+    def test_columnar_gains_control_columns_and_round_trips(self, tmp_path):
+        spec = autoscaled_flash_crowd_scenario(
+            duration_s=30.0, clients=100, controller="threshold"
+        )
+        result = run_scenario(
+            spec, collect_full_registry=True, columnar_rows=True
+        )
+        columns = [
+            name for name in result.columnar.columns
+            if name.startswith("control|")
+        ]
+        assert "control|level" in columns
+        assert "control|web-vm.cap_cores" in columns
+        path = tmp_path / "controlled.npz"
+        write_columnar_npz(result.columnar, str(path))
+        loaded = read_columnar_npz(str(path))
+        assert loaded.columns == result.columnar.columns
+        assert np.array_equal(
+            loaded.column("control|level"),
+            result.columnar.column("control|level"),
+        )
+
+
+class TestTenantController:
+    def test_inverted_tenant_controller_throttles_under_load(self):
+        from dataclasses import replace
+
+        from repro.control.spec import ControllerSpec
+        from repro.experiments.scenarios import consolidated_scenario
+        from repro.workloads.base import TenantSpec
+
+        throttle = ControllerSpec(
+            kind="threshold",
+            invert=True,
+            min_cap_cores=1.0,
+            max_cap_cores=8.0,
+            step_cores=1.0,
+            min_vcpus=1,
+            max_vcpus=8,
+            p95_high_ms=50.0,
+            p95_low_ms=10.0,
+            up_step=1.0,
+            calm_windows=15,
+        )
+        base = consolidated_scenario(
+            duration_s=60.0,
+            clients=300,
+            tenants=(TenantSpec(controller=throttle),),
+            name="throttled_batch",
+        )
+        result = run_scenario(base)
+        caps = result.traces.get(
+            "control.batch", "batch-vm.cap_cores"
+        ).values
+        # Inverted mapping: level 0 = full capacity; under web-SLO
+        # violations the batch VM is capped down.
+        assert caps[0] == throttle.max_cap_cores
+        assert caps.min() < throttle.max_cap_cores
+        report = result.control_reports["control.batch"]
+        assert report["num_actions"] > 0

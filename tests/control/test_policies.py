@@ -1,0 +1,163 @@
+"""Policy behaviour: hysteresis, target tracking, predictive lead."""
+
+import pytest
+
+from repro.control.policies import (
+    PidPolicy,
+    PredictivePolicy,
+    StaticPolicy,
+    ThresholdPolicy,
+    build_policy,
+)
+from repro.control.signals import ControlSignals
+from repro.control.spec import ControllerSpec
+
+
+def signals(
+    p95_ms=0.0, offered=0, shed=0, time_s=0.0, window_s=2.0
+) -> ControlSignals:
+    return ControlSignals(
+        time_s=time_s,
+        window_s=window_s,
+        completed=10,
+        p95_s=p95_ms / 1000.0,
+        mean_s=p95_ms / 2000.0,
+        offered=offered,
+        shed=shed,
+        shed_fraction=(shed / offered) if offered else 0.0,
+        in_flight=0,
+        session_budget=None,
+        domains={},
+    )
+
+
+SPEC = ControllerSpec(
+    p95_high_ms=100.0,
+    p95_low_ms=25.0,
+    shed_high=0.02,
+    up_step=0.34,
+    down_step=0.2,
+    calm_windows=3,
+)
+
+
+class TestStatic:
+    def test_always_zero(self):
+        policy = StaticPolicy()
+        assert policy.update(signals(p95_ms=10_000.0, shed=99,
+                                     offered=100)) == 0.0
+
+
+class TestThreshold:
+    def test_scales_up_on_hot_p95(self):
+        policy = ThresholdPolicy(SPEC)
+        level = policy.update(signals(p95_ms=200.0))
+        assert level == pytest.approx(0.34)
+        assert policy.update(signals(p95_ms=200.0)) > level
+
+    def test_scales_up_on_shedding(self):
+        policy = ThresholdPolicy(SPEC)
+        assert policy.update(signals(offered=100, shed=10)) > 0.0
+
+    def test_saturates_at_one(self):
+        policy = ThresholdPolicy(SPEC)
+        for _ in range(10):
+            level = policy.update(signals(p95_ms=500.0))
+        assert level == 1.0
+
+    def test_scale_down_needs_consecutive_calm_windows(self):
+        policy = ThresholdPolicy(SPEC)
+        for _ in range(3):
+            policy.update(signals(p95_ms=500.0))
+        assert policy.level == pytest.approx(1.0, abs=0.03)
+        # Two calm windows then a neutral one: no scale-down yet.
+        policy.update(signals(p95_ms=5.0))
+        policy.update(signals(p95_ms=5.0))
+        before = policy.level
+        policy.update(signals(p95_ms=50.0))  # neutral resets the streak
+        assert policy.level == before
+        for _ in range(3):
+            policy.update(signals(p95_ms=5.0))
+        assert policy.level < before
+
+
+class TestPid:
+    def test_tracks_error_upward(self):
+        policy = PidPolicy(SPEC)
+        level = 0.0
+        for _ in range(5):
+            level = policy.update(signals(p95_ms=300.0))  # 5x target
+        assert level > 0.3
+
+    def test_decays_below_target(self):
+        policy = PidPolicy(SPEC)
+        for _ in range(8):
+            policy.update(signals(p95_ms=600.0))
+        high = policy.level
+        for _ in range(20):
+            policy.update(signals(p95_ms=1.0))
+        assert policy.level < high
+
+    def test_shed_error_dominates_when_latency_is_calm(self):
+        policy = PidPolicy(SPEC)
+        level = policy.update(signals(p95_ms=1.0, offered=100, shed=50))
+        assert level > 0.0
+
+    def test_level_clamped(self):
+        policy = PidPolicy(SPEC)
+        for _ in range(50):
+            level = policy.update(signals(p95_ms=10_000.0))
+        assert level == 1.0
+
+
+class TestPredictive:
+    def test_leads_a_ramp_before_thresholds_trip(self):
+        spec = ControllerSpec(kind="predictive", surge_ref_ratio=10.0)
+        policy = PredictivePolicy(spec)
+        # Calm history, then a steep offered-rate ramp with p95 still
+        # healthy: the AR forecast must raise the level before the
+        # reactive thresholds see anything wrong.
+        level = 0.0
+        for i in range(20):
+            level = policy.update(
+                signals(p95_ms=5.0, offered=20, time_s=2.0 * i)
+            )
+        assert level == 0.0
+        for i, offered in enumerate((40, 80, 160, 320, 640)):
+            level = policy.update(
+                signals(p95_ms=5.0, offered=offered, time_s=40.0 + 2.0 * i)
+            )
+        assert policy.predicted_level > 0.0
+        assert level > 0.0
+
+    def test_constant_history_falls_back_to_reactive(self):
+        spec = ControllerSpec(kind="predictive")
+        policy = PredictivePolicy(spec)
+        for _ in range(30):
+            level = policy.update(signals(p95_ms=5.0, offered=50))
+        assert level == 0.0  # AR fit degenerate, reactive calm
+
+    def test_never_below_reactive_demand(self):
+        spec = ControllerSpec(kind="predictive")
+        policy = PredictivePolicy(spec)
+        for _ in range(20):
+            policy.update(signals(p95_ms=5.0, offered=50))
+        level = policy.update(
+            signals(p95_ms=1000.0, offered=50)
+        )
+        assert level >= spec.up_step - 1e-12
+
+
+class TestFactory:
+    def test_builds_every_kind(self):
+        assert isinstance(
+            build_policy(ControllerSpec(kind="static")), StaticPolicy
+        )
+        assert isinstance(
+            build_policy(ControllerSpec(kind="threshold")), ThresholdPolicy
+        )
+        assert isinstance(build_policy(ControllerSpec(kind="pid")), PidPolicy)
+        assert isinstance(
+            build_policy(ControllerSpec(kind="predictive")),
+            PredictivePolicy,
+        )

@@ -1,0 +1,99 @@
+"""SignalTap windowing semantics."""
+
+import pytest
+
+from repro.control.signals import SignalTap
+from repro.hardware.cluster import Cluster
+from repro.rubis.client import SessionStats
+from repro.virt.hypervisor import Hypervisor
+
+
+class _Response:
+    """Minimal stand-in for a completed Request."""
+
+    def __init__(self, response_time):
+        self.response_time = response_time
+
+
+def record(stats, response_time, count=1):
+    for _ in range(count):
+        stats.record_response(_Response(response_time))
+
+
+@pytest.fixture
+def tap_setup(sim):
+    server = Cluster().add_server("cloud-1")
+    hypervisor = Hypervisor(sim, server)
+    hypervisor.create_domain("web-vm", vcpu_count=2)
+    stats = SessionStats()
+    tap = SignalTap(sim, stats, hypervisor, ("web-vm",), window_s=2.0)
+    return sim, stats, hypervisor, tap
+
+
+class TestWindows:
+    def test_p95_covers_only_new_samples(self, tap_setup):
+        _, stats, _, tap = tap_setup
+        record(stats, 0.010, count=99)
+        record(stats, 0.100)
+        first = tap.sample()
+        assert first.completed == 100
+        assert first.p95_s == pytest.approx(0.010, rel=0.2)
+        record(stats, 0.500, count=10)
+        second = tap.sample()
+        assert second.completed == 10
+        assert second.p95_s == pytest.approx(0.500)
+
+    def test_empty_window_carries_previous_p95(self, tap_setup):
+        _, stats, _, tap = tap_setup
+        record(stats, 0.200, count=20)
+        tap.sample()
+        wedged = tap.sample()  # nothing completed: overload, not health
+        assert wedged.completed == 0
+        assert wedged.p95_s == pytest.approx(0.200)
+
+    def test_window_survives_the_reservoir_cap(self, tap_setup):
+        # SessionStats.response_times_s stops growing at MAX_SAMPLES;
+        # the tap's live sink must keep seeing completions anyway
+        # (long-horizon runs would otherwise blind the controller).
+        _, stats, _, tap = tap_setup
+        stats.response_times_s = [0.001] * SessionStats.MAX_SAMPLES
+        record(stats, 0.300, count=5)
+        assert len(stats.response_times_s) == SessionStats.MAX_SAMPLES
+        sample = tap.sample()
+        assert sample.completed == 5
+        assert sample.p95_s == pytest.approx(0.300)
+
+    def test_two_taps_each_see_every_response(self, tap_setup):
+        sim, stats, hypervisor, tap = tap_setup
+        other = SignalTap(
+            sim, stats, hypervisor, ("web-vm",), window_s=2.0
+        )
+        record(stats, 0.050, count=7)
+        assert tap.sample().completed == 7
+        assert other.sample().completed == 7
+
+    def test_domain_signals_follow_actuation(self, tap_setup):
+        _, _, hypervisor, tap = tap_setup
+        domain = hypervisor.domain("web-vm")
+        before = tap.sample().domains["web-vm"]
+        assert before.cap_cores == 0.0
+        assert before.online_vcpus == 2
+        hypervisor.set_cap_cores(domain, 1.0)
+        hypervisor.set_vcpus(domain, 1)
+        after = tap.sample().domains["web-vm"]
+        assert after.cap_cores == 1.0
+        assert after.online_vcpus == 1
+
+    def test_closed_loop_has_no_shed_signal(self, tap_setup):
+        _, _, _, tap = tap_setup
+        sample = tap.sample()
+        assert sample.offered == 0
+        assert sample.shed_fraction == 0.0
+        assert sample.session_budget is None
+
+    def test_sampling_draws_no_events(self, tap_setup):
+        sim, stats, _, tap = tap_setup
+        record(stats, 0.010, count=3)
+        pending = sim.pending_events
+        tap.sample()
+        assert sim.pending_events == pending

@@ -1,0 +1,128 @@
+"""Suite-level aggregate ratio tables (PR-3 follow-up)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.suite import (
+    RunSummary,
+    SuiteResult,
+    render_suite_ratio_table,
+    suite_ratio_data,
+)
+
+
+def _summary(run_id, throughput, mean_s, p95_s, shed=None, actions=0):
+    traffic = None
+    if shed is not None:
+        traffic = {"shed_fraction": shed}
+    control = None
+    if actions:
+        control = {"control": {"num_actions": actions}}
+    return RunSummary(
+        run_id=run_id,
+        scenario_name=run_id,
+        seed=1,
+        duration_s=60.0,
+        wall_clock_s=1.0,
+        requests_completed=int(throughput * 60),
+        throughput_rps=throughput,
+        mean_response_time_s=mean_s,
+        p95_response_time_s=p95_s,
+        trace_sha256="0" * 64,
+        traffic_report=traffic,
+        control_reports=control,
+    )
+
+
+@pytest.fixture
+def suite():
+    return SuiteResult(
+        summaries={
+            "base": _summary("base", 100.0, 0.020, 0.050, shed=0.5),
+            "scaled": _summary(
+                "scaled", 150.0, 0.010, 0.025, shed=0.25, actions=12
+            ),
+            "closed": _summary("closed", 50.0, 0.040, 0.100),
+        },
+        workers=1,
+        wall_clock_s=3.0,
+    )
+
+
+class TestRatioData:
+    def test_ratios_against_default_baseline(self, suite):
+        data = suite_ratio_data(suite)
+        assert data["base"]["throughput_rps_ratio"] == pytest.approx(1.0)
+        assert data["scaled"]["throughput_rps_ratio"] == pytest.approx(1.5)
+        assert data["scaled"]["p95_ms_ratio"] == pytest.approx(0.5)
+        assert data["scaled"]["shed_fraction_ratio"] == pytest.approx(0.5)
+        assert data["scaled"]["control_actions"] == 12.0
+
+    def test_explicit_baseline(self, suite):
+        data = suite_ratio_data(suite, baseline_run_id="scaled")
+        assert data["base"]["throughput_rps_ratio"] == pytest.approx(
+            100.0 / 150.0
+        )
+
+    def test_missing_shed_reads_as_zero(self, suite):
+        assert suite_ratio_data(suite)["closed"]["shed_fraction"] == 0.0
+
+    def test_unknown_baseline_rejected(self, suite):
+        with pytest.raises(ConfigurationError):
+            suite_ratio_data(suite, baseline_run_id="nope")
+
+    def test_empty_suite_rejected(self):
+        empty = SuiteResult(summaries={}, workers=1, wall_clock_s=0.0)
+        with pytest.raises(ConfigurationError):
+            suite_ratio_data(empty)
+
+
+class TestControllerAxisSeeds:
+    def test_policy_cells_share_the_seed(self):
+        from repro.experiments.suite import suite_grid
+
+        runs = suite_grid(
+            traffics=("poisson",),
+            controllers=("static", "threshold", "pid"),
+            duration_s=40.0,
+            seed=7,
+        )
+        assert len(runs) == 3
+        assert len({run.run_id for run in runs}) == 3
+        # Same seed => same offered arrival stream: the ratio table
+        # compares policies, not seed noise.
+        assert len({run.config.seed for run in runs}) == 1
+
+    def test_non_controller_axes_still_differentiate_seeds(self):
+        from repro.experiments.suite import suite_grid
+
+        runs = suite_grid(
+            compositions=("browsing", "bidding"),
+            controllers=("threshold",),
+            duration_s=40.0,
+            seed=7,
+        )
+        assert len({run.config.seed for run in runs}) == 2
+
+
+class TestRendering:
+    def test_table_renders_every_run_and_marks_baseline(self, suite):
+        text = render_suite_ratio_table(suite)
+        lines = text.splitlines()
+        assert len(lines) == 1 + 3 + 1  # header + runs + baseline note
+        assert "base*" in text
+        assert "scaled" in text
+        assert "baseline (*): base" in text
+        assert "1.50x" in text  # scaled throughput ratio
+
+    def test_zero_baseline_metric_renders_dash(self):
+        suite = SuiteResult(
+            summaries={
+                "a": _summary("a", 100.0, 0.02, 0.05),  # shed 0
+                "b": _summary("b", 100.0, 0.02, 0.05, shed=0.5),
+            },
+            workers=1,
+            wall_clock_s=1.0,
+        )
+        text = render_suite_ratio_table(suite)
+        assert "-" in text

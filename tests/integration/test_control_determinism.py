@@ -1,0 +1,119 @@
+"""Determinism regression for the control subsystem.
+
+Two invariants guard the elastic-control PR:
+
+1. **No controller ⇒ bit-identical traces.**  The SHA-256 fingerprints
+   below were recorded on the pre-control tree (PR 3 head) for four
+   representative scenarios; any drift on a ``controller=None`` path —
+   the hypervisor actuator plumbing, the probe properties, the traffic
+   retry hooks — is a regression.
+2. **Controller ⇒ deterministic.**  Policies and actuators draw no
+   randomness, so a controller-enabled run is a pure function of the
+   scenario seed: identical trace hashes across repeated runs and
+   across suite worker counts.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import (
+    autoscaled_flash_crowd_scenario,
+    consolidated_web_batch_scenario,
+    flash_crowd_scenario,
+    scenario,
+)
+from repro.experiments.suite import run_suite, suite_grid
+from repro.monitoring.export import trace_set_sha256
+
+#: (factory, sha256 recorded at the pre-control seed tree).
+PRE_CONTROL_FINGERPRINTS = [
+    (
+        "virtualized/browsing 60s seed=7",
+        lambda: scenario("virtualized", "browsing", duration_s=60.0, seed=7),
+        "49df5d8a0695ad34e5fe43f360c36d1d4a456316542a4a423a1aaee0b83a4efb",
+    ),
+    (
+        "bare-metal/bidding 60s seed=3",
+        lambda: scenario("bare-metal", "bidding", duration_s=60.0, seed=3),
+        "f355247543d87fb64a6044b98d8af28314feba51652adcba42b74942da775dbf",
+    ),
+    (
+        "flash crowd 60s 200 clients budget=300",
+        lambda: flash_crowd_scenario(
+            duration_s=60.0, clients=200, session_budget=300
+        ),
+        "4bf1fb50e25d3a5cf4e291d2438a9726b086b534547a71f19d04b3cf383301b8",
+    ),
+    (
+        "consolidated web+batch 60s 200 clients",
+        lambda: consolidated_web_batch_scenario(
+            duration_s=60.0, clients=200
+        ),
+        "3d83dc656d62eb8b3c0dba02c762334ab9c0a4d7165ce47fd5599fb5340ac274",
+    ),
+]
+
+
+class TestUncontrolledPathsBitIdentical:
+    @pytest.mark.parametrize(
+        "label,factory,expected",
+        PRE_CONTROL_FINGERPRINTS,
+        ids=[entry[0] for entry in PRE_CONTROL_FINGERPRINTS],
+    )
+    def test_traces_match_pre_control_fingerprints(
+        self, label, factory, expected
+    ):
+        result = run_scenario(factory())
+        assert trace_set_sha256(result.traces) == expected, (
+            f"{label}: controller=None traces drifted from the "
+            "pre-control baseline"
+        )
+
+
+class TestControlledRunsDeterministic:
+    def test_same_seed_same_trace_hash(self):
+        spec = autoscaled_flash_crowd_scenario(
+            duration_s=60.0, clients=200, controller="threshold"
+        )
+        first = run_scenario(spec)
+        second = run_scenario(spec)
+        assert trace_set_sha256(first.traces) == trace_set_sha256(
+            second.traces
+        )
+        assert (
+            first.control_reports["control"]["num_actions"]
+            == second.control_reports["control"]["num_actions"]
+        )
+
+    def test_different_policies_different_traces(self):
+        static = run_scenario(
+            autoscaled_flash_crowd_scenario(
+                duration_s=60.0, clients=200, controller="static"
+            )
+        )
+        threshold = run_scenario(
+            autoscaled_flash_crowd_scenario(
+                duration_s=60.0, clients=200, controller="threshold"
+            )
+        )
+        assert trace_set_sha256(static.traces) != trace_set_sha256(
+            threshold.traces
+        )
+
+    def test_worker_count_does_not_change_controlled_results(self):
+        runs = suite_grid(
+            compositions=("browsing",),
+            traffics=(None, "poisson"),
+            controllers=("static", "threshold"),
+            duration_s=40.0,
+            clients=150,
+            seed=11,
+        )
+        assert len(runs) == 4
+        serial = run_suite(runs, workers=1)
+        parallel = run_suite(runs, workers=2)
+        assert serial.merged_sha256() == parallel.merged_sha256()
+        for run_id, summary in serial.summaries.items():
+            other = parallel.summaries[run_id]
+            assert summary.trace_sha256 == other.trace_sha256
+            assert summary.control_reports == other.control_reports

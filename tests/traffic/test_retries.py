@@ -1,0 +1,176 @@
+"""Shed-arrival retries with backoff, and the runtime budget actuator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rubis.transitions import bidding_matrix, browsing_matrix
+from repro.rubis.workload import PAPER_COMPOSITIONS, SessionType
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+from repro.traffic.arrivals import PoissonProcess
+from repro.traffic.driver import OpenLoopDriver
+
+
+def _make_driver(
+    sim,
+    streams,
+    rate_rps=50.0,
+    session_budget=5,
+    retry_max=0,
+    retry_backoff_s=1.0,
+    service_s=5.0,
+):
+    """Driver against a slow echo server (responses after service_s)."""
+
+    def send_fn(session, interaction, on_response):
+        class _Request:
+            def __init__(self):
+                self.completed_at = None
+                self.response_time = None
+
+        request = _Request()
+        sim.schedule(service_s, on_response, request)
+
+    matrices = {
+        SessionType.BROWSE: browsing_matrix(),
+        SessionType.BID: bidding_matrix(),
+    }
+    return OpenLoopDriver(
+        sim,
+        PAPER_COMPOSITIONS["browsing"],
+        send_fn,
+        streams.stream("traffic.sessions"),
+        matrices,
+        PoissonProcess(rate_rps, streams.stream("traffic.arrivals")),
+        session_budget=session_budget,
+        retry_max=retry_max,
+        retry_backoff_s=retry_backoff_s,
+    )
+
+
+class TestRetrySemantics:
+    def test_disabled_retries_abandon_immediately(self):
+        sim = Simulator()
+        driver = _make_driver(sim, RandomStreams(seed=9))
+        driver.start()
+        sim.run_until(20.0)
+        assert driver.arrivals_shed > 0
+        assert driver.arrivals_retried == 0
+        assert driver.arrivals_abandoned == driver.arrivals_shed
+        report = driver.summary()
+        assert report["offered"] == report["admitted"] + report["shed"]
+        assert report["abandonment_fraction"] == report["shed_fraction"]
+
+    def test_retries_recover_some_shed_arrivals(self):
+        sim = Simulator()
+        driver = _make_driver(
+            sim, RandomStreams(seed=9), retry_max=3, retry_backoff_s=2.0
+        )
+        driver.start()
+        sim.run_until(60.0)
+        assert driver.arrivals_retried > 0
+        # Some retried visits got in: not every shed arrival is lost.
+        assert driver.arrivals_abandoned < driver.arrivals_shed
+        report = driver.summary()
+        assert report["retried"] == driver.arrivals_retried
+        assert report["abandoned"] == driver.arrivals_abandoned
+        assert report["abandonment_fraction"] < report["shed_fraction"]
+
+    def test_retries_do_not_perturb_the_offered_stream(self):
+        shas = []
+        totals = []
+        for retry_max in (0, 3):
+            sim = Simulator()
+            driver = _make_driver(
+                sim, RandomStreams(seed=21), retry_max=retry_max
+            )
+            driver.start()
+            sim.run_until(30.0)
+            trace = driver.meter.to_rate_trace(30.0)
+            shas.append(trace.sha256())
+            totals.append(driver.arrivals_offered)
+        assert shas[0] == shas[1]
+        assert totals[0] == totals[1]
+
+    def test_backoff_is_exponential_and_capped(self):
+        sim = Simulator()
+        driver = _make_driver(
+            sim,
+            RandomStreams(seed=5),
+            rate_rps=1e-9,  # no organic arrivals interfere
+            session_budget=1,
+            retry_max=2,
+            retry_backoff_s=1.0,
+            service_s=1e9,  # the budget never frees up
+        )
+        # Fill the budget, then shed one arrival by hand.
+        driver._admit()
+        driver.arrivals_offered += 1
+        driver.arrivals_shed += 1
+        driver._handle_shed(attempt=0)
+        # Retry 1 at +1 s, retry 2 at +1+2 s, then abandonment.
+        sim.run_until(0.9)
+        assert driver.arrivals_retried == 1
+        sim.run_until(1.1)
+        assert driver.arrivals_retried == 2
+        assert driver.arrivals_abandoned == 0
+        sim.run_until(3.1)
+        assert driver.arrivals_retried == 2
+        assert driver.arrivals_abandoned == 1
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            _make_driver(sim, RandomStreams(seed=1), retry_max=-1)
+        with pytest.raises(ConfigurationError):
+            _make_driver(sim, RandomStreams(seed=1), retry_backoff_s=0.0)
+
+
+class TestBudgetActuator:
+    def test_raising_the_budget_admits_future_arrivals(self):
+        sim = Simulator()
+        driver = _make_driver(
+            sim, RandomStreams(seed=9), session_budget=5, service_s=1e9
+        )
+        driver.start()
+        sim.run_until(5.0)
+        assert driver.active_session_count() == 5
+        shed_before = driver.arrivals_shed
+        assert shed_before > 0
+        driver.set_session_budget(500)
+        sim.run_until(10.0)
+        assert driver.active_session_count() > 5
+        assert driver.session_budget == 500
+
+    def test_lowering_the_budget_never_evicts(self):
+        sim = Simulator()
+        driver = _make_driver(
+            sim, RandomStreams(seed=9), session_budget=50, service_s=1e9
+        )
+        driver.start()
+        sim.run_until(5.0)
+        in_flight = driver.active_session_count()
+        assert in_flight > 10
+        driver.set_session_budget(1)
+        assert driver.active_session_count() == in_flight
+
+    def test_budget_validation(self):
+        sim = Simulator()
+        driver = _make_driver(sim, RandomStreams(seed=9))
+        with pytest.raises(ConfigurationError):
+            driver.set_session_budget(0)
+        driver.set_session_budget(None)
+        assert driver.session_budget is None
+
+
+class TestSpecRoundTrip:
+    def test_traffic_spec_carries_retry_knobs(self):
+        from repro.traffic.spec import TrafficSpec
+
+        spec = TrafficSpec(kind="poisson", retry_max=2, retry_backoff_s=4.0)
+        assert spec.retry_max == 2
+        with pytest.raises(ConfigurationError):
+            TrafficSpec(kind="poisson", retry_max=-1)
+        with pytest.raises(ConfigurationError):
+            TrafficSpec(kind="poisson", retry_backoff_s=0.0)

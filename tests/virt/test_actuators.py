@@ -1,0 +1,143 @@
+"""Hypervisor runtime actuators: hotplug, cap/weight, ballooning."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.cluster import Cluster
+from repro.sim.engine import Simulator
+from repro.units import GB, MB
+from repro.virt.hypervisor import Hypervisor
+from repro.virt.io_backend import DOM0_OWNER
+
+
+@pytest.fixture
+def hypervisor(sim):
+    server = Cluster().add_server("cloud-1")
+    return Hypervisor(sim, server)
+
+
+@pytest.fixture
+def domain(hypervisor):
+    return hypervisor.create_domain("web-vm", vcpu_count=2)
+
+
+class TestActuators:
+    def test_set_vcpus_hotplug_beyond_assigned(self, hypervisor, domain):
+        hypervisor.set_vcpus(domain, 4)
+        assert domain.online_vcpus == 4
+        assert len(domain.vcpus) == 4
+
+    def test_set_vcpus_unplug(self, hypervisor, domain):
+        hypervisor.set_vcpus(domain, 1)
+        assert domain.online_vcpus == 1
+        assert len(domain.vcpus) == 2  # assigned VCPUs stay, offline
+
+    def test_set_vcpus_rejects_zero(self, hypervisor, domain):
+        with pytest.raises(ConfigurationError):
+            hypervisor.set_vcpus(domain, 0)
+
+    def test_set_cap_and_weight(self, hypervisor, domain):
+        hypervisor.set_cap_cores(domain, 1.5)
+        hypervisor.set_weight(domain, 512.0)
+        assert domain.cap_cores == 1.5
+        assert domain.weight == 512.0
+        with pytest.raises(ConfigurationError):
+            hypervisor.set_cap_cores(domain, -1.0)
+        with pytest.raises(ConfigurationError):
+            hypervisor.set_weight(domain, 0.0)
+
+    def test_balloon_down_clamps_usage(self, hypervisor, domain):
+        hypervisor.set_vm_memory(domain, 1.5 * GB)
+        hypervisor.balloon(domain, 1 * GB)
+        assert domain.memory_bytes == 1 * GB
+        assert hypervisor.vm_memory_used(domain) == 1 * GB
+
+    def test_balloon_up_keeps_usage(self, hypervisor, domain):
+        hypervisor.set_vm_memory(domain, 0.5 * GB)
+        hypervisor.balloon(domain, 4 * GB)
+        assert hypervisor.vm_memory_used(domain) == 0.5 * GB
+
+    def test_noop_actions_emit_nothing(self, hypervisor, domain):
+        events = []
+        hypervisor.add_control_hook(events.append)
+        hypervisor.set_vcpus(domain, domain.online_vcpus)
+        hypervisor.set_cap_cores(domain, domain.cap_cores)
+        hypervisor.set_weight(domain, domain.weight)
+        hypervisor.balloon(domain, domain.memory_bytes)
+        assert events == []
+        assert hypervisor.control_actions == 0
+
+    def test_effective_actions_emit_events_and_charge_dom0(
+        self, hypervisor, domain
+    ):
+        events = []
+        hypervisor.add_control_hook(events.append)
+        before = hypervisor.server.cpu.ledger.total(DOM0_OWNER)
+        hypervisor.set_cap_cores(domain, 1.0)
+        hypervisor.set_vcpus(domain, 1)
+        hypervisor.balloon(domain, 1024 * MB)
+        after = hypervisor.server.cpu.ledger.total(DOM0_OWNER)
+        assert [e["kind"] for e in events] == [
+            "set_cap", "set_vcpus", "balloon",
+        ]
+        assert all(e["domain"] == "web-vm" for e in events)
+        assert hypervisor.control_actions == 3
+        assert after - before == pytest.approx(
+            3 * hypervisor.overhead.control_action_cycles
+        )
+
+
+class TestVcpuContention:
+    def _context(self, sim, vcpu_contention):
+        from repro.apps.tier import VirtualizedContext
+
+        server = Cluster().add_server("cloud-1")
+        hypervisor = Hypervisor(
+            sim, server, vcpu_contention=vcpu_contention
+        )
+        domain = hypervisor.create_domain("web-vm", vcpu_count=2)
+        return hypervisor, domain, VirtualizedContext(hypervisor, domain)
+
+    def test_disabled_by_default_ignores_worker_excess(self, sim):
+        _, domain, context = self._context(sim, vcpu_contention=False)
+        baseline = context.cpu_time(1e6)
+        domain.active_workers = 8
+        assert context.cpu_time(1e6) == baseline
+
+    def test_enabled_slows_workers_beyond_online_vcpus(self, sim):
+        _, domain, context = self._context(sim, vcpu_contention=True)
+        baseline = context.cpu_time(1e6)
+        domain.active_workers = 8  # 8 runnable workers on 2 VCPUs
+        assert context.cpu_time(1e6) == pytest.approx(4 * baseline)
+        domain.active_workers = 2  # at or below the VCPUs: full speed
+        assert context.cpu_time(1e6) == baseline
+
+    def test_hotplug_restores_speed(self, sim):
+        hypervisor, domain, context = self._context(
+            sim, vcpu_contention=True
+        )
+        baseline = context.cpu_time(1e6)
+        domain.active_workers = 4
+        slowed = context.cpu_time(1e6)
+        hypervisor.set_vcpus(domain, 4)
+        assert context.cpu_time(1e6) == baseline < slowed
+
+
+class TestProbeFollowsActuation:
+    def test_probe_capacity_and_memory_track_actions(self, sim):
+        from repro.apps.tier import VirtualizedContext
+        from repro.monitoring.probes import ContextProbe
+
+        server = Cluster().add_server("cloud-1")
+        hypervisor = Hypervisor(sim, server)
+        domain = hypervisor.create_domain("web-vm", vcpu_count=2)
+        probe = ContextProbe(
+            "web", VirtualizedContext(hypervisor, domain)
+        )
+        frequency = server.spec.frequency_hz
+        assert probe.capacity_cycles_per_s == 2 * frequency
+        assert probe.mem_total_bytes == domain.memory_bytes
+        hypervisor.set_vcpus(domain, 1)
+        hypervisor.balloon(domain, 1024 * MB)
+        assert probe.capacity_cycles_per_s == 1 * frequency
+        assert probe.mem_total_bytes == 1024 * MB
