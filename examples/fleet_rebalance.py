@@ -1,0 +1,147 @@
+"""Controller-driven live migration vs. staying consolidated.
+
+The `migration_rebalance` scenario packs the RUBiS web pair *and* a
+noisy batch MapReduce VM onto server 1 of a two-server fleet (the
+first-fit outcome a consolidating cloud produces), leaving server 2
+idle.  The batch bursts inflate the web tier's p95 latency and CPU
+ready (steal) time; the fleet controller watches exactly those
+signals and live-migrates the batch VM to server 2 — pre-copy rounds
+whose traffic is visible on both dom0 NICs, a sub-second
+stop-and-copy downtime, and an interference-free web tier afterwards.
+
+This script runs the same seed twice:
+
+* static — a watch-only fleet controller (`FleetSpec(active=False)`)
+  that records the same windowed signal series but never migrates, and
+* fleet  — the active controller, which rebalances mid-run.
+
+It prints the comparison the acceptance criteria name — web p95 and
+CPU-ready after the rebalance completes, in both runs — plus the
+migration's traffic/downtime as seen in the exported trace, and
+asserts the interference relief.
+
+Run:  python examples/fleet_rebalance.py
+Quick mode (CI):  REPRO_EXAMPLE_QUICK=1 python examples/fleet_rebalance.py
+"""
+
+import os
+
+import numpy as np
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import migration_rebalance_scenario
+
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK", "").strip() in (
+    "1", "true", "yes",
+)
+
+
+def run(with_fleet, duration_s, clients):
+    spec = migration_rebalance_scenario(
+        duration_s=duration_s, clients=clients, fleet=with_fleet
+    )
+    print(f"running {spec.name} ...", flush=True)
+    return run_scenario(spec)
+
+
+def post_window(result, resource, start_s):
+    """A fleet series restricted to samples after ``start_s``."""
+    series = result.traces.get("fleet", resource)
+    return series.values[series.times > start_s]
+
+
+def timeline(result, entity, resource, width=60):
+    series = result.traces.get(entity, resource)
+    values = series.values
+    if len(values) > width:
+        edges = np.linspace(0, len(values), width + 1, dtype=int)
+        values = np.array(
+            [values[a:b].max() for a, b in zip(edges[:-1], edges[1:])]
+        )
+    top = values.max()
+    marks = " .:-=+*#%@"
+    scaled = np.zeros(len(values), dtype=int)
+    if top > 0:
+        scaled = np.minimum(
+            (values / top * (len(marks) - 1)).astype(int), len(marks) - 1
+        )
+    return "".join(marks[i] for i in scaled)
+
+
+def main() -> None:
+    duration_s = 120.0 if QUICK else 240.0
+    clients = 400
+    static = run(False, duration_s, clients)
+    fleet = run(True, duration_s, clients)
+
+    migrations = fleet.control_reports["fleet"]["migrations"]
+    assert migrations, "the fleet controller never migrated"
+    assert not static.control_reports["fleet"]["migrations"], (
+        "the watch-only baseline must not migrate"
+    )
+    move = migrations[0]
+    settle_s = move["ended_s"] + 2.0
+
+    # -- the rebalance, as the exported trace saw it ----------------------
+    dest_net = fleet.traces.get("dom0.cloud-2", "net_kb")
+    in_flight = (dest_net.times >= move["started_s"]) & (
+        dest_net.times <= move["ended_s"]
+    )
+    migrated_kb = float(dest_net.values[in_flight].sum())
+    print(
+        f"\nmigration: {move['domain']} {move['source']} -> "
+        f"{move['dest']} at t={move['started_s']:.0f}s, "
+        f"{move['rounds']} pre-copy rounds, "
+        f"{move['bytes_total'] / 2**30:.2f} GiB shipped in "
+        f"{move['duration_s']:.1f}s, "
+        f"downtime {move['downtime_s'] * 1000:.0f} ms"
+    )
+    print(
+        f"destination dom0 received {migrated_kb / 1024:.0f} MB during "
+        "the migration window (visible as the dom0.cloud-2 net trace)"
+    )
+
+    # -- interference relief after the rebalance --------------------------
+    rows = [
+        ("web p95 after rebalance, worst 2s window (ms)",
+         float(post_window(static, "p95_ms", settle_s).max()),
+         float(post_window(fleet, "p95_ms", settle_s).max())),
+        ("web p95 after rebalance, mean of windows (ms)",
+         float(post_window(static, "p95_ms", settle_s).mean()),
+         float(post_window(fleet, "p95_ms", settle_s).mean())),
+        ("web server CPU ready after rebalance (core-s)",
+         float(post_window(static, "cloud-1.ready_s", settle_s).sum()),
+         float(post_window(fleet, "cloud-1.ready_s", settle_s).sum())),
+        ("web-vm CPU ready, whole run (core-s)",
+         static.cpu_ready_seconds("web-vm"),
+         fleet.cpu_ready_seconds("web-vm")),
+    ]
+    print(f"\n{'metric':<48s} {'static':>10s} {'fleet':>10s}")
+    for label, before, after in rows:
+        print(f"{label:<48s} {before:>10.2f} {after:>10.2f}")
+
+    print(f"\nweb p95 timeline     |{timeline(fleet, 'fleet', 'p95_ms')}|")
+    print(f"cloud-1 ready        |{timeline(fleet, 'fleet', 'cloud-1.ready_s')}|")
+    print(f"migration traffic    |{timeline(fleet, 'dom0.cloud-2', 'net_kb')}|")
+
+    # The acceptance assertions: p95 and CPU-ready drop after the
+    # rebalance vs. the no-migration baseline, and the migration's
+    # traffic and downtime are real, bounded quantities in the trace.
+    assert rows[0][2] < rows[0][1], "worst-window p95 did not improve"
+    assert rows[1][2] < rows[1][1], "mean-window p95 did not improve"
+    assert rows[2][2] < rows[2][1], "web-server ready time did not improve"
+    assert rows[3][2] < rows[3][1], "web-vm ready time did not improve"
+    assert migrated_kb * 1024 >= 0.9 * move["bytes_total"], (
+        "migration traffic must be visible on the destination dom0 NIC"
+    )
+    assert 0.0 < move["downtime_s"] < 2.0, "downtime outside sane bounds"
+    print(
+        "\nrebalance verified: the controller-triggered live migration "
+        "relieved co-location interference (lower post-migration web "
+        "p95 and CPU-ready than the no-migration baseline on the same "
+        "seed)"
+    )
+
+
+if __name__ == "__main__":
+    main()

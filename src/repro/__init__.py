@@ -93,6 +93,13 @@ from repro.control import (
     SignalTap,
     build_policy,
 )
+from repro.placement import (
+    FleetController,
+    FleetSpec,
+    LiveMigration,
+    PlacementEngine,
+    VmRequest,
+)
 from repro.experiments import (
     ExperimentResult,
     TestbedBuilder,
@@ -182,6 +189,12 @@ __all__ = [
     "ElasticController",
     "SignalTap",
     "build_policy",
+    # placement
+    "FleetController",
+    "FleetSpec",
+    "LiveMigration",
+    "PlacementEngine",
+    "VmRequest",
     # experiments
     "scenario",
     "open_loop_scenario",

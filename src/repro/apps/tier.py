@@ -99,9 +99,13 @@ class VirtualizedContext(ExecutionContext):
     """Execution inside a guest domain under a hypervisor."""
 
     def __init__(self, hypervisor: Hypervisor, domain: Domain) -> None:
-        self.hypervisor = hypervisor
         self.domain = domain
         self.owner = domain.owner
+        self._bind(hypervisor)
+
+    def _bind(self, hypervisor: Hypervisor) -> None:
+        self.hypervisor = hypervisor
+        domain = self.domain
         # The request path crosses this adapter for every service start;
         # the fixed (hypervisor, domain) targets are prebound so each
         # crossing costs one frame instead of a delegation chain (the
@@ -160,6 +164,19 @@ class VirtualizedContext(ExecutionContext):
         self.disk_write = disk_write
         self.net_receive = net_receive
         self.net_transmit = net_transmit
+
+    def rebind(self, hypervisor: Hypervisor) -> None:
+        """Re-target the prebound fast paths at a new hypervisor.
+
+        The last step of a live migration: the domain object has been
+        attached to the destination hypervisor, and every subsequent
+        CPU charge, I/O and memory update from the tier must land on
+        the destination server's scheduler, backends and ledgers.
+        In-flight services complete against the source (their events
+        were scheduled before the switch) — matching the real semantics
+        of work that finished before the final stop-and-copy.
+        """
+        self._bind(hypervisor)
 
     def cpu_time(self, cycles: float) -> float:
         return self.hypervisor.cpu_time(self.domain, cycles)

@@ -121,6 +121,17 @@ def _build_parser() -> argparse.ArgumentParser:
              "with --scenario by swapping the catalogue entry's policy",
     )
     run_parser.add_argument(
+        "--servers", type=int, default=1, metavar="N",
+        help="physical servers in the fleet (>1 places VMs across "
+             "servers through the placement engine)",
+    )
+    run_parser.add_argument(
+        "--placement", default=None,
+        choices=("firstfit", "bestfit", "balance", "priority"),
+        help="placement policy assigning VMs to servers "
+             "(default: firstfit; only meaningful with --servers > 1)",
+    )
+    run_parser.add_argument(
         "--columnar", action="store_true",
         help="collect the full 518-metric registry as per-metric arrays",
     )
@@ -181,6 +192,22 @@ def _build_parser() -> argparse.ArgumentParser:
              "threshold, pid or predictive (default: none)",
     )
     sweep_parser.add_argument(
+        "--servers", default="1",
+        help="comma-separated fleet-size axis (default: 1)",
+    )
+    sweep_parser.add_argument(
+        "--placement", default=None,
+        choices=("firstfit", "bestfit", "balance", "priority"),
+        help="placement policy for multi-server cells "
+             "(default: firstfit)",
+    )
+    sweep_parser.add_argument(
+        "--figures", default=None, metavar="DIR",
+        help="render the aggregate ratio table as figures into DIR "
+             "(matplotlib PNGs, or text panels when matplotlib is "
+             "unavailable)",
+    )
+    sweep_parser.add_argument(
         "--table", action="store_true",
         help="print the aggregate ratio table (every run vs. the "
              "first run) after the suite report",
@@ -227,6 +254,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "--scale": args.scale != 1.0,
             "--rate": args.rate is not None,
             "--session-budget": args.session_budget is not None,
+            "--servers": args.servers != 1,
+            "--placement": args.placement is not None,
         }
         rejected = [flag for flag, given in conflicting.items() if given]
         if rejected:
@@ -278,6 +307,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             controller=(
                 None if args.controller == "none" else args.controller
             ),
+            servers=args.servers,
+            placement=args.placement,
             collect_full_registry=args.columnar,
         )
         spec = config.to_scenario()
@@ -300,6 +331,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     if spec.controller is not None:
         driver_label += f" + {spec.controller.kind} controller"
+    if spec.multi_server:
+        driver_label += (
+            f" on {spec.servers} servers ({spec.placement} placement)"
+        )
+    if spec.fleet is not None:
+        driver_label += " + fleet controller"
     print(
         f"running {spec.name}: {driver_label}, "
         f"{spec.duration_s:.0f}s simulated",
@@ -327,12 +364,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     if result.control_reports:
         for entity, report in result.control_reports.items():
+            if report.get("kind") == "billing":
+                bill = "; ".join(
+                    f"{domain}: {caps['capacity_core_s']:.0f} core-s, "
+                    f"{caps['memory_gb_s']:.0f} GB-s"
+                    for domain, caps in sorted(report["domains"].items())
+                )
+                print(f"capacity bill: {bill}")
+                continue
             by_kind = ", ".join(
                 f"{kind} x{count}"
                 for kind, count in sorted(
                     report["actions_by_kind"].items()
                 )
             ) or "no actions"
+            if report.get("kind") == "fleet":
+                moves = "; ".join(
+                    f"{m['domain']}: {m['source']}->{m['dest']} "
+                    f"({m['bytes_total'] / 2**30:.2f} GiB, "
+                    f"{m['downtime_s'] * 1000:.0f} ms down)"
+                    for m in report["migrations"]
+                ) or "no migrations"
+                print(
+                    f"{entity} [fleet]: {report['num_actions']} "
+                    f"migration(s) ({by_kind}); {moves}"
+                )
+                continue
             final = "; ".join(
                 f"{domain}: {caps['cap_cores']:g} cores, "
                 f"{caps['vcpus']} vcpu, {caps['memory_mb']:.0f} MB"
@@ -403,6 +460,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "--scales": args.scales != "1",
             "--tenant-mixes": args.tenant_mixes != "none",
             "--controllers": args.controllers != "none",
+            "--servers": args.servers != "1",
+            "--placement": args.placement is not None,
         }
         rejected = [flag for flag, given in overridden.items() if given]
         if rejected:
@@ -446,6 +505,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 None if token == "none" else token
                 for token in _split_axis(args.controllers)
             ],
+            servers=[int(token) for token in _split_axis(args.servers)],
+            placement=args.placement,
             duration_s=args.duration,
             seed=args.seed,
             clients=args.clients,
@@ -459,6 +520,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.table:
         print()
         print(render_suite_ratio_table(suite))
+    if args.figures:
+        from repro.experiments.figures import render_suite_figures
+
+        paths = render_suite_figures(suite, args.figures)
+        for path in paths:
+            print(f"figure written to {path}", file=sys.stderr)
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(suite.to_dict(), handle, indent=2, sort_keys=True)

@@ -22,6 +22,7 @@ from repro.experiments.scenarios import (
     open_loop_scenario,
     scenario,
 )
+from repro.placement.spec import validate_placement_policy
 from repro.rubis.workload import PAPER_COMPOSITIONS
 from repro.traffic.spec import TrafficSpec
 from repro.workloads.base import TenantSpec
@@ -54,6 +55,12 @@ class ExperimentConfig:
     #: ``--controller`` syntax, expanded to a default-band
     #: :class:`~repro.control.spec.ControllerSpec`.
     controller: Optional[str] = None
+    #: Physical servers in the fleet (>1 builds the multi-server
+    #: testbed through the placement engine).
+    servers: int = 1
+    #: Placement policy token (``firstfit``/``bestfit``/``balance``/
+    #: ``priority``); None keeps the scenario default (first-fit).
+    placement: Optional[str] = None
     collect_full_registry: bool = False
     metadata: dict = field(default_factory=dict)
 
@@ -99,6 +106,14 @@ class ExperimentConfig:
             raise ConfigurationError(
                 "controllers require the virtualized environment"
             )
+        if self.servers < 1:
+            raise ConfigurationError("servers must be >= 1")
+        if self.servers > 1 and self.environment != VIRTUALIZED:
+            raise ConfigurationError(
+                "multi-server fleets require the virtualized environment"
+            )
+        if self.placement is not None:
+            validate_placement_policy(self.placement)
         # Validate the traffic token eagerly so bad configs fail at
         # construction, not at run time.
         if self.traffic_spec() is None:
@@ -160,6 +175,15 @@ class ExperimentConfig:
                 name=f"{spec.name}@{self.controller}",
                 controller=ControllerSpec.from_kind(self.controller),
             )
+        if self.servers > 1:
+            spec = replace(
+                spec,
+                name=f"{spec.name}/s{self.servers}",
+                servers=self.servers,
+                placement=self.placement or spec.placement,
+            )
+        elif self.placement is not None:
+            spec = replace(spec, placement=self.placement)
         return spec
 
     @property
@@ -190,6 +214,8 @@ class ExperimentConfig:
             "session_budget",
             "tenants",
             "controller",
+            "servers",
+            "placement",
             "collect_full_registry",
             "metadata",
         }

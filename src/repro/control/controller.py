@@ -45,7 +45,70 @@ def _snap(value: float, low: float, high: float, step: float) -> float:
     return min(high, max(low, snapped))
 
 
-class ElasticController:
+class PeriodicController:
+    """Scaffold shared by every periodic observe→act controller.
+
+    Owns the per-tick :class:`TimeSeries` dict, the periodic-process
+    lifecycle and the trace/columnar export surface — the duck-typed
+    controller contract (``start``/``stop``/``trace_series``/
+    ``columnar_block``/``report``/``entity``) the experiment layers
+    speak.  Subclasses (the VM-resizing :class:`ElasticController`
+    here, the migrating ``FleetController`` in
+    :mod:`repro.placement.fleet`) add their signals, actuators and
+    ``_tick``.
+    """
+
+    def __init__(self, sim, entity: str) -> None:
+        self.sim = sim
+        #: Trace-set entity the controller's series are filed under.
+        self.entity = entity
+        self._series: Dict[str, TimeSeries] = {}
+        self._process: Optional[PeriodicProcess] = None
+
+    def _add_series(self, resource: str, unit: str) -> None:
+        self._series[resource] = TimeSeries(
+            f"{self.entity}:{resource}", unit
+        )
+
+    def _arm(self, interval_s: float, priority: int) -> None:
+        """Start the periodic decision loop."""
+        self._process = PeriodicProcess(
+            self.sim,
+            interval_s,
+            self._tick,
+            priority=priority,
+            name=f"{type(self).__name__}:{self.entity}",
+        ).start()
+
+    def _tick(self, tick_time: float) -> None:
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        """Disarm the decision loop (end of an experiment)."""
+        if self._process is not None:
+            self._process.stop()
+            self._process = None
+
+    # -- exports -----------------------------------------------------------
+
+    def trace_series(self) -> List[Tuple[str, TimeSeries]]:
+        """The controller's series as ``(resource, series)`` pairs."""
+        return list(self._series.items())
+
+    def columnar_block(self) -> Tuple[List[str], np.ndarray]:
+        """Column labels + matrix for columnar (per-metric) export."""
+        names = [
+            f"{self.entity}|{resource}" for resource in self._series
+        ]
+        if not self._series:
+            return names, np.empty((0, 0))
+        matrix = np.column_stack(
+            [series.values for series in self._series.values()]
+        )
+        return names, matrix
+
+
+class ElasticController(PeriodicController):
     """Observe live telemetry, resize tenant capacity mid-run."""
 
     def __init__(
@@ -57,12 +120,10 @@ class ElasticController:
         driver=None,
         entity: str = "control",
     ) -> None:
-        self.sim = sim
+        super().__init__(sim, entity)
         self.spec = spec
         self.hypervisor = hypervisor
         self.driver = driver
-        #: Trace-set entity the control series are filed under.
-        self.entity = entity
         # Resolve eagerly so a misnamed domain fails at build time.
         self._domains = [hypervisor.domain(name) for name in spec.domains]
         self._base_weights = {d.name: d.weight for d in self._domains}
@@ -79,7 +140,6 @@ class ElasticController:
         hypervisor.add_control_hook(self._on_action)
         self._actions_in_tick = 0
         self.level = 0.0
-        self._series: Dict[str, TimeSeries] = {}
         self._add_series("level", "fraction")
         self._add_series("p95_ms", "ms")
         self._add_series("actions", "count/sample")
@@ -91,12 +151,6 @@ class ElasticController:
             self._add_series(f"{name}.cap_cores", "cores")
             self._add_series(f"{name}.vcpus", "vcpus")
             self._add_series(f"{name}.memory_mb", "MB")
-        self._process: Optional[PeriodicProcess] = None
-
-    def _add_series(self, resource: str, unit: str) -> None:
-        self._series[resource] = TimeSeries(
-            f"{self.entity}:{resource}", unit
-        )
 
     def _on_action(self, event: dict) -> None:
         # The hypervisor broadcasts to every registered hook; keep only
@@ -179,20 +233,8 @@ class ElasticController:
     def start(self) -> "ElasticController":
         """Apply the initial capacity and arm the decision loop."""
         self.apply_initial()
-        self._process = PeriodicProcess(
-            self.sim,
-            self.spec.interval_s,
-            self._tick,
-            priority=40,
-            name=f"elastic-controller:{self.entity}",
-        ).start()
+        self._arm(self.spec.interval_s, priority=40)
         return self
-
-    def stop(self) -> None:
-        """Disarm the decision loop (end of an experiment)."""
-        if self._process is not None:
-            self._process.stop()
-            self._process = None
 
     # -- the decision epoch ------------------------------------------------
 
@@ -228,22 +270,6 @@ class ElasticController:
             )
 
     # -- exports -----------------------------------------------------------
-
-    def trace_series(self) -> List[Tuple[str, TimeSeries]]:
-        """The control series as ``(resource, series)`` pairs."""
-        return list(self._series.items())
-
-    def columnar_block(self) -> Tuple[List[str], np.ndarray]:
-        """Column labels + matrix for columnar (per-metric) export."""
-        names = [
-            f"{self.entity}|{resource}" for resource in self._series
-        ]
-        if not self._series:
-            return names, np.empty((0, 0))
-        matrix = np.column_stack(
-            [series.values for series in self._series.values()]
-        )
-        return names, matrix
 
     def report(self) -> dict:
         """Plain-data summary of what this controller did."""

@@ -37,6 +37,8 @@ from repro.experiments.scenarios import (
     default_duration_s,
     flash_crowd_scenario,
     flash_crowd_window,
+    fleet_consolidation_scenario,
+    migration_rebalance_scenario,
     open_loop_scenario,
     paper_scenarios,
     scenario,
@@ -63,7 +65,13 @@ from repro.experiments.suite import (
     suite_grid,
     suite_ratio_data,
 )
-from repro.experiments.figures import FigurePanel, FigureData, figure, render_figure
+from repro.experiments.figures import (
+    FigurePanel,
+    FigureData,
+    figure,
+    render_figure,
+    render_suite_figures,
+)
 from repro.experiments.tables import render_table1, table1_rows
 from repro.experiments.compare import (
     QualitativeChecks,
@@ -92,6 +100,8 @@ __all__ = [
     "autoscaled_consolidated_scenario",
     "consolidated_scenario",
     "consolidated_web_batch_scenario",
+    "fleet_consolidation_scenario",
+    "migration_rebalance_scenario",
     "paper_scenarios",
     "scenario_catalog",
     "default_duration_s",
@@ -118,6 +128,7 @@ __all__ = [
     "FigureData",
     "figure",
     "render_figure",
+    "render_suite_figures",
     "render_table1",
     "table1_rows",
     "QualitativeChecks",

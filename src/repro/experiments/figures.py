@@ -141,6 +141,113 @@ def render_figure(data: FigureData, sparkline_width: int = 60) -> str:
     return "\n".join(lines)
 
 
+# -- suite-level figures over merged sweep results ---------------------------
+
+#: Metric columns of the suite ratio table, with axis labels.
+SUITE_FIGURE_METRICS = (
+    ("throughput_rps", "throughput (req/s)"),
+    ("mean_ms", "mean response time (ms)"),
+    ("p95_ms", "p95 response time (ms)"),
+    ("shed_fraction", "shed fraction"),
+)
+
+
+def _suite_figure_text(
+    metric: str, label: str, rows: list, baseline_id: str,
+    width: int = 48,
+) -> str:
+    """ASCII bar panel for one suite metric (matplotlib-free fallback)."""
+    lines = [f"{label} — one bar per run (* = baseline)", "=" * 72]
+    top = max((row[metric] for _, row in rows), default=0.0)
+    for run_id, row in rows:
+        value = row[metric]
+        ratio = row[f"{metric}_ratio"]
+        bar = "#" * (round(value / top * width) if top > 0 else 0)
+        marker = "*" if run_id == baseline_id else " "
+        ratio_text = f"{ratio:.2f}x" if ratio == ratio else "-"
+        lines.append(
+            f"{run_id:<44.44s}{marker} {value:>10.4g} ({ratio_text:>7s}) "
+            f"|{bar}|"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_suite_figures(
+    suite,
+    out_dir: str,
+    baseline_run_id: str = None,
+) -> List[str]:
+    """Render a sweep's aggregate ratio table as per-metric figures.
+
+    One figure per metric of
+    :func:`~repro.experiments.suite.suite_ratio_data` — a horizontal
+    bar per run, annotated with the ratio against the baseline run.
+    With matplotlib available each figure is a PNG; otherwise the same
+    panels are written as aligned text (this library must degrade
+    gracefully when plotting backends are absent).  Returns the paths
+    written, in metric order.
+    """
+    import os
+
+    from repro.experiments.suite import suite_ratio_data
+
+    data = suite_ratio_data(suite, baseline_run_id)
+    baseline_id = baseline_run_id or next(iter(suite.summaries))
+    rows = list(data.items())
+    os.makedirs(out_dir, exist_ok=True)
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        plt = None
+    paths: List[str] = []
+    for metric, label in SUITE_FIGURE_METRICS:
+        if plt is None:
+            path = os.path.join(out_dir, f"suite_{metric}.txt")
+            with open(path, "w") as handle:
+                handle.write(
+                    _suite_figure_text(metric, label, rows, baseline_id)
+                )
+            paths.append(path)
+            continue
+        run_ids = [run_id for run_id, _ in rows]
+        values = [row[metric] for _, row in rows]
+        ratios = [row[f"{metric}_ratio"] for _, row in rows]
+        height = max(2.5, 0.5 * len(rows) + 1.2)
+        fig, ax = plt.subplots(figsize=(9.0, height))
+        positions = range(len(rows))
+        ax.barh(
+            list(positions), values,
+            color=[
+                "#4878cf" if run_id != baseline_id else "#6acc64"
+                for run_id in run_ids
+            ],
+        )
+        ax.set_yticks(list(positions))
+        ax.set_yticklabels(run_ids, fontsize=8)
+        ax.invert_yaxis()
+        ax.set_xlabel(label)
+        ax.set_title(f"{label} per run (baseline: {baseline_id})")
+        for position, (value, ratio) in enumerate(zip(values, ratios)):
+            ratio_text = f"{ratio:.2f}x" if ratio == ratio else "-"
+            ax.annotate(
+                f"{value:.3g} ({ratio_text})",
+                (value, position),
+                xytext=(4, 0),
+                textcoords="offset points",
+                va="center",
+                fontsize=8,
+            )
+        fig.tight_layout()
+        path = os.path.join(out_dir, f"suite_{metric}.png")
+        fig.savefig(path, dpi=120)
+        plt.close(fig)
+        paths.append(path)
+    return paths
+
+
 def figure_series_rows(data: FigureData) -> List[dict]:
     """Row-wise dump (time, panel, workload, value) for CSV-style output."""
     rows = []

@@ -160,6 +160,8 @@ def suite_grid(
     scales: Sequence[float] = (1.0,),
     tenant_mixes: Sequence[Tuple[TenantSpec, ...]] = ((),),
     controllers: Sequence[Optional[str]] = (None,),
+    servers: Sequence[int] = (1,),
+    placement: Optional[str] = None,
     duration_s: Optional[float] = None,
     seed: int = 42,
     clients: Optional[int] = None,
@@ -167,18 +169,22 @@ def suite_grid(
     """Expand grid axes into a list of suite runs.
 
     The run id encodes every axis value, and the per-run seed derives
-    from it (:func:`derive_run_seed`).  Invalid cells — tenants or
-    controllers on a bare-metal environment — are skipped, so mixed
-    grids stay declarative.  The ``controllers`` axis takes policy
-    tokens (``none``/``static``/``threshold``/``pid``/``predictive``),
-    so one sweep can grid the same workload over scaling policies.
+    from it (:func:`derive_run_seed`).  Invalid cells — tenants,
+    controllers or multi-server fleets on a bare-metal environment —
+    are skipped, so mixed grids stay declarative.  The ``controllers``
+    axis takes policy tokens
+    (``none``/``static``/``threshold``/``pid``/``predictive``), so one
+    sweep can grid the same workload over scaling policies; the
+    ``servers`` axis grids over fleet sizes (``placement`` selects the
+    policy multi-server cells place with).
     """
     runs: List[SuiteRun] = []
-    for environment, composition, traffic, scale, tenants, controller in (
-        itertools.product(
-            environments, compositions, traffics, scales, tenant_mixes,
-            controllers,
-        )
+    for (
+        environment, composition, traffic, scale, tenants, controller,
+        server_count,
+    ) in itertools.product(
+        environments, compositions, traffics, scales, tenant_mixes,
+        controllers, servers,
     ):
         tenants = tuple(tenants)
         if tenants and environment != "virtualized":
@@ -187,6 +193,8 @@ def suite_grid(
             controller = None
         if controller is not None and environment != "virtualized":
             continue  # resizing is a hypervisor feature
+        if server_count > 1 and environment != "virtualized":
+            continue  # placement is a hypervisor-layer feature
         parts = [environment, composition]
         if traffic not in (None, "closed"):
             parts.append(str(traffic))
@@ -194,12 +202,16 @@ def suite_grid(
             parts.append(f"x{scale:g}")
         if tenants:
             parts.append("+".join(t.name for t in tenants))
-        # The per-run seed is derived *before* the controller token is
-        # appended: cells that differ only in scaling policy must run
-        # the same seed (and therefore the same offered arrival
-        # stream), or the static-vs-policy ratios in the aggregate
-        # table would compare across seed noise.
+        # The per-run seed is derived *before* the controller and
+        # fleet-size tokens are appended: cells that differ only in
+        # scaling policy or server count change the *infrastructure*,
+        # not the offered workload, and must run the same seed (and
+        # therefore the same arrival stream) — or the static-vs-policy
+        # and s2/s1 ratios in the aggregate table would compare across
+        # seed noise.
         seed_id = "/".join(parts)
+        if server_count > 1:
+            parts.append(f"s{server_count}")
         if controller is not None:
             parts.append(f"ctl-{controller}")
         run_id = "/".join(parts)
@@ -213,6 +225,8 @@ def suite_grid(
             traffic=traffic,
             tenants=tenants,
             controller=controller,
+            servers=server_count,
+            placement=placement if server_count > 1 else None,
         )
         runs.append(SuiteRun(run_id=run_id, config=config))
     if not runs:

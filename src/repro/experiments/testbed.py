@@ -34,7 +34,12 @@ from repro.control.controller import ElasticController
 from repro.errors import ConfigurationError
 from repro.hardware.cluster import Cluster
 from repro.monitoring.probes import Dom0Probe, Probe
+from repro.placement.engine import PlacementEngine
+from repro.placement.fleet import FleetController
+from repro.placement.spec import VmRequest
 from repro.rubis.deployment import (
+    DEFAULT_VM_MEMORY_BYTES,
+    DEFAULT_VM_VCPUS,
     BareMetalDeployment,
     Deployment,
     VirtualizedDeployment,
@@ -102,24 +107,39 @@ class Testbed:
         tenants: List[Workload],
         hypervisor: Optional[Hypervisor],
         controllers: Optional[List[ElasticController]] = None,
+        engine: Optional[PlacementEngine] = None,
     ) -> None:
         self.scenario = scenario
         self.web = web
         self.tenants = tenants
         self.hypervisor = hypervisor
         self.controllers = list(controllers or [])
+        #: Placement engine of a multi-server testbed (None on the
+        #: single-hypervisor paths, which stay bit-identical).
+        self.engine = engine
 
     @property
     def deployment(self) -> Deployment:
         return self.web.deployment
 
     def probes(self) -> List[Probe]:
-        """Web/db first, then dom0, then one namespace per tenant."""
+        """Web/db first, then dom0, then one namespace per tenant.
+
+        Multi-server fleets append one more dom0 probe per *extra*
+        server (entity ``dom0.<server>``); the web server's dom0 keeps
+        the plain ``dom0`` entity, so single-server trace layouts are
+        untouched.
+        """
         probes = self.web.probes()
         if self.hypervisor is not None:
             probes.append(Dom0Probe(self.hypervisor))
         for tenant in self.tenants:
             probes.extend(tenant.probes())
+        if self.engine is not None:
+            for name, hypervisor in self.engine.hypervisors.items():
+                if hypervisor is self.hypervisor:
+                    continue
+                probes.append(Dom0Probe(hypervisor, entity=f"dom0.{name}"))
         return probes
 
     def start(self) -> None:
@@ -137,6 +157,10 @@ class Testbed:
         for tenant in self.tenants:
             tenant.shutdown()
         self.web.shutdown()
+        if self.engine is not None:
+            # The web deployment stopped its own hypervisor above;
+            # stop() is idempotent, so sweeping the whole fleet is safe.
+            self.engine.shutdown()
 
     def tenant_reports(self) -> Optional[Dict[str, dict]]:
         """Per-tenant summaries, or None for single-tenant runs."""
@@ -145,19 +169,62 @@ class Testbed:
         return {tenant.name: tenant.summary() for tenant in self.tenants}
 
     def interference_report(self) -> Optional[dict]:
-        """Consolidation signals: per-domain CPU ready (steal) time."""
+        """Consolidation signals: per-domain CPU ready (steal) time.
+
+        Fleets also report the per-server breakdown; a migrated
+        domain's ready time sums across every server it lived on.
+        """
         if self.hypervisor is None:
             return None
-        return {"cpu_ready_s": self.hypervisor.cpu_ready_report()}
+        if self.engine is None:
+            return {"cpu_ready_s": self.hypervisor.cpu_ready_report()}
+        merged: Dict[str, float] = {}
+        per_server: Dict[str, Dict[str, float]] = {}
+        for name, hypervisor in self.engine.hypervisors.items():
+            report = hypervisor.cpu_ready_report()
+            per_server[name] = report
+            for domain, ready_s in report.items():
+                merged[domain] = merged.get(domain, 0.0) + ready_s
+        return {"cpu_ready_s": merged, "per_server": per_server}
+
+    def billing_report(self) -> dict:
+        """Fleet-wide capacity bill: ``{domain: {core-s, GB-s}}``.
+
+        Summed across hypervisors, so a migrated domain is billed on
+        every server it occupied — exactly what a per-tenant invoice
+        would show.
+        """
+        hypervisors = (
+            list(self.engine.hypervisors.values())
+            if self.engine is not None
+            else ([self.hypervisor] if self.hypervisor is not None else [])
+        )
+        merged: Dict[str, Dict[str, float]] = {}
+        for hypervisor in hypervisors:
+            for domain, bill in hypervisor.billing_report().items():
+                into = merged.setdefault(
+                    domain, {"capacity_core_s": 0.0, "memory_gb_s": 0.0}
+                )
+                into["capacity_core_s"] += bill["capacity_core_s"]
+                into["memory_gb_s"] += bill["memory_gb_s"]
+        return {"kind": "billing", "domains": merged}
 
     def control_reports(self) -> Optional[Dict[str, dict]]:
-        """Per-controller action summaries, or None when uncontrolled."""
-        if not self.controllers:
+        """Per-controller action summaries, or None when uncontrolled.
+
+        Controlled runs — and every multi-server run, controllers or
+        not — also carry the fleet-wide capacity bill under the
+        ``billing`` key: the $-side input :mod:`repro.planning.cost`
+        scores against the SLA side.
+        """
+        if not self.controllers and self.engine is None:
             return None
-        return {
+        reports = {
             controller.entity: controller.report()
             for controller in self.controllers
         }
+        reports["billing"] = self.billing_report()
+        return reports
 
 
 class TestbedBuilder:
@@ -175,7 +242,10 @@ class TestbedBuilder:
             raise ConfigurationError(
                 "multi-tenant testbeds require the virtualized environment"
             )
-        if scenario.tenants:
+        engine = None
+        if scenario.multi_server:
+            deployment, hypervisor, engine = self._build_fleet(scenario)
+        elif scenario.tenants:
             deployment, hypervisor = self._build_shared_server(scenario)
         else:
             deployment = build_deployment(
@@ -193,15 +263,23 @@ class TestbedBuilder:
             meter_arrivals=meter_arrivals,
         )
         tenants: List[Workload] = []
+        tenant_contexts: Dict[str, VirtualizedContext] = {}
         for spec in scenario.tenants:
-            domain = hypervisor.create_domain(
-                f"{spec.name}-vm",
+            vm_name = f"{spec.name}-vm"
+            host = (
+                engine.hypervisor_for(vm_name)
+                if engine is not None
+                else hypervisor
+            )
+            domain = host.create_domain(
+                vm_name,
                 vcpu_count=spec.vcpus,
                 memory_bytes=spec.memory_gb * GB,
                 weight=spec.weight,
                 cap_cores=spec.cap_cores,
             )
-            context = VirtualizedContext(hypervisor, domain)
+            context = VirtualizedContext(host, domain)
+            tenant_contexts[vm_name] = context
             tenants.append(
                 build_tenant_workload(
                     self.sim,
@@ -211,14 +289,44 @@ class TestbedBuilder:
                     horizon_s=scenario.duration_s,
                 )
             )
-        controllers = self._build_controllers(scenario, web, hypervisor)
-        return Testbed(scenario, web, tenants, hypervisor, controllers)
+        controllers = self._build_controllers(
+            scenario, web, hypervisor, engine
+        )
+        if scenario.fleet is not None:
+            # Tenants with their own elastic controller are pinned:
+            # the controller's tap resolves the domain on the
+            # build-time hypervisor every tick, so migrating such a VM
+            # would strand the controller (fleet-driven *resizing* of
+            # migrated tenants is a ROADMAP follow-up).
+            pinned = {
+                f"{spec.name}-vm"
+                for spec in scenario.tenants
+                if spec.controller is not None
+            }
+            controllers.append(
+                FleetController(
+                    self.sim,
+                    scenario.fleet,
+                    engine,
+                    web.stats,
+                    movable={
+                        name: context.rebind
+                        for name, context in tenant_contexts.items()
+                        if name not in pinned
+                    },
+                    driver=web.population if web.open_loop else None,
+                )
+            )
+        return Testbed(
+            scenario, web, tenants, hypervisor, controllers, engine=engine
+        )
 
     def _build_controllers(
         self,
         scenario: Scenario,
         web: RubisWorkload,
         hypervisor: Optional[Hypervisor],
+        engine: Optional[PlacementEngine] = None,
     ) -> List[ElasticController]:
         """The scenario's elastic controllers, wired to live telemetry.
 
@@ -244,17 +352,73 @@ class TestbedBuilder:
         for spec in scenario.tenants:
             if spec.controller is None:
                 continue
+            vm_name = f"{spec.name}-vm"
+            host = (
+                engine.hypervisor_for(vm_name)
+                if engine is not None
+                else hypervisor
+            )
             controllers.append(
                 ElasticController(
                     self.sim,
-                    spec.controller.for_domain(f"{spec.name}-vm"),
-                    hypervisor,
+                    spec.controller.for_domain(vm_name),
+                    host,
                     web.stats,
                     driver=driver,
                     entity=f"control.{spec.name}",
                 )
             )
         return controllers
+
+    def _build_fleet(self, scenario: Scenario):
+        """N physical servers, VMs assigned by the placement policy.
+
+        The web pair is one affinity group (the tiers talk over the
+        software bridge) and is pinned (not movable); tenant VMs are
+        movable batch requests.  Placement happens *before* any domain
+        is created, so the engine's assignment decides which hypervisor
+        each VM materializes on.
+        """
+        calibrated = calibrated_environment(VIRTUALIZED)
+        engine = PlacementEngine(
+            self.sim,
+            scenario.servers,
+            policy=scenario.placement,
+            overhead=calibrated.overhead,
+            vcpu_contention=scenario.controlled,
+        )
+        requests = [
+            VmRequest(
+                name,
+                vcpus=DEFAULT_VM_VCPUS,
+                memory_bytes=DEFAULT_VM_MEMORY_BYTES,
+                priority=1,
+                group="web",
+                movable=False,
+            )
+            for name in ("web-vm", "db-vm")
+        ]
+        for spec in scenario.tenants:
+            requests.append(
+                VmRequest(
+                    f"{spec.name}-vm",
+                    vcpus=spec.vcpus,
+                    memory_bytes=spec.memory_gb * GB,
+                    priority=0,
+                    movable=True,
+                )
+            )
+        engine.place(requests)
+        hypervisor = engine.hypervisor_for("web-vm")
+        deployment = VirtualizedDeployment(
+            self.sim,
+            self.streams,
+            config=calibrated.deployment_config,
+            overhead=calibrated.overhead,
+            hypervisor=hypervisor,
+            cluster=engine.cluster,
+        )
+        return deployment, hypervisor, engine
 
     def _build_shared_server(self, scenario: Scenario):
         """One physical server whose hypervisor hosts every tenant."""

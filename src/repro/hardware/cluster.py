@@ -2,15 +2,32 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.hardware.network import NetworkFabric
 from repro.hardware.server import PhysicalServer, ServerSpec
 
 
+@dataclass(frozen=True)
+class ClusterCapacity:
+    """Aggregate hardware bill of a cluster (for placement policies)."""
+
+    servers: int
+    cores: int
+    cycles_per_s: float
+    memory_bytes: float
+    disk_bytes: float
+
+
 class Cluster:
-    """Named physical servers connected by a single switch fabric."""
+    """Named physical servers connected by a single switch fabric.
+
+    Iteration order is the insertion order of :meth:`add_server` — a
+    deterministic property the placement policies depend on (first-fit
+    must mean "first *added* server", never a hash order).
+    """
 
     def __init__(self, fabric: Optional[NetworkFabric] = None) -> None:
         self.fabric = fabric or NetworkFabric()
@@ -26,13 +43,42 @@ class Cluster:
         self._servers[name] = server
         return server
 
+    def remove_server(self, name: str) -> PhysicalServer:
+        """Remove (decommission) a server and return it.
+
+        The caller is responsible for having drained the server first —
+        the cluster tracks hardware, not placement.
+        """
+        if name not in self._servers:
+            raise ConfigurationError(f"unknown server {name!r}")
+        return self._servers.pop(name)
+
     def server(self, name: str) -> PhysicalServer:
         if name not in self._servers:
             raise ConfigurationError(f"unknown server {name!r}")
         return self._servers[name]
 
-    def servers(self) -> Iterable[PhysicalServer]:
+    def servers(self) -> List[PhysicalServer]:
+        """Servers in deterministic (insertion) order."""
         return list(self._servers.values())
+
+    def server_names(self) -> List[str]:
+        """Server names in deterministic (insertion) order."""
+        return list(self._servers)
+
+    def total_capacity(self) -> ClusterCapacity:
+        """Aggregate capacity across every server (placement input)."""
+        servers = self._servers.values()
+        return ClusterCapacity(
+            servers=len(self._servers),
+            cores=sum(s.spec.cores for s in servers),
+            cycles_per_s=sum(s.cpu.capacity_cycles_per_s for s in servers),
+            memory_bytes=sum(s.spec.memory_bytes for s in servers),
+            disk_bytes=sum(s.spec.disk_bytes for s in servers),
+        )
+
+    def __iter__(self):
+        return iter(self._servers.values())
 
     def __len__(self) -> int:
         return len(self._servers)

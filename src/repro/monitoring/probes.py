@@ -161,8 +161,11 @@ class ContextProbe(Probe):
 class Dom0Probe(Probe):
     """Dom0's physical view: what sysstat running in dom0 reports."""
 
-    def __init__(self, hypervisor: Hypervisor) -> None:
-        self.entity = "dom0"
+    def __init__(self, hypervisor: Hypervisor, entity: str = "dom0") -> None:
+        # Multi-server testbeds run one dom0 per server; extra servers
+        # use a qualified entity ("dom0.<server>") so series never
+        # collide while single-server trace layouts stay unchanged.
+        self.entity = entity
         self.hypervisor = hypervisor
         self.virtualized = False  # dom0 reads physical counters
         server = hypervisor.server

@@ -1,0 +1,46 @@
+"""Multi-server placement and live migration (the fleet layer).
+
+Everything below this package turns the simulator from "one
+hypervisor" into "a fleet of virtualized servers":
+
+* :mod:`~repro.placement.spec` — declarative vocabulary:
+  :class:`VmRequest` (what a VM needs), :class:`FleetSpec` (how the
+  fleet controller watches and migrates), and the placement-policy
+  tokens;
+* :mod:`~repro.placement.policies` — pluggable bin-packing policies
+  (first-fit, best-fit, load-balancing, priority-aware gray-box
+  packing) over per-server :class:`ServerLoad` states;
+* :mod:`~repro.placement.engine` — the :class:`PlacementEngine`: one
+  :class:`~repro.virt.hypervisor.Hypervisor` + dom0 per
+  :class:`~repro.hardware.server.PhysicalServer`, VM-to-server
+  assignment and capacity bookkeeping;
+* :mod:`~repro.placement.migration` — the :class:`LiveMigration`
+  actuator: pre-copy rounds with a working-set-derived dirty-page
+  rate, migration traffic through the physical NICs and both dom0s,
+  and a stop-and-copy downtime window;
+* :mod:`~repro.placement.fleet` — the :class:`FleetController`:
+  watches per-server ready/steal and web p95 signals and triggers
+  rebalancing migrations mid-run.
+"""
+
+from repro.placement.engine import PlacementEngine
+from repro.placement.fleet import FleetController
+from repro.placement.migration import LiveMigration, MigrationReport
+from repro.placement.policies import ServerLoad, choose_server
+from repro.placement.spec import (
+    PLACEMENT_POLICIES,
+    FleetSpec,
+    VmRequest,
+)
+
+__all__ = [
+    "PLACEMENT_POLICIES",
+    "FleetController",
+    "FleetSpec",
+    "LiveMigration",
+    "MigrationReport",
+    "PlacementEngine",
+    "ServerLoad",
+    "VmRequest",
+    "choose_server",
+]

@@ -1,0 +1,206 @@
+"""The fleet controller: watch the fleet, migrate away from hotspots.
+
+A :class:`FleetController` is the fleet-level tier of the PR-4 control
+machinery: it reuses the :class:`~repro.control.signals.SignalTap` for
+windowed web p95/ready signals, adds per-server CPU-ready cursors over
+every hypervisor in the :class:`~repro.placement.engine.
+PlacementEngine`, and — where the elastic controller resizes VMs in
+place — its actuator is *placement itself*: when the web server stays
+hot for ``hot_windows`` consecutive windows, it live-migrates one
+movable co-resident VM to the least-loaded feasible server
+(:class:`~repro.placement.migration.LiveMigration`), with cooldown and
+an in-flight cap as hysteresis.
+
+It shares the :class:`~repro.control.controller.PeriodicController`
+scaffold (series dict, periodic lifecycle, trace/columnar exports)
+with the elastic controller, so fleet decisions ride the existing
+TraceSet merge, columnar export and ``control_reports`` paths
+unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.control.actions import ActionLog
+from repro.control.controller import PeriodicController
+from repro.control.signals import SignalTap
+from repro.placement.engine import PlacementEngine
+from repro.placement.migration import LiveMigration, MigrationReport
+from repro.placement.spec import FleetSpec
+
+
+class FleetController(PeriodicController):
+    """Observe per-server signals, trigger rebalancing migrations."""
+
+    def __init__(
+        self,
+        sim,
+        spec: FleetSpec,
+        engine: PlacementEngine,
+        stats,
+        movable: Optional[Dict[str, Callable]] = None,
+        watch_domains: Tuple[str, ...] = ("web-vm", "db-vm"),
+        driver=None,
+        entity: str = "fleet",
+    ) -> None:
+        super().__init__(sim, entity)
+        self.spec = spec
+        self.engine = engine
+        #: ``{vm name: rebind fn}`` — the VMs this controller may move,
+        #: each with the callable that re-targets its execution
+        #: context(s) at the destination hypervisor.
+        self.movable = dict(movable or {})
+        self.watch_domains = tuple(watch_domains)
+        self._web_server = engine.server_of(self.watch_domains[0])
+        self.tap = SignalTap(
+            sim,
+            stats,
+            engine.hypervisor_for(self.watch_domains[0]),
+            self.watch_domains,
+            driver=driver,
+            window_s=spec.interval_s,
+        )
+        self.log = ActionLog()
+        for hypervisor in engine.hypervisors.values():
+            hypervisor.add_control_hook(self._on_action)
+        self.migrations: List[MigrationReport] = []
+        self._active: Optional[LiveMigration] = None
+        self._hot_streak = 0
+        self._last_migration_end = -float("inf")
+        self._ready_cursor: Dict[str, float] = {
+            name: 0.0 for name in engine.hypervisors
+        }
+        self._add_series("p95_ms", "ms")
+        self._add_series("hot_streak", "windows")
+        self._add_series("migration_active", "0/1")
+        self._add_series("migrations_done", "count")
+        self._add_series("migration_bytes", "bytes")
+        for name in engine.hypervisors:
+            self._add_series(f"{name}.ready_s", "core-s/sample")
+            self._add_series(f"{name}.guest_vcpus", "vcpus")
+
+    def _on_action(self, event: dict) -> None:
+        # Keep the fleet-relevant actions: migration phases anywhere,
+        # from any hypervisor in the fleet.
+        if event["kind"].startswith("migrate_"):
+            self.log.record(event)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "FleetController":
+        # Priority 45: after the recorder (30) and elastic (40) ticks.
+        self._arm(self.spec.interval_s, priority=45)
+        return self
+
+    # -- the decision epoch ------------------------------------------------
+
+    def _server_ready_deltas(self) -> Dict[str, float]:
+        deltas = {}
+        for name, hypervisor in self.engine.hypervisors.items():
+            total = sum(hypervisor.cpu_ready_report().values())
+            deltas[name] = total - self._ready_cursor[name]
+            self._ready_cursor[name] = total
+        return deltas
+
+    def _tick(self, tick_time: float) -> None:
+        spec = self.spec
+        signals = self.tap.sample()
+        ready_deltas = self._server_ready_deltas()
+        web_ready = sum(
+            signals.domains[name].ready_delta_s
+            for name in self.watch_domains
+        )
+        hot = (
+            signals.p95_ms > spec.p95_high_ms
+            or web_ready > spec.ready_high_s
+        )
+        self._hot_streak = self._hot_streak + 1 if hot else 0
+        if (
+            spec.active
+            and self._hot_streak >= spec.hot_windows
+            and self._active is None
+            and len(self.migrations) < spec.max_migrations
+            and tick_time - self._last_migration_end >= spec.cooldown_s
+        ):
+            self._try_rebalance()
+        series = self._series
+        series["p95_ms"].append(tick_time, signals.p95_ms)
+        series["hot_streak"].append(tick_time, float(self._hot_streak))
+        series["migration_active"].append(
+            tick_time, 1.0 if self._active is not None else 0.0
+        )
+        series["migrations_done"].append(
+            tick_time, float(len(self.migrations))
+        )
+        series["migration_bytes"].append(
+            tick_time,
+            float(
+                sum(report.bytes_total for report in self.migrations)
+                + (
+                    self._active.report.bytes_total
+                    if self._active is not None
+                    else 0.0
+                )
+            ),
+        )
+        for name, hypervisor in self.engine.hypervisors.items():
+            series[f"{name}.ready_s"].append(tick_time, ready_deltas[name])
+            series[f"{name}.guest_vcpus"].append(
+                tick_time,
+                float(
+                    sum(
+                        d.online_vcpus
+                        for d in hypervisor.guest_domains()
+                    )
+                ),
+            )
+
+    def _try_rebalance(self) -> None:
+        """Pick a movable antagonist on the web server and migrate it."""
+        hot_server = self._web_server
+        candidates = [
+            vm
+            for vm in self.engine.movable_vms_on(hot_server)
+            if vm in self.movable
+        ]
+        if not candidates:
+            return
+        victim = candidates[0]
+        dest_name = self.engine.choose_destination(victim)
+        if dest_name is None:
+            return
+        source = self.engine.hypervisor_for(victim)
+        dest = self.engine.hypervisors[dest_name]
+        self._active = LiveMigration(
+            self.sim,
+            source,
+            dest,
+            victim,
+            spec=self.spec,
+            rebind=self.movable[victim],
+            on_complete=self._migration_done,
+        ).start()
+
+    def _migration_done(self, report: MigrationReport) -> None:
+        self.engine.record_migration(report.domain, report.dest)
+        self.migrations.append(report)
+        self._active = None
+        self._last_migration_end = report.ended_s
+        self._hot_streak = 0
+
+    # -- exports -----------------------------------------------------------
+
+    def report(self) -> dict:
+        """Plain-data summary of what the fleet controller did."""
+        return {
+            "kind": "fleet",
+            "domains": sorted(self.movable),
+            "num_actions": len(self.migrations),
+            "actions_by_kind": self.log.counts_by_kind(),
+            "migrations": [
+                report.to_dict() for report in self.migrations
+            ],
+            "placement": self.engine.placement_report(),
+            "final": {},
+        }

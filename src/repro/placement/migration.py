@@ -1,0 +1,228 @@
+"""Live migration: pre-copy, dirty pages, downtime, real traffic.
+
+The :class:`LiveMigration` actuator models Xen-style pre-copy live
+migration of one guest domain between two hypervisors:
+
+1. **Pre-copy rounds** — the guest keeps running on the source while
+   its memory image crosses the network.  Round 0 ships the current
+   working set; each later round ships the pages dirtied during the
+   previous round, with the dirty-page rate derived from the guest's
+   *current* memory working set (``dirty_fraction_per_s * used``), so
+   busy, large-footprint guests converge slower — the gray-box signal
+   real migration schedulers key on.
+2. **Traffic accounting** — every round is shipped in chunks, each
+   chunk charged to the source NIC (TX), the destination NIC (RX) and
+   both dom0s' CPU (per-byte softirq work), all under the dom0 owner —
+   migration load is *visible in the dom0 traces* and contends with
+   guest I/O on the shared NICs, exactly the interference a fleet
+   controller must weigh before migrating.
+3. **Stop-and-copy** — when the residual fits the downtime target (or
+   rounds are exhausted), the domain is paused: its scheduler cap
+   drops to ~zero so requests queue rather than get served, the last
+   residual ships, and after the downtime window the domain detaches
+   from the source, attaches to the destination (counters carried — see
+   :meth:`~repro.virt.hypervisor.Hypervisor.attach_domain`) and its
+   execution contexts are rebound.
+
+Every phase transition is emitted as a control-shaped event
+(``migrate_pre_copy`` / ``migrate_downtime`` / ``migrate_in``) through
+the hypervisors' control hooks, so migrations land in action logs and
+exported traces like any other actuation.  The model draws no
+randomness: a migration is a deterministic function of when it starts
+and what the guest's memory looks like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+from repro.placement.spec import FleetSpec
+from repro.sim.engine import Simulator
+from repro.units import MB
+from repro.virt.hypervisor import Hypervisor
+from repro.virt.io_backend import DOM0_OWNER
+
+#: Cap (in cores) applied during stop-and-copy: the domain is not
+#: descheduled outright (in-flight completions still land) but new
+#: services starting inside the window run at a tiny fraction of a
+#: core.  Per the engine-wide approximation, a service samples its
+#: speed *once* at start and is never re-scaled — so a window-starter
+#: keeps the paused speed for its whole service.  The cap therefore
+#: bounds that distortion (~``demand / PAUSE_CAP_CORES``x for one
+#: service) rather than being ~zero; re-scaling in-flight services at
+#: resume is a ROADMAP follow-up.
+PAUSE_CAP_CORES = 0.1
+
+#: A guest never ships less than this (page tables, device state).
+MIN_IMAGE_BYTES = 64 * MB
+
+
+@dataclass
+class MigrationReport:
+    """Plain-data outcome of one live migration."""
+
+    domain: str
+    source: str
+    dest: str
+    started_s: float
+    ended_s: float = 0.0
+    rounds: int = 0
+    bytes_total: float = 0.0
+    downtime_s: float = 0.0
+
+    @property
+    def duration_s(self) -> float:
+        return self.ended_s - self.started_s
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["duration_s"] = self.duration_s
+        return data
+
+
+class LiveMigration:
+    """One in-flight pre-copy migration of a guest domain."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        source: Hypervisor,
+        dest: Hypervisor,
+        domain_name: str,
+        spec: Optional[FleetSpec] = None,
+        rebind: Optional[Callable[[Hypervisor], None]] = None,
+        on_complete: Optional[Callable[["MigrationReport"], None]] = None,
+    ) -> None:
+        if source is dest:
+            raise SimulationError(
+                "migration needs distinct source and destination"
+            )
+        self.sim = sim
+        self.source = source
+        self.dest = dest
+        self.domain = source.domain(domain_name)
+        self.spec = spec or FleetSpec()
+        self.rebind = rebind
+        self.on_complete = on_complete
+        self.report = MigrationReport(
+            domain=domain_name,
+            source=source.server.name,
+            dest=dest.server.name,
+            started_s=0.0,
+        )
+        self.finished = False
+        self._saved_cap = 0.0
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "LiveMigration":
+        """Begin round 0 of the pre-copy phase."""
+        if self._started:
+            raise SimulationError("migration already started")
+        self._started = True
+        self.report.started_s = self.sim.now
+        image = max(
+            self.source.vm_memory_used(self.domain), MIN_IMAGE_BYTES
+        )
+        self.source.emit_event({
+            "time_s": self.sim.now,
+            "domain": self.domain.name,
+            "kind": "migrate_pre_copy",
+            "old": 0.0,
+            "new": float(image),
+        })
+        self._run_round(image)
+        return self
+
+    # -- pre-copy ------------------------------------------------------------
+
+    def _run_round(self, volume_bytes: float) -> None:
+        """Ship one memory pass, chunked so guest traffic interleaves."""
+        spec = self.spec
+        bandwidth = spec.migration_bandwidth_bps
+        duration = volume_bytes / bandwidth
+        chunk = spec.chunk_bytes
+        offset = 0.0
+        shipped = 0.0
+        while shipped < volume_bytes - 1e-6:
+            size = min(chunk, volume_bytes - shipped)
+            self.sim.schedule(offset, self._ship_chunk, size)
+            shipped += size
+            offset = shipped / bandwidth
+        self.report.rounds += 1
+        self.sim.schedule(duration, self._round_done, duration)
+
+    def _ship_chunk(self, size_bytes: float) -> None:
+        """Charge one chunk to both NICs and both dom0s."""
+        now = self.sim.now
+        self.source.server.nic.transmit(now, DOM0_OWNER, size_bytes)
+        self.dest.server.nic.receive(now, DOM0_OWNER, size_bytes)
+        cycles = size_bytes * self.source.overhead.net_cycles_per_byte
+        self.source.server.cpu.charge(DOM0_OWNER, cycles)
+        self.dest.server.cpu.charge(
+            DOM0_OWNER,
+            size_bytes * self.dest.overhead.net_cycles_per_byte,
+        )
+        self.report.bytes_total += size_bytes
+
+    def _round_done(self, round_duration_s: float) -> None:
+        spec = self.spec
+        working_set = max(
+            self.source.vm_memory_used(self.domain), MIN_IMAGE_BYTES
+        )
+        dirty_rate = spec.dirty_fraction_per_s * working_set
+        residual = dirty_rate * round_duration_s
+        threshold = spec.migration_bandwidth_bps * spec.downtime_target_s
+        converged = residual <= threshold
+        exhausted = self.report.rounds >= spec.max_precopy_rounds
+        diverging = residual >= spec.migration_bandwidth_bps * round_duration_s
+        if converged or exhausted or diverging:
+            self._stop_and_copy(residual)
+        else:
+            self._run_round(residual)
+
+    # -- stop-and-copy -------------------------------------------------------
+
+    def _stop_and_copy(self, residual_bytes: float) -> None:
+        """Pause the guest, ship the residual, wait out the downtime."""
+        spec = self.spec
+        self._saved_cap = self.domain.cap_cores
+        self.source.set_cap_cores(self.domain, PAUSE_CAP_CORES)
+        downtime = (
+            residual_bytes / spec.migration_bandwidth_bps
+            + spec.stop_copy_overhead_s
+        )
+        self.report.downtime_s = downtime
+        self.source.emit_event({
+            "time_s": self.sim.now,
+            "domain": self.domain.name,
+            "kind": "migrate_downtime",
+            "old": 0.0,
+            "new": float(downtime),
+        })
+        self._ship_chunk(residual_bytes)
+        self.sim.schedule(downtime, self._finish)
+
+    def _finish(self) -> None:
+        """Switch the domain over to the destination hypervisor."""
+        state = self.source.detach_domain(self.domain.name)
+        self.dest.attach_domain(state)
+        # Lift the pause on the destination (emits the restoring
+        # control action there, charged to the destination dom0).
+        self.dest.set_cap_cores(self.domain, self._saved_cap)
+        if self.rebind is not None:
+            self.rebind(self.dest)
+        self.report.ended_s = self.sim.now
+        self.finished = True
+        self.dest.emit_event({
+            "time_s": self.sim.now,
+            "domain": self.domain.name,
+            "kind": "migrate_in",
+            "old": 0.0,
+            "new": float(self.report.bytes_total),
+        })
+        if self.on_complete is not None:
+            self.on_complete(self.report)

@@ -1,0 +1,214 @@
+"""Placement policies: where a VM (or an affinity group) should land.
+
+A policy is a pure function from ``(request, server loads)`` to a
+chosen server — no randomness, no simulator access — so placement
+decisions are a deterministic function of the request sequence and the
+policy token.  Four policies cover the scenario families the fleet
+layer unlocks:
+
+* ``firstfit`` — classic first-fit bin packing over the cluster's
+  deterministic server order: consolidates onto the earliest servers
+  (and therefore co-locates antagonists — the interference setup the
+  migration scenarios start from);
+* ``bestfit``  — tightest-fit packing: minimizes the slack left on the
+  chosen server, the consolidation policy that frees whole servers;
+* ``balance``  — load balancing: places on the least-committed server,
+  spreading demand (hotspot avoidance);
+* ``priority`` — gray-box priority-aware packing (after Liu & Fan):
+  latency-sensitive VMs (``priority > 0``) spread onto the servers
+  with the least existing load, while batch VMs pack tightly onto the
+  servers hosting the *least* high-priority demand — protecting the
+  interactive class from noisy neighbours without any in-guest
+  knowledge beyond the declared workload class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.placement.spec import (
+    BALANCE,
+    BEST_FIT,
+    DEFAULT_VCPU_OVERCOMMIT,
+    FIRST_FIT,
+    PRIORITY,
+    VmRequest,
+    validate_placement_policy,
+)
+
+
+class PlacementError(ConfigurationError):
+    """No server can host a VM request."""
+
+
+@dataclass
+class ServerLoad:
+    """One server's committed capacity, as the policies see it.
+
+    ``order`` is the server's index in the cluster's deterministic
+    iteration order — the tiebreaker every policy falls back to, so
+    equal-scored servers never depend on dict ordering.
+    """
+
+    name: str
+    order: int
+    cores: int
+    memory_bytes: float
+    reserved_memory_bytes: float = 0.0
+    committed_vcpus: float = 0.0
+    priority_vcpus: float = 0.0
+
+    @property
+    def free_memory_bytes(self) -> float:
+        return self.memory_bytes - self.reserved_memory_bytes
+
+    def free_vcpus(self, overcommit: float) -> float:
+        return self.cores * overcommit - self.committed_vcpus
+
+    def fits(self, request: VmRequest, overcommit: float) -> bool:
+        """Hard feasibility: memory is never overcommitted; VCPUs may
+        exceed the cores by the overcommit ratio (time sharing)."""
+        return (
+            request.memory_bytes <= self.free_memory_bytes + 1e-9
+            and request.vcpus <= self.free_vcpus(overcommit) + 1e-9
+        )
+
+    def commit(self, request: VmRequest) -> None:
+        """Record a placement on this server."""
+        self.reserved_memory_bytes += request.memory_bytes
+        self.committed_vcpus += request.vcpus
+        if request.priority > 0:
+            self.priority_vcpus += request.vcpus
+
+    def release(self, request: VmRequest) -> None:
+        """Undo a placement (migration away / decommission)."""
+        self.reserved_memory_bytes -= request.memory_bytes
+        self.committed_vcpus -= request.vcpus
+        if request.priority > 0:
+            self.priority_vcpus -= request.vcpus
+
+    def slack(self, overcommit: float) -> float:
+        """Normalized free capacity in [0, ~2]: the balance score."""
+        return (
+            self.free_memory_bytes / self.memory_bytes
+            + self.free_vcpus(overcommit) / (self.cores * overcommit)
+        )
+
+    def slack_after(self, request: VmRequest, overcommit: float) -> float:
+        """Normalized slack *after* hosting ``request``: the best-fit
+        score.  Not equivalent to ranking current slack on
+        heterogeneous fleets — normalization is per-server, so the
+        same request consumes a different slack fraction on different
+        specs."""
+        return (
+            (self.free_memory_bytes - request.memory_bytes)
+            / self.memory_bytes
+            + (self.free_vcpus(overcommit) - request.vcpus)
+            / (self.cores * overcommit)
+        )
+
+
+def choose_server(
+    policy: str,
+    request: VmRequest,
+    loads: Sequence[ServerLoad],
+    overcommit: float = DEFAULT_VCPU_OVERCOMMIT,
+) -> ServerLoad:
+    """Pick the server ``request`` should land on (pure, deterministic).
+
+    Raises:
+        PlacementError: when no server can satisfy the request.
+    """
+    validate_placement_policy(policy)
+    feasible = [load for load in loads if load.fits(request, overcommit)]
+    if not feasible:
+        raise PlacementError(
+            f"no server fits VM {request.name!r} "
+            f"({request.vcpus} vcpus, "
+            f"{request.memory_bytes / 2**20:.0f} MB) — "
+            f"fleet of {len(loads)} server(s) is full"
+        )
+    if policy == FIRST_FIT:
+        return min(feasible, key=lambda load: load.order)
+    if policy == BEST_FIT:
+        # Tightest fit: least slack remaining *after* placement.
+        return min(
+            feasible,
+            key=lambda load: (
+                load.slack_after(request, overcommit),
+                load.order,
+            ),
+        )
+    if policy == BALANCE:
+        return min(
+            feasible,
+            key=lambda load: (-load.slack(overcommit), load.order),
+        )
+    # priority: spread the latency-sensitive class, pack the batch
+    # class away from it.
+    if request.priority > 0:
+        return min(
+            feasible,
+            key=lambda load: (
+                load.committed_vcpus,
+                -load.slack(overcommit),
+                load.order,
+            ),
+        )
+    return min(
+        feasible,
+        key=lambda load: (
+            load.priority_vcpus,
+            load.slack(overcommit),
+            load.order,
+        ),
+    )
+
+
+def plan_placement(
+    policy: str,
+    requests: Sequence[VmRequest],
+    loads: Sequence[ServerLoad],
+    overcommit: float = DEFAULT_VCPU_OVERCOMMIT,
+) -> dict:
+    """Place a request sequence, honouring affinity groups.
+
+    Requests sharing a ``group`` are placed as one unit (the group's
+    aggregate footprint chooses the server; every member lands there).
+    Returns ``{vm name: server name}`` and mutates ``loads`` with the
+    commitments.
+    """
+    assignment = {}
+    grouped: List[List[VmRequest]] = []
+    group_index = {}
+    for request in requests:
+        if request.name in assignment:
+            raise ConfigurationError(
+                f"duplicate VM request {request.name!r}"
+            )
+        assignment[request.name] = None
+        if request.group is None:
+            grouped.append([request])
+        elif request.group in group_index:
+            grouped[group_index[request.group]].append(request)
+        else:
+            group_index[request.group] = len(grouped)
+            grouped.append([request])
+    for unit in grouped:
+        if len(unit) == 1:
+            probe = unit[0]
+        else:
+            probe = VmRequest(
+                name=unit[0].name,
+                vcpus=sum(r.vcpus for r in unit),
+                memory_bytes=sum(r.memory_bytes for r in unit),
+                priority=max(r.priority for r in unit),
+                movable=all(r.movable for r in unit),
+            )
+        chosen = choose_server(policy, probe, loads, overcommit)
+        for request in unit:
+            assignment[request.name] = chosen.name
+            chosen.commit(request)
+    return assignment

@@ -11,7 +11,9 @@ workflow on top of the characterization results:
   and server sizing,
 * :mod:`~repro.planning.sla` — SLA targets and compliance evaluation,
 * :mod:`~repro.planning.predictor` — project a measured workload to a
-  different client count and predict utilization and SLA compliance.
+  different client count and predict utilization and SLA compliance,
+* :mod:`~repro.planning.cost` — price capacity bills and score runs on
+  the $-vs-SLA trade-off (cost-aware control and placement).
 """
 
 from repro.planning.capacity import (
@@ -20,6 +22,7 @@ from repro.planning.capacity import (
     plan_capacity,
     utilization_at,
 )
+from repro.planning.cost import CostModel, CostSlaScore, score_cost_sla
 from repro.planning.sla import SlaTarget, SlaEvaluation, evaluate_sla
 from repro.planning.predictor import (
     WorkloadProjection,
@@ -31,6 +34,9 @@ __all__ = [
     "CapacityPlan",
     "plan_capacity",
     "utilization_at",
+    "CostModel",
+    "CostSlaScore",
+    "score_cost_sla",
     "SlaTarget",
     "SlaEvaluation",
     "evaluate_sla",

@@ -1,0 +1,107 @@
+"""Cost accounting: turn capacity bills into $ and score them vs. SLA.
+
+The elastic-control ROADMAP item asks for *cost-aware* policies: a
+controller (or a placement policy) is only better if it buys the same
+SLA for fewer capacity-seconds.  The hypervisors bill every guest's
+reserved capacity per scheduler epoch
+(:meth:`~repro.virt.hypervisor.Hypervisor.billing_report`), the
+testbed merges the bill fleet-wide into
+``RunSummary.control_reports["billing"]``, and this module converts
+that bill into dollars and scores it against an SLA outcome — the
+$-vs-SLA trade-off a capacity planner optimizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+
+#: Seconds per billing hour (prices below are hourly, bills arrive in
+#: capacity-*seconds*).
+_HOUR_S = 3600.0
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Linear on-demand price book (defaults near small-cloud list
+    prices; the *ratios* are what the comparisons depend on)."""
+
+    usd_per_core_hour: float = 0.04
+    usd_per_gb_hour: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.usd_per_core_hour < 0 or self.usd_per_gb_hour < 0:
+            raise ConfigurationError("prices must be >= 0")
+
+    def domain_cost_usd(self, bill: Dict[str, float]) -> float:
+        """Dollar cost of one domain's ``{capacity_core_s, memory_gb_s}``."""
+        return (
+            bill.get("capacity_core_s", 0.0) / _HOUR_S
+            * self.usd_per_core_hour
+            + bill.get("memory_gb_s", 0.0) / _HOUR_S * self.usd_per_gb_hour
+        )
+
+    def run_cost_usd(self, billing: dict) -> Dict[str, float]:
+        """Per-domain dollars (plus ``total``) for one run's bill.
+
+        Accepts either the raw ``{domain: bill}`` mapping or the
+        testbed's ``{"kind": "billing", "domains": {...}}`` envelope.
+        """
+        domains = billing.get("domains", billing)
+        costs = {
+            name: self.domain_cost_usd(bill)
+            for name, bill in domains.items()
+            if isinstance(bill, dict)
+        }
+        costs["total"] = sum(costs.values())
+        return costs
+
+
+@dataclass(frozen=True)
+class CostSlaScore:
+    """$-vs-SLA outcome of one run."""
+
+    cost_usd: float
+    p95_ms: float
+    slo_ms: float
+    sla_met: bool
+    #: Dollars per thousand completed requests (inf when none completed).
+    usd_per_kilorequest: float
+
+    @property
+    def slo_margin_ms(self) -> float:
+        """Positive when the SLO holds with slack."""
+        return self.slo_ms - self.p95_ms
+
+
+def score_cost_sla(
+    billing: dict,
+    p95_ms: float,
+    slo_ms: float,
+    requests_completed: int = 0,
+    cost_model: Optional[CostModel] = None,
+) -> CostSlaScore:
+    """Score one run's capacity bill against its latency outcome.
+
+    The planner's decision rule is then a simple dominance check:
+    among runs that meet the SLO, prefer the cheapest; a run that
+    violates the SLO is not made acceptable by any saving.
+    """
+    if slo_ms <= 0:
+        raise ConfigurationError("slo_ms must be positive")
+    model = cost_model or CostModel()
+    total = model.run_cost_usd(billing)["total"]
+    per_kilo = (
+        total / (requests_completed / 1000.0)
+        if requests_completed > 0
+        else float("inf")
+    )
+    return CostSlaScore(
+        cost_usd=total,
+        p95_ms=float(p95_ms),
+        slo_ms=float(slo_ms),
+        sla_met=p95_ms <= slo_ms,
+        usd_per_kilorequest=per_kilo,
+    )

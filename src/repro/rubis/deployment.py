@@ -46,6 +46,12 @@ WEB_TIER = "web"
 DB_TIER = "db"
 CLIENT_ENDPOINT = "client"
 
+#: Default sizing of the paper's web/db guest VMs.  Shared with the
+#: placement layer, whose feasibility bookkeeping must match the
+#: domains the deployment actually creates.
+DEFAULT_VM_VCPUS = 2
+DEFAULT_VM_MEMORY_BYTES = 2 * GB
+
 
 @dataclass
 class DeploymentConfig:
@@ -255,8 +261,8 @@ class VirtualizedDeployment(Deployment):
         streams: RandomStreams,
         config: Optional[DeploymentConfig] = None,
         overhead: Optional[OverheadModel] = None,
-        vm_memory_bytes: float = 2 * GB,
-        vm_vcpus: int = 2,
+        vm_memory_bytes: float = DEFAULT_VM_MEMORY_BYTES,
+        vm_vcpus: int = DEFAULT_VM_VCPUS,
         server_spec: Optional[ServerSpec] = None,
         hypervisor: Optional[Hypervisor] = None,
         cluster=None,

@@ -22,6 +22,7 @@ hooks, so resizing decisions are first-class observable events.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import ConfigurationError
@@ -40,6 +41,27 @@ DEFAULT_EPOCH_S = 0.1
 
 #: Dom0 housekeeping cadence (sysstat cron, log flush, memory update).
 HOUSEKEEPING_INTERVAL_S = 1.0
+
+
+@dataclass
+class DomainState:
+    """Serialized domain state carried across a live migration.
+
+    The :class:`~repro.virt.domain.Domain` object itself migrates (its
+    VCPUs, reservation, scheduler parameters and worker gauge travel
+    with it); this record carries the *accounting* the destination
+    hypervisor must restore so guest-visible counters stay monotonic —
+    exactly like a real migration preserves ``/proc`` counters because
+    the whole kernel image moves.
+    """
+
+    domain: Domain
+    cpu_cycles: float
+    mem_used_bytes: float
+    disk_read_bytes: float
+    disk_write_bytes: float
+    net_rx_bytes: float
+    net_tx_bytes: float
 
 
 class Hypervisor:
@@ -76,6 +98,14 @@ class Hypervisor:
         #: Per-domain CPU ready (steal) time in core-seconds — see
         #: :meth:`cpu_ready_seconds`.
         self._cpu_ready_s: Dict[str, float] = {}
+        #: Per-domain billed capacity (core-seconds of *reserved* CPU
+        #: and GB-seconds of reserved memory) — see :meth:`billing_report`.
+        #: Reservations are piecewise-constant between control actions,
+        #: so the bill integrates lazily at actuation boundaries and at
+        #: report time (O(actions), nothing on the epoch hot path).
+        self._billed_core_s: Dict[str, float] = {}
+        self._billed_gb_s: Dict[str, float] = {}
+        self._bill_marks: Dict[str, float] = {}
         self._domains: Dict[str, Domain] = {}
         self.dom0 = Domain(
             "Domain-0",
@@ -121,12 +151,75 @@ class Hypervisor:
             cap_cores=cap_cores,
         )
         self._domains[name] = domain
+        self._bill_marks[name] = self.sim.now
         return domain
 
     def domain(self, name: str) -> Domain:
         if name not in self._domains:
             raise ConfigurationError(f"unknown domain {name!r}")
         return self._domains[name]
+
+    def has_domain(self, name: str) -> bool:
+        return name in self._domains
+
+    def detach_domain(self, name: str) -> DomainState:
+        """Remove a guest from this hypervisor, serializing its state.
+
+        The final step of a live migration's stop-and-copy phase: the
+        domain leaves the domain table (the credit scheduler stops
+        granting it cores at the next epoch), its memory reservation is
+        released on this server, and its cumulative guest-visible
+        counters are captured so :meth:`attach_domain` can restore them
+        on the destination.  Dom0 is not detachable.
+        """
+        domain = self.domain(name)
+        if domain.kind is DomainKind.DOM0:
+            raise ConfigurationError("dom0 cannot be detached")
+        owner = domain.owner
+        state = DomainState(
+            domain=domain,
+            cpu_cycles=self.server.cpu.ledger.total(owner),
+            mem_used_bytes=self.server.memory.usage(owner),
+            disk_read_bytes=self.block_backend.vm_bytes_read(owner),
+            disk_write_bytes=self.block_backend.vm_bytes_written(owner),
+            net_rx_bytes=self.net_backend.vm_bytes_received(owner),
+            net_tx_bytes=self.net_backend.vm_bytes_transmitted(owner),
+        )
+        self._accrue_billing(domain)
+        del self._domains[name]
+        del self._bill_marks[name]
+        self.server.memory.set_usage(owner, 0.0)
+        self._update_dom0_memory()
+        return state
+
+    def attach_domain(self, state: DomainState) -> Domain:
+        """Adopt a migrated guest, restoring its serialized accounting.
+
+        Counter baselines are seeded (not zeroed) so the monitoring
+        probes — which first-difference monotonic counters — observe a
+        continuous series across the migration, like sysstat inside the
+        guest would.
+        """
+        domain = state.domain
+        if domain.name in self._domains:
+            raise ConfigurationError(
+                f"duplicate domain name {domain.name!r}"
+            )
+        self._domains[domain.name] = domain
+        self._bill_marks[domain.name] = self.sim.now
+        owner = domain.owner
+        ledger = self.server.cpu.ledger
+        already = ledger.total(owner)
+        if state.cpu_cycles > already:
+            ledger.charge(owner, state.cpu_cycles - already)
+        self.block_backend.seed_counters(
+            owner, state.disk_read_bytes, state.disk_write_bytes
+        )
+        self.net_backend.seed_counters(
+            owner, state.net_rx_bytes, state.net_tx_bytes
+        )
+        self.set_vm_memory(domain, state.mem_used_bytes)
+        return domain
 
     def domains(self):
         return list(self._domains.values())
@@ -208,6 +301,18 @@ class Hypervisor:
         """
         self._control_hooks.append(hook)
 
+    def emit_event(self, event: dict) -> None:
+        """Broadcast an externally-built event to the control hooks.
+
+        Used by actuators that live outside this class (e.g. the live
+        migration model) whose events carry richer payloads than the
+        ``old``/``new`` pair of the built-in actuators.  No dom0 cost
+        is charged here — such actuators account their own costs.
+        """
+        if self._control_hooks:
+            for hook in self._control_hooks:
+                hook(event)
+
     def _emit_control(
         self, domain: Domain, kind: str, old: float, new: float
     ) -> None:
@@ -236,6 +341,7 @@ class Hypervisor:
         old = domain.online_vcpus
         if count == old:
             return
+        self._accrue_billing(domain)
         domain.set_online_vcpus(count)
         self._emit_control(domain, "set_vcpus", old, count)
 
@@ -246,6 +352,7 @@ class Hypervisor:
         old = domain.cap_cores
         if cap_cores == old:
             return
+        self._accrue_billing(domain)
         domain.cap_cores = float(cap_cores)
         self._emit_control(domain, "set_cap", old, cap_cores)
 
@@ -271,6 +378,7 @@ class Hypervisor:
         old = domain.memory_bytes
         if memory_bytes == old:
             return
+        self._accrue_billing(domain)
         domain.memory_bytes = float(memory_bytes)
         used = self.server.memory.usage(domain.owner)
         if used > domain.memory_bytes:
@@ -299,6 +407,53 @@ class Hypervisor:
     def cpu_ready_report(self) -> Dict[str, float]:
         """Per-domain cumulative ready time (plain data, for reports)."""
         return dict(self._cpu_ready_s)
+
+    # -- capacity billing ----------------------------------------------------
+
+    def _accrue_billing(self, domain: Domain) -> None:
+        """Integrate the domain's reservation up to now (lazy billing).
+
+        Called at every boundary where the reservation changes — VCPU
+        hotplug, cap adjustment, balloon, attach/detach — and at report
+        time, so the bill is exact for a piecewise-constant reservation
+        without any per-epoch work on the hot path.
+        """
+        if domain.kind is DomainKind.DOM0:
+            return
+        name = domain.name
+        now = self.sim.now
+        last = self._bill_marks.get(name, 0.0)
+        self._bill_marks[name] = now
+        dt = now - last
+        if dt <= 0:
+            return
+        reserved = float(domain.online_vcpus)
+        if 0 < domain.cap_cores < reserved:
+            reserved = domain.cap_cores
+        self._billed_core_s[name] = (
+            self._billed_core_s.get(name, 0.0) + reserved * dt
+        )
+        self._billed_gb_s[name] = (
+            self._billed_gb_s.get(name, 0.0) + domain.memory_bytes / GB * dt
+        )
+
+    def billing_report(self) -> Dict[str, Dict[str, float]]:
+        """Per-domain billed capacity: what a cloud invoice would show.
+
+        Billing follows the *reservation*, not the usage — a guest pays
+        for ``min(online VCPUs, cap)`` cores and its memory reservation
+        for every second it exists on this server, exactly the quantity
+        elastic controllers shrink to save money.
+        """
+        for domain in self._domains.values():
+            self._accrue_billing(domain)
+        return {
+            name: {
+                "capacity_core_s": core_s,
+                "memory_gb_s": self._billed_gb_s.get(name, 0.0),
+            }
+            for name, core_s in sorted(self._billed_core_s.items())
+        }
 
     # -- periodic work ----------------------------------------------------------
 

@@ -74,6 +74,20 @@ class BlockBackend:
     def vm_total_bytes(self, owner: str) -> float:
         return self.vm_bytes_read(owner) + self.vm_bytes_written(owner)
 
+    def seed_counters(
+        self, owner: str, read_bytes: float, written_bytes: float
+    ) -> None:
+        """Raise the guest-visible counter baselines (domain migration).
+
+        Counters are monotonic; seeding never lowers them, so a domain
+        returning to a server it lived on before keeps the larger of
+        the carried and resident values.
+        """
+        if read_bytes > self._vm_read.get(owner, 0.0):
+            self._vm_read[owner] = float(read_bytes)
+        if written_bytes > self._vm_written.get(owner, 0.0):
+            self._vm_written[owner] = float(written_bytes)
+
     # -- I/O path ------------------------------------------------------------
 
     def read(self, now: float, owner: str, size_bytes: float) -> float:
@@ -162,6 +176,15 @@ class NetBackend:
 
     def vm_total_bytes(self, owner: str) -> float:
         return self.vm_bytes_received(owner) + self.vm_bytes_transmitted(owner)
+
+    def seed_counters(
+        self, owner: str, rx_bytes: float, tx_bytes: float
+    ) -> None:
+        """Raise the guest-visible counter baselines (domain migration)."""
+        if rx_bytes > self._vm_rx.get(owner, 0.0):
+            self._vm_rx[owner] = float(rx_bytes)
+        if tx_bytes > self._vm_tx.get(owner, 0.0):
+            self._vm_tx[owner] = float(tx_bytes)
 
     # -- transfer path --------------------------------------------------------
 

@@ -1,0 +1,52 @@
+"""Tests for suite-level figures over merged sweep results."""
+
+import os
+
+from repro.experiments.figures import (
+    SUITE_FIGURE_METRICS,
+    render_suite_figures,
+)
+from repro.experiments.suite import run_suite, suite_grid
+
+
+def small_suite():
+    runs = suite_grid(
+        compositions=("browsing", "bidding"),
+        duration_s=20.0,
+        clients=80,
+    )
+    return run_suite(runs, workers=1)
+
+
+class TestRenderSuiteFigures:
+    def test_one_figure_per_metric(self, tmp_path):
+        suite = small_suite()
+        paths = render_suite_figures(suite, str(tmp_path))
+        assert len(paths) == len(SUITE_FIGURE_METRICS)
+        for path in paths:
+            assert os.path.exists(path)
+            assert os.path.getsize(path) > 0
+        # One file per ratio-table metric, named after it.
+        names = {os.path.basename(p) for p in paths}
+        for metric, _ in SUITE_FIGURE_METRICS:
+            assert any(metric in name for name in names)
+
+    def test_creates_output_directory(self, tmp_path):
+        suite = small_suite()
+        out = tmp_path / "nested" / "figs"
+        paths = render_suite_figures(suite, str(out))
+        assert out.is_dir()
+        assert paths
+
+    def test_text_fallback_contains_every_run(self, tmp_path):
+        # With matplotlib absent the panels are aligned text; with it
+        # installed they are PNGs — either way every run id must be
+        # represented in the output set.
+        suite = small_suite()
+        paths = render_suite_figures(suite, str(tmp_path))
+        text_paths = [p for p in paths if p.endswith(".txt")]
+        for path in text_paths:
+            with open(path) as handle:
+                content = handle.read()
+            for run_id in suite.summaries:
+                assert run_id[:44] in content

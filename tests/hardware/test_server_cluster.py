@@ -54,3 +54,43 @@ class TestCluster:
         cluster.add_server("a")
         cluster.add_server("b")
         assert {s.name for s in cluster.servers()} == {"a", "b"}
+
+    def test_iteration_order_is_insertion_order(self):
+        cluster = Cluster()
+        for name in ("zeta", "alpha", "mid"):
+            cluster.add_server(name)
+        assert [s.name for s in cluster.servers()] == ["zeta", "alpha", "mid"]
+        assert cluster.server_names() == ["zeta", "alpha", "mid"]
+        assert [s.name for s in cluster] == ["zeta", "alpha", "mid"]
+
+    def test_remove_server(self):
+        cluster = Cluster()
+        server = cluster.add_server("a")
+        cluster.add_server("b")
+        removed = cluster.remove_server("a")
+        assert removed is server
+        assert "a" not in cluster
+        assert cluster.server_names() == ["b"]
+        # The name is free again after removal.
+        cluster.add_server("a")
+        assert cluster.server_names() == ["b", "a"]
+
+    def test_remove_unknown_server_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Cluster().remove_server("ghost")
+
+    def test_total_capacity_aggregates_specs(self):
+        cluster = Cluster()
+        cluster.add_server("a")
+        cluster.add_server("b", ServerSpec(cores=4, memory_bytes=16 * GB))
+        capacity = cluster.total_capacity()
+        assert capacity.servers == 2
+        assert capacity.cores == 12
+        assert capacity.memory_bytes == 48 * GB
+        assert capacity.cycles_per_s == 8 * 2.8e9 + 4 * 2.8e9
+        assert capacity.disk_bytes == 4 * TB
+
+    def test_total_capacity_empty_cluster(self):
+        capacity = Cluster().total_capacity()
+        assert capacity.servers == 0
+        assert capacity.cores == 0

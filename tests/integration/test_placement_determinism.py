@@ -1,0 +1,117 @@
+"""Determinism regression for the placement subsystem.
+
+Two invariants guard the multi-server PR:
+
+1. **``--servers 1`` ⇒ bit-identical traces.**  Single-server runs
+   never enter the placement path; their SHA-256 fingerprints must
+   match the pre-placement tree exactly (the values below are the
+   PR-4-era fingerprints, re-asserted here through the config layer's
+   explicit ``servers=1``).
+2. **Multi-server ⇒ deterministic.**  Placement policies, the
+   migration model and the fleet controller draw no randomness, so
+   fleet runs are a pure function of the scenario seed: identical
+   trace hashes across repeated runs and across suite worker counts.
+"""
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import migration_rebalance_scenario
+from repro.experiments.suite import run_suite, suite_grid
+from repro.monitoring.export import trace_set_sha256
+from repro.workloads.base import TenantSpec
+
+#: (label, config, sha256 recorded on the pre-placement tree).
+PRE_PLACEMENT_FINGERPRINTS = [
+    (
+        "virtualized/browsing 60s seed=7 servers=1",
+        ExperimentConfig(
+            environment="virtualized", composition="browsing",
+            duration_s=60.0, seed=7, servers=1,
+        ),
+        "49df5d8a0695ad34e5fe43f360c36d1d4a456316542a4a423a1aaee0b83a4efb",
+    ),
+    (
+        "bare-metal/bidding 60s seed=3 servers=1",
+        ExperimentConfig(
+            environment="bare-metal", composition="bidding",
+            duration_s=60.0, seed=3, servers=1,
+        ),
+        "f355247543d87fb64a6044b98d8af28314feba51652adcba42b74942da775dbf",
+    ),
+    (
+        "consolidated web+batch 60s 200 clients servers=1",
+        ExperimentConfig(
+            environment="virtualized", composition="browsing",
+            duration_s=60.0, clients=200, tenants=({},), servers=1,
+        ),
+        "3d83dc656d62eb8b3c0dba02c762334ab9c0a4d7165ce47fd5599fb5340ac274",
+    ),
+]
+
+
+class TestSingleServerBitIdentical:
+    @pytest.mark.parametrize(
+        "label,config,expected",
+        PRE_PLACEMENT_FINGERPRINTS,
+        ids=[entry[0] for entry in PRE_PLACEMENT_FINGERPRINTS],
+    )
+    def test_traces_match_pre_placement_fingerprints(
+        self, label, config, expected
+    ):
+        result = run_scenario(config.to_scenario())
+        assert trace_set_sha256(result.traces) == expected, (
+            f"{label}: servers=1 traces drifted from the pre-placement "
+            "baseline"
+        )
+
+
+class TestMultiServerDeterministic:
+    def test_same_seed_same_trace_hash(self):
+        spec = migration_rebalance_scenario(duration_s=60.0, clients=200)
+        first = run_scenario(spec)
+        second = run_scenario(spec)
+        assert trace_set_sha256(first.traces) == trace_set_sha256(
+            second.traces
+        )
+        assert (
+            first.control_reports["fleet"]["migrations"]
+            == second.control_reports["fleet"]["migrations"]
+        )
+
+    def test_placement_policy_changes_multi_server_traces(self):
+        packed = run_scenario(
+            ExperimentConfig(
+                duration_s=40.0, clients=150, tenants=({},),
+                servers=2, placement="firstfit",
+            ).to_scenario()
+        )
+        spread = run_scenario(
+            ExperimentConfig(
+                duration_s=40.0, clients=150, tenants=({},),
+                servers=2, placement="priority",
+            ).to_scenario()
+        )
+        assert trace_set_sha256(packed.traces) != trace_set_sha256(
+            spread.traces
+        )
+
+    def test_worker_count_does_not_change_fleet_results(self):
+        runs = suite_grid(
+            compositions=("browsing",),
+            tenant_mixes=((), (TenantSpec(),)),
+            servers=(1, 2),
+            placement="priority",
+            duration_s=40.0,
+            clients=150,
+            seed=11,
+        )
+        assert len(runs) == 4
+        serial = run_suite(runs, workers=1)
+        parallel = run_suite(runs, workers=2)
+        assert serial.merged_sha256() == parallel.merged_sha256()
+        for run_id, summary in serial.summaries.items():
+            other = parallel.summaries[run_id]
+            assert summary.trace_sha256 == other.trace_sha256
+            assert summary.control_reports == other.control_reports

@@ -1,0 +1,144 @@
+"""Tests for the fleet controller (scenario-level, via the testbed)."""
+
+import pytest
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import (
+    fleet_consolidation_scenario,
+    migration_rebalance_scenario,
+)
+from repro.placement.spec import FleetSpec
+
+
+class TestFleetSpec:
+    def test_defaults_valid(self):
+        spec = FleetSpec()
+        assert spec.active
+        assert spec.to_dict()["cooldown_s"] == spec.cooldown_s
+
+    def test_roundtrip(self):
+        spec = FleetSpec(active=False, p95_high_ms=80.0)
+        assert FleetSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(Exception):
+            FleetSpec.from_dict({"warp_speed": 9})
+
+    def test_invalid_values_rejected(self):
+        for kwargs in (
+            {"hot_windows": 0},
+            {"dirty_fraction_per_s": 1.5},
+            {"migration_bandwidth_bps": 0},
+            {"max_migrations": 0},
+        ):
+            with pytest.raises(Exception):
+                FleetSpec(**kwargs)
+
+
+class TestMigrationRebalanceScenario:
+    def test_controller_triggers_exactly_when_active(self):
+        active = run_scenario(
+            migration_rebalance_scenario(duration_s=90.0, clients=400)
+        )
+        watcher = run_scenario(
+            migration_rebalance_scenario(
+                duration_s=90.0, clients=400, fleet=False
+            )
+        )
+        assert active.control_reports["fleet"]["num_actions"] >= 1
+        assert watcher.control_reports["fleet"]["num_actions"] == 0
+        move = active.control_reports["fleet"]["migrations"][0]
+        assert move["domain"] == "batch-vm"
+        assert move["source"] == "cloud-1"
+        assert move["dest"] == "cloud-2"
+        assert move["downtime_s"] > 0
+        assert active.control_reports["fleet"]["placement"] == {
+            "cloud-1": ["web-vm", "db-vm"], "cloud-2": ["batch-vm"],
+        }
+
+    def test_fleet_series_merged_into_traces(self):
+        result = run_scenario(
+            migration_rebalance_scenario(duration_s=60.0, clients=200)
+        )
+        entities = result.traces.entities()
+        assert "fleet" in entities
+        assert "dom0.cloud-2" in entities
+        migrations = result.traces.get("fleet", "migrations_done")
+        assert migrations.values.max() == len(
+            result.control_reports["fleet"]["migrations"]
+        )
+
+    def test_billing_covers_every_vm(self):
+        result = run_scenario(
+            migration_rebalance_scenario(duration_s=60.0, clients=200)
+        )
+        billed = result.control_reports["billing"]["domains"]
+        assert set(billed) == {"web-vm", "db-vm", "batch-vm"}
+        for bill in billed.values():
+            assert bill["capacity_core_s"] > 0
+            assert bill["memory_gb_s"] > 0
+
+    def test_interference_report_has_per_server_breakdown(self):
+        result = run_scenario(
+            migration_rebalance_scenario(duration_s=60.0, clients=200)
+        )
+        assert set(result.interference["per_server"]) == {
+            "cloud-1", "cloud-2",
+        }
+
+
+class TestControllerBearingTenantsArePinned:
+    def test_fleet_never_migrates_a_tenant_with_its_own_controller(self):
+        from dataclasses import replace
+
+        from repro.control.spec import ControllerSpec
+        from repro.workloads.base import TenantSpec
+
+        base = migration_rebalance_scenario(duration_s=90.0, clients=400)
+        throttled = TenantSpec(
+            controller=ControllerSpec(kind="threshold", invert=True)
+        )
+        spec = replace(base, tenants=(throttled,))
+        # The run completes (no stranded SignalTap on the source
+        # hypervisor) and the throttled tenant stays put.
+        result = run_scenario(spec)
+        assert result.control_reports["fleet"]["migrations"] == []
+        assert result.control_reports["fleet"]["placement"][
+            "cloud-1"
+        ] == ["web-vm", "db-vm", "batch-vm"]
+        # Its elastic controller did observe/actuate throughout.
+        assert "control.batch" in result.control_reports
+
+
+class TestServersAxisSharesSeeds:
+    def test_fleet_size_cells_run_the_same_seed(self):
+        from repro.experiments.suite import suite_grid
+        from repro.workloads.base import TenantSpec
+
+        runs = suite_grid(
+            tenant_mixes=((TenantSpec(),),),
+            servers=(1, 2),
+            placement="priority",
+            duration_s=40.0,
+        )
+        assert len(runs) == 2
+        seeds = {run.run_id: run.config.seed for run in runs}
+        assert len(set(seeds.values())) == 1, (
+            "cells differing only in fleet size must share a seed "
+            f"(got {seeds})"
+        )
+
+
+class TestFleetConsolidationScenario:
+    def test_priority_placement_separates_classes(self):
+        result = run_scenario(
+            fleet_consolidation_scenario(duration_s=60.0, clients=200)
+        )
+        # No fleet controller here, but multi-server runs always carry
+        # the capacity bill; both batch tenants show up in it.
+        billed = result.control_reports["billing"]["domains"]
+        assert {"web-vm", "db-vm", "batch-vm", "batch2-vm"} == set(billed)
+        per_server = result.interference["per_server"]
+        assert set(per_server) == {"cloud-1", "cloud-2"}
+        for report in result.tenant_reports.values():
+            assert report["tasks_completed"] > 0

@@ -1,0 +1,142 @@
+"""Unit tests for the live-migration actuator."""
+
+import pytest
+
+from repro.apps.tier import VirtualizedContext
+from repro.errors import SimulationError
+from repro.monitoring.probes import ContextProbe
+from repro.placement.engine import PlacementEngine
+from repro.placement.migration import LiveMigration, PAUSE_CAP_CORES
+from repro.placement.spec import FleetSpec, VmRequest
+from repro.sim.engine import Simulator
+from repro.units import GB, MB
+from repro.virt.io_backend import DOM0_OWNER
+
+
+def fleet_pair():
+    sim = Simulator()
+    engine = PlacementEngine(sim, 2)
+    engine.place([VmRequest("batch-vm", vcpus=4, memory_bytes=4 * GB)])
+    source = engine.hypervisors["cloud-1"]
+    dest = engine.hypervisors["cloud-2"]
+    domain = source.create_domain(
+        "batch-vm", vcpu_count=4, memory_bytes=4 * GB
+    )
+    context = VirtualizedContext(source, domain)
+    return sim, source, dest, domain, context
+
+
+def migrate(sim, source, dest, context, spec=None, horizon_s=400.0):
+    done = []
+    migration = LiveMigration(
+        sim,
+        source,
+        dest,
+        context.domain.name,
+        spec=spec or FleetSpec(),
+        rebind=context.rebind,
+        on_complete=done.append,
+    )
+    sim.run_until(1.0)
+    migration.start()
+    sim.run_until(horizon_s)
+    assert done, "migration did not complete within the horizon"
+    return done[0]
+
+
+class TestPreCopyModel:
+    def test_rounds_shrink_and_converge(self):
+        sim, source, dest, domain, context = fleet_pair()
+        context.set_memory(2 * GB)
+        report = migrate(sim, source, dest, context)
+        assert report.rounds >= 2
+        # Total traffic exceeds one memory pass (dirty pages re-ship)
+        # but converges well below the non-converging bound.
+        assert report.bytes_total > 2 * GB
+        assert report.bytes_total < 8 * GB
+        assert 0 < report.downtime_s < 1.0
+        assert report.ended_s > report.started_s
+
+    def test_dirty_rate_scales_with_working_set(self):
+        small = fleet_pair()
+        small[4].set_memory(512 * MB)
+        small_report = migrate(small[0], small[1], small[2], small[4])
+        large = fleet_pair()
+        large[4].set_memory(3 * GB)
+        large_report = migrate(large[0], large[1], large[2], large[4])
+        assert large_report.bytes_total > small_report.bytes_total
+        assert large_report.duration_s > small_report.duration_s
+
+    def test_migration_traffic_lands_on_both_dom0_nics(self):
+        sim, source, dest, domain, context = fleet_pair()
+        context.set_memory(GB)
+        report = migrate(sim, source, dest, context)
+        tx = source.server.nic.bytes_transmitted(DOM0_OWNER)
+        rx = dest.server.nic.bytes_received(DOM0_OWNER)
+        assert tx == pytest.approx(report.bytes_total)
+        assert rx == pytest.approx(report.bytes_total)
+        # Both dom0s burned CPU moving the image.
+        assert source.server.cpu.ledger.total(DOM0_OWNER) > 0
+        assert dest.server.cpu.ledger.total(DOM0_OWNER) > 0
+
+
+class TestSwitchOver:
+    def test_domain_moves_with_counters(self):
+        sim, source, dest, domain, context = fleet_pair()
+        context.set_memory(GB)
+        context.charge_cpu(7e9)
+        probe = ContextProbe("batch", context)
+        before = probe.snapshot()
+        migrate(sim, source, dest, context)
+        assert not source.has_domain("batch-vm")
+        assert dest.has_domain("batch-vm")
+        assert context.hypervisor is dest
+        after = probe.snapshot()
+        # Monotonic counters survive the move (the sampler would raise
+        # on a decrease).
+        after.delta(before).validate_monotonic()
+        assert after.cpu_cycles >= 7e9
+        assert dest.vm_memory_used(domain) == pytest.approx(GB)
+        assert source.server.memory.usage(domain.owner) == 0.0
+
+    def test_pause_cap_is_restored(self):
+        sim, source, dest, domain, context = fleet_pair()
+        domain.cap_cores = 1.5
+        context.set_memory(GB)
+        migrate(sim, source, dest, context)
+        assert domain.cap_cores == 1.5
+
+    def test_uncapped_domain_stays_uncapped(self):
+        sim, source, dest, domain, context = fleet_pair()
+        context.set_memory(GB)
+        migrate(sim, source, dest, context)
+        assert domain.cap_cores == 0.0
+        assert domain.cap_cores != PAUSE_CAP_CORES
+
+    def test_migration_events_emitted(self):
+        sim, source, dest, domain, context = fleet_pair()
+        context.set_memory(GB)
+        events = []
+        source.add_control_hook(events.append)
+        dest.add_control_hook(events.append)
+        migrate(sim, source, dest, context)
+        kinds = [event["kind"] for event in events]
+        assert "migrate_pre_copy" in kinds
+        assert "migrate_downtime" in kinds
+        assert "migrate_in" in kinds
+        # The pause/restore caps are ordinary control actions.
+        assert kinds.count("set_cap") == 2
+
+    def test_same_hypervisor_rejected(self):
+        sim, source, dest, domain, context = fleet_pair()
+        with pytest.raises(SimulationError):
+            LiveMigration(sim, source, source, "batch-vm")
+
+    def test_double_start_rejected(self):
+        sim, source, dest, domain, context = fleet_pair()
+        context.set_memory(GB)
+        migration = LiveMigration(sim, source, dest, "batch-vm")
+        sim.run_until(1.0)
+        migration.start()
+        with pytest.raises(SimulationError):
+            migration.start()

@@ -1,0 +1,139 @@
+"""Unit tests for the placement engine."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.placement.engine import PlacementEngine
+from repro.placement.spec import VmRequest
+from repro.sim.engine import Simulator
+from repro.units import GB
+
+
+def engine(servers=2, policy="firstfit"):
+    return PlacementEngine(Simulator(), servers, policy=policy)
+
+
+WEB_PAIR = [
+    VmRequest("web-vm", vcpus=2, memory_bytes=2 * GB, priority=1,
+              group="web", movable=False),
+    VmRequest("db-vm", vcpus=2, memory_bytes=2 * GB, priority=1,
+              group="web", movable=False),
+]
+
+
+class TestEngineConstruction:
+    def test_one_hypervisor_per_server(self):
+        built = engine(3)
+        assert len(built.cluster) == 3
+        assert set(built.hypervisors) == {"cloud-1", "cloud-2", "cloud-3"}
+        for name, hypervisor in built.hypervisors.items():
+            assert hypervisor.server.name == name
+            assert hypervisor.dom0.name == "Domain-0"
+
+    def test_shared_fabric(self):
+        built = engine(2)
+        first, second = built.cluster.servers()
+        assert built.cluster.fabric is not None
+        assert first.name != second.name
+
+    def test_dom0_memory_reserved_in_loads(self):
+        built = engine(1)
+        load = built.server_loads()[0]
+        assert load.reserved_memory_bytes == built.hypervisors[
+            "cloud-1"
+        ].dom0.memory_bytes
+
+    def test_invalid_server_count(self):
+        with pytest.raises(ConfigurationError):
+            engine(0)
+
+
+class TestPlacement:
+    def test_firstfit_colocates_until_full(self):
+        built = engine(2)
+        batch = VmRequest("batch-vm", vcpus=8, memory_bytes=4 * GB)
+        assignment = built.place(WEB_PAIR + [batch])
+        assert assignment == {
+            "web-vm": "cloud-1", "db-vm": "cloud-1", "batch-vm": "cloud-1",
+        }
+
+    def test_priority_separates_web_from_batch(self):
+        built = engine(2, policy="priority")
+        batch = VmRequest("batch-vm", vcpus=8, memory_bytes=4 * GB)
+        assignment = built.place(WEB_PAIR + [batch])
+        assert assignment["web-vm"] == assignment["db-vm"]
+        assert assignment["batch-vm"] != assignment["web-vm"]
+
+    def test_lookups_and_report(self):
+        built = engine(2)
+        built.place(WEB_PAIR)
+        assert built.server_of("web-vm") == "cloud-1"
+        assert built.hypervisor_for("web-vm") is built.hypervisors["cloud-1"]
+        assert built.placement_report() == {
+            "cloud-1": ["web-vm", "db-vm"], "cloud-2": [],
+        }
+
+    def test_failed_place_leaves_no_phantom_reservations(self):
+        from repro.placement.policies import PlacementError
+
+        built = engine(1)
+        before = built.server_loads()[0].reserved_memory_bytes
+        with pytest.raises(PlacementError):
+            built.place([
+                VmRequest("ok-vm", vcpus=2, memory_bytes=2 * GB),
+                VmRequest("huge-vm", vcpus=2, memory_bytes=64 * GB),
+            ])
+        load = built.server_loads()[0]
+        assert load.reserved_memory_bytes == before
+        assert load.committed_vcpus == 0
+        with pytest.raises(ConfigurationError):
+            built.server_of("ok-vm")
+        # The atomically-failed request can be placed again.
+        built.place([VmRequest("ok-vm", vcpus=2, memory_bytes=2 * GB)])
+        assert built.server_of("ok-vm") == "cloud-1"
+
+    def test_double_place_rejected(self):
+        built = engine(2)
+        built.place(WEB_PAIR)
+        with pytest.raises(ConfigurationError):
+            built.place([WEB_PAIR[0]])
+
+    def test_unplaced_vm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            engine().server_of("ghost")
+
+
+class TestMigrationBookkeeping:
+    def test_movable_vms_excludes_pinned(self):
+        built = engine(2)
+        built.place(WEB_PAIR + [VmRequest("batch-vm", vcpus=8,
+                                          memory_bytes=4 * GB)])
+        assert built.movable_vms_on("cloud-1") == ["batch-vm"]
+        assert built.movable_vms_on("cloud-2") == []
+
+    def test_choose_destination_prefers_least_loaded(self):
+        built = engine(3)
+        built.place(WEB_PAIR + [VmRequest("batch-vm", vcpus=8,
+                                          memory_bytes=4 * GB)])
+        # Pre-load cloud-2 (cloud-1 is vcpu-full) so cloud-3 is freer.
+        built.place([VmRequest("other-vm", vcpus=8, memory_bytes=20 * GB)])
+        assert built.server_of("other-vm") == "cloud-2"
+        assert built.choose_destination("batch-vm") == "cloud-3"
+
+    def test_choose_destination_none_when_fleet_full(self):
+        built = engine(1)
+        built.place([VmRequest("batch-vm", vcpus=8, memory_bytes=4 * GB)])
+        assert built.choose_destination("batch-vm") is None
+
+    def test_record_migration_moves_booking(self):
+        built = engine(2)
+        built.place(WEB_PAIR + [VmRequest("batch-vm", vcpus=8,
+                                          memory_bytes=4 * GB)])
+        before = {load.name: load.committed_vcpus
+                  for load in built.server_loads()}
+        built.record_migration("batch-vm", "cloud-2")
+        after = {load.name: load.committed_vcpus
+                 for load in built.server_loads()}
+        assert built.server_of("batch-vm") == "cloud-2"
+        assert after["cloud-1"] == before["cloud-1"] - 8
+        assert after["cloud-2"] == before["cloud-2"] + 8

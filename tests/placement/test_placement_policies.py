@@ -1,0 +1,158 @@
+"""Unit tests for the placement policies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.placement.policies import (
+    PlacementError,
+    ServerLoad,
+    choose_server,
+    plan_placement,
+)
+from repro.placement.spec import VmRequest
+from repro.units import GB
+
+
+def loads(n=3, cores=8, memory_gb=32):
+    return [
+        ServerLoad(
+            name=f"cloud-{i + 1}",
+            order=i,
+            cores=cores,
+            memory_bytes=memory_gb * GB,
+            reserved_memory_bytes=4 * GB,  # dom0
+        )
+        for i in range(n)
+    ]
+
+
+class TestFeasibility:
+    def test_memory_is_a_hard_constraint(self):
+        state = loads(1)
+        request = VmRequest("big", vcpus=1, memory_bytes=29 * GB)
+        with pytest.raises(PlacementError):
+            choose_server("firstfit", request, state)
+
+    def test_vcpus_overcommit_up_to_ratio(self):
+        state = loads(1)
+        assert state[0].fits(VmRequest("a", vcpus=16, memory_bytes=GB), 2.0)
+        assert not state[0].fits(
+            VmRequest("a", vcpus=17, memory_bytes=GB), 2.0
+        )
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            choose_server("roundrobin", VmRequest("a"), loads())
+
+
+class TestPolicies:
+    def test_firstfit_packs_in_server_order(self):
+        state = loads(3)
+        for expected in ("cloud-1", "cloud-1", "cloud-1"):
+            request = VmRequest(f"vm{expected}", vcpus=2, memory_bytes=GB)
+            chosen = choose_server("firstfit", request, state)
+            assert chosen.name == expected
+            chosen.commit(request)
+
+    def test_firstfit_spills_when_full(self):
+        state = loads(2)
+        first = VmRequest("a", vcpus=1, memory_bytes=26 * GB)
+        choose_server("firstfit", first, state).commit(first)
+        spill = VmRequest("b", vcpus=1, memory_bytes=8 * GB)
+        assert choose_server("firstfit", spill, state).name == "cloud-2"
+
+    def test_balance_spreads(self):
+        state = loads(3)
+        seen = []
+        for i in range(3):
+            request = VmRequest(f"vm{i}", vcpus=2, memory_bytes=GB)
+            chosen = choose_server("balance", request, state)
+            chosen.commit(request)
+            seen.append(chosen.name)
+        assert seen == ["cloud-1", "cloud-2", "cloud-3"]
+
+    def test_bestfit_prefers_the_tightest_server(self):
+        state = loads(3)
+        # Pre-load server 2 so it has the least slack but still fits.
+        preload = VmRequest("pre", vcpus=4, memory_bytes=16 * GB)
+        state[1].commit(preload)
+        request = VmRequest("vm", vcpus=2, memory_bytes=2 * GB)
+        assert choose_server("bestfit", request, state).name == "cloud-2"
+
+    def test_bestfit_ranks_post_placement_slack_on_heterogeneous_fleet(self):
+        # Big half-committed server vs. a small server the request
+        # nearly fills: current slack ranks the small server looser,
+        # but *after* placement the small server is the tightest fit.
+        big = ServerLoad(
+            name="big", order=0, cores=8, memory_bytes=32 * GB,
+            reserved_memory_bytes=16 * GB, committed_vcpus=8,
+        )
+        small = ServerLoad(
+            name="small", order=1, cores=2, memory_bytes=4 * GB,
+            reserved_memory_bytes=1.9 * GB, committed_vcpus=2,
+        )
+        assert small.slack(2.0) > big.slack(2.0)
+        request = VmRequest("vm", vcpus=2, memory_bytes=2 * GB)
+        assert choose_server("bestfit", request, [big, small]).name == "small"
+
+    def test_priority_separates_classes(self):
+        state = loads(2)
+        web = VmRequest("web", vcpus=4, memory_bytes=4 * GB, priority=1)
+        choose_server("priority", web, state).commit(web)
+        batch = VmRequest("batch", vcpus=8, memory_bytes=4 * GB)
+        chosen = choose_server("priority", batch, state)
+        # The batch VM avoids the server hosting priority demand.
+        assert chosen.name == "cloud-2"
+        chosen.commit(batch)
+        web2 = VmRequest("web2", vcpus=2, memory_bytes=2 * GB, priority=1)
+        # The next web VM lands on the least-committed server: cloud-1
+        # has 4 committed vcpus, cloud-2 has 8.
+        assert choose_server("priority", web2, state).name == "cloud-1"
+
+    def test_deterministic_tiebreak_is_server_order(self):
+        state = loads(3)
+        request = VmRequest("vm", vcpus=2, memory_bytes=GB)
+        for policy in ("firstfit", "bestfit", "balance", "priority"):
+            assert choose_server(policy, request, state).name == "cloud-1"
+
+
+class TestPlanPlacement:
+    def test_groups_are_placed_as_one_unit(self):
+        state = loads(2)
+        requests = [
+            VmRequest("web", vcpus=2, memory_bytes=2 * GB, group="web"),
+            VmRequest("db", vcpus=2, memory_bytes=2 * GB, group="web"),
+            VmRequest("batch", vcpus=8, memory_bytes=4 * GB),
+        ]
+        assignment = plan_placement("balance", requests, state)
+        assert assignment["web"] == assignment["db"]
+        # Balance puts the batch VM on the other server.
+        assert assignment["batch"] != assignment["web"]
+
+    def test_commitments_are_recorded(self):
+        state = loads(1)
+        plan_placement(
+            "firstfit",
+            [VmRequest("vm", vcpus=2, memory_bytes=2 * GB)],
+            state,
+        )
+        assert state[0].committed_vcpus == 2
+        assert state[0].reserved_memory_bytes == 4 * GB + 2 * GB
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_placement(
+                "firstfit",
+                [VmRequest("vm"), VmRequest("vm")],
+                loads(),
+            )
+
+    def test_release_undoes_commit(self):
+        state = loads(1)[0]
+        request = VmRequest("vm", vcpus=2, memory_bytes=GB, priority=1)
+        base_mem = state.reserved_memory_bytes
+        state.commit(request)
+        state.release(request)
+        assert state.committed_vcpus == 0
+        assert state.priority_vcpus == 0
+        assert state.reserved_memory_bytes == base_mem

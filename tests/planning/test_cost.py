@@ -1,0 +1,75 @@
+"""Unit tests for capacity-bill pricing and $-vs-SLA scoring."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.planning.cost import CostModel, score_cost_sla
+
+
+BILLING = {
+    "kind": "billing",
+    "domains": {
+        "web-vm": {"capacity_core_s": 3600.0, "memory_gb_s": 7200.0},
+        "batch-vm": {"capacity_core_s": 7200.0, "memory_gb_s": 14400.0},
+    },
+}
+
+
+class TestCostModel:
+    def test_domain_cost(self):
+        model = CostModel(usd_per_core_hour=0.04, usd_per_gb_hour=0.005)
+        cost = model.domain_cost_usd(BILLING["domains"]["web-vm"])
+        assert cost == pytest.approx(1 * 0.04 + 2 * 0.005)
+
+    def test_run_cost_accepts_envelope_and_raw_forms(self):
+        model = CostModel()
+        from_envelope = model.run_cost_usd(BILLING)
+        from_raw = model.run_cost_usd(BILLING["domains"])
+        assert from_envelope == from_raw
+        assert from_envelope["total"] == pytest.approx(
+            from_envelope["web-vm"] + from_envelope["batch-vm"]
+        )
+
+    def test_negative_prices_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(usd_per_core_hour=-1.0)
+
+
+class TestScoreCostSla:
+    def test_compliant_run(self):
+        score = score_cost_sla(
+            BILLING, p95_ms=40.0, slo_ms=50.0, requests_completed=10_000
+        )
+        assert score.sla_met
+        assert score.slo_margin_ms == pytest.approx(10.0)
+        assert score.cost_usd > 0
+        assert score.usd_per_kilorequest == pytest.approx(
+            score.cost_usd / 10.0
+        )
+
+    def test_violating_run(self):
+        score = score_cost_sla(BILLING, p95_ms=80.0, slo_ms=50.0)
+        assert not score.sla_met
+        assert score.usd_per_kilorequest == float("inf")
+
+    def test_bad_slo_rejected(self):
+        with pytest.raises(ConfigurationError):
+            score_cost_sla(BILLING, p95_ms=10.0, slo_ms=0.0)
+
+    def test_scores_a_real_fleet_run(self):
+        from repro.experiments.runner import run_scenario
+        from repro.experiments.scenarios import (
+            migration_rebalance_scenario,
+        )
+
+        result = run_scenario(
+            migration_rebalance_scenario(duration_s=40.0, clients=150)
+        )
+        score = score_cost_sla(
+            result.control_reports["billing"],
+            p95_ms=result.p95_response_time_s * 1000.0,
+            slo_ms=500.0,
+            requests_completed=result.requests_completed,
+        )
+        assert score.cost_usd > 0
+        assert score.usd_per_kilorequest > 0

@@ -83,6 +83,30 @@ class TestExperimentConfig:
         assert spec.duration_s == 60.0
         assert spec.mix.clients == 200
 
+    def test_servers_and_placement_round_trip(self):
+        config = ExperimentConfig(
+            duration_s=40.0, servers=2, placement="priority",
+        )
+        clone = ExperimentConfig.from_json(config.to_json())
+        assert clone == config
+        spec = config.to_scenario()
+        assert spec.servers == 2
+        assert spec.placement == "priority"
+        assert spec.name.endswith("/s2")
+
+    def test_single_server_keeps_plain_name(self):
+        spec = ExperimentConfig(duration_s=40.0).to_scenario()
+        assert spec.servers == 1
+        assert "/s" not in spec.name
+
+    def test_multi_server_requires_virtualized(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(environment="bare-metal", servers=2)
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(placement="tetris")
+
     def test_unknown_traffic_token_rejected(self):
         with pytest.raises(ConfigurationError):
             ExperimentConfig(traffic="chaos")
@@ -181,6 +205,25 @@ class TestCli:
         assert code == 0
         assert "virtualized/browsing" in captured.out
         assert "consolidated_web_batch" in captured.out
+        assert "migration_rebalance" in captured.out
+        assert "fleet_consolidation" in captured.out
+
+    def test_run_multi_server_prints_bill_and_placement(self, capsys):
+        code = main([
+            "run", "--servers", "2", "--placement", "balance",
+            "--duration", "20", "--clients", "80", "--no-report",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "2 servers (balance placement)" in captured.err
+        assert "capacity bill:" in captured.out
+
+    def test_run_scenario_rejects_servers_flag(self):
+        with pytest.raises(ConfigurationError, match="--servers"):
+            main([
+                "run", "--scenario", "migration_rebalance",
+                "--servers", "3", "--duration", "10",
+            ])
 
     def test_run_unknown_scenario_names_the_list_flag(self):
         from repro.errors import ConfigurationError
