@@ -65,7 +65,8 @@ class QueueingStation:
     """FCFS station with ``workers`` parallel servers."""
 
     __slots__ = ("sim", "name", "workers", "on_start", "on_finish",
-                 "_queue", "_busy", "stats", "_window_peak")
+                 "_queue", "_busy", "stats", "_window_peak",
+                 "_in_flight", "_next_token")
 
     def __init__(
         self,
@@ -86,6 +87,11 @@ class QueueingStation:
         self._busy = 0
         self.stats = StationStats()
         self._window_peak = 0
+        # In-service jobs by token: [job, done_fn, event, finish_time].
+        # Tracked so a capacity change (the stop-and-copy pause of a
+        # live migration) can re-scale remaining service mid-flight.
+        self._in_flight: dict = {}
+        self._next_token = 0
 
     @property
     def backlog(self) -> int:
@@ -127,7 +133,13 @@ class QueueingStation:
                     f"negative service duration on station {self.name!r}"
                 )
             stats.total_service_s += duration
-            self.sim.schedule(duration, self._complete, job, done_fn)
+            sim = self.sim
+            token = self._next_token = self._next_token + 1
+            self._in_flight[token] = [
+                job, done_fn,
+                sim.schedule(duration, self._complete, token),
+                sim.now + duration,
+            ]
             return
         queue.append((job, service_fn, done_fn, self.sim.now))
         backlog = len(queue)
@@ -174,9 +186,50 @@ class QueueingStation:
                     f"negative service duration on station {self.name!r}"
                 )
             stats.total_service_s += duration
-            sim.schedule(duration, self._complete, job, done_fn)
+            token = self._next_token = self._next_token + 1
+            self._in_flight[token] = [
+                job, done_fn,
+                sim.schedule(duration, self._complete, token),
+                sim.now + duration,
+            ]
 
-    def _complete(self, job: Any, done_fn: DoneFn) -> None:
+    def rescale_in_flight(self, factor: float) -> int:
+        """Multiply the *remaining* service of every in-flight job.
+
+        The capacity-change hook for the engine's sample-speed-once
+        approximation: when a domain's effective speed changes suddenly
+        (the stop-and-copy pause of a live migration entering or
+        lifting), the remaining portion of each in-service job is
+        stretched (``factor > 1``) or shrunk (``< 1``) by rescheduling
+        its completion; queued jobs are untouched (they sample the new
+        speed at dispatch).  ``total_service_s`` follows the adjusted
+        durations.  Returns the number of jobs re-scaled.
+        """
+        if factor <= 0:
+            raise ConfigurationError(
+                f"rescale factor must be positive on {self.name!r}"
+            )
+        if factor == 1.0 or not self._in_flight:
+            return 0
+        sim = self.sim
+        now = sim.now
+        stats = self.stats
+        rescaled = 0
+        for token, entry in self._in_flight.items():
+            remaining = entry[3] - now
+            if remaining <= 0.0:
+                # Completing at this very timestamp: let it land.
+                continue
+            sim.cancel(entry[2])
+            stretched = remaining * factor
+            entry[2] = sim.schedule(stretched, self._complete, token)
+            entry[3] = now + stretched
+            stats.total_service_s += stretched - remaining
+            rescaled += 1
+        return rescaled
+
+    def _complete(self, token: int) -> None:
+        job, done_fn = self._in_flight.pop(token)[:2]
         self._busy -= 1
         self.stats.completions += 1
         if self.on_finish is not None:

@@ -90,6 +90,27 @@ class ExecutionContext:
     def worker_finished(self) -> None:
         """A station worker finished serving inside this context."""
 
+    # -- station registry ----------------------------------------------------------
+    def register_station(self, station) -> None:
+        """Register a queueing station executing inside this context.
+
+        The tiers register their stations so capacity-change actuators
+        (the live-migration pause) can reach every in-flight job via
+        :meth:`rescale_in_flight`.
+        """
+        stations = getattr(self, "stations", None)
+        if stations is None:
+            stations = []
+            self.stations = stations
+        stations.append(station)
+
+    def rescale_in_flight(self, factor: float) -> int:
+        """Re-scale remaining service of in-flight jobs on all stations."""
+        rescaled = 0
+        for station in getattr(self, "stations", ()):
+            rescaled += station.rescale_in_flight(factor)
+        return rescaled
+
     # -- lifecycle -----------------------------------------------------------------
     def shutdown(self) -> None:
         """Disarm periodic processes owned by this context (if any)."""
@@ -172,9 +193,10 @@ class VirtualizedContext(ExecutionContext):
         attached to the destination hypervisor, and every subsequent
         CPU charge, I/O and memory update from the tier must land on
         the destination server's scheduler, backends and ledgers.
-        In-flight services complete against the source (their events
-        were scheduled before the switch) — matching the real semantics
-        of work that finished before the final stop-and-copy.
+        In-flight services keep the *accounting* they opened against
+        the source (their charges landed when service started); their
+        remaining durations are handled separately by the migration's
+        ``rescale`` hook through :meth:`rescale_in_flight`.
         """
         self._bind(hypervisor)
 

@@ -23,11 +23,14 @@ collects the full 518-metric registry into per-metric arrays
 (exportable with ``--export-columnar``), ``--list`` prints the named
 scenario catalogue and ``--scenario`` runs a catalogue entry (including
 the consolidated multi-tenant runs and the autoscaled elasticity
-experiments), and ``--controller`` attaches an elastic-control policy
-that resizes the web VMs mid-run.  ``sweep`` executes a whole
-scenario grid across worker processes with deterministic per-run
-seeds; ``--controllers`` grids over scaling policies and ``--table``
-prints the aggregate ratio table over the merged results.  ``compare`` reproduces the paper's Section 4.1/4.2 comparison
+experiments), ``--controller`` attaches an elastic-control policy
+that resizes the web VMs mid-run, and ``--faults`` injects a
+deterministic fault schedule (server crash, degraded NIC/disk,
+cap theft, dom0 saturation, traffic anomalies).  ``sweep`` executes a
+whole scenario grid across worker processes with deterministic
+per-run seeds; ``--controllers`` grids over scaling policies,
+``--faults`` grids over fault schedules and ``--table`` prints the
+aggregate ratio table over the merged results.  ``compare`` reproduces the paper's Section 4.1/4.2 comparison
 (the four ratio tables plus the Q1-Q5 findings); ``table1`` prints the
 metric catalogue sample.
 """
@@ -132,6 +135,14 @@ def _build_parser() -> argparse.ArgumentParser:
              "(default: firstfit; only meaningful with --servers > 1)",
     )
     run_parser.add_argument(
+        "--faults", default=None, metavar="SCHEDULE",
+        help="inject faults mid-run: '+'-joined "
+             "kind@at[:duration[:magnitude]][/target] entries, e.g. "
+             "crash@60 or cap_theft@40:30:0.1/web-vm "
+             "(kinds: crash, degrade_disk, degrade_nic, cap_theft, "
+             "dom0_saturate, bot_flood, flash_crowd)",
+    )
+    run_parser.add_argument(
         "--columnar", action="store_true",
         help="collect the full 518-metric registry as per-metric arrays",
     )
@@ -202,6 +213,13 @@ def _build_parser() -> argparse.ArgumentParser:
              "(default: firstfit)",
     )
     sweep_parser.add_argument(
+        "--faults", default="none",
+        help="comma-separated fault-schedule axis; each entry is a "
+             "'+'-joined kind@at[:duration[:magnitude]][/target] "
+             "schedule or 'none' for the fault-free cell "
+             "(default: none)",
+    )
+    sweep_parser.add_argument(
         "--figures", default=None, metavar="DIR",
         help="render the aggregate ratio table as figures into DIR "
              "(matplotlib PNGs, or text panels when matplotlib is "
@@ -256,6 +274,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "--session-budget": args.session_budget is not None,
             "--servers": args.servers != 1,
             "--placement": args.placement is not None,
+            "--faults": args.faults is not None,
         }
         rejected = [flag for flag, given in conflicting.items() if given]
         if rejected:
@@ -309,6 +328,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             ),
             servers=args.servers,
             placement=args.placement,
+            faults=args.faults,
             collect_full_registry=args.columnar,
         )
         spec = config.to_scenario()
@@ -337,6 +357,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     if spec.fleet is not None:
         driver_label += " + fleet controller"
+    if spec.faulted:
+        driver_label += f" + faults {spec.faults.as_cli_string()}"
     print(
         f"running {spec.name}: {driver_label}, "
         f"{spec.duration_s:.0f}s simulated",
@@ -372,6 +394,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 )
                 print(f"capacity bill: {bill}")
                 continue
+            if report.get("kind") == "faults":
+                plan = "; ".join(
+                    f"{entry['fault']}@{entry['inject_at_s']:g}"
+                    + (
+                        f"-{entry['clear_at_s']:g}"
+                        if entry["clear_at_s"] is not None
+                        else ""
+                    )
+                    + (f"/{entry['target']}" if entry["target"] else "")
+                    for entry in report["schedule"]
+                )
+                print(
+                    f"{entity} [faults]: {report['injected']} injected, "
+                    f"{report['cleared']} cleared ({plan})"
+                )
+                continue
             by_kind = ", ".join(
                 f"{kind} x{count}"
                 for kind, count in sorted(
@@ -389,6 +427,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     f"{entity} [fleet]: {report['num_actions']} "
                     f"migration(s) ({by_kind}); {moves}"
                 )
+                if report.get("failed_servers"):
+                    evacs = "; ".join(
+                        f"{m['domain']}: {m['source']}->{m['dest']} "
+                        f"({m['downtime_s'] * 1000:.0f} ms down)"
+                        for m in report["evacuations"]
+                    ) or "none completed"
+                    print(
+                        f"{entity} [fleet]: failed "
+                        f"{', '.join(report['failed_servers'])}; "
+                        f"forced evacuations: {evacs}"
+                    )
                 continue
             final = "; ".join(
                 f"{domain}: {caps['cap_cores']:g} cores, "
@@ -462,6 +511,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "--controllers": args.controllers != "none",
             "--servers": args.servers != "1",
             "--placement": args.placement is not None,
+            "--faults": args.faults != "none",
         }
         rejected = [flag for flag, given in overridden.items() if given]
         if rejected:
@@ -507,6 +557,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             ],
             servers=[int(token) for token in _split_axis(args.servers)],
             placement=args.placement,
+            faults=[
+                None if token == "none" else token
+                for token in _split_axis(args.faults)
+            ],
             duration_s=args.duration,
             seed=args.seed,
             clients=args.clients,

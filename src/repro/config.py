@@ -14,6 +14,7 @@ from typing import Optional, Tuple
 
 from repro.control.spec import CONTROLLER_KINDS, ControllerSpec
 from repro.errors import ConfigurationError
+from repro.faults.spec import FaultSchedule
 from repro.experiments.scenarios import (
     ENVIRONMENTS,
     VIRTUALIZED,
@@ -61,6 +62,11 @@ class ExperimentConfig:
     #: Placement policy token (``firstfit``/``bestfit``/``balance``/
     #: ``priority``); None keeps the scenario default (first-fit).
     placement: Optional[str] = None
+    #: Fault-schedule token: ``"+"``-joined
+    #: ``kind@at[:duration[:magnitude]][/target]`` entries (the CLI
+    #: ``--faults`` syntax, see :mod:`repro.faults.spec`); None or
+    #: ``"none"`` runs fault-free.
+    faults: Optional[str] = None
     collect_full_registry: bool = False
     metadata: dict = field(default_factory=dict)
 
@@ -114,6 +120,14 @@ class ExperimentConfig:
             )
         if self.placement is not None:
             validate_placement_policy(self.placement)
+        # Parse the fault token eagerly so bad schedules fail at
+        # construction, and reject faults outside the virtualized
+        # environment (injectors actuate hypervisor state).
+        if self.fault_schedule() is not None:
+            if self.environment != VIRTUALIZED:
+                raise ConfigurationError(
+                    "fault injection requires the virtualized environment"
+                )
         # Validate the traffic token eagerly so bad configs fail at
         # construction, not at run time.
         if self.traffic_spec() is None:
@@ -130,6 +144,12 @@ class ExperimentConfig:
                 )
 
     # -- scenario construction ------------------------------------------
+
+    def fault_schedule(self):
+        """The parsed :class:`~repro.faults.spec.FaultSchedule`, or None."""
+        if self.faults is None or self.faults == "none":
+            return None
+        return FaultSchedule.from_cli_string(self.faults)
 
     def traffic_spec(self) -> Optional[TrafficSpec]:
         """The parsed traffic spec, or None for the closed loop."""
@@ -184,6 +204,13 @@ class ExperimentConfig:
             )
         elif self.placement is not None:
             spec = replace(spec, placement=self.placement)
+        schedule = self.fault_schedule()
+        if schedule is not None:
+            spec = replace(
+                spec,
+                name=f"{spec.name}!{schedule.as_cli_string()}",
+                faults=schedule,
+            )
         return spec
 
     @property
@@ -216,6 +243,7 @@ class ExperimentConfig:
             "controller",
             "servers",
             "placement",
+            "faults",
             "collect_full_registry",
             "metadata",
         }

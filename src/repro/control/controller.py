@@ -154,7 +154,11 @@ class ElasticController(PeriodicController):
 
     def _on_action(self, event: dict) -> None:
         # The hypervisor broadcasts to every registered hook; keep only
-        # the actions on domains this controller owns.
+        # the actions on domains this controller owns.  Fault markers
+        # carry extra payload keys that don't fit the ControlAction
+        # shape — and a fault is not an actuation by this controller.
+        if event["kind"].startswith("fault."):
+            return
         if event["domain"] in self.spec.domains:
             self.log.record(event)
             self._actions_in_tick += 1

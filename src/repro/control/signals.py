@@ -14,7 +14,7 @@ tap (the ``static`` baseline controller does) never perturbs a run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -78,6 +78,7 @@ class SignalTap:
         domain_names: Sequence[str],
         driver=None,
         window_s: float = 2.0,
+        resolve: Optional[Callable[[str], object]] = None,
     ) -> None:
         self.sim = sim
         self.stats = stats
@@ -85,6 +86,11 @@ class SignalTap:
         self.domain_names = tuple(domain_names)
         self.driver = driver
         self.window_s = float(window_s)
+        #: Optional name → hypervisor lookup for fleets where a watched
+        #: domain can move between servers mid-run (a forced
+        #: evacuation); None pins every lookup to ``hypervisor``, the
+        #: pre-fleet behaviour.
+        self.resolve = resolve
         # Window response times arrive through a live sink rather than
         # a cursor into ``stats.response_times_s``: that reservoir is
         # capped (MAX_SAMPLES), and a cursor-based window would freeze
@@ -122,8 +128,11 @@ class SignalTap:
             in_flight = driver.active_session_count()
             budget = driver.session_budget
         domains: Dict[str, DomainSignals] = {}
-        hypervisor = self.hypervisor
+        resolve = self.resolve
         for name in self.domain_names:
+            hypervisor = (
+                resolve(name) if resolve is not None else self.hypervisor
+            )
             domain = hypervisor.domain(name)
             ready = hypervisor.cpu_ready_seconds(name)
             domains[name] = DomainSignals(

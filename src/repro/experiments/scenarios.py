@@ -25,6 +25,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.control.spec import ControllerSpec
 from repro.errors import ConfigurationError
+from repro.faults.spec import FLASH_CROWD, CRASH, CAP_THEFT, FaultSchedule, FaultSpec
 from repro.placement.spec import (
     FIRST_FIT,
     FleetSpec,
@@ -103,6 +104,11 @@ class Scenario:
     #: Fleet controller spec: watches per-server signals and triggers
     #: rebalancing live migrations mid-run (requires ``servers >= 2``).
     fleet: Optional[FleetSpec] = None
+    #: Deterministic fault schedule (:class:`~repro.faults.spec.
+    #: FaultSchedule`): injected mid-run by a ``FaultController``
+    #: riding the event loop.  None (the default) adds *nothing* to the
+    #: run — fault-free scenarios keep bit-identical traces.
+    faults: Optional[FaultSchedule] = None
 
     def __post_init__(self) -> None:
         if self.environment not in ENVIRONMENTS:
@@ -148,6 +154,19 @@ class Scenario:
                 "a fleet controller needs at least two servers to "
                 "migrate between"
             )
+        if self.faults is not None:
+            if self.environment != VIRTUALIZED:
+                raise ConfigurationError(
+                    "fault injection requires the virtualized environment "
+                    "(injectors actuate hypervisor and fleet state)"
+                )
+            if any(f.kind == FLASH_CROWD for f in self.faults) and not (
+                self.traffic is not None and self.traffic.open_loop
+            ):
+                raise ConfigurationError(
+                    "a flash_crowd fault composes into an open-loop "
+                    "traffic envelope; this scenario is closed-loop"
+                )
 
     @property
     def controlled(self) -> bool:
@@ -204,7 +223,13 @@ class Scenario:
             self.servers,
             self.placement,
             self.fleet,
+            self.faults,
         )
+
+    @property
+    def faulted(self) -> bool:
+        """True when a fault schedule is injected into this scenario."""
+        return self.faults is not None
 
 
 def _burst_schedules(
@@ -661,6 +686,116 @@ def migration_rebalance_scenario(
     )
 
 
+def detect_and_evacuate_scenario(
+    duration_s: float = None,
+    seed: int = 42,
+    clients: int = None,
+    crash_at_s: float = 60.0,
+    fleet: bool = True,
+) -> Scenario:
+    """The canonical recovery drill: a server crash, detected and healed.
+
+    Two servers, first-fit placement: the web pair *and* the batch
+    tenant pack onto server 1, server 2 idles as the survivor.  At
+    ``crash_at_s`` the fault scheduler collapses server 1's credit
+    scheduler to a few percent of its cores (the crash model: the NIC
+    stays up, so evacuation is possible — but every domain starves and
+    CPU-ready time floods).  The fleet controller's failure detector
+    (``fail_ready_s``) declares the server failed after two saturated
+    windows and force-evacuates every guest — pinned web tiers
+    included — to the survivor, serially over the migration wire.  Web
+    p95 collapses at the crash and returns below the SLO once the web
+    pair lands on server 2; :func:`repro.faults.scoring.score_run`
+    reads detection/recovery times straight off the fleet's p95 series.
+
+    ``fleet=False`` is the watch-only baseline: same crash, same seed,
+    a passive fleet controller — the service never recovers, which is
+    what gives the recovered run's billing delta its denominator.
+    The voluntary-rebalance thresholds are set unreachably high and
+    ``max_migrations=1``: the three forced evacuations exceeding that
+    budget demonstrate that forced migrations are accounted outside it.
+    """
+    base = consolidated_scenario(
+        "browsing",
+        duration_s=duration_s,
+        seed=seed,
+        clients=clients,
+        name="detect_and_evacuate" if fleet else "detect_and_evacuate_watch",
+    )
+    spec = FleetSpec(
+        active=fleet,
+        p95_high_ms=10_000.0,
+        ready_high_s=1_000.0,
+        hot_windows=2,
+        cooldown_s=30.0,
+        max_migrations=1,
+        # Only a genuinely starved scheduler floods this much ready
+        # time per window.  The survivor's post-evacuation drain
+        # transient is structurally bounded near (guest vcpus + dom0
+        # - cores) * window ≈ 4 core-s, so 6 keeps the healthy server
+        # from being declared dead while it digests the backlog.
+        fail_ready_s=6.0,
+        fail_windows=2,
+        # Evacuations run the wire at full line rate (1 Gbps) — a
+        # recovery is not polite about guest bandwidth the way a
+        # voluntary rebalance is.
+        migration_bandwidth_bps=125e6,
+    )
+    # A 1 % residual: the scheduler is dark for real — demand exceeds
+    # the remnant immediately, so ready time floods within a window or
+    # two and throughput collapses until the evacuation lands.
+    faults = FaultSchedule(
+        (FaultSpec(kind=CRASH, at_s=crash_at_s, magnitude=0.01),)
+    )
+    return replace(
+        base,
+        servers=2,
+        placement="firstfit",
+        fleet=spec,
+        faults=faults,
+    )
+
+
+def noisy_neighbor_theft_scenario(
+    duration_s: float = None,
+    seed: int = 42,
+    clients: int = None,
+    controller: str = "threshold",
+    theft_at_s: float = 40.0,
+) -> Scenario:
+    """Cap theft on a consolidated server, healed by the elastic loop.
+
+    The autoscaled consolidation run with a ``cap_theft`` fault: at
+    ``theft_at_s`` a noisy neighbor steals the web VM's credit-
+    scheduler cap down to 0.25 cores (permanently — the thief never
+    gives it back).  An active controller re-actuates its level-mapped
+    cap on the next decision tick, so the theft shows up as a one-to-
+    two-window p95 spike; the ``static`` baseline never re-actuates,
+    so the stolen cap — and the SLO violation — persist to the horizon.
+    """
+    base = autoscaled_consolidated_scenario(
+        duration_s=duration_s, seed=seed, clients=clients,
+        controller=controller,
+    )
+    # Steal down to 0.1 cores — *below* the controllers' 0.25-core
+    # floor, so the static baseline (which never re-actuates) is left
+    # genuinely under-provisioned, not just reset to its own minimum.
+    faults = FaultSchedule(
+        (
+            FaultSpec(
+                kind=CAP_THEFT,
+                at_s=theft_at_s,
+                target="web-vm",
+                magnitude=0.1,
+            ),
+        )
+    )
+    name = "noisy_neighbor_theft"
+    if controller == "static":
+        name += "_static"
+    return replace(base, name=name, faults=faults)
+
+
 def flash_crowd_window(spec: Scenario) -> Tuple[float, float]:
     """The surge interval of a flash-crowd scenario, ``(start, end)``.
 
@@ -748,4 +883,15 @@ def scenario_catalog(
             fleet=with_fleet,
         )
         out[rebalance.name] = rebalance
+        drill = detect_and_evacuate_scenario(
+            duration_s=duration_s, seed=seed, clients=clients,
+            fleet=with_fleet,
+        )
+        out[drill.name] = drill
+    for kind in ("threshold", "static"):
+        theft = noisy_neighbor_theft_scenario(
+            duration_s=duration_s, seed=seed, clients=clients,
+            controller=kind,
+        )
+        out[theft.name] = theft
     return out

@@ -162,6 +162,7 @@ def suite_grid(
     controllers: Sequence[Optional[str]] = (None,),
     servers: Sequence[int] = (1,),
     placement: Optional[str] = None,
+    faults: Sequence[Optional[str]] = (None,),
     duration_s: Optional[float] = None,
     seed: int = 42,
     clients: Optional[int] = None,
@@ -170,21 +171,23 @@ def suite_grid(
 
     The run id encodes every axis value, and the per-run seed derives
     from it (:func:`derive_run_seed`).  Invalid cells — tenants,
-    controllers or multi-server fleets on a bare-metal environment —
-    are skipped, so mixed grids stay declarative.  The ``controllers``
-    axis takes policy tokens
+    controllers, multi-server fleets or fault schedules on a bare-metal
+    environment — are skipped, so mixed grids stay declarative.  The
+    ``controllers`` axis takes policy tokens
     (``none``/``static``/``threshold``/``pid``/``predictive``), so one
     sweep can grid the same workload over scaling policies; the
     ``servers`` axis grids over fleet sizes (``placement`` selects the
-    policy multi-server cells place with).
+    policy multi-server cells place with); the ``faults`` axis grids
+    over fault-schedule tokens (``--faults`` syntax, ``none`` for the
+    fault-free cell).
     """
     runs: List[SuiteRun] = []
     for (
         environment, composition, traffic, scale, tenants, controller,
-        server_count,
+        server_count, fault_token,
     ) in itertools.product(
         environments, compositions, traffics, scales, tenant_mixes,
-        controllers, servers,
+        controllers, servers, faults,
     ):
         tenants = tuple(tenants)
         if tenants and environment != "virtualized":
@@ -195,6 +198,10 @@ def suite_grid(
             continue  # resizing is a hypervisor feature
         if server_count > 1 and environment != "virtualized":
             continue  # placement is a hypervisor-layer feature
+        if fault_token in ("none",):
+            fault_token = None
+        if fault_token is not None and environment != "virtualized":
+            continue  # injectors actuate hypervisor state
         parts = [environment, composition]
         if traffic not in (None, "closed"):
             parts.append(str(traffic))
@@ -202,18 +209,21 @@ def suite_grid(
             parts.append(f"x{scale:g}")
         if tenants:
             parts.append("+".join(t.name for t in tenants))
-        # The per-run seed is derived *before* the controller and
-        # fleet-size tokens are appended: cells that differ only in
-        # scaling policy or server count change the *infrastructure*,
-        # not the offered workload, and must run the same seed (and
-        # therefore the same arrival stream) — or the static-vs-policy
-        # and s2/s1 ratios in the aggregate table would compare across
-        # seed noise.
+        # The per-run seed is derived *before* the controller,
+        # fleet-size and fault tokens are appended: cells that differ
+        # only in scaling policy, server count or injected faults
+        # change the *infrastructure* (or what breaks it), not the
+        # offered workload, and must run the same seed (and therefore
+        # the same arrival stream) — or the static-vs-policy,
+        # s2/s1 and faulted-vs-clean ratios in the aggregate table
+        # would compare across seed noise.
         seed_id = "/".join(parts)
         if server_count > 1:
             parts.append(f"s{server_count}")
         if controller is not None:
             parts.append(f"ctl-{controller}")
+        if fault_token is not None:
+            parts.append(f"!{fault_token}")
         run_id = "/".join(parts)
         config = ExperimentConfig(
             environment=environment,
@@ -227,6 +237,7 @@ def suite_grid(
             controller=controller,
             servers=server_count,
             placement=placement if server_count > 1 else None,
+            faults=fault_token,
         )
         runs.append(SuiteRun(run_id=run_id, config=config))
     if not runs:

@@ -32,11 +32,15 @@ from typing import Dict, List, Optional
 from repro.apps.tier import VirtualizedContext
 from repro.control.controller import ElasticController
 from repro.errors import ConfigurationError
+from repro.faults.controller import FaultController, PlannedFault
+from repro.faults.injectors import build_injector
+from repro.faults.spec import CAP_THEFT, FLASH_CROWD, FaultSpec
 from repro.hardware.cluster import Cluster
 from repro.monitoring.probes import Dom0Probe, Probe
 from repro.placement.engine import PlacementEngine
 from repro.placement.fleet import FleetController
 from repro.placement.spec import VmRequest
+from repro.traffic.shapes import CompositeShape, FlashCrowdShape
 from repro.rubis.deployment import (
     DEFAULT_VM_MEMORY_BYTES,
     DEFAULT_VM_VCPUS,
@@ -58,6 +62,13 @@ from repro.experiments.calibration import (
 from repro.experiments.scenarios import BARE_METAL, VIRTUALIZED, Scenario
 
 _calibration_cache: Dict[str, CalibratedEnvironment] = {}
+
+#: Envelope geometry of a ``flash_crowd`` fault: the surge peaks one
+#: rise after the resolved injection time and decays with this time
+#: constant — absolute seconds (an *anomaly*, unlike the duration-
+#: relative scheduled flash-crowd scenarios).
+FLASH_FAULT_RISE_S = 10.0
+FLASH_FAULT_DECAY_S = 30.0
 
 
 def calibrated_environment(environment: str) -> CalibratedEnvironment:
@@ -242,6 +253,15 @@ class TestbedBuilder:
             raise ConfigurationError(
                 "multi-tenant testbeds require the virtualized environment"
             )
+        original = scenario
+        resolved_faults = ()
+        if scenario.faults is not None:
+            # Resolve the schedule once (seed-derived jitter) and fold
+            # any flash-crowd faults into the open-loop traffic
+            # envelope — the surge must exist before the arrival
+            # process is built, so it is declarative, not actuated.
+            resolved_faults = scenario.faults.resolve(scenario.seed)
+            scenario = self._compose_flash_crowds(scenario, resolved_faults)
         engine = None
         if scenario.multi_server:
             deployment, hypervisor, engine = self._build_fleet(scenario)
@@ -303,6 +323,21 @@ class TestbedBuilder:
                 for spec in scenario.tenants
                 if spec.controller is not None
             }
+            # Forced evacuation may move *any* guest — the web pair
+            # included — so the fleet controller gets a rebind for
+            # every domain, plus the in-flight rescale hook that makes
+            # the stop-and-copy pause physically stall service.
+            evacuable = {
+                "web-vm": deployment.web_context.rebind,
+                "db-vm": deployment.db_context.rebind,
+            }
+            rescalers = {
+                "web-vm": deployment.web_context.rescale_in_flight,
+                "db-vm": deployment.db_context.rescale_in_flight,
+            }
+            for name, context in tenant_contexts.items():
+                evacuable[name] = context.rebind
+                rescalers[name] = context.rescale_in_flight
             controllers.append(
                 FleetController(
                     self.sim,
@@ -315,11 +350,84 @@ class TestbedBuilder:
                         if name not in pinned
                     },
                     driver=web.population if web.open_loop else None,
+                    evacuable=evacuable,
+                    rescalers=rescalers,
+                )
+            )
+        if resolved_faults:
+            controllers.append(
+                self._build_fault_controller(
+                    resolved_faults, deployment, hypervisor, engine
                 )
             )
         return Testbed(
-            scenario, web, tenants, hypervisor, controllers, engine=engine
+            original, web, tenants, hypervisor, controllers, engine=engine
         )
+
+    def _compose_flash_crowds(self, scenario, resolved_faults):
+        """Fold flash-crowd faults into the open-loop rate envelope."""
+        crowds = [
+            fault
+            for fault in resolved_faults
+            if fault.spec.kind == FLASH_CROWD
+        ]
+        if not crowds:
+            return scenario
+        traffic = scenario.traffic  # open-loop, per Scenario validation
+        shapes = [traffic.shape] if traffic.shape is not None else []
+        for fault in crowds:
+            shapes.append(
+                FlashCrowdShape(
+                    peak_time_s=fault.inject_at_s + FLASH_FAULT_RISE_S,
+                    magnitude=fault.spec.effective_magnitude,
+                    rise_s=FLASH_FAULT_RISE_S,
+                    decay_s=FLASH_FAULT_DECAY_S,
+                )
+            )
+        shape = (
+            shapes[0] if len(shapes) == 1 else CompositeShape(tuple(shapes))
+        )
+        return replace(scenario, traffic=replace(traffic, shape=shape))
+
+    def _fault_hypervisor(
+        self,
+        spec: FaultSpec,
+        hypervisor: Optional[Hypervisor],
+        engine: Optional[PlacementEngine],
+    ) -> Hypervisor:
+        """Resolve which hypervisor a fault actuates.
+
+        Server-target kinds accept a server name (``cloud-2``), a VM
+        name (fault lands on its host) or nothing (the web server).
+        ``cap_theft`` targets the victim *domain*'s host.
+        """
+        if engine is None:
+            return hypervisor
+        if spec.server_target:
+            target = spec.target
+            if target and target in engine.hypervisors:
+                return engine.hypervisors[target]
+            return engine.hypervisor_for(target or "web-vm")
+        if spec.kind == CAP_THEFT:
+            return engine.hypervisor_for(spec.target or "web-vm")
+        return hypervisor
+
+    def _build_fault_controller(
+        self,
+        resolved_faults,
+        deployment,
+        hypervisor: Optional[Hypervisor],
+        engine: Optional[PlacementEngine],
+    ) -> FaultController:
+        """Plan every resolved fault against its target and injector."""
+        plan = []
+        for fault in resolved_faults:
+            target_hv = self._fault_hypervisor(fault.spec, hypervisor, engine)
+            injector = build_injector(
+                fault.spec, target_hv, deployment, self.streams.stream
+            )
+            plan.append(PlannedFault(fault, injector, target_hv))
+        return FaultController(self.sim, plan)
 
     def _build_controllers(
         self,

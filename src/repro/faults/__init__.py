@@ -1,0 +1,36 @@
+"""Deterministic fault injection for the virtualized testbed.
+
+The paper characterizes web workloads on *healthy* virtualized servers;
+this package supplies the unhealthy half: seed-deterministic fault
+schedules (server crash, degraded disk/NIC, noisy-neighbor cap theft,
+dom0 saturation, traffic anomalies) injected into a running testbed
+through the event loop, plus a recovery-scoring layer that grades how
+the elastic and fleet controllers respond.
+
+Layout mirrors :mod:`repro.control` / :mod:`repro.placement`:
+
+* :mod:`repro.faults.spec` — :class:`FaultSpec`/:class:`FaultSchedule`,
+  the frozen plain-data model with the ``--faults`` CLI token syntax
+  and sha256-seed-derived onset timing.
+* :mod:`repro.faults.injectors` — the per-kind inject/clear actuators
+  over the hypervisor, hardware backends and traffic layers.
+* :mod:`repro.faults.controller` — the priority-50 event-loop scheduler
+  that fires the plan, emits ``fault.inject``/``fault.clear`` events
+  and keeps the "faults" trace entity.
+* :mod:`repro.faults.scoring` — detection/recovery/SLO-violation
+  scoring plus $-cost deltas via :mod:`repro.planning.cost`.
+"""
+
+from repro.faults.spec import (  # noqa: F401
+    FAULT_KINDS,
+    FaultSchedule,
+    FaultSpec,
+    ResolvedFault,
+)
+from repro.faults.controller import FaultController  # noqa: F401
+from repro.faults.scoring import (  # noqa: F401
+    RecoveryScore,
+    billing_delta,
+    score_recovery,
+    score_run,
+)

@@ -1,0 +1,163 @@
+"""The fault scheduler: fires the plan, records the "faults" entity.
+
+A :class:`FaultController` is a
+:class:`~repro.control.controller.PeriodicController` like the elastic
+and fleet controllers, so the experiment layers need no new plumbing:
+the testbed appends it to ``testbed.controllers`` and its per-tick
+series merge into the run's trace set (entity ``"faults"``) and the
+columnar table, its :meth:`report` lands in
+``control_reports["faults"]``.
+
+Scheduling is pure event-loop: every fault's resolved inject/clear
+time becomes one absolute-time event at priority 50 — after the trace
+recorder (30), the elastic controllers (40) and the fleet controller
+(45) at the same timestamp, so a fault landing exactly on a sampling
+tick becomes visible in the *next* window, never half-way through one.
+Each transition is broadcast to the target hypervisor's control hooks
+as a ``fault.inject`` / ``fault.clear`` event (no dom0 charge — faults
+are environmental, not control actions).
+
+Determinism: the controller draws no randomness (bot-flood injectors
+own a dedicated named stream), and when a scenario carries no faults
+the controller is never constructed — the fault-free hot path is
+untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.control.controller import PeriodicController
+from repro.faults.injectors import Injector
+from repro.faults.spec import ResolvedFault
+from repro.units import SAMPLE_PERIOD_S
+
+#: Event-loop priority of fault transitions and the sampling tick.
+FAULT_PRIORITY = 50
+
+
+@dataclass
+class PlannedFault:
+    """One resolved fault bound to its actuator and event target."""
+
+    resolved: ResolvedFault
+    injector: Injector
+    #: Hypervisor whose control hooks receive the inject/clear events
+    #: (the target's).
+    hypervisor: object
+
+    @property
+    def spec(self):
+        return self.resolved.spec
+
+
+class FaultController(PeriodicController):
+    """Schedule a fault plan and trace its lifecycle."""
+
+    def __init__(
+        self,
+        sim,
+        plan: Sequence[PlannedFault],
+        entity: str = "faults",
+        interval_s: float = SAMPLE_PERIOD_S,
+    ) -> None:
+        super().__init__(sim, entity)
+        self.plan = list(plan)
+        self._interval_s = interval_s
+        self.active_faults = 0
+        self.injected = 0
+        self.cleared = 0
+        #: Plain-data lifecycle log (one entry per transition).
+        self.log: List[dict] = []
+        self._add_series("active", "faults")
+        self._add_series("injected", "count")
+        self._add_series("cleared", "count")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "FaultController":
+        """Schedule every planned transition and arm the sampler."""
+        for planned in self.plan:
+            self.sim.schedule_at(
+                planned.resolved.inject_at_s,
+                self._inject,
+                planned,
+                priority=FAULT_PRIORITY,
+            )
+        self._arm(self._interval_s, priority=FAULT_PRIORITY)
+        return self
+
+    # -- transitions -------------------------------------------------------
+
+    def _event(self, planned: PlannedFault, phase: str) -> dict:
+        spec = planned.spec
+        return {
+            "time_s": self.sim.now,
+            # Control-hook consumers filter on these two keys; a fault
+            # event must carry both (server faults have no domain).
+            "kind": f"fault.{phase}",
+            "domain": "" if spec.server_target else (spec.target or "web-vm"),
+            "fault": spec.kind,
+            "target": spec.target,
+            "magnitude": spec.effective_magnitude,
+        }
+
+    def _inject(self, planned: PlannedFault) -> None:
+        planned.injector.inject()
+        self.injected += 1
+        self.active_faults += 1
+        event = self._event(planned, "inject")
+        self.log.append(event)
+        planned.hypervisor.emit_event(event)
+        if planned.resolved.clear_at_s is not None:
+            self.sim.schedule_at(
+                planned.resolved.clear_at_s,
+                self._clear,
+                planned,
+                priority=FAULT_PRIORITY,
+            )
+
+    def _clear(self, planned: PlannedFault) -> None:
+        planned.injector.clear()
+        self.cleared += 1
+        self.active_faults -= 1
+        event = self._event(planned, "clear")
+        self.log.append(event)
+        planned.hypervisor.emit_event(event)
+
+    # -- sampling ----------------------------------------------------------
+
+    def _tick(self, tick_time: float) -> None:
+        series = self._series
+        series["active"].append(tick_time, float(self.active_faults))
+        series["injected"].append(tick_time, float(self.injected))
+        series["cleared"].append(tick_time, float(self.cleared))
+
+    # -- exports -----------------------------------------------------------
+
+    def report(self) -> dict:
+        """Plain-data summary of the schedule and what fired."""
+        return {
+            "kind": "faults",
+            "injected": self.injected,
+            "cleared": self.cleared,
+            "active": self.active_faults,
+            "schedule": [
+                {
+                    "fault": planned.spec.kind,
+                    "target": planned.spec.target,
+                    "magnitude": planned.spec.effective_magnitude,
+                    "inject_at_s": planned.resolved.inject_at_s,
+                    "clear_at_s": planned.resolved.clear_at_s,
+                }
+                for planned in self.plan
+            ],
+            "events": list(self.log),
+        }
+
+    def first_inject_at_s(self) -> Optional[float]:
+        """Onset of the earliest planned fault (scoring convenience)."""
+        if not self.plan:
+            return None
+        return min(p.resolved.inject_at_s for p in self.plan)

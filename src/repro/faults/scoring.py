@@ -1,0 +1,204 @@
+"""Recovery scoring: grade a run's response to an injected fault.
+
+The AIOps framing: a fault is only as bad as the time the service
+spends outside its SLO, and a recovery policy is only as good as the
+window it closes (and what the capacity bill says it cost).  This
+module turns a run's windowed p95 series plus the fault schedule into
+the three canonical numbers — detection time, recovery time and the
+total SLO-violation window — and prices run pairs (recovered vs.
+watch-only) through :mod:`repro.planning.cost`.
+
+Definitions (all relative to the resolved injection time):
+
+* *detected* — the first sampled window whose p95 breaches the SLO at
+  or after the injection (the fault became observable in the signal
+  every controller watches).
+* *recovered* — the start of the first post-detection window from
+  which p95 stays at or below the SLO for ``sustain_windows``
+  consecutive samples.  Later isolated breaches (e.g. a co-tenant's
+  periodic burst interference) are separate events: they add to the
+  violation window but do not revoke the recovery.
+* *SLO violation* — the summed width of all breached windows from the
+  injection to the horizon.
+
+Pure plain-data functions over (times, values) arrays, so they score
+exported traces as readily as live results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.planning.cost import CostModel
+
+
+@dataclass(frozen=True)
+class RecoveryScore:
+    """How one run weathered one fault."""
+
+    fault_time_s: float
+    slo_ms: float
+    #: First breached window at/after the fault (None: never observed).
+    detected_at_s: Optional[float]
+    #: Start of the sustained return below the SLO (None: no recovery).
+    recovered_at_s: Optional[float]
+    #: Total width of SLO-breached windows after the fault.
+    slo_violation_s: float
+
+    @property
+    def detection_s(self) -> Optional[float]:
+        """Fault onset to first observable breach."""
+        if self.detected_at_s is None:
+            return None
+        return self.detected_at_s - self.fault_time_s
+
+    @property
+    def recovery_s(self) -> Optional[float]:
+        """Fault onset to the sustained return below the SLO."""
+        if self.recovered_at_s is None:
+            return None
+        return self.recovered_at_s - self.fault_time_s
+
+    @property
+    def recovered(self) -> bool:
+        return self.recovered_at_s is not None
+
+    def to_dict(self) -> dict:
+        return {
+            "fault_time_s": self.fault_time_s,
+            "slo_ms": self.slo_ms,
+            "detected_at_s": self.detected_at_s,
+            "recovered_at_s": self.recovered_at_s,
+            "detection_s": self.detection_s,
+            "recovery_s": self.recovery_s,
+            "slo_violation_s": self.slo_violation_s,
+            "recovered": self.recovered,
+        }
+
+
+def score_recovery(
+    times,
+    values,
+    fault_time_s: float,
+    slo_ms: float,
+    sustain_windows: int = 3,
+) -> RecoveryScore:
+    """Score one p95 series against one fault onset.
+
+    ``times``/``values`` are the sampled window ends and their p95 in
+    milliseconds (any aligned pair of 1-D arrays works).
+    """
+    if slo_ms <= 0:
+        raise ConfigurationError("slo_ms must be positive")
+    if sustain_windows < 1:
+        raise ConfigurationError("sustain_windows must be >= 1")
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.shape != values.shape:
+        raise ConfigurationError("times and values must align")
+    after = times >= fault_time_s
+    times = times[after]
+    values = values[after]
+    if times.size == 0:
+        return RecoveryScore(fault_time_s, slo_ms, None, None, 0.0)
+    window_s = float(np.median(np.diff(times))) if times.size > 1 else 0.0
+    breached = values > slo_ms
+    violation_s = float(breached.sum()) * window_s
+    if not breached.any():
+        return RecoveryScore(fault_time_s, slo_ms, None, None, 0.0)
+    first_breach = int(np.argmax(breached))
+    detected_at = float(times[first_breach])
+    # Recovery: the first index at/after the breach from which the SLO
+    # holds for sustain_windows consecutive samples.
+    ok = (~breached).astype(float)
+    recovered_at: Optional[float] = None
+    if times.size >= sustain_windows:
+        sustained = (
+            np.convolve(ok, np.ones(sustain_windows), mode="valid")
+            >= sustain_windows - 0.5
+        )
+        candidates = np.flatnonzero(sustained[first_breach:])
+        if candidates.size:
+            recovered_at = float(times[first_breach + candidates[0]])
+    return RecoveryScore(
+        fault_time_s, slo_ms, detected_at, recovered_at, violation_s
+    )
+
+
+def score_run(
+    result,
+    slo_ms: float,
+    entity: str = "fleet",
+    resource: str = "p95_ms",
+    sustain_windows: int = 3,
+):
+    """Score every injected fault of one experiment result.
+
+    Reads the fault schedule from ``control_reports["faults"]`` and the
+    p95 series from the named trace entity (``fleet`` for multi-server
+    runs, ``control`` for elastic-controller runs).  Returns a list of
+    :class:`RecoveryScore`, one per injected fault, in onset order.
+    """
+    reports = result.control_reports or {}
+    faults = reports.get("faults")
+    if not faults:
+        raise ConfigurationError(
+            "result carries no faults report; was the scenario faulted?"
+        )
+    series = result.traces.get(entity, resource)
+    return [
+        score_recovery(
+            series.times,
+            series.values,
+            entry["inject_at_s"],
+            slo_ms,
+            sustain_windows=sustain_windows,
+        )
+        for entry in sorted(
+            faults["schedule"], key=lambda e: e["inject_at_s"]
+        )
+    ]
+
+
+def billing_delta(
+    recovered_result,
+    baseline_result,
+    cost_model: Optional[CostModel] = None,
+) -> dict:
+    """Price a recovered run against its watch-only baseline.
+
+    Reservation-based bills barely move under a fault (capacity stays
+    reserved whether or not it serves), so the decisive number is the
+    $-per-kilorequest delta: the watch-only run pays the same bill for
+    far fewer completed requests.
+    """
+    model = cost_model or CostModel()
+
+    def _one(result):
+        billing = (result.control_reports or {}).get("billing")
+        if billing is None:
+            raise ConfigurationError(
+                "result carries no billing report (virtualized runs only)"
+            )
+        total = model.run_cost_usd(billing)["total"]
+        completed = result.requests_completed
+        per_kilo = (
+            total / (completed / 1000.0) if completed > 0 else float("inf")
+        )
+        return total, completed, per_kilo
+
+    rec_usd, rec_done, rec_per_kilo = _one(recovered_result)
+    base_usd, base_done, base_per_kilo = _one(baseline_result)
+    return {
+        "recovered_usd": rec_usd,
+        "baseline_usd": base_usd,
+        "delta_usd": rec_usd - base_usd,
+        "recovered_requests": rec_done,
+        "baseline_requests": base_done,
+        "recovered_usd_per_kilorequest": rec_per_kilo,
+        "baseline_usd_per_kilorequest": base_per_kilo,
+    }

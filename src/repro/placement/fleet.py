@@ -16,6 +16,17 @@ scaffold (series dict, periodic lifecycle, trace/columnar exports)
 with the elastic controller, so fleet decisions ride the existing
 TraceSet merge, columnar export and ``control_reports`` paths
 unchanged.
+
+Failure detection (the fault-injection PR): when the spec arms
+``fail_ready_s``, the controller watches each server's windowed CPU
+ready time; ``fail_windows`` consecutive windows above the threshold
+declare the server *failed* (a crashed credit scheduler starves every
+domain at once, flooding ready time) and trigger a forced evacuation —
+every guest on the failed server is serially live-migrated to the
+least-loaded feasible survivor, pinned or not.  Forced migrations land
+in ``evacuations`` (with ``forced=True`` reports), never in
+``migrations``, so they do not consume the voluntary
+``max_migrations`` budget or its cooldown.
 """
 
 from __future__ import annotations
@@ -43,6 +54,8 @@ class FleetController(PeriodicController):
         watch_domains: Tuple[str, ...] = ("web-vm", "db-vm"),
         driver=None,
         entity: str = "fleet",
+        evacuable: Optional[Dict[str, Callable]] = None,
+        rescalers: Optional[Dict[str, Callable]] = None,
     ) -> None:
         super().__init__(sim, entity)
         self.spec = spec
@@ -51,6 +64,15 @@ class FleetController(PeriodicController):
         #: each with the callable that re-targets its execution
         #: context(s) at the destination hypervisor.
         self.movable = dict(movable or {})
+        #: ``{vm name: rebind fn}`` over *every* guest, pinned or not —
+        #: forced evacuation ignores the movable flag (a pinned web
+        #: tier still has to leave a dead server).  Falls back to
+        #: ``movable`` when not given.
+        self.evacuable = dict(evacuable) if evacuable else dict(self.movable)
+        #: ``{vm name: rescale fn}`` — in-flight service stretch hooks
+        #: (``ExecutionContext.rescale_in_flight``) handed to every
+        #: migration this controller starts.
+        self.rescalers = dict(rescalers or {})
         self.watch_domains = tuple(watch_domains)
         self._web_server = engine.server_of(self.watch_domains[0])
         self.tap = SignalTap(
@@ -60,11 +82,23 @@ class FleetController(PeriodicController):
             self.watch_domains,
             driver=driver,
             window_s=spec.interval_s,
+            # Watched domains can move during a forced evacuation;
+            # re-resolve their hypervisor at every sample.
+            resolve=engine.hypervisor_for,
         )
         self.log = ActionLog()
         for hypervisor in engine.hypervisors.values():
             hypervisor.add_control_hook(self._on_action)
         self.migrations: List[MigrationReport] = []
+        #: Forced (failure-driven) migrations — kept apart from the
+        #: voluntary list so the ``max_migrations`` budget never sees
+        #: them.
+        self.evacuations: List[MigrationReport] = []
+        self.failed_servers: List[str] = []
+        self._fail_streak: Dict[str, int] = {
+            name: 0 for name in engine.hypervisors
+        }
+        self._evac_queue: List[str] = []
         self._active: Optional[LiveMigration] = None
         self._hot_streak = 0
         self._last_migration_end = -float("inf")
@@ -76,14 +110,20 @@ class FleetController(PeriodicController):
         self._add_series("migration_active", "0/1")
         self._add_series("migrations_done", "count")
         self._add_series("migration_bytes", "bytes")
+        if spec.fail_ready_s > 0:
+            # Gated so fault-free fleets keep their pre-fault trace
+            # fingerprints bit-identical.
+            self._add_series("failed_servers", "count")
+            self._add_series("evacuations_done", "count")
         for name in engine.hypervisors:
             self._add_series(f"{name}.ready_s", "core-s/sample")
             self._add_series(f"{name}.guest_vcpus", "vcpus")
 
     def _on_action(self, event: dict) -> None:
         # Keep the fleet-relevant actions: migration phases anywhere,
-        # from any hypervisor in the fleet.
-        if event["kind"].startswith("migrate_"):
+        # from any hypervisor in the fleet, plus failure declarations.
+        kind = event["kind"]
+        if kind.startswith("migrate_") or kind == "server_failed":
             self.log.record(event)
 
     # -- lifecycle ---------------------------------------------------------
@@ -107,6 +147,10 @@ class FleetController(PeriodicController):
         spec = self.spec
         signals = self.tap.sample()
         ready_deltas = self._server_ready_deltas()
+        if spec.active and spec.fail_ready_s > 0:
+            self._detect_failures(ready_deltas, tick_time)
+            if self._evac_queue and self._active is None:
+                self._start_next_evacuation()
         web_ready = sum(
             signals.domains[name].ready_delta_s
             for name in self.watch_domains
@@ -120,6 +164,7 @@ class FleetController(PeriodicController):
             spec.active
             and self._hot_streak >= spec.hot_windows
             and self._active is None
+            and not self._evac_queue
             and len(self.migrations) < spec.max_migrations
             and tick_time - self._last_migration_end >= spec.cooldown_s
         ):
@@ -137,6 +182,7 @@ class FleetController(PeriodicController):
             tick_time,
             float(
                 sum(report.bytes_total for report in self.migrations)
+                + sum(report.bytes_total for report in self.evacuations)
                 + (
                     self._active.report.bytes_total
                     if self._active is not None
@@ -144,6 +190,13 @@ class FleetController(PeriodicController):
                 )
             ),
         )
+        if "failed_servers" in series:
+            series["failed_servers"].append(
+                tick_time, float(len(self.failed_servers))
+            )
+            series["evacuations_done"].append(
+                tick_time, float(len(self.evacuations))
+            )
         for name, hypervisor in self.engine.hypervisors.items():
             series[f"{name}.ready_s"].append(tick_time, ready_deltas[name])
             series[f"{name}.guest_vcpus"].append(
@@ -156,9 +209,88 @@ class FleetController(PeriodicController):
                 ),
             )
 
+    # -- failure detection and forced evacuation ---------------------------
+
+    def _detect_failures(
+        self, ready_deltas: Dict[str, float], tick_time: float
+    ) -> None:
+        """Advance per-server fail streaks; declare crossing servers."""
+        spec = self.spec
+        for name, delta in ready_deltas.items():
+            if name in self.failed_servers:
+                continue
+            if delta > spec.fail_ready_s:
+                self._fail_streak[name] += 1
+                if self._fail_streak[name] >= spec.fail_windows:
+                    self._declare_failed(name, tick_time)
+            else:
+                self._fail_streak[name] = 0
+
+    def _declare_failed(self, server_name: str, tick_time: float) -> None:
+        """Mark a server failed and queue every guest for evacuation.
+
+        Latency-sensitive guests (higher placement priority — the web
+        pair) leave first: recovery time is measured on the web p95,
+        so the batch tenant waits its turn on the wire.
+        """
+        self.failed_servers.append(server_name)
+        guests = sorted(
+            (
+                vm
+                for vm, location in self.engine.assignment().items()
+                if location == server_name
+            ),
+            key=lambda vm: (-self.engine.request_for(vm).priority, vm),
+        )
+        self._evac_queue.extend(guests)
+        self.engine.hypervisors[server_name].emit_event({
+            "time_s": tick_time,
+            "domain": "",
+            "kind": "server_failed",
+            "old": 0.0,
+            "new": float(len(guests)),
+        })
+
+    def _start_next_evacuation(self) -> None:
+        """Force-migrate the next queued guest off its failed server."""
+        victim = self._evac_queue.pop(0)
+        dest_name = self.engine.choose_destination(
+            victim, exclude=tuple(self.failed_servers)
+        )
+        if dest_name is None:
+            # No survivor can host it right now; retry after the next
+            # evacuation (or window) frees capacity.
+            self._evac_queue.append(victim)
+            return
+        source = self.engine.hypervisor_for(victim)
+        dest = self.engine.hypervisors[dest_name]
+        self._active = LiveMigration(
+            self.sim,
+            source,
+            dest,
+            victim,
+            spec=self.spec,
+            rebind=self.evacuable.get(victim),
+            on_complete=self._evacuation_done,
+            rescale=self.rescalers.get(victim),
+            forced=True,
+        ).start()
+
+    def _evacuation_done(self, report: MigrationReport) -> None:
+        self.engine.record_migration(report.domain, report.dest)
+        self.evacuations.append(report)
+        self._active = None
+        # Drain the queue back-to-back: recovery time is the metric, so
+        # the next guest leaves as soon as the wire frees up — no
+        # voluntary-style cooldown between forced moves.
+        if self._evac_queue:
+            self._start_next_evacuation()
+
+    # -- voluntary rebalancing ---------------------------------------------
+
     def _try_rebalance(self) -> None:
         """Pick a movable antagonist on the web server and migrate it."""
-        hot_server = self._web_server
+        hot_server = self.engine.server_of(self.watch_domains[0])
         candidates = [
             vm
             for vm in self.engine.movable_vms_on(hot_server)
@@ -167,7 +299,9 @@ class FleetController(PeriodicController):
         if not candidates:
             return
         victim = candidates[0]
-        dest_name = self.engine.choose_destination(victim)
+        dest_name = self.engine.choose_destination(
+            victim, exclude=tuple(self.failed_servers)
+        )
         if dest_name is None:
             return
         source = self.engine.hypervisor_for(victim)
@@ -180,6 +314,7 @@ class FleetController(PeriodicController):
             spec=self.spec,
             rebind=self.movable[victim],
             on_complete=self._migration_done,
+            rescale=self.rescalers.get(victim),
         ).start()
 
     def _migration_done(self, report: MigrationReport) -> None:
@@ -201,6 +336,10 @@ class FleetController(PeriodicController):
             "migrations": [
                 report.to_dict() for report in self.migrations
             ],
+            "evacuations": [
+                report.to_dict() for report in self.evacuations
+            ],
+            "failed_servers": list(self.failed_servers),
             "placement": self.engine.placement_report(),
             "final": {},
         }

@@ -47,12 +47,12 @@ from repro.virt.io_backend import DOM0_OWNER
 #: Cap (in cores) applied during stop-and-copy: the domain is not
 #: descheduled outright (in-flight completions still land) but new
 #: services starting inside the window run at a tiny fraction of a
-#: core.  Per the engine-wide approximation, a service samples its
-#: speed *once* at start and is never re-scaled — so a window-starter
-#: keeps the paused speed for its whole service.  The cap therefore
-#: bounds that distortion (~``demand / PAUSE_CAP_CORES``x for one
-#: service) rather than being ~zero; re-scaling in-flight services at
-#: resume is a ROADMAP follow-up.
+#: core.  When the migration is built with a ``rescale`` hook (the
+#: testbed wires one per guest with queueing stations), in-flight
+#: services are stretched by the cap ratio when the pause begins and
+#: shrunk back when it lifts at the destination — so work genuinely
+#: stalls through the downtime window instead of completing at
+#: pre-pause speed (the former ROADMAP follow-up).
 PAUSE_CAP_CORES = 0.1
 
 #: A guest never ships less than this (page tables, device state).
@@ -71,6 +71,9 @@ class MigrationReport:
     rounds: int = 0
     bytes_total: float = 0.0
     downtime_s: float = 0.0
+    #: True for failure-driven evacuations (the fleet controller keeps
+    #: them outside the voluntary ``max_migrations`` budget).
+    forced: bool = False
 
     @property
     def duration_s(self) -> float:
@@ -94,6 +97,8 @@ class LiveMigration:
         spec: Optional[FleetSpec] = None,
         rebind: Optional[Callable[[Hypervisor], None]] = None,
         on_complete: Optional[Callable[["MigrationReport"], None]] = None,
+        rescale: Optional[Callable[[float], int]] = None,
+        forced: bool = False,
     ) -> None:
         if source is dest:
             raise SimulationError(
@@ -106,14 +111,21 @@ class LiveMigration:
         self.spec = spec or FleetSpec()
         self.rebind = rebind
         self.on_complete = on_complete
+        #: Stretch/shrink hook for the guest's in-flight services
+        #: (``QueueingStation.rescale_in_flight`` via its execution
+        #: context); None keeps the legacy complete-at-start-speed
+        #: behaviour.
+        self.rescale = rescale
         self.report = MigrationReport(
             domain=domain_name,
             source=source.server.name,
             dest=dest.server.name,
             started_s=0.0,
+            forced=forced,
         )
         self.finished = False
         self._saved_cap = 0.0
+        self._pause_factor = 0.0
         self._started = False
 
     # -- lifecycle -----------------------------------------------------------
@@ -191,6 +203,18 @@ class LiveMigration:
         spec = self.spec
         self._saved_cap = self.domain.cap_cores
         self.source.set_cap_cores(self.domain, PAUSE_CAP_CORES)
+        if self.rescale is not None:
+            # Entering the pause: stretch the remaining service of
+            # every in-flight job by the capacity ratio, so work truly
+            # crawls at PAUSE_CAP instead of finishing at the speed it
+            # sampled when it started.
+            effective = (
+                self._saved_cap
+                if 0.0 < self._saved_cap
+                else float(self.domain.online_vcpus)
+            )
+            self._pause_factor = max(1.0, effective / PAUSE_CAP_CORES)
+            self.rescale(self._pause_factor)
         downtime = (
             residual_bytes / spec.migration_bandwidth_bps
             + spec.stop_copy_overhead_s
@@ -215,6 +239,13 @@ class LiveMigration:
         self.dest.set_cap_cores(self.domain, self._saved_cap)
         if self.rebind is not None:
             self.rebind(self.dest)
+        if self.rescale is not None and self._pause_factor > 1.0:
+            # The PAUSE_CAP lifted: shrink the surviving in-flight
+            # services back so only the pause window itself was spent
+            # crawling (jobs that completed inside the window already
+            # paid the stretched price).
+            self.rescale(1.0 / self._pause_factor)
+            self._pause_factor = 0.0
         self.report.ended_s = self.sim.now
         self.finished = True
         self.dest.emit_event({

@@ -97,6 +97,18 @@ class FleetSpec:
     hot_windows: int = 2
     cooldown_s: float = 30.0
     max_migrations: int = 4
+    # -- failure detection -------------------------------------------------
+    #: A server is declared *failed* after ``fail_windows`` consecutive
+    #: windows in which it accrued more than ``fail_ready_s``
+    #: core-seconds of CPU ready time — the signature of a crashed
+    #: credit scheduler (every domain starves at once).  0 disables
+    #: detection entirely (the pre-fault-subsystem behaviour; existing
+    #: scenarios keep bit-identical traces).  On declaration the
+    #: controller force-evacuates *every* guest domain off the failed
+    #: server, pinned or not; forced migrations do not count against
+    #: the voluntary ``max_migrations`` budget.
+    fail_ready_s: float = 0.0
+    fail_windows: int = 2
     # -- live-migration model ---------------------------------------------
     migration_bandwidth_bps: float = 62.5e6
     dirty_fraction_per_s: float = 0.01
@@ -122,6 +134,10 @@ class FleetSpec:
             raise ConfigurationError("cooldown_s must be >= 0")
         if self.max_migrations < 1:
             raise ConfigurationError("max_migrations must be >= 1")
+        if self.fail_ready_s < 0:
+            raise ConfigurationError("fail_ready_s must be >= 0")
+        if self.fail_windows < 1:
+            raise ConfigurationError("fail_windows must be >= 1")
         if self.migration_bandwidth_bps <= 0:
             raise ConfigurationError(
                 "migration_bandwidth_bps must be positive"

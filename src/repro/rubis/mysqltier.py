@@ -53,6 +53,7 @@ class MysqlTier:
             on_start=context.worker_started,
             on_finish=context.worker_finished,
         )
+        context.register_station(self.station)
         self.queries_executed = 0
         self.commits = 0
 

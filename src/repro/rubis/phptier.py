@@ -52,6 +52,7 @@ class PhpTier:
             on_start=context.worker_started,
             on_finish=context.worker_finished,
         )
+        context.register_station(self.station)
         self.requests_handled = 0
 
     def handle(self, request: Request, done_fn: Callable[[Request], None]) -> None:

@@ -130,3 +130,69 @@ class TestStationProperties:
         # No completion earlier than arrival + service.
         for i, arrival in enumerate(arrivals):
             assert completions[i] >= arrival + service - 1e-9
+
+
+class TestRescaleInFlight:
+    def test_stretch_reschedules_remaining_service(self, sim):
+        station = QueueingStation(sim, "s", workers=1)
+        completions = {}
+        station.submit(
+            0,
+            lambda job: 10.0,
+            lambda job: completions.__setitem__(job, sim.now),
+        )
+        sim.run_until(4.0)
+        # 6 s of service remain; a 3x slowdown stretches them to 18 s.
+        assert station.rescale_in_flight(3.0) == 1
+        sim.run_until(100.0)
+        assert completions[0] == pytest.approx(4.0 + 18.0)
+
+    def test_shrink_accelerates_remaining_service(self, sim):
+        station = QueueingStation(sim, "s", workers=1)
+        completions = {}
+        station.submit(
+            0,
+            lambda job: 10.0,
+            lambda job: completions.__setitem__(job, sim.now),
+        )
+        sim.run_until(4.0)
+        assert station.rescale_in_flight(0.5) == 1
+        sim.run_until(100.0)
+        assert completions[0] == pytest.approx(4.0 + 3.0)
+
+    def test_queued_jobs_are_untouched(self, sim):
+        station = QueueingStation(sim, "s", workers=1)
+        completions = {}
+        station.submit(0, lambda job: 10.0, lambda job: None)
+        station.submit(
+            1,
+            lambda job: 10.0,
+            lambda job: completions.__setitem__(job, sim.now),
+        )
+        sim.run_until(1.0)
+        # Only the in-service job re-scales; the queued one samples its
+        # duration at dispatch.
+        assert station.rescale_in_flight(2.0) == 1
+        sim.run_until(100.0)
+        # In-service: 9 remaining * 2 = 18, done at 19; queued runs 10.
+        assert completions[1] == pytest.approx(29.0)
+
+    def test_total_service_follows_adjustment(self, sim):
+        station = QueueingStation(sim, "s", workers=1)
+        station.submit(0, lambda job: 10.0, lambda job: None)
+        sim.run_until(4.0)
+        station.rescale_in_flight(2.0)
+        sim.run_until(100.0)
+        assert station.stats.total_service_s == pytest.approx(16.0)
+
+    def test_factor_one_or_idle_is_a_noop(self, sim):
+        station = QueueingStation(sim, "s", workers=1)
+        assert station.rescale_in_flight(2.0) == 0
+        station.submit(0, lambda job: 10.0, lambda job: None)
+        sim.run_until(1.0)
+        assert station.rescale_in_flight(1.0) == 0
+
+    def test_invalid_factor_rejected(self, sim):
+        station = QueueingStation(sim, "s", workers=1)
+        with pytest.raises(ConfigurationError):
+            station.rescale_in_flight(0.0)

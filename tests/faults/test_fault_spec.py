@@ -1,0 +1,126 @@
+"""Tests for fault specifications, CLI tokens and seed-resolved timing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.spec import (
+    CAP_THEFT,
+    CRASH,
+    DEFAULT_MAGNITUDE,
+    FAULT_KINDS,
+    FaultSchedule,
+    FaultSpec,
+    _derive_jitter,
+)
+
+
+class TestFaultSpec:
+    def test_defaults(self):
+        spec = FaultSpec(kind=CRASH, at_s=60.0)
+        assert spec.duration_s == 0.0
+        assert spec.magnitude == 0.0
+        assert spec.effective_magnitude == DEFAULT_MAGNITUDE[CRASH]
+        assert spec.server_target
+
+    def test_domain_target_kinds(self):
+        assert not FaultSpec(kind=CAP_THEFT, at_s=10.0).server_target
+        assert not FaultSpec(kind="bot_flood", at_s=10.0).server_target
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind="gamma_ray", at_s=10.0)
+
+    def test_invalid_values_rejected(self):
+        for kwargs in (
+            {"kind": CRASH, "at_s": -1.0},
+            {"kind": CRASH, "at_s": 10.0, "duration_s": -1.0},
+            {"kind": CRASH, "at_s": 10.0, "magnitude": -0.5},
+            {"kind": CRASH, "at_s": 10.0, "jitter_s": -1.0},
+            # crash magnitude is the residual fraction: must stay < 1
+            {"kind": CRASH, "at_s": 10.0, "magnitude": 1.5},
+            # degrade/flash magnitudes are factors: must be >= 1
+            {"kind": "degrade_disk", "at_s": 10.0, "magnitude": 0.5},
+            {"kind": "flash_crowd", "at_s": 10.0, "magnitude": 0.5},
+        ):
+            with pytest.raises(ConfigurationError):
+                FaultSpec(**kwargs)
+
+    def test_dict_round_trip(self):
+        spec = FaultSpec(
+            kind=CAP_THEFT, at_s=40.0, duration_s=30.0,
+            target="web-vm", magnitude=0.1, jitter_s=5.0,
+        )
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_dict_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec.from_dict({"kind": CRASH, "at_s": 1.0, "blast": 9})
+
+
+class TestCliTokens:
+    def test_minimal_token(self):
+        spec = FaultSpec.from_cli_token("crash@60")
+        assert spec == FaultSpec(kind=CRASH, at_s=60.0)
+        assert spec.as_cli_token() == "crash@60"
+
+    def test_full_token_round_trip(self):
+        for token in (
+            "crash@60",
+            "degrade_disk@30:20",
+            "cap_theft@40:30:0.25/web-vm",
+            "crash@60/cloud-2",
+            "bot_flood@90:15:200",
+        ):
+            spec = FaultSpec.from_cli_token(token)
+            assert FaultSpec.from_cli_token(spec.as_cli_token()) == spec
+
+    def test_malformed_tokens_rejected(self):
+        for token in ("crash", "crash@", "crash@a", "crash@1:2:3:4",
+                      "warp@60"):
+            with pytest.raises(ConfigurationError):
+                FaultSpec.from_cli_token(token)
+
+    def test_schedule_round_trip(self):
+        schedule = FaultSchedule.from_cli_string("crash@60+bot_flood@90:15")
+        assert schedule.kinds() == ("crash", "bot_flood")
+        assert (
+            FaultSchedule.from_cli_string(schedule.as_cli_string())
+            == schedule
+        )
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSchedule.from_cli_string("+")
+        with pytest.raises(ConfigurationError):
+            FaultSchedule(faults=())
+
+
+class TestResolution:
+    def test_no_jitter_resolves_verbatim(self):
+        schedule = FaultSchedule((
+            FaultSpec(kind=CRASH, at_s=60.0),
+            FaultSpec(kind=CAP_THEFT, at_s=20.0, duration_s=30.0),
+        ))
+        resolved = schedule.resolve(seed=7)
+        # Sorted by onset, not schedule position.
+        assert [r.spec.kind for r in resolved] == [CAP_THEFT, CRASH]
+        assert resolved[0].inject_at_s == 20.0
+        assert resolved[0].clear_at_s == 50.0
+        # duration 0 holds to the horizon: no clear event.
+        assert resolved[1].clear_at_s is None
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        spec = FaultSpec(kind=CRASH, at_s=60.0, jitter_s=10.0)
+        draws = {_derive_jitter(seed, 0, spec) for seed in range(20)}
+        assert all(0.0 <= j < 10.0 for j in draws)
+        assert len(draws) > 1, "jitter must vary with the seed"
+        # Same (seed, index, spec) -> bit-identical jitter, any process.
+        assert _derive_jitter(42, 0, spec) == _derive_jitter(42, 0, spec)
+
+    def test_resolution_is_pure(self):
+        schedule = FaultSchedule((
+            FaultSpec(kind=kind, at_s=30.0, jitter_s=8.0)
+            for kind in FAULT_KINDS[:3]
+        ))
+        assert schedule.resolve(123) == schedule.resolve(123)
+        assert schedule.resolve(123) != schedule.resolve(124)

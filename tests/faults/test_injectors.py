@@ -1,0 +1,131 @@
+"""Tests for fault actuators (save/restore against a live testbed)."""
+
+from repro.experiments.scenarios import scenario
+from repro.experiments.testbed import build_testbed
+from repro.faults.injectors import (
+    CapTheftInjector,
+    Dom0SaturateInjector,
+    DiskDegradeInjector,
+    MarkerInjector,
+    NicDegradeInjector,
+    ServerCrashInjector,
+    build_injector,
+)
+from repro.faults.spec import FaultSpec
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+
+
+def _hypervisor():
+    spec = scenario("virtualized", "browsing", duration_s=30.0)
+    sim = Simulator()
+    streams = RandomStreams(seed=spec.seed)
+    testbed = build_testbed(sim, streams, spec)
+    return testbed, testbed.hypervisor
+
+
+class TestServerCrash:
+    def test_collapse_and_restore(self):
+        _, hypervisor = _hypervisor()
+        before = hypervisor.scheduler.total_cores
+        injector = ServerCrashInjector(hypervisor, residual_fraction=0.05)
+        injector.inject()
+        assert hypervisor.scheduler.total_cores == before * 0.05
+        injector.clear()
+        assert hypervisor.scheduler.total_cores == before
+
+    def test_clear_without_inject_is_a_noop(self):
+        _, hypervisor = _hypervisor()
+        before = hypervisor.scheduler.total_cores
+        ServerCrashInjector(hypervisor, 0.05).clear()
+        assert hypervisor.scheduler.total_cores == before
+
+
+class TestDegrade:
+    def test_disk_bandwidth_divided_latency_multiplied(self):
+        _, hypervisor = _hypervisor()
+        disk = hypervisor.server.disk
+        before = (
+            disk.read_bandwidth_bps,
+            disk.write_bandwidth_bps,
+            disk.access_latency_s,
+        )
+        injector = DiskDegradeInjector(hypervisor.server, factor=8.0)
+        injector.inject()
+        assert disk.read_bandwidth_bps == before[0] / 8.0
+        assert disk.write_bandwidth_bps == before[1] / 8.0
+        assert disk.access_latency_s == before[2] * 8.0
+        injector.clear()
+        assert (
+            disk.read_bandwidth_bps,
+            disk.write_bandwidth_bps,
+            disk.access_latency_s,
+        ) == before
+
+    def test_nic_bandwidth_divided(self):
+        _, hypervisor = _hypervisor()
+        nic = hypervisor.server.nic
+        before = nic.bandwidth_bps
+        injector = NicDegradeInjector(hypervisor.server, factor=4.0)
+        injector.inject()
+        assert nic.bandwidth_bps == before / 4.0
+        injector.clear()
+        assert nic.bandwidth_bps == before
+
+
+class TestCapTheft:
+    def test_steal_and_restore(self):
+        _, hypervisor = _hypervisor()
+        domain = hypervisor.domain("web-vm")
+        before = domain.cap_cores
+        injector = CapTheftInjector(hypervisor, "web-vm", stolen_cap=0.25)
+        injector.inject()
+        assert hypervisor.domain("web-vm").cap_cores == 0.25
+        injector.clear()
+        assert hypervisor.domain("web-vm").cap_cores == before
+
+    def test_clear_defers_to_a_controller_that_reacted(self):
+        # An elastic controller re-raised the cap mid-fault: the clear
+        # must not silently undo its recovery.
+        _, hypervisor = _hypervisor()
+        injector = CapTheftInjector(hypervisor, "web-vm", stolen_cap=0.25)
+        injector.inject()
+        hypervisor.set_cap_cores(hypervisor.domain("web-vm"), 1.5)
+        injector.clear()
+        assert hypervisor.domain("web-vm").cap_cores == 1.5
+
+
+class TestDom0Saturate:
+    def test_park_and_unpark_workers(self):
+        _, hypervisor = _hypervisor()
+        before = hypervisor.dom0.active_workers
+        injector = Dom0SaturateInjector(hypervisor, extra_workers=8)
+        injector.inject()
+        assert hypervisor.dom0.active_workers == before + 8
+        injector.clear()
+        assert hypervisor.dom0.active_workers == before
+
+
+class TestDispatch:
+    def test_build_injector_covers_every_kind(self):
+        testbed, hypervisor = _hypervisor()
+        expected = {
+            "crash": ServerCrashInjector,
+            "degrade_disk": DiskDegradeInjector,
+            "degrade_nic": NicDegradeInjector,
+            "cap_theft": CapTheftInjector,
+            "dom0_saturate": Dom0SaturateInjector,
+            "flash_crowd": MarkerInjector,
+        }
+        streams = RandomStreams(seed=1)
+        for kind, klass in expected.items():
+            spec = FaultSpec(kind=kind, at_s=10.0)
+            injector = build_injector(
+                spec, hypervisor, testbed.deployment, streams.stream
+            )
+            assert isinstance(injector, klass), kind
+
+    def test_marker_injector_is_inert(self):
+        marker = MarkerInjector()
+        marker.inject()
+        marker.clear()

@@ -1,0 +1,119 @@
+"""Tests for recovery scoring (detection/recovery/violation math)."""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.scoring import billing_delta, score_recovery
+
+WINDOW_S = 2.0
+
+
+def _series(values, start=0.0):
+    times = start + WINDOW_S * (1 + np.arange(len(values)))
+    return times, np.asarray(values, dtype=float)
+
+
+class TestScoreRecovery:
+    def test_breach_then_sustained_recovery(self):
+        # SLO 100 ms: breach for 3 windows, then clean to the horizon.
+        times, values = _series([50, 50, 150, 150, 150, 60, 60, 60, 60])
+        score = score_recovery(times, values, 4.0, 100.0, sustain_windows=3)
+        assert score.detected_at_s == 6.0
+        assert score.detection_s == 2.0
+        assert score.recovered_at_s == 12.0
+        assert score.recovery_s == 8.0
+        assert score.slo_violation_s == 3 * WINDOW_S
+        assert score.recovered
+
+    def test_isolated_later_breach_does_not_revoke_recovery(self):
+        # A single post-recovery spike (co-tenant burst) adds violation
+        # width but keeps the recovery point.
+        times, values = _series(
+            [150, 150, 60, 60, 60, 60, 150, 60, 60, 60]
+        )
+        score = score_recovery(times, values, 0.0, 100.0, sustain_windows=3)
+        assert score.recovered_at_s == 6.0
+        assert score.slo_violation_s == 3 * WINDOW_S
+
+    def test_never_breached(self):
+        times, values = _series([50, 60, 70])
+        score = score_recovery(times, values, 0.0, 100.0)
+        assert score.detected_at_s is None
+        assert score.recovered_at_s is None
+        assert score.detection_s is None
+        assert score.recovery_s is None
+        assert score.slo_violation_s == 0.0
+        assert not score.recovered
+
+    def test_never_recovered(self):
+        times, values = _series([50, 150, 150, 150, 150])
+        score = score_recovery(times, values, 0.0, 100.0, sustain_windows=3)
+        assert score.detected_at_s == 4.0
+        assert score.recovered_at_s is None
+        assert score.slo_violation_s == 4 * WINDOW_S
+
+    def test_tail_shorter_than_sustain_is_not_recovery(self):
+        # Only 2 clean windows after the breach: sustain=3 says no.
+        times, values = _series([150, 60, 60])
+        score = score_recovery(times, values, 0.0, 100.0, sustain_windows=3)
+        assert score.recovered_at_s is None
+
+    def test_windows_before_the_fault_are_ignored(self):
+        times, values = _series([500, 500, 50, 150, 50, 50, 50])
+        score = score_recovery(times, values, 5.0, 100.0, sustain_windows=2)
+        # The pre-fault breaches at t=2,4 do not count.
+        assert score.detected_at_s == 8.0
+        assert score.slo_violation_s == 1 * WINDOW_S
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            score_recovery([1.0], [1.0], 0.0, slo_ms=0.0)
+        with pytest.raises(ConfigurationError):
+            score_recovery([1.0], [1.0], 0.0, 100.0, sustain_windows=0)
+        with pytest.raises(ConfigurationError):
+            score_recovery([1.0, 2.0], [1.0], 0.0, 100.0)
+
+    def test_to_dict_is_plain_data(self):
+        times, values = _series([150, 60, 60, 60])
+        data = score_recovery(
+            times, values, 0.0, 100.0, sustain_windows=3
+        ).to_dict()
+        assert data["recovered"] is True
+        assert data["detection_s"] == data["detected_at_s"]
+
+
+def _result(core_s, requests):
+    billing = {
+        "kind": "billing",
+        "domains": {
+            "web-vm": {"capacity_core_s": core_s, "memory_gb_s": core_s},
+        },
+    }
+    return SimpleNamespace(
+        control_reports={"billing": billing},
+        requests_completed=requests,
+    )
+
+
+class TestBillingDelta:
+    def test_same_bill_fewer_requests_costs_more_per_kilorequest(self):
+        # Reservation billing: the watch-only run pays the same bill
+        # for fewer completed requests.
+        delta = billing_delta(_result(1000.0, 5000), _result(1000.0, 3000))
+        assert delta["delta_usd"] == pytest.approx(0.0)
+        assert (
+            delta["recovered_usd_per_kilorequest"]
+            < delta["baseline_usd_per_kilorequest"]
+        )
+
+    def test_zero_requests_prices_as_infinite(self):
+        delta = billing_delta(_result(1000.0, 100), _result(1000.0, 0))
+        assert delta["baseline_usd_per_kilorequest"] == float("inf")
+
+    def test_missing_billing_rejected(self):
+        bare = SimpleNamespace(control_reports={}, requests_completed=1)
+        with pytest.raises(ConfigurationError):
+            billing_delta(bare, _result(1.0, 1))

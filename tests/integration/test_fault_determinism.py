@@ -1,0 +1,77 @@
+"""Fault-injection determinism invariants.
+
+Three properties hold the subsystem together:
+
+* a faulted run is a pure function of its scenario — same seed, same
+  schedule, bit-identical traces on re-run;
+* fault schedules resolve from SHA-256, not RNG state, so a suite with
+  a ``faults`` axis merges bit-identically across worker counts; and
+* the faulted and fault-free cells of one grid share their per-run
+  seed (the faults token joins the run id *after* the seed id), so a
+  recovery comparison never compares across seed noise.
+
+The companion invariant — fault-*free* runs remain bit-identical to
+the pre-fault-subsystem baseline — is pinned by the fingerprint tests
+in ``test_placement_determinism.py``.
+"""
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import detect_and_evacuate_scenario
+from repro.experiments.suite import run_suite, suite_grid
+from repro.monitoring.export import trace_set_sha256
+
+
+class TestFaultedRunsAreDeterministic:
+    def test_same_scenario_same_traces(self):
+        spec = detect_and_evacuate_scenario(duration_s=120.0, clients=300)
+        first = run_scenario(spec)
+        second = run_scenario(spec)
+        assert trace_set_sha256(first.traces) == trace_set_sha256(
+            second.traces
+        )
+        assert (
+            first.control_reports["faults"]
+            == second.control_reports["faults"]
+        )
+        assert (
+            first.control_reports["fleet"]["evacuations"]
+            == second.control_reports["fleet"]["evacuations"]
+        )
+
+
+class TestFaultAxisSuite:
+    def _grid(self):
+        return suite_grid(
+            faults=(None, "crash@20:20", "cap_theft@15:10:0.2/web-vm"),
+            servers=(2,),
+            duration_s=40.0,
+            clients=80,
+        )
+
+    def test_fault_cells_share_the_clean_cell_seed(self):
+        runs = self._grid()
+        assert len(runs) == 3
+        assert len({run.config.seed for run in runs}) == 1
+        assert len({run.run_id for run in runs}) == 3
+
+    def test_worker_count_does_not_change_results(self):
+        runs = self._grid()
+        serial = run_suite(runs, workers=1)
+        parallel = run_suite(runs, workers=2)
+        assert serial.merged_sha256() == parallel.merged_sha256()
+        for run_id in serial.summaries:
+            a = serial.summaries[run_id]
+            b = parallel.summaries[run_id]
+            assert a.trace_sha256 == b.trace_sha256
+            # The resolved schedules (and everything the faults did)
+            # crossed the process boundary bit-identically.
+            assert a.control_reports == b.control_reports
+
+    def test_faulted_cell_differs_from_clean_cell(self):
+        suite = run_suite(self._grid(), workers=1)
+        hashes = {
+            summary.trace_sha256 for summary in suite.summaries.values()
+        }
+        assert len(hashes) == 3, (
+            "each fault schedule must leave its own trace signature"
+        )

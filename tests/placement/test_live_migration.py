@@ -140,3 +140,65 @@ class TestSwitchOver:
         migration.start()
         with pytest.raises(SimulationError):
             migration.start()
+
+
+class TestInFlightRescale:
+    def test_pause_stretches_then_lift_shrinks(self):
+        sim, source, dest, domain, context = fleet_pair()
+        domain.cap_cores = 1.5
+        context.set_memory(GB)
+        factors = []
+        done = []
+        migration = LiveMigration(
+            sim, source, dest, "batch-vm",
+            rebind=context.rebind,
+            on_complete=done.append,
+            rescale=factors.append,
+        )
+        sim.run_until(1.0)
+        migration.start()
+        sim.run_until(400.0)
+        assert done
+        # Exactly one stretch entering the pause and one inverse
+        # shrink when the PAUSE_CAP lifts at switch-over.
+        assert len(factors) == 2
+        assert factors[0] == pytest.approx(1.5 / PAUSE_CAP_CORES)
+        assert factors[0] * factors[1] == pytest.approx(1.0)
+
+    def test_uncapped_domain_scales_by_vcpus(self):
+        sim, source, dest, domain, context = fleet_pair()
+        context.set_memory(GB)
+        factors = []
+        migration = LiveMigration(
+            sim, source, dest, "batch-vm",
+            rebind=context.rebind,
+            rescale=factors.append,
+        )
+        sim.run_until(1.0)
+        migration.start()
+        sim.run_until(400.0)
+        assert factors[0] == pytest.approx(
+            domain.online_vcpus / PAUSE_CAP_CORES
+        )
+
+    def test_forced_flag_lands_in_the_report(self):
+        sim, source, dest, domain, context = fleet_pair()
+        context.set_memory(GB)
+        done = []
+        migration = LiveMigration(
+            sim, source, dest, "batch-vm",
+            rebind=context.rebind,
+            on_complete=done.append,
+            forced=True,
+        )
+        sim.run_until(1.0)
+        migration.start()
+        sim.run_until(400.0)
+        assert done[0].forced
+        assert done[0].to_dict()["forced"] is True
+
+    def test_default_migration_is_voluntary(self):
+        sim, source, dest, domain, context = fleet_pair()
+        context.set_memory(GB)
+        report = migrate(sim, source, dest, context)
+        assert report.forced is False

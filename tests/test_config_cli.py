@@ -111,6 +111,32 @@ class TestExperimentConfig:
         with pytest.raises(ConfigurationError):
             ExperimentConfig(traffic="chaos")
 
+    def test_faults_round_trip(self):
+        config = ExperimentConfig(
+            duration_s=40.0, servers=2, faults="crash@60+bot_flood@90:15",
+        )
+        clone = ExperimentConfig.from_json(config.to_json())
+        assert clone == config
+        spec = config.to_scenario()
+        assert spec.faulted
+        assert spec.faults.kinds() == ("crash", "bot_flood")
+        assert spec.name.endswith("!crash@60+bot_flood@90:15")
+
+    def test_faults_none_token_runs_fault_free(self):
+        spec = ExperimentConfig(duration_s=40.0, faults="none").to_scenario()
+        assert not spec.faulted
+        assert "!" not in spec.name
+
+    def test_bad_fault_token_rejected_eagerly(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(faults="meteor@60")
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(faults="crash")
+
+    def test_faults_require_virtualized(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(environment="bare-metal", faults="crash@60")
+
 
 class TestCli:
     def test_run_prints_summary_and_report(self, capsys):
@@ -277,6 +303,37 @@ class TestCli:
 
         with pytest.raises(ConfigurationError):
             main(["sweep", "--tenant-mixes", "gpu-farm", "--duration", "10"])
+
+    def test_run_faults_prints_schedule_report(self, capsys):
+        code = main([
+            "run", "--faults", "cap_theft@10:10:0.2/web-vm",
+            "--controller", "threshold",
+            "--duration", "30", "--clients", "80", "--no-report",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "+ faults cap_theft@10:10:0.2/web-vm" in captured.err
+        assert "faults [faults]: 1 injected, 1 cleared" in captured.out
+
+    def test_run_scenario_rejects_faults_flag(self):
+        with pytest.raises(ConfigurationError, match="--faults"):
+            main([
+                "run", "--scenario", "detect_and_evacuate",
+                "--faults", "crash@60", "--duration", "10",
+            ])
+
+    def test_sweep_faults_axis_shares_seeds(self, capsys):
+        code = main([
+            "sweep", "--faults", "none,crash@15",
+            "--duration", "20", "--clients", "60",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "virtualized/browsing/!crash@15" in captured.out
+
+    def test_sweep_preset_rejects_faults_flag(self):
+        with pytest.raises(ConfigurationError, match="--faults"):
+            main(["sweep", "--grid", "quick", "--faults", "crash@15"])
 
     def test_table1_prints_catalogue(self, capsys):
         assert main(["table1"]) == 0
