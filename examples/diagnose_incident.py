@@ -1,0 +1,109 @@
+"""Root-cause a crash-at-60s drill from its annotation stream.
+
+The `detect_and_evacuate` scenario crashes server cloud-1 at t=60s and
+lets the fleet controller detect and force-evacuate the guests.  This
+script runs that drill *observed* (`observe=True`): the observation
+recorder taps every subsystem hook — fault transitions, fleet failure
+declarations, migration phases, control actuations — into one
+time-ordered annotation stream, and samples a web p95 SLO probe.
+
+The diagnosis pipeline then runs exactly as `repro diagnose` would:
+
+* `detect_incidents` scans the SLO probe for sustained breaches and
+  frames each as an `Incident` window,
+* `diagnose` ranks annotated candidate causes for each incident by
+  changepoint proximity and cross-channel corroboration, and
+* `grade_attribution` grades the top-1 cause against the resolved
+  fault schedule — the same precision@1 number the chaos sweep
+  (`repro sweep --faults ... --diagnose`) aggregates per policy.
+
+The script asserts the blamed annotation is the crash injection on
+cloud-1 at t=60s, then prints the run manifest (config fingerprint,
+trace sha256, per-phase wall-clock, per-subsystem event counts).
+
+Run:  python examples/diagnose_incident.py
+Quick mode (CI):  REPRO_EXAMPLE_QUICK=1 python examples/diagnose_incident.py
+"""
+
+import os
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import detect_and_evacuate_scenario
+from repro.obs import build_manifest, diagnose, grade_attribution, render_manifest
+
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK", "").strip() in (
+    "1", "true", "yes",
+)
+
+SLO_MS = 100.0
+
+
+def main() -> None:
+    # Seed 11 keeps the batch tenant quiet around the crash, so the
+    # only sustained p95 breach is the one the fault causes.
+    spec = detect_and_evacuate_scenario(
+        duration_s=180.0, seed=11, clients=120
+    )
+    print(f"running {spec.name} (observed) ...", flush=True)
+    result = run_scenario(spec, observe=True)
+
+    stream = result.annotations
+    counts = stream.counts_by_source()
+    print(
+        f"\nannotation stream: {len(stream)} events "
+        f"({', '.join(f'{s}={n}' for s, n in counts.items())})"
+    )
+    assert counts["fault"] >= 1 and counts["fleet"] >= 1
+    assert counts["migration"] >= 1, "the evacuation must be annotated"
+
+    # -- incident detection + attribution ----------------------------------
+    diagnoses = diagnose(result, slo_ms=SLO_MS)
+    assert diagnoses, "the crash must raise a sustained SLO incident"
+    for diagnosis in diagnoses:
+        incident = diagnosis.incident
+        print(
+            f"\nincident: p95 > {SLO_MS:g} ms for {incident.width_s:.0f}s "
+            f"({incident.start_s:.0f}-{incident.end_s:.0f}s, "
+            f"peak {incident.peak_ms:,.0f} ms)"
+        )
+        for rank, cause in enumerate(diagnosis.causes[:3], start=1):
+            a = cause.annotation
+            where = a.server or a.domain or a.channel
+            why = (
+                "; ".join(cause.evidence)
+                if cause.evidence
+                else "closest annotated cause to incident onset"
+            )
+            print(
+                f"  {rank}. [{cause.score:.3f}] {a.kind} "
+                f"{where} t={a.time_s:.0f}s — {why}"
+            )
+
+    top = diagnoses[0].top.annotation
+    assert top.kind == "fault.inject", "top cause must be the injection"
+    assert top.payload["fault"] == "crash"
+    assert top.server == "cloud-1"
+    assert top.time_s == 60.0
+    assert top.channel == "server"
+
+    # -- grade against the resolved schedule -------------------------------
+    grade = grade_attribution(result, diagnoses)
+    print(
+        f"\nattribution vs schedule: {grade['correct']}/{grade['faults']} "
+        f"correct (precision@1 {grade['precision_at_1']:.2f})"
+    )
+    assert grade["precision_at_1"] == 1.0
+
+    # -- the run manifest ---------------------------------------------------
+    print("\n" + render_manifest(build_manifest(result)))
+
+    print(
+        "\ndiagnosis verified: the attribution engine blamed the crash "
+        "injection on cloud-1 at t=60s — over the fleet's own failure "
+        "declaration and the evacuation traffic that followed it — and "
+        "scored precision@1 = 1.0 against the resolved fault schedule"
+    )
+
+
+if __name__ == "__main__":
+    main()

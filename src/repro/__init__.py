@@ -100,6 +100,16 @@ from repro.placement import (
     PlacementEngine,
     VmRequest,
 )
+from repro.obs import (
+    AnnotationStream,
+    Diagnosis,
+    Incident,
+    ObsRecorder,
+    build_manifest,
+    diagnose,
+    grade_attribution,
+    render_policy_ranking_table,
+)
 from repro.experiments import (
     ExperimentResult,
     TestbedBuilder,
@@ -195,6 +205,15 @@ __all__ = [
     "LiveMigration",
     "PlacementEngine",
     "VmRequest",
+    # observability
+    "AnnotationStream",
+    "ObsRecorder",
+    "Incident",
+    "Diagnosis",
+    "diagnose",
+    "grade_attribution",
+    "build_manifest",
+    "render_policy_ranking_table",
     # experiments
     "scenario",
     "open_loop_scenario",

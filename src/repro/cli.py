@@ -29,10 +29,15 @@ deterministic fault schedule (server crash, degraded NIC/disk,
 cap theft, dom0 saturation, traffic anomalies).  ``sweep`` executes a
 whole scenario grid across worker processes with deterministic
 per-run seeds; ``--controllers`` grids over scaling policies,
-``--faults`` grids over fault schedules and ``--table`` prints the
-aggregate ratio table over the merged results.  ``compare`` reproduces the paper's Section 4.1/4.2 comparison
-(the four ratio tables plus the Q1-Q5 findings); ``table1`` prints the
-metric catalogue sample.
+``--faults`` grids over fault schedules, ``--table`` prints the
+aggregate ratio table over the merged results and ``--diagnose``
+turns a faulted sweep into a chaos sweep that prints the policy
+ranking table.  ``diagnose`` runs one scenario observed and prints
+the run manifest, detected SLO incidents and ranked root-cause
+attribution (``repro run --diagnose`` appends the same report to a
+normal run).  ``compare`` reproduces the paper's Section 4.1/4.2
+comparison (the four ratio tables plus the Q1-Q5 findings);
+``table1`` prints the metric catalogue sample.
 """
 
 from __future__ import annotations
@@ -61,6 +66,7 @@ from repro.experiments.suite import (
 )
 from repro.experiments.tables import render_table1
 from repro.monitoring.export import (
+    write_annotations_jsonl,
     write_columnar_csv,
     write_columnar_npz,
     write_trace_csv,
@@ -157,6 +163,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-report", action="store_true",
         help="skip the characterization report",
     )
+    run_parser.add_argument(
+        "--diagnose", action="store_true",
+        help="observe the run (annotation stream + SLO probe) and "
+             "print the run manifest, detected incidents and ranked "
+             "root-cause attribution",
+    )
+    run_parser.add_argument(
+        "--slo-ms", type=float, default=100.0, metavar="MS",
+        help="p95 SLO threshold for incident detection (default 100)",
+    )
+    run_parser.add_argument(
+        "--export-annotations", default=None, metavar="PATH",
+        help="write the annotation stream as JSON Lines (implies "
+             "observation)",
+    )
 
     sweep_parser = sub.add_parser(
         "sweep",
@@ -231,8 +252,65 @@ def _build_parser() -> argparse.ArgumentParser:
              "first run) after the suite report",
     )
     sweep_parser.add_argument(
+        "--diagnose", action="store_true",
+        help="chaos sweep: run faulted cells observed, diagnose each "
+             "and print the policy ranking table (recovery time, "
+             "SLO-violation width, $/kilorequest, attribution "
+             "precision@1)",
+    )
+    sweep_parser.add_argument(
+        "--slo-ms", type=float, default=100.0, metavar="MS",
+        help="p95 SLO threshold the diagnoses grade against "
+             "(default 100)",
+    )
+    sweep_parser.add_argument(
         "--json", default=None, metavar="PATH",
         help="write the merged suite report as JSON",
+    )
+
+    diagnose_parser = sub.add_parser(
+        "diagnose",
+        help="run one scenario observed and print the diagnosis report",
+    )
+    diagnose_parser.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="catalogue entry to diagnose (see `repro run --list`); "
+             "omit to build the run from the flags below",
+    )
+    diagnose_parser.add_argument(
+        "--environment", default="virtualized",
+        choices=("virtualized", "bare-metal"),
+    )
+    diagnose_parser.add_argument("--composition", default="browsing")
+    diagnose_parser.add_argument("--duration", type=float, default=None)
+    diagnose_parser.add_argument("--seed", type=int, default=42)
+    diagnose_parser.add_argument("--clients", type=int, default=None)
+    diagnose_parser.add_argument(
+        "--controller", default="none",
+        choices=("none", "static", "threshold", "pid", "predictive"),
+    )
+    diagnose_parser.add_argument(
+        "--servers", type=int, default=1, metavar="N",
+    )
+    diagnose_parser.add_argument(
+        "--placement", default=None,
+        choices=("firstfit", "bestfit", "balance", "priority"),
+    )
+    diagnose_parser.add_argument(
+        "--faults", default=None, metavar="SCHEDULE",
+        help="fault schedule to inject (same syntax as `repro run`)",
+    )
+    diagnose_parser.add_argument(
+        "--slo-ms", type=float, default=100.0, metavar="MS",
+        help="p95 SLO threshold for incident detection (default 100)",
+    )
+    diagnose_parser.add_argument(
+        "--export-annotations", default=None, metavar="PATH",
+        help="write the annotation stream as JSON Lines",
+    )
+    diagnose_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the manifest + diagnoses as JSON",
     )
 
     compare_parser = sub.add_parser(
@@ -243,6 +321,57 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("table1", help="print the Table 1 metric sample")
     return parser
+
+
+def _render_diagnosis(result, slo_ms: float) -> str:
+    """Manifest + incidents + ranked causes for one observed run."""
+    from repro.obs import (
+        build_manifest,
+        diagnose,
+        grade_attribution,
+        render_manifest,
+    )
+
+    diagnoses = diagnose(result, slo_ms=slo_ms)
+    lines = [render_manifest(build_manifest(result)), ""]
+    if not diagnoses:
+        lines.append(
+            f"no incidents: p95 stayed within the {slo_ms:g} ms SLO"
+        )
+    for entry in diagnoses:
+        incident = entry.incident
+        lines.append(
+            f"incident [{incident.entity}] "
+            f"{incident.start_s:.0f}-{incident.end_s:.0f}s: p95 peaked "
+            f"{incident.peak_ms:.0f} ms over the {slo_ms:g} ms SLO "
+            f"({incident.samples} samples, {incident.width_s:.0f}s in "
+            f"violation)"
+        )
+        if not entry.causes:
+            lines.append("  no candidate causes in the lookback window")
+        for rank, cause in enumerate(entry.causes[:5], start=1):
+            annotation = cause.annotation
+            what = annotation.payload.get("fault") or annotation.kind
+            target = (
+                annotation.payload.get("target")
+                or annotation.domain
+                or annotation.server
+            )
+            lines.append(
+                f"  #{rank} score {cause.score:.3f}  {what} "
+                f"[{annotation.channel}] on {target or 'n/a'} at "
+                f"t={annotation.time_s:.1f}s ({annotation.source})"
+            )
+            for evidence in cause.evidence:
+                lines.append(f"      - {evidence}")
+    if (result.control_reports or {}).get("faults"):
+        grade = grade_attribution(result, diagnoses)
+        lines.append(
+            f"attribution vs schedule: "
+            f"{grade['correct']}/{grade['faults']} correct "
+            f"(precision@1 {grade['precision_at_1']:.2f})"
+        )
+    return "\n".join(lines)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -368,6 +497,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         spec,
         collect_full_registry=args.columnar,
         columnar_rows=args.columnar,
+        observe=args.diagnose or args.export_annotations is not None,
     )
     print(
         f"completed {result.requests_completed} requests "
@@ -408,6 +538,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 print(
                     f"{entity} [faults]: {report['injected']} injected, "
                     f"{report['cleared']} cleared ({plan})"
+                )
+                continue
+            if report.get("kind") == "obs":
+                by_source = ", ".join(
+                    f"{source} x{count}"
+                    for source, count in sorted(report["by_source"].items())
+                    if count
+                ) or "no annotated events"
+                print(
+                    f"{entity} [obs]: {report['events']} annotations "
+                    f"({by_source}) across "
+                    f"{len(report['servers'])} server(s)"
                 )
                 continue
             by_kind = ", ".join(
@@ -470,6 +612,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(render_characterization_report(
             characterize_trace_set(result.traces, warmup_s=warmup_s)
         ))
+    if args.diagnose:
+        print()
+        print(_render_diagnosis(result, slo_ms=args.slo_ms))
+    if args.export_annotations:
+        write_annotations_jsonl(result.annotations, args.export_annotations)
+        print(
+            f"annotations written to {args.export_annotations}",
+            file=sys.stderr,
+        )
     if args.export_csv:
         write_trace_csv(result.traces, args.export_csv)
         print(f"\ntraces written to {args.export_csv}", file=sys.stderr)
@@ -569,21 +720,104 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"sweeping {len(runs)} runs on {args.workers} worker(s) ...",
         file=sys.stderr,
     )
-    suite = run_suite(runs, workers=args.workers)
+    suite = run_suite(
+        runs,
+        workers=args.workers,
+        diagnose=args.diagnose,
+        slo_ms=args.slo_ms,
+    )
     print(suite.render())
     if args.table:
         print()
         print(render_suite_ratio_table(suite))
+    if args.diagnose:
+        from repro.obs.ranking import render_policy_ranking_table
+
+        print()
+        print(render_policy_ranking_table(suite))
     if args.figures:
         from repro.experiments.figures import render_suite_figures
 
         paths = render_suite_figures(suite, args.figures)
+        if args.diagnose:
+            from repro.obs.ranking import write_ranking_figures
+
+            paths = list(paths) + write_ranking_figures(suite, args.figures)
         for path in paths:
             print(f"figure written to {path}", file=sys.stderr)
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(suite.to_dict(), handle, indent=2, sort_keys=True)
         print(f"suite report written to {args.json}", file=sys.stderr)
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    if args.scenario is not None:
+        conflicting = {
+            "--environment": args.environment != "virtualized",
+            "--composition": args.composition != "browsing",
+            "--controller": args.controller != "none",
+            "--servers": args.servers != 1,
+            "--placement": args.placement is not None,
+            "--faults": args.faults is not None,
+        }
+        rejected = [flag for flag, given in conflicting.items() if given]
+        if rejected:
+            raise ConfigurationError(
+                f"--scenario is incompatible with {', '.join(rejected)}; "
+                "the catalogue entry defines its own workload and faults"
+            )
+        catalog = scenario_catalog(
+            duration_s=args.duration, seed=args.seed, clients=args.clients
+        )
+        if args.scenario not in catalog:
+            raise ConfigurationError(
+                f"unknown scenario {args.scenario!r}; "
+                "see `repro run --list` for the catalogue"
+            )
+        spec = catalog[args.scenario]
+    else:
+        config = ExperimentConfig(
+            environment=args.environment,
+            composition=args.composition,
+            duration_s=args.duration,
+            seed=args.seed,
+            clients=args.clients,
+            controller=(
+                None if args.controller == "none" else args.controller
+            ),
+            servers=args.servers,
+            placement=args.placement,
+            faults=args.faults,
+        )
+        spec = config.to_scenario()
+    print(
+        f"diagnosing {spec.name}: {spec.duration_s:.0f}s simulated ...",
+        file=sys.stderr,
+    )
+    result = run_scenario(spec, observe=True)
+    print(_render_diagnosis(result, slo_ms=args.slo_ms))
+    if args.export_annotations:
+        write_annotations_jsonl(result.annotations, args.export_annotations)
+        print(
+            f"annotations written to {args.export_annotations}",
+            file=sys.stderr,
+        )
+    if args.json:
+        from repro.obs import build_manifest, diagnose, grade_attribution
+
+        diagnoses = diagnose(result, slo_ms=args.slo_ms)
+        document = {
+            "slo_ms": args.slo_ms,
+            "manifest": build_manifest(result),
+            "diagnoses": [entry.to_dict() for entry in diagnoses],
+        }
+        if (result.control_reports or {}).get("faults"):
+            document["grade"] = grade_attribution(result, diagnoses)
+        with open(args.json, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+        print(f"diagnosis written to {args.json}", file=sys.stderr)
     return 0
 
 
@@ -621,6 +855,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "diagnose":
+        return _cmd_diagnose(args)
     if args.command == "compare":
         return _cmd_compare(args)
     if args.command == "table1":

@@ -16,6 +16,7 @@ extracts all its figures from one run matrix.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -68,6 +69,13 @@ class ExperimentResult:
     #: Elastic-control summaries ({controller entity: report}); the
     #: control *series* land in ``traces`` under the same entity.
     control_reports: Optional[dict] = None
+    #: Unified annotation stream of an ``observe=True`` run
+    #: (:class:`~repro.obs.annotations.AnnotationStream`), else None.
+    annotations: object = field(repr=False, default=None)
+    #: Events the DES fired over the run.
+    events_fired: int = 0
+    #: Wall-clock per phase: ``{"build", "simulate", "collect"}``.
+    phases_s: Dict[str, float] = field(default_factory=dict)
 
     @property
     def throughput_rps(self) -> float:
@@ -99,6 +107,7 @@ def run_scenario(
     registry: Optional[MetricRegistry] = None,
     columnar_rows: bool = False,
     meter_arrivals: bool = False,
+    observe: bool = False,
 ) -> ExperimentResult:
     """Run one scenario end to end and return its result.
 
@@ -123,11 +132,19 @@ def run_scenario(
     workload on one shared hypervisor; their per-tenant summaries land
     on ``result.tenant_reports`` and the interference signals (CPU
     ready/steal time per domain) on ``result.interference``.
+
+    ``observe=True`` attaches the :class:`~repro.obs.recorder.
+    ObsRecorder` — the unified annotation stream plus an ``obs``
+    probe-series entity — without perturbing the physics: every
+    pre-existing series is bit-identical with and without it.  The
+    stream lands on ``result.annotations``.
     """
+    wall_start = time.perf_counter()
     sim = Simulator()
     streams = RandomStreams(seed=scenario.seed)
     testbed = build_testbed(
-        sim, streams, scenario, meter_arrivals=meter_arrivals
+        sim, streams, scenario, meter_arrivals=meter_arrivals,
+        observe=observe,
     )
     web = testbed.web
 
@@ -146,8 +163,10 @@ def run_scenario(
         columnar_rows=columnar_rows,
     )
 
+    built_at = time.perf_counter()
     testbed.start()
     sim.run_until(scenario.duration_s)
+    simulated_at = time.perf_counter()
     recorder.stop()
     testbed.shutdown()
 
@@ -165,6 +184,7 @@ def run_scenario(
     stats = web.stats
     meter = web.meter
     population = web.population
+    collected_at = time.perf_counter()
     return ExperimentResult(
         scenario=scenario,
         traces=recorder.traces,
@@ -188,6 +208,17 @@ def run_scenario(
         tenant_reports=testbed.tenant_reports(),
         interference=testbed.interference_report(),
         control_reports=testbed.control_reports(),
+        annotations=(
+            testbed.observer.stream
+            if testbed.observer is not None
+            else None
+        ),
+        events_fired=sim.events_fired,
+        phases_s={
+            "build": built_at - wall_start,
+            "simulate": simulated_at - built_at,
+            "collect": collected_at - simulated_at,
+        },
     )
 
 

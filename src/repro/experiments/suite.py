@@ -87,6 +87,11 @@ class RunSummary:
     tenant_reports: Optional[dict] = None
     cpu_ready_s: Optional[dict] = None
     control_reports: Optional[dict] = None
+    #: Diagnosis summary of an observed (``diagnose=True``) faulted
+    #: cell — incidents, ranked causes, precision@1 grade, recovery
+    #: score and $-per-kilorequest (:func:`repro.obs.ranking.
+    #: diagnosis_summary`); None for undiagnosed cells.
+    diagnosis: Optional[dict] = None
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -263,14 +268,30 @@ def paper_matrix_suite(
 # -- execution -------------------------------------------------------------
 
 
-def execute_run(run: SuiteRun) -> RunSummary:
-    """Run one suite cell in this process and summarize it."""
+def execute_run(
+    run: SuiteRun,
+    diagnose: bool = False,
+    slo_ms: float = 100.0,
+) -> RunSummary:
+    """Run one suite cell in this process and summarize it.
+
+    With ``diagnose=True``, cells that *inject faults* run observed
+    (annotation stream + ``obs`` probe) and carry a
+    :func:`~repro.obs.ranking.diagnosis_summary`; fault-free cells
+    stay unobserved, so their traces keep the pinned fingerprints.
+    """
     from repro.experiments.runner import run_scenario
 
     scenario = run.config.to_scenario()
+    observed = diagnose and scenario.faults is not None
     started = time.perf_counter()
-    result = run_scenario(scenario)
+    result = run_scenario(scenario, observe=observed)
     wall = time.perf_counter() - started
+    diagnosis = None
+    if observed:
+        from repro.obs.ranking import diagnosis_summary
+
+        diagnosis = diagnosis_summary(result, slo_ms=slo_ms)
     interference = result.interference or {}
     return RunSummary(
         run_id=run.run_id,
@@ -287,6 +308,7 @@ def execute_run(run: SuiteRun) -> RunSummary:
         tenant_reports=result.tenant_reports,
         cpu_ready_s=interference.get("cpu_ready_s"),
         control_reports=result.control_reports,
+        diagnosis=diagnosis,
     )
 
 
@@ -296,12 +318,18 @@ def _execute_payload(payload: dict) -> dict:
         run_id=payload["run_id"],
         config=ExperimentConfig.from_dict(payload["config"]),
     )
-    return execute_run(run).to_dict()
+    return execute_run(
+        run,
+        diagnose=payload.get("diagnose", False),
+        slo_ms=payload.get("slo_ms", 100.0),
+    ).to_dict()
 
 
 def run_suite(
     runs: Iterable[SuiteRun],
     workers: int = 1,
+    diagnose: bool = False,
+    slo_ms: float = 100.0,
 ) -> SuiteResult:
     """Execute a suite grid and merge the per-run summaries.
 
@@ -311,6 +339,11 @@ def run_suite(
     summaries as plain dicts, so results cannot depend on inherited
     process state.  Run ids, seeds and therefore traces are identical
     across worker counts; only wall clock changes.
+
+    ``diagnose=True`` turns the sweep into a chaos sweep: faulted
+    cells run observed and their summaries carry a diagnosis (graded
+    against ``slo_ms``) — the input to the policy ranking table.
+    Diagnoses, like traces, are identical across worker counts.
     """
     run_list = list(runs)
     if not run_list:
@@ -323,12 +356,20 @@ def run_suite(
     workers = min(workers, len(run_list))
     started = time.perf_counter()
     if workers == 1:
-        summaries = [execute_run(run) for run in run_list]
+        summaries = [
+            execute_run(run, diagnose=diagnose, slo_ms=slo_ms)
+            for run in run_list
+        ]
     else:
         import multiprocessing
 
         payloads = [
-            {"run_id": run.run_id, "config": run.config.to_dict()}
+            {
+                "run_id": run.run_id,
+                "config": run.config.to_dict(),
+                "diagnose": diagnose,
+                "slo_ms": slo_ms,
+            }
             for run in run_list
         ]
         context = multiprocessing.get_context("spawn")

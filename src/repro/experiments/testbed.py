@@ -37,6 +37,7 @@ from repro.faults.injectors import build_injector
 from repro.faults.spec import CAP_THEFT, FLASH_CROWD, FaultSpec
 from repro.hardware.cluster import Cluster
 from repro.monitoring.probes import Dom0Probe, Probe
+from repro.obs.recorder import ObsRecorder
 from repro.placement.engine import PlacementEngine
 from repro.placement.fleet import FleetController
 from repro.placement.spec import VmRequest
@@ -119,6 +120,7 @@ class Testbed:
         hypervisor: Optional[Hypervisor],
         controllers: Optional[List[ElasticController]] = None,
         engine: Optional[PlacementEngine] = None,
+        observer: Optional[ObsRecorder] = None,
     ) -> None:
         self.scenario = scenario
         self.web = web
@@ -128,6 +130,9 @@ class Testbed:
         #: Placement engine of a multi-server testbed (None on the
         #: single-hypervisor paths, which stay bit-identical).
         self.engine = engine
+        #: Observation recorder of an ``observe=True`` build (also in
+        #: ``controllers``, so it starts/stops/merges like the rest).
+        self.observer = observer
 
     @property
     def deployment(self) -> Deployment:
@@ -246,7 +251,10 @@ class TestbedBuilder:
         self.streams = streams
 
     def build(
-        self, scenario: Scenario, meter_arrivals: bool = False
+        self,
+        scenario: Scenario,
+        meter_arrivals: bool = False,
+        observe: bool = False,
     ) -> Testbed:
         """Build the testbed a scenario describes (single- or multi-tenant)."""
         if scenario.tenants and scenario.environment != VIRTUALIZED:
@@ -360,8 +368,31 @@ class TestbedBuilder:
                     resolved_faults, deployment, hypervisor, engine
                 )
             )
+        observer = None
+        if observe:
+            # Hook every hypervisor in the testbed; bare metal has
+            # none, but the recorder's SLO probe still applies.
+            if engine is not None:
+                hypervisors = dict(engine.hypervisors)
+            elif hypervisor is not None:
+                hypervisors = {hypervisor.server.name: hypervisor}
+            else:
+                hypervisors = {}
+            observer = ObsRecorder(
+                self.sim,
+                web.stats,
+                hypervisors,
+                driver=web.population if web.open_loop else None,
+            )
+            controllers.append(observer)
         return Testbed(
-            original, web, tenants, hypervisor, controllers, engine=engine
+            original,
+            web,
+            tenants,
+            hypervisor,
+            controllers,
+            engine=engine,
+            observer=observer,
         )
 
     def _compose_flash_crowds(self, scenario, resolved_faults):
@@ -555,8 +586,9 @@ def build_testbed(
     streams: RandomStreams,
     scenario: Scenario,
     meter_arrivals: bool = False,
+    observe: bool = False,
 ) -> Testbed:
     """Convenience wrapper over :class:`TestbedBuilder`."""
     return TestbedBuilder(sim, streams).build(
-        scenario, meter_arrivals=meter_arrivals
+        scenario, meter_arrivals=meter_arrivals, observe=observe
     )

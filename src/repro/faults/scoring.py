@@ -28,12 +28,92 @@ exported traces as readily as live results.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.planning.cost import CostModel
+
+
+@dataclass(frozen=True)
+class ViolationWindow:
+    """One contiguous SLO-breach episode of a sampled p95 series.
+
+    ``start_s``/``end_s`` are the sample times of the first and last
+    breached windows of the episode; ``width_s`` counts only the
+    breached samples inside it (compliant samples shorter than the
+    sustain run that would close the episode do not add width).
+    """
+
+    start_s: float
+    end_s: float
+    #: Breached samples inside the episode.
+    breached_samples: int
+    #: Summed width of the breached samples, seconds.
+    width_s: float
+
+    def to_dict(self) -> dict:
+        return {
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "breached_samples": self.breached_samples,
+            "width_s": self.width_s,
+        }
+
+
+def violation_windows(
+    times,
+    values,
+    slo_ms: float,
+    sustain_windows: int = 1,
+) -> List[ViolationWindow]:
+    """Merged (start, end) SLO-breach windows of one p95 series.
+
+    The incident detector and the attribution engine consume these
+    directly: each :class:`ViolationWindow` is one episode of
+    consecutive breached samples, and an episode only *closes* after
+    ``sustain_windows`` consecutive compliant samples — the same
+    sustained-return rule :func:`score_recovery` applies — so a
+    one-window dip below the SLO does not split one incident into two.
+    """
+    if slo_ms <= 0:
+        raise ConfigurationError("slo_ms must be positive")
+    if sustain_windows < 1:
+        raise ConfigurationError("sustain_windows must be >= 1")
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.shape != values.shape:
+        raise ConfigurationError("times and values must align")
+    if times.size == 0:
+        return []
+    window_s = float(np.median(np.diff(times))) if times.size > 1 else 0.0
+    breached = values > slo_ms
+    windows: List[ViolationWindow] = []
+    start: Optional[float] = None
+    last_breach = 0.0
+    count = 0
+    ok_run = 0
+    for i in range(times.size):
+        if breached[i]:
+            if start is None:
+                start = float(times[i])
+                count = 0
+            last_breach = float(times[i])
+            count += 1
+            ok_run = 0
+        elif start is not None:
+            ok_run += 1
+            if ok_run >= sustain_windows:
+                windows.append(
+                    ViolationWindow(start, last_breach, count, count * window_s)
+                )
+                start = None
+    if start is not None:
+        windows.append(
+            ViolationWindow(start, last_breach, count, count * window_s)
+        )
+    return windows
 
 
 @dataclass(frozen=True)
@@ -48,6 +128,9 @@ class RecoveryScore:
     recovered_at_s: Optional[float]
     #: Total width of SLO-breached windows after the fault.
     slo_violation_s: float
+    #: Per-episode breach windows (:func:`violation_windows` over the
+    #: post-fault series, merged with the same sustain rule).
+    windows: Tuple[ViolationWindow, ...] = ()
 
     @property
     def detection_s(self) -> Optional[float]:
@@ -77,6 +160,7 @@ class RecoveryScore:
             "recovery_s": self.recovery_s,
             "slo_violation_s": self.slo_violation_s,
             "recovered": self.recovered,
+            "windows": [window.to_dict() for window in self.windows],
         }
 
 
@@ -110,6 +194,9 @@ def score_recovery(
     violation_s = float(breached.sum()) * window_s
     if not breached.any():
         return RecoveryScore(fault_time_s, slo_ms, None, None, 0.0)
+    windows = tuple(
+        violation_windows(times, values, slo_ms, sustain_windows)
+    )
     first_breach = int(np.argmax(breached))
     detected_at = float(times[first_breach])
     # Recovery: the first index at/after the breach from which the SLO
@@ -125,7 +212,8 @@ def score_recovery(
         if candidates.size:
             recovered_at = float(times[first_breach + candidates[0]])
     return RecoveryScore(
-        fault_time_s, slo_ms, detected_at, recovered_at, violation_s
+        fault_time_s, slo_ms, detected_at, recovered_at, violation_s,
+        windows=windows,
     )
 
 

@@ -40,10 +40,12 @@ from repro.monitoring.probes import (
 )
 from repro.monitoring.sampler import TraceRecorder
 from repro.monitoring.export import (
+    annotations_to_jsonl,
     columnar_to_csv,
     read_columnar_npz,
     trace_set_to_csv,
     trace_set_to_json,
+    write_annotations_jsonl,
     write_columnar_csv,
     write_columnar_npz,
 )
@@ -68,6 +70,8 @@ __all__ = [
     "TraceRecorder",
     "trace_set_to_csv",
     "trace_set_to_json",
+    "annotations_to_jsonl",
+    "write_annotations_jsonl",
     "columnar_to_csv",
     "write_columnar_csv",
     "write_columnar_npz",

@@ -144,6 +144,33 @@ def read_columnar_npz(path: str) -> ColumnarRows:
         return ColumnarRows.from_matrix(names, data["matrix"])
 
 
+def annotations_to_jsonl(annotations) -> str:
+    """JSON Lines export of an annotation stream, one event per line.
+
+    Accepts anything iterable of annotations (objects with
+    ``to_dict()`` or plain dicts) — duck-typed so this module never
+    imports :mod:`repro.obs`.  Lines come out in the stream's
+    deterministic ``(time_s, priority, seq)`` order when given an
+    :class:`~repro.obs.annotations.AnnotationStream` (its iterator
+    sorts), insertion order otherwise.
+    """
+    lines = []
+    for annotation in annotations:
+        record = (
+            annotation.to_dict()
+            if hasattr(annotation, "to_dict")
+            else annotation
+        )
+        lines.append(json.dumps(record, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_annotations_jsonl(annotations, path: str) -> None:
+    """Write :func:`annotations_to_jsonl` output to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(annotations_to_jsonl(annotations))
+
+
 def write_trace_csv(traces: TraceSet, path: str) -> None:
     """Write :func:`trace_set_to_csv` output to ``path``."""
     with open(path, "w", newline="") as handle:

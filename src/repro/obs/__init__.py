@@ -1,0 +1,65 @@
+"""Observability: annotation stream, incidents, attribution, manifest.
+
+The diagnosis half of the AIOps loop. :mod:`repro.obs.annotations`
+turns the control/fault/fleet/migration hook events — today scattered
+callbacks — into one typed, time-ordered annotation stream;
+:mod:`repro.obs.recorder` attaches that stream (plus a windowed p95
+probe) to a live run as a standard periodic controller;
+:mod:`repro.obs.incidents` scans SLO probe series into incident
+windows; :mod:`repro.obs.attribution` ranks candidate causes per
+incident by aligning probe-series changepoints and cross-channel
+correlation with nearby annotations — graded for precision@1 against
+resolved fault schedules; :mod:`repro.obs.manifest` fingerprints a run
+(config, seed, trace sha256, per-phase wall clock, per-subsystem event
+counts); :mod:`repro.obs.ranking` aggregates per-cell diagnoses of a
+chaos sweep into the policy ranking table.
+
+Observation is strictly opt-in (``run_scenario(..., observe=True)``,
+``repro run --diagnose``): an unobserved run constructs none of this
+machinery, so fault-free traces stay bit-identical — and observing a
+run never perturbs its physics, only adds series and annotations.
+"""
+
+from repro.obs.annotations import (
+    Annotation,
+    AnnotationStream,
+    FAULT_CHANNELS,
+    classify_hook_event,
+)
+from repro.obs.attribution import (
+    CandidateCause,
+    Diagnosis,
+    diagnose,
+    grade_attribution,
+)
+from repro.obs.incidents import Incident, detect_incidents, incidents_for_result
+from repro.obs.manifest import build_manifest, render_manifest
+from repro.obs.ranking import (
+    diagnosis_summary,
+    policy_ranking_data,
+    render_policy_ranking_table,
+    write_ranking_figures,
+)
+from repro.obs.recorder import OBS_PRIORITY, ObsRecorder
+
+__all__ = [
+    "Annotation",
+    "AnnotationStream",
+    "FAULT_CHANNELS",
+    "classify_hook_event",
+    "CandidateCause",
+    "Diagnosis",
+    "diagnose",
+    "grade_attribution",
+    "Incident",
+    "detect_incidents",
+    "incidents_for_result",
+    "build_manifest",
+    "render_manifest",
+    "diagnosis_summary",
+    "policy_ranking_data",
+    "render_policy_ranking_table",
+    "write_ranking_figures",
+    "OBS_PRIORITY",
+    "ObsRecorder",
+]

@@ -1,0 +1,220 @@
+"""The unified annotation stream.
+
+Every mid-run actor already broadcasts what it does through the
+hypervisor control hooks — elastic actuations (``set_cap``,
+``balloon``, ...), fault transitions (``fault.inject`` /
+``fault.clear``), migration phases (``migrate_pre_copy`` /
+``migrate_downtime`` / ``migrate_in``) and failure declarations
+(``server_failed``) — but each consumer today filters the raw dicts
+for itself.  An :class:`AnnotationStream` is the one typed, time-
+ordered log over all of them: each hook event becomes an
+:class:`Annotation` tagged with its *source* subsystem, the *server*
+whose hypervisor emitted it, the *domain* it acted on and the
+contention *channel* it speaks for (nic / disk / neighbor / dom0 /
+traffic / server) — the vocabulary the attribution engine ranks causes
+in.
+
+Ordering is bit-stable by construction: annotations sort by
+``(time_s, priority, seq)`` where ``priority`` is the source class
+(faults before failure declarations before migrations before control
+actions at the same timestamp) and ``seq`` is the stream's insertion
+counter.  Hook callbacks fire in event-loop order, which is itself
+deterministic, so two runs of the same seed produce byte-identical
+streams — across repeats *and* across suite worker counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.faults.spec import (
+    BOT_FLOOD,
+    CAP_THEFT,
+    CRASH,
+    DEGRADE_DISK,
+    DEGRADE_NIC,
+    DOM0_SATURATE,
+    FLASH_CROWD,
+)
+
+#: Contention channel each fault kind speaks for — the label the
+#: attribution engine must recover from the probe series alone.
+FAULT_CHANNELS: Dict[str, str] = {
+    CRASH: "server",
+    DEGRADE_DISK: "disk",
+    DEGRADE_NIC: "nic",
+    CAP_THEFT: "neighbor",
+    DOM0_SATURATE: "dom0",
+    BOT_FLOOD: "traffic",
+    FLASH_CROWD: "traffic",
+}
+
+#: Same-timestamp ordering of the source classes: root causes (faults)
+#: sort before their consequences (failure declarations, evacuations)
+#: and before the control plane's responses.
+SOURCE_PRIORITY: Dict[str, int] = {
+    "fault": 0,
+    "fleet": 1,
+    "migration": 2,
+    "control": 3,
+}
+
+#: The fixed source vocabulary (stable series/report keys).
+SOURCES: Tuple[str, ...] = ("fault", "fleet", "migration", "control")
+
+
+def classify_hook_event(event: dict) -> Tuple[str, str, int]:
+    """Map one control-hook event to ``(source, channel, priority)``.
+
+    The ``kind`` conventions are set by the emitters: ``fault.*`` by
+    the fault scheduler, ``server_failed`` by the fleet failure
+    detector, ``migrate_*`` by the live-migration model; everything
+    else is a control-plane actuation.
+    """
+    kind = event.get("kind", "")
+    if kind.startswith("fault."):
+        channel = FAULT_CHANNELS.get(event.get("fault", ""), "fault")
+        return "fault", channel, SOURCE_PRIORITY["fault"]
+    if kind == "server_failed":
+        return "fleet", "server", SOURCE_PRIORITY["fleet"]
+    if kind.startswith("migrate_"):
+        return "migration", "migration", SOURCE_PRIORITY["migration"]
+    return "control", "control", SOURCE_PRIORITY["control"]
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """One typed entry of the unified event log."""
+
+    time_s: float
+    #: Emitting subsystem: fault / fleet / migration / control.
+    source: str
+    #: The emitter's event kind (``fault.inject``, ``set_cap``, ...).
+    kind: str
+    #: Contention channel the event speaks for.
+    channel: str
+    #: Server whose hypervisor broadcast the event.
+    server: str = ""
+    #: Domain the event acted on ("" for server-scope events).
+    domain: str = ""
+    #: Same-timestamp source-class rank (see :data:`SOURCE_PRIORITY`).
+    priority: int = 3
+    #: Stream insertion counter — the final tie-break.
+    seq: int = 0
+    #: The raw hook event, verbatim.
+    payload: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def sort_key(self) -> Tuple[float, int, int]:
+        """The deterministic total order: (time, priority, seq)."""
+        return (self.time_s, self.priority, self.seq)
+
+    def to_dict(self) -> dict:
+        return {
+            "time_s": self.time_s,
+            "source": self.source,
+            "kind": self.kind,
+            "channel": self.channel,
+            "server": self.server,
+            "domain": self.domain,
+            "priority": self.priority,
+            "seq": self.seq,
+            "payload": dict(self.payload),
+        }
+
+
+class AnnotationStream:
+    """Append-only, deterministically ordered annotation log."""
+
+    def __init__(self) -> None:
+        self._annotations: List[Annotation] = []
+        self._seq = 0
+
+    def record(
+        self,
+        time_s: float,
+        source: str,
+        kind: str,
+        channel: str,
+        server: str = "",
+        domain: str = "",
+        priority: Optional[int] = None,
+        payload: Optional[dict] = None,
+    ) -> Annotation:
+        """Append one annotation (seq assigned by the stream)."""
+        annotation = Annotation(
+            time_s=float(time_s),
+            source=source,
+            kind=kind,
+            channel=channel,
+            server=server,
+            domain=domain,
+            priority=(
+                SOURCE_PRIORITY.get(source, 3) if priority is None else priority
+            ),
+            seq=self._seq,
+            payload=dict(payload or {}),
+        )
+        self._seq += 1
+        self._annotations.append(annotation)
+        return annotation
+
+    def observe(self, server: str, event: dict) -> Annotation:
+        """Record one raw control-hook event from ``server``."""
+        source, channel, priority = classify_hook_event(event)
+        return self.record(
+            time_s=event.get("time_s", 0.0),
+            source=source,
+            kind=event.get("kind", ""),
+            channel=channel,
+            server=server,
+            domain=event.get("domain", "") or "",
+            priority=priority,
+            payload=event,
+        )
+
+    # -- views -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._annotations)
+
+    def __iter__(self) -> Iterator[Annotation]:
+        return iter(self.sorted())
+
+    def sorted(self) -> List[Annotation]:
+        """Every annotation in ``(time_s, priority, seq)`` order."""
+        return sorted(self._annotations, key=lambda a: a.sort_key)
+
+    def between(self, start_s: float, end_s: float) -> List[Annotation]:
+        """Annotations with ``start_s <= time_s <= end_s``, ordered."""
+        return [
+            annotation
+            for annotation in self.sorted()
+            if start_s <= annotation.time_s <= end_s
+        ]
+
+    def counts_by_source(self) -> Dict[str, int]:
+        """``{source: events}`` over the fixed source vocabulary."""
+        counts = {source: 0 for source in SOURCES}
+        for annotation in self._annotations:
+            counts[annotation.source] = counts.get(annotation.source, 0) + 1
+        return counts
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for annotation in self._annotations:
+            counts[annotation.kind] = counts.get(annotation.kind, 0) + 1
+        return counts
+
+    def counts_by_channel(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for annotation in self._annotations:
+            counts[annotation.channel] = (
+                counts.get(annotation.channel, 0) + 1
+            )
+        return counts
+
+    def to_dicts(self) -> List[dict]:
+        """Plain-data dump in deterministic order (JSONL export)."""
+        return [annotation.to_dict() for annotation in self.sorted()]

@@ -1,0 +1,445 @@
+"""Root-cause attribution: rank candidate causes per incident.
+
+For each detected :class:`~repro.obs.incidents.Incident` the engine
+collects the annotations in a lookback window around it and scores
+each candidate on four axes:
+
+* **temporal proximity** — causes precede their incidents; an
+  annotation landing just before the first breached window outranks
+  one half a lookback earlier, and annotations *inside* the incident
+  (the control plane's responses, evacuations) are discounted;
+* **witness shift** — every contention channel names witness probe
+  series and the direction a true cause moves them (a NIC degrade
+  collapses ``net_kb`` throughput, dom0 saturation inflates ``dom0``
+  ``cpu_cycles``, a bot flood inflates web ``net_kb``, ...); the
+  median level shift across the annotation time, normalized, is the
+  evidence weight;
+* **changepoint alignment** — :func:`repro.analysis.changepoint.
+  detect_level_shifts` must find a step of the witnessed direction
+  near the annotation time (the same detector the paper's RAM-jump
+  analysis uses);
+* **cross-channel correlation** — :func:`repro.analysis.correlation.
+  cross_correlation` between the incident's p95 series and the
+  witness series over the incident neighbourhood; a witness that
+  moves *with* the SLO signal corroborates its channel.
+
+Candidates rank by score with the deterministic tie-break
+``(priority, time, seq)``, so a diagnosis is bit-stable across
+repeats and suite worker counts.  On ``--faults`` runs the resolved
+schedule is ground truth: :func:`grade_attribution` checks the top-1
+cause of each fault's incident against the schedule entry — the
+precision@1 number the chaos-sweep ranking table reports per policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.changepoint import detect_level_shifts
+from repro.analysis.correlation import cross_correlation
+from repro.errors import (
+    AnalysisError,
+    ConfigurationError,
+    InsufficientDataError,
+)
+from repro.obs.annotations import Annotation
+from repro.obs.incidents import Incident, detect_incidents
+
+#: Default annotation lookback before an incident's first breached
+#: window, seconds.
+LOOKBACK_S = 40.0
+
+#: Half-width of the witness-shift comparison around an annotation.
+WITNESS_SPAN_S = 20.0
+
+#: Scoring weights (sum to 1; proximity dominates, evidence refines).
+W_PROXIMITY = 0.5
+W_WITNESS = 0.25
+W_CHANGEPOINT = 0.15
+W_CORRELATION = 0.10
+
+#: Source priors: a fault outranks the failure declaration it caused,
+#: which outranks the recovery actions responding to it.
+SOURCE_PRIOR = {
+    "fault": 1.0,
+    "fleet": 0.7,
+    "migration": 0.45,
+    "control": 0.35,
+}
+
+#: Witness probe series per channel: ``(entity, resource, direction)``
+#: where direction is the sign a true cause moves the series
+#: (-1 collapse, +1 inflate).  All of them are CORE_RESOURCES series
+#: present on every virtualized run.
+WITNESSES: Dict[str, Tuple[Tuple[str, str, float], ...]] = {
+    "server": (("web", "cpu_cycles", -1.0), ("db", "cpu_cycles", -1.0)),
+    "disk": (("db", "disk_kb", -1.0), ("dom0", "disk_kb", -1.0)),
+    "nic": (("web", "net_kb", -1.0), ("dom0", "net_kb", -1.0)),
+    "neighbor": (("web", "cpu_cycles", -1.0),),
+    "dom0": (("dom0", "cpu_cycles", 1.0),),
+    "traffic": (("web", "net_kb", 1.0), ("dom0", "net_kb", 1.0)),
+    "migration": (("dom0", "net_kb", 1.0),),
+    "control": (),
+    "fault": (),
+}
+
+
+@dataclass(frozen=True)
+class CandidateCause:
+    """One ranked candidate with its per-axis evidence."""
+
+    annotation: Annotation
+    score: float
+    proximity: float
+    witness: float
+    changepoint: float
+    correlation: float
+    #: Human-readable evidence notes (witness shifts, aligned steps).
+    evidence: Tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "time_s": self.annotation.time_s,
+            "source": self.annotation.source,
+            "kind": self.annotation.kind,
+            "channel": self.annotation.channel,
+            "server": self.annotation.server,
+            "domain": self.annotation.domain,
+            "fault": self.annotation.payload.get("fault"),
+            "target": self.annotation.payload.get("target"),
+            "score": self.score,
+            "proximity": self.proximity,
+            "witness": self.witness,
+            "changepoint": self.changepoint,
+            "correlation": self.correlation,
+            "evidence": list(self.evidence),
+        }
+
+
+@dataclass
+class Diagnosis:
+    """One incident with its ranked candidate causes."""
+
+    incident: Incident
+    causes: List[CandidateCause] = field(default_factory=list)
+
+    @property
+    def top(self) -> Optional[CandidateCause]:
+        return self.causes[0] if self.causes else None
+
+    def to_dict(self, top_n: int = 5) -> dict:
+        return {
+            "incident": self.incident.to_dict(),
+            "causes": [cause.to_dict() for cause in self.causes[:top_n]],
+        }
+
+
+# -- evidence primitives ----------------------------------------------------
+
+
+def _segment(series, start_s: float, end_s: float) -> np.ndarray:
+    mask = (series.times >= start_s) & (series.times <= end_s)
+    return series.values[mask]
+
+
+def _witness_shift(series, at_s: float, span_s: float) -> Optional[float]:
+    """Normalized level shift of ``series`` across ``at_s``.
+
+    Median-after minus median-before, scaled by the larger magnitude —
+    a value in roughly [-1, 1] whose sign is the movement direction.
+    """
+    before = _segment(series, at_s - span_s, at_s - 1e-9)
+    after = _segment(series, at_s + 1e-9, at_s + span_s)
+    if before.size < 2 or after.size < 2:
+        return None
+    b = float(np.median(before))
+    a = float(np.median(after))
+    scale = max(abs(b), abs(a))
+    if scale <= 0:
+        return 0.0
+    return (a - b) / scale
+
+
+def _witness_entity(traces, entity: str, server: str) -> str:
+    """Resolve a witness entity against a fleet's per-server probes.
+
+    The web server's dom0 keeps the plain ``dom0`` entity; an
+    annotation from another server reads that server's own
+    ``dom0.<server>`` probe when it exists.
+    """
+    if entity == "dom0" and server:
+        scoped = f"dom0.{server}"
+        if traces.has(scoped, "cpu_cycles"):
+            return scoped
+    return entity
+
+
+def _changepoint_alignment(
+    series, at_s: float, direction: float, span_s: float
+) -> float:
+    """1.0 when a level shift of the witnessed direction lands near
+    ``at_s``, else 0."""
+    values = series.values
+    if values.size < 11:
+        return 0.0
+    spread = float(np.median(np.abs(values - np.median(values))))
+    min_shift = max(4.0 * spread, 1e-6)
+    try:
+        shifts = detect_level_shifts(series, min_shift=min_shift, window=5)
+    except (InsufficientDataError, ConfigurationError):
+        return 0.0
+    for shift in shifts:
+        if abs(shift.time_s - at_s) <= span_s and (
+            shift.magnitude * direction > 0
+        ):
+            return 1.0
+    return 0.0
+
+
+def _correlation_score(
+    p95_segment: np.ndarray,
+    witness_segment: np.ndarray,
+    direction: float,
+    max_lag: int = 5,
+) -> float:
+    """Corroboration from the witness co-moving with the SLO signal.
+
+    During an incident p95 rises, so a channel whose witness collapses
+    (direction -1) should anti-correlate with it and an inflating
+    witness should correlate positively; the peak cross-correlation in
+    the expected direction is the score.
+    """
+    n = min(p95_segment.size, witness_segment.size)
+    if n < 6:
+        return 0.0
+    lag = min(max_lag, n // 3)
+    try:
+        xcorr = cross_correlation(
+            p95_segment[:n], witness_segment[:n], max_lag=lag
+        )
+    except (AnalysisError, InsufficientDataError):
+        return 0.0
+    peak = float(xcorr[np.argmax(np.abs(xcorr))])
+    return max(0.0, direction * peak)
+
+
+def _proximity(annotation: Annotation, incident: Incident,
+               lookback_s: float) -> float:
+    """Causes precede incidents; responses inside one are discounted."""
+    if annotation.time_s <= incident.start_s:
+        delta = incident.start_s - annotation.time_s
+        return max(0.0, 1.0 - delta / lookback_s)
+    span = max(incident.end_s - incident.start_s, 1e-9)
+    inside = (annotation.time_s - incident.start_s) / span
+    return 0.5 * max(0.0, 1.0 - inside)
+
+
+# -- the engine -------------------------------------------------------------
+
+
+def _score_candidate(
+    result,
+    annotation: Annotation,
+    incident: Incident,
+    p95_segment: np.ndarray,
+    lookback_s: float,
+    span_s: float = WITNESS_SPAN_S,
+) -> CandidateCause:
+    """Score one annotation against one incident."""
+    traces = result.traces
+    proximity = _proximity(annotation, incident, lookback_s)
+    witness_scores: List[float] = []
+    changepoint_scores: List[float] = []
+    correlation_scores: List[float] = []
+    evidence: List[str] = []
+    for entity, resource, direction in WITNESSES.get(annotation.channel, ()):
+        entity = _witness_entity(traces, entity, annotation.server)
+        if not traces.has(entity, resource):
+            continue
+        series = traces.get(entity, resource)
+        shift = _witness_shift(series, annotation.time_s, span_s)
+        if shift is None:
+            continue
+        aligned = max(0.0, direction * shift)
+        witness_scores.append(min(1.0, aligned))
+        if aligned > 0:
+            evidence.append(
+                f"{entity}:{resource} shifted {shift:+.0%} across "
+                f"t={annotation.time_s:.0f}s (expected "
+                f"{'drop' if direction < 0 else 'rise'})"
+            )
+        step = _changepoint_alignment(
+            series, annotation.time_s, direction, span_s
+        )
+        changepoint_scores.append(step)
+        if step > 0:
+            evidence.append(
+                f"level shift on {entity}:{resource} within "
+                f"{span_s:.0f}s of the annotation"
+            )
+        witness_segment = _segment(
+            series, incident.start_s - lookback_s, incident.end_s
+        )
+        correlation_scores.append(
+            _correlation_score(p95_segment, witness_segment, direction)
+        )
+    witness = max(witness_scores) if witness_scores else 0.0
+    changepoint = max(changepoint_scores) if changepoint_scores else 0.0
+    correlation = max(correlation_scores) if correlation_scores else 0.0
+    prior = SOURCE_PRIOR.get(annotation.source, 0.3)
+    score = prior * (
+        W_PROXIMITY * proximity
+        + W_WITNESS * witness
+        + W_CHANGEPOINT * changepoint
+        + W_CORRELATION * correlation
+    )
+    return CandidateCause(
+        annotation=annotation,
+        score=score,
+        proximity=proximity,
+        witness=witness,
+        changepoint=changepoint,
+        correlation=correlation,
+        evidence=tuple(evidence),
+    )
+
+
+def diagnose(
+    result,
+    slo_ms: float = 100.0,
+    sustain_windows: int = 3,
+    entity: str = "obs",
+    lookback_s: float = LOOKBACK_S,
+    min_samples: int = 2,
+) -> List[Diagnosis]:
+    """Detect and attribute every incident of one observed run.
+
+    Requires the run to have been observed (``run_scenario(...,
+    observe=True)`` / ``repro run --diagnose``): the annotation stream
+    is the candidate pool and the ``obs`` entity carries the default
+    SLO signal.
+    """
+    if getattr(result, "annotations", None) is None:
+        raise ConfigurationError(
+            "result carries no annotation stream; re-run with "
+            "observe=True (CLI: --diagnose)"
+        )
+    if not result.traces.has(entity, "p95_ms"):
+        raise ConfigurationError(
+            f"no ({entity!r}, 'p95_ms') series to detect incidents on"
+        )
+    series = result.traces.get(entity, "p95_ms")
+    incidents = detect_incidents(
+        series.times,
+        series.values,
+        slo_ms,
+        sustain_windows=sustain_windows,
+        min_samples=min_samples,
+        entity=entity,
+    )
+    diagnoses: List[Diagnosis] = []
+    for incident in incidents:
+        p95_segment = _segment(
+            series, incident.start_s - lookback_s, incident.end_s
+        )
+        candidates = [
+            annotation
+            for annotation in result.annotations.between(
+                incident.start_s - lookback_s, incident.end_s
+            )
+            # A clear ends a fault; it cannot have started an incident.
+            if annotation.kind != "fault.clear"
+        ]
+        causes = [
+            _score_candidate(
+                result, annotation, incident, p95_segment, lookback_s
+            )
+            for annotation in candidates
+        ]
+        causes.sort(
+            key=lambda cause: (
+                -cause.score,
+                cause.annotation.priority,
+                cause.annotation.time_s,
+                cause.annotation.seq,
+            )
+        )
+        diagnoses.append(Diagnosis(incident=incident, causes=causes))
+    return diagnoses
+
+
+# -- grading against ground truth -------------------------------------------
+
+
+def grade_attribution(
+    result,
+    diagnoses: List[Diagnosis],
+    grace_s: float = 60.0,
+) -> dict:
+    """Score a run's diagnoses against its resolved fault schedule.
+
+    Every schedule entry must be matched by an incident starting
+    within ``grace_s`` of its injection, whose top-1 cause is that
+    fault's own ``fault.inject`` annotation (kind, target and onset
+    all matching) — the precision@1 the ranking table reports.
+    """
+    reports = result.control_reports or {}
+    faults = reports.get("faults")
+    if not faults:
+        raise ConfigurationError(
+            "result carries no faults report; grading needs ground truth"
+        )
+    per_kind: Dict[str, Dict[str, int]] = {}
+    matches: List[dict] = []
+    correct_total = 0
+    for entry in sorted(faults["schedule"], key=lambda e: e["inject_at_s"]):
+        kind = entry["fault"]
+        bucket = per_kind.setdefault(kind, {"faults": 0, "correct": 0})
+        bucket["faults"] += 1
+        inject_at = entry["inject_at_s"]
+        window = [
+            diagnosis
+            for diagnosis in diagnoses
+            if diagnosis.incident.end_s >= inject_at
+            and diagnosis.incident.start_s <= inject_at + grace_s
+        ]
+        matched = (
+            min(window, key=lambda d: abs(d.incident.start_s - inject_at))
+            if window
+            else None
+        )
+        top = matched.top if matched is not None else None
+        correct = bool(
+            top is not None
+            and top.annotation.source == "fault"
+            and top.annotation.kind == "fault.inject"
+            and top.annotation.payload.get("fault") == kind
+            and top.annotation.payload.get("target") == entry["target"]
+            and abs(top.annotation.time_s - inject_at) <= 1e-6
+        )
+        if correct:
+            bucket["correct"] += 1
+            correct_total += 1
+        matches.append(
+            {
+                "fault": kind,
+                "target": entry["target"],
+                "inject_at_s": inject_at,
+                "incident": (
+                    matched.incident.to_dict() if matched is not None else None
+                ),
+                "top_cause": top.to_dict() if top is not None else None,
+                "correct": correct,
+            }
+        )
+    total = len(matches)
+    return {
+        "faults": total,
+        "correct": correct_total,
+        "precision_at_1": (correct_total / total) if total else None,
+        "per_kind": per_kind,
+        "matches": matches,
+    }

@@ -1,0 +1,122 @@
+"""SLO incident detection over sampled probe series.
+
+An :class:`Incident` is one contiguous episode of a windowed p95
+series above its SLO — a renamed, enriched
+:class:`~repro.faults.scoring.ViolationWindow`: the detector reuses
+``faults.scoring``'s sustained-window logic (an episode only closes
+after ``sustain_windows`` consecutive compliant samples), then tags
+each episode with the entity it was observed on and its peak.
+
+:func:`incidents_for_result` scans *every* ``p95_ms`` series a run
+recorded — the ``obs`` entity (present on any observed run), the
+fleet controller's, the web controller's and the per-tenant
+controllers' (``control.<tenant>``) — so incidents localize per
+tenant as well as fleet-wide; per-server localization comes from the
+attribution stage, which reads the per-server witness series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.faults.scoring import violation_windows
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One SLO-violation episode on one probe series."""
+
+    entity: str
+    resource: str
+    slo_ms: float
+    #: Sample time of the first breached window.
+    start_s: float
+    #: Sample time of the last breached window.
+    end_s: float
+    #: Summed width of the breached samples, seconds.
+    width_s: float
+    #: Breached samples inside the episode.
+    samples: int
+    #: Worst p95 observed inside the episode, milliseconds.
+    peak_ms: float
+
+    def to_dict(self) -> dict:
+        return {
+            "entity": self.entity,
+            "resource": self.resource,
+            "slo_ms": self.slo_ms,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "width_s": self.width_s,
+            "samples": self.samples,
+            "peak_ms": self.peak_ms,
+        }
+
+
+def detect_incidents(
+    times,
+    values,
+    slo_ms: float,
+    sustain_windows: int = 3,
+    min_samples: int = 1,
+    entity: str = "",
+    resource: str = "p95_ms",
+) -> List[Incident]:
+    """Scan one sampled p95 series into incident episodes.
+
+    ``sustain_windows`` is the episode-closing rule (a dip shorter
+    than it does not split an incident); ``min_samples`` drops
+    episodes briefer than the floor — a single noisy window is not an
+    incident worth diagnosing.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    incidents: List[Incident] = []
+    for window in violation_windows(times, values, slo_ms, sustain_windows):
+        if window.breached_samples < min_samples:
+            continue
+        inside = (times >= window.start_s) & (times <= window.end_s)
+        peak = float(values[inside].max()) if inside.any() else 0.0
+        incidents.append(
+            Incident(
+                entity=entity,
+                resource=resource,
+                slo_ms=slo_ms,
+                start_s=window.start_s,
+                end_s=window.end_s,
+                width_s=window.width_s,
+                samples=window.breached_samples,
+                peak_ms=peak,
+            )
+        )
+    return incidents
+
+
+def incidents_for_result(
+    result,
+    slo_ms: float,
+    sustain_windows: int = 3,
+    min_samples: int = 1,
+    resource: str = "p95_ms",
+) -> Dict[str, List[Incident]]:
+    """Incidents per entity, over every ``p95_ms`` series of a run."""
+    found: Dict[str, List[Incident]] = {}
+    for entity, res in sorted(result.traces.keys()):
+        if res != resource:
+            continue
+        series = result.traces.get(entity, res)
+        incidents = detect_incidents(
+            series.times,
+            series.values,
+            slo_ms,
+            sustain_windows=sustain_windows,
+            min_samples=min_samples,
+            entity=entity,
+            resource=res,
+        )
+        if incidents:
+            found[entity] = incidents
+    return found

@@ -1,0 +1,129 @@
+"""Run manifest: what ran, from what config, and where time went.
+
+:func:`build_manifest` condenses one experiment result into the
+plain-data record an incident review starts from — the config
+fingerprint (SHA-256 over the scenario's full behavioural cache key,
+the same fingerprint the result cache deduplicates on), the seed, the
+trace-set SHA-256 (the determinism currency of the suite), per-phase
+wall clock (build / simulate / collect), the event-loop volume and
+per-subsystem event counts (annotations by source, control actions,
+injected faults, series per entity).  ``repro run --diagnose`` and
+``repro diagnose`` print it via :func:`render_manifest`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional
+
+from repro.monitoring.export import trace_set_sha256
+
+
+def config_fingerprint(scenario) -> str:
+    """SHA-256 over the scenario's full behavioural cache key.
+
+    Frozen-dataclass reprs are content-only (no object identities), so
+    the fingerprint is stable across processes and worker counts —
+    two runs share it iff they would simulate identically.
+    """
+    return hashlib.sha256(
+        repr(scenario.cache_key).encode("utf-8")
+    ).hexdigest()
+
+
+def build_manifest(result) -> dict:
+    """Condense one run into its plain-data manifest."""
+    scenario = result.scenario
+    series_by_entity: Dict[str, int] = {}
+    for entity, _resource in result.traces.keys():
+        series_by_entity[entity] = series_by_entity.get(entity, 0) + 1
+    subsystems: Dict[str, dict] = {}
+    for entity, report in sorted((result.control_reports or {}).items()):
+        if not isinstance(report, dict):
+            continue
+        kind = report.get("kind", entity)
+        if kind == "billing":
+            continue
+        counts = {}
+        if "num_actions" in report:
+            counts["actions"] = report["num_actions"]
+        if "injected" in report:
+            counts["injected"] = report["injected"]
+            counts["cleared"] = report["cleared"]
+        if "events" in report and isinstance(report["events"], int):
+            counts["events"] = report["events"]
+        if "migrations" in report:
+            counts["migrations"] = len(report["migrations"])
+            counts["evacuations"] = len(report.get("evacuations", []))
+        subsystems[entity] = {"kind": kind, **counts}
+    annotations = getattr(result, "annotations", None)
+    return {
+        "scenario": scenario.name,
+        "environment": scenario.environment,
+        "seed": scenario.seed,
+        "duration_s": scenario.duration_s,
+        "config_fingerprint": config_fingerprint(scenario),
+        "trace_sha256": trace_set_sha256(result.traces),
+        "requests_completed": result.requests_completed,
+        "events_fired": getattr(result, "events_fired", 0),
+        "phases_s": dict(getattr(result, "phases_s", None) or {}),
+        "series": {
+            "total": len(result.traces.keys()),
+            "by_entity": series_by_entity,
+        },
+        "annotations": (
+            {
+                "total": len(annotations),
+                "by_source": annotations.counts_by_source(),
+            }
+            if annotations is not None
+            else None
+        ),
+        "subsystems": subsystems,
+    }
+
+
+def render_manifest(manifest: dict) -> str:
+    """Aligned text report of one manifest."""
+    lines = [
+        f"run manifest — {manifest['scenario']} "
+        f"({manifest['environment']}, seed {manifest['seed']}, "
+        f"{manifest['duration_s']:.0f}s simulated)",
+        f"  config fingerprint  {manifest['config_fingerprint'][:16]}",
+        f"  trace sha256        {manifest['trace_sha256'][:16]}",
+        f"  requests completed  {manifest['requests_completed']}",
+        f"  events fired        {manifest['events_fired']}",
+    ]
+    phases = manifest.get("phases_s") or {}
+    if phases:
+        text = ", ".join(
+            f"{phase} {seconds:.3f}s" for phase, seconds in phases.items()
+        )
+        lines.append(f"  wall clock          {text}")
+    series = manifest.get("series") or {}
+    if series:
+        entities = ", ".join(
+            f"{entity} x{count}"
+            for entity, count in sorted(series["by_entity"].items())
+        )
+        lines.append(
+            f"  series              {series['total']} ({entities})"
+        )
+    annotations: Optional[dict] = manifest.get("annotations")
+    if annotations is not None:
+        sources = ", ".join(
+            f"{source} x{count}"
+            for source, count in sorted(annotations["by_source"].items())
+            if count
+        ) or "none"
+        lines.append(
+            f"  annotations         {annotations['total']} ({sources})"
+        )
+    for entity, report in sorted((manifest.get("subsystems") or {}).items()):
+        counts = ", ".join(
+            f"{name} {value}"
+            for name, value in report.items()
+            if name != "kind"
+        ) or "idle"
+        lines.append(f"  {entity:<18s}  [{report['kind']}] {counts}")
+    return "\n".join(lines)

@@ -1,0 +1,244 @@
+"""Chaos-sweep ranking: grade recovery policies across a fault grid.
+
+A chaos sweep (``repro sweep --faults ... --diagnose``) runs the same
+workload under the same injected faults with different recovery
+policies (controllers, fleet sizes, placements).  Each faulted cell
+carries a :func:`diagnosis_summary` — incidents, top-ranked causes,
+attribution precision@1 against the resolved schedule, recovery score
+and the capacity bill.  :func:`policy_ranking_data` folds those into
+the policy ranking table: recovery time, SLO-violation width,
+$-per-kilorequest and attribution accuracy per cell, ordered best
+first (recovered runs before unrecovered, then by violation width,
+then by cost).  :func:`write_ranking_figures` exports the table as
+per-metric bar figures next to the sweep's ratio figures.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.faults.scoring import score_run
+from repro.obs.attribution import diagnose, grade_attribution
+from repro.planning.cost import CostModel
+
+#: Ranking-figure metrics: (row key, axis label).
+RANKING_FIGURE_METRICS = (
+    ("slo_violation_s", "SLO-violation width (s)"),
+    ("recovery_s", "recovery time (s)"),
+    ("usd_per_kilorequest", "$ per kilorequest"),
+    ("precision_at_1", "attribution precision@1"),
+)
+
+
+def diagnosis_summary(
+    result,
+    slo_ms: float = 100.0,
+    sustain_windows: int = 3,
+    cost_model: Optional[CostModel] = None,
+) -> dict:
+    """Plain-data diagnosis of one observed, faulted run.
+
+    Everything a suite worker ships home for the ranking table:
+    incidents with their top-5 ranked causes, the precision@1 grade
+    against the resolved schedule, per-fault recovery scores (read off
+    the ``obs`` p95 series, so uncontrolled cells score too) and the
+    capacity bill per completed kilorequest.
+    """
+    diagnoses = diagnose(
+        result, slo_ms=slo_ms, sustain_windows=sustain_windows
+    )
+    grade = grade_attribution(result, diagnoses)
+    scores = score_run(
+        result, slo_ms=slo_ms, entity="obs", sustain_windows=sustain_windows
+    )
+    billing = (result.control_reports or {}).get("billing")
+    usd_total = None
+    usd_per_kilorequest = None
+    if billing is not None:
+        model = cost_model or CostModel()
+        usd_total = model.run_cost_usd(billing)["total"]
+        completed = result.requests_completed
+        usd_per_kilorequest = (
+            usd_total / (completed / 1000.0)
+            if completed > 0
+            else float("inf")
+        )
+    return {
+        "slo_ms": slo_ms,
+        "incidents": len(diagnoses),
+        "diagnoses": [diagnosis.to_dict() for diagnosis in diagnoses],
+        "grade": grade,
+        "recovery": [score.to_dict() for score in scores],
+        "usd_total": usd_total,
+        "usd_per_kilorequest": usd_per_kilorequest,
+    }
+
+
+def policy_ranking_data(suite) -> List[dict]:
+    """One ranking row per diagnosed cell of a sweep, best first.
+
+    Reads the ``diagnosis`` summaries :func:`repro.experiments.suite.
+    run_suite` attaches under ``--diagnose``.  Rows order by
+    (recovered, SLO-violation width, $-per-kilorequest, run id) — the
+    policy that closes the violation window cheapest ranks first.
+    """
+    rows: List[dict] = []
+    for run_id in sorted(suite.summaries):
+        summary = suite.summaries[run_id]
+        diagnosis = getattr(summary, "diagnosis", None)
+        if not diagnosis:
+            continue
+        recovery = diagnosis.get("recovery") or []
+        first = recovery[0] if recovery else {}
+        violation_s = sum(
+            entry.get("slo_violation_s", 0.0) for entry in recovery
+        )
+        recovered = bool(recovery) and all(
+            entry.get("recovered") for entry in recovery
+        )
+        grade = diagnosis.get("grade") or {}
+        top_cause = None
+        for entry in diagnosis.get("diagnoses", []):
+            causes = entry.get("causes") or []
+            if causes:
+                top_cause = causes[0]
+                break
+        rows.append(
+            {
+                "run_id": run_id,
+                "incidents": diagnosis.get("incidents", 0),
+                "recovered": recovered,
+                "recovery_s": first.get("recovery_s"),
+                "detection_s": first.get("detection_s"),
+                "slo_violation_s": violation_s,
+                "usd_per_kilorequest": diagnosis.get("usd_per_kilorequest"),
+                "precision_at_1": grade.get("precision_at_1"),
+                "faults": grade.get("faults", 0),
+                "correct": grade.get("correct", 0),
+                "top_cause": top_cause,
+            }
+        )
+    if not rows:
+        raise ConfigurationError(
+            "no diagnosed runs to rank; run the sweep with --diagnose "
+            "and a --faults axis"
+        )
+    rows.sort(
+        key=lambda row: (
+            not row["recovered"],
+            row["slo_violation_s"],
+            (
+                row["usd_per_kilorequest"]
+                if row["usd_per_kilorequest"] is not None
+                else float("inf")
+            ),
+            row["run_id"],
+        )
+    )
+    return rows
+
+
+def _cell(value, fmt: str, missing: str = "-") -> str:
+    if value is None:
+        return missing
+    return format(value, fmt)
+
+
+def render_policy_ranking_table(suite) -> str:
+    """The chaos-sweep policy ranking table, one row per cell."""
+    rows = policy_ranking_data(suite)
+    header = (
+        f"{'#':>2s} {'run':<44s} {'rec s':>7s} {'viol s':>7s} "
+        f"{'$/kRq':>9s} {'p@1':>5s} {'top cause':<28s}"
+    )
+    lines = [header]
+    for rank, row in enumerate(rows, start=1):
+        top = row["top_cause"] or {}
+        cause = ""
+        if top:
+            cause = top.get("fault") or top.get("kind") or ""
+            channel = top.get("channel", "")
+            if channel:
+                cause += f" [{channel}]"
+        precision = row["precision_at_1"]
+        lines.append(
+            f"{rank:>2d} {row['run_id']:<44.44s} "
+            f"{_cell(row['recovery_s'], '7.1f', '  never'):>7s} "
+            f"{row['slo_violation_s']:>7.1f} "
+            f"{_cell(row['usd_per_kilorequest'], '9.6f'):>9s} "
+            f"{_cell(precision, '5.2f'):>5s} "
+            f"{cause:<28.28s}"
+        )
+    lines.append(
+        "ranked by (recovered, SLO-violation width, $/kilorequest); "
+        "p@1 = attribution precision against the fault schedule"
+    )
+    return "\n".join(lines)
+
+
+def _ranking_figure_text(metric: str, label: str, rows: List[dict],
+                         width: int = 48) -> str:
+    """ASCII bar panel for one ranking metric (matplotlib-free)."""
+    lines = [f"{label} — one bar per diagnosed run", "=" * 72]
+    numeric = [
+        row[metric] for row in rows
+        if row[metric] is not None and row[metric] == row[metric]
+        and row[metric] != float("inf")
+    ]
+    top = max(numeric, default=0.0)
+    for row in rows:
+        value = row[metric]
+        if value is None:
+            text, bar = "-", ""
+        else:
+            text = f"{value:.4g}"
+            bar = "#" * (round(value / top * width) if top > 0 else 0)
+        lines.append(f"{row['run_id']:<44.44s} {text:>10s} |{bar}|")
+    return "\n".join(lines) + "\n"
+
+
+def write_ranking_figures(suite, out_dir: str) -> List[str]:
+    """Export the ranking table as per-metric bar figures.
+
+    Matplotlib PNGs when the backend exists, aligned-text panels
+    otherwise — the same graceful degradation as the sweep's ratio
+    figures.  Returns the written paths in metric order.
+    """
+    rows = policy_ranking_data(suite)
+    os.makedirs(out_dir, exist_ok=True)
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        plt = None
+    paths: List[str] = []
+    for metric, label in RANKING_FIGURE_METRICS:
+        if plt is None:
+            path = os.path.join(out_dir, f"ranking_{metric}.txt")
+            with open(path, "w") as handle:
+                handle.write(_ranking_figure_text(metric, label, rows))
+            paths.append(path)
+            continue
+        run_ids = [row["run_id"] for row in rows]
+        values = [
+            row[metric] if row[metric] is not None else 0.0 for row in rows
+        ]
+        height = max(2.5, 0.5 * len(rows) + 1.2)
+        fig, ax = plt.subplots(figsize=(9.0, height))
+        positions = range(len(rows))
+        ax.barh(list(positions), values, color="#d65f5f")
+        ax.set_yticks(list(positions))
+        ax.set_yticklabels(run_ids, fontsize=8)
+        ax.invert_yaxis()
+        ax.set_xlabel(label)
+        ax.set_title(f"{label} per diagnosed run")
+        fig.tight_layout()
+        path = os.path.join(out_dir, f"ranking_{metric}.png")
+        fig.savefig(path, dpi=120)
+        plt.close(fig)
+        paths.append(path)
+    return paths

@@ -1,0 +1,115 @@
+"""The observation recorder: one controller that watches everything.
+
+An :class:`ObsRecorder` is a standard
+:class:`~repro.control.controller.PeriodicController` (entity
+``"obs"``), so the experiment layers need no new plumbing: the testbed
+appends it to ``testbed.controllers``, its per-tick series merge into
+the run's trace set and columnar table, and its :meth:`report` lands
+in ``control_reports["obs"]``.
+
+It does two things:
+
+* **collect annotations** — it registers one control hook per
+  hypervisor in the testbed, tagging every broadcast event with the
+  server it came from and filing it into an
+  :class:`~repro.obs.annotations.AnnotationStream`;
+* **sample the SLO signal** — its own
+  :class:`~repro.control.signals.SignalTap` (a private window sink;
+  side-effect-free sampling) records a windowed web ``p95_ms`` series
+  under the ``obs`` entity, so incident detection works on *any*
+  observed run — controllers attached or not — plus cumulative
+  annotation counts per source, aligned to the sampling grid.
+
+The tick runs at priority :data:`OBS_PRIORITY` — between the fleet
+controller (45) and the fault scheduler (50) at the same timestamp, a
+slot no other actor uses — and neither the hooks (list appends) nor
+the tap (no randomness, no scheduled events) touch simulation state,
+so observing a run never changes its physics: every pre-existing
+series is bit-identical with and without the recorder.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.control.controller import PeriodicController
+from repro.control.signals import SignalTap
+from repro.obs.annotations import SOURCES, AnnotationStream
+from repro.units import SAMPLE_PERIOD_S
+
+#: Event-loop priority of the observation tick: after the recorder
+#: (30), elastic (40) and fleet (45) ticks, before fault transitions
+#: (50) at the same timestamp — so each sample closes the window
+#: *before* a same-tick fault lands in the next one.
+OBS_PRIORITY = 46
+
+
+class ObsRecorder(PeriodicController):
+    """Tap every hypervisor's event hooks plus the web SLO signal."""
+
+    def __init__(
+        self,
+        sim,
+        stats,
+        hypervisors: Dict[str, object],
+        driver=None,
+        entity: str = "obs",
+        interval_s: float = SAMPLE_PERIOD_S,
+    ) -> None:
+        super().__init__(sim, entity)
+        self.stream = AnnotationStream()
+        self._interval_s = interval_s
+        self.servers: List[str] = sorted(hypervisors)
+        self.tap = SignalTap(
+            sim, stats, None, (), driver=driver, window_s=interval_s
+        )
+        for server in self.servers:
+            hypervisors[server].add_control_hook(self._hook_for(server))
+        self._add_series("p95_ms", "ms")
+        self._add_series("events", "count")
+        for source in SOURCES:
+            self._add_series(f"{source}_events", "count")
+
+    def _hook_for(self, server: str):
+        def hook(event: dict) -> None:
+            self.stream.observe(server, event)
+
+        return hook
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ObsRecorder":
+        self._arm(self._interval_s, priority=OBS_PRIORITY)
+        return self
+
+    # -- sampling ----------------------------------------------------------
+
+    def _tick(self, tick_time: float) -> None:
+        signals = self.tap.sample()
+        series = self._series
+        series["p95_ms"].append(tick_time, signals.p95_ms)
+        counts = self.stream.counts_by_source()
+        series["events"].append(tick_time, float(len(self.stream)))
+        for source in SOURCES:
+            series[f"{source}_events"].append(
+                tick_time, float(counts[source])
+            )
+
+    # -- exports -----------------------------------------------------------
+
+    def report(self) -> dict:
+        """Plain-data summary of everything observed."""
+        return {
+            "kind": "obs",
+            "events": len(self.stream),
+            "servers": list(self.servers),
+            "by_source": self.stream.counts_by_source(),
+            "by_kind": self.stream.counts_by_kind(),
+            "by_channel": self.stream.counts_by_channel(),
+        }
+
+    def first_annotation_at_s(self) -> Optional[float]:
+        ordered = self.stream.sorted()
+        if not ordered:
+            return None
+        return ordered[0].time_s

@@ -1,0 +1,131 @@
+"""Tests for the unified annotation stream (ordering, classification)."""
+
+import pytest
+
+from repro.obs.annotations import (
+    FAULT_CHANNELS,
+    SOURCE_PRIORITY,
+    Annotation,
+    AnnotationStream,
+    classify_hook_event,
+)
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "fault,channel",
+        sorted(FAULT_CHANNELS.items()),
+    )
+    def test_fault_events_map_to_their_channel(self, fault, channel):
+        source, got, priority = classify_hook_event(
+            {"kind": "fault.inject", "fault": fault, "time_s": 10.0}
+        )
+        assert source == "fault"
+        assert got == channel
+        assert priority == SOURCE_PRIORITY["fault"]
+
+    def test_server_failed_is_fleet_source(self):
+        source, channel, _ = classify_hook_event(
+            {"kind": "server_failed", "time_s": 5.0}
+        )
+        assert (source, channel) == ("fleet", "server")
+
+    @pytest.mark.parametrize(
+        "kind", ["migrate_pre_copy", "migrate_downtime", "migrate_in"]
+    )
+    def test_migration_events(self, kind):
+        source, channel, _ = classify_hook_event(
+            {"kind": kind, "time_s": 5.0}
+        )
+        assert (source, channel) == ("migration", "migration")
+
+    def test_control_actions_are_the_fallback(self):
+        source, channel, priority = classify_hook_event(
+            {"kind": "set_cap", "domain": "web-vm", "time_s": 5.0}
+        )
+        assert (source, channel) == ("control", "control")
+        assert priority == SOURCE_PRIORITY["control"]
+
+
+class TestOrdering:
+    def test_same_timestamp_orders_by_source_priority_then_seq(self):
+        stream = AnnotationStream()
+        # Insert in the "wrong" order on purpose: at one timestamp the
+        # fault transition must sort before fleet, migration, control.
+        stream.observe("s1", {"kind": "set_cap", "time_s": 10.0})
+        stream.observe("s1", {"kind": "migrate_in", "time_s": 10.0})
+        stream.observe(
+            "s1", {"kind": "fault.inject", "fault": "crash", "time_s": 10.0}
+        )
+        stream.observe("s1", {"kind": "server_failed", "time_s": 10.0})
+        kinds = [a.kind for a in stream.sorted()]
+        assert kinds == [
+            "fault.inject", "server_failed", "migrate_in", "set_cap",
+        ]
+
+    def test_equal_priority_ties_break_by_insertion_seq(self):
+        stream = AnnotationStream()
+        stream.observe("s1", {"kind": "set_weight", "time_s": 4.0})
+        stream.observe("s1", {"kind": "set_cap", "time_s": 4.0})
+        first, second = stream.sorted()
+        assert (first.kind, second.kind) == ("set_weight", "set_cap")
+        assert first.seq < second.seq
+
+    def test_time_dominates_priority(self):
+        stream = AnnotationStream()
+        stream.observe(
+            "s1", {"kind": "fault.inject", "fault": "crash", "time_s": 9.0}
+        )
+        stream.observe("s1", {"kind": "set_cap", "time_s": 3.0})
+        assert [a.time_s for a in stream.sorted()] == [3.0, 9.0]
+
+
+class TestStreamQueries:
+    def _stream(self):
+        stream = AnnotationStream()
+        stream.observe(
+            "s1", {"kind": "fault.inject", "fault": "crash", "time_s": 5.0}
+        )
+        stream.observe("s2", {"kind": "set_cap", "time_s": 8.0})
+        stream.observe("s1", {"kind": "migrate_in", "time_s": 12.0})
+        return stream
+
+    def test_between_is_inclusive(self):
+        stream = self._stream()
+        assert [a.time_s for a in stream.between(5.0, 8.0)] == [5.0, 8.0]
+
+    def test_counts_are_zero_initialized_per_source(self):
+        counts = AnnotationStream().counts_by_source()
+        assert counts == {
+            "fault": 0, "fleet": 0, "migration": 0, "control": 0,
+        }
+
+    def test_counts_by_channel(self):
+        assert self._stream().counts_by_channel() == {
+            "server": 1, "control": 1, "migration": 1,
+        }
+
+    def test_to_dicts_round_trips_the_sort_order(self):
+        records = self._stream().to_dicts()
+        assert [r["time_s"] for r in records] == [5.0, 8.0, 12.0]
+        assert records[0]["server"] == "s1"
+        assert records[0]["payload"]["fault"] == "crash"
+
+
+class TestAnnotationValue:
+    def test_sort_key_shape(self):
+        annotation = Annotation(
+            time_s=2.0, source="fault", kind="fault.inject",
+            channel="server", priority=0, seq=7,
+        )
+        assert annotation.sort_key == (2.0, 0, 7)
+
+    def test_to_dict_is_plain_data(self):
+        annotation = Annotation(
+            time_s=2.0, source="control", kind="set_cap",
+            channel="control", server="s1", domain="web-vm",
+            priority=3, seq=0, payload={"old": 1.0, "new": 2.0},
+        )
+        record = annotation.to_dict()
+        assert record["domain"] == "web-vm"
+        assert record["payload"] == {"old": 1.0, "new": 2.0}

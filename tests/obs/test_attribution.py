@@ -1,0 +1,157 @@
+"""Ground-truth attribution tests: precision@1 per fault kind.
+
+Each test injects one fault of a known kind into a scenario where its
+contention channel is load-bearing, lets the observer collect the
+annotation stream, and asserts the attribution engine ranks that
+fault's own ``fault.inject`` annotation as the top cause of the
+resulting SLO incident — graded by :func:`repro.obs.grade_attribution`
+against the resolved schedule, exactly how the chaos sweep grades
+policies.
+"""
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.errors import ConfigurationError
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import (
+    detect_and_evacuate_scenario,
+    noisy_neighbor_theft_scenario,
+)
+from repro.experiments.suite import run_suite, suite_grid
+from repro.obs import diagnose, grade_attribution
+
+#: One ground-truth run per fault kind.  CPU-side faults (crash,
+#: cap_theft, dom0_saturate, bot_flood) need the credit scheduler's
+#: vCPU contention switched on (a controller attaches it); the I/O
+#: degradations hurt through the device models directly.
+GROUND_TRUTH = {
+    "crash": dict(
+        clients=400, controller="threshold", faults="crash@60"
+    ),
+    "degrade_disk": dict(
+        clients=400, controller="threshold",
+        faults="degrade_disk@60:60:64",
+    ),
+    "degrade_nic": dict(clients=400, faults="degrade_nic@60:60:16"),
+    "dom0_saturate": dict(
+        clients=400, controller="threshold",
+        faults="dom0_saturate@60:60:32",
+    ),
+    "bot_flood": dict(
+        traffic="poisson", rate_rps=300.0, controller="threshold",
+        faults="bot_flood@60:60:1500",
+    ),
+}
+
+_cache = {}
+
+
+def _ground_truth_run(kind):
+    if kind not in _cache:
+        if kind == "cap_theft":
+            scenario = noisy_neighbor_theft_scenario(
+                duration_s=120.0, clients=600, controller="static"
+            )
+        else:
+            kwargs = dict(
+                environment="virtualized",
+                composition="browsing",
+                duration_s=180.0,
+                seed=42,
+            )
+            kwargs.update(GROUND_TRUTH[kind])
+            scenario = ExperimentConfig(**kwargs).to_scenario()
+        _cache[kind] = run_scenario(scenario, observe=True)
+    return _cache[kind]
+
+
+ALL_KINDS = sorted(GROUND_TRUTH) + ["cap_theft"]
+
+
+class TestPrecisionAtOne:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_fault_kind_attributed_to_its_injection(self, kind):
+        result = _ground_truth_run(kind)
+        diagnoses = diagnose(result, slo_ms=100.0)
+        assert diagnoses, f"{kind}: the fault raised no SLO incident"
+        grade = grade_attribution(result, diagnoses)
+        assert grade["faults"] == 1
+        assert grade["correct"] == 1, grade["matches"]
+        assert grade["precision_at_1"] == 1.0
+        assert grade["per_kind"][kind] == {"faults": 1, "correct": 1}
+
+    def test_top_cause_carries_channel_and_evidence(self):
+        result = _ground_truth_run("crash")
+        diagnoses = diagnose(result, slo_ms=100.0)
+        top = diagnoses[0].top
+        assert top.annotation.kind == "fault.inject"
+        assert top.annotation.channel == "server"
+        assert top.annotation.payload["fault"] == "crash"
+        assert top.score > 0
+        assert top.evidence  # human-readable "why"
+
+    def test_fault_free_run_has_no_fault_candidates(self):
+        scenario = ExperimentConfig(
+            environment="virtualized",
+            composition="browsing",
+            duration_s=60.0,
+            seed=42,
+            clients=100,
+        ).to_scenario()
+        result = run_scenario(scenario, observe=True)
+        assert result.annotations.counts_by_source()["fault"] == 0
+
+    def test_diagnose_requires_an_observed_run(self):
+        scenario = ExperimentConfig(
+            environment="virtualized",
+            composition="browsing",
+            duration_s=40.0,
+            seed=42,
+            clients=80,
+        ).to_scenario()
+        result = run_scenario(scenario)  # not observed
+        with pytest.raises(ConfigurationError):
+            diagnose(result, slo_ms=100.0)
+
+
+class TestDiagnosisDeterminism:
+    def test_diagnosis_identical_across_worker_counts(self):
+        runs = suite_grid(
+            controllers=("threshold",),
+            faults=(None, "crash@60"),
+            duration_s=120.0,
+            seed=7,
+            clients=300,
+        )
+        serial = run_suite(runs, workers=1, diagnose=True)
+        pooled = run_suite(runs, workers=2, diagnose=True)
+        assert serial.merged_sha256() == pooled.merged_sha256()
+        for run_id in serial.summaries:
+            assert (
+                serial.summaries[run_id].diagnosis
+                == pooled.summaries[run_id].diagnosis
+            ), run_id
+
+    def test_only_faulted_cells_are_diagnosed(self):
+        runs = suite_grid(
+            controllers=("threshold",),
+            faults=(None, "crash@60"),
+            duration_s=120.0,
+            seed=7,
+            clients=300,
+        )
+        suite = run_suite(runs, workers=1, diagnose=True)
+        faulted = [r for r in suite.summaries if "!" in r]
+        clean = [r for r in suite.summaries if "!" not in r]
+        assert faulted and clean
+        for run_id in faulted:
+            assert suite.summaries[run_id].diagnosis is not None
+        for run_id in clean:
+            assert suite.summaries[run_id].diagnosis is None
+
+    def test_repeat_diagnosis_is_bit_stable(self):
+        result = _ground_truth_run("crash")
+        first = [d.to_dict() for d in diagnose(result, slo_ms=100.0)]
+        second = [d.to_dict() for d in diagnose(result, slo_ms=100.0)]
+        assert first == second

@@ -1,0 +1,92 @@
+"""Tests for SLO incident detection and violation windows."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.scoring import score_recovery, violation_windows
+from repro.obs.incidents import detect_incidents
+
+WINDOW_S = 2.0
+
+
+def _series(values, start=0.0):
+    times = start + WINDOW_S * (1 + np.arange(len(values)))
+    return times, np.asarray(values, dtype=float)
+
+
+class TestViolationWindows:
+    def test_single_episode(self):
+        times, values = _series([50, 150, 150, 60, 60])
+        window, = violation_windows(times, values, 100.0)
+        assert window.start_s == 4.0
+        assert window.end_s == 6.0
+        assert window.breached_samples == 2
+        assert window.width_s == 2 * WINDOW_S
+
+    def test_sustain_windows_bridges_short_dips(self):
+        # One compliant sample inside the breach does not split the
+        # episode when the close rule needs 3 consecutive OK samples.
+        times, values = _series([150, 60, 150, 60, 60, 60, 60])
+        windows = violation_windows(times, values, 100.0, sustain_windows=3)
+        assert len(windows) == 1
+        assert windows[0].start_s == 2.0
+        assert windows[0].end_s == 6.0
+        assert windows[0].breached_samples == 2
+
+    def test_sustain_one_splits_episodes(self):
+        times, values = _series([150, 60, 150, 60])
+        windows = violation_windows(times, values, 100.0, sustain_windows=1)
+        assert [w.start_s for w in windows] == [2.0, 6.0]
+
+    def test_clean_series_has_no_windows(self):
+        times, values = _series([50, 50, 50])
+        assert violation_windows(times, values, 100.0) == []
+
+    def test_empty_series(self):
+        assert violation_windows([], [], 100.0) == []
+
+    def test_invalid_slo_rejected(self):
+        times, values = _series([50])
+        with pytest.raises(ConfigurationError):
+            violation_windows(times, values, 0.0)
+
+    def test_score_recovery_carries_its_windows(self):
+        times, values = _series([50, 150, 150, 60, 60, 60, 150, 60])
+        score = score_recovery(times, values, 0.0, 100.0, sustain_windows=3)
+        assert len(score.windows) == 2
+        assert score.windows[0].start_s == 4.0
+        assert score.windows[1].start_s == 14.0
+        total = sum(w.width_s for w in score.windows)
+        assert total == pytest.approx(score.slo_violation_s)
+        assert score.to_dict()["windows"][0]["start_s"] == 4.0
+
+
+class TestDetectIncidents:
+    def test_incident_carries_entity_and_peak(self):
+        times, values = _series([50, 150, 400, 150, 60, 60, 60])
+        incident, = detect_incidents(
+            times, values, 100.0, entity="obs"
+        )
+        assert incident.entity == "obs"
+        assert incident.resource == "p95_ms"
+        assert incident.peak_ms == 400.0
+        assert incident.samples == 3
+        assert incident.slo_ms == 100.0
+
+    def test_min_samples_drops_blips(self):
+        times, values = _series([50, 150, 60, 60, 60, 60])
+        assert (
+            detect_incidents(times, values, 100.0, min_samples=2) == []
+        )
+        assert (
+            len(detect_incidents(times, values, 100.0, min_samples=1)) == 1
+        )
+
+    def test_to_dict_is_plain_data(self):
+        times, values = _series([150, 150, 60, 60, 60])
+        incident, = detect_incidents(times, values, 100.0, entity="fleet")
+        record = incident.to_dict()
+        assert record["entity"] == "fleet"
+        assert record["start_s"] == 2.0
+        assert record["width_s"] == 2 * WINDOW_S

@@ -1,0 +1,118 @@
+"""Tests for chaos-sweep ranking and the run manifest."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import run_scenario
+from repro.experiments.suite import run_suite, suite_grid
+from repro.obs import build_manifest, render_manifest
+from repro.obs.ranking import (
+    policy_ranking_data,
+    render_policy_ranking_table,
+    write_ranking_figures,
+)
+
+
+@pytest.fixture(scope="module")
+def chaos_suite():
+    """A 2-policy x faulted chaos sweep (watch-only vs threshold)."""
+    runs = suite_grid(
+        controllers=(None, "threshold"),
+        faults=("crash@60",),
+        duration_s=120.0,
+        seed=7,
+        clients=300,
+    )
+    return run_suite(runs, workers=1, diagnose=True)
+
+
+class TestPolicyRanking:
+    def test_one_row_per_diagnosed_cell(self, chaos_suite):
+        rows = policy_ranking_data(chaos_suite)
+        assert len(rows) == 2
+        assert {row["run_id"] for row in rows} == set(
+            chaos_suite.summaries
+        )
+        for row in rows:
+            assert row["incidents"] >= 0
+            assert row["usd_per_kilorequest"] > 0
+            assert row["precision_at_1"] is not None
+
+    def test_rows_rank_recovered_before_unrecovered(self, chaos_suite):
+        rows = policy_ranking_data(chaos_suite)
+        recovered_flags = [row["recovered"] for row in rows]
+        assert recovered_flags == sorted(recovered_flags, reverse=True)
+
+    def test_table_renders_every_run(self, chaos_suite):
+        table = render_policy_ranking_table(chaos_suite)
+        for run_id in chaos_suite.summaries:
+            assert run_id[:40] in table
+        assert "$/kRq" in table and "p@1" in table
+
+    def test_undiagnosed_suite_is_rejected(self):
+        runs = suite_grid(duration_s=30.0, seed=3, clients=60)
+        suite = run_suite(runs, workers=1)
+        with pytest.raises(ConfigurationError):
+            policy_ranking_data(suite)
+
+    def test_figures_written_per_metric(self, chaos_suite, tmp_path):
+        paths = write_ranking_figures(chaos_suite, str(tmp_path))
+        assert len(paths) == 4
+        names = {path.rsplit("/", 1)[-1].split(".")[0] for path in paths}
+        assert names == {
+            "ranking_slo_violation_s",
+            "ranking_recovery_s",
+            "ranking_usd_per_kilorequest",
+            "ranking_precision_at_1",
+        }
+        for path in paths:
+            with open(path, "rb") as handle:
+                assert handle.read(16)
+
+
+class TestManifest:
+    @pytest.fixture(scope="class")
+    def observed_result(self):
+        from repro.config import ExperimentConfig
+
+        spec = ExperimentConfig(
+            environment="virtualized",
+            composition="browsing",
+            duration_s=60.0,
+            seed=5,
+            clients=100,
+            controller="threshold",
+            faults="crash@30",
+        ).to_scenario()
+        return run_scenario(spec, observe=True)
+
+    def test_manifest_fields(self, observed_result):
+        manifest = build_manifest(observed_result)
+        assert len(manifest["config_fingerprint"]) == 64
+        assert len(manifest["trace_sha256"]) == 64
+        assert manifest["events_fired"] > 0
+        assert set(manifest["phases_s"]) == {
+            "build", "simulate", "collect",
+        }
+        assert manifest["series"]["by_entity"]["obs"] == 6
+        assert manifest["annotations"]["total"] == len(
+            observed_result.annotations
+        )
+        assert manifest["subsystems"]["faults"]["injected"] == 1
+        assert "billing" not in manifest["subsystems"]
+
+    def test_fingerprint_tracks_the_cache_key(self, observed_result):
+        from repro.obs.manifest import config_fingerprint
+
+        scenario = observed_result.scenario
+        assert config_fingerprint(scenario) == config_fingerprint(
+            scenario
+        )
+
+    def test_render_mentions_the_headline_numbers(self, observed_result):
+        manifest = build_manifest(observed_result)
+        text = render_manifest(manifest)
+        assert manifest["config_fingerprint"][:16] in text
+        assert manifest["trace_sha256"][:16] in text
+        assert "annotations" in text
+        assert "[faults]" in text

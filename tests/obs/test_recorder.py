@@ -1,0 +1,124 @@
+"""Tests for the observation recorder (physics-neutrality, series)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import (
+    detect_and_evacuate_scenario,
+    scenario,
+)
+from repro.monitoring.export import annotations_to_jsonl
+from repro.obs.recorder import OBS_PRIORITY
+
+
+@pytest.fixture(scope="module")
+def paired_runs():
+    """The same faulted fleet drill, unobserved and observed."""
+    spec = detect_and_evacuate_scenario(
+        duration_s=150.0, seed=11, clients=120
+    )
+    return run_scenario(spec), run_scenario(spec, observe=True)
+
+
+class TestPhysicsNeutrality:
+    def test_every_preexisting_series_is_bit_identical(self, paired_runs):
+        plain, observed = paired_runs
+        for entity, resource in plain.traces.keys():
+            a = plain.traces.get(entity, resource)
+            b = observed.traces.get(entity, resource)
+            assert np.array_equal(a.times, b.times), (entity, resource)
+            assert np.array_equal(a.values, b.values), (entity, resource)
+
+    def test_client_outcomes_unchanged(self, paired_runs):
+        plain, observed = paired_runs
+        assert observed.requests_completed == plain.requests_completed
+        assert (
+            observed.mean_response_time_s == plain.mean_response_time_s
+        )
+
+    def test_observation_only_adds_obs_series(self, paired_runs):
+        plain, observed = paired_runs
+        added = set(observed.traces.keys()) - set(plain.traces.keys())
+        assert added and all(entity == "obs" for entity, _ in added)
+
+    def test_priority_slot_is_unique(self):
+        from repro.faults.controller import FAULT_PRIORITY
+
+        # Recorder tick 30, elastic tick 40, fleet tick 45 (literals
+        # at their _arm call sites), fault transitions 50.
+        taken = {30, 40, 45, FAULT_PRIORITY}
+        assert OBS_PRIORITY not in taken
+        assert 45 < OBS_PRIORITY < FAULT_PRIORITY
+
+
+class TestObsSeries:
+    def test_obs_p95_matches_the_fleet_controllers(self, paired_runs):
+        _, observed = paired_runs
+        obs = observed.traces.get("obs", "p95_ms")
+        fleet = observed.traces.get("fleet", "p95_ms")
+        assert np.array_equal(obs.times, fleet.times)
+        assert np.array_equal(obs.values, fleet.values)
+
+    def test_event_counts_are_cumulative_per_source(self, paired_runs):
+        _, observed = paired_runs
+        total = observed.traces.get("obs", "events").values
+        assert (np.diff(total) >= 0).all()
+        assert total[-1] == len(observed.annotations)
+        by_source = observed.annotations.counts_by_source()
+        for source, count in by_source.items():
+            series = observed.traces.get("obs", f"{source}_events")
+            assert series.values[-1] == count
+
+    def test_report_lands_in_control_reports(self, paired_runs):
+        _, observed = paired_runs
+        report = observed.control_reports["obs"]
+        assert report["kind"] == "obs"
+        assert report["events"] == len(observed.annotations)
+        assert report["servers"] == ["cloud-1", "cloud-2"]
+        assert sum(report["by_source"].values()) == report["events"]
+
+    def test_unobserved_run_has_no_annotations(self, paired_runs):
+        plain, _ = paired_runs
+        assert plain.annotations is None
+        assert "obs" not in (plain.control_reports or {})
+
+
+class TestRunnerMetadata:
+    def test_phases_and_event_counts(self, paired_runs):
+        _, observed = paired_runs
+        assert observed.events_fired > 0
+        assert set(observed.phases_s) == {"build", "simulate", "collect"}
+        assert all(v >= 0 for v in observed.phases_s.values())
+
+
+class TestBareMetalObservation:
+    def test_observe_works_without_a_hypervisor(self):
+        result = run_scenario(
+            scenario("bare-metal", "browsing", duration_s=40.0),
+            observe=True,
+        )
+        # No hooks to tap, but the SLO probe still samples.
+        assert len(result.annotations) == 0
+        assert len(result.traces.get("obs", "p95_ms")) > 0
+
+
+class TestJsonlExport:
+    def test_round_trip_is_ordered_and_parseable(self, paired_runs):
+        import json
+
+        _, observed = paired_runs
+        text = annotations_to_jsonl(observed.annotations)
+        records = [json.loads(line) for line in text.splitlines()]
+        assert len(records) == len(observed.annotations)
+        keys = [
+            (r["time_s"], r["priority"], r["seq"]) for r in records
+        ]
+        assert keys == sorted(keys)
+
+    def test_accepts_plain_dicts(self):
+        text = annotations_to_jsonl([{"time_s": 1.0}, {"time_s": 2.0}])
+        assert text.count("\n") == 2
+
+    def test_empty_stream_exports_empty(self):
+        assert annotations_to_jsonl([]) == ""

@@ -30,6 +30,7 @@ class TestPublicApi:
             "repro.planning",
             "repro.traffic",
             "repro.experiments",
+            "repro.obs",
             "repro.mapreduce",
             "repro.config",
             "repro.cli",
