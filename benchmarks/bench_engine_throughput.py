@@ -17,6 +17,7 @@ whole file runs in a few seconds (the CI smoke configuration).
 
 import os
 import time
+from dataclasses import replace
 
 from repro.experiments.runner import run_scenario
 from repro.experiments.scenarios import scenario
@@ -30,6 +31,24 @@ QUICK = os.environ.get("REPRO_BENCH_QUICK", "").strip() in ("1", "true", "yes")
 HORIZON_S = 30.0 if QUICK else 240.0
 #: Pure event-loop horizon.
 LOOP_HORIZON_S = 5.0 if QUICK else 50.0
+
+#: Classic-engine event counts per configuration, shared with the
+#: batched variants below: the batched engine fires only drain ticks,
+#: so its honest throughput figure is *classic-equivalent* events/s —
+#: the events the classic engine needs for the same simulated work,
+#: divided by the batched wall time.
+_CLASSIC_EVENTS = {}
+
+
+def _classic_events(key, sc, registry):
+    """Classic event count for ``sc``, reusing the classic bench's run."""
+    if key not in _CLASSIC_EVENTS:
+        result = run_scenario(
+            sc, collect_full_registry=True, registry=registry,
+            columnar_rows=True,
+        )
+        _CLASSIC_EVENTS[key] = result.deployment.sim.events_fired
+    return _CLASSIC_EVENTS[key]
 
 
 def test_full_registry_scenario_throughput(benchmark):
@@ -52,8 +71,10 @@ def test_full_registry_scenario_throughput(benchmark):
 
     result, elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
     events = result.deployment.sim.events_fired
+    _CLASSIC_EVENTS["full_registry"] = events
     samples = len(result.columnar)
     metric_columns = len(result.columnar.columns) - 1  # minus time_s
+    benchmark.extra_info["engine"] = "classic"
     benchmark.extra_info["horizon_s"] = HORIZON_S
     benchmark.extra_info["events_fired"] = events
     benchmark.extra_info["events_per_s"] = round(events / elapsed)
@@ -105,8 +126,10 @@ def test_million_event_scenario_throughput(benchmark):
 
     result, elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
     events = result.deployment.sim.events_fired
+    _CLASSIC_EVENTS["million_event"] = events
     samples = len(result.columnar)
     metric_columns = len(result.columnar.columns) - 1
+    benchmark.extra_info["engine"] = "classic"
     benchmark.extra_info["clients"] = clients
     benchmark.extra_info["events_fired"] = events
     benchmark.extra_info["events_per_s"] = round(events / elapsed)
@@ -119,6 +142,89 @@ def test_million_event_scenario_throughput(benchmark):
     )
     if not QUICK:
         assert events > 1_000_000
+
+
+def test_full_registry_scenario_throughput_batched(benchmark):
+    """The full-registry scenario under ``engine="batched"``.
+
+    Same simulated work as the classic bench above; the reported
+    ``events_per_s`` is *classic-equivalent* (classic events for this
+    configuration over batched wall time), so the two rows compare
+    directly.
+    """
+    registry = build_registry()
+    base = scenario("virtualized", "browsing", duration_s=HORIZON_S, seed=7)
+    sc = replace(base, name=f"{base.name}%batched", engine="batched")
+    run_scenario(scenario("virtualized", "browsing", duration_s=4.0, seed=1))
+    classic_events = _classic_events("full_registry", base, registry)
+
+    def run():
+        start = time.perf_counter()
+        result = run_scenario(
+            sc,
+            collect_full_registry=True,
+            registry=registry,
+            columnar_rows=True,
+        )
+        return result, time.perf_counter() - start
+
+    result, elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    samples = len(result.columnar)
+    metric_columns = len(result.columnar.columns) - 1
+    benchmark.extra_info["engine"] = "batched"
+    benchmark.extra_info["horizon_s"] = HORIZON_S
+    benchmark.extra_info["classic_equivalent_events"] = classic_events
+    benchmark.extra_info["events_per_s"] = round(classic_events / elapsed)
+    benchmark.extra_info["metrics_per_s"] = round(
+        samples * metric_columns / elapsed
+    )
+    print(
+        f"\nbatched: {classic_events:,} classic-equivalent events in "
+        f"{elapsed:.3f}s -> {classic_events / elapsed:,.0f} events/s"
+    )
+    assert samples == int(HORIZON_S // 2)
+    assert result.requests_completed > 0
+
+
+def test_million_event_scenario_throughput_batched(benchmark):
+    """The million-event acceptance configuration under the batched engine.
+
+    The Epoch-2 headline number: classic-equivalent events/s on the
+    exact configuration PERFORMANCE.md tracks (5000 clients, 240 s,
+    full registry, columnar).
+    """
+    clients = 1_000 if QUICK else 5_000
+    horizon = 30.0 if QUICK else 240.0
+    registry = build_registry()
+    base = scenario(
+        "virtualized", "browsing", duration_s=horizon, seed=7,
+        clients=clients,
+    )
+    sc = replace(base, name=f"{base.name}%batched", engine="batched")
+    run_scenario(scenario("virtualized", "browsing", duration_s=4.0, seed=1))
+    classic_events = _classic_events("million_event", base, registry)
+
+    def run():
+        start = time.perf_counter()
+        result = run_scenario(
+            sc,
+            collect_full_registry=True,
+            registry=registry,
+            columnar_rows=True,
+        )
+        return result, time.perf_counter() - start
+
+    result, elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["engine"] = "batched"
+    benchmark.extra_info["clients"] = clients
+    benchmark.extra_info["classic_equivalent_events"] = classic_events
+    benchmark.extra_info["events_per_s"] = round(classic_events / elapsed)
+    print(
+        f"\nbatched, {clients} clients: {classic_events:,} "
+        f"classic-equivalent events in {elapsed:.2f}s "
+        f"-> {classic_events / elapsed:,.0f} events/s"
+    )
+    assert result.requests_completed > 0
 
 
 def test_pure_event_loop_throughput(benchmark):

@@ -123,6 +123,18 @@ def _build_parser() -> argparse.ArgumentParser:
              "shed and reported)",
     )
     run_parser.add_argument(
+        "--engine", default="classic", choices=("classic", "batched"),
+        help="request engine: 'classic' (event-per-hop, the bit-stable "
+             "default) or 'batched' (array-native cohort engine; "
+             "equivalent in distribution, not bitwise — see "
+             "PERFORMANCE.md)",
+    )
+    run_parser.add_argument(
+        "--profile", default=None, metavar="FILE",
+        help="profile the run loop with cProfile and dump the pstats "
+             "data to FILE (inspect with `python -m pstats FILE`)",
+    )
+    run_parser.add_argument(
         "--controller", default="none",
         choices=("none", "static", "threshold", "pid", "predictive"),
         help="elastic-control policy resizing the web VMs mid-run "
@@ -239,6 +251,11 @@ def _build_parser() -> argparse.ArgumentParser:
              "'+'-joined kind@at[:duration[:magnitude]][/target] "
              "schedule or 'none' for the fault-free cell "
              "(default: none)",
+    )
+    sweep_parser.add_argument(
+        "--engines", default="classic",
+        help="comma-separated request-engine axis: classic, batched "
+             "(default: classic); composes with --grid presets",
     )
     sweep_parser.add_argument(
         "--figures", default=None, metavar="DIR",
@@ -458,9 +475,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
             servers=args.servers,
             placement=args.placement,
             faults=args.faults,
+            engine=args.engine,
             collect_full_registry=args.columnar,
         )
         spec = config.to_scenario()
+    if args.scenario is not None and args.engine != "classic":
+        # The engine composes with catalogue entries: same workload,
+        # same shape, array-native execution.
+        from dataclasses import replace as _replace
+
+        spec = _replace(
+            spec, name=f"{spec.name}%{args.engine}", engine=args.engine
+        )
     if spec.open_loop:
         if spec.traffic.kind == "trace" and spec.traffic.rate_rps is None:
             # The replay rate comes from the trace file, not the mix.
@@ -493,12 +519,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"{spec.duration_s:.0f}s simulated",
         file=sys.stderr,
     )
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     result = run_scenario(
         spec,
         collect_full_registry=args.columnar,
         columnar_rows=args.columnar,
         observe=args.diagnose or args.export_annotations is not None,
     )
+    if profiler is not None:
+        import pstats
+
+        profiler.disable()
+        profiler.dump_stats(args.profile)
+        stats = pstats.Stats(profiler)
+        print(
+            f"profile written to {args.profile} "
+            f"({stats.total_calls} calls, {stats.total_tt:.2f}s); "
+            f"inspect with `python -m pstats {args.profile}`",
+            file=sys.stderr,
+        )
     print(
         f"completed {result.requests_completed} requests "
         f"(X={result.throughput_rps:.1f} req/s, mean response "
@@ -671,9 +715,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 f"{', '.join(rejected)}; presets define their own axes "
                 "(omit --grid to build a custom grid)"
             )
+    engines = _split_axis(args.engines)
     if args.grid == "paper":
         runs = paper_matrix_suite(
-            duration_s=args.duration, seed=args.seed, clients=args.clients
+            duration_s=args.duration, seed=args.seed, clients=args.clients,
+            engines=engines,
         )
     elif args.grid == "quick":
         # The CI smoke grid: two short virtualized runs.
@@ -683,6 +729,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             duration_s=args.duration if args.duration is not None else 40.0,
             seed=args.seed,
             clients=args.clients if args.clients is not None else 150,
+            engines=engines,
         )
     else:
         mixes = []
@@ -712,6 +759,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 None if token == "none" else token
                 for token in _split_axis(args.faults)
             ],
+            engines=engines,
             duration_s=args.duration,
             seed=args.seed,
             clients=args.clients,

@@ -16,6 +16,7 @@ from repro.control.spec import CONTROLLER_KINDS, ControllerSpec
 from repro.errors import ConfigurationError
 from repro.faults.spec import FaultSchedule
 from repro.experiments.scenarios import (
+    ENGINES,
     ENVIRONMENTS,
     VIRTUALIZED,
     Scenario,
@@ -67,6 +68,11 @@ class ExperimentConfig:
     #: ``--faults`` syntax, see :mod:`repro.faults.spec`); None or
     #: ``"none"`` runs fault-free.
     faults: Optional[str] = None
+    #: Request-engine selector: ``"classic"`` (event-per-hop, the
+    #: bit-stable default) or ``"batched"`` (array-native cohort
+    #: engine; equivalent in distribution, not bitwise — see
+    #: PERFORMANCE.md "Epoch 2").
+    engine: str = "classic"
     collect_full_registry: bool = False
     metadata: dict = field(default_factory=dict)
 
@@ -111,6 +117,10 @@ class ExperimentConfig:
         ):
             raise ConfigurationError(
                 "controllers require the virtualized environment"
+            )
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; choose from {ENGINES}"
             )
         if self.servers < 1:
             raise ConfigurationError("servers must be >= 1")
@@ -211,6 +221,10 @@ class ExperimentConfig:
                 name=f"{spec.name}!{schedule.as_cli_string()}",
                 faults=schedule,
             )
+        if self.engine != "classic":
+            spec = replace(
+                spec, name=f"{spec.name}%{self.engine}", engine=self.engine
+            )
         return spec
 
     @property
@@ -244,6 +258,7 @@ class ExperimentConfig:
             "servers",
             "placement",
             "faults",
+            "engine",
             "collect_full_registry",
             "metadata",
         }

@@ -29,6 +29,7 @@ from repro.rubis.client import SessionStats
 from repro.rubis.deployment import Deployment
 from repro.sim.engine import Simulator
 from repro.sim.random import RandomStreams
+from repro.rubis.batched import BatchedOpenDriver
 from repro.traffic.driver import OpenLoopDriver
 from repro.traffic.trace import RateTrace
 from repro.experiments.scenarios import Scenario
@@ -83,8 +84,10 @@ class ExperimentResult:
 
     @property
     def open_loop(self) -> bool:
-        """True when an OpenLoopDriver produced this result."""
-        return isinstance(self.population, OpenLoopDriver)
+        """True when an open-loop driver (either engine) produced this."""
+        return isinstance(
+            self.population, (OpenLoopDriver, BatchedOpenDriver)
+        )
 
     @property
     def p95_response_time_s(self) -> float:
@@ -202,7 +205,7 @@ def run_scenario(
         ),
         traffic_report=(
             population.summary()
-            if isinstance(population, OpenLoopDriver)
+            if isinstance(population, (OpenLoopDriver, BatchedOpenDriver))
             else None
         ),
         tenant_reports=testbed.tenant_reports(),

@@ -45,6 +45,10 @@ VIRTUALIZED = "virtualized"
 BARE_METAL = "bare-metal"
 ENVIRONMENTS = (VIRTUALIZED, BARE_METAL)
 
+CLASSIC_ENGINE = "classic"
+BATCHED_ENGINE = "batched"
+ENGINES = (CLASSIC_ENGINE, BATCHED_ENGINE)
+
 #: CI-friendly default run length; the paper used ~1200 s.
 SHORT_DURATION_S = 240.0
 FULL_DURATION_S = 1200.0
@@ -109,8 +113,17 @@ class Scenario:
     #: riding the event loop.  None (the default) adds *nothing* to the
     #: run — fault-free scenarios keep bit-identical traces.
     faults: Optional[FaultSchedule] = None
+    #: Request engine: ``"classic"`` (per-event lifecycles, the default,
+    #: bit-identical to the pre-epoch-2 traces) or ``"batched"`` (array
+    #: cohort lifecycles, equivalent in distribution; see
+    #: :mod:`repro.rubis.batched`).
+    engine: str = "classic"
 
     def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; choose from {ENGINES}"
+            )
         if self.environment not in ENVIRONMENTS:
             raise ConfigurationError(
                 f"unknown environment {self.environment!r}; "
@@ -224,7 +237,13 @@ class Scenario:
             self.placement,
             self.fleet,
             self.faults,
+            self.engine,
         )
+
+    @property
+    def batched(self) -> bool:
+        """True when the array-native request engine drives this run."""
+        return self.engine == BATCHED_ENGINE
 
     @property
     def faulted(self) -> bool:

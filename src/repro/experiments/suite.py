@@ -168,6 +168,7 @@ def suite_grid(
     servers: Sequence[int] = (1,),
     placement: Optional[str] = None,
     faults: Sequence[Optional[str]] = (None,),
+    engines: Sequence[str] = ("classic",),
     duration_s: Optional[float] = None,
     seed: int = 42,
     clients: Optional[int] = None,
@@ -184,15 +185,17 @@ def suite_grid(
     ``servers`` axis grids over fleet sizes (``placement`` selects the
     policy multi-server cells place with); the ``faults`` axis grids
     over fault-schedule tokens (``--faults`` syntax, ``none`` for the
-    fault-free cell).
+    fault-free cell); the ``engines`` axis grids over request engines
+    (``classic``/``batched``), letting one sweep compare the two
+    engines cell by cell at matched seeds.
     """
     runs: List[SuiteRun] = []
     for (
         environment, composition, traffic, scale, tenants, controller,
-        server_count, fault_token,
+        server_count, fault_token, engine,
     ) in itertools.product(
         environments, compositions, traffics, scales, tenant_mixes,
-        controllers, servers, faults,
+        controllers, servers, faults, engines,
     ):
         tenants = tuple(tenants)
         if tenants and environment != "virtualized":
@@ -215,13 +218,14 @@ def suite_grid(
         if tenants:
             parts.append("+".join(t.name for t in tenants))
         # The per-run seed is derived *before* the controller,
-        # fleet-size and fault tokens are appended: cells that differ
-        # only in scaling policy, server count or injected faults
-        # change the *infrastructure* (or what breaks it), not the
-        # offered workload, and must run the same seed (and therefore
-        # the same arrival stream) — or the static-vs-policy,
-        # s2/s1 and faulted-vs-clean ratios in the aggregate table
-        # would compare across seed noise.
+        # fleet-size, fault and engine tokens are appended: cells that
+        # differ only in scaling policy, server count, injected faults
+        # or request engine change the *infrastructure* (or what
+        # breaks it, or how the lifecycle executes), not the offered
+        # workload, and must run the same seed (and therefore the same
+        # arrival stream) — or the static-vs-policy, s2/s1,
+        # faulted-vs-clean and batched-vs-classic ratios in the
+        # aggregate table would compare across seed noise.
         seed_id = "/".join(parts)
         if server_count > 1:
             parts.append(f"s{server_count}")
@@ -229,6 +233,8 @@ def suite_grid(
             parts.append(f"ctl-{controller}")
         if fault_token is not None:
             parts.append(f"!{fault_token}")
+        if engine != "classic":
+            parts.append(f"eng-{engine}")
         run_id = "/".join(parts)
         config = ExperimentConfig(
             environment=environment,
@@ -243,6 +249,7 @@ def suite_grid(
             servers=server_count,
             placement=placement if server_count > 1 else None,
             faults=fault_token,
+            engine=engine,
         )
         runs.append(SuiteRun(run_id=run_id, config=config))
     if not runs:
@@ -254,11 +261,17 @@ def paper_matrix_suite(
     duration_s: Optional[float] = None,
     seed: int = 42,
     clients: Optional[int] = None,
+    engines: Sequence[str] = ("classic",),
 ) -> List[SuiteRun]:
-    """The paper's published 4-run matrix (2 environments x 2 workloads)."""
+    """The paper's published 4-run matrix (2 environments x 2 workloads).
+
+    ``engines`` optionally grids the matrix over request engines (the
+    input to the classic-vs-batched equivalence harness).
+    """
     return suite_grid(
         environments=("virtualized", "bare-metal"),
         compositions=("browsing", "bidding"),
+        engines=engines,
         duration_s=duration_s,
         seed=seed,
         clients=clients,
@@ -310,6 +323,27 @@ def execute_run(
         control_reports=result.control_reports,
         diagnosis=diagnosis,
     )
+
+
+def warm_worker() -> None:
+    """Pre-pay a worker process's one-time warmup at pool start.
+
+    A spawned worker's first run otherwise imports the whole stack and
+    calibrates both environments lazily (~1.5 s per worker, see
+    PERFORMANCE.md); running this as the pool initializer overlaps that
+    cost with pool startup and guarantees every later run in the worker
+    hits the memoized calibration and matrix caches.  Pure warmup: it
+    draws no randomness and builds no simulator state, so results are
+    bit-identical with or without it.
+    """
+    from repro.experiments.runner import run_scenario  # noqa: F401
+    from repro.experiments.testbed import calibrated_environment
+    from repro.rubis.transitions import bidding_matrix, browsing_matrix
+
+    for environment in ("virtualized", "bare-metal"):
+        calibrated_environment(environment)
+    for matrix in (browsing_matrix(), bidding_matrix()):
+        matrix.stationary_distribution()
 
 
 def _execute_payload(payload: dict) -> dict:
@@ -374,7 +408,8 @@ def run_suite(
         ]
         context = multiprocessing.get_context("spawn")
         with ProcessPoolExecutor(
-            max_workers=workers, mp_context=context
+            max_workers=workers, mp_context=context,
+            initializer=warm_worker,
         ) as pool:
             summaries = [
                 RunSummary.from_dict(out)

@@ -260,14 +260,35 @@ def _bidding_transitions() -> Dict[str, Dict[str, float]]:
     return transitions
 
 
+_canonical_matrices: Dict[str, TransitionMatrix] = {}
+
+
 def browsing_matrix() -> TransitionMatrix:
-    """The read-only browsing mix."""
-    return TransitionMatrix("browsing", _browsing_transitions())
+    """The read-only browsing mix.
+
+    Returns one shared (immutable) instance per process: the chain is
+    read-only after construction, and sharing keeps its
+    stationary-distribution cache warm across the many runs a suite
+    worker executes (calibration asks for the distribution on every
+    deployment build).
+    """
+    if "browsing" not in _canonical_matrices:
+        _canonical_matrices["browsing"] = TransitionMatrix(
+            "browsing", _browsing_transitions()
+        )
+    return _canonical_matrices["browsing"]
 
 
 def bidding_matrix() -> TransitionMatrix:
-    """The default bidding mix (~15 % read-write interactions)."""
-    return TransitionMatrix("bidding", _bidding_transitions())
+    """The default bidding mix (~15 % read-write interactions).
+
+    Shared per process, like :func:`browsing_matrix`.
+    """
+    if "bidding" not in _canonical_matrices:
+        _canonical_matrices["bidding"] = TransitionMatrix(
+            "bidding", _bidding_transitions()
+        )
+    return _canonical_matrices["bidding"]
 
 
 def matrix_for(session_type: str) -> TransitionMatrix:

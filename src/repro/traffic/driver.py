@@ -74,6 +74,34 @@ class ArrivalMeter:
             self._n = index + 1
         self.total += 1
 
+    def record_batch(self, times: np.ndarray) -> None:
+        """Count a batch of arrivals in one pass (the batched engine's
+        bulk path).  Equivalent to calling :meth:`record` per element."""
+        times = np.asarray(times)
+        if times.size == 0:
+            return
+        indices = (
+            (times - self.start_time_s) / self.interval_s
+        ).astype(np.int64)
+        low = int(indices.min())
+        if low < 0:
+            raise ConfigurationError(
+                f"arrival at t={times[int(indices.argmin())]} precedes "
+                f"meter start {self.start_time_s}"
+            )
+        high = int(indices.max())
+        if high >= len(self._counts):
+            capacity = len(self._counts)
+            while capacity <= high:
+                capacity *= 2
+            grown = np.zeros(capacity, dtype=np.int64)
+            grown[: self._n] = self._counts[: self._n]
+            self._counts = grown
+        np.add.at(self._counts, indices, 1)
+        if high + 1 > self._n:
+            self._n = high + 1
+        self.total += int(times.size)
+
     @property
     def counts(self) -> np.ndarray:
         """Per-interval arrival counts (read-only view)."""

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.monitoring.probes import ContextProbe, Probe
+from repro.rubis.batched import BatchedClosedDriver, BatchedOpenDriver
 from repro.rubis.client import ClientPopulation
 from repro.rubis.deployment import Deployment
 from repro.rubis.transitions import bidding_matrix, browsing_matrix
@@ -22,6 +23,7 @@ from repro.sim.engine import Simulator
 from repro.sim.random import RandomStreams
 from repro.traffic.driver import ArrivalMeter, OpenLoopDriver
 from repro.traffic.spec import build_driver as build_traffic_driver
+from repro.traffic.spec import build_process as build_traffic_process
 from repro.workloads.base import Workload
 
 
@@ -56,17 +58,49 @@ class RubisWorkload(Workload):
             SessionType.BID: bidding_matrix(),
         }
         traffic = scenario.traffic
+        batched = getattr(scenario, "engine", "classic") == "batched"
         self.meter: Optional[ArrivalMeter] = None
         if traffic is not None and traffic.open_loop:
-            self.population = build_traffic_driver(
-                traffic,
+            if batched:
+                process = build_traffic_process(
+                    traffic,
+                    scenario.mix,
+                    streams.stream(f"{traffic.stream}.arrivals"),
+                )
+                self.population = BatchedOpenDriver(
+                    sim,
+                    scenario.mix,
+                    deployment,
+                    streams,
+                    matrices,
+                    process,
+                    session_budget=traffic.session_budget,
+                    requests_per_session=traffic.requests_per_session,
+                    retry_max=traffic.retry_max,
+                    retry_backoff_s=traffic.retry_backoff_s,
+                )
+            else:
+                self.population = build_traffic_driver(
+                    traffic,
+                    sim,
+                    scenario.mix,
+                    deployment.send,
+                    streams,
+                    matrices,
+                )
+            self.meter = self.population.meter
+        elif batched:
+            meter = ArrivalMeter() if meter_arrivals else None
+            self.population = BatchedClosedDriver(
                 sim,
                 scenario.mix,
-                deployment.send,
+                deployment,
                 streams,
                 matrices,
+                ramp_s=scenario.ramp_s,
+                meter=meter,
             )
-            self.meter = self.population.meter
+            self.meter = meter
         else:
             send_fn = deployment.send
             if meter_arrivals:
@@ -113,7 +147,9 @@ class RubisWorkload(Workload):
 
     @property
     def open_loop(self) -> bool:
-        return isinstance(self.population, OpenLoopDriver)
+        return isinstance(
+            self.population, (OpenLoopDriver, BatchedOpenDriver)
+        )
 
     def summary(self) -> dict:
         stats = self.population.stats

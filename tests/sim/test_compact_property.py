@@ -1,0 +1,183 @@
+"""Property test: heap compaction under cancellation-heavy load.
+
+Drives :class:`~repro.sim.events.EventQueue` (and the engine-level
+``Simulator.cancel`` / :func:`~repro.sim.batched.bulk_cancel` paths the
+batched engine leans on) through long randomized schedule / cancel /
+pop interleavings, checking every observable against a naive reference
+queue that re-sorts a plain list.  The point is the bookkeeping the
+fast path can silently get wrong: ``len()`` across unnoted vs noted
+cancellations, compaction triggering, and total order stability across
+``compact()`` rebuilds.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim.batched import bulk_cancel
+from repro.sim.engine import Simulator
+from repro.sim.events import EventQueue
+
+
+class ReferenceQueue:
+    """The obviously correct queue: a sorted list, eager deletion."""
+
+    def __init__(self):
+        self._entries = []  # (time, priority, seq)
+        self._seq = 0
+
+    def push(self, time, priority=10):
+        key = (time, priority, self._seq)
+        self._seq += 1
+        self._entries.append(key)
+        self._entries.sort()
+        return key
+
+    def cancel(self, key):
+        self._entries.remove(key)
+
+    def pop(self):
+        return self._entries.pop(0)
+
+    def peek_time(self):
+        return self._entries[0][0] if self._entries else None
+
+    def __len__(self):
+        return len(self._entries)
+
+
+def _noop():
+    pass
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_queue_matches_reference_under_cancellation_storm(seed):
+    rng = random.Random(seed)
+    queue = EventQueue()
+    reference = ReferenceQueue()
+    live = {}  # ref key -> Event
+    clock = 0.0
+
+    for step in range(4000):
+        action = rng.random()
+        if action < 0.45 or not live:
+            # Schedule at or after the current clock, occasional ties.
+            time = clock + rng.choice([0.0, rng.random(), rng.random() * 10])
+            priority = rng.choice([0, 10, 10, 10, 20])
+            event = queue.push(time, _noop, (), priority)
+            key = reference.push(time, priority)
+            live[key] = event
+        elif action < 0.85:
+            # Cancel a random batch — the burst-wave pattern.  Half the
+            # batches go through note_cancelled (the accounted path),
+            # half cancel behind the queue's back (lazy discard).
+            batch = rng.sample(
+                sorted(live), k=min(len(live), rng.randint(1, 64))
+            )
+            accounted = rng.random() < 0.5
+            for key in batch:
+                event = live.pop(key)
+                event.cancel()
+                if accounted:
+                    queue.note_cancelled(event)
+                reference.cancel(key)
+        else:
+            # Pop the earliest live event from both; order must agree.
+            if len(reference) == 0:
+                # Anything left in the heap is cancelled debris.
+                with pytest.raises(SchedulingError):
+                    queue.pop()
+                continue
+            event = queue.pop()
+            key = reference.pop()
+            assert (event.time, event.priority) == (key[0], key[1])
+            assert live.pop(key) is event
+            clock = max(clock, event.time)
+
+        # Invariants after every operation.  Unnoted cancellations are
+        # documented to count as live until they surface, so len() may
+        # temporarily exceed the reference; a compact() reconciles the
+        # count exactly, and peeking always skips the dead.
+        assert len(queue) >= len(reference), f"live count lost at {step}"
+        assert queue.peek_time() == reference.peek_time()
+        if step % 97 == 0:
+            queue.compact()
+            assert len(queue) == len(reference), (
+                f"live count drifted at {step}"
+            )
+            assert queue.dead_entries == 0
+
+    # Drain completely: total order must match to the end.
+    queue.compact()
+    assert len(queue) == len(reference)
+    while len(reference):
+        event = queue.pop()
+        key = reference.pop()
+        assert (event.time, event.priority) == (key[0], key[1])
+    with pytest.raises(SchedulingError):
+        queue.pop()
+
+
+def test_note_cancelled_triggers_compaction():
+    queue = EventQueue()
+    events = [queue.push(float(i), _noop, ()) for i in range(200)]
+    # Cancel enough that dead (noted) entries outnumber the live rest.
+    doomed = events[: EventQueue.COMPACT_MIN_DEAD + 40]
+    for event in doomed:
+        event.cancel()
+        queue.note_cancelled(event)
+    assert queue.compactions >= 1
+    # Notes after the triggered compaction may re-accumulate a few dead
+    # entries, but never past the trigger threshold again.
+    assert queue.dead_entries <= EventQueue.COMPACT_MIN_DEAD
+    assert len(queue) == 200 - len(doomed)
+    # Survivors still pop in exact schedule order.
+    times = [queue.pop().time for _ in range(len(queue))]
+    assert times == sorted(times)
+
+
+def test_note_cancelled_is_idempotent_and_guards_live_events():
+    queue = EventQueue()
+    event = queue.push(1.0, _noop, ())
+    with pytest.raises(SchedulingError):
+        queue.note_cancelled(event)
+    event.cancel()
+    queue.note_cancelled(event)
+    queue.note_cancelled(event)  # second note must not double-count
+    assert len(queue) == 0
+    assert queue.dead_entries == 1
+
+
+def test_compact_accounts_unnoted_cancellations():
+    queue = EventQueue()
+    events = [queue.push(float(i), _noop, ()) for i in range(100)]
+    for event in events[:30]:
+        event.cancel()  # behind the queue's back: still counted live
+    assert len(queue) == 100
+    queue.compact()
+    assert len(queue) == 70
+    assert queue.dead_entries == 0
+
+
+@pytest.mark.parametrize("seed", [11, 12])
+def test_bulk_cancel_through_simulator(seed):
+    rng = random.Random(seed)
+    sim = Simulator()
+    fired = []
+    events = [
+        sim.schedule(rng.random() * 100, fired.append, i)
+        for i in range(3000)
+    ]
+    survivors = set(range(3000))
+    # Several storms, enough each time that compaction triggers.
+    for _ in range(4):
+        batch = rng.sample(sorted(survivors), k=700)
+        survivors -= set(batch)
+        cancelled = bulk_cancel(sim, [events[i] for i in batch])
+        assert cancelled == 700
+        # Re-cancelling is a no-op (bulk_cancel skips dead events).
+        assert bulk_cancel(sim, [events[i] for i in batch]) == 0
+    assert sim._queue.compactions >= 1
+    sim.run_until(200.0)
+    assert sorted(fired) == sorted(survivors)
