@@ -1,0 +1,104 @@
+"""Tail anatomy via request tracing — naming the p99's channel.
+
+The paper's thesis is that virtualization changes *where* web requests
+spend their time; aggregate percentiles can't show it, but sampled
+span trees can.  This example consolidates the browsing workload with
+a CPU-hungry grep-style MapReduce tenant on one hypervisor (contention
+armed through the credit scheduler), samples request traces, and
+decomposes the p99 − p50 latency gap channel by channel.
+
+At this operating point the web tiers are far from saturation — the
+median request barely queues — yet the p99 balloons whenever a batch
+job bursts onto the shared cores.  The span trees prove the mechanism:
+the gap is dominated by **CPU ready time** (the credit scheduler
+holding runnable web VCPUs off-core), not by queueing or service
+growth.  The script asserts exactly that, then prints the anatomy
+table, the attribution verdict and the slowest sampled request.
+
+Run:  PYTHONPATH=src python examples/trace_tail_anatomy.py
+Set REPRO_EXAMPLE_QUICK=1 for a CI-friendly horizon.
+"""
+
+import os
+from dataclasses import replace
+
+from repro.config import ExperimentConfig
+from repro.experiments.runner import run_scenario
+from repro.obs.tracing import (
+    latency_anatomy,
+    render_anatomy,
+    render_tail_attribution,
+    render_trace,
+    slowest_traces,
+    tail_attribution,
+)
+from repro.workloads import TenantSpec
+
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK", "") == "1"
+DURATION_S = 120.0 if QUICK else 240.0
+SEED = 7
+CLIENTS = 40
+TRACE_SAMPLE = 0.3
+
+#: CPU-bound co-tenant: grep-style jobs with a small input volume keep
+#: the shared dom0 device backends quiet, so the only interference
+#: channel left is the credit scheduler's core contention.
+TENANT = TenantSpec(
+    job="grep", input_mb=24.0, tasks=32, arrival_rate_per_s=0.3
+)
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        environment="virtualized",
+        composition="browsing",
+        duration_s=DURATION_S,
+        seed=SEED,
+        clients=CLIENTS,
+        # A controller-bearing testbed arms the hypervisor's VCPU
+        # contention refinement; "static" never resizes, so the
+        # contention is left to show in the spans.
+        controller="static",
+        tenants=(TENANT,),
+    )
+    spec = replace(config.to_scenario(), trace_sample=TRACE_SAMPLE)
+    print(f"running {spec.name} with trace_sample={TRACE_SAMPLE} ...")
+    result = run_scenario(spec)
+    traces = result.request_traces
+    print(
+        f"sampled {len(traces)} of {result.requests_completed} requests"
+    )
+    print()
+
+    anatomy = latency_anatomy(traces, percentiles=(50.0, 95.0, 99.0))
+    print(render_anatomy(anatomy))
+    print()
+
+    attribution = tail_attribution(traces, tail_percentile=99.0)
+    print(render_tail_attribution(attribution))
+    print()
+
+    print("slowest sampled request:")
+    print(render_trace(slowest_traces(traces, count=1)[0]))
+    print()
+
+    # The claim this example exists to prove: on a contended
+    # consolidated server the p99 - p50 gap is CPU ready time — the
+    # web VCPUs are runnable but held off-core by the batch tenant.
+    name, component = attribution.channel
+    assert (name, component) == ("cpu.web", "ready"), (
+        f"expected the p99 gap to be dominated by cpu.web ready time, "
+        f"got {name}:{component}"
+    )
+    ready_share = attribution.contributions[0][2] / attribution.gap_s
+    assert ready_share > 0.5, (
+        f"cpu.web:ready owns only {ready_share:.0%} of the gap"
+    )
+    print(
+        f"OK: cpu.web ready time owns {ready_share:.0%} of the "
+        f"p99 - p50 gap ({attribution.gap_s * 1e3:.1f} ms)"
+    )
+
+
+if __name__ == "__main__":
+    main()

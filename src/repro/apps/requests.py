@@ -66,6 +66,11 @@ class Request:
     #: the client.  Carried on the request so the tier pipeline passes
     #: stable bound methods instead of allocating per-request closures.
     on_response: Optional[Callable[["Request"], None]] = None
+    #: Span accumulator of a *sampled* request (a
+    #: :class:`repro.obs.tracing._TraceBuilder`); None for unsampled
+    #: requests and whenever tracing is off, so the request path only
+    #: pays a truthiness check.
+    trace: Optional[object] = None
 
     @property
     def response_time(self) -> Optional[float]:

@@ -42,6 +42,15 @@ class ExecutionContext:
     def cpu_time(self, cycles: float) -> float:
         raise NotImplementedError
 
+    def pure_cpu_time(self, cycles: float) -> float:
+        """Service time on an uncontended dedicated core.
+
+        The tracing layer's reference point: the gap between
+        :meth:`cpu_time` and this is the virtualization slowdown
+        (ready/steal/cap-throttle inflation) of one service.
+        """
+        raise NotImplementedError
+
     def charge_cpu(self, cycles: float) -> None:
         raise NotImplementedError
 
@@ -162,6 +171,9 @@ class VirtualizedContext(ExecutionContext):
                 return service_time(cycles, speed_fraction(domain_name))
 
         self.cpu_time = cpu_time
+        # Uncontended reference (speed fraction 1.0) for the tracing
+        # layer; prebound so a traced service costs one extra call.
+        self.pure_cpu_time = service_time
         sim = hypervisor.sim
         owner = domain.owner
         block = hypervisor.block_backend
@@ -202,6 +214,9 @@ class VirtualizedContext(ExecutionContext):
 
     def cpu_time(self, cycles: float) -> float:
         return self.hypervisor.cpu_time(self.domain, cycles)
+
+    def pure_cpu_time(self, cycles: float) -> float:
+        return self.hypervisor.server.cpu.service_time(cycles)
 
     def charge_cpu(self, cycles: float) -> None:
         self.hypervisor.charge_vm_cycles(self.domain, cycles)
@@ -313,6 +328,10 @@ class BareMetalContext(ExecutionContext):
         ).start()
 
     def cpu_time(self, cycles: float) -> float:
+        return self.server.cpu.service_time(cycles)
+
+    def pure_cpu_time(self, cycles: float) -> float:
+        # No hypervisor: bare-metal service already runs uncontended.
         return self.server.cpu.service_time(cycles)
 
     def charge_cpu(self, cycles: float) -> None:

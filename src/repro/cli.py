@@ -35,7 +35,12 @@ turns a faulted sweep into a chaos sweep that prints the policy
 ranking table.  ``diagnose`` runs one scenario observed and prints
 the run manifest, detected SLO incidents and ranked root-cause
 attribution (``repro run --diagnose`` appends the same report to a
-normal run).  ``compare`` reproduces the paper's Section 4.1/4.2
+normal run).  ``trace`` runs one scenario with deterministic request
+sampling (``repro run --trace-sample`` works too) and prints the
+latency-anatomy table, the p99-vs-median tail attribution and the
+slowest sampled span trees; ``--export-chrome-trace`` writes
+Chrome-``trace_event`` JSON for chrome://tracing / Perfetto.
+``compare`` reproduces the paper's Section 4.1/4.2
 comparison (the four ratio tables plus the Q1-Q5 findings);
 ``table1`` prints the metric catalogue sample.
 """
@@ -69,6 +74,8 @@ from repro.monitoring.export import (
     write_annotations_jsonl,
     write_columnar_csv,
     write_columnar_npz,
+    write_request_traces_chrome_json,
+    write_request_traces_jsonl,
     write_trace_csv,
     write_trace_json,
 )
@@ -189,6 +196,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "--export-annotations", default=None, metavar="PATH",
         help="write the annotation stream as JSON Lines (implies "
              "observation)",
+    )
+    run_parser.add_argument(
+        "--trace-sample", type=float, default=0.0, metavar="RATE",
+        help="sample this fraction of requests into span trees "
+             "(deterministic, RNG-free; 0 = off, the default); "
+             "composes with --scenario and either engine",
+    )
+    run_parser.add_argument(
+        "--export-traces", default=None, metavar="PATH",
+        help="write the sampled request traces as JSON Lines "
+             "(requires --trace-sample > 0)",
+    )
+    run_parser.add_argument(
+        "--export-chrome-trace", default=None, metavar="PATH",
+        help="write the sampled request traces as Chrome trace_event "
+             "JSON for chrome://tracing / Perfetto (requires "
+             "--trace-sample > 0)",
     )
 
     sweep_parser = sub.add_parser(
@@ -330,6 +354,57 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the manifest + diagnoses as JSON",
     )
 
+    trace_parser = sub.add_parser(
+        "trace",
+        help="run one scenario with request tracing and print the "
+             "latency anatomy",
+    )
+    trace_parser.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="catalogue entry to trace (see `repro run --list`); omit "
+             "to build the run from the flags below",
+    )
+    trace_parser.add_argument(
+        "--environment", default="virtualized",
+        choices=("virtualized", "bare-metal"),
+    )
+    trace_parser.add_argument("--composition", default="browsing")
+    trace_parser.add_argument("--duration", type=float, default=None)
+    trace_parser.add_argument("--seed", type=int, default=42)
+    trace_parser.add_argument("--clients", type=int, default=None)
+    trace_parser.add_argument(
+        "--engine", default="classic", choices=("classic", "batched"),
+        help="request engine to trace (both produce the same span "
+             "schema)",
+    )
+    trace_parser.add_argument(
+        "--faults", default=None, metavar="SCHEDULE",
+        help="fault schedule to inject (same syntax as `repro run`)",
+    )
+    trace_parser.add_argument(
+        "--sample", type=float, default=0.05, metavar="RATE",
+        help="request sampling rate (default 0.05)",
+    )
+    trace_parser.add_argument(
+        "--tail", type=float, default=99.0, metavar="P",
+        help="tail percentile attributed against the median "
+             "(default 99)",
+    )
+    trace_parser.add_argument(
+        "--slowest", type=int, default=3, metavar="N",
+        help="print the N slowest sampled requests span by span "
+             "(default 3)",
+    )
+    trace_parser.add_argument(
+        "--export-traces", default=None, metavar="PATH",
+        help="write the sampled request traces as JSON Lines",
+    )
+    trace_parser.add_argument(
+        "--export-chrome-trace", default=None, metavar="PATH",
+        help="write the sampled request traces as Chrome trace_event "
+             "JSON",
+    )
+
     compare_parser = sub.add_parser(
         "compare", help="reproduce the paper's cross-environment comparison"
     )
@@ -381,6 +456,14 @@ def _render_diagnosis(result, slo_ms: float) -> str:
             )
             for evidence in cause.evidence:
                 lines.append(f"      - {evidence}")
+        for trace in entry.exemplars:
+            slow = max(trace.spans, key=lambda s: s.duration_s)
+            lines.append(
+                f"  exemplar: session {trace.session_id} seq "
+                f"{trace.seq} {trace.interaction!r} took "
+                f"{trace.total_s * 1e3:.1f} ms "
+                f"({slow.name} {slow.duration_s * 1e3:.1f} ms)"
+            )
     if (result.control_reports or {}).get("faults"):
         grade = grade_attribution(result, diagnoses)
         lines.append(
@@ -388,6 +471,34 @@ def _render_diagnosis(result, slo_ms: float) -> str:
             f"{grade['correct']}/{grade['faults']} correct "
             f"(precision@1 {grade['precision_at_1']:.2f})"
         )
+    return "\n".join(lines)
+
+
+def _render_trace_report(result, tail: float, slowest: int) -> str:
+    """Latency anatomy + tail attribution + slowest span trees."""
+    from repro.obs.tracing import (
+        latency_anatomy,
+        render_anatomy,
+        render_tail_attribution,
+        render_trace,
+        slowest_traces,
+        tail_attribution,
+    )
+
+    traces = result.request_traces
+    if not traces:
+        return "no requests sampled (rate too low for this run length?)"
+    lines = [render_anatomy(latency_anatomy(traces, percentiles=(50.0, 95.0, tail)))]
+    if len(traces) >= 10:
+        lines.append("")
+        lines.append(
+            render_tail_attribution(
+                tail_attribution(traces, tail_percentile=tail)
+            )
+        )
+    for trace in slowest_traces(traces, slowest):
+        lines.append("")
+        lines.append(render_trace(trace))
     return "\n".join(lines)
 
 
@@ -407,6 +518,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 0
     if args.export_columnar and not args.columnar:
         raise ConfigurationError("--export-columnar requires --columnar")
+    if (
+        args.export_traces or args.export_chrome_trace
+    ) and args.trace_sample <= 0.0:
+        raise ConfigurationError(
+            "trace exports require --trace-sample > 0"
+        )
     if args.scenario is not None:
         # A catalogue entry fully describes its traffic and shaping, so
         # flags that would silently conflict with it are rejected
@@ -476,6 +593,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             placement=args.placement,
             faults=args.faults,
             engine=args.engine,
+            trace_sample=args.trace_sample,
             collect_full_registry=args.columnar,
         )
         spec = config.to_scenario()
@@ -487,6 +605,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         spec = _replace(
             spec, name=f"{spec.name}%{args.engine}", engine=args.engine
         )
+    if args.scenario is not None and args.trace_sample > 0.0:
+        # Tracing composes with catalogue entries too: it observes the
+        # run without perturbing it, so the name stays unsuffixed.
+        from dataclasses import replace as _replace
+
+        spec = _replace(spec, trace_sample=args.trace_sample)
     if spec.open_loop:
         if spec.traffic.kind == "trace" and spec.traffic.rate_rps is None:
             # The replay rate comes from the trace file, not the mix.
@@ -663,6 +787,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         write_annotations_jsonl(result.annotations, args.export_annotations)
         print(
             f"annotations written to {args.export_annotations}",
+            file=sys.stderr,
+        )
+    if result.request_traces is not None:
+        print()
+        print(_render_trace_report(result, tail=99.0, slowest=0))
+    if args.export_traces:
+        write_request_traces_jsonl(result.request_traces, args.export_traces)
+        print(
+            f"request traces written to {args.export_traces}",
+            file=sys.stderr,
+        )
+    if args.export_chrome_trace:
+        write_request_traces_chrome_json(
+            result.request_traces, args.export_chrome_trace
+        )
+        print(
+            f"chrome trace written to {args.export_chrome_trace}",
             file=sys.stderr,
         )
     if args.export_csv:
@@ -869,6 +1010,76 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from dataclasses import replace as _replace
+
+    if args.sample <= 0.0 or args.sample > 1.0:
+        raise ConfigurationError("--sample must be in (0, 1]")
+    if args.scenario is not None:
+        conflicting = {
+            "--environment": args.environment != "virtualized",
+            "--composition": args.composition != "browsing",
+            "--faults": args.faults is not None,
+        }
+        rejected = [flag for flag, given in conflicting.items() if given]
+        if rejected:
+            raise ConfigurationError(
+                f"--scenario is incompatible with {', '.join(rejected)}; "
+                "the catalogue entry defines its own workload and faults"
+            )
+        catalog = scenario_catalog(
+            duration_s=args.duration, seed=args.seed, clients=args.clients
+        )
+        if args.scenario not in catalog:
+            raise ConfigurationError(
+                f"unknown scenario {args.scenario!r}; "
+                "see `repro run --list` for the catalogue"
+            )
+        spec = catalog[args.scenario]
+        if args.engine != "classic":
+            spec = _replace(
+                spec, name=f"{spec.name}%{args.engine}", engine=args.engine
+            )
+    else:
+        config = ExperimentConfig(
+            environment=args.environment,
+            composition=args.composition,
+            duration_s=args.duration,
+            seed=args.seed,
+            clients=args.clients,
+            faults=args.faults,
+            engine=args.engine,
+        )
+        spec = config.to_scenario()
+    spec = _replace(spec, trace_sample=args.sample)
+    print(
+        f"tracing {spec.name}: {spec.duration_s:.0f}s simulated at "
+        f"sample rate {args.sample:g} ...",
+        file=sys.stderr,
+    )
+    result = run_scenario(spec)
+    traces = result.request_traces or []
+    print(
+        f"sampled {len(traces)} of {result.requests_completed} requests "
+        f"({spec.engine} engine)"
+    )
+    print()
+    print(_render_trace_report(result, tail=args.tail, slowest=args.slowest))
+    if args.export_traces:
+        write_request_traces_jsonl(traces, args.export_traces)
+        print(
+            f"request traces written to {args.export_traces}",
+            file=sys.stderr,
+        )
+    if args.export_chrome_trace:
+        write_request_traces_chrome_json(traces, args.export_chrome_trace)
+        print(
+            f"chrome trace written to {args.export_chrome_trace}",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     runs = {}
     for environment in ("virtualized", "bare-metal"):
@@ -905,6 +1116,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "diagnose":
         return _cmd_diagnose(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "compare":
         return _cmd_compare(args)
     if args.command == "table1":

@@ -73,6 +73,9 @@ class ExperimentConfig:
     #: engine; equivalent in distribution, not bitwise — see
     #: PERFORMANCE.md "Epoch 2").
     engine: str = "classic"
+    #: Request-trace sampling rate in [0, 1]; 0 disables tracing (and
+    #: keeps bit-identical traces — see :mod:`repro.obs.tracing`).
+    trace_sample: float = 0.0
     collect_full_registry: bool = False
     metadata: dict = field(default_factory=dict)
 
@@ -121,6 +124,10 @@ class ExperimentConfig:
         if self.engine not in ENGINES:
             raise ConfigurationError(
                 f"unknown engine {self.engine!r}; choose from {ENGINES}"
+            )
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ConfigurationError(
+                f"trace_sample {self.trace_sample} outside [0, 1]"
             )
         if self.servers < 1:
             raise ConfigurationError("servers must be >= 1")
@@ -225,6 +232,10 @@ class ExperimentConfig:
             spec = replace(
                 spec, name=f"{spec.name}%{self.engine}", engine=self.engine
             )
+        if self.trace_sample > 0.0:
+            # Tracing never changes the physics, so the name is kept
+            # unsuffixed — but the cache key includes the rate.
+            spec = replace(spec, trace_sample=self.trace_sample)
         return spec
 
     @property
@@ -259,6 +270,7 @@ class ExperimentConfig:
             "placement",
             "faults",
             "engine",
+            "trace_sample",
             "collect_full_registry",
             "metadata",
         }

@@ -73,6 +73,9 @@ class ExperimentResult:
     #: Unified annotation stream of an ``observe=True`` run
     #: (:class:`~repro.obs.annotations.AnnotationStream`), else None.
     annotations: object = field(repr=False, default=None)
+    #: Sampled request span trees of a ``trace_sample > 0`` run: a list
+    #: of :class:`~repro.obs.tracing.RequestTrace`, else None.
+    request_traces: object = field(repr=False, default=None)
     #: Events the DES fired over the run.
     events_fired: int = 0
     #: Wall-clock per phase: ``{"build", "simulate", "collect"}``.
@@ -214,6 +217,11 @@ def run_scenario(
         annotations=(
             testbed.observer.stream
             if testbed.observer is not None
+            else None
+        ),
+        request_traces=(
+            web.tracer.traces
+            if getattr(web, "tracer", None) is not None
             else None
         ),
         events_fired=sim.events_fired,

@@ -118,8 +118,18 @@ class Scenario:
     #: cohort lifecycles, equivalent in distribution; see
     #: :mod:`repro.rubis.batched`).
     engine: str = "classic"
+    #: Request-trace sampling rate in [0, 1] (see
+    #: :mod:`repro.obs.tracing`).  0 (the default) builds no tracing
+    #: machinery and keeps bit-identical traces; a positive rate samples
+    #: that fraction of requests deterministically (RNG-free, keyed on
+    #: seed and request identity) on either engine.
+    trace_sample: float = 0.0
 
     def __post_init__(self) -> None:
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ConfigurationError(
+                f"trace_sample {self.trace_sample} outside [0, 1]"
+            )
         if self.engine not in ENGINES:
             raise ConfigurationError(
                 f"unknown engine {self.engine!r}; choose from {ENGINES}"
@@ -238,6 +248,7 @@ class Scenario:
             self.fleet,
             self.faults,
             self.engine,
+            self.trace_sample,
         )
 
     @property

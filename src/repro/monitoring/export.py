@@ -171,6 +171,88 @@ def write_annotations_jsonl(annotations, path: str) -> None:
         handle.write(annotations_to_jsonl(annotations))
 
 
+def request_traces_to_jsonl(traces) -> str:
+    """JSON Lines export of sampled request traces, one request per line.
+
+    Accepts anything iterable of request traces (objects with
+    ``to_dict()`` or plain dicts) — duck-typed so this module never
+    imports :mod:`repro.obs`.
+    """
+    lines = []
+    for trace in traces:
+        record = trace.to_dict() if hasattr(trace, "to_dict") else trace
+        lines.append(json.dumps(record, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_request_traces_jsonl(traces, path: str) -> None:
+    """Write :func:`request_traces_to_jsonl` output to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(request_traces_to_jsonl(traces))
+
+
+def request_traces_to_chrome_json(traces) -> str:
+    """Chrome ``trace_event`` JSON of sampled request span trees.
+
+    Loads straight into ``chrome://tracing`` / Perfetto: one process,
+    one thread ("track") per traced session, one complete event
+    (``"ph": "X"``) per span with the queue/service/ready split in
+    ``args``.  Timestamps are microseconds of simulated time.  Duck-
+    typed over objects shaped like :class:`~repro.obs.tracing.
+    RequestTrace` (``session_id``/``seq``/``interaction``/``spans``).
+    """
+    events = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": "repro request traces"},
+        }
+    ]
+    for trace in traces:
+        tid = int(trace.session_id)
+        events.append(
+            {
+                "name": f"{trace.interaction} #{trace.seq}",
+                "cat": "request",
+                "ph": "X",
+                "pid": 1,
+                "tid": tid,
+                "ts": trace.start_s * 1e6,
+                "dur": (trace.end_s - trace.start_s) * 1e6,
+                "args": {"engine": trace.engine},
+            }
+        )
+        for span in trace.spans:
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.device,
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": tid,
+                    "ts": span.start_s * 1e6,
+                    "dur": (span.queue_s + span.service_s + span.ready_s)
+                    * 1e6,
+                    "args": {
+                        "queue_ms": span.queue_s * 1e3,
+                        "service_ms": span.service_s * 1e3,
+                        "ready_ms": span.ready_s * 1e3,
+                    },
+                }
+            )
+    return json.dumps(
+        {"traceEvents": events, "displayTimeUnit": "ms"}, sort_keys=True
+    )
+
+
+def write_request_traces_chrome_json(traces, path: str) -> None:
+    """Write :func:`request_traces_to_chrome_json` output to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(request_traces_to_chrome_json(traces))
+
+
 def write_trace_csv(traces: TraceSet, path: str) -> None:
     """Write :func:`trace_set_to_csv` output to ``path``."""
     with open(path, "w", newline="") as handle:

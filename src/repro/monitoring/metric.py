@@ -62,6 +62,10 @@ class SampleInputs:
     rng: np.random.Generator
     #: True when the entity runs virtualized (IPC degradation etc.).
     virtualized: bool = False
+    #: Optional pre-drawn noise feed (:class:`DrawRecorder` or
+    #: :class:`ReplayFeed`); when set, :meth:`jitter` and
+    #: :meth:`poisson` take their draws from it instead of ``rng``.
+    feed: object = None
 
     # Derived quantities are cached: one SampleInputs describes one
     # immutable interval snapshot, and hundreds of metric derivations
@@ -86,8 +90,105 @@ class SampleInputs:
         """Multiplicative measurement noise around 1."""
         if scale <= 0:
             return 1.0
+        feed = self.feed
+        if feed is not None:
+            return feed.normal(scale)
         draw = self.rng.normal(1.0, scale)
         return float(draw) if draw > 0.0 else 0.0
+
+    def poisson(self, lam: float) -> float:
+        """One Poisson count draw (rare-event metrics)."""
+        feed = self.feed
+        if feed is not None:
+            return feed.poisson(lam)
+        return float(self.rng.poisson(lam))
+
+
+class DrawRecorder:
+    """Pass-through noise feed that records the draw schedule.
+
+    Used for the first sample of a probe: draws scalars from ``rng``
+    (bit-identical to the unfed path) while noting each draw's
+    distribution and parameter.  The recorded schedule compiles into a
+    :class:`DrawSchedule` that batches every later tick's draws.
+    """
+
+    __slots__ = ("rng", "schedule")
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+        self.schedule: list = []
+
+    def normal(self, scale: float) -> float:
+        self.schedule.append(("normal", scale))
+        draw = self.rng.normal(1.0, scale)
+        return float(draw) if draw > 0.0 else 0.0
+
+    def poisson(self, lam: float) -> float:
+        self.schedule.append(("poisson", lam))
+        return float(self.rng.poisson(lam))
+
+
+class ReplayFeed:
+    """Hands out one tick's pre-drawn noise values in schedule order."""
+
+    __slots__ = ("values", "pos")
+
+    def __init__(self, values: list) -> None:
+        self.values = values
+        self.pos = 0
+
+    def _next(self) -> float:
+        pos = self.pos
+        self.pos = pos + 1
+        return self.values[pos]
+
+    def normal(self, scale: float) -> float:
+        return self._next()
+
+    def poisson(self, lam: float) -> float:
+        return self._next()
+
+
+class DrawSchedule:
+    """A probe's fixed per-tick draw schedule, segment-batched.
+
+    The registry's noise draws per tick form a fixed sequence per
+    probe (the only draw-count conditionals key on ``virtualized``,
+    which never changes for a probe).  Consecutive same-distribution
+    draws are grouped so one tick costs a handful of array fills
+    instead of ~850 scalar Generator calls.  Array fills consume the
+    underlying bit stream element-wise exactly like sequential scalar
+    draws, so replayed ticks are bit-identical to unbatched ones.
+    """
+
+    __slots__ = ("segments", "size")
+
+    def __init__(self, schedule: list) -> None:
+        groups: list = []
+        for dist, param in schedule:
+            if groups and groups[-1][0] == dist:
+                groups[-1][1].append(param)
+            else:
+                groups.append((dist, [param]))
+        self.segments = [
+            (dist, np.asarray(params, dtype=np.float64))
+            for dist, params in groups
+        ]
+        self.size = len(schedule)
+
+    def draw(self, rng: np.random.Generator) -> ReplayFeed:
+        """Batch-draw one tick's noise values from ``rng``."""
+        parts = []
+        for dist, params in self.segments:
+            if dist == "normal":
+                draws = rng.normal(1.0, params)
+                # Same clamp jitter() applies per scalar draw.
+                parts.append(np.where(draws > 0.0, draws, 0.0))
+            else:
+                parts.append(rng.poisson(params).astype(np.float64))
+        values = np.concatenate(parts).tolist() if parts else []
+        return ReplayFeed(values)
 
 
 @dataclass(frozen=True)

@@ -66,7 +66,7 @@ def _zero_rare(rate_per_s: float) -> Callable:
     """Error-class metrics: almost always zero, rare small counts."""
 
     def derive(d: SampleInputs) -> float:
-        return float(d.rng.poisson(rate_per_s * d.interval_s)) / d.interval_s
+        return d.poisson(rate_per_s * d.interval_s) / d.interval_s
 
     return derive
 

@@ -31,7 +31,12 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.errors import MonitoringError
 from repro.monitoring.columnar import ColumnarRows
-from repro.monitoring.metric import MetricSource, SampleInputs
+from repro.monitoring.metric import (
+    DrawRecorder,
+    DrawSchedule,
+    MetricSource,
+    SampleInputs,
+)
 from repro.monitoring.probes import Probe, RawCounters
 from repro.monitoring.registry import MetricRegistry
 from repro.monitoring.timeseries import TimeSeries, TraceSet
@@ -124,6 +129,12 @@ class TraceRecorder:
                     )
                 ]
                 self._compiled.append(tuple(triples))
+        # Per-probe noise-draw schedules, recorded on the first sample
+        # and replayed as batched array draws on every later one (see
+        # DrawSchedule) — bit-identical, ~10x fewer Generator calls.
+        self._schedules: List[Optional[DrawSchedule]] = [
+            None for _ in self._compiled
+        ]
         self.full_rows: List[Dict[str, float]] = []
         self.columnar: Optional[ColumnarRows] = None
         self._use_columnar = columnar_rows
@@ -164,6 +175,11 @@ class TraceRecorder:
             )
             if collect:
                 inputs = self._sample_inputs(probe, delta)
+                schedule = self._schedules[i]
+                if schedule is None:
+                    inputs.feed = feed = DrawRecorder(self.rng)
+                else:
+                    inputs.feed = feed = schedule.draw(self.rng)
                 if columnar:
                     push = scratch.append
                     for _, name, derive in self._compiled[i]:
@@ -181,6 +197,14 @@ class TraceRecorder:
                                 f"metric {name!r} produced a non-finite value"
                             )
                         row[label] = value
+                if schedule is None:
+                    self._schedules[i] = DrawSchedule(feed.schedule)
+                elif feed.pos != schedule.size:
+                    raise MonitoringError(
+                        f"probe {probe.entity!r}: noise-draw schedule "
+                        f"drifted ({feed.pos} draws, expected "
+                        f"{schedule.size})"
+                    )
         if collect:
             if columnar:
                 self.columnar.append_row(scratch)

@@ -12,7 +12,10 @@ correlation with nearby annotations — graded for precision@1 against
 resolved fault schedules; :mod:`repro.obs.manifest` fingerprints a run
 (config, seed, trace sha256, per-phase wall clock, per-subsystem event
 counts); :mod:`repro.obs.ranking` aggregates per-cell diagnoses of a
-chaos sweep into the policy ranking table.
+chaos sweep into the policy ranking table; :mod:`repro.obs.tracing`
+samples requests deterministically into span trees (queue / pure
+service / virtualization-ready split per hop, on either engine) and
+decomposes tail latency channel by channel.
 
 Observation is strictly opt-in (``run_scenario(..., observe=True)``,
 ``repro run --diagnose``): an unobserved run constructs none of this
@@ -41,6 +44,20 @@ from repro.obs.ranking import (
     write_ranking_figures,
 )
 from repro.obs.recorder import OBS_PRIORITY, ObsRecorder
+from repro.obs.tracing import (
+    RequestTrace,
+    RequestTracer,
+    Span,
+    TraceSampler,
+    critical_path,
+    latency_anatomy,
+    render_anatomy,
+    render_tail_attribution,
+    render_trace,
+    slowest_traces,
+    tail_attribution,
+    traces_in_window,
+)
 
 __all__ = [
     "Annotation",
@@ -62,4 +79,16 @@ __all__ = [
     "write_ranking_figures",
     "OBS_PRIORITY",
     "ObsRecorder",
+    "RequestTrace",
+    "RequestTracer",
+    "Span",
+    "TraceSampler",
+    "critical_path",
+    "latency_anatomy",
+    "render_anatomy",
+    "render_tail_attribution",
+    "render_trace",
+    "slowest_traces",
+    "tail_attribution",
+    "traces_in_window",
 ]

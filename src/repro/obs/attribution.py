@@ -125,6 +125,11 @@ class Diagnosis:
 
     incident: Incident
     causes: List[CandidateCause] = field(default_factory=list)
+    #: Slowest sampled request traces inside the incident window
+    #: (:class:`~repro.obs.tracing.RequestTrace`) — concrete per-hop
+    #: evidence of where the violating requests spent their time.
+    #: Empty when the run was not traced.
+    exemplars: List = field(default_factory=list)
 
     @property
     def top(self) -> Optional[CandidateCause]:
@@ -134,6 +139,7 @@ class Diagnosis:
         return {
             "incident": self.incident.to_dict(),
             "causes": [cause.to_dict() for cause in self.causes[:top_n]],
+            "exemplars": [trace.to_dict() for trace in self.exemplars],
         }
 
 
@@ -340,6 +346,7 @@ def diagnose(
         min_samples=min_samples,
         entity=entity,
     )
+    request_traces = getattr(result, "request_traces", None)
     diagnoses: List[Diagnosis] = []
     for incident in incidents:
         p95_segment = _segment(
@@ -367,7 +374,21 @@ def diagnose(
                 cause.annotation.seq,
             )
         )
-        diagnoses.append(Diagnosis(incident=incident, causes=causes))
+        exemplars: List = []
+        if request_traces:
+            from repro.obs.tracing import slowest_traces, traces_in_window
+
+            exemplars = slowest_traces(
+                traces_in_window(
+                    request_traces, incident.start_s, incident.end_s
+                ),
+                count=3,
+            )
+        diagnoses.append(
+            Diagnosis(
+                incident=incident, causes=causes, exemplars=exemplars
+            )
+        )
     return diagnoses
 
 

@@ -57,9 +57,11 @@ def build_manifest(result) -> dict:
             counts["evacuations"] = len(report.get("evacuations", []))
         subsystems[entity] = {"kind": kind, **counts}
     annotations = getattr(result, "annotations", None)
+    request_traces = getattr(result, "request_traces", None)
     return {
         "scenario": scenario.name,
         "environment": scenario.environment,
+        "engine": getattr(scenario, "engine", "classic"),
         "seed": scenario.seed,
         "duration_s": scenario.duration_s,
         "config_fingerprint": config_fingerprint(scenario),
@@ -79,15 +81,30 @@ def build_manifest(result) -> dict:
             if annotations is not None
             else None
         ),
+        "tracing": (
+            {
+                "sample_rate": float(
+                    getattr(scenario, "trace_sample", 0.0) or 0.0
+                ),
+                "requests_traced": len(request_traces),
+                "spans": sum(
+                    len(trace.spans) for trace in request_traces
+                ),
+            }
+            if request_traces is not None
+            else None
+        ),
         "subsystems": subsystems,
     }
 
 
 def render_manifest(manifest: dict) -> str:
     """Aligned text report of one manifest."""
+    engine = manifest.get("engine", "classic")
     lines = [
         f"run manifest — {manifest['scenario']} "
-        f"({manifest['environment']}, seed {manifest['seed']}, "
+        f"({manifest['environment']}, {engine} engine, "
+        f"seed {manifest['seed']}, "
         f"{manifest['duration_s']:.0f}s simulated)",
         f"  config fingerprint  {manifest['config_fingerprint'][:16]}",
         f"  trace sha256        {manifest['trace_sha256'][:16]}",
@@ -118,6 +135,13 @@ def render_manifest(manifest: dict) -> str:
         ) or "none"
         lines.append(
             f"  annotations         {annotations['total']} ({sources})"
+        )
+    tracing: Optional[dict] = manifest.get("tracing")
+    if tracing is not None:
+        lines.append(
+            f"  request traces      {tracing['requests_traced']} "
+            f"({tracing['spans']} spans, "
+            f"sample rate {tracing['sample_rate']:g})"
         )
     for entity, report in sorted((manifest.get("subsystems") or {}).items()):
         counts = ", ".join(

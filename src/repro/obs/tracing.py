@@ -1,0 +1,541 @@
+"""Request-level tracing: sampled span trees with latency anatomy.
+
+The paper's core question — *where does a request's time go on a
+virtualized server?* — is answered here at request granularity.  A
+sampled request records one span tree: session → request → per-hop
+device visits (NIC transfers, CPU worker services, synchronous disk
+reads), and every span separates three latency components:
+
+* ``queue_s`` — time waiting for a worker (station queue wait),
+* ``service_s`` — pure service time (``cycles / frequency``; transfer
+  time for device hops),
+* ``ready_s`` — virtualization slowdown: the inflation of CPU service
+  by the credit scheduler (ready/steal/cap-throttle), i.e. actual
+  service duration minus the pure time.  Zero on bare metal.
+
+Sampling is **deterministic and RNG-free**: the decision for request
+``(session_id, seq)`` is a pure hash of the run seed and those two
+integers (sha256-derived key, splitmix64 finalizer), so
+
+* a ``trace_sample=0`` run constructs no tracing machinery and stays
+  bit-identical to pre-tracing runs,
+* a traced run's *physics* is bit-identical to the untraced run (no
+  stream is consumed, no event is scheduled),
+* the sampled set is invariant to sweep worker counts and engines —
+  the same ``(seed, session, seq)`` is sampled everywhere.
+
+Net spans carry the full transfer+propagation latency as ``service_s``
+(NIC serialization is not decomposed further — a documented
+approximation); the synchronous db miss read appears as its own
+``disk.db_read`` span rather than inflating the ``cpu.db`` service.
+
+On top of the span store: :func:`latency_anatomy` (p50/p95/p99
+decomposed into queue/service/ready per hop), :func:`tail_attribution`
+(which channel is responsible for the p99 − p50 gap),
+:func:`critical_path`, and text renderers for the ``repro trace`` CLI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError, ConfigurationError
+
+#: Span component keys, in render order.
+COMPONENTS = ("queue", "service", "ready")
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+_SEQ_SALT = 0xC2B2AE3D27D4EB4F
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+
+
+def _run_key(seed: int) -> int:
+    """Per-run 64-bit sampling key, derived like every other stream seed."""
+    digest = hashlib.sha256(f"{seed}:trace-sample".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class TraceSampler:
+    """Deterministic, RNG-free request sampling decision.
+
+    ``sample(session_id, seq)`` hashes the run key with the request's
+    coordinates through a splitmix64 finalizer and compares against
+    ``rate * 2**64``.  The array form is bit-equal to the scalar form
+    element-wise, so the classic engine (per-request calls) and the
+    batched engine (per-cohort arrays) sample the same request set.
+    """
+
+    def __init__(self, seed: int, rate: float) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(
+                f"trace sample rate {rate} outside [0, 1]"
+            )
+        self.seed = int(seed)
+        self.rate = float(rate)
+        self.key = _run_key(seed)
+        # rate == 1.0 would need 2**64, which no uint64 holds; treat it
+        # (and 0.0) as unconditional.
+        self._threshold = int(self.rate * float(1 << 64))
+
+    def sample(self, session_id: int, seq: int) -> bool:
+        """Scalar decision for one request."""
+        if self.rate >= 1.0:
+            return True
+        if self._threshold <= 0:
+            return False
+        z = (
+            self.key
+            ^ ((int(session_id) * _GOLDEN) & _MASK64)
+            ^ ((int(seq) * _SEQ_SALT) & _MASK64)
+        )
+        z = (z + _GOLDEN) & _MASK64
+        z = ((z ^ (z >> 30)) * _MIX1) & _MASK64
+        z = ((z ^ (z >> 27)) * _MIX2) & _MASK64
+        z = z ^ (z >> 31)
+        return z < self._threshold
+
+    def sample_array(
+        self, session_ids: np.ndarray, seqs: np.ndarray
+    ) -> np.ndarray:
+        """Vector decision for one cohort (bit-equal to :meth:`sample`)."""
+        n = np.asarray(session_ids).size
+        if self.rate >= 1.0:
+            return np.ones(n, dtype=bool)
+        if self._threshold <= 0:
+            return np.zeros(n, dtype=bool)
+        with np.errstate(over="ignore"):
+            sid = np.asarray(session_ids, dtype=np.uint64)
+            seq = np.asarray(seqs, dtype=np.uint64)
+            z = (
+                np.uint64(self.key)
+                ^ (sid * np.uint64(_GOLDEN))
+                ^ (seq * np.uint64(_SEQ_SALT))
+            )
+            z = z + np.uint64(_GOLDEN)
+            z = (z ^ (z >> np.uint64(30))) * np.uint64(_MIX1)
+            z = (z ^ (z >> np.uint64(27))) * np.uint64(_MIX2)
+            z = z ^ (z >> np.uint64(31))
+        return z < np.uint64(self._threshold)
+
+
+@dataclass(frozen=True)
+class Span:
+    """One device visit of a traced request."""
+
+    name: str  #: hop name, e.g. ``cpu.web``, ``net.request``, ``disk.db_read``
+    device: str  #: device class: ``cpu`` | ``net`` | ``disk``
+    start_s: float  #: arrival at the hop (queueing starts here)
+    queue_s: float  #: wait for a worker before service began
+    service_s: float  #: pure service (cycles/frequency; transfer time)
+    ready_s: float  #: virtualization inflation of the service (0 on bare metal)
+
+    @property
+    def duration_s(self) -> float:
+        return self.queue_s + self.service_s + self.ready_s
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "device": self.device,
+            "start_s": self.start_s,
+            "queue_s": self.queue_s,
+            "service_s": self.service_s,
+            "ready_s": self.ready_s,
+        }
+
+
+@dataclass(frozen=True)
+class RequestTrace:
+    """One sampled request's span tree (a chain through the tiers)."""
+
+    session_id: int
+    seq: int  #: 1-based request index within the session
+    interaction: str
+    engine: str  #: ``classic`` | ``batched``
+    start_s: float
+    end_s: float
+    spans: Tuple[Span, ...]
+
+    @property
+    def total_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def component_s(self, span_name: str, component: str) -> float:
+        """Summed seconds of one component over spans named ``span_name``."""
+        return sum(
+            getattr(span, f"{component}_s")
+            for span in self.spans
+            if span.name == span_name
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "session_id": self.session_id,
+            "seq": self.seq,
+            "interaction": self.interaction,
+            "engine": self.engine,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "total_s": self.total_s,
+            "spans": [span.to_dict() for span in self.spans],
+        }
+
+
+class _TraceBuilder:
+    """Mutable span accumulator riding one classic-engine request.
+
+    The deployment's net hops call :meth:`add_net` (each net span's end
+    doubles as the arrival stamp of the next station), the tiers call
+    :meth:`add_cpu`/:meth:`add_disk`, and :meth:`finish` freezes the
+    chain into a :class:`RequestTrace`.
+    """
+
+    __slots__ = (
+        "session_id", "seq", "interaction", "start_s", "spans", "_arrived_at"
+    )
+
+    def __init__(
+        self, session_id: int, seq: int, interaction: str, start_s: float
+    ) -> None:
+        self.session_id = session_id
+        self.seq = seq
+        self.interaction = interaction
+        self.start_s = start_s
+        self.spans: List[Span] = []
+        self._arrived_at = start_s
+
+    def add_net(self, name: str, start_s: float, duration_s: float) -> None:
+        self.spans.append(
+            Span(name, "net", start_s, 0.0, duration_s, 0.0)
+        )
+        self._arrived_at = start_s + duration_s
+
+    def add_cpu(
+        self, name: str, start_s: float, duration_s: float, pure_s: float
+    ) -> None:
+        queue = start_s - self._arrived_at
+        if queue < 0.0:
+            queue = 0.0
+        ready = duration_s - pure_s
+        if ready < 0.0:
+            ready = 0.0
+        self.spans.append(
+            Span(name, "cpu", start_s - queue, queue, pure_s, ready)
+        )
+
+    def add_disk(self, name: str, start_s: float, duration_s: float) -> None:
+        self.spans.append(
+            Span(name, "disk", start_s, 0.0, duration_s, 0.0)
+        )
+
+    def finish(self, engine: str) -> RequestTrace:
+        end = self.spans[-1].end_s if self.spans else self.start_s
+        return RequestTrace(
+            session_id=self.session_id,
+            seq=self.seq,
+            interaction=self.interaction,
+            engine=engine,
+            start_s=self.start_s,
+            end_s=end,
+            spans=tuple(self.spans),
+        )
+
+
+class RequestTracer:
+    """Per-run tracing state: the sampler plus the span store.
+
+    One instance serves a whole run; the classic deployment holds it as
+    ``deployment.tracer`` and the batched drivers pass cohort masks
+    derived from the same sampler, so both engines fill the same store.
+    """
+
+    def __init__(self, seed: int, rate: float, engine: str) -> None:
+        self.sampler = TraceSampler(seed, rate)
+        self.engine = engine
+        self.traces: List[RequestTrace] = []
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    # -- classic-engine surface -------------------------------------------
+
+    def begin(self, session, interaction: str, now: float):
+        """Sampling gate at send time; a builder when sampled, else None."""
+        session_id = session.session_id
+        seq = getattr(session, "requests_sent", None)
+        if seq is None:
+            # Open-loop transient session: its driver holds the visit
+            # length, ``remaining`` has already been decremented.
+            driver = session.driver
+            seq = driver.requests_per_session - session.remaining
+        if not self.sampler.sample(session_id, seq):
+            return None
+        return _TraceBuilder(session_id, seq, interaction, now)
+
+    def commit(self, builder: _TraceBuilder) -> None:
+        self.traces.append(builder.finish(self.engine))
+
+
+# -- analysis ---------------------------------------------------------------
+
+
+def _channels(traces: Sequence[RequestTrace]) -> List[Tuple[str, str]]:
+    """Every (span name, component) pair present, in first-seen span order."""
+    seen: Dict[str, None] = {}
+    for trace in traces:
+        for span in trace.spans:
+            if span.name not in seen:
+                seen[span.name] = None
+    return [
+        (name, component) for name in seen for component in COMPONENTS
+    ]
+
+
+def _component_matrix(
+    traces: Sequence[RequestTrace], channels: List[Tuple[str, str]]
+) -> np.ndarray:
+    """``(len(traces), len(channels))`` seconds matrix."""
+    index = {channel: j for j, channel in enumerate(channels)}
+    matrix = np.zeros((len(traces), len(channels)))
+    for i, trace in enumerate(traces):
+        for span in trace.spans:
+            base = index[(span.name, "queue")]
+            matrix[i, base] += span.queue_s
+            matrix[i, base + 1] += span.service_s
+            matrix[i, base + 2] += span.ready_s
+    return matrix
+
+
+def _percentile_band(
+    order: np.ndarray, percentile: float, width: int
+) -> np.ndarray:
+    """Indices of requests whose totals straddle one percentile rank."""
+    n = order.size
+    rank = int(round((percentile / 100.0) * (n - 1)))
+    lo = max(0, rank - width)
+    hi = min(n, rank + width + 1)
+    return order[lo:hi]
+
+
+@dataclass(frozen=True)
+class Anatomy:
+    """Latency anatomy of one run's sampled requests.
+
+    ``rows[(span, component)][p]`` is the mean seconds that channel
+    contributes within the band of requests around percentile ``p`` of
+    total latency — so each percentile column decomposes (approximately)
+    into the channel rows, and the tail columns show *which* channel
+    grows between the median and the p99.
+    """
+
+    percentiles: Tuple[float, ...]
+    totals: Dict[float, float]  #: mean end-to-end seconds per percentile band
+    rows: Dict[Tuple[str, str], Dict[float, float]]
+    count: int
+
+
+def latency_anatomy(
+    traces: Sequence[RequestTrace],
+    percentiles: Sequence[float] = (50.0, 95.0, 99.0),
+    band_width: Optional[int] = None,
+) -> Anatomy:
+    """Decompose total-latency percentiles into per-hop components.
+
+    For each percentile the requests ranked nearest that percentile of
+    total latency (a band of ``2*band_width + 1`` requests) are
+    averaged channel-by-channel.  Band averaging keeps the table stable
+    under sampling noise; the default width is 2 % of the sample.
+    """
+    if not traces:
+        raise AnalysisError("no request traces to analyze")
+    channels = _channels(traces)
+    matrix = _component_matrix(traces, channels)
+    totals = np.array([trace.total_s for trace in traces])
+    order = np.argsort(totals, kind="stable")
+    if band_width is None:
+        band_width = max(2, len(traces) // 50)
+    rows: Dict[Tuple[str, str], Dict[float, float]] = {
+        channel: {} for channel in channels
+    }
+    band_totals: Dict[float, float] = {}
+    for p in percentiles:
+        band = _percentile_band(order, p, band_width)
+        means = matrix[band].mean(axis=0)
+        band_totals[p] = float(totals[band].mean())
+        for j, channel in enumerate(channels):
+            rows[channel][p] = float(means[j])
+    return Anatomy(
+        percentiles=tuple(percentiles),
+        totals=band_totals,
+        rows=rows,
+        count=len(traces),
+    )
+
+
+@dataclass(frozen=True)
+class TailAttribution:
+    """Which channel is responsible for the p-tail − median latency gap."""
+
+    tail_percentile: float
+    median_s: float
+    tail_s: float
+    gap_s: float
+    #: Per-channel share of the gap (seconds), sorted descending.
+    contributions: Tuple[Tuple[str, str, float], ...]
+
+    @property
+    def channel(self) -> Tuple[str, str]:
+        """The (span, component) owning the largest share of the gap."""
+        name, component, _ = self.contributions[0]
+        return (name, component)
+
+    @property
+    def channel_label(self) -> str:
+        name, component = self.channel
+        return f"{name}:{component}"
+
+
+def tail_attribution(
+    traces: Sequence[RequestTrace],
+    tail_percentile: float = 99.0,
+    band_width: Optional[int] = None,
+) -> TailAttribution:
+    """Name the channel responsible for the tail − median gap.
+
+    Compares mean per-channel seconds of the requests around the median
+    against the band around ``tail_percentile``; the channel whose
+    contribution grows the most *is* the tail's anatomy — e.g.
+    ``cpu.web:ready`` when credit-scheduler contention inflates the
+    p99 while the median rides idle workers.
+    """
+    anatomy = latency_anatomy(
+        traces,
+        percentiles=(50.0, tail_percentile),
+        band_width=band_width,
+    )
+    median = anatomy.totals[50.0]
+    tail = anatomy.totals[tail_percentile]
+    deltas = [
+        (name, component, row[tail_percentile] - row[50.0])
+        for (name, component), row in anatomy.rows.items()
+    ]
+    deltas.sort(key=lambda item: item[2], reverse=True)
+    return TailAttribution(
+        tail_percentile=tail_percentile,
+        median_s=median,
+        tail_s=tail,
+        gap_s=tail - median,
+        contributions=tuple(deltas),
+    )
+
+
+def critical_path(trace: RequestTrace) -> List[Tuple[Span, float]]:
+    """Spans in time order with their exclusive critical-path seconds.
+
+    Request span chains are sequential, so each span's exclusive time
+    is its own duration minus any overlap with a later-starting span
+    (the synchronous db read overlaps its CPU parent in some engines);
+    the residue of ``total_s`` not covered by any span is propagation
+    and think-free fabric latency.
+    """
+    spans = sorted(trace.spans, key=lambda s: (s.start_s, s.end_s))
+    out: List[Tuple[Span, float]] = []
+    for i, span in enumerate(spans):
+        exclusive = span.duration_s
+        for other in spans[i + 1:]:
+            overlap = min(span.end_s, other.end_s) - max(
+                span.start_s, other.start_s
+            )
+            if overlap > 0.0:
+                exclusive -= overlap
+        out.append((span, max(exclusive, 0.0)))
+    return out
+
+
+# -- rendering --------------------------------------------------------------
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:9.3f}"
+
+
+def render_anatomy(anatomy: Anatomy) -> str:
+    """Aligned latency-anatomy table (milliseconds)."""
+    header = ["hop:component        "] + [
+        f"   p{p:g} ms" for p in anatomy.percentiles
+    ]
+    lines = [
+        f"latency anatomy — {anatomy.count} sampled requests",
+        "".join(header),
+    ]
+    for (name, component), row in anatomy.rows.items():
+        values = "".join(_fmt_ms(row[p]) for p in anatomy.percentiles)
+        lines.append(f"{name + ':' + component:<21s}{values}")
+    totals = "".join(_fmt_ms(anatomy.totals[p]) for p in anatomy.percentiles)
+    lines.append(f"{'total':<21s}{totals}")
+    return "\n".join(lines)
+
+
+def render_tail_attribution(attribution: TailAttribution) -> str:
+    """Human-readable tail-vs-median verdict."""
+    p = attribution.tail_percentile
+    lines = [
+        f"tail anatomy — p{p:g} {attribution.tail_s * 1e3:.3f} ms vs "
+        f"median {attribution.median_s * 1e3:.3f} ms "
+        f"(gap {attribution.gap_s * 1e3:.3f} ms)",
+    ]
+    gap = attribution.gap_s
+    for name, component, delta in attribution.contributions[:6]:
+        share = (delta / gap * 100.0) if gap > 0 else 0.0
+        lines.append(
+            f"  {name + ':' + component:<21s}{delta * 1e3:+9.3f} ms"
+            f"  ({share:5.1f}% of gap)"
+        )
+    name, component = attribution.channel
+    lines.append(
+        f"  -> the p{p:g} gap is dominated by {name} {component} time"
+    )
+    return "\n".join(lines)
+
+
+def render_trace(trace: RequestTrace) -> str:
+    """One request's span tree with the critical-path breakdown."""
+    lines = [
+        f"request session={trace.session_id} seq={trace.seq} "
+        f"{trace.interaction!r} [{trace.engine}] "
+        f"total {trace.total_s * 1e3:.3f} ms",
+    ]
+    for span, exclusive in critical_path(trace):
+        offset = (span.start_s - trace.start_s) * 1e3
+        lines.append(
+            f"  +{offset:9.3f} ms  {span.name:<14s}"
+            f" queue {span.queue_s * 1e3:8.3f}"
+            f"  service {span.service_s * 1e3:8.3f}"
+            f"  ready {span.ready_s * 1e3:8.3f}"
+            f"  | path {exclusive * 1e3:8.3f} ms"
+        )
+    return "\n".join(lines)
+
+
+def slowest_traces(
+    traces: Sequence[RequestTrace], count: int = 3
+) -> List[RequestTrace]:
+    """The ``count`` slowest sampled requests (exemplar tail anatomy)."""
+    return sorted(traces, key=lambda t: t.total_s, reverse=True)[:count]
+
+
+def traces_in_window(
+    traces: Sequence[RequestTrace], start_s: float, end_s: float
+) -> List[RequestTrace]:
+    """Sampled requests completing inside ``[start_s, end_s]``."""
+    return [t for t in traces if start_s <= t.end_s <= end_s]

@@ -214,10 +214,15 @@ class BatchedPhysics:
     writes device state back and refreshes the scheduler demand gauges.
     """
 
-    def __init__(self, sim: Simulator, deployment, rng) -> None:
+    def __init__(self, sim: Simulator, deployment, rng, tracer=None) -> None:
         self.sim = sim
         self.deployment = deployment
         self.rng = rng
+        #: Request tracer (:class:`repro.obs.tracing.RequestTracer`) of
+        #: a ``trace_sample > 0`` run.  Spans are *reconstructed* from
+        #: the cohort arrays at drain time — tracing never forces the
+        #: classic path and consumes no randomness.
+        self.tracer = tracer
         sampler = deployment.demand_sampler
         from repro.rubis.interactions import INTERACTIONS
 
@@ -265,9 +270,19 @@ class BatchedPhysics:
             self._db_s_per_cycle = 1.0 / (
                 self._hv_db.server.cpu.frequency_hz * db_frac
             )
+            # Pure (uncontended) rates: the span reconstruction reports
+            # actual − pure as the credit-scheduler ready inflation.
+            self._web_pure_per_cycle = (
+                1.0 / self._hv_web.server.cpu.frequency_hz
+            )
+            self._db_pure_per_cycle = (
+                1.0 / self._hv_db.server.cpu.frequency_hz
+            )
         else:
             self._web_s_per_cycle = 1.0 / d.web_server.cpu.frequency_hz
             self._db_s_per_cycle = 1.0 / d.db_server.cpu.frequency_hz
+            self._web_pure_per_cycle = self._web_s_per_cycle
+            self._db_pure_per_cycle = self._db_s_per_cycle
 
     def end_drain(self, horizon: float) -> None:
         self.web_pool.merge_window(self._web_free0, self._web_comps)
@@ -477,17 +492,30 @@ class BatchedPhysics:
 
     # -- the request path ---------------------------------------------------
 
-    def process(self, t0: np.ndarray, g: np.ndarray) -> np.ndarray:
+    def process(
+        self, t0: np.ndarray, g: np.ndarray, trace=None
+    ) -> np.ndarray:
         """Run one cohort through the request path.
 
         ``t0`` (sorted nondecreasing) are the client send times and ``g``
         the global interaction indices, aligned.  Returns the response
         delivery times in the same order.
+
+        ``trace``, when given, is ``(mask, session_ids, seqs)`` aligned
+        with the cohort; sampled rows get their span trees reconstructed
+        from the stage intermediates after the cohort completes.  The
+        capture touches no RNG and no device state, so traced physics is
+        bit-identical to untraced physics.
         """
         d = self.deployment
         table = self.table
         rng = self.rng
         n = t0.size
+        emit = None
+        if trace is not None and self.tracer is not None:
+            mask = trace[0]
+            if mask.any():
+                emit = np.nonzero(mask)[0]
         self._wave += 1
         if self._wave > 1:
             # A later wave overlaps the earlier ones in time; serve it
@@ -554,6 +582,13 @@ class BatchedPhysics:
 
         has_db = queries > 0
         t_ready = wd.copy()  # per-request time the response leaves the web tier
+        db_arrive_f = db_start_f = db_done_f = blocked_f = None
+        if emit is not None:
+            # Cohort-aligned scatter targets for the span reconstruction.
+            db_arrive_f = np.full(n, np.nan)
+            db_start_f = np.full(n, np.nan)
+            db_done_f = np.full(n, np.nan)
+            blocked_f = np.zeros(n)
         if has_db.any():
             sub = np.nonzero(has_db)[0]
             sub = sub[np.argsort(wd[sub], kind="stable")]
@@ -575,9 +610,15 @@ class BatchedPhysics:
                 )
                 blocked = read_done - db_arrive[r]
                 np.add.at(db_durations, r, np.maximum(blocked, 0.0))
+                if emit is not None:
+                    blocked_f[sub[r]] = np.maximum(blocked, 0.0)
             db_starts, dd, db_occ = self.db_pool.schedule(
                 db_arrive, db_durations
             )
+            if emit is not None:
+                db_arrive_f[sub] = db_arrive
+                db_start_f[sub] = db_starts
+                db_done_f[sub] = dd
             self._db_comps.append(dd)
             db_waits = None
             if db_starts is not db_arrive:
@@ -612,7 +653,99 @@ class BatchedPhysics:
         )
         t_done = np.empty(n)
         t_done[sorder] = c4 + d._lat_web_client
+        if emit is not None:
+            self._emit_traces(
+                emit, trace[1], trace[2], t0, g, web_arrive, starts, wd,
+                web_cycles, db_cycles, has_db, db_arrive_f, db_start_f,
+                db_done_f, blocked_f, t_ready, t_done,
+            )
         return t_done
+
+    def _emit_traces(
+        self, idx, sids, seqs, t0, g, web_arrive, web_starts, wd,
+        web_cycles, db_cycles, has_db, db_arrive, db_start, db_done,
+        blocked, t_ready, t_done,
+    ) -> None:
+        """Reconstruct span trees for the sampled cohort rows.
+
+        Pure bookkeeping over already-computed stage arrays; runs after
+        the cohort's physics so it cannot perturb device state.  The
+        spans mirror the classic engine's chain: request ingress, web
+        CPU (queue/pure/ready split), query hop, db CPU, synchronous
+        miss read, result hop, response egress.
+        """
+        # Deferred import: repro.obs pulls controllers/faults/planning,
+        # which must not become import-time dependencies of the engine.
+        from repro.obs.tracing import RequestTrace, Span
+
+        names = self.table.names
+        traces = self.tracer.traces
+        web_pure_rate = self._web_pure_per_cycle
+        db_pure_rate = self._db_pure_per_cycle
+        for i in idx:
+            i = int(i)
+            spans = [
+                Span(
+                    "net.request", "net", float(t0[i]), 0.0,
+                    float(web_arrive[i] - t0[i]), 0.0,
+                )
+            ]
+            queue = max(float(web_starts[i] - web_arrive[i]), 0.0)
+            actual = float(wd[i] - web_starts[i])
+            pure = float(web_cycles[i]) * web_pure_rate
+            spans.append(
+                Span(
+                    "cpu.web", "cpu", float(web_arrive[i]), queue, pure,
+                    max(actual - pure, 0.0),
+                )
+            )
+            if has_db[i]:
+                spans.append(
+                    Span(
+                        "net.query", "net", float(wd[i]), 0.0,
+                        float(db_arrive[i] - wd[i]), 0.0,
+                    )
+                )
+                db_queue = max(float(db_start[i] - db_arrive[i]), 0.0)
+                blk = float(blocked[i])
+                db_actual = float(db_done[i] - db_start[i]) - blk
+                db_pure = float(db_cycles[i]) * db_pure_rate
+                spans.append(
+                    Span(
+                        "cpu.db", "cpu", float(db_arrive[i]), db_queue,
+                        db_pure, max(db_actual - db_pure, 0.0),
+                    )
+                )
+                if blk > 0.0:
+                    spans.append(
+                        Span(
+                            "disk.db_read", "disk",
+                            float(db_done[i]) - blk, 0.0, blk, 0.0,
+                        )
+                    )
+                spans.append(
+                    Span(
+                        "net.result", "net", float(db_done[i]), 0.0,
+                        float(t_ready[i] - db_done[i]), 0.0,
+                    )
+                )
+            spans.append(
+                Span(
+                    "net.response", "net", float(t_ready[i]), 0.0,
+                    float(t_done[i] - t_ready[i]), 0.0,
+                )
+            )
+            traces.append(
+                RequestTrace(
+                    session_id=int(sids[i]),
+                    seq=int(seqs[i]),
+                    interaction=names[int(g[i])],
+                    engine="batched",
+                    start_s=float(t0[i]),
+                    end_s=float(t_done[i]),
+                    spans=tuple(spans),
+                )
+            )
 
 
 def _record_requests(stats: SessionStats, names, g: np.ndarray) -> None:
@@ -655,6 +788,7 @@ class BatchedClosedDriver:
         matrices: Dict[SessionType, TransitionMatrix],
         ramp_s: float = 10.0,
         meter=None,
+        tracer=None,
     ) -> None:
         if ramp_s < 0:
             raise ConfigurationError("ramp_s must be non-negative")
@@ -662,8 +796,9 @@ class BatchedClosedDriver:
         self.mix = mix
         self.rng = streams.stream("batched.clients")
         self.physics = BatchedPhysics(
-            sim, deployment, streams.stream("batched.demand")
+            sim, deployment, streams.stream("batched.demand"), tracer=tracer
         )
+        self.tracer = tracer
         self.stats = SessionStats()
         self.meter = meter
         n = mix.clients
@@ -680,6 +815,10 @@ class BatchedClosedDriver:
             self.state[self.stype == t] = self.walks[t].initial_index
         self.wake = np.full(n, np.inf)
         self.done_at = np.full(n, -np.inf)
+        # Per-session request counter; mirrors the classic
+        # ``ClientSession.requests_sent`` so the trace sampler sees the
+        # same (session_id, seq) coordinates on both engines.
+        self.sent = np.zeros(n, dtype=np.int64)
         self._ramp_s = float(ramp_s)
         self.burst_times: Dict[SessionType, tuple] = {}
         self._process: Optional[PeriodicProcess] = None
@@ -758,7 +897,14 @@ class BatchedClosedDriver:
             _record_requests(stats, names, g)
             if self.meter is not None:
                 self.meter.record_batch(t0)
-            t_done = physics.process(t0, g)
+            trace = None
+            if self.tracer is not None:
+                self.sent[due] += 1
+                seqs = self.sent[due]
+                trace = (
+                    self.tracer.sampler.sample_array(due, seqs), due, seqs
+                )
+            t_done = physics.process(t0, g, trace)
             _record_responses(stats, t_done - t0)
             thinks = self.rng.exponential(mix_think, due.size)
             self.done_at[due] = t_done
@@ -790,6 +936,7 @@ class BatchedOpenDriver:
         meter_interval_s: Optional[float] = None,
         retry_max: int = 0,
         retry_backoff_s: float = 2.0,
+        tracer=None,
     ) -> None:
         from repro.traffic.driver import ArrivalMeter
 
@@ -805,8 +952,9 @@ class BatchedOpenDriver:
         self.mix = mix
         self.rng = streams.stream("batched.sessions")
         self.physics = BatchedPhysics(
-            sim, deployment, streams.stream("batched.demand")
+            sim, deployment, streams.stream("batched.demand"), tracer=tracer
         )
+        self.tracer = tracer
         self.process = process
         self.session_budget = session_budget
         self.requests_per_session = int(requests_per_session)
@@ -836,6 +984,11 @@ class BatchedOpenDriver:
         self.state = np.zeros(capacity, dtype=np.int64)
         self.remaining = np.zeros(capacity, dtype=np.int64)
         self.active = np.zeros(capacity, dtype=bool)
+        # Monotonic per-session serial (the classic driver's session_id);
+        # slots are recycled, serials are not, so the trace sampler keys
+        # on a stable identity.
+        self.serial = np.zeros(capacity, dtype=np.int64)
+        self._next_serial = 0
         self._free: List[int] = list(range(capacity - 1, -1, -1))
         self._pending_arrival: Optional[float] = None
         self._retries: List[tuple] = []  # (due_time, attempt)
@@ -901,7 +1054,8 @@ class BatchedOpenDriver:
     def _grow(self) -> None:
         old = self.wake.size
         new = old * 2
-        for name in ("wake", "stype", "state", "remaining", "active"):
+        for name in ("wake", "stype", "state", "remaining", "active",
+                     "serial"):
             array = getattr(self, name)
             grown = np.zeros(new, dtype=array.dtype)
             grown[:old] = array
@@ -921,6 +1075,8 @@ class BatchedOpenDriver:
         self.remaining[slot] = self.requests_per_session
         self.wake[slot] = t
         self.active[slot] = True
+        self.serial[slot] = self._next_serial
+        self._next_serial += 1
 
     def _handle_shed(self, t: float, attempt: int) -> None:
         if attempt < self.retry_max:
@@ -1056,7 +1212,16 @@ class BatchedOpenDriver:
                     self.state[due[mask]] = nxt
                     g[mask] = walk.to_global[nxt]
             _record_requests(stats, names, g)
-            t_done = physics.process(t0, g)
+            trace = None
+            if self.tracer is not None:
+                sids = self.serial[due]
+                # Classic seq: remaining is decremented before send, so
+                # the first request of a session carries seq == 1.
+                seqs = self.requests_per_session - self.remaining[due] + 1
+                trace = (
+                    self.tracer.sampler.sample_array(sids, seqs), sids, seqs
+                )
+            t_done = physics.process(t0, g, trace)
             _record_responses(stats, t_done - t0)
             self.remaining[due] -= 1
             finished = self.remaining[due] <= 0

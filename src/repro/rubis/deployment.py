@@ -108,6 +108,10 @@ class Deployment:
             self.config.scaling, self.buffer_pool, streams.stream("demand")
         )
         self.population = None  # set by the runner once clients exist
+        #: Request tracer (:class:`repro.obs.tracing.RequestTracer`) of
+        #: a ``trace_sample > 0`` run; None keeps the request path free
+        #: of tracing work entirely.
+        self.tracer = None
         # Subclasses must assign these in _build().
         self.web_context: ExecutionContext = None
         self.db_context: ExecutionContext = None
@@ -187,9 +191,17 @@ class Deployment:
         sim = self.sim
         request = Request(session.session_id, interaction, demand, sim.now)
         request.on_response = on_response
+        if self.tracer is not None:
+            # RNG-free sampling decision; the physics below is
+            # bit-identical whether or not the request is sampled.
+            request.trace = self.tracer.begin(session, interaction, sim.now)
         transfer = self.web_context.net_receive(demand.request_bytes) - sim.now
         if transfer < 0.0:
             transfer = 0.0
+        if request.trace is not None:
+            request.trace.add_net(
+                "net.request", sim.now, transfer + self._lat_client_web
+            )
         sim.schedule(
             transfer + self._lat_client_web, self._web_arrive, request
         )
@@ -205,6 +217,10 @@ class Deployment:
             transfer = self.db_context.net_receive(demand.query_bytes) - sim.now
             if transfer < 0.0:
                 transfer = 0.0
+            if request.trace is not None:
+                request.trace.add_net(
+                    "net.query", sim.now, transfer + self._lat_web_db
+                )
             sim.schedule(
                 transfer + self._lat_web_db, self._db_arrive, request
             )
@@ -221,6 +237,10 @@ class Deployment:
         transfer = self.web_context.net_receive(demand.result_bytes) - sim.now
         if transfer < 0.0:
             transfer = 0.0
+        if request.trace is not None:
+            request.trace.add_net(
+                "net.result", sim.now, transfer + self._lat_db_web
+            )
         sim.schedule(
             transfer + self._lat_db_web, self._respond, request
         )
@@ -233,6 +253,11 @@ class Deployment:
         )
         if transfer < 0.0:
             transfer = 0.0
+        if request.trace is not None:
+            request.trace.add_net(
+                "net.response", sim.now, transfer + self._lat_web_client
+            )
+            self.tracer.commit(request.trace)
         sim.schedule(
             transfer + self._lat_web_client,
             request.on_response,

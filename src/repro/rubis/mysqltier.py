@@ -73,12 +73,25 @@ class MysqlTier:
         context.account_request(self.config.request_account_scale)
         context.charge_cpu(demand.db_cycles)
         duration = context.cpu_time(demand.db_cycles)
+        if request.trace is not None:
+            request.trace.add_cpu(
+                "cpu.db",
+                request.db_started_at,
+                duration,
+                context.pure_cpu_time(demand.db_cycles),
+            )
         if demand.db_disk_read_bytes > 0:
             # The thread blocks on buffer-pool misses.
             blocked = (
                 context.disk_read(demand.db_disk_read_bytes) - self.sim.now
             )
             if blocked > 0.0:
+                if request.trace is not None:
+                    request.trace.add_disk(
+                        "disk.db_read",
+                        request.db_started_at + duration,
+                        blocked,
+                    )
                 duration += blocked
         return duration
 

@@ -70,7 +70,15 @@ class PhpTier:
         context.account_request(self.config.request_account_scale)
         cycles = request.demand.web_cycles
         context.charge_cpu(cycles)
-        return context.cpu_time(cycles)
+        duration = context.cpu_time(cycles)
+        if request.trace is not None:
+            request.trace.add_cpu(
+                "cpu.web",
+                request.web_started_at,
+                duration,
+                context.pure_cpu_time(cycles),
+            )
+        return duration
 
     def _done(self, job) -> None:
         request, done_fn = job

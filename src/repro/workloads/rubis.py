@@ -60,6 +60,18 @@ class RubisWorkload(Workload):
         traffic = scenario.traffic
         batched = getattr(scenario, "engine", "classic") == "batched"
         self.meter: Optional[ArrivalMeter] = None
+        self.tracer = None
+        trace_sample = float(getattr(scenario, "trace_sample", 0.0) or 0.0)
+        if trace_sample > 0.0:
+            # Deferred import: tracing lives in repro.obs, which is not
+            # an import-time dependency of the workload layer.
+            from repro.obs.tracing import RequestTracer
+
+            self.tracer = RequestTracer(
+                scenario.seed,
+                trace_sample,
+                "batched" if batched else "classic",
+            )
         if traffic is not None and traffic.open_loop:
             if batched:
                 process = build_traffic_process(
@@ -78,6 +90,7 @@ class RubisWorkload(Workload):
                     requests_per_session=traffic.requests_per_session,
                     retry_max=traffic.retry_max,
                     retry_backoff_s=traffic.retry_backoff_s,
+                    tracer=self.tracer,
                 )
             else:
                 self.population = build_traffic_driver(
@@ -99,6 +112,7 @@ class RubisWorkload(Workload):
                 matrices,
                 ramp_s=scenario.ramp_s,
                 meter=meter,
+                tracer=self.tracer,
             )
             self.meter = meter
         else:
@@ -115,6 +129,10 @@ class RubisWorkload(Workload):
                 ramp_s=scenario.ramp_s,
             )
         deployment.population = self.population
+        if self.tracer is not None and not batched:
+            # Classic engines trace in-band: the deployment stamps a
+            # builder onto each sampled request at send time.
+            deployment.tracer = self.tracer
 
     # -- Workload interface ------------------------------------------------
 

@@ -135,3 +135,75 @@ class TestTable1:
     def test_descriptions_nonempty(self, registry):
         for metric in table1_sample(registry):
             assert metric.description
+
+
+class TestDrawBatching:
+    """Record-and-replay noise batching is bit-identical to scalar draws.
+
+    The vectorized registry tick records each probe's fixed draw
+    schedule once, then batch-draws every later tick's noise as a few
+    array fills.  numpy Generator array fills consume the bit stream
+    element-wise exactly like sequential scalar calls, so the batched
+    path must reproduce the scalar path value-for-value — the property
+    that lets the optimization ship without a fingerprint rebaseline.
+    """
+
+    @pytest.mark.parametrize("virtualized", [True, False])
+    def test_replay_matches_scalar_stream(self, registry, virtualized):
+        from repro.monitoring.metric import DrawRecorder, DrawSchedule
+
+        source = (
+            MetricSource.SYSSTAT_VM
+            if virtualized
+            else MetricSource.SYSSTAT_HYPERVISOR
+        )
+        triples = registry.compiled(source) + registry.compiled(
+            MetricSource.PERF
+        )
+
+        def tick_inputs(rng, load, feed=None):
+            inputs = make_inputs(
+                virtualized=virtualized, cpu_cycles=1.4e9 * load
+            )
+            inputs.rng = rng
+            inputs.feed = feed
+            return inputs
+
+        loads = [1.0, 1.3, 0.7, 1.9]
+        r_scalar = np.random.default_rng(77)
+        scalar_rows = []
+        for load in loads:
+            d = tick_inputs(r_scalar, load)
+            scalar_rows.append([derive(d) for _, _, derive in triples])
+
+        r_batched = np.random.default_rng(77)
+        recorder = DrawRecorder(r_batched)
+        d = tick_inputs(r_batched, loads[0], feed=recorder)
+        batched_rows = [[derive(d) for _, _, derive in triples]]
+        schedule = DrawSchedule(recorder.schedule)
+        assert schedule.size == len(recorder.schedule)
+        for load in loads[1:]:
+            feed = schedule.draw(r_batched)
+            d = tick_inputs(r_batched, load, feed=feed)
+            batched_rows.append([derive(d) for _, _, derive in triples])
+            # every pre-drawn value was consumed, none left over
+            assert feed.pos == schedule.size
+        assert np.array_equal(
+            np.array(scalar_rows), np.array(batched_rows)
+        )
+        # both generators are at the same stream position afterwards
+        assert r_scalar.random() == r_batched.random()
+
+    def test_schedule_groups_consecutive_draws(self, registry):
+        from repro.monitoring.metric import DrawRecorder, DrawSchedule
+
+        rng = np.random.default_rng(3)
+        recorder = DrawRecorder(rng)
+        inputs = make_inputs(virtualized=True)
+        inputs.feed = recorder
+        for _, _, derive in registry.compiled(MetricSource.SYSSTAT_VM):
+            derive(inputs)
+        schedule = DrawSchedule(recorder.schedule)
+        # hundreds of draws collapse into a handful of array segments
+        assert schedule.size > 100
+        assert len(schedule.segments) < 25

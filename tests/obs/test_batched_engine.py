@@ -1,0 +1,152 @@
+"""Observability on the batched engine: the diagnosis loop end to end.
+
+The obs subsystem was built against the classic engine; this harness
+pins the contract that the array-native engine is a drop-in under it —
+an observed, faulted, traced batched run yields the same artifact
+chain: annotation stream -> incident windows -> ranked causes with the
+fault's own injection on top -> exemplar span trees as evidence -> a
+manifest recording the engine and the tracing coverage.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.experiments.runner import run_scenario
+from repro.obs import (
+    build_manifest,
+    diagnose,
+    grade_attribution,
+    incidents_for_result,
+    render_manifest,
+)
+
+
+@pytest.fixture(scope="module")
+def batched_faulted_result():
+    config = ExperimentConfig(
+        environment="virtualized",
+        composition="browsing",
+        duration_s=180.0,
+        seed=42,
+        clients=400,
+        faults="degrade_nic@60:60:16",
+        engine="batched",
+    )
+    spec = replace(config.to_scenario(), trace_sample=0.05)
+    return run_scenario(spec, observe=True)
+
+
+@pytest.fixture(scope="module")
+def diagnoses(batched_faulted_result):
+    return diagnose(batched_faulted_result, slo_ms=100.0)
+
+
+class TestAnnotations:
+    def test_stream_records_the_fault_lifecycle(
+        self, batched_faulted_result
+    ):
+        annotations = batched_faulted_result.annotations
+        kinds = [a.kind for a in annotations]
+        assert "fault.inject" in kinds
+        assert "fault.clear" in kinds
+
+    def test_fault_annotation_carries_channel(
+        self, batched_faulted_result
+    ):
+        inject = next(
+            a
+            for a in batched_faulted_result.annotations
+            if a.kind == "fault.inject"
+        )
+        assert inject.channel == "nic"
+        assert inject.payload["fault"] == "degrade_nic"
+        assert inject.time_s == pytest.approx(60.0)
+
+
+class TestIncidents:
+    def test_nic_degrade_raises_an_incident(
+        self, batched_faulted_result
+    ):
+        per_entity = incidents_for_result(
+            batched_faulted_result, slo_ms=100.0
+        )
+        assert "obs" in per_entity
+        first = per_entity["obs"][0]
+        # the incident starts during the fault window
+        assert 60.0 <= first.start_s <= 120.0
+
+
+class TestDiagnosis:
+    def test_top_cause_is_the_injection(self, diagnoses):
+        assert diagnoses
+        top = diagnoses[0].top
+        assert top.annotation.kind == "fault.inject"
+        assert top.annotation.channel == "nic"
+
+    def test_precision_at_one(self, batched_faulted_result, diagnoses):
+        grade = grade_attribution(batched_faulted_result, diagnoses)
+        assert grade["faults"] == 1
+        assert grade["precision_at_1"] == 1.0
+
+    def test_exemplar_traces_cited_as_evidence(self, diagnoses):
+        exemplars = diagnoses[0].exemplars
+        assert exemplars
+        incident = diagnoses[0].incident
+        for trace in exemplars:
+            assert trace.engine == "batched"
+            assert incident.start_s <= trace.end_s <= incident.end_s
+        # slowest-first ordering
+        totals = [t.total_s for t in exemplars]
+        assert totals == sorted(totals, reverse=True)
+        payload = diagnoses[0].to_dict()
+        assert len(payload["exemplars"]) == len(exemplars)
+        assert payload["exemplars"][0]["spans"]
+
+    def test_untraced_run_diagnoses_without_exemplars(self):
+        config = ExperimentConfig(
+            environment="virtualized",
+            composition="browsing",
+            duration_s=180.0,
+            seed=42,
+            clients=400,
+            faults="degrade_nic@60:60:16",
+            engine="batched",
+        )
+        result = run_scenario(config.to_scenario(), observe=True)
+        entries = diagnose(result, slo_ms=100.0)
+        assert entries
+        assert entries[0].exemplars == []
+        assert entries[0].to_dict()["exemplars"] == []
+
+
+class TestManifest:
+    def test_manifest_records_engine_and_tracing(
+        self, batched_faulted_result
+    ):
+        manifest = build_manifest(batched_faulted_result)
+        assert manifest["engine"] == "batched"
+        tracing = manifest["tracing"]
+        assert tracing["sample_rate"] == pytest.approx(0.05)
+        assert tracing["requests_traced"] == len(
+            batched_faulted_result.request_traces
+        )
+        assert tracing["spans"] > tracing["requests_traced"]
+        text = render_manifest(manifest)
+        assert "batched engine" in text
+        assert "request traces" in text
+
+    def test_untraced_manifest_has_no_tracing_block(self):
+        config = ExperimentConfig(
+            environment="virtualized",
+            composition="browsing",
+            duration_s=60.0,
+            seed=42,
+            engine="batched",
+        )
+        result = run_scenario(config.to_scenario(), observe=True)
+        manifest = build_manifest(result)
+        assert manifest["engine"] == "batched"
+        assert manifest["tracing"] is None
+        assert "request traces" not in render_manifest(manifest)
