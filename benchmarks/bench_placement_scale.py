@@ -7,9 +7,12 @@ answers two questions:
 
 * **events/s vs. server count** — the same consolidated workload
   (web pair + one batch tenant per extra server) run on fleets of
-  1/2/4 servers: throughput must degrade sub-linearly (the per-server
-  fixed cost is bounded, so a bigger fleet hosting proportionally more
-  tenants should not collapse);
+  1/2/4/8 servers: throughput must degrade sub-linearly (the
+  per-server fixed cost is bounded, so a bigger fleet hosting
+  proportionally more tenants should not collapse).  Each fleet also
+  reports its placement *load imbalance* — max/mean committed VCPUs
+  across servers — so a policy regression that piles tenants onto one
+  server shows up in the bench output;
 * **migration cost in wall-clock** — the `migration_rebalance`
   scenario vs. its watch-only baseline on the same seed: the ~3.5 GiB
   chunked pre-copy adds thousands of NIC events; its wall-clock
@@ -33,7 +36,7 @@ QUICK = os.environ.get("REPRO_BENCH_QUICK", "").strip() in ("1", "true", "yes")
 
 DURATION_S = 40.0 if QUICK else 120.0
 CLIENTS = 150 if QUICK else 400
-SERVER_COUNTS = (1, 2, 4)
+SERVER_COUNTS = (1, 2, 4, 8)
 #: The rebalance scenario needs enough load to cross the fleet
 #: controller's hot-signal thresholds *and* enough horizon for the
 #: ~60 s pre-copy to finish, so the migration bench keeps the PR-3
@@ -59,33 +62,59 @@ def _fleet_spec(servers: int):
     return replace(base, name=f"fleet_scale_s{servers}", tenants=tenants)
 
 
+def _load_imbalance(spec) -> float:
+    """Max/mean committed VCPUs across servers of the built placement
+    (1.0 = perfectly even; only placed servers count toward the mean)."""
+    from repro.experiments.runner import prepare_run
+
+    prepared = prepare_run(spec)
+    engine = prepared.testbed.engine
+    if engine is None:
+        return 1.0
+    committed = [load.committed_vcpus for load in engine.server_loads()]
+    mean = sum(committed) / len(committed)
+    return max(committed) / mean if mean else 1.0
+
+
 def test_events_per_second_vs_server_count(benchmark):
     """Simulated-request throughput of the harness across fleet sizes."""
 
     def run():
         rates = {}
+        imbalance = {}
         for servers in SERVER_COUNTS:
             spec = _fleet_spec(servers)
+            imbalance[servers] = _load_imbalance(spec)
             start = time.perf_counter()
             result = run_scenario(spec)
             wall = time.perf_counter() - start
             rates[servers] = result.requests_completed / wall
-        return rates
+        return rates, imbalance
 
-    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+    rates, imbalance = benchmark.pedantic(run, rounds=1, iterations=1)
     for servers, rate in rates.items():
         benchmark.extra_info[f"req_per_s_s{servers}"] = round(rate)
+        benchmark.extra_info[f"imbalance_s{servers}"] = round(
+            imbalance[servers], 3
+        )
     print(
         "\nplacement scale: "
         + ", ".join(
-            f"{servers} server(s)={rate:,.0f} req/s"
+            f"{servers} server(s)={rate:,.0f} req/s "
+            f"(imbalance {imbalance[servers]:.2f}x)"
             for servers, rate in rates.items()
         )
     )
-    # Per-server fixed costs must stay bounded: a 4-server fleet
-    # hosting the same web workload plus 3 tenants may be slower than
+    # Per-server fixed costs must stay bounded: an 8-server fleet
+    # hosting the same web workload plus 7 tenants may be slower than
     # one server, but not by an order of magnitude.
-    assert rates[4] > rates[1] / 10.0
+    assert rates[SERVER_COUNTS[-1]] > rates[1] / 10.0
+    # The priority policy spreads batch tenants: no server may carry
+    # more than 3x the mean committed VCPUs on any fleet size.
+    for servers, ratio in imbalance.items():
+        assert ratio <= 3.0, (
+            f"{servers}-server placement is lopsided ({ratio:.2f}x)"
+        )
 
 
 def test_migration_wall_clock_surcharge(benchmark):

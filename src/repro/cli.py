@@ -214,6 +214,22 @@ def _build_parser() -> argparse.ArgumentParser:
              "JSON for chrome://tracing / Perfetto (requires "
              "--trace-sample > 0)",
     )
+    run_parser.add_argument(
+        "--fleet", default=None, metavar="NAME",
+        help="run a sharded fleet scenario instead of one testbed "
+             "('list' prints the fleet catalogue); honours --seed and "
+             "--shards and rejects the single-run shaping flags",
+    )
+    run_parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="worker processes for --fleet (1 = inline; results are "
+             "bit-identical across shard counts)",
+    )
+    run_parser.add_argument(
+        "--quick-fleet", action="store_true",
+        help="shrink the datacenter fleet for smoke runs (fewer pods, "
+             "shorter horizon); only meaningful with --fleet",
+    )
 
     sweep_parser = sub.add_parser(
         "sweep",
@@ -268,6 +284,12 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("firstfit", "bestfit", "balance", "priority"),
         help="placement policy for multi-server cells "
              "(default: firstfit)",
+    )
+    sweep_parser.add_argument(
+        "--placements", default=None, metavar="POLICIES",
+        help="comma-separated placement-policy axis for multi-server "
+             "cells (firstfit, bestfit, balance, priority); mutually "
+             "exclusive with --placement",
     )
     sweep_parser.add_argument(
         "--faults", default="none",
@@ -502,7 +524,78 @@ def _render_trace_report(result, tail: float, slowest: int) -> str:
     return "\n".join(lines)
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """``repro run --fleet``: the sharded fleet-of-fleets path."""
+    from repro.shard import fleet_catalog, run_fleet
+
+    conflicting = {
+        "--scenario": args.scenario is not None,
+        "--environment": args.environment != "virtualized",
+        "--composition": args.composition != "browsing",
+        "--duration": args.duration is not None,
+        "--clients": args.clients is not None,
+        "--scale": args.scale != 1.0,
+        "--traffic": args.traffic != "closed",
+        "--rate": args.rate is not None,
+        "--session-budget": args.session_budget is not None,
+        "--engine": args.engine != "classic",
+        "--controller": args.controller != "none",
+        "--servers": args.servers != 1,
+        "--placement": args.placement is not None,
+        "--faults": args.faults is not None,
+        "--columnar": args.columnar,
+        "--trace-sample": args.trace_sample > 0.0,
+        "--diagnose": args.diagnose,
+        "--profile": args.profile is not None,
+        "--export-csv": args.export_csv is not None,
+    }
+    rejected = [flag for flag, given in conflicting.items() if given]
+    if rejected:
+        raise ConfigurationError(
+            f"--fleet is incompatible with {', '.join(rejected)}; a "
+            "fleet scenario defines its own pods, horizon and faults"
+        )
+    catalog = fleet_catalog(seed=args.seed, quick=args.quick_fleet)
+    if args.fleet == "list":
+        for name, fleet in catalog.items():
+            print(
+                f"{name:<24s} {len(fleet.pods)} pods / "
+                f"{fleet.server_count()} servers / "
+                f"{fleet.vm_count()} VMs  {fleet.description}"
+            )
+        return 0
+    if args.fleet not in catalog:
+        raise ConfigurationError(
+            f"unknown fleet {args.fleet!r}; "
+            "see `repro run --fleet list` for the catalogue"
+        )
+    fleet = catalog[args.fleet]
+    shards = args.shards if args.shards is not None else 1
+    print(
+        f"running fleet {fleet.name}: {len(fleet.pods)} pods / "
+        f"{fleet.server_count()} servers / {fleet.vm_count()} VMs on "
+        f"{shards} shard(s), {fleet.duration_s:.0f}s simulated",
+        file=sys.stderr,
+    )
+    result = run_fleet(fleet, shards=shards)
+    print(result.render())
+    if args.export_json:
+        with open(args.export_json, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+        print(
+            f"fleet report written to {args.export_json}",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.shards is not None and args.fleet is None:
+        raise ConfigurationError("--shards requires --fleet")
+    if args.quick_fleet and args.fleet is None:
+        raise ConfigurationError("--quick-fleet requires --fleet")
+    if args.fleet is not None:
+        return _cmd_fleet(args)
     if args.list_scenarios:
         catalog = scenario_catalog(duration_s=args.duration, seed=args.seed)
         for name, spec in catalog.items():
@@ -847,6 +940,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "--controllers": args.controllers != "none",
             "--servers": args.servers != "1",
             "--placement": args.placement is not None,
+            "--placements": args.placements is not None,
             "--faults": args.faults != "none",
         }
         rejected = [flag for flag, given in overridden.items() if given]
@@ -873,6 +967,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             engines=engines,
         )
     else:
+        if args.placements is not None and args.placement is not None:
+            raise ConfigurationError(
+                "--placements and --placement are mutually exclusive; "
+                "the axis grids over policies, the scalar fixes one"
+            )
+        placements = None
+        if args.placements is not None:
+            placements = _split_axis(args.placements)
+            known = ("firstfit", "bestfit", "balance", "priority")
+            for token in placements:
+                if token not in known:
+                    raise ConfigurationError(
+                        f"unknown placement policy {token!r}; "
+                        f"choose from {list(known)}"
+                    )
         mixes = []
         for token in _split_axis(args.tenant_mixes):
             if token not in TENANT_MIXES:
@@ -896,6 +1005,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             ],
             servers=[int(token) for token in _split_axis(args.servers)],
             placement=args.placement,
+            placements=placements,
             faults=[
                 None if token == "none" else token
                 for token in _split_axis(args.faults)

@@ -24,7 +24,7 @@ from repro.experiments.scenarios import (
     open_loop_scenario,
     scenario,
 )
-from repro.placement.spec import validate_placement_policy
+from repro.placement.spec import FleetSpec, validate_placement_policy
 from repro.rubis.workload import PAPER_COMPOSITIONS
 from repro.traffic.spec import TrafficSpec
 from repro.workloads.base import TenantSpec
@@ -63,6 +63,10 @@ class ExperimentConfig:
     #: Placement policy token (``firstfit``/``bestfit``/``balance``/
     #: ``priority``); None keeps the scenario default (first-fit).
     placement: Optional[str] = None
+    #: Fleet-controller spec (:class:`~repro.placement.spec.FleetSpec`
+    #: or its dict form); requires ``servers > 1``.  None (the
+    #: default) runs without a fleet controller.
+    fleet: Optional[FleetSpec] = None
     #: Fault-schedule token: ``"+"``-joined
     #: ``kind@at[:duration[:magnitude]][/target]`` entries (the CLI
     #: ``--faults`` syntax, see :mod:`repro.faults.spec`); None or
@@ -137,6 +141,17 @@ class ExperimentConfig:
             )
         if self.placement is not None:
             validate_placement_policy(self.placement)
+        if self.fleet is not None and not isinstance(self.fleet, FleetSpec):
+            object.__setattr__(self, "fleet", FleetSpec.from_dict(self.fleet))
+        if self.fleet is not None:
+            if self.servers < 2:
+                raise ConfigurationError(
+                    "a fleet controller needs servers >= 2"
+                )
+            if self.environment != VIRTUALIZED:
+                raise ConfigurationError(
+                    "fleet controllers require the virtualized environment"
+                )
         # Parse the fault token eagerly so bad schedules fail at
         # construction, and reject faults outside the virtualized
         # environment (injectors actuate hypervisor state).
@@ -221,6 +236,10 @@ class ExperimentConfig:
             )
         elif self.placement is not None:
             spec = replace(spec, placement=self.placement)
+        if self.fleet is not None:
+            # The fleet spec is infrastructure, not workload shape, so
+            # the name stays unsuffixed — the cache key still covers it.
+            spec = replace(spec, fleet=self.fleet)
         schedule = self.fault_schedule()
         if schedule is not None:
             spec = replace(
@@ -268,6 +287,7 @@ class ExperimentConfig:
             "controller",
             "servers",
             "placement",
+            "fleet",
             "faults",
             "engine",
             "trace_sample",

@@ -1,0 +1,61 @@
+"""Shared capacity actuation: one VM resize in the canonical order.
+
+Every layer that resizes a domain — the elastic controller's level
+mapping, a fleet optimizer's budget throttle, a sharded pod applying a
+coordinator command — must touch the hypervisor actuators in the same
+sequence, because actuation order is trace-visible: each effective
+actuation emits a control event and charges dom0 cycles.  The
+canonical order is the elastic controller's historical one:
+
+    credit-scheduler cap → VCPU hotplug → scheduler weight → balloon
+
+:class:`CapacityActuator` encapsulates that sequence for one domain.
+Each underlying hypervisor actuator no-ops when the value is
+unchanged, so re-applying the current target is free (no events, no
+dom0 charge) — callers do not need to diff before applying.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.units import MB
+
+
+class CapacityActuator:
+    """Apply capacity targets to one domain, in canonical order."""
+
+    def __init__(
+        self,
+        hypervisor,
+        domain,
+        base_weight: Optional[float] = None,
+    ) -> None:
+        self.hypervisor = hypervisor
+        self.domain = domain
+        #: Weight the multiplicative boosts scale from (captured at
+        #: construction — boosting must not compound across ticks).
+        self.base_weight = (
+            float(base_weight) if base_weight is not None else domain.weight
+        )
+
+    def apply(
+        self,
+        cap_cores: float,
+        vcpus: int,
+        weight_factor: Optional[float] = None,
+        memory_mb: Optional[float] = None,
+    ) -> None:
+        """Actuate cap, vcpus and (optionally) weight and balloon."""
+        hypervisor = self.hypervisor
+        domain = self.domain
+        hypervisor.set_cap_cores(domain, cap_cores)
+        hypervisor.set_vcpus(domain, vcpus)
+        if weight_factor is not None:
+            hypervisor.set_weight(domain, self.base_weight * weight_factor)
+        if memory_mb is not None:
+            hypervisor.balloon(domain, memory_mb * MB)
+
+    def throttle(self, cap_cores: float) -> None:
+        """Cap-only actuation (budget throttles leave the rest alone)."""
+        self.hypervisor.set_cap_cores(self.domain, cap_cores)

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.control.actions import ActionLog
+from repro.control.actuation import CapacityActuator
 from repro.control.policies import build_policy
 from repro.control.signals import SignalTap
 from repro.control.spec import ControllerSpec
@@ -126,7 +127,9 @@ class ElasticController(PeriodicController):
         self.driver = driver
         # Resolve eagerly so a misnamed domain fails at build time.
         self._domains = [hypervisor.domain(name) for name in spec.domains]
-        self._base_weights = {d.name: d.weight for d in self._domains}
+        self._actuators = {
+            d.name: CapacityActuator(hypervisor, d) for d in self._domains
+        }
         self.tap = SignalTap(
             sim,
             stats,
@@ -197,24 +200,22 @@ class ElasticController(PeriodicController):
 
     def _actuate(self, level: float) -> None:
         spec = self.spec
-        hypervisor = self.hypervisor
         cap = self._cap_for(level)
         vcpus = self._vcpus_for(cap)
         memory_mb = (
             self._memory_mb_for(level) if spec.balloon_enabled else None
         )
+        weight_factor = (
+            1.0 + spec.weight_boost * self._effective_level(level)
+            if spec.weight_boost > 0
+            else None
+        )
         for domain in self._domains:
-            hypervisor.set_cap_cores(domain, cap)
-            hypervisor.set_vcpus(domain, vcpus)
-            if spec.weight_boost > 0:
-                base = self._base_weights[domain.name]
-                hypervisor.set_weight(
-                    domain,
-                    base * (1.0 + spec.weight_boost
-                            * self._effective_level(level)),
-                )
-            if memory_mb is not None:
-                hypervisor.balloon(domain, memory_mb * MB)
+            self._actuators[domain.name].apply(
+                cap, vcpus,
+                weight_factor=weight_factor,
+                memory_mb=memory_mb,
+            )
         if (
             memory_mb is not None
             and spec.sessions_per_gb > 0

@@ -107,6 +107,155 @@ class ExperimentResult:
         return self.interference.get("cpu_ready_s", {}).get(domain_name, 0.0)
 
 
+@dataclass
+class PreparedRun:
+    """A built-but-not-yet-run scenario: the windowed execution handle.
+
+    ``run_scenario`` is ``prepare_run(...)`` + ``start()`` +
+    ``sim.run_until(horizon)`` + ``collect()``.  Splitting the phases
+    lets callers that need to interleave work between simulation
+    windows — the sharded fleet engine advances every pod in lockstep
+    windows and exchanges cross-pod traffic at the boundaries — reuse
+    the exact same build/collect code path, which is what makes a
+    single-pod sharded run bit-identical to a plain ``run_scenario``.
+    """
+
+    scenario: Scenario
+    sim: Simulator
+    streams: RandomStreams
+    testbed: object
+    recorder: TraceRecorder
+    wall_start: float
+    built_at: float
+
+    def start(self) -> None:
+        """Arm every driver/controller (once, before the first window)."""
+        self.testbed.start()
+
+    def run_until(self, horizon_s: float) -> None:
+        """Advance the event loop to ``horizon_s`` (monotonic windows)."""
+        self.sim.run_until(horizon_s)
+
+    def collect(self) -> ExperimentResult:
+        """Stop recording, shut the testbed down, assemble the result."""
+        simulated_at = time.perf_counter()
+        self.recorder.stop()
+        self.testbed.shutdown()
+
+        # Elastic-control decisions are first-class telemetry: the
+        # control series join the run's trace set (entity = the
+        # controller's) and, for columnar runs, the per-metric table —
+        # so they ride the same CSV/NPZ export paths as every sampled
+        # metric.
+        recorder = self.recorder
+        testbed = self.testbed
+        scenario = self.scenario
+        web = testbed.web
+        columnar = recorder.columnar
+        for controller in testbed.controllers:
+            for resource, series in controller.trace_series():
+                recorder.traces.add(controller.entity, resource, series)
+        if columnar is not None and testbed.controllers:
+            columnar = _merge_control_columns(columnar, testbed.controllers)
+
+        stats = web.stats
+        meter = web.meter
+        population = web.population
+        collected_at = time.perf_counter()
+        return ExperimentResult(
+            scenario=scenario,
+            traces=recorder.traces,
+            client_stats=stats,
+            requests_completed=stats.responses_received,
+            mean_response_time_s=stats.mean_response_time_s,
+            deployment=testbed.deployment,
+            population=population,
+            full_rows=recorder.full_rows,
+            columnar=columnar,
+            arrival_trace=(
+                meter.to_rate_trace(scenario.duration_s)
+                if meter is not None
+                else None
+            ),
+            traffic_report=(
+                population.summary()
+                if isinstance(
+                    population, (OpenLoopDriver, BatchedOpenDriver)
+                )
+                else None
+            ),
+            tenant_reports=testbed.tenant_reports(),
+            interference=testbed.interference_report(),
+            control_reports=testbed.control_reports(),
+            annotations=(
+                testbed.observer.stream
+                if testbed.observer is not None
+                else None
+            ),
+            request_traces=(
+                web.tracer.traces
+                if getattr(web, "tracer", None) is not None
+                else None
+            ),
+            events_fired=self.sim.events_fired,
+            phases_s={
+                "build": self.built_at - self.wall_start,
+                "simulate": simulated_at - self.built_at,
+                "collect": collected_at - simulated_at,
+            },
+        )
+
+
+def prepare_run(
+    scenario: Scenario,
+    collect_full_registry: bool = False,
+    registry: Optional[MetricRegistry] = None,
+    columnar_rows: bool = False,
+    meter_arrivals: bool = False,
+    observe: bool = False,
+) -> PreparedRun:
+    """Build a scenario's simulator/testbed/recorder without running it.
+
+    The construction sequence (simulator, random streams, testbed,
+    registry, recorder — in that order) is exactly ``run_scenario``'s,
+    so a prepared run advanced to the horizon and collected produces
+    bit-identical traces to the one-shot path.
+    """
+    wall_start = time.perf_counter()
+    sim = Simulator()
+    streams = RandomStreams(seed=scenario.seed)
+    testbed = build_testbed(
+        sim, streams, scenario, meter_arrivals=meter_arrivals,
+        observe=observe,
+    )
+
+    if collect_full_registry and registry is None:
+        from repro.monitoring.registry import build_registry
+
+        registry = build_registry()
+    recorder = TraceRecorder(
+        sim,
+        testbed.probes(),
+        environment=scenario.environment,
+        workload=scenario.mix.name,
+        registry=registry,
+        collect_full_registry=collect_full_registry,
+        rng=streams.stream("monitoring-noise"),
+        columnar_rows=columnar_rows,
+    )
+
+    built_at = time.perf_counter()
+    return PreparedRun(
+        scenario=scenario,
+        sim=sim,
+        streams=streams,
+        testbed=testbed,
+        recorder=recorder,
+        wall_start=wall_start,
+        built_at=built_at,
+    )
+
+
 def run_scenario(
     scenario: Scenario,
     collect_full_registry: bool = False,
@@ -145,92 +294,17 @@ def run_scenario(
     pre-existing series is bit-identical with and without it.  The
     stream lands on ``result.annotations``.
     """
-    wall_start = time.perf_counter()
-    sim = Simulator()
-    streams = RandomStreams(seed=scenario.seed)
-    testbed = build_testbed(
-        sim, streams, scenario, meter_arrivals=meter_arrivals,
+    prepared = prepare_run(
+        scenario,
+        collect_full_registry=collect_full_registry,
+        registry=registry,
+        columnar_rows=columnar_rows,
+        meter_arrivals=meter_arrivals,
         observe=observe,
     )
-    web = testbed.web
-
-    if collect_full_registry and registry is None:
-        from repro.monitoring.registry import build_registry
-
-        registry = build_registry()
-    recorder = TraceRecorder(
-        sim,
-        testbed.probes(),
-        environment=scenario.environment,
-        workload=scenario.mix.name,
-        registry=registry,
-        collect_full_registry=collect_full_registry,
-        rng=streams.stream("monitoring-noise"),
-        columnar_rows=columnar_rows,
-    )
-
-    built_at = time.perf_counter()
-    testbed.start()
-    sim.run_until(scenario.duration_s)
-    simulated_at = time.perf_counter()
-    recorder.stop()
-    testbed.shutdown()
-
-    # Elastic-control decisions are first-class telemetry: the control
-    # series join the run's trace set (entity = the controller's) and,
-    # for columnar runs, the per-metric table — so they ride the same
-    # CSV/NPZ export paths as every sampled metric.
-    columnar = recorder.columnar
-    for controller in testbed.controllers:
-        for resource, series in controller.trace_series():
-            recorder.traces.add(controller.entity, resource, series)
-    if columnar is not None and testbed.controllers:
-        columnar = _merge_control_columns(columnar, testbed.controllers)
-
-    stats = web.stats
-    meter = web.meter
-    population = web.population
-    collected_at = time.perf_counter()
-    return ExperimentResult(
-        scenario=scenario,
-        traces=recorder.traces,
-        client_stats=stats,
-        requests_completed=stats.responses_received,
-        mean_response_time_s=stats.mean_response_time_s,
-        deployment=testbed.deployment,
-        population=population,
-        full_rows=recorder.full_rows,
-        columnar=columnar,
-        arrival_trace=(
-            meter.to_rate_trace(scenario.duration_s)
-            if meter is not None
-            else None
-        ),
-        traffic_report=(
-            population.summary()
-            if isinstance(population, (OpenLoopDriver, BatchedOpenDriver))
-            else None
-        ),
-        tenant_reports=testbed.tenant_reports(),
-        interference=testbed.interference_report(),
-        control_reports=testbed.control_reports(),
-        annotations=(
-            testbed.observer.stream
-            if testbed.observer is not None
-            else None
-        ),
-        request_traces=(
-            web.tracer.traces
-            if getattr(web, "tracer", None) is not None
-            else None
-        ),
-        events_fired=sim.events_fired,
-        phases_s={
-            "build": built_at - wall_start,
-            "simulate": simulated_at - built_at,
-            "collect": collected_at - simulated_at,
-        },
-    )
+    prepared.start()
+    prepared.run_until(scenario.duration_s)
+    return prepared.collect()
 
 
 def _merge_control_columns(columnar, controllers):

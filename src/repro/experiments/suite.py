@@ -167,6 +167,7 @@ def suite_grid(
     controllers: Sequence[Optional[str]] = (None,),
     servers: Sequence[int] = (1,),
     placement: Optional[str] = None,
+    placements: Optional[Sequence[str]] = None,
     faults: Sequence[Optional[str]] = (None,),
     engines: Sequence[str] = ("classic",),
     duration_s: Optional[float] = None,
@@ -187,15 +188,28 @@ def suite_grid(
     over fault-schedule tokens (``--faults`` syntax, ``none`` for the
     fault-free cell); the ``engines`` axis grids over request engines
     (``classic``/``batched``), letting one sweep compare the two
-    engines cell by cell at matched seeds.
+    engines cell by cell at matched seeds; the ``placements`` axis
+    grids multi-server cells over placement policies (mutually
+    exclusive with the scalar ``placement``) — single-server cells,
+    which place nothing, are emitted once rather than per policy.
     """
+    if placements is not None:
+        if placement is not None:
+            raise ConfigurationError(
+                "placement and placements are mutually exclusive"
+            )
+        if not placements:
+            raise ConfigurationError("placements axis must not be empty")
+        placement_axis: Sequence[Optional[str]] = tuple(placements)
+    else:
+        placement_axis = (placement,)
     runs: List[SuiteRun] = []
     for (
         environment, composition, traffic, scale, tenants, controller,
-        server_count, fault_token, engine,
+        server_count, placement_token, fault_token, engine,
     ) in itertools.product(
         environments, compositions, traffics, scales, tenant_mixes,
-        controllers, servers, faults, engines,
+        controllers, servers, placement_axis, faults, engines,
     ):
         tenants = tuple(tenants)
         if tenants and environment != "virtualized":
@@ -210,6 +224,8 @@ def suite_grid(
             fault_token = None
         if fault_token is not None and environment != "virtualized":
             continue  # injectors actuate hypervisor state
+        if server_count == 1 and placement_token != placement_axis[0]:
+            continue  # a single server places nothing: one cell only
         parts = [environment, composition]
         if traffic not in (None, "closed"):
             parts.append(str(traffic))
@@ -218,8 +234,9 @@ def suite_grid(
         if tenants:
             parts.append("+".join(t.name for t in tenants))
         # The per-run seed is derived *before* the controller,
-        # fleet-size, fault and engine tokens are appended: cells that
-        # differ only in scaling policy, server count, injected faults
+        # fleet-size, placement-policy, fault and engine tokens are
+        # appended: cells that differ only in scaling policy, server
+        # count, placement, injected faults
         # or request engine change the *infrastructure* (or what
         # breaks it, or how the lifecycle executes), not the offered
         # workload, and must run the same seed (and therefore the same
@@ -229,6 +246,8 @@ def suite_grid(
         seed_id = "/".join(parts)
         if server_count > 1:
             parts.append(f"s{server_count}")
+            if placements is not None:
+                parts.append(f"pl-{placement_token}")
         if controller is not None:
             parts.append(f"ctl-{controller}")
         if fault_token is not None:
@@ -247,7 +266,7 @@ def suite_grid(
             tenants=tenants,
             controller=controller,
             servers=server_count,
-            placement=placement if server_count > 1 else None,
+            placement=placement_token if server_count > 1 else None,
             faults=fault_token,
             engine=engine,
         )

@@ -20,9 +20,18 @@ hypervisor" into "a fleet of virtualized servers":
   and a stop-and-copy downtime window;
 * :mod:`~repro.placement.fleet` — the :class:`FleetController`:
   watches per-server ready/steal and web p95 signals and triggers
-  rebalancing migrations mid-run.
+  rebalancing migrations mid-run;
+* :mod:`~repro.placement.admission` — closed-form pre-copy forecasts
+  and migration admission control (migrate only when the move
+  converges and relieves enough, soon enough).
 """
 
+from repro.placement.admission import (
+    AdmissionDecision,
+    MigrationForecast,
+    admit_migration,
+    forecast_migration,
+)
 from repro.placement.engine import PlacementEngine
 from repro.placement.fleet import FleetController
 from repro.placement.migration import LiveMigration, MigrationReport
@@ -35,12 +44,16 @@ from repro.placement.spec import (
 
 __all__ = [
     "PLACEMENT_POLICIES",
+    "AdmissionDecision",
     "FleetController",
     "FleetSpec",
     "LiveMigration",
+    "MigrationForecast",
     "MigrationReport",
     "PlacementEngine",
     "ServerLoad",
     "VmRequest",
+    "admit_migration",
     "choose_server",
+    "forecast_migration",
 ]

@@ -188,6 +188,21 @@ class PlacementEngine:
         self._loads[dest_server].commit(request)
         self._assignment[vm_name] = dest_server
 
+    def remove_vm(self, vm_name: str) -> VmRequest:
+        """Release a VM's booking entirely (cross-fleet evacuation).
+
+        The inverse of :meth:`place` for one VM: its reservation is
+        released and the directory forgets it, so the name could be
+        re-placed later.  Returns the removed request (the shippable
+        description a receiving fleet re-places).
+        """
+        request = self.request_for(vm_name)
+        source = self.server_of(vm_name)
+        self._loads[source].release(request)
+        del self._assignment[vm_name]
+        del self._requests[vm_name]
+        return request
+
     # -- lifecycle -----------------------------------------------------------
 
     def shutdown(self) -> None:

@@ -36,6 +36,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.control.actions import ActionLog
 from repro.control.controller import PeriodicController
 from repro.control.signals import SignalTap
+from repro.placement.admission import AdmissionDecision, admit_migration
 from repro.placement.engine import PlacementEngine
 from repro.placement.migration import LiveMigration, MigrationReport
 from repro.placement.spec import FleetSpec
@@ -94,6 +95,9 @@ class FleetController(PeriodicController):
         #: voluntary list so the ``max_migrations`` budget never sees
         #: them.
         self.evacuations: List[MigrationReport] = []
+        #: Admission consults (``spec.admission`` runs only), in
+        #: decision order.
+        self.admission_decisions: List[AdmissionDecision] = []
         self.failed_servers: List[str] = []
         self._fail_streak: Dict[str, int] = {
             name: 0 for name in engine.hypervisors
@@ -286,6 +290,29 @@ class FleetController(PeriodicController):
         if self._evac_queue:
             self._start_next_evacuation()
 
+    def stranded_guests(self) -> List[str]:
+        """Queued evacuees no survivor can currently host (sorted).
+
+        A stranded guest is the signal a fleet-of-fleets optimizer
+        reads to trigger a *cross-fleet* evacuation: inside this fleet
+        the guest would wait at the queue head forever.
+        """
+        return sorted(
+            vm
+            for vm in self._evac_queue
+            if self.engine.choose_destination(
+                vm, exclude=tuple(self.failed_servers)
+            )
+            is None
+        )
+
+    def cancel_evacuation(self, vm_name: str) -> bool:
+        """Drop a queued evacuee (it is leaving this fleet entirely)."""
+        if vm_name in self._evac_queue:
+            self._evac_queue.remove(vm_name)
+            return True
+        return False
+
     # -- voluntary rebalancing ---------------------------------------------
 
     def _try_rebalance(self) -> None:
@@ -299,6 +326,24 @@ class FleetController(PeriodicController):
         if not candidates:
             return
         victim = candidates[0]
+        if self.spec.admission:
+            source_hv = self.engine.hypervisor_for(victim)
+            decision = admit_migration(
+                source_hv.vm_memory_used(source_hv.domain(victim)),
+                self.spec,
+                # The hot streak is the evidence: assume the observed
+                # SLO-violating interval would persist equally long
+                # again if the antagonist stayed put.
+                relief_s=self._hot_streak * self.spec.interval_s,
+                relief_ratio=self.spec.admission_relief_ratio,
+            )
+            self.admission_decisions.append(decision)
+            if not decision.admitted:
+                # Denied: reset the streak so the next consult waits
+                # for fresh evidence instead of re-denying every
+                # window.
+                self._hot_streak = 0
+                return
         dest_name = self.engine.choose_destination(
             victim, exclude=tuple(self.failed_servers)
         )
@@ -317,6 +362,41 @@ class FleetController(PeriodicController):
             rescale=self.rescalers.get(victim),
         ).start()
 
+    def request_migration(self, vm_name: str) -> bool:
+        """Start an externally-commanded voluntary migration of one VM.
+
+        The fleet-optimizer entry point: the caller (which has already
+        run its own admission control) names the VM; the controller
+        supplies the destination, the wire and the bookkeeping.
+        Returns False — without queueing anything — when the wire is
+        busy, the VM is not movable, or no server can host it.
+        Commanded moves share the voluntary ``migrations`` list and
+        cooldown, but not the ``max_migrations`` budget: the optimizer
+        holds its own budget.
+        """
+        if self._active is not None or self._evac_queue:
+            return False
+        if vm_name not in self.movable:
+            return False
+        dest_name = self.engine.choose_destination(
+            vm_name, exclude=tuple(self.failed_servers)
+        )
+        if dest_name is None:
+            return False
+        source = self.engine.hypervisor_for(vm_name)
+        dest = self.engine.hypervisors[dest_name]
+        self._active = LiveMigration(
+            self.sim,
+            source,
+            dest,
+            vm_name,
+            spec=self.spec,
+            rebind=self.movable[vm_name],
+            on_complete=self._migration_done,
+            rescale=self.rescalers.get(vm_name),
+        ).start()
+        return True
+
     def _migration_done(self, report: MigrationReport) -> None:
         self.engine.record_migration(report.domain, report.dest)
         self.migrations.append(report)
@@ -328,7 +408,7 @@ class FleetController(PeriodicController):
 
     def report(self) -> dict:
         """Plain-data summary of what the fleet controller did."""
-        return {
+        report = {
             "kind": "fleet",
             "domains": sorted(self.movable),
             "num_actions": len(self.migrations),
@@ -343,3 +423,9 @@ class FleetController(PeriodicController):
             "placement": self.engine.placement_report(),
             "final": {},
         }
+        if self.spec.admission:
+            report["admission"] = [
+                decision.to_dict()
+                for decision in self.admission_decisions
+            ]
+        return report

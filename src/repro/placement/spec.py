@@ -109,6 +109,17 @@ class FleetSpec:
     #: the voluntary ``max_migrations`` budget.
     fail_ready_s: float = 0.0
     fail_windows: int = 2
+    # -- migration admission control ---------------------------------------
+    #: When True every voluntary rebalancing migration is first run
+    #: through :func:`repro.placement.admission.admit_migration`: the
+    #: controller forecasts the pre-copy traffic and downtime from the
+    #: candidate's live working set and only migrates when the
+    #: predicted relief (remaining horizon x the hot signal's excess)
+    #: exceeds ``admission_relief_ratio`` x the predicted cost.  False
+    #: (the default) keeps the pre-admission behaviour — and therefore
+    #: bit-identical traces — for every existing scenario.
+    admission: bool = False
+    admission_relief_ratio: float = 2.0
     # -- live-migration model ---------------------------------------------
     migration_bandwidth_bps: float = 62.5e6
     dirty_fraction_per_s: float = 0.01
@@ -138,6 +149,10 @@ class FleetSpec:
             raise ConfigurationError("fail_ready_s must be >= 0")
         if self.fail_windows < 1:
             raise ConfigurationError("fail_windows must be >= 1")
+        if self.admission_relief_ratio <= 0:
+            raise ConfigurationError(
+                "admission_relief_ratio must be positive"
+            )
         if self.migration_bandwidth_bps <= 0:
             raise ConfigurationError(
                 "migration_bandwidth_bps must be positive"

@@ -13,9 +13,12 @@ workflow on top of the characterization results:
 * :mod:`~repro.planning.predictor` — project a measured workload to a
   different client count and predict utilization and SLA compliance,
 * :mod:`~repro.planning.cost` — price capacity bills and score runs on
-  the $-vs-SLA trade-off (cost-aware control and placement).
+  the $-vs-SLA trade-off (cost-aware control and placement),
+* :mod:`~repro.planning.budget` — windowed $-per-kilorequest budget
+  policies (the fleet optimizer's bill-reading lever).
 """
 
+from repro.planning.budget import BudgetPolicy, BudgetReading, BudgetSpec
 from repro.planning.capacity import (
     CapacityPlan,
     ResourceCapacity,
@@ -30,6 +33,9 @@ from repro.planning.predictor import (
 )
 
 __all__ = [
+    "BudgetPolicy",
+    "BudgetReading",
+    "BudgetSpec",
     "ResourceCapacity",
     "CapacityPlan",
     "plan_capacity",

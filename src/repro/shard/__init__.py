@@ -1,0 +1,56 @@
+"""Sharded datacenter-scale fleet simulation.
+
+The fleet-of-fleets layer: a :class:`~repro.shard.spec.FleetScenario`
+partitions many self-contained multi-server *pods* over worker
+processes, advances them in lockstep time windows, and exchanges
+cross-pod traffic (stranded-guest evacuations, fleet-optimizer
+commands) at the deterministic window boundaries.  Per-pod seeds
+derive from the fleet seed and the pod name alone, so the merged
+trace fingerprint is bit-identical across shard counts — and a
+single-pod fleet is bit-identical to the plain single-process
+``run_scenario`` path it wraps.
+"""
+
+from repro.shard.coordinator import (
+    FleetResult,
+    PodGroup,
+    run_fleet,
+)
+from repro.shard.fabric import (
+    ShardError,
+    ShardTimeoutError,
+    ShardWorkerError,
+    shard_partition,
+)
+from repro.shard.optimizer import FleetOptimizer
+from repro.shard.pod import Pod
+from repro.shard.scenarios import (
+    datacenter_fleet,
+    fleet_catalog,
+    fleet_optimizer_demo,
+    fleet_optimizer_demo_watch,
+    two_pod_fleet,
+    two_pod_fleet_watch,
+)
+from repro.shard.spec import FleetScenario, OptimizerSpec, PodSpec
+
+__all__ = [
+    "FleetOptimizer",
+    "FleetResult",
+    "FleetScenario",
+    "OptimizerSpec",
+    "Pod",
+    "PodGroup",
+    "PodSpec",
+    "ShardError",
+    "ShardTimeoutError",
+    "ShardWorkerError",
+    "datacenter_fleet",
+    "fleet_catalog",
+    "fleet_optimizer_demo",
+    "fleet_optimizer_demo_watch",
+    "run_fleet",
+    "shard_partition",
+    "two_pod_fleet",
+    "two_pod_fleet_watch",
+]

@@ -1,0 +1,312 @@
+"""The coordinator-side fleet optimizer: read signals, issue commands.
+
+Three levers, evaluated every window boundary over the *sorted* pod
+signals (so decisions are independent of shard count and message
+arrival order):
+
+1. **Stranded guests** — a pod whose fleet controller holds evacuees
+   no local survivor can host gets a cross-pod evacuation: the
+   optimizer routes each shippable (ballast) guest to the peer pod
+   with the most free memory on a single server, emitting an
+   ``evacuate`` command to the source and the matching ``import`` to
+   the destination in the same window.
+2. **Budget** — a :class:`~repro.planning.budget.BudgetPolicy` reads
+   the fleet-wide bill and request counter each window; after the
+   hysteresis streak it throttles the most expensive uncapped batch
+   VM on the pod with the most SLO slack down to the budget's cap
+   floor (scale-down beats paying for idle reservation).
+3. **Hot pods** — a pod whose window p95 exceeds the SLO gets either
+   a commanded live migration of its cheapest movable antagonist
+   (when admission control predicts the interference relief is worth
+   the pre-copy traffic + downtime) or, on denial, a cap-down
+   throttle of that same antagonist — the migrate-vs-resize
+   composition.
+
+The optimizer holds only plain-data state (decision log, counters,
+budget cursors); :meth:`decide` is deterministic given the signal
+history.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.placement.admission import admit_migration
+from repro.placement.spec import FleetSpec
+from repro.planning.budget import BudgetPolicy
+from repro.shard.spec import FleetScenario, OptimizerSpec
+
+
+class FleetOptimizer:
+    """Pure-function-of-signals fleet controller of controllers."""
+
+    def __init__(self, fleet: FleetScenario) -> None:
+        if fleet.optimizer is None:
+            raise ValueError("fleet has no optimizer spec")
+        self.fleet = fleet
+        self.spec: OptimizerSpec = fleet.optimizer
+        self.budget: Optional[BudgetPolicy] = (
+            BudgetPolicy(self.spec.budget)
+            if self.spec.budget is not None
+            else None
+        )
+        #: Plain-data decision log, in decision order.
+        self.decisions: List[dict] = []
+        self._migrations_commanded = 0
+        self._fleet_specs: Dict[str, Optional[FleetSpec]] = {
+            pod.name: pod.config.fleet for pod in fleet.pods
+        }
+
+    # -- the decision epoch --------------------------------------------------
+
+    def decide(
+        self, now: float, signals: Dict[str, dict]
+    ) -> Dict[str, List[dict]]:
+        """Map one window's pod signals to per-pod command lists."""
+        commands: Dict[str, List[dict]] = {
+            name: [] for name in sorted(signals)
+        }
+        self._decide_evacuations(now, signals, commands)
+        self._decide_budget(now, signals, commands)
+        self._decide_hot_pods(now, signals, commands)
+        return commands
+
+    def _record(self, now: float, kind: str, pod: str, **extra) -> None:
+        entry = {"time_s": now, "kind": kind, "pod": pod}
+        entry.update(extra)
+        self.decisions.append(entry)
+
+    # -- lever 1: cross-pod evacuation of stranded guests --------------------
+
+    def _decide_evacuations(
+        self,
+        now: float,
+        signals: Dict[str, dict],
+        commands: Dict[str, List[dict]],
+    ) -> None:
+        # Free memory shrinks as this window routes imports; track it.
+        free: Dict[str, Dict[str, float]] = {
+            name: dict(signals[name].get("free_memory", {}))
+            for name in sorted(signals)
+        }
+        for pod_name in sorted(signals):
+            for image in signals[pod_name].get("stranded", []):
+                if not image.get("shippable", False):
+                    self._record(
+                        now, "evacuate-skipped", pod_name,
+                        vm=image["name"],
+                        reason="not a ballast VM (driver state in flight)",
+                    )
+                    continue
+                dest = self._route_import(
+                    pod_name, image["memory_bytes"], free
+                )
+                if dest is None:
+                    self._record(
+                        now, "evacuate-stranded", pod_name,
+                        vm=image["name"],
+                        reason="no peer pod has a server with room",
+                    )
+                    continue
+                dest_pod, dest_server = dest
+                free[dest_pod][dest_server] -= image["memory_bytes"]
+                commands[pod_name].append({
+                    "op": "evacuate",
+                    "vm": image["name"],
+                    "dest_pod": dest_pod,
+                })
+                commands[dest_pod].append({
+                    "op": "import",
+                    "image": image,
+                    "src_pod": pod_name,
+                })
+                self._record(
+                    now, "evacuate", pod_name,
+                    vm=image["name"], dest_pod=dest_pod,
+                    reason=(
+                        f"stranded on {pod_name}; {dest_pod}/"
+                        f"{dest_server} has the most free memory"
+                    ),
+                )
+
+    @staticmethod
+    def _route_import(src_pod, memory_bytes, free):
+        """Peer pod whose fullest-free server fits the image (max free,
+        pod name as the deterministic tiebreak)."""
+        best = None
+        for pod_name in sorted(free):
+            if pod_name == src_pod:
+                continue
+            for server in sorted(free[pod_name]):
+                room = free[pod_name][server]
+                if room < memory_bytes:
+                    continue
+                if best is None or room > best[2]:
+                    best = (pod_name, server, room)
+        if best is None:
+            return None
+        return best[0], best[1]
+
+    # -- lever 2: bill-reading scale-down ------------------------------------
+
+    def _decide_budget(
+        self,
+        now: float,
+        signals: Dict[str, dict],
+        commands: Dict[str, List[dict]],
+    ) -> None:
+        if self.budget is None:
+            return
+        merged: Dict[str, dict] = {}
+        requests_total = 0
+        for pod_name in sorted(signals):
+            signal = signals[pod_name]
+            requests_total += signal["requests_total"]
+            domains = signal["billing"].get("domains", {})
+            for domain, bill in domains.items():
+                merged[f"{pod_name}/{domain}"] = bill
+        reading = self.budget.observe(merged, requests_total, time_s=now)
+        if not self.budget.should_act:
+            return
+        target = self._costliest_throttleable(signals)
+        if target is None:
+            self._record(
+                now, "budget-exhausted", "-",
+                reason="over budget but nothing left to throttle",
+                usd_per_kilorequest=reading.usd_per_kilorequest,
+            )
+            return
+        pod_name, vm = target
+        cap = self.budget.spec.min_cap_cores
+        commands[pod_name].append({
+            "op": "throttle", "vm": vm["name"], "cap_cores": cap,
+        })
+        self._record(
+            now, "budget-throttle", pod_name,
+            vm=vm["name"], cap_cores=cap,
+            usd_per_kilorequest=reading.usd_per_kilorequest,
+            reason=(
+                f"fleet at ${reading.usd_per_kilorequest:.4f}/kRq vs "
+                f"budget ${self.budget.spec.usd_per_kilorequest:.4f}; "
+                f"capping the costliest batch reservation"
+            ),
+        )
+
+    def _costliest_throttleable(self, signals):
+        """(pod, vm) paying the most reserved cores, on the pod with
+        the most SLO slack at equal cost — or None when every batch VM
+        already sits at/below the cap floor."""
+        floor = self.budget.spec.min_cap_cores
+        best = None
+        for pod_name in sorted(signals):
+            signal = signals[pod_name]
+            slack = self.spec.slo_p95_ms - signal["p95_ms"]
+            for vm in signal.get("vms", []):
+                reserved = vm["vcpus"]
+                if 0 < vm["cap_cores"] < reserved:
+                    reserved = vm["cap_cores"]
+                if reserved <= floor:
+                    continue
+                key = (reserved, slack)
+                names = (pod_name, vm["name"])
+                if (
+                    best is None
+                    or key > best[0]
+                    or (key == best[0] and names < best[1])
+                ):
+                    best = (key, names, pod_name, vm)
+        if best is None:
+            return None
+        return best[2], best[3]
+
+    # -- lever 3: migrate-vs-resize on hot pods ------------------------------
+
+    def _decide_hot_pods(
+        self,
+        now: float,
+        signals: Dict[str, dict],
+        commands: Dict[str, List[dict]],
+    ) -> None:
+        for pod_name in sorted(signals):
+            signal = signals[pod_name]
+            if signal["p95_ms"] <= self.spec.slo_p95_ms:
+                continue
+            if signal.get("migration_busy") or signal.get(
+                "failed_servers"
+            ):
+                continue  # the pod's own controller has the wire
+            victim = self._cheapest_movable(signal)
+            if victim is None:
+                continue
+            fleet_spec = self._fleet_specs.get(pod_name)
+            can_migrate = (
+                fleet_spec is not None
+                and self._migrations_commanded < self.spec.max_migrations
+            )
+            if can_migrate:
+                decision = admit_migration(
+                    victim["mem_used"],
+                    fleet_spec,
+                    relief_s=self.spec.relief_horizon_s,
+                    relief_ratio=self.spec.admission_relief_ratio,
+                )
+                if decision.admitted:
+                    self._migrations_commanded += 1
+                    commands[pod_name].append({
+                        "op": "migrate", "vm": victim["name"],
+                    })
+                    self._record(
+                        now, "migrate", pod_name,
+                        vm=victim["name"],
+                        admission=decision.to_dict(),
+                        reason=decision.reason,
+                    )
+                    continue
+                reason = f"admission denied ({decision.reason})"
+            else:
+                reason = (
+                    "no fleet controller in pod"
+                    if fleet_spec is None
+                    else "migration budget exhausted"
+                )
+            # Resize path: cap the antagonist down instead of moving it.
+            if victim["cap_cores"] == self.spec.throttle_cap_cores:
+                continue  # already throttled; don't re-log every window
+            commands[pod_name].append({
+                "op": "throttle",
+                "vm": victim["name"],
+                "cap_cores": self.spec.throttle_cap_cores,
+            })
+            self._record(
+                now, "slo-throttle", pod_name,
+                vm=victim["name"],
+                cap_cores=self.spec.throttle_cap_cores,
+                reason=f"p95 {signal['p95_ms']:.1f} ms over SLO; {reason}",
+            )
+
+    @staticmethod
+    def _cheapest_movable(signal):
+        """The movable batch VM with the smallest image (name breaks
+        ties) — the cheapest candidate to migrate, and the one the
+        pod's own controller would pick first."""
+        candidates = [
+            vm for vm in signal.get("vms", []) if vm["movable"]
+        ]
+        if not candidates:
+            return None
+        return min(
+            candidates, key=lambda vm: (vm["mem_used"], vm["name"])
+        )
+
+    # -- exports --------------------------------------------------------------
+
+    def report(self) -> dict:
+        """Plain-data summary of everything the optimizer decided."""
+        return {
+            "kind": "fleet-optimizer",
+            "decisions": list(self.decisions),
+            "migrations_commanded": self._migrations_commanded,
+            "budget": (
+                self.budget.report() if self.budget is not None else None
+            ),
+        }

@@ -1,0 +1,271 @@
+"""Canonical fleet scenarios for the sharded engine.
+
+Three families:
+
+* ``two_pod_fleet`` — the cross-pod evacuation story: a crash fault
+  kills the east pod's second server, its fleet controller detects
+  the failure and evacuates locally, but a deliberately oversized
+  ballast VM (26 GB against the surviving server's 24 GB of free
+  guest memory) is *stranded* — no local survivor can host it.  The
+  optimizer ships it to the west pod, whose second server is empty.
+  The ``_watch`` variant runs the same pods without an optimizer, so
+  tests can assert the evacuation actually changed the outcome.
+
+* ``fleet_optimizer_demo`` — the bill-reading story: every pod carries
+  idle 8-VCPU ballast reservations that push the fleet's
+  $-per-kilorequest over budget; the optimizer throttles them to the
+  cap floor, window by window, and the run ends strictly cheaper per
+  request than the ``_watch`` baseline at the same seed.
+
+* ``datacenter_fleet`` — the scale benchmark: 25 pods x 4 servers x
+  40 VMs = 100 servers / 1000 VMs, the configuration the shard-scale
+  benchmark and PERFORMANCE.md table run at.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.config import ExperimentConfig
+from repro.placement.spec import FleetSpec
+from repro.planning.budget import BudgetSpec
+from repro.shard.spec import FleetScenario, OptimizerSpec, PodSpec
+from repro.workloads.base import BALLAST, TenantSpec
+
+#: FleetSpec thresholds that disable voluntary (hotspot) migrations —
+#: used when a scenario wants failure detection only.
+_NEVER_HOT = {"p95_high_ms": 10_000.0, "ready_high_s": 1_000.0}
+
+
+def _stranding_pod_config(seed: int) -> ExperimentConfig:
+    """Two servers; a crash strands an oversized ballast VM.
+
+    Priority placement spreads the web pair onto server 1 and packs
+    both batch VMs — a 26 GB ballast and a busy MapReduce tenant —
+    onto server 2.  When server 2 crashes at t=20 s, the MapReduce
+    tenant's starved demand floods CPU-ready time (the failure
+    signature), the tenant itself evacuates to server 1, but the
+    ballast cannot: server 1's 24 GB of free guest memory is smaller
+    than its 26 GB reservation.  Stranded — until a fleet optimizer
+    ships it to another pod.
+    """
+    return ExperimentConfig(
+        environment="virtualized",
+        composition="browsing",
+        seed=seed,
+        clients=60,
+        servers=2,
+        placement="priority",
+        tenants=(
+            TenantSpec(
+                name="heavy",
+                workload=BALLAST,
+                vcpus=8,
+                memory_gb=26.0,
+            ),
+            TenantSpec(
+                name="mr",
+                workload="mapreduce",
+                vcpus=8,
+                memory_gb=2.0,
+                job="sort",
+                arrival_rate_per_s=0.25,
+            ),
+        ),
+        fleet=FleetSpec(
+            max_migrations=1,
+            fail_ready_s=6.0,
+            fail_windows=2,
+            migration_bandwidth_bps=125e6,
+            **_NEVER_HOT,
+        ),
+        faults="crash@20:0:0.01/cloud-2",
+    )
+
+
+def _receiver_pod_config(seed: int) -> ExperimentConfig:
+    """Two servers, web pair only: the second server is all headroom."""
+    return ExperimentConfig(
+        environment="virtualized",
+        composition="browsing",
+        seed=seed,
+        clients=60,
+        servers=2,
+        placement="firstfit",
+        fleet=FleetSpec(
+            max_migrations=1,
+            fail_ready_s=6.0,
+            fail_windows=2,
+            migration_bandwidth_bps=125e6,
+            **_NEVER_HOT,
+        ),
+    )
+
+
+def two_pod_fleet(seed: int = 42, optimizer: bool = True) -> FleetScenario:
+    """Crash, strand, and (with an optimizer) evacuate cross-pod."""
+    name = "two-pod" if optimizer else "two-pod-watch"
+    return FleetScenario(
+        name=name,
+        pods=(
+            PodSpec("east", _stranding_pod_config(seed)),
+            PodSpec("west", _receiver_pod_config(seed)),
+        ),
+        duration_s=60.0,
+        window_s=10.0,
+        seed=seed,
+        optimizer=(
+            OptimizerSpec(slo_p95_ms=10_000.0) if optimizer else None
+        ),
+        description=(
+            "crash strands a 26 GB ballast VM in the east pod; the "
+            "optimizer evacuates it to the west pod's empty server"
+        ),
+    )
+
+
+def two_pod_fleet_watch(seed: int = 42) -> FleetScenario:
+    return two_pod_fleet(seed=seed, optimizer=False)
+
+
+def _billing_pod_config(seed: int) -> ExperimentConfig:
+    """Two servers serving web traffic next to idle 8-VCPU ballast."""
+    return ExperimentConfig(
+        environment="virtualized",
+        composition="browsing",
+        seed=seed,
+        clients=60,
+        servers=2,
+        placement="balance",
+        tenants=tuple(
+            TenantSpec(
+                name=f"idle{index}",
+                workload=BALLAST,
+                vcpus=8,
+                memory_gb=2.0,
+            )
+            for index in range(1, 4)
+        ),
+    )
+
+
+def fleet_optimizer_demo(
+    seed: int = 42, optimizer: bool = True
+) -> FleetScenario:
+    """Idle reservations overrun the budget; the optimizer scales down."""
+    name = "optimizer-demo" if optimizer else "optimizer-demo-watch"
+    return FleetScenario(
+        name=name,
+        pods=(
+            PodSpec("pod-a", _billing_pod_config(seed)),
+            PodSpec("pod-b", _billing_pod_config(seed)),
+        ),
+        duration_s=60.0,
+        window_s=10.0,
+        seed=seed,
+        optimizer=(
+            OptimizerSpec(
+                slo_p95_ms=10_000.0,
+                budget=BudgetSpec(
+                    usd_per_kilorequest=0.003,
+                    min_cap_cores=1.0,
+                    over_windows=2,
+                ),
+            )
+            if optimizer
+            else None
+        ),
+        description=(
+            "idle 8-VCPU ballasts push $-per-kilorequest over budget; "
+            "the optimizer throttles them to the 1-core floor"
+        ),
+    )
+
+
+def fleet_optimizer_demo_watch(seed: int = 42) -> FleetScenario:
+    return fleet_optimizer_demo(seed=seed, optimizer=False)
+
+
+def _datacenter_pod_config(seed: int, clients: int) -> ExperimentConfig:
+    """Four servers, 40 VMs: web pair + 2 batch VMs + 36 ballast."""
+    tenants = [
+        TenantSpec(
+            name=f"mr{index}",
+            workload="mapreduce",
+            vcpus=2,
+            memory_gb=2.0,
+            job="sort",
+            input_mb=64.0,
+            tasks=4,
+            arrival_rate_per_s=0.02,
+            map_slots=2,
+            reduce_slots=1,
+        )
+        for index in range(1, 3)
+    ]
+    tenants.extend(
+        TenantSpec(
+            name=f"b{index:02d}",
+            workload=BALLAST,
+            vcpus=1,
+            memory_gb=1.5,
+        )
+        for index in range(1, 37)
+    )
+    return ExperimentConfig(
+        environment="virtualized",
+        composition="browsing",
+        seed=seed,
+        clients=clients,
+        servers=4,
+        placement="firstfit",
+        tenants=tuple(tenants),
+    )
+
+
+def datacenter_fleet(
+    seed: int = 42,
+    pods: int = 25,
+    duration_s: float = 60.0,
+    clients: int = 100,
+) -> FleetScenario:
+    """The 100-server / 1000-VM scale configuration (25 x 4 x 40)."""
+    return FleetScenario(
+        name="datacenter",
+        pods=tuple(
+            PodSpec(
+                f"pod-{index:02d}", _datacenter_pod_config(seed, clients)
+            )
+            for index in range(1, pods + 1)
+        ),
+        duration_s=duration_s,
+        window_s=10.0,
+        seed=seed,
+        description=(
+            f"{pods} pods x 4 servers x 40 VMs — the shard-scale "
+            "benchmark fleet"
+        ),
+    )
+
+
+def fleet_catalog(
+    seed: int = 42, quick: bool = False
+) -> Dict[str, FleetScenario]:
+    """Every named fleet, for the CLI's ``--fleet`` flag.
+
+    ``quick=True`` shrinks the datacenter fleet (fewer pods, shorter
+    horizon) for smoke jobs; the two-pod fleets are already small.
+    """
+    datacenter = (
+        datacenter_fleet(seed=seed, pods=4, duration_s=30.0, clients=60)
+        if quick
+        else datacenter_fleet(seed=seed)
+    )
+    fleets = (
+        two_pod_fleet(seed=seed),
+        two_pod_fleet_watch(seed=seed),
+        fleet_optimizer_demo(seed=seed),
+        fleet_optimizer_demo_watch(seed=seed),
+        datacenter,
+    )
+    return {fleet.name: fleet for fleet in fleets}

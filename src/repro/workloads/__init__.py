@@ -21,7 +21,9 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.errors import ConfigurationError
+from repro.workloads.ballast import BallastWorkload
 from repro.workloads.base import (
+    BALLAST,
     JOB_TEMPLATES,
     MAPREDUCE,
     RESERVED_ENTITIES,
@@ -44,17 +46,21 @@ def build_tenant_workload(
     """Instantiate the workload a tenant spec describes."""
     if spec.workload == MAPREDUCE:
         return MapReduceWorkload(sim, streams, spec, contexts, horizon_s)
+    if spec.workload == BALLAST:
+        return BallastWorkload(sim, streams, spec, contexts, horizon_s)
     raise ConfigurationError(
         f"no tenant workload builder for kind {spec.workload!r}"
     )
 
 
 __all__ = [
+    "BALLAST",
     "JOB_TEMPLATES",
     "MAPREDUCE",
     "RESERVED_ENTITIES",
     "RUBIS",
     "WORKLOAD_KINDS",
+    "BallastWorkload",
     "MapReduceWorkload",
     "RubisWorkload",
     "TenantSpec",

@@ -1,0 +1,69 @@
+"""Ballast tenants: capacity reservations with no load driver.
+
+A datacenter rack is mostly *occupancy*, not activity: the VMs that
+matter to a placement decision are often idle reservations holding
+cores and memory.  A :class:`BallastWorkload` models exactly that — a
+tenant VM that books capacity in the placement engine, accrues a
+capacity-second bill like every other domain, and can be capped,
+ballooned or live-migrated, but schedules no events, draws no
+randomness and exports no probes.
+
+Ballast is what lets fleet scenarios reach 100+ servers / 1000+ VMs:
+the simulated event count scales with the *active* tenants while the
+placement, billing and optimization problems scale with the whole
+fleet.  It is also the only species a *cross-fleet* evacuation ships
+(see :mod:`repro.shard`): having no driver, its entire state is its
+reservation, so it can leave one fleet's event loop and be re-created
+in another's without carrying in-flight work.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.monitoring.probes import Probe
+from repro.workloads.base import TenantSpec, Workload
+
+
+class BallastWorkload(Workload):
+    """A reservation-only tenant VM (no events, no probes)."""
+
+    def __init__(
+        self,
+        sim,
+        streams,
+        spec: TenantSpec,
+        contexts: Sequence,
+        horizon_s: float,
+    ) -> None:
+        self.sim = sim
+        self.spec = spec
+        self.name = spec.name
+        self.contexts = list(contexts)
+        #: Set when a cross-fleet evacuation shipped this VM away
+        #: (``"<fleet>/<server>"``); the summary records the move.
+        self.evacuated_to: Optional[str] = None
+
+    def probes(self) -> List[Probe]:
+        # No probes: ballast must not widen the metric namespace (the
+        # 518-metric registry stays identical with and without it).
+        return []
+
+    def start(self) -> None:
+        # Nothing to arm — ballast's contribution is its reservation.
+        pass
+
+    def shutdown(self) -> None:
+        pass
+
+    def mark_evacuated(self, destination: str) -> None:
+        """Record that this VM left the fleet (cross-fleet evacuation)."""
+        self.evacuated_to = destination
+
+    def summary(self) -> dict:
+        return {
+            "kind": "ballast",
+            "vcpus": self.spec.vcpus,
+            "memory_gb": self.spec.memory_gb,
+            "evacuated_to": self.evacuated_to,
+        }

@@ -32,7 +32,12 @@ from repro.monitoring.probes import Probe
 #: Workload kinds a TenantSpec may name.
 RUBIS = "rubis"
 MAPREDUCE = "mapreduce"
-WORKLOAD_KINDS = (RUBIS, MAPREDUCE)
+#: A capacity-reservation VM: holds CPU/memory bookings but offers no
+#: load (see :mod:`repro.workloads.ballast`) — the fill that makes
+#: datacenter-density fleets simulable, and the only species a
+#: cross-fleet evacuation may ship (no in-flight driver state).
+BALLAST = "ballast"
+WORKLOAD_KINDS = (RUBIS, MAPREDUCE, BALLAST)
 
 #: Probe entities owned by the web workload and the hypervisor; tenant
 #: names must not collide with them.

@@ -58,6 +58,43 @@ class TestGrid:
         runs = paper_matrix_suite(duration_s=30.0)
         assert len({r.run_id for r in runs}) == len(runs)
 
+    def test_placements_axis_grids_multi_server_cells(self):
+        runs = suite_grid(
+            servers=(1, 2),
+            placements=("firstfit", "balance"),
+            duration_s=30.0,
+        )
+        ids = [r.run_id for r in runs]
+        # One single-server cell (placement places nothing there), one
+        # multi-server cell per policy.
+        assert ids == [
+            "virtualized/browsing",
+            "virtualized/browsing/s2/pl-firstfit",
+            "virtualized/browsing/s2/pl-balance",
+        ]
+        by_id = {r.run_id: r.config for r in runs}
+        assert by_id["virtualized/browsing"].placement is None
+        assert (
+            by_id["virtualized/browsing/s2/pl-balance"].placement
+            == "balance"
+        )
+        # The pl- token is infrastructure: it must not shift the seed.
+        assert (
+            by_id["virtualized/browsing/s2/pl-firstfit"].seed
+            == by_id["virtualized/browsing/s2/pl-balance"].seed
+        )
+
+    def test_placements_axis_excludes_the_scalar(self):
+        with pytest.raises(ConfigurationError, match="mutually exclusive"):
+            suite_grid(
+                servers=(2,),
+                placement="firstfit",
+                placements=("balance",),
+                duration_s=30.0,
+            )
+        with pytest.raises(ConfigurationError, match="empty"):
+            suite_grid(servers=(2,), placements=(), duration_s=30.0)
+
 
 class TestSeeds:
     def test_derivation_is_stable_and_distinct(self):

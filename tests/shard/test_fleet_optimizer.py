@@ -1,0 +1,288 @@
+"""Unit tests for the fleet optimizer's decision levers.
+
+The optimizer is a pure function of the (sorted) window signals, so
+every lever is testable with synthetic signal dicts — no simulator.
+The signal shape mirrors :meth:`repro.shard.pod.Pod.signals`.
+"""
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.placement.spec import FleetSpec
+from repro.planning.budget import BudgetSpec
+from repro.shard.optimizer import FleetOptimizer
+from repro.shard.spec import FleetScenario, OptimizerSpec, PodSpec
+from repro.units import GB
+
+
+def _fleet(optimizer: OptimizerSpec, fleet_spec=None) -> FleetScenario:
+    config = ExperimentConfig(
+        environment="virtualized",
+        composition="browsing",
+        servers=2,
+        fleet=fleet_spec,
+    )
+    return FleetScenario(
+        name="t",
+        pods=(PodSpec("east", config), PodSpec("west", config)),
+        duration_s=60.0,
+        window_s=10.0,
+        optimizer=optimizer,
+    )
+
+
+def _signal(**overrides) -> dict:
+    signal = {
+        "pod": "x",
+        "time_s": 10.0,
+        "requests_total": 100,
+        "requests_delta": 100,
+        "p95_ms": 5.0,
+        "billing": {"kind": "billing", "domains": {}},
+        "migration_busy": False,
+        "failed_servers": [],
+        "stranded": [],
+        "free_memory": {},
+        "vms": [],
+    }
+    signal.update(overrides)
+    return signal
+
+
+def _image(name="heavy-vm", memory_gb=26.0, shippable=True) -> dict:
+    return {
+        "name": name,
+        "shippable": shippable,
+        "vcpus": 8,
+        "memory_bytes": memory_gb * GB,
+        "weight": 256.0,
+        "cap_cores": 0.0,
+        "priority": 0,
+        "mem_used": 2.0 * GB,
+    }
+
+
+class TestEvacuationLever:
+    def test_routes_to_peer_with_most_free_memory(self):
+        optimizer = FleetOptimizer(_fleet(OptimizerSpec()))
+        signals = {
+            "east": _signal(
+                stranded=[_image()],
+                free_memory={"cloud-1": 2.0 * GB},
+            ),
+            "west": _signal(
+                free_memory={"cloud-1": 4.0 * GB, "cloud-2": 28.0 * GB},
+            ),
+        }
+        commands = optimizer.decide(10.0, signals)
+        assert commands["east"] == [
+            {"op": "evacuate", "vm": "heavy-vm", "dest_pod": "west"}
+        ]
+        assert commands["west"][0]["op"] == "import"
+        assert commands["west"][0]["image"]["name"] == "heavy-vm"
+        assert commands["west"][0]["src_pod"] == "east"
+        assert optimizer.decisions[0]["kind"] == "evacuate"
+
+    def test_never_routes_back_to_the_source_pod(self):
+        optimizer = FleetOptimizer(_fleet(OptimizerSpec()))
+        signals = {
+            "east": _signal(
+                stranded=[_image()],
+                # Plenty of *local* room reported — stranded means the
+                # local controller already proved it can't place there.
+                free_memory={"cloud-1": 30.0 * GB},
+            ),
+            "west": _signal(free_memory={"cloud-1": 1.0 * GB}),
+        }
+        commands = optimizer.decide(10.0, signals)
+        assert commands["east"] == []
+        assert optimizer.decisions[0]["kind"] == "evacuate-stranded"
+
+    def test_window_imports_consume_destination_room(self):
+        optimizer = FleetOptimizer(_fleet(OptimizerSpec()))
+        signals = {
+            "east": _signal(
+                stranded=[
+                    _image("ball1-vm", memory_gb=20.0),
+                    _image("ball2-vm", memory_gb=20.0),
+                ],
+            ),
+            "west": _signal(free_memory={"cloud-2": 28.0 * GB}),
+        }
+        commands = optimizer.decide(10.0, signals)
+        # Only the first image fits; the second window's room is gone.
+        evacuated = [c for c in commands["east"] if c["op"] == "evacuate"]
+        assert [c["vm"] for c in evacuated] == ["ball1-vm"]
+        kinds = [d["kind"] for d in optimizer.decisions]
+        assert kinds == ["evacuate", "evacuate-stranded"]
+
+    def test_non_ballast_guests_are_skipped(self):
+        optimizer = FleetOptimizer(_fleet(OptimizerSpec()))
+        signals = {
+            "east": _signal(stranded=[_image(shippable=False)]),
+            "west": _signal(free_memory={"cloud-2": 28.0 * GB}),
+        }
+        commands = optimizer.decide(10.0, signals)
+        assert commands["east"] == [] and commands["west"] == []
+        assert optimizer.decisions[0]["kind"] == "evacuate-skipped"
+
+
+class TestBudgetLever:
+    def _signals(self, core_s: float) -> dict:
+        bill = {
+            "kind": "billing",
+            "domains": {
+                "idle1-vm": {"capacity_core_s": core_s, "memory_gb_s": 0.0}
+            },
+        }
+        return {
+            "east": _signal(
+                billing=bill,
+                vms=[{
+                    "name": "idle1-vm", "server": "cloud-1",
+                    "movable": True, "vcpus": 8, "cap_cores": 0.0,
+                    "mem_used": 1.0 * GB,
+                }],
+            ),
+            "west": _signal(),
+        }
+
+    def test_acts_only_after_the_hysteresis_streak(self):
+        spec = OptimizerSpec(
+            budget=BudgetSpec(
+                usd_per_kilorequest=0.001,
+                min_cap_cores=1.0,
+                over_windows=2,
+            ),
+        )
+        optimizer = FleetOptimizer(_fleet(spec))
+        # Window 1: hugely over budget, but streak < over_windows.
+        commands = optimizer.decide(10.0, self._signals(36_000.0))
+        assert all(not batch for batch in commands.values())
+        # Window 2: second overrun in a row -> throttle to the floor.
+        commands = optimizer.decide(20.0, self._signals(72_000.0))
+        assert commands["east"] == [
+            {"op": "throttle", "vm": "idle1-vm", "cap_cores": 1.0}
+        ]
+        decision = optimizer.decisions[0]
+        assert decision["kind"] == "budget-throttle"
+        assert decision["usd_per_kilorequest"] > 0.001
+
+    def test_within_budget_never_acts(self):
+        spec = OptimizerSpec(
+            budget=BudgetSpec(usd_per_kilorequest=100.0, over_windows=1),
+        )
+        optimizer = FleetOptimizer(_fleet(spec))
+        commands = optimizer.decide(10.0, self._signals(100.0))
+        assert all(not batch for batch in commands.values())
+        assert optimizer.decisions == []
+
+    def test_exhausted_when_everything_is_at_the_floor(self):
+        spec = OptimizerSpec(
+            budget=BudgetSpec(
+                usd_per_kilorequest=0.001, min_cap_cores=1.0,
+                over_windows=1,
+            ),
+        )
+        optimizer = FleetOptimizer(_fleet(spec))
+        signals = self._signals(36_000.0)
+        signals["east"]["vms"][0]["cap_cores"] = 1.0  # already capped
+        optimizer.decide(10.0, signals)
+        assert optimizer.decisions[0]["kind"] == "budget-exhausted"
+
+
+class TestHotPodLever:
+    def _hot_signals(self, mem_used: float, **overrides) -> dict:
+        east = _signal(
+            p95_ms=80.0,
+            vms=[{
+                "name": "batch-vm", "server": "cloud-1", "movable": True,
+                "vcpus": 4, "cap_cores": 0.0, "mem_used": mem_used,
+            }],
+        )
+        east.update(overrides)
+        return {"east": east, "west": _signal()}
+
+    def test_admitted_migration_is_commanded(self):
+        optimizer = FleetOptimizer(
+            _fleet(OptimizerSpec(slo_p95_ms=40.0), fleet_spec=FleetSpec())
+        )
+        commands = optimizer.decide(
+            10.0, self._hot_signals(mem_used=0.25 * GB)
+        )
+        assert commands["east"] == [{"op": "migrate", "vm": "batch-vm"}]
+        decision = optimizer.decisions[0]
+        assert decision["kind"] == "migrate"
+        assert decision["admission"]["admitted"] is True
+
+    def test_denied_migration_falls_back_to_throttle(self):
+        # A 26 GB working set diverges in pre-copy: admission denies
+        # the move, so the optimizer resizes the antagonist instead.
+        optimizer = FleetOptimizer(
+            _fleet(OptimizerSpec(slo_p95_ms=40.0), fleet_spec=FleetSpec())
+        )
+        commands = optimizer.decide(
+            10.0, self._hot_signals(mem_used=26.0 * GB)
+        )
+        assert commands["east"] == [
+            {"op": "throttle", "vm": "batch-vm", "cap_cores": 1.0}
+        ]
+        assert optimizer.decisions[0]["kind"] == "slo-throttle"
+
+    def test_migration_budget_exhaustion_falls_back_to_throttle(self):
+        optimizer = FleetOptimizer(
+            _fleet(
+                OptimizerSpec(slo_p95_ms=40.0, max_migrations=0),
+                fleet_spec=FleetSpec(),
+            )
+        )
+        commands = optimizer.decide(
+            10.0, self._hot_signals(mem_used=0.25 * GB)
+        )
+        assert commands["east"][0]["op"] == "throttle"
+
+    def test_failed_or_busy_pods_are_left_alone(self):
+        optimizer = FleetOptimizer(
+            _fleet(OptimizerSpec(slo_p95_ms=40.0), fleet_spec=FleetSpec())
+        )
+        commands = optimizer.decide(
+            10.0,
+            self._hot_signals(0.25 * GB, failed_servers=["cloud-2"]),
+        )
+        assert all(not batch for batch in commands.values())
+        commands = optimizer.decide(
+            20.0, self._hot_signals(0.25 * GB, migration_busy=True),
+        )
+        assert all(not batch for batch in commands.values())
+
+    def test_healthy_pods_are_left_alone(self):
+        optimizer = FleetOptimizer(
+            _fleet(OptimizerSpec(slo_p95_ms=40.0), fleet_spec=FleetSpec())
+        )
+        signals = self._hot_signals(0.25 * GB)
+        signals["east"]["p95_ms"] = 5.0
+        commands = optimizer.decide(10.0, signals)
+        assert all(not batch for batch in commands.values())
+
+
+class TestReport:
+    def test_report_is_plain_data(self):
+        optimizer = FleetOptimizer(
+            _fleet(OptimizerSpec(budget=BudgetSpec()))
+        )
+        optimizer.decide(10.0, {"east": _signal(), "west": _signal()})
+        report = optimizer.report()
+        assert report["kind"] == "fleet-optimizer"
+        assert report["decisions"] == []
+        assert report["migrations_commanded"] == 0
+        assert report["budget"]["windows"] == 1
+
+    def test_requires_an_optimizer_spec(self):
+        config = ExperimentConfig(
+            environment="virtualized", composition="browsing",
+        )
+        fleet = FleetScenario(
+            name="t", pods=(PodSpec("a", config),), duration_s=60.0,
+        )
+        with pytest.raises(ValueError):
+            FleetOptimizer(fleet)

@@ -1,0 +1,134 @@
+"""Unit tests for the sharded-fleet declarative layer.
+
+The spec layer carries the determinism contract: pod seeds derive
+from the fleet seed and the pod *name* (never the shard), scenarios
+round-trip through plain dicts (workers receive JSON-able payloads),
+and the lockstep geometry (windows dividing the horizon, boundaries
+on sampling ticks) is validated at construction time.
+"""
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.errors import ConfigurationError
+from repro.experiments.suite import derive_run_seed
+from repro.planning.budget import BudgetSpec
+from repro.shard.fabric import shard_partition
+from repro.shard.spec import FleetScenario, OptimizerSpec, PodSpec
+
+
+def _config(seed: int = 7) -> ExperimentConfig:
+    return ExperimentConfig(
+        environment="virtualized", composition="browsing", seed=seed,
+    )
+
+
+def _fleet(**overrides) -> FleetScenario:
+    kwargs = dict(
+        name="f",
+        pods=(PodSpec("a", _config()), PodSpec("b", _config())),
+        duration_s=60.0,
+        window_s=10.0,
+        seed=42,
+    )
+    kwargs.update(overrides)
+    return FleetScenario(**kwargs)
+
+
+class TestPodSpec:
+    def test_name_must_not_structure_tokens(self):
+        for bad in ("", "a/b", "a@b"):
+            with pytest.raises(ConfigurationError):
+                PodSpec(bad, _config())
+
+    def test_config_coerced_from_dict(self):
+        pod = PodSpec("a", _config().to_dict())
+        assert isinstance(pod.config, ExperimentConfig)
+
+
+class TestFleetScenario:
+    def test_pod_seed_depends_on_name_not_position(self):
+        fleet = _fleet()
+        reordered = _fleet(
+            pods=(PodSpec("b", _config()), PodSpec("a", _config()))
+        )
+        assert fleet.pod_seed("a") == reordered.pod_seed("a")
+        assert fleet.pod_seed("a") == derive_run_seed(42, "f/a")
+        assert fleet.pod_seed("a") != fleet.pod_seed("b")
+
+    def test_boundaries_cover_the_horizon(self):
+        assert _fleet().boundaries == (10.0, 20.0, 30.0, 40.0, 50.0, 60.0)
+
+    def test_duration_must_be_whole_windows(self):
+        with pytest.raises(ConfigurationError, match="whole number"):
+            _fleet(duration_s=55.0)
+
+    def test_window_must_align_with_sampling(self):
+        with pytest.raises(ConfigurationError, match="sampling period"):
+            _fleet(duration_s=60.0, window_s=5.0)
+
+    def test_duplicate_pod_names_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            _fleet(pods=(PodSpec("a", _config()), PodSpec("a", _config())))
+
+    def test_roundtrips_through_plain_dicts(self):
+        fleet = _fleet(
+            optimizer=OptimizerSpec(
+                slo_p95_ms=30.0,
+                budget=BudgetSpec(usd_per_kilorequest=0.01),
+            ),
+        )
+        rebuilt = FleetScenario.from_dict(fleet.to_dict())
+        assert rebuilt.pod_names() == fleet.pod_names()
+        assert rebuilt.optimizer == fleet.optimizer
+        assert rebuilt.pod_seed("a") == fleet.pod_seed("a")
+        assert rebuilt.pods[0].config.seed == fleet.pods[0].config.seed
+
+    def test_from_dict_rejects_unknown_keys(self):
+        data = _fleet().to_dict()
+        data["sharding"] = 4
+        with pytest.raises(ConfigurationError, match="unknown"):
+            FleetScenario.from_dict(data)
+
+    def test_counts(self):
+        fleet = _fleet()
+        assert fleet.server_count() == 2
+        assert fleet.vm_count() == 4  # the web pair per pod
+
+
+class TestOptimizerSpec:
+    def test_budget_coerced_from_dict(self):
+        spec = OptimizerSpec(budget={"usd_per_kilorequest": 0.01})
+        assert isinstance(spec.budget, BudgetSpec)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OptimizerSpec(slo_p95_ms=0.0)
+        with pytest.raises(ConfigurationError):
+            OptimizerSpec(max_migrations=-1)
+        with pytest.raises(ConfigurationError, match="unknown"):
+            OptimizerSpec.from_dict({"slo": 10.0})
+
+
+class TestShardPartition:
+    def test_round_robin(self):
+        names = ["p1", "p2", "p3", "p4", "p5"]
+        assert shard_partition(names, 1) == [names]
+        assert shard_partition(names, 2) == [
+            ["p1", "p3", "p5"], ["p2", "p4"],
+        ]
+        assert shard_partition(names, 5) == [[n] for n in names]
+
+    def test_partition_is_a_function_of_the_fleet_only(self):
+        names = [f"pod-{i:02d}" for i in range(1, 26)]
+        assert shard_partition(names, 4) == shard_partition(names, 4)
+        flattened = [
+            name for group in shard_partition(names, 4) for name in group
+        ]
+        assert sorted(flattened) == sorted(names)
+
+    def test_bounds(self):
+        with pytest.raises(ConfigurationError):
+            shard_partition(["a"], 0)
+        with pytest.raises(ConfigurationError, match="exceed"):
+            shard_partition(["a", "b"], 3)

@@ -31,6 +31,7 @@ class TestPublicApi:
             "repro.traffic",
             "repro.experiments",
             "repro.obs",
+            "repro.shard",
             "repro.mapreduce",
             "repro.config",
             "repro.cli",
